@@ -1,0 +1,22 @@
+# Convenience targets; see README.md for details.
+
+.PHONY: install test bench examples reproduce clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do python $$f > /dev/null || exit 1; echo "ok $$f"; done
+
+reproduce:
+	python examples/reproduce_paper.py
+
+clean:
+	rm -rf .pytest_cache benchmarks/results .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,25 @@
+"""Benchmark harness helpers.
+
+Every bench regenerates one paper artifact (table/figure) or ablation,
+asserts its qualitative shape, and writes the rendered table to
+``benchmarks/results/<name>.txt`` (also printed, visible with ``-s``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

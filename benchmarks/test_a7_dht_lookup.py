@@ -1,0 +1,64 @@
+"""Ablation A7: client-side DHT distributor lookup cost (Section IV-C).
+
+Compares Chord and CAN overlays (routing hops, client table memory) as the
+provider fleet grows -- the trade-offs the paper notes for the client-side
+alternative to a third-party distributor.
+"""
+
+from repro.core.privacy import ChunkSizePolicy, CostLevel, PrivacyLevel
+from repro.dht.client_distributor import ClientSideDistributor
+from repro.providers.registry import ProviderSpec, build_simulated_fleet
+from repro.util.tables import render_table
+from repro.workloads.files import random_bytes
+
+FLEET_SIZES = [8, 16, 32, 64]
+N_LOOKUPS = 80
+
+
+def run_a7():
+    out = []
+    for n in FLEET_SIZES:
+        specs = [
+            ProviderSpec(f"P{i}", PrivacyLevel.PRIVATE, CostLevel.CHEAP)
+            for i in range(n)
+        ]
+        registry, _, _ = build_simulated_fleet(specs, seed=170)
+        row = [n]
+        for protocol in ("chord", "can"):
+            dist = ClientSideDistributor(
+                registry,
+                protocol=protocol,
+                replicas=2,
+                chunk_policy=ChunkSizePolicy.uniform(4096),
+                seed=171,
+            )
+            dist.upload_file("f", random_bytes(64 * 1024, seed=172), PrivacyLevel.PRIVATE)
+            assert dist.get_file("f") == random_bytes(64 * 1024, seed=172)
+            hops = [
+                dist.lookup_hops("f", serial % 16, PrivacyLevel.PRIVATE,
+                                 start=f"P{(serial * 7) % n}")
+                for serial in range(N_LOOKUPS)
+            ]
+            row.append(sum(hops) / len(hops))
+        # Client-resident table footprint (the paper's noted limitation).
+        row.append(dist.table_memory_bytes)
+        out.append(tuple(row))
+    return out
+
+
+def test_a7_dht_lookup(benchmark, save_result):
+    rows = benchmark.pedantic(run_a7, rounds=1, iterations=1)
+    table = render_table(
+        ["providers", "chord avg hops", "can avg hops", "client table bytes"],
+        [[n, f"{ch:.2f}", f"{ca:.2f}", mem] for n, ch, ca, mem in rows],
+        title="A7: CLIENT-SIDE DHT DISTRIBUTOR (central distributor = 0 hops)",
+    )
+    save_result("a7_dht_lookup", table)
+
+    chord_hops = [ch for _, ch, _, _ in rows]
+    can_hops = [ca for _, _, ca, _ in rows]
+    # Hop counts grow sublinearly with fleet size for both overlays.
+    assert chord_hops[-1] / max(chord_hops[0], 0.1) < FLEET_SIZES[-1] / FLEET_SIZES[0]
+    assert can_hops[-1] / max(can_hops[0], 0.1) < FLEET_SIZES[-1] / FLEET_SIZES[0]
+    # Chord's O(log n) routing beats CAN's O(sqrt n) at the largest fleet.
+    assert chord_hops[-1] <= can_hops[-1] + 1.0

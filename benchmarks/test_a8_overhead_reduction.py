@@ -1,0 +1,73 @@
+"""Ablation A8: reducing the retrieval overhead (the paper's future work).
+
+The conclusion concedes the system "introduces performance overhead when
+client needs to access all data frequently ... In future, we look forward
+to improve our system by reducing such overhead."  This bench implements
+and measures the two optimizations the paper itself points to:
+
+* parallel shard fetches ("various fragments can be accessed
+  simultaneously", Section VII-E), and
+* locality-aware placement ("storing the chunks in the locations where
+  they are frequently used", Section VII-E),
+
+against the naive serial/randomly-placed baseline for a full-file read.
+"""
+
+from repro.core.distributor import CloudDataDistributor
+from repro.core.placement import PlacementPolicy
+from repro.core.privacy import ChunkSizePolicy, PrivacyLevel
+from repro.providers.registry import build_simulated_fleet, regional_fleet_specs
+from repro.util.tables import render_table
+from repro.util.units import format_duration
+from repro.workloads.files import random_bytes
+
+FILE_SIZE = 128 * 1024
+CHUNK = 4096
+
+
+def run_a8():
+    registry, _, clock = build_simulated_fleet(regional_fleet_specs(4), seed=180)
+    payload = random_bytes(FILE_SIZE, seed=181)
+    results = []
+    configs = [
+        ("baseline (serial, any region)", PlacementPolicy(seed=182), False),
+        ("parallel fetch", PlacementPolicy(seed=182), True),
+        ("local placement", PlacementPolicy(preferred_regions=("local",), seed=182), False),
+        ("local + parallel", PlacementPolicy(preferred_regions=("local",), seed=182), True),
+    ]
+    for i, (label, policy, parallel) in enumerate(configs):
+        d = CloudDataDistributor(
+            registry,
+            chunk_policy=ChunkSizePolicy.uniform(CHUNK),
+            placement=policy,
+            stripe_width=4,
+            seed=183,
+        )
+        d.register_client("C")
+        d.add_password("C", "pw", PrivacyLevel.PRIVATE)
+        d.upload_file("C", "pw", f"f{i}", payload, PrivacyLevel.PRIVATE)
+        t0 = clock.now
+        assert d.get_file("C", "pw", f"f{i}", parallel=parallel) == payload
+        results.append((label, clock.now - t0))
+    return results
+
+
+def test_a8_overhead_reduction(benchmark, save_result):
+    results = benchmark.pedantic(run_a8, rounds=1, iterations=1)
+    baseline = results[0][1]
+    table = render_table(
+        ["configuration", "full-file read (sim)", "speedup"],
+        [
+            [label, format_duration(t), f"{baseline / t:.1f}x"]
+            for label, t in results
+        ],
+        title=f"A8: RETRIEVAL-OVERHEAD REDUCTION ({FILE_SIZE // 1024} KiB full read)",
+    )
+    save_result("a8_overhead_reduction", table)
+
+    times = dict(results)
+    # Each optimization helps; combined they stack.
+    assert times["parallel fetch"] < baseline / 2
+    assert times["local placement"] < baseline
+    assert times["local + parallel"] == min(times.values())
+    assert times["local + parallel"] < baseline / 4

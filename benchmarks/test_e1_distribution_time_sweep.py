@@ -1,0 +1,59 @@
+"""Experiment E1: distribution-time sweep (Section VIII performance).
+
+Sweeps file size, chunk size, provider count and RAID level; asserts the
+scaling shapes DESIGN.md calls out.
+"""
+
+from repro.experiments.distribution_time import distribution_time_sweep
+from repro.raid.striping import RaidLevel
+from repro.util.tables import render_table
+from repro.util.units import format_bytes, format_duration
+
+
+def test_e1_distribution_time_sweep(benchmark, save_result):
+    results = benchmark.pedantic(
+        lambda: distribution_time_sweep(seed=91), rounds=1, iterations=1
+    )
+    table = render_table(
+        ["file", "chunk", "providers", "raid", "chunks", "upload", "retrieve", "overhead"],
+        [
+            [
+                format_bytes(r.file_size),
+                format_bytes(r.chunk_size),
+                r.n_providers,
+                r.raid_level.name,
+                r.n_chunks,
+                format_duration(r.upload_sim_s),
+                format_duration(r.retrieve_sim_s),
+                f"{r.storage_overhead:.2f}x",
+            ]
+            for r in results
+        ],
+        title="E1: DISTRIBUTION TIME SWEEP (simulated WAN)",
+    )
+    save_result("e1_distribution_time_sweep", table)
+
+    by_file = [r for r in results[:3]]
+    by_chunk = [r for r in results[3:6]]
+    by_providers = [r for r in results[6:9]]
+    by_raid = {r.raid_level: r for r in results[9:12]}
+
+    # Upload time grows ~linearly with file size at fixed chunk size.
+    assert by_file[0].upload_sim_s < by_file[1].upload_sim_s < by_file[2].upload_sim_s
+    ratio = by_file[2].upload_sim_s / by_file[0].upload_sim_s
+    assert 8 < ratio < 32  # 16x data -> roughly 16x time (per-request RTT dominated)
+
+    # Bigger chunks -> fewer requests -> faster distribution.
+    assert by_chunk[0].upload_sim_s > by_chunk[1].upload_sim_s > by_chunk[2].upload_sim_s
+
+    # Provider count (at fixed stripe width) barely moves distribution time.
+    times = sorted(r.upload_sim_s for r in by_providers)
+    assert times[-1] / times[0] < 1.5
+
+    # RAID-6 stores more parity than RAID-5 than RAID-0, and costs more time.
+    assert (
+        by_raid[RaidLevel.RAID0].storage_overhead
+        < by_raid[RaidLevel.RAID5].storage_overhead
+        < by_raid[RaidLevel.RAID6].storage_overhead
+    )
+    assert by_raid[RaidLevel.RAID6].upload_sim_s >= by_raid[RaidLevel.RAID5].upload_sim_s * 0.95

@@ -1,0 +1,41 @@
+"""Experiment F1: the Fig. 1 architecture end-to-end + distribution time.
+
+The paper's Section VIII monitored "performance (Distribution time)" on
+the single-distributor architecture of Fig. 1; this bench uploads and
+retrieves through that architecture, checks consistency, and reports the
+simulated distribution/retrieval time.
+"""
+
+from repro.experiments.distribution_time import distribution_time_once
+from repro.util.tables import render_table
+from repro.util.units import format_bytes, format_duration
+
+
+def test_fig1_distribution_time(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: distribution_time_once(256 * 1024, chunk_size=4096, seed=90),
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        ["file", "chunks", "raid", "upload (sim)", "retrieve (sim)", "overhead"],
+        [
+            [
+                format_bytes(result.file_size),
+                result.n_chunks,
+                result.raid_level.name,
+                format_duration(result.upload_sim_s),
+                format_duration(result.retrieve_sim_s),
+                f"{result.storage_overhead:.2f}x",
+            ]
+        ],
+        title="FIG 1 ARCHITECTURE: DISTRIBUTION TIME (simulated WAN)",
+    )
+    save_result("fig1_distribution_time", table)
+
+    # Consistency held (distribution_time_once raises otherwise) and the
+    # RAID-5 overhead is k+1/k for the 4-wide stripe.
+    assert result.n_chunks == 64
+    assert abs(result.storage_overhead - 4 / 3) < 0.02
+    assert result.upload_sim_s > 0
+    assert result.retrieve_sim_s > 0

@@ -1,0 +1,23 @@
+"""Experiment F3: the Fig. 3 application-architecture walk-through."""
+
+from repro.experiments.app_flow import fig3_application_flow
+
+
+def test_fig3_application_flow(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: fig3_application_flow(seed=7), rounds=1, iterations=1
+    )
+    save_result(
+        "fig3_application_flow",
+        "FIG 3 APPLICATION ARCHITECTURE WALK-THROUGH\n" + "\n".join(result.trace),
+    )
+    # (Bob, x9pr, file1, 0) resolves and is served.
+    assert result.granted_chunk_bytes > 0
+    assert result.granted_provider
+    # (Bob, aB1c, file1, 0) is denied on privilege grounds.
+    assert "not privileged" in result.denied_error
+    # The resolution chain touched all three metadata tables.
+    trace_text = "\n".join(result.trace)
+    assert "Client Table" in trace_text
+    assert "Chunk Table" in trace_text
+    assert "Cloud Provider Table" in trace_text

@@ -1,0 +1,48 @@
+"""Experiments F4-F6: GPS dendrograms, full vs fragmented (Section VIII-B).
+
+Fig. 4 = clustering over >3000 observations/user; Figs. 5-6 = clustering
+over 500-observation fragments.  "Many entities have moved from their
+original cluster to other clusters due to fragmentation of data."
+"""
+
+from repro.experiments.gps_clustering import gps_clustering_experiment
+from repro.util.tables import render_table
+
+
+def test_fig456_gps_clustering(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: gps_clustering_experiment(seed=80), rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            "full (fig 4)",
+            result.full_obs,
+            0,
+            1.0,
+            1.0,
+        ]
+    ]
+    for j, (m, r, c) in enumerate(
+        zip(result.migrations, result.adjusted_rand, result.cophenetic_corr)
+    ):
+        rows.append([f"fragment {j} (fig {5 + j})", result.fragment_obs, m, r, c])
+    rows.append(
+        ["control (full halves)", result.full_obs // 2, result.control_migrations, "-", "-"]
+    )
+    summary = render_table(
+        ["clustering input", "obs/user", "migrated users", "ARI vs full", "cophenetic corr"],
+        rows,
+        title=f"FIGS 4-6: HIERARCHICAL CLUSTERING OF {result.n_users} GPS USERS (cut k={result.k})",
+    )
+    pieces = [summary]
+    for name, art in result.dendrograms.items():
+        pieces.append(f"\n{name}:\n{art}")
+    save_result("fig456_gps_clustering", "\n".join(pieces))
+
+    # Paper shape: fragmentation moves several of the 30 users between
+    # clusters, while a full-data control stays (nearly) stable.
+    assert all(m >= 2 for m in result.migrations)
+    assert result.control_migrations < min(result.migrations)
+    assert all(r < 0.95 for r in result.adjusted_rand)
+    assert all(c < 0.99 for c in result.cophenetic_corr)

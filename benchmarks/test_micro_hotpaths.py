@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the library's hot paths (real repeated rounds).
+
+Not paper artifacts -- these watch the computational kernels a deployment
+leans on: Reed-Solomon encode/decode, XOR parity, chunk split/join,
+misleading-byte injection, and the linkage distance kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.chunking import join, split
+from repro.core.misleading import inject, remove
+from repro.mining.hierarchical import linkage
+from repro.raid.parity import xor_parity
+from repro.raid.reed_solomon import RSCode
+from repro.util.units import MiB
+
+PAYLOAD = np.random.default_rng(0).integers(0, 256, size=MiB, dtype=np.uint8).tobytes()
+
+
+@pytest.fixture(scope="module")
+def rs_shards():
+    code = RSCode(k=8, m=4)
+    size = 64 * 1024
+    shards = [PAYLOAD[i * size : (i + 1) * size] for i in range(8)]
+    parity = code.encode(shards)
+    return code, shards, parity
+
+
+def test_bench_rs_encode(benchmark, rs_shards):
+    code, shards, _ = rs_shards
+    result = benchmark(code.encode, shards)
+    assert len(result) == 4
+
+
+def test_bench_rs_decode_two_losses(benchmark, rs_shards):
+    code, shards, parity = rs_shards
+    everything = dict(enumerate(shards + parity))
+    survivors = {i: s for i, s in everything.items() if i not in (0, 5)}
+
+    result = benchmark(code.decode, survivors)
+    assert result == shards
+
+
+def test_bench_xor_parity(benchmark):
+    size = 128 * 1024
+    blocks = [PAYLOAD[i * size : (i + 1) * size] for i in range(4)]
+    out = benchmark(xor_parity, blocks)
+    assert len(out) == size
+
+
+def test_bench_split_join(benchmark):
+    def roundtrip():
+        return join(split(PAYLOAD, 0, chunk_size=4096))
+
+    assert benchmark(roundtrip) == PAYLOAD
+
+
+def test_bench_misleading_roundtrip(benchmark):
+    data = PAYLOAD[: 256 * 1024]
+
+    def roundtrip():
+        injected = inject(data, 0.2, rng=1)
+        return remove(injected.stored, injected.positions)
+
+    assert benchmark(roundtrip) == data
+
+
+def test_bench_linkage_200_points(benchmark):
+    points = np.random.default_rng(1).normal(size=(200, 6))
+    merges = benchmark(linkage, points, "average")
+    assert merges.shape == (199, 4)

@@ -1,0 +1,27 @@
+"""Experiment T2: regenerate Table II (Client Table)."""
+
+from repro.core.privacy import PrivacyLevel
+from repro.experiments.metadata_tables import populated_system, render_paper_tables
+
+
+def test_table2_client_table(benchmark, save_result):
+    system = benchmark.pedantic(
+        lambda: populated_system(seed=7), rounds=1, iterations=1
+    )
+    tables = render_paper_tables(system)
+    save_result("table2_client_table", tables["table2"])
+
+    client_table = system.distributor.client_table
+    bob = client_table.get("Bob")
+    roy = client_table.get("Roy")
+    # Bob holds the paper's 4-password ladder, Roy a single PL3 password.
+    assert sorted(int(pl) for pl in bob.password_levels) == [0, 1, 2, 3]
+    assert [int(pl) for pl in roy.password_levels] == [3]
+    # Chunk quadruples reference live Chunk Table entries.
+    for ref in bob.chunk_refs + roy.chunk_refs:
+        entry = system.distributor.chunk_table.get(ref.chunk_index)
+        assert entry.privacy_level is ref.privacy_level
+    # Count column = number of quadruples.
+    assert bob.count == len(bob.chunk_refs)
+    assert bob.count == system.distributor.chunk_count("Bob", "file1") + \
+        system.distributor.chunk_count("Bob", "file2")

@@ -1,0 +1,58 @@
+"""Experiment T4: Table IV + the Section VII-A regression equations.
+
+Prints Table IV verbatim, the four regression equations (full + three
+fragments), next-year bid predictions, and the end-to-end insider variant.
+"""
+
+import numpy as np
+
+from repro.experiments.table4 import NEXT_YEAR, table4_bidding_experiment
+from repro.util.tables import render_table
+from repro.workloads.bidding import HEADER, TRUE_COEFFICIENTS, TRUE_INTERCEPT, table_iv
+
+
+def test_table4_bidding_regression(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: table4_bidding_experiment(seed=40), rounds=1, iterations=1
+    )
+
+    lines = [render_table(HEADER, table_iv().rows, title="TABLE IV: HERCULES BIDDING HISTORY")]
+    lines.append("")
+    lines.extend(result.equations)
+    lines.append("")
+    lines.append(
+        render_table(
+            ["model", "divergence from full", f"predicted bid for {NEXT_YEAR.tolist()[0]}"],
+            [["full", 0.0, result.full_prediction]]
+            + [
+                [f"fragment{i}", d, p]
+                for i, (d, p) in enumerate(
+                    zip(result.fragment_divergence, result.fragment_predictions)
+                )
+            ],
+            title="Fragment models are mutually inconsistent and misleading:",
+        )
+    )
+    if result.insider_model is not None:
+        lines.append("")
+        lines.append(
+            f"end-to-end insider at 1 of 3 providers salvaged "
+            f"{result.insider_rows} rows; model divergence "
+            f"{result.insider_divergence:.4f}"
+        )
+    save_result("table4_bidding_regression", "\n".join(lines))
+
+    # Paper equation: 1.4*Materials + 1.5*Production + 3.1*Maintenance + 5436.
+    assert np.allclose(result.full_model.coefficients, TRUE_COEFFICIENTS, atol=0.05)
+    assert abs(result.full_model.intercept - TRUE_INTERCEPT) < 1.0
+    # Paper fragment equations, in order.
+    expected = [
+        ([1.8, 0.8, 3.4], 4489),
+        ([3.0, 4.7, 2.2], 3089),
+        ([2.4, 1.5, 1.7], 8753),
+    ]
+    for model, (coeffs, intercept) in zip(result.fragment_models, expected):
+        assert np.allclose(model.coefficients, coeffs, atol=0.05)
+        assert abs(model.intercept - intercept) < 2.0
+    # "All of these equations are misleading": each fragment diverges.
+    assert all(d > 0.05 for d in result.fragment_divergence)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The client-side distributor over Chord and CAN (Section IV-C).
+
+No third-party distributor to trust: the client's own machine maps
+⟨filename, chunk Sl⟩ pairs onto providers through a DHT overlay, keeps the
+Chunk Table locally, and survives a provider outage through DHT replicas.
+
+Run:  python examples/client_side_dht.py
+"""
+
+from repro.core.privacy import ChunkSizePolicy, CostLevel, PrivacyLevel
+from repro.dht.client_distributor import ClientSideDistributor
+from repro.providers.failures import FailureInjector
+from repro.providers.registry import ProviderSpec, build_simulated_fleet
+from repro.util.units import format_bytes
+from repro.workloads.files import random_bytes
+
+
+def main() -> None:
+    specs = [
+        ProviderSpec(f"P{i}", PrivacyLevel.PRIVATE, CostLevel.CHEAP)
+        for i in range(16)
+    ]
+    registry, fleet, clock = build_simulated_fleet(specs, seed=30)
+
+    for protocol in ("chord", "can"):
+        print(f"=== {protocol.upper()} overlay ===")
+        client = ClientSideDistributor(
+            registry,
+            protocol=protocol,
+            replicas=2,
+            chunk_policy=ChunkSizePolicy.uniform(4096),
+            seed=31,
+        )
+        payload = random_bytes(64 * 1024, seed=32)
+        n_chunks = client.upload_file("vault.bin", payload, PrivacyLevel.PRIVATE)
+        print(f"  uploaded {format_bytes(len(payload))} as {n_chunks} chunks")
+
+        owners = client.locate("vault.bin", 0, PrivacyLevel.PRIVATE)
+        hops = client.lookup_hops("vault.bin", 0, PrivacyLevel.PRIVATE, start="P7")
+        print(f"  chunk 0 lives at {owners} (found in {hops} routing hops from P7)")
+
+        assert client.get_file("vault.bin") == payload
+        print("  round trip: OK")
+
+        injector = FailureInjector(fleet, clock)
+        injector.take_down(owners[0])
+        assert client.get_file("vault.bin") == payload
+        injector.bring_up(owners[0])
+        print(f"  read with primary replica {owners[0]} down: OK (replica served)")
+
+        print(
+            f"  client-resident table footprint: "
+            f"{format_bytes(client.table_memory_bytes)} "
+            f"(the paper's noted cost of the client-side design)"
+        )
+        client.remove_file("vault.bin")
+        print("  removed; provider fleet is clean\n")
+
+
+if __name__ == "__main__":
+    main()

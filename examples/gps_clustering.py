@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Reproduce Figs. 4-6: hierarchical clustering of 30 GPS users.
+
+Clusters users over their full traces (>3000 observations, Fig. 4) and
+over 500-observation fragments (Figs. 5-6), printing ASCII dendrograms and
+the cluster-migration statistics the paper describes: "Many entities have
+moved from their original cluster to other clusters due to fragmentation
+of data."
+
+Run:  python examples/gps_clustering.py
+"""
+
+from repro.experiments.gps_clustering import gps_clustering_experiment
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    result = gps_clustering_experiment(seed=80)
+
+    print(
+        f"{result.n_users} users; full data = {result.full_obs} obs/user; "
+        f"fragments = {result.fragment_obs} obs/user; tree cut at k={result.k}\n"
+    )
+    for name in ("fig4_full", "fig5_fragment", "fig6_fragment"):
+        if name in result.dendrograms:
+            print(f"--- {name} ---")
+            print(result.dendrograms[name])
+            print()
+
+    rows = []
+    for j, (m, r, c) in enumerate(
+        zip(result.migrations, result.adjusted_rand, result.cophenetic_corr)
+    ):
+        rows.append([f"fragment {j}", m, f"{r:.3f}", f"{c:.3f}"])
+    rows.append(["full-data control", result.control_migrations, "-", "-"])
+    print(
+        render_table(
+            ["clustering", "users migrated", "ARI vs full", "cophenetic corr"],
+            rows,
+            title="Fragmentation effect on the cluster tree:",
+        )
+    )
+    print(
+        "\n(as in the paper: 'Many entities have moved from their original "
+        "cluster to other clusters due to fragmentation of data', while the "
+        "full-data control stays stable)"
+    )
+
+
+if __name__ == "__main__":
+    main()

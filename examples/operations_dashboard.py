@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Operator's view of a deployment: exposure bounds, audit trail, and
+analytic availability.
+
+Answers the questions the paper's architecture raises in production: how
+much of a client's data can any one provider (or collusion) ever mine?
+Who has been reading what?  How durable is each RAID choice, in closed
+form?
+
+Run:  python examples/operations_dashboard.py
+"""
+
+from repro.analysis import (
+    client_exposure,
+    collusion_exposure,
+    exposure_rows,
+    stripe_availability,
+)
+from repro.core.audit import AuditLog
+from repro.core.cache import ChunkCache
+from repro.core.distributor import CloudDataDistributor
+from repro.core.errors import AuthorizationError
+from repro.core.privacy import ChunkSizePolicy, PrivacyLevel
+from repro.providers.registry import build_simulated_fleet, default_fleet_specs
+from repro.raid.striping import RaidLevel
+from repro.util.tables import render_table
+from repro.workloads.files import random_bytes
+
+
+def main() -> None:
+    registry, fleet, clock = build_simulated_fleet(default_fleet_specs(10), seed=90)
+    audit = AuditLog(now=lambda: clock.now)
+    distributor = CloudDataDistributor(
+        registry,
+        chunk_policy=ChunkSizePolicy.uniform(2048),
+        seed=91,
+        audit=audit,
+        cache=ChunkCache(256 * 1024),
+    )
+    distributor.register_client("Acme")
+    distributor.add_password("Acme", "admin", PrivacyLevel.PRIVATE)
+    distributor.add_password("Acme", "intern", PrivacyLevel.PUBLIC)
+    distributor.upload_file(
+        "Acme", "admin", "ledger.csv", random_bytes(96 * 1024, seed=92),
+        PrivacyLevel.PRIVATE,
+    )
+
+    # --- exposure ---------------------------------------------------------
+    report = client_exposure(distributor, "Acme")
+    print(
+        render_table(
+            ["provider", "shards", "bytes", "chunk coverage", "byte share"],
+            exposure_rows(report),
+            title="Acme's exposure by provider (metadata-derived bound):",
+        )
+    )
+    print(
+        f"\nworst single provider sees {report.max_byte_share:.1%} of Acme's "
+        f"bytes; best 3-provider collusion "
+        f"{collusion_exposure(distributor, 'Acme', 3):.1%} "
+        f"(single-provider cloud: 100%)\n"
+    )
+
+    # --- audit trail --------------------------------------------------------
+    distributor.get_file("Acme", "admin", "ledger.csv")
+    distributor.get_file("Acme", "admin", "ledger.csv")  # cache hit
+    for _ in range(3):
+        try:
+            distributor.get_chunk("Acme", "intern", "ledger.csv", 0)
+        except AuthorizationError:
+            pass
+    print(
+        render_table(
+            ["t (sim s)", "op", "client", "file", "ok", "detail"],
+            [
+                [f"{e.timestamp:.2f}", e.operation, e.client,
+                 e.filename or "-", e.ok, e.detail or "-"]
+                for e in audit.events
+            ],
+            title="Audit trail:",
+        )
+    )
+    print(
+        f"\nintern's trailing failure streak: "
+        f"{audit.auth_failure_streak('Acme')} "
+        f"(probing signal); cache hit rate "
+        f"{distributor.cache.hit_rate:.0%}\n"
+    )
+
+    # --- analytic availability ---------------------------------------------
+    rows = []
+    for level in (RaidLevel.RAID0, RaidLevel.RAID5, RaidLevel.RAID6):
+        rows.append(
+            [level.name]
+            + [f"{stripe_availability(level, 4, p):.6f}" for p in (0.01, 0.05, 0.10)]
+        )
+    print(
+        render_table(
+            ["RAID (width 4)", "p_down=1%", "p_down=5%", "p_down=10%"],
+            rows,
+            title="Closed-form stripe availability:",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Deployment analysis: exposure bounds, analytic availability, and
+metadata/provider consistency verification."""
+
+from repro.analysis.availability import (
+    file_availability,
+    mttdl_ratio,
+    stripe_availability,
+)
+from repro.analysis.consistency import (
+    ConsistencyReport,
+    ShardIssue,
+    collect_garbage,
+    verify_deployment,
+)
+from repro.analysis.exposure import (
+    ExposureReport,
+    ProviderExposure,
+    client_exposure,
+    collusion_exposure,
+    exposure_rows,
+)
+
+__all__ = [
+    "file_availability",
+    "mttdl_ratio",
+    "stripe_availability",
+    "ConsistencyReport",
+    "ShardIssue",
+    "collect_garbage",
+    "verify_deployment",
+    "ExposureReport",
+    "ProviderExposure",
+    "client_exposure",
+    "collusion_exposure",
+    "exposure_rows",
+]

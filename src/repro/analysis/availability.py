@@ -1,0 +1,55 @@
+"""Analytic availability of RAID-coded stripes.
+
+Closed-form companion to the A4 simulation: given each provider being
+independently unavailable with probability *p*, the probability that a
+stripe (and hence a chunk, and a file of many chunks) is readable.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+from repro.raid.striping import RaidLevel
+
+
+def stripe_availability(level: RaidLevel, width: int, p_down: float) -> float:
+    """P(stripe readable) with i.i.d. per-provider down-probability.
+
+    A stripe of ``width`` members with ``m`` parity shards survives up to
+    ``m`` simultaneous losses (RAID-1 survives ``width - 1``); readable
+    iff the number of down members is within the tolerance.
+    """
+    if not 0.0 <= p_down <= 1.0:
+        raise ValueError(f"p_down must be in [0, 1], got {p_down}")
+    k, m = level.shard_counts(width)
+    tolerance = width - 1 if level is RaidLevel.RAID1 else m
+    return float(
+        sum(
+            comb(width, j) * p_down**j * (1 - p_down) ** (width - j)
+            for j in range(tolerance + 1)
+        )
+    )
+
+
+def file_availability(
+    level: RaidLevel, width: int, p_down: float, n_chunks: int
+) -> float:
+    """P(whole file readable): every chunk's stripe must be readable.
+
+    Conservative independence approximation -- real stripes share
+    providers, which *correlates* their failures and makes the true file
+    availability at least this value when stripes overlap completely.
+    """
+    if n_chunks < 0:
+        raise ValueError(f"n_chunks must be >= 0, got {n_chunks}")
+    return stripe_availability(level, width, p_down) ** n_chunks
+
+
+def mttdl_ratio(level_a: RaidLevel, level_b: RaidLevel, width: int, p_down: float) -> float:
+    """Unavailability ratio of two levels (how many times fewer failed
+    reads *level_a* suffers than *level_b* at the same width)."""
+    ua = 1.0 - stripe_availability(level_a, width, p_down)
+    ub = 1.0 - stripe_availability(level_b, width, p_down)
+    if ua == 0:
+        return float("inf")
+    return ub / ua

@@ -1,0 +1,124 @@
+"""Deployment consistency verification.
+
+The distributor's metadata and the providers' object stores can drift:
+blobs silently lost (§III-A's failure modes), garbage left behind by a
+provider that was down during a delete, or corruption at rest.  The
+checker cross-audits the two sides without touching payload bytes (HEAD
+requests only) and reports every discrepancy so operators can drive
+repair (`repair_file`) or garbage collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.distributor import CloudDataDistributor
+from repro.core.errors import ProviderError
+from repro.core.virtual_id import shard_key, snapshot_key
+
+
+@dataclass(frozen=True)
+class ShardIssue:
+    virtual_id: int
+    shard_index: int
+    provider: str
+    problem: str  # "missing" | "unreachable"
+
+
+@dataclass
+class ConsistencyReport:
+    shards_checked: int = 0
+    snapshots_checked: int = 0
+    missing: list[ShardIssue] = field(default_factory=list)
+    orphans: dict[str, list[str]] = field(default_factory=dict)
+    unreachable_providers: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.missing and not any(self.orphans.values())
+
+    def summary(self) -> str:
+        orphan_count = sum(len(v) for v in self.orphans.values())
+        return (
+            f"{self.shards_checked} shards + {self.snapshots_checked} "
+            f"snapshots checked: {len(self.missing)} missing, "
+            f"{orphan_count} orphan object(s), "
+            f"{len(self.unreachable_providers)} provider(s) unreachable"
+        )
+
+
+def verify_deployment(distributor: CloudDataDistributor) -> ConsistencyReport:
+    """Cross-audit metadata against provider contents.
+
+    * every shard and snapshot referenced by the Chunk Table must exist at
+      its recorded provider (``missing`` otherwise);
+    * every object at a provider must be referenced by the tables
+      (``orphans`` otherwise -- eligible for garbage collection);
+    * unreachable providers are reported separately (their objects can be
+      neither confirmed nor condemned).
+    """
+    report = ConsistencyReport()
+    expected: dict[str, set[str]] = {
+        name: set() for name in distributor.registry.names()
+    }
+    for _, entry in distributor.chunk_table:
+        for shard_index, table_index in enumerate(entry.provider_indices):
+            name = distributor.provider_table.get(table_index).name
+            expected[name].add(shard_key(entry.virtual_id, shard_index))
+        if entry.snapshot_index is not None:
+            name = distributor.provider_table.get(entry.snapshot_index).name
+            expected[name].add(snapshot_key(entry.virtual_id))
+
+    for name in distributor.registry.names():
+        provider = distributor.registry.get(name).provider
+        try:
+            present = set(provider.keys())
+        except ProviderError:
+            report.unreachable_providers.append(name)
+            continue
+        for key in sorted(expected[name]):
+            is_snapshot = key.startswith("S")
+            if is_snapshot:
+                report.snapshots_checked += 1
+            else:
+                report.shards_checked += 1
+            if key not in present:
+                if is_snapshot:
+                    vid = int(key[1:])
+                    shard_index = -1
+                else:
+                    stem, _, shard = key.partition(".")
+                    vid, shard_index = int(stem), int(shard)
+                report.missing.append(
+                    ShardIssue(
+                        virtual_id=vid,
+                        shard_index=shard_index,
+                        provider=name,
+                        problem="missing",
+                    )
+                )
+        orphans = sorted(present - expected[name])
+        if orphans:
+            report.orphans[name] = orphans
+    return report
+
+
+def collect_garbage(
+    distributor: CloudDataDistributor, report: ConsistencyReport | None = None
+) -> int:
+    """Delete orphan objects found by :func:`verify_deployment`.
+
+    Returns the number of objects removed.  Safe: only removes keys that
+    no table references at the moment of the (re)scan.
+    """
+    report = report or verify_deployment(distributor)
+    removed = 0
+    for name, keys in report.orphans.items():
+        provider = distributor.registry.get(name).provider
+        for key in keys:
+            try:
+                provider.delete(key)
+                removed += 1
+            except ProviderError:
+                continue
+    return removed

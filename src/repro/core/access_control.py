@@ -1,0 +1,124 @@
+"""Password/privacy-level access control (Sections IV-A and V).
+
+Each client registers a set of ⟨password, PL⟩ pairs; a password is
+"privileged enough" for a chunk iff its privacy level is **greater than or
+equal to** the chunk's privacy level.  This reproduces the paper's worked
+example: Bob's password ``x9pr`` (PL 1) may fetch chunk 0 of ``file1``
+(PL 1), while ``aB1c`` (PL 0) is denied.
+
+Passwords are stored salted-and-hashed, never in the clear.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass, field
+
+from repro.core.errors import AuthenticationError, UnknownClientError
+from repro.core.privacy import PrivacyLevel
+
+
+def _hash_password(password: str, salt: bytes) -> bytes:
+    return hashlib.pbkdf2_hmac("sha256", password.encode("utf-8"), salt, 1000)
+
+
+@dataclass
+class _Credential:
+    salt: bytes
+    digest: bytes
+    level: PrivacyLevel
+
+    def matches(self, password: str) -> bool:
+        return hmac.compare_digest(self.digest, _hash_password(password, self.salt))
+
+
+@dataclass
+class AccessController:
+    """Registry of clients and their ⟨password, PL⟩ credential sets."""
+
+    _clients: dict[str, list[_Credential]] = field(default_factory=dict)
+
+    def register_client(self, client_name: str) -> None:
+        """Create an (initially credential-less) client entry."""
+        if client_name in self._clients:
+            raise ValueError(f"client {client_name!r} already registered")
+        self._clients[client_name] = []
+
+    def add_password(
+        self, client_name: str, password: str, level: PrivacyLevel | int
+    ) -> None:
+        """Attach a ⟨password, PL⟩ pair to *client_name*.
+
+        The paper associates "a group of users with a ⟨password, PL⟩ pair at
+        client side"; a client therefore typically holds one password per
+        privilege tier.
+        """
+        creds = self._require_client(client_name)
+        pl = PrivacyLevel.coerce(level)
+        salt = os.urandom(16)
+        creds.append(_Credential(salt, _hash_password(password, salt), pl))
+
+    def authenticate(self, client_name: str, password: str) -> PrivacyLevel:
+        """Return the privacy level of *password* for *client_name*.
+
+        Raises :class:`AuthenticationError` for an unknown password and
+        :class:`UnknownClientError` for an unknown client.
+        """
+        creds = self._require_client(client_name)
+        for cred in creds:
+            if cred.matches(password):
+                return cred.level
+        raise AuthenticationError(
+            f"invalid password for client {client_name!r}"
+        )
+
+    def is_authorized(
+        self, client_name: str, password: str, chunk_level: PrivacyLevel | int
+    ) -> bool:
+        """True iff *password* may access a chunk at *chunk_level*.
+
+        Authorization rule (Section V): granted iff the password's privilege
+        level >= the chunk's privacy level.  Authentication failures
+        propagate as exceptions; this returns False only on a pure
+        privilege shortfall.
+        """
+        granted = self.authenticate(client_name, password)
+        return int(granted) >= int(PrivacyLevel.coerce(chunk_level))
+
+    def knows_client(self, client_name: str) -> bool:
+        return client_name in self._clients
+
+    def _require_client(self, client_name: str) -> list[_Credential]:
+        try:
+            return self._clients[client_name]
+        except KeyError:
+            raise UnknownClientError(
+                f"no client named {client_name!r}"
+            ) from None
+
+    # -- replication / persistence -----------------------------------------
+
+    def export_state(self) -> dict:
+        """Serializable snapshot (hashed credentials only) for replication."""
+        return {
+            name: [
+                (c.salt.hex(), c.digest.hex(), int(c.level)) for c in creds
+            ]
+            for name, creds in self._clients.items()
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Replace this controller's contents with an exported snapshot."""
+        self._clients = {
+            name: [
+                _Credential(
+                    bytes.fromhex(salt),
+                    bytes.fromhex(digest),
+                    PrivacyLevel.coerce(level),
+                )
+                for salt, digest, level in creds
+            ]
+            for name, creds in state.items()
+        }

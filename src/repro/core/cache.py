@@ -1,0 +1,77 @@
+"""Distributor-side chunk cache.
+
+The paper's conclusion flags "performance overhead when client needs to
+access all data frequently" as the system's main cost.  A small LRU cache
+of decoded chunk payloads at the distributor absorbs repeated reads
+without touching providers (authorization still runs per request --
+caching sits below the access check, keyed by virtual id).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class ChunkCache:
+    """Byte-capacity-bounded LRU of decoded chunk payloads."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[int, bytes] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, virtual_id: int) -> bytes | None:
+        """Cached payload for *virtual_id*, refreshing its recency."""
+        payload = self._entries.get(virtual_id)
+        if payload is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(virtual_id)
+        self.hits += 1
+        return payload
+
+    def put(self, virtual_id: int, payload: bytes) -> None:
+        """Insert/refresh a payload, evicting LRU entries over capacity.
+
+        Payloads larger than the whole cache are not cached at all.
+        """
+        if len(payload) > self.capacity_bytes:
+            return
+        old = self._entries.pop(virtual_id, None)
+        if old is not None:
+            self._bytes -= len(old)
+        self._entries[virtual_id] = payload
+        self._bytes += len(payload)
+        while self._bytes > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= len(evicted)
+            self.evictions += 1
+
+    def invalidate(self, virtual_id: int) -> None:
+        old = self._entries.pop(virtual_id, None)
+        if old is not None:
+            self._bytes -= len(old)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+    @property
+    def stored_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, virtual_id: int) -> bool:
+        return virtual_id in self._entries

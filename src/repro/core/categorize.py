@@ -1,0 +1,159 @@
+"""Mining-sensitivity categorization (Section I's first pipeline stage).
+
+"The categorization of data is done according to mining sensitivity.
+Mining sensitivity in this context refers to the significance of
+information that can be leaked by mining."  The paper has clients pick the
+privacy level by hand; this module adds an advisory classifier that scores
+a file's mining sensitivity from its content, so a client (or a policy
+engine) can sanity-check the chosen PL.
+
+The heuristics mirror the paper's own examples of what mining leaks:
+financial records (Table IV's bidding history), health/legal attributes
+(Section II-A), GPS trajectories (Section VIII), and credentials.  The
+result is advisory -- ``suggest_level`` never *overrides* a client choice,
+and ``check_level`` only flags when a file looks more sensitive than the
+level the client assigned.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.privacy import PrivacyLevel
+
+#: Keyword families, each with the sensitivity weight its presence adds.
+_KEYWORDS: dict[str, tuple[float, tuple[str, ...]]] = {
+    "financial": (2.0, ("salary", "income", "account", "bid", "invoice",
+                        "balance", "payment", "iban", "price")),
+    "health": (3.0, ("diagnosis", "cholesterol", "illness", "patient",
+                     "prescription", "blood", "disease", "risk")),
+    "legal": (2.5, ("criminal", "lawsuit", "verdict", "conviction", "court")),
+    "credentials": (3.0, ("password", "passwd", "secret", "token", "apikey",
+                          "private_key")),
+    "identity": (2.5, ("ssn", "passport", "national_id", "birthdate",
+                       "address", "phone")),
+}
+
+_GPS_PAIR = re.compile(
+    r"(?<![\d.])-?\d{1,3}\.\d{3,}\s*,\s*-?\d{1,3}\.\d{3,}(?![\d.])"
+)
+_MONEY = re.compile(r"(?:\$|usd|eur|bdt)\s?\d[\d,]*(?:\.\d+)?", re.IGNORECASE)
+_EMAIL = re.compile(r"[\w.+-]+@[\w-]+\.[\w.]+")
+
+
+@dataclass(frozen=True)
+class CategorySuggestion:
+    """An advisory sensitivity assessment for one file."""
+
+    level: PrivacyLevel
+    score: float
+    reasons: tuple[str, ...]
+    tabular: bool
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        why = "; ".join(self.reasons) or "no sensitive signals"
+        return f"PL {int(self.level)} (score {self.score:.1f}): {why}"
+
+
+def shannon_entropy(data: bytes) -> float:
+    """Bits of entropy per byte (8.0 = uniformly random)."""
+    if not data:
+        return 0.0
+    counts = Counter(data)
+    total = len(data)
+    return -sum(
+        (c / total) * math.log2(c / total) for c in counts.values()
+    )
+
+
+def _looks_tabular(text: str) -> bool:
+    lines = [line for line in text.splitlines() if line.strip()]
+    if len(lines) < 3:
+        return False
+    arities = Counter(line.count(",") for line in lines[:50])
+    arity, hits = arities.most_common(1)[0]
+    return arity >= 1 and hits >= 0.7 * min(len(lines), 50)
+
+
+def suggest_level(data: bytes, sample_bytes: int = 64 * 1024) -> CategorySuggestion:
+    """Advisory mining-sensitivity classification of *data*.
+
+    Scores content signals (sensitive keyword families, GPS coordinate
+    pairs, money amounts, e-mail addresses, tabular structure) and maps
+    the total to PL 0-3.  High-entropy opaque blobs score MODERATE by
+    default: unparseable data leaks little to mining, but the classifier
+    cannot vouch for it either.
+    """
+    sample = data[:sample_bytes]
+    if not sample:
+        return CategorySuggestion(
+            level=PrivacyLevel.PUBLIC, score=0.0, reasons=("empty file",),
+            tabular=False,
+        )
+    entropy = shannon_entropy(sample)
+    try:
+        text = sample.decode("utf-8")
+    except UnicodeDecodeError:
+        text = None
+    if text is None or entropy > 7.5:
+        return CategorySuggestion(
+            level=PrivacyLevel.MODERATE,
+            score=4.0,
+            reasons=(f"opaque binary (entropy {entropy:.2f} bits/byte)",),
+            tabular=False,
+        )
+
+    lowered = text.lower()
+    score = 0.0
+    reasons: list[str] = []
+    for family, (weight, words) in _KEYWORDS.items():
+        hits = [w for w in words if w in lowered]
+        if hits:
+            score += weight
+            reasons.append(f"{family} terms ({', '.join(hits[:3])})")
+
+    gps_hits = len(_GPS_PAIR.findall(text))
+    if gps_hits >= 3:
+        score += 3.0
+        reasons.append(f"{gps_hits} GPS-like coordinate pairs")
+    money_hits = len(_MONEY.findall(text))
+    if money_hits >= 3:
+        score += 2.0
+        reasons.append(f"{money_hits} money amounts")
+    email_hits = len(_EMAIL.findall(text))
+    if email_hits >= 2:
+        score += 1.5
+        reasons.append(f"{email_hits} e-mail addresses")
+
+    tabular = _looks_tabular(text)
+    if tabular and score > 0:
+        # Structured sensitive records are exactly what mining eats.
+        score += 1.5
+        reasons.append("tabular record structure (mineable)")
+
+    if score >= 6.0:
+        level = PrivacyLevel.PRIVATE
+    elif score >= 3.5:
+        level = PrivacyLevel.MODERATE
+    elif score >= 1.5:
+        level = PrivacyLevel.LOW
+    else:
+        level = PrivacyLevel.PUBLIC
+    return CategorySuggestion(
+        level=level, score=score, reasons=tuple(reasons), tabular=tabular
+    )
+
+
+def check_level(
+    data: bytes, chosen: PrivacyLevel | int
+) -> tuple[bool, CategorySuggestion]:
+    """Does the client's *chosen* PL look sufficient for *data*?
+
+    Returns ``(ok, suggestion)``: ``ok`` is False when the classifier
+    scores the content strictly more sensitive than the chosen level.
+    """
+    suggestion = suggest_level(data)
+    return int(PrivacyLevel.coerce(chosen)) >= int(suggestion.level), suggestion

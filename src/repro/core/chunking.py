@@ -1,0 +1,90 @@
+"""File fragmentation and reassembly (Sections IV-A and VI).
+
+``split`` cuts a file into fixed-size chunks whose size is dictated by the
+file's privacy level (higher sensitivity -> smaller chunks, starving a
+single provider of observations); ``join`` is its exact inverse.  Each chunk
+carries the parent file's privacy level and its serial number ("Serial no.
+corresponds to the position of the chunk within the file").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.privacy import ChunkSizePolicy, PrivacyLevel
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One fragment of a client file.
+
+    ``serial`` is the chunk's position in the file, ``level`` is inherited
+    from the parent file, and ``payload`` is the raw fragment bytes (before
+    any misleading-byte injection).
+    """
+
+    serial: int
+    level: PrivacyLevel
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if self.serial < 0:
+            raise ValueError(f"serial must be >= 0, got {self.serial}")
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+
+def split(
+    data: bytes,
+    level: PrivacyLevel | int,
+    policy: ChunkSizePolicy | None = None,
+    chunk_size: int | None = None,
+) -> list[Chunk]:
+    """Split *data* into serially numbered chunks.
+
+    The chunk size comes from *chunk_size* if given, otherwise from
+    *policy* (defaulting to the paper's PL-based schedule).  An empty file
+    yields a single empty chunk so that every stored file has at least one
+    retrievable unit.
+    """
+    pl = PrivacyLevel.coerce(level)
+    if chunk_size is None:
+        chunk_size = (policy or ChunkSizePolicy()).chunk_size(pl)
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if not data:
+        return [Chunk(serial=0, level=pl, payload=b"")]
+    return [
+        Chunk(serial=i, level=pl, payload=data[off : off + chunk_size])
+        for i, off in enumerate(range(0, len(data), chunk_size))
+    ]
+
+
+def join(chunks: list[Chunk]) -> bytes:
+    """Reassemble a file from its chunks (inverse of :func:`split`).
+
+    Chunks may arrive in any order; serial numbers must form the contiguous
+    range ``0..n-1`` with no duplicates.
+    """
+    if not chunks:
+        raise ValueError("cannot join an empty chunk list")
+    ordered = sorted(chunks, key=lambda c: c.serial)
+    serials = [c.serial for c in ordered]
+    if serials != list(range(len(ordered))):
+        raise ValueError(
+            f"chunk serials must be contiguous 0..{len(ordered) - 1}, got {serials}"
+        )
+    return b"".join(c.payload for c in ordered)
+
+
+def chunk_count(file_size: int, chunk_size: int) -> int:
+    """Number of chunks :func:`split` produces for a file of *file_size*."""
+    if file_size < 0:
+        raise ValueError(f"file_size must be >= 0, got {file_size}")
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if file_size == 0:
+        return 1
+    return -(-file_size // chunk_size)

@@ -1,0 +1,89 @@
+"""Client-side façade (Section V's application architecture).
+
+Applications "request for individual chunk by providing (client name,
+password, filename, sl no.) or for all chunks of a file by providing
+(client name, password, filename)".  :class:`CloudClient` packages that
+quadruple-passing so application code reads naturally; it holds no secret
+state beyond what the caller passes in.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.core.distributor import FileReceipt, RepairReport
+from repro.core.privacy import PrivacyLevel
+
+
+class DistributorLike(Protocol):
+    """Anything that speaks the distributor protocol (single or group)."""
+
+    def register_client(self, name: str) -> None: ...
+    def add_password(self, client: str, password: str, level) -> None: ...
+    def upload_file(self, client, password, filename, data, level, **kw): ...
+    def get_chunk(self, client, password, filename, serial) -> bytes: ...
+    def get_file(self, client, password, filename) -> bytes: ...
+    def remove_chunk(self, client, password, filename, serial) -> None: ...
+    def remove_file(self, client, password, filename) -> None: ...
+    def chunk_count(self, client, filename) -> int: ...
+
+
+class CloudClient:
+    """One client's handle on a distributor (or distributor group)."""
+
+    def __init__(self, distributor: DistributorLike, name: str) -> None:
+        self.distributor = distributor
+        self.name = name
+
+    @classmethod
+    def register(
+        cls,
+        distributor: DistributorLike,
+        name: str,
+        passwords: dict[str, PrivacyLevel | int] | None = None,
+    ) -> "CloudClient":
+        """Create the account and attach its ⟨password, PL⟩ pairs."""
+        distributor.register_client(name)
+        for password, level in (passwords or {}).items():
+            distributor.add_password(name, password, level)
+        return cls(distributor, name)
+
+    def add_password(self, password: str, level: PrivacyLevel | int) -> None:
+        self.distributor.add_password(self.name, password, level)
+
+    def upload(
+        self,
+        password: str,
+        filename: str,
+        data: bytes,
+        level: PrivacyLevel | int,
+        **kwargs,
+    ) -> FileReceipt:
+        return self.distributor.upload_file(
+            self.name, password, filename, data, level, **kwargs
+        )
+
+    def download(self, password: str, filename: str) -> bytes:
+        return self.distributor.get_file(self.name, password, filename)
+
+    def download_chunk(self, password: str, filename: str, serial: int) -> bytes:
+        return self.distributor.get_chunk(self.name, password, filename, serial)
+
+    def remove(self, password: str, filename: str) -> None:
+        self.distributor.remove_file(self.name, password, filename)
+
+    def remove_chunk(self, password: str, filename: str, serial: int) -> None:
+        self.distributor.remove_chunk(self.name, password, filename, serial)
+
+    def update_chunk(
+        self, password: str, filename: str, serial: int, new_payload: bytes
+    ) -> None:
+        self.distributor.update_chunk(
+            self.name, password, filename, serial, new_payload
+        )
+
+    def chunk_count(self, filename: str) -> int:
+        return self.distributor.chunk_count(self.name, filename)
+
+    def repair(self, password: str, filename: str) -> RepairReport:
+        return self.distributor.repair_file(self.name, password, filename)  # type: ignore[attr-defined]

@@ -1,0 +1,739 @@
+"""The Cloud Data Distributor (Sections IV-A, V and VI).
+
+"Cloud Data Distributor is the entity that receives data (files) from
+clients, performs fragmentation of data (splits files into chunks) and
+distributes these fragments (chunks) among Cloud Providers.  It also
+participates in data retrieving procedure...  Clients do not interact with
+Cloud Providers directly rather via Cloud Data Distributor."
+
+This module implements the abstract functions of Section VI --
+``split``/``distribute`` for upload, ``get_chunk``/``get_file``/``get`` for
+retrieval, ``remove_chunk``/``remove_file``/``remove`` for deletion -- plus
+chunk modification with snapshotting, RAID repair, and the bookkeeping of
+the three metadata tables.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+from repro.core import chunking
+from repro.core.access_control import AccessController
+from repro.core.audit import AuditLog
+from repro.core.cache import ChunkCache
+from repro.core.errors import (
+    AuthorizationError,
+    PlacementError,
+    ProviderError,
+    ReproError,
+    UnknownChunkError,
+)
+from repro.core.misleading import inject, remove as remove_misleading
+from repro.core.placement import PlacementPolicy
+from repro.core.privacy import ChunkSizePolicy, PrivacyLevel
+from repro.core.snapshots import SnapshotManager
+from repro.core.tables import (
+    ChunkEntry,
+    ChunkTable,
+    ClientTable,
+    CloudProviderTable,
+    FileChunkRef,
+)
+from repro.core.virtual_id import VirtualIdAllocator, shard_key
+from repro.providers.registry import ProviderRegistry
+from repro.providers.simulated import ParallelWindow, SimulatedProvider
+from repro.raid.reconstruct import read_stripe, rebuild_shard
+from repro.raid.striping import RaidLevel, StripeMeta, encode_stripe
+from repro.util.rng import SeedLike, derive_rng, spawn_seeds
+
+
+@dataclass(frozen=True)
+class FileReceipt:
+    """Returned to the client after upload: "The total number of chunks for
+    each file is notified to the client so that any chunk can be asked by
+    the client by mentioning the filename and serial no."""
+
+    filename: str
+    privacy_level: PrivacyLevel
+    chunk_count: int
+    file_size: int
+    raid_level: RaidLevel
+    stripe_width: int
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Outcome of a repair pass over one file."""
+
+    filename: str
+    chunks_checked: int
+    shards_missing: int
+    shards_rebuilt: int
+    chunks_unrecoverable: int
+    relocations: list[tuple[int, int, str, str]] = field(default_factory=list)
+    # (virtual_id, shard_index, old_provider, new_provider)
+
+
+@dataclass
+class _ChunkState:
+    """Distributor-private per-chunk state beyond the paper's Table III."""
+
+    stripe: StripeMeta
+    rotation: int
+
+
+class CloudDataDistributor:
+    """The agent of clients toward the provider fleet."""
+
+    def __init__(
+        self,
+        registry: ProviderRegistry,
+        chunk_policy: ChunkSizePolicy | None = None,
+        placement: PlacementPolicy | None = None,
+        raid_level: RaidLevel = RaidLevel.RAID5,
+        stripe_width: int | None = None,
+        seed: SeedLike = None,
+        audit: "AuditLog | None" = None,
+        cache: "ChunkCache | None" = None,
+    ) -> None:
+        seeds = spawn_seeds(seed, 3)
+        self.audit = audit
+        self.cache = cache
+        self.registry = registry
+        self.chunk_policy = chunk_policy or ChunkSizePolicy()
+        self.placement = placement or PlacementPolicy(seed=seeds[0])
+        self.default_raid_level = raid_level
+        self.default_stripe_width = stripe_width
+        self.ids = VirtualIdAllocator(seed=seeds[1])
+        self._rng = derive_rng(seeds[2])
+
+        self.access = AccessController()
+        self.provider_table = CloudProviderTable()
+        self.client_table = ClientTable()
+        self.chunk_table = ChunkTable()
+        self.snapshots = SnapshotManager(registry, self.placement)
+        self._chunk_state: dict[int, _ChunkState] = {}
+
+        for entry in registry.all():
+            self.provider_table.add(
+                entry.name, entry.privacy_level, entry.cost_level
+            )
+
+    # ------------------------------------------------------------------
+    # client management
+    # ------------------------------------------------------------------
+
+    def register_client(self, name: str) -> None:
+        """Create a client account (no credentials yet)."""
+        self.access.register_client(name)
+        self.client_table.add(name)
+
+    def add_password(
+        self, client: str, password: str, level: PrivacyLevel | int
+    ) -> None:
+        """Attach a ⟨password, PL⟩ pair to an existing client."""
+        pl = PrivacyLevel.coerce(level)
+        self.access.add_password(client, password, pl)
+        self.client_table.get(client).password_levels.append(pl)
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+
+    def _authorize(
+        self, client: str, password: str, level: PrivacyLevel | int
+    ) -> None:
+        if not self.access.is_authorized(client, password, level):
+            raise AuthorizationError(
+                f"password of client {client!r} is not privileged enough for "
+                f"PL {int(PrivacyLevel.coerce(level))} data"
+            )
+
+    def _provider_load(self) -> dict[str, int]:
+        return {
+            entry.name: entry.count for _, entry in self.provider_table
+        }
+
+    def _audited(self, operation, client, filename, serial, fn):
+        """Run *fn*, recording the outcome in the audit log (if attached)."""
+        if self.audit is None:
+            return fn()
+        try:
+            result = fn()
+        except ReproError as exc:
+            self.audit.record(
+                operation, client, filename, serial,
+                ok=False, detail=type(exc).__name__,
+            )
+            raise
+        self.audit.record(operation, client, filename, serial, ok=True)
+        return result
+
+    def _parallel_window(self):
+        """A context that charges overlapping provider requests as
+        concurrent (Section VII-E's "parallel query processing").
+
+        Falls back to a no-op when the fleet is not simulated-clock based.
+        """
+        for entry in self.registry.all():
+            if isinstance(entry.provider, SimulatedProvider):
+                return ParallelWindow(entry.provider.clock)
+        return contextlib.nullcontext()
+
+    def _stripe_width_for(self, level: PrivacyLevel, raid: RaidLevel) -> int:
+        if self.default_stripe_width is not None:
+            return self.default_stripe_width
+        available = self.placement.max_stripe_width(self.registry, level)
+        # Spread as wide as the paper intends (more targets for the
+        # attacker) but cap so huge fleets don't shred tiny chunks.
+        return max(raid.min_width, min(available, 4))
+
+    def _store_chunk(
+        self,
+        payload: bytes,
+        level: PrivacyLevel,
+        serial: int,
+        raid: RaidLevel,
+        width: int,
+        misleading_fraction: float,
+    ) -> int:
+        """Encode, place and upload one chunk; returns its chunk-table index."""
+        positions: tuple[int, ...] = ()
+        stored = payload
+        if misleading_fraction > 0:
+            result = inject(payload, misleading_fraction, rng=self._rng)
+            stored, positions = result.stored, result.positions
+
+        meta, shards = encode_stripe(stored, raid, width)
+        group = self.placement.stripe_group(
+            self.registry, level, width, load=self._provider_load()
+        )
+        vid = self.ids.allocate()
+        # Rotate the shard->provider assignment by serial so parity cycles
+        # around the group, RAID-5 style.
+        rotated = group[serial % width :] + group[: serial % width]
+        provider_indices: list[int] = []
+        try:
+            for shard_index, provider_name in enumerate(rotated):
+                key = shard_key(vid, shard_index)
+                self.registry.get(provider_name).provider.put(
+                    key, shards[shard_index]
+                )
+                table_index = self.provider_table.index_of(provider_name)
+                self.provider_table.record_store(table_index, key)
+                provider_indices.append(table_index)
+        except ProviderError:
+            # A stripe member failed mid-upload: roll the chunk back so no
+            # partial state leaks into the tables or the fleet.
+            for shard_index, table_index in enumerate(provider_indices):
+                key = shard_key(vid, shard_index)
+                name = self.provider_table.get(table_index).name
+                with contextlib.suppress(ProviderError):
+                    self.registry.get(name).provider.delete(key)
+                self.provider_table.record_remove(table_index, key)
+            self.ids.release(vid)
+            raise
+
+        chunk_index = self.chunk_table.add(
+            ChunkEntry(
+                virtual_id=vid,
+                privacy_level=level,
+                provider_indices=provider_indices,
+                snapshot_index=None,
+                misleading_positions=positions,
+            )
+        )
+        self._chunk_state[vid] = _ChunkState(stripe=meta, rotation=serial % width)
+        return chunk_index
+
+    def _fetch_chunk_payload(self, entry: ChunkEntry) -> bytes:
+        """Degraded-read a chunk's stripe and strip misleading bytes.
+
+        Served from the chunk cache when attached (filled on miss,
+        invalidated by update/remove).
+        """
+        if self.cache is not None:
+            cached = self.cache.get(entry.virtual_id)
+            if cached is not None:
+                return cached
+        state = self._chunk_state[entry.virtual_id]
+
+        def fetch(shard_index: int) -> bytes:
+            table_index = entry.provider_indices[shard_index]
+            name = self.provider_table.get(table_index).name
+            return self.registry.get(name).provider.get(
+                shard_key(entry.virtual_id, shard_index)
+            )
+
+        stored, _failed = read_stripe(state.stripe, fetch)
+        payload = remove_misleading(stored, entry.misleading_positions)
+        if self.cache is not None:
+            self.cache.put(entry.virtual_id, payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    # upload path: split() + distribute()          (Section VI)
+    # ------------------------------------------------------------------
+
+    def upload_file(
+        self,
+        client: str,
+        password: str,
+        filename: str,
+        data: bytes,
+        level: PrivacyLevel | int,
+        raid_level: RaidLevel | None = None,
+        stripe_width: int | None = None,
+        misleading_fraction: float = 0.0,
+        parallel: bool = False,
+    ) -> FileReceipt:
+        """Receive a file, split it, and distribute the chunks.
+
+        The client's password must be privileged for the file's privacy
+        level.  Chunk size follows the PL schedule; each chunk is
+        RAID-striped over a freshly chosen provider group.  With
+        ``parallel=True`` shard uploads overlap across providers.
+        """
+        pl = PrivacyLevel.coerce(level)
+        try:
+            self._authorize(client, password, pl)
+        except ReproError as exc:
+            if self.audit is not None:
+                self.audit.record("upload", client, filename, None,
+                                  ok=False, detail=type(exc).__name__)
+            raise
+        client_entry = self.client_table.get(client)
+        if any(ref.filename == filename for ref in client_entry.chunk_refs):
+            raise ValueError(
+                f"client {client!r} already stores a file named {filename!r}"
+            )
+        raid = raid_level or self.default_raid_level
+        width = stripe_width or self._stripe_width_for(pl, raid)
+
+        chunks = chunking.split(data, pl, policy=self.chunk_policy)
+        window = self._parallel_window() if parallel else contextlib.nullcontext()
+        stored_refs: list[FileChunkRef] = []
+        try:
+            with window:
+                for chunk in chunks:
+                    chunk_index = self._store_chunk(
+                        chunk.payload, pl, chunk.serial, raid, width,
+                        misleading_fraction,
+                    )
+                    ref = FileChunkRef(
+                        filename=filename,
+                        serial=chunk.serial,
+                        privacy_level=pl,
+                        chunk_index=chunk_index,
+                    )
+                    client_entry.chunk_refs.append(ref)
+                    stored_refs.append(ref)
+        except (ProviderError, PlacementError) as exc:
+            # Roll back chunks already distributed so the upload is atomic:
+            # either the whole file is stored or none of it is.
+            for ref in stored_refs:
+                self._delete_chunk(ref)
+                client_entry.chunk_refs.remove(ref)
+            if self.audit is not None:
+                self.audit.record("upload", client, filename, None,
+                                  ok=False, detail=type(exc).__name__)
+            raise
+        if self.audit is not None:
+            self.audit.record("upload", client, filename, None, ok=True)
+        return FileReceipt(
+            filename=filename,
+            privacy_level=pl,
+            chunk_count=len(chunks),
+            file_size=len(data),
+            raid_level=raid,
+            stripe_width=width,
+        )
+
+    # ------------------------------------------------------------------
+    # retrieval path: get_chunk() / get_file()      (Sections V and VI)
+    # ------------------------------------------------------------------
+
+    def get_chunk(
+        self, client: str, password: str, filename: str, serial: int
+    ) -> bytes:
+        """Fetch one chunk by (client name, password, filename, sl no.).
+
+        Reproduces the paper's resolution chain: Client Table quadruple ->
+        Chunk Table entry -> Cloud Provider Table row -> provider ``get``.
+        """
+
+        def work() -> bytes:
+            ref = self.client_table.get(client).ref_for_chunk(filename, serial)
+            self._authorize(client, password, ref.privacy_level)
+            entry = self.chunk_table.get(ref.chunk_index)
+            return self._fetch_chunk_payload(entry)
+
+        return self._audited("get_chunk", client, filename, serial, work)
+
+    def get_file(
+        self, client: str, password: str, filename: str, parallel: bool = False
+    ) -> bytes:
+        """Fetch and reassemble every chunk of *filename*.
+
+        With ``parallel=True`` the shard fetches of all chunks overlap
+        across providers (one serial chain per provider), modelling the
+        parallel query processing Section VII-E credits fragmentation
+        with; simulated time drops to the critical path.
+        """
+        def work() -> bytes:
+            refs = self.client_table.get(client).refs_for_file(filename)
+            self._authorize(client, password, refs[0].privacy_level)
+            window = (
+                self._parallel_window() if parallel else contextlib.nullcontext()
+            )
+            with window:
+                chunks = [
+                    chunking.Chunk(
+                        serial=ref.serial,
+                        level=ref.privacy_level,
+                        payload=self._fetch_chunk_payload(
+                            self.chunk_table.get(ref.chunk_index)
+                        ),
+                    )
+                    for ref in refs
+                ]
+            return chunking.join(chunks)
+
+        return self._audited("get_file", client, filename, None, work)
+
+    def chunk_count(self, client: str, filename: str) -> int:
+        """How many chunks *filename* was split into (told to the client)."""
+        return len(self.client_table.get(client).refs_for_file(filename))
+
+    def list_files(self, client: str, password: str) -> list[str]:
+        """Filenames the password may see (PL of file <= password PL)."""
+        granted = self.access.authenticate(client, password)
+        entry = self.client_table.get(client)
+        return [
+            name
+            for name in entry.filenames()
+            if int(entry.refs_for_file(name)[0].privacy_level) <= int(granted)
+        ]
+
+    # ------------------------------------------------------------------
+    # removal path: remove_chunk() / remove_file()   (Section VI)
+    # ------------------------------------------------------------------
+
+    def _delete_chunk(self, ref: FileChunkRef) -> None:
+        entry = self.chunk_table.get(ref.chunk_index)
+        vid = entry.virtual_id
+        for shard_index, table_index in enumerate(entry.provider_indices):
+            name = self.provider_table.get(table_index).name
+            key = shard_key(vid, shard_index)
+            try:
+                self.registry.get(name).provider.delete(key)
+            except ProviderError:
+                # Best effort: a down provider keeps a garbage shard keyed by
+                # an id that no longer resolves to anything.
+                pass
+            self.provider_table.record_remove(table_index, key)
+        if entry.snapshot_index is not None:
+            name = self.provider_table.get(entry.snapshot_index).name
+            try:
+                self.snapshots.drop(name, vid)
+            except ProviderError:
+                pass
+        self.chunk_table.remove(ref.chunk_index)
+        del self._chunk_state[vid]
+        if self.cache is not None:
+            self.cache.invalidate(vid)
+        self.ids.release(vid)
+
+    def remove_chunk(
+        self, client: str, password: str, filename: str, serial: int
+    ) -> None:
+        """Remove one chunk; forwarded to every stripe member."""
+
+        def work() -> None:
+            client_entry = self.client_table.get(client)
+            ref = client_entry.ref_for_chunk(filename, serial)
+            self._authorize(client, password, ref.privacy_level)
+            self._delete_chunk(ref)
+            client_entry.chunk_refs.remove(ref)
+
+        self._audited("remove_chunk", client, filename, serial, work)
+
+    def remove_file(self, client: str, password: str, filename: str) -> None:
+        """Remove every chunk of *filename*."""
+
+        def work() -> None:
+            client_entry = self.client_table.get(client)
+            refs = client_entry.refs_for_file(filename)
+            self._authorize(client, password, refs[0].privacy_level)
+            for ref in refs:
+                self._delete_chunk(ref)
+                client_entry.chunk_refs.remove(ref)
+
+        self._audited("remove_file", client, filename, None, work)
+
+    # ------------------------------------------------------------------
+    # modification with snapshotting                (Table III's SP column)
+    # ------------------------------------------------------------------
+
+    def update_chunk(
+        self,
+        client: str,
+        password: str,
+        filename: str,
+        serial: int,
+        new_payload: bytes,
+    ) -> None:
+        """Replace a chunk's contents, snapshotting the pre-state first.
+
+        The pre-modification payload is written to a snapshot provider
+        (preferably outside the stripe group) and the Chunk Table's SP
+        column updated, per Table III.
+        """
+        if self.audit is not None:
+            return self._audited(
+                "update_chunk", client, filename, serial,
+                lambda: self._update_chunk_inner(
+                    client, password, filename, serial, new_payload
+                ),
+            )
+        return self._update_chunk_inner(
+            client, password, filename, serial, new_payload
+        )
+
+    def _update_chunk_inner(
+        self,
+        client: str,
+        password: str,
+        filename: str,
+        serial: int,
+        new_payload: bytes,
+    ) -> None:
+        ref = self.client_table.get(client).ref_for_chunk(filename, serial)
+        self._authorize(client, password, ref.privacy_level)
+        entry = self.chunk_table.get(ref.chunk_index)
+        vid = entry.virtual_id
+        state = self._chunk_state[vid]
+
+        pre_state = self._fetch_chunk_payload(entry)
+        stripe_names = {
+            self.provider_table.get(i).name for i in entry.provider_indices
+        }
+        snap_name = self.snapshots.choose_provider(
+            entry.privacy_level, exclude=stripe_names, load=self._provider_load()
+        )
+        snap_table_index = self.provider_table.index_of(snap_name)
+        if entry.snapshot_index is not None and entry.snapshot_index != snap_table_index:
+            old_name = self.provider_table.get(entry.snapshot_index).name
+            try:
+                self.snapshots.drop(old_name, vid)
+            except ProviderError:
+                pass
+        key = self.snapshots.write(snap_name, vid, pre_state)
+        self.provider_table.record_store(snap_table_index, key)
+        entry.snapshot_index = snap_table_index
+
+        # Re-inject misleading bytes at the same budget the chunk had.
+        positions: tuple[int, ...] = ()
+        stored = new_payload
+        if entry.misleading_positions:
+            fraction = len(entry.misleading_positions) / max(
+                1, state.stripe.orig_len - len(entry.misleading_positions)
+            )
+            result = inject(new_payload, fraction, rng=self._rng)
+            stored, positions = result.stored, result.positions
+        meta, shards = encode_stripe(
+            stored, state.stripe.level, state.stripe.width
+        )
+        for shard_index, table_index in enumerate(entry.provider_indices):
+            name = self.provider_table.get(table_index).name
+            self.registry.get(name).provider.put(
+                shard_key(vid, shard_index), shards[shard_index]
+            )
+        entry.misleading_positions = positions
+        state.stripe = meta
+        if self.cache is not None:
+            self.cache.invalidate(vid)
+
+    def get_snapshot(
+        self, client: str, password: str, filename: str, serial: int
+    ) -> bytes:
+        """Read the pre-modification state of a chunk (if one exists)."""
+        ref = self.client_table.get(client).ref_for_chunk(filename, serial)
+        self._authorize(client, password, ref.privacy_level)
+        entry = self.chunk_table.get(ref.chunk_index)
+        if entry.snapshot_index is None:
+            raise UnknownChunkError(
+                f"chunk {serial} of {filename!r} has never been modified"
+            )
+        name = self.provider_table.get(entry.snapshot_index).name
+        return self.snapshots.read(name, entry.virtual_id)
+
+    # ------------------------------------------------------------------
+    # RAID repair
+    # ------------------------------------------------------------------
+
+    def repair_file(self, client: str, password: str, filename: str) -> RepairReport:
+        """Scrub every chunk of *filename*, rebuilding lost/corrupt shards.
+
+        Shards on unavailable or damaged providers are regenerated from the
+        surviving stripe members and relocated to a healthy eligible
+        provider outside the current group.
+        """
+        refs = self.client_table.get(client).refs_for_file(filename)
+        self._authorize(client, password, refs[0].privacy_level)
+        missing = rebuilt = unrecoverable = 0
+        relocations: list[tuple[int, int, str, str]] = []
+        for ref in refs:
+            entry = self.chunk_table.get(ref.chunk_index)
+            state = self._chunk_state[entry.virtual_id]
+            shards: dict[int, bytes] = {}
+            bad: list[int] = []
+            for shard_index, table_index in enumerate(entry.provider_indices):
+                name = self.provider_table.get(table_index).name
+                try:
+                    shards[shard_index] = self.registry.get(name).provider.get(
+                        shard_key(entry.virtual_id, shard_index)
+                    )
+                except ProviderError:
+                    bad.append(shard_index)
+            missing += len(bad)
+            if not bad:
+                continue
+            if len(shards) < state.stripe.k:
+                unrecoverable += 1
+                continue
+            group_names = {
+                self.provider_table.get(i).name for i in entry.provider_indices
+            }
+            for shard_index in bad:
+                old_table_index = entry.provider_indices[shard_index]
+                old_name = self.provider_table.get(old_table_index).name
+                new_name = self._choose_replacement(
+                    entry.privacy_level, group_names, old_name
+                )
+                if new_name is None:
+                    # No healthy eligible provider outside the stripe: the
+                    # chunk stays degraded (still readable) until one heals.
+                    continue
+                shard = rebuild_shard(state.stripe, shard_index, shards)
+                key = shard_key(entry.virtual_id, shard_index)
+                self.registry.get(new_name).provider.put(key, shard)
+                self.provider_table.record_remove(old_table_index, key)
+                new_table_index = self.provider_table.index_of(new_name)
+                self.provider_table.record_store(new_table_index, key)
+                entry.provider_indices[shard_index] = new_table_index
+                group_names.add(new_name)
+                relocations.append(
+                    (entry.virtual_id, shard_index, old_name, new_name)
+                )
+                rebuilt += 1
+        return RepairReport(
+            filename=filename,
+            chunks_checked=len(refs),
+            shards_missing=missing,
+            shards_rebuilt=rebuilt,
+            chunks_unrecoverable=unrecoverable,
+            relocations=relocations,
+        )
+
+    def _choose_replacement(
+        self, level: PrivacyLevel, group_names: set[str], failed_name: str
+    ) -> str | None:
+        """A healthy eligible provider to host a rebuilt shard.
+
+        Returns ``None`` when no healthy eligible provider exists outside
+        the stripe group and the failed provider itself is still down; the
+        caller leaves the chunk degraded rather than doubling up shards on
+        a surviving member (which would forfeit failure independence).
+        """
+        candidates = [
+            c
+            for c in self.placement.candidates(self.registry, level)
+            if c.name not in group_names
+        ]
+
+        def healthy(name: str) -> bool:
+            provider = self.registry.get(name).provider
+            return getattr(provider, "available", True)
+
+        candidates = [c for c in candidates if healthy(c.name)]
+        if not candidates:
+            if healthy(failed_name):
+                return failed_name  # same provider recovered; re-store there
+            return None
+        load = self._provider_load()
+        candidates.sort(key=lambda e: (int(e.cost_level), load.get(e.name, 0)))
+        return candidates[0].name
+
+    # ------------------------------------------------------------------
+    # introspection used by experiments
+    # ------------------------------------------------------------------
+
+    def provider_loads(self) -> dict[str, int]:
+        """Shard-object count per provider (Table I's Count column)."""
+        return self._provider_load()
+
+    # ------------------------------------------------------------------
+    # metadata replication (Fig. 2 secondaries) and persistence
+    # ------------------------------------------------------------------
+
+    def export_metadata(self) -> dict:
+        """Serializable snapshot of all distributor metadata.
+
+        Covers the three tables, hashed credentials, virtual-id state and
+        per-chunk stripe geometry -- everything a secondary distributor
+        needs to serve retrievals, and everything persistence needs to
+        survive a restart.  Provider *data* stays at the providers.
+        """
+        return {
+            "access": self.access.export_state(),
+            "provider_table": self.provider_table.export_state(),
+            "client_table": self.client_table.export_state(),
+            "chunk_table": self.chunk_table.export_state(),
+            "ids": self.ids.export_state(),
+            "chunk_state": {
+                vid: (
+                    state.stripe.level.value,
+                    state.stripe.width,
+                    state.stripe.k,
+                    state.stripe.m,
+                    state.stripe.shard_size,
+                    state.stripe.orig_len,
+                    state.rotation,
+                )
+                for vid, state in self._chunk_state.items()
+            },
+        }
+
+    def import_metadata(self, snapshot: dict) -> None:
+        """Replace this distributor's metadata with an exported snapshot."""
+        if self.cache is not None:
+            # Chunks may have been updated at the snapshot's source; a
+            # stale local cache must not outlive the old metadata.
+            self.cache.clear()
+        self.access.import_state(snapshot["access"])
+        self.provider_table.import_state(snapshot["provider_table"])
+        self.client_table.import_state(snapshot["client_table"])
+        self.chunk_table.import_state(snapshot["chunk_table"])
+        self.ids.import_state(snapshot["ids"])
+        self._chunk_state = {
+            int(vid): _ChunkState(
+                stripe=StripeMeta(
+                    level=RaidLevel(level),
+                    width=width,
+                    k=k,
+                    m=m,
+                    shard_size=shard_size,
+                    orig_len=orig_len,
+                ),
+                rotation=rotation,
+            )
+            for vid, (level, width, k, m, shard_size, orig_len, rotation)
+            in snapshot["chunk_state"].items()
+        }
+
+    def stripe_meta(self, client: str, filename: str, serial: int) -> StripeMeta:
+        ref = self.client_table.get(client).ref_for_chunk(filename, serial)
+        entry = self.chunk_table.get(ref.chunk_index)
+        return self._chunk_state[entry.virtual_id].stripe

@@ -1,0 +1,59 @@
+"""Typed exception hierarchy for the distributor and provider layers."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class AuthenticationError(ReproError):
+    """Unknown client or wrong password."""
+
+
+class AuthorizationError(ReproError):
+    """Password is valid but not privileged enough for the requested chunk."""
+
+
+class UnknownClientError(AuthenticationError):
+    """No such client is registered at the distributor."""
+
+
+class UnknownFileError(ReproError):
+    """The client has no file by that name."""
+
+
+class UnknownChunkError(ReproError):
+    """No chunk with that (filename, serial) or virtual id exists."""
+
+
+class ProviderError(ReproError):
+    """Base class for provider-side failures."""
+
+
+class ProviderUnavailableError(ProviderError):
+    """The provider is down (outage window / churned out)."""
+
+
+class BlobNotFoundError(ProviderError):
+    """The provider has no object under the requested key."""
+
+
+class BlobCorruptedError(ProviderError):
+    """The stored object failed its integrity check."""
+
+
+class PlacementError(ReproError):
+    """No eligible provider set satisfies the placement constraints."""
+
+
+class ReconstructionError(ReproError):
+    """Too many stripe members lost for the RAID level to recover."""
+
+
+class DistributorUnavailableError(ReproError):
+    """The (primary) distributor is offline and no secondary can serve."""
+
+
+class DHTError(ReproError):
+    """Lookup/maintenance failure inside a DHT overlay."""

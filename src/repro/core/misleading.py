@@ -1,0 +1,90 @@
+"""Misleading-data injection (Sections IV-A and VII-D).
+
+"To ensure greater dimension of privacy, the Cloud Data Distributor may add
+misleading data into chunks depending on the demand of clients.  The
+positions of misleading data bytes are also maintained by the distributor
+and these misleading bytes are removed while providing the chunks to the
+clients."
+
+The injected positions are indices into the *stored* (post-injection) byte
+string -- exactly what the Chunk Table's ``M`` column records -- so removal
+is a pure function of (stored bytes, positions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import SeedLike, derive_rng
+
+
+@dataclass(frozen=True)
+class InjectionResult:
+    """Stored bytes plus the position list the Chunk Table must remember."""
+
+    stored: bytes
+    positions: tuple[int, ...]
+
+
+def inject(
+    payload: bytes,
+    fraction: float,
+    rng: SeedLike = None,
+    mimic: bool = True,
+) -> InjectionResult:
+    """Splice misleading bytes into *payload*.
+
+    ``fraction`` is the ratio of misleading bytes to original bytes (0 keeps
+    the payload untouched).  With ``mimic=True`` the fake bytes are sampled
+    from the payload's own byte distribution so they are not trivially
+    distinguishable; otherwise they are uniform random bytes.
+
+    Positions are indices into the returned ``stored`` buffer, sorted
+    ascending, and removal with :func:`remove` restores *payload* exactly.
+    """
+    if fraction < 0:
+        raise ValueError(f"fraction must be >= 0, got {fraction}")
+    n_fake = int(round(len(payload) * fraction))
+    if n_fake == 0:
+        return InjectionResult(stored=payload, positions=())
+    gen = derive_rng(rng)
+    if mimic and payload:
+        source = np.frombuffer(payload, dtype=np.uint8)
+        fake = source[gen.integers(0, len(source), size=n_fake)]
+    else:
+        fake = gen.integers(0, 256, size=n_fake, dtype=np.uint8)
+
+    total = len(payload) + n_fake
+    # Choose distinct positions in the stored buffer for the fake bytes.
+    positions = np.sort(gen.choice(total, size=n_fake, replace=False))
+    stored = np.empty(total, dtype=np.uint8)
+    mask = np.zeros(total, dtype=bool)
+    mask[positions] = True
+    stored[mask] = fake
+    if payload:
+        stored[~mask] = np.frombuffer(payload, dtype=np.uint8)
+    return InjectionResult(
+        stored=stored.tobytes(), positions=tuple(int(p) for p in positions)
+    )
+
+
+def remove(stored: bytes, positions: tuple[int, ...] | list[int]) -> bytes:
+    """Strip the misleading bytes at *positions* from *stored*.
+
+    Inverse of :func:`inject`; the paper's read path applies this before
+    handing a chunk back to the client.
+    """
+    if not positions:
+        return stored
+    pos = np.asarray(positions, dtype=np.int64)
+    if pos.min() < 0 or pos.max() >= len(stored):
+        raise ValueError(
+            f"misleading positions out of range for buffer of {len(stored)} bytes"
+        )
+    if len(np.unique(pos)) != len(pos):
+        raise ValueError("misleading positions contain duplicates")
+    mask = np.ones(len(stored), dtype=bool)
+    mask[pos] = False
+    return np.frombuffer(stored, dtype=np.uint8)[mask].tobytes()

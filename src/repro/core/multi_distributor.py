@@ -1,0 +1,149 @@
+"""Extended architecture with multiple distributors (Fig. 2, Section IV-C).
+
+"A single data distributor can create a bottleneck in the system as it can
+be the single point of failure.  To eliminate this, multiple distributors
+of cloud data can be introduced.  In case of multiple data distributors,
+for each client, a specific distributor will act as the primary distributor
+that will upload data, whereas other distributors will act as secondary
+distributors who can perform the data retrieval operations."
+
+Each client hashes to a primary distributor; every mutating operation runs
+there and its metadata snapshot is synchronously replicated to the
+secondaries, so any distributor can serve ``get_chunk``/``get_file`` and
+reads survive a primary crash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.distributor import CloudDataDistributor, FileReceipt
+from repro.core.errors import DistributorUnavailableError
+from repro.core.privacy import PrivacyLevel
+from repro.providers.registry import ProviderRegistry
+from repro.util.rng import SeedLike, spawn_seeds
+
+
+class DistributorGroup:
+    """A fleet of distributors with per-client primaries and replication."""
+
+    def __init__(
+        self,
+        registry: ProviderRegistry,
+        n_distributors: int = 3,
+        seed: SeedLike = None,
+        **distributor_kwargs,
+    ) -> None:
+        if n_distributors < 1:
+            raise ValueError(f"need at least 1 distributor, got {n_distributors}")
+        seeds = spawn_seeds(seed, n_distributors)
+        # All distributors share the same RNG-derived placement behaviour
+        # but must agree on metadata, which replication enforces.
+        self.distributors = [
+            CloudDataDistributor(registry, seed=seeds[i], **distributor_kwargs)
+            for i in range(n_distributors)
+        ]
+        self._online = [True] * n_distributors
+
+    # -- topology ------------------------------------------------------------
+
+    def primary_index(self, client: str) -> int:
+        """Deterministic client -> primary-distributor assignment."""
+        digest = hashlib.sha256(client.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % len(self.distributors)
+
+    def primary_for(self, client: str) -> CloudDataDistributor:
+        index = self.primary_index(client)
+        if not self._online[index]:
+            raise DistributorUnavailableError(
+                f"primary distributor {index} for client {client!r} is offline"
+            )
+        return self.distributors[index]
+
+    def any_online(self, prefer: int | None = None) -> CloudDataDistributor:
+        """Any online distributor (secondaries can serve retrievals)."""
+        order = list(range(len(self.distributors)))
+        if prefer is not None:
+            order.remove(prefer)
+            order.insert(0, prefer)
+        for index in order:
+            if self._online[index]:
+                return self.distributors[index]
+        raise DistributorUnavailableError("all distributors are offline")
+
+    def crash(self, index: int) -> None:
+        """Take distributor *index* offline (single-point-of-failure drill)."""
+        self._online[index] = False
+
+    def recover(self, index: int) -> None:
+        """Bring distributor *index* back; it re-syncs from a live peer."""
+        self._online[index] = True
+        for peer_index, up in enumerate(self._online):
+            if up and peer_index != index:
+                self.distributors[index].import_metadata(
+                    self.distributors[peer_index].export_metadata()
+                )
+                return
+
+    @property
+    def online_count(self) -> int:
+        return sum(self._online)
+
+    # -- replication -----------------------------------------------------------
+
+    def _replicate_from(self, source_index: int) -> None:
+        snapshot = self.distributors[source_index].export_metadata()
+        for index, distributor in enumerate(self.distributors):
+            if index != source_index and self._online[index]:
+                distributor.import_metadata(snapshot)
+
+    def _mutate(self, client: str, op) -> object:
+        index = self.primary_index(client)
+        if not self._online[index]:
+            raise DistributorUnavailableError(
+                f"primary distributor {index} for client {client!r} is offline; "
+                f"uploads require the primary"
+            )
+        result = op(self.distributors[index])
+        self._replicate_from(index)
+        return result
+
+    # -- client-facing API (mirrors CloudDataDistributor) -----------------------
+
+    def register_client(self, name: str) -> None:
+        self._mutate(name, lambda d: d.register_client(name))
+
+    def add_password(self, client: str, password: str, level: PrivacyLevel | int) -> None:
+        self._mutate(client, lambda d: d.add_password(client, password, level))
+
+    def upload_file(self, client: str, password: str, filename: str, data: bytes,
+                    level: PrivacyLevel | int, **kwargs) -> FileReceipt:
+        return self._mutate(
+            client,
+            lambda d: d.upload_file(client, password, filename, data, level, **kwargs),
+        )  # type: ignore[return-value]
+
+    def remove_file(self, client: str, password: str, filename: str) -> None:
+        self._mutate(client, lambda d: d.remove_file(client, password, filename))
+
+    def remove_chunk(self, client: str, password: str, filename: str, serial: int) -> None:
+        self._mutate(client, lambda d: d.remove_chunk(client, password, filename, serial))
+
+    def update_chunk(self, client: str, password: str, filename: str,
+                     serial: int, new_payload: bytes) -> None:
+        self._mutate(
+            client,
+            lambda d: d.update_chunk(client, password, filename, serial, new_payload),
+        )
+
+    def get_chunk(self, client: str, password: str, filename: str, serial: int) -> bytes:
+        """Retrieval may be served by *any* online distributor (Fig. 2)."""
+        server = self.any_online(prefer=self.primary_index(client))
+        return server.get_chunk(client, password, filename, serial)
+
+    def get_file(self, client: str, password: str, filename: str) -> bytes:
+        server = self.any_online(prefer=self.primary_index(client))
+        return server.get_file(client, password, filename)
+
+    def chunk_count(self, client: str, filename: str) -> int:
+        return self.any_online().chunk_count(client, filename)

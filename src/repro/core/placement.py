@@ -1,0 +1,143 @@
+"""Provider-selection policy (Sections IV-A and IV-B).
+
+Placement applies, in order:
+
+1. **Eligibility** - "A chunk is given to a provider having equal or higher
+   privacy level compared to the privacy level of the chunk"; optionally,
+   chunks at or above a sensitivity threshold additionally require a
+   TCCP-attested provider.
+2. **Cost preference** - "in case of equal privacy level, the one with a
+   lower cost level is given preference" -- i.e. among eligible providers
+   the cheaper cost bucket wins.
+3. **Random spread / load balance** - chunks are distributed "in a random
+   way" among the preferred providers, tie-breaking toward the least-loaded
+   so the fleet fills evenly.
+
+The policy returns a *stripe group*: ``width`` distinct provider names to
+hold one chunk's RAID shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import PlacementError
+from repro.core.privacy import PrivacyLevel
+from repro.providers.registry import ProviderRegistry, RegisteredProvider
+from repro.util.rng import SeedLike, derive_rng
+
+
+@dataclass
+class PlacementPolicy:
+    """Configurable stripe-group selection.
+
+    ``prefer_cheap``: apply the paper's cost-level preference (disable to
+    spread uniformly across all eligible providers regardless of price).
+    ``require_attested_at``: if set, chunks with PL >= this threshold only
+    go to providers with a valid TCCP attestation.
+    ``preferred_regions``: regions in preference order, the paper's
+    locality optimization ("storing the chunks in the locations where
+    they are frequently used", Section VII-E); providers in earlier
+    regions win before cost is considered, unlisted regions rank last.
+    """
+
+    prefer_cheap: bool = True
+    require_attested_at: PrivacyLevel | None = None
+    preferred_regions: tuple[str, ...] = ()
+    seed: SeedLike = None
+
+    def _region_rank(self, region: str) -> int:
+        try:
+            return self.preferred_regions.index(region)
+        except ValueError:
+            return len(self.preferred_regions)
+
+    def __post_init__(self) -> None:
+        self._rng = derive_rng(self.seed)
+
+    # -- candidate filtering -------------------------------------------------
+
+    def candidates(
+        self,
+        registry: ProviderRegistry,
+        chunk_level: PrivacyLevel | int,
+        include_unavailable: bool = False,
+    ) -> list[RegisteredProvider]:
+        """All providers eligible to store a chunk at *chunk_level*.
+
+        Providers currently known to be down are excluded (new shards
+        should never target a dark provider) unless
+        ``include_unavailable`` is set.
+        """
+        pl = PrivacyLevel.coerce(chunk_level)
+        eligible = registry.eligible(pl)
+        if (
+            self.require_attested_at is not None
+            and int(pl) >= int(self.require_attested_at)
+        ):
+            eligible = [
+                e
+                for e in eligible
+                if registry.attestation.is_attested(e.name)
+            ]
+        if not include_unavailable:
+            eligible = [
+                e
+                for e in eligible
+                if getattr(e.provider, "available", True)
+            ]
+        # Capacity enforcement is coarse (a provider already at its limit
+        # stops receiving shards; the shard that crosses the line still
+        # lands) -- adequate for steering, not a hard quota.
+        eligible = [e for e in eligible if e.has_capacity_for(1)]
+        return eligible
+
+    # -- stripe-group selection ------------------------------------------------
+
+    def stripe_group(
+        self,
+        registry: ProviderRegistry,
+        chunk_level: PrivacyLevel | int,
+        width: int,
+        load: dict[str, int] | None = None,
+    ) -> list[str]:
+        """Pick ``width`` distinct provider names for one chunk's stripe.
+
+        ``load`` maps provider name -> current chunk-shard count and is used
+        for least-loaded tie-breaking inside a cost tier.
+        Raises :class:`PlacementError` if fewer than ``width`` providers are
+        eligible.
+        """
+        if width < 1:
+            raise ValueError(f"stripe width must be >= 1, got {width}")
+        eligible = self.candidates(registry, chunk_level)
+        if len(eligible) < width:
+            raise PlacementError(
+                f"need {width} providers eligible for PL "
+                f"{int(PrivacyLevel.coerce(chunk_level))}, only {len(eligible)} "
+                f"available"
+            )
+        load = load or {}
+
+        # Randomize first so equal-key providers are picked uniformly, then
+        # stable-sort by (region preference, cost tier, load).
+        shuffled = list(eligible)
+        self._rng.shuffle(shuffled)
+
+        def sort_key(e):
+            key = []
+            if self.preferred_regions:
+                key.append(self._region_rank(e.region))
+            if self.prefer_cheap:
+                key.append(int(e.cost_level))
+            key.append(load.get(e.name, 0))
+            return tuple(key)
+
+        shuffled.sort(key=sort_key)
+        return [e.name for e in shuffled[:width]]
+
+    def max_stripe_width(
+        self, registry: ProviderRegistry, chunk_level: PrivacyLevel | int
+    ) -> int:
+        """Largest stripe width placeable at *chunk_level*."""
+        return len(self.candidates(registry, chunk_level))

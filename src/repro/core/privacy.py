@@ -1,0 +1,116 @@
+"""Privacy and cost levels (Section IV-A of the paper).
+
+The paper assigns every file -- and every provider -- one of four *privacy
+levels* PL 0..3 capturing mining sensitivity, and every provider one of four
+*cost levels* CL 0..3 capturing its storage price.  Chunk size shrinks as
+sensitivity grows ("The higher the privilege level, the lower the chunk
+size", Section VI), because smaller per-provider samples starve mining
+algorithms of observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.util.units import KiB
+
+
+class PrivacyLevel(IntEnum):
+    """Mining-sensitivity levels from the paper (Section IV-A).
+
+    ``PUBLIC``      (PL 0) data accessible to everyone including the adversary.
+    ``LOW``         (PL 1) reveals nothing private but usable to find patterns.
+    ``MODERATE``    (PL 2) protected; can yield non-trivial financial/legal/
+                    health information.
+    ``PRIVATE``     (PL 3) personal/private data whose leak is disastrous.
+    """
+
+    PUBLIC = 0
+    LOW = 1
+    MODERATE = 2
+    PRIVATE = 3
+
+    @classmethod
+    def coerce(cls, value: "PrivacyLevel | int") -> "PrivacyLevel":
+        """Validate and convert an int (or level) into a :class:`PrivacyLevel`."""
+        try:
+            return cls(int(value))
+        except ValueError as exc:
+            raise ValueError(
+                f"privacy level must be one of 0..3, got {value!r}"
+            ) from exc
+
+
+class CostLevel(IntEnum):
+    """Storage-price buckets per provider ("4 cost levels and the higher the
+    cost level, the more costly the provider", Section IV-A)."""
+
+    CHEAPEST = 0
+    CHEAP = 1
+    EXPENSIVE = 2
+    PREMIUM = 3
+
+    @classmethod
+    def coerce(cls, value: "CostLevel | int") -> "CostLevel":
+        try:
+            return cls(int(value))
+        except ValueError as exc:
+            raise ValueError(
+                f"cost level must be one of 0..3, got {value!r}"
+            ) from exc
+
+
+#: Default chunk-size schedule.  PL 0 (public) data "can be split into larger
+#: chunks compared to sensitive data ... minimiz[ing] the overhead associated
+#: with splitting" (Section VII-B); PL 3 gets the smallest chunks.
+DEFAULT_CHUNK_SIZES: dict[PrivacyLevel, int] = {
+    PrivacyLevel.PUBLIC: 64 * KiB,
+    PrivacyLevel.LOW: 16 * KiB,
+    PrivacyLevel.MODERATE: 4 * KiB,
+    PrivacyLevel.PRIVATE: 1 * KiB,
+}
+
+
+@dataclass(frozen=True)
+class ChunkSizePolicy:
+    """Maps a privacy level to the fixed chunk size used when splitting.
+
+    The mapping must be monotonically non-increasing in PL: more sensitive
+    files are never split into *larger* chunks than less sensitive ones.
+    """
+
+    sizes: tuple[int, int, int, int] = tuple(
+        DEFAULT_CHUNK_SIZES[pl] for pl in PrivacyLevel
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(PrivacyLevel):
+            raise ValueError(
+                f"need {len(PrivacyLevel)} chunk sizes, got {len(self.sizes)}"
+            )
+        for size in self.sizes:
+            if size <= 0:
+                raise ValueError(f"chunk sizes must be positive, got {size}")
+        for lower, higher in zip(self.sizes, self.sizes[1:]):
+            if higher > lower:
+                raise ValueError(
+                    "chunk size must not increase with privacy level: "
+                    f"{self.sizes}"
+                )
+
+    def chunk_size(self, level: PrivacyLevel | int) -> int:
+        """Chunk size in bytes for files at *level*."""
+        return self.sizes[PrivacyLevel.coerce(level)]
+
+    @classmethod
+    def uniform(cls, size: int) -> "ChunkSizePolicy":
+        """A policy using the same chunk size at every privacy level."""
+        return cls(sizes=(size,) * len(PrivacyLevel))
+
+
+def provider_may_store(provider_pl: PrivacyLevel, chunk_pl: PrivacyLevel) -> bool:
+    """Placement eligibility rule (Section IV-A): "A chunk is given to a
+    provider having equal or higher privacy level compared to the privacy
+    level of the chunk."""
+    return int(provider_pl) >= int(chunk_pl)

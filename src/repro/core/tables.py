@@ -1,0 +1,407 @@
+"""The distributor's three metadata tables (Tables I, II, III).
+
+"To perform distribution and retrieval of data (chunks), the Cloud Data
+Distributor needs to maintain information regarding providers, clients and
+chunks.  Hence, it maintains three types of tables describing the providers,
+the clients and the chunks."
+
+Entries cross-reference each other by *table index*, exactly as the paper's
+application-architecture walk-through does: Client Table row -> Chunk Table
+index -> Cloud Provider Table index -> provider.  Indices are stable for
+the lifetime of an entry (removals leave holes rather than renumbering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.errors import UnknownChunkError, UnknownClientError, UnknownFileError
+from repro.core.privacy import CostLevel, PrivacyLevel
+
+
+# ---------------------------------------------------------------------------
+# Table I — Cloud Provider Table
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProviderEntry:
+    """One row of the Cloud Provider Table.
+
+    ``name``/``privacy_level``/``cost_level`` are the provider's identity
+    and trust/price buckets; ``virtual_ids`` is "the list of ids
+    corresponding to the chunks given to this provider" and ``count`` is
+    its length (kept explicit to match Table I).
+    """
+
+    name: str
+    privacy_level: PrivacyLevel
+    cost_level: CostLevel
+    virtual_ids: set[str] = field(default_factory=set)
+
+    @property
+    def count(self) -> int:
+        return len(self.virtual_ids)
+
+
+class CloudProviderTable:
+    """Index-addressable registry of providers (Table I)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, ProviderEntry] = {}
+        self._by_name: dict[str, int] = {}
+        self._next_index = 0
+
+    def add(
+        self,
+        name: str,
+        privacy_level: PrivacyLevel | int,
+        cost_level: CostLevel | int,
+    ) -> int:
+        """Register a provider; returns its stable table index."""
+        if name in self._by_name:
+            raise ValueError(f"provider {name!r} already registered")
+        index = self._next_index
+        self._next_index += 1
+        self._entries[index] = ProviderEntry(
+            name=name,
+            privacy_level=PrivacyLevel.coerce(privacy_level),
+            cost_level=CostLevel.coerce(cost_level),
+        )
+        self._by_name[name] = index
+        return index
+
+    def get(self, index: int) -> ProviderEntry:
+        try:
+            return self._entries[index]
+        except KeyError:
+            raise KeyError(f"no provider at table index {index}") from None
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no provider named {name!r}") from None
+
+    def record_store(self, index: int, key: str) -> None:
+        """Note that object *key* now lives at provider *index*."""
+        self.get(index).virtual_ids.add(key)
+
+    def record_remove(self, index: int, key: str) -> None:
+        self.get(index).virtual_ids.discard(key)
+
+    def indices(self) -> list[int]:
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[tuple[int, ProviderEntry]]:
+        return iter(sorted(self._entries.items()))
+
+    def export_state(self) -> dict:
+        """Serializable snapshot for replication/persistence."""
+        return {
+            "next_index": self._next_index,
+            "entries": {
+                index: (
+                    e.name,
+                    int(e.privacy_level),
+                    int(e.cost_level),
+                    sorted(e.virtual_ids),
+                )
+                for index, e in self._entries.items()
+            },
+        }
+
+    def import_state(self, state: dict) -> None:
+        self._entries = {
+            int(index): ProviderEntry(
+                name=name,
+                privacy_level=PrivacyLevel.coerce(pl),
+                cost_level=CostLevel.coerce(cl),
+                virtual_ids=set(vids),
+            )
+            for index, (name, pl, cl, vids) in state["entries"].items()
+        }
+        self._by_name = {e.name: i for i, e in self._entries.items()}
+        self._next_index = int(state["next_index"])
+
+    def rows(self, id_preview: int = 1) -> list[list[object]]:
+        """Render rows shaped like the paper's Table I."""
+        out: list[list[object]] = []
+        for _, entry in self:
+            ids = sorted(entry.virtual_ids)
+            preview = ", ".join(str(v) for v in ids[:id_preview])
+            suffix = ", ..." if len(ids) > id_preview else ""
+            out.append(
+                [
+                    entry.name,
+                    int(entry.privacy_level),
+                    int(entry.cost_level),
+                    entry.count,
+                    "{" + preview + suffix + "}",
+                ]
+            )
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Table III — Chunk Table (defined before the Client Table so the latter can
+# reference chunk indices)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ChunkEntry:
+    """One row of the Chunk Table.
+
+    ``virtual_id`` is the provider-facing key; ``privacy_level`` the chunk's
+    sensitivity; ``provider_indices`` the Cloud Provider Table indices of
+    the stripe members currently storing the chunk (the paper shows one
+    ``CP index`` -- with RAID striping a chunk's stripe may span several
+    providers, so we keep the full list with the primary first);
+    ``snapshot_index`` the provider holding the pre-modification snapshot
+    (``None`` -> the paper's ``NA``); ``misleading_positions`` the ``M``
+    column.
+    """
+
+    virtual_id: int
+    privacy_level: PrivacyLevel
+    provider_indices: list[int]
+    snapshot_index: int | None = None
+    misleading_positions: tuple[int, ...] = ()
+
+    @property
+    def provider_index(self) -> int:
+        """Primary provider index (the paper's ``CP index`` column)."""
+        return self.provider_indices[0]
+
+
+class ChunkTable:
+    """Index-addressable registry of chunk metadata (Table III)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, ChunkEntry] = {}
+        self._by_vid: dict[int, int] = {}
+        self._next_index = 0
+
+    def add(self, entry: ChunkEntry) -> int:
+        if entry.virtual_id in self._by_vid:
+            raise ValueError(f"virtual id {entry.virtual_id} already tabled")
+        if not entry.provider_indices:
+            raise ValueError("chunk entry needs at least one provider index")
+        index = self._next_index
+        self._next_index += 1
+        self._entries[index] = entry
+        self._by_vid[entry.virtual_id] = index
+        return index
+
+    def get(self, index: int) -> ChunkEntry:
+        try:
+            return self._entries[index]
+        except KeyError:
+            raise UnknownChunkError(f"no chunk at table index {index}") from None
+
+    def by_virtual_id(self, vid: int) -> ChunkEntry:
+        try:
+            return self._entries[self._by_vid[vid]]
+        except KeyError:
+            raise UnknownChunkError(f"no chunk with virtual id {vid}") from None
+
+    def remove(self, index: int) -> ChunkEntry:
+        entry = self.get(index)
+        del self._entries[index]
+        del self._by_vid[entry.virtual_id]
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[tuple[int, ChunkEntry]]:
+        return iter(sorted(self._entries.items()))
+
+    def export_state(self) -> dict:
+        """Serializable snapshot for replication/persistence."""
+        return {
+            "next_index": self._next_index,
+            "entries": {
+                index: (
+                    e.virtual_id,
+                    int(e.privacy_level),
+                    list(e.provider_indices),
+                    e.snapshot_index,
+                    list(e.misleading_positions),
+                )
+                for index, e in self._entries.items()
+            },
+        }
+
+    def import_state(self, state: dict) -> None:
+        self._entries = {
+            int(index): ChunkEntry(
+                virtual_id=int(vid),
+                privacy_level=PrivacyLevel.coerce(pl),
+                provider_indices=list(cps),
+                snapshot_index=sp,
+                misleading_positions=tuple(m),
+            )
+            for index, (vid, pl, cps, sp, m) in state["entries"].items()
+        }
+        self._by_vid = {e.virtual_id: i for i, e in self._entries.items()}
+        self._next_index = int(state["next_index"])
+
+    def rows(self, m_preview: int = 2) -> list[list[object]]:
+        """Render rows shaped like the paper's Table III."""
+        out: list[list[object]] = []
+        for _, e in self:
+            if e.misleading_positions:
+                mm = ", ".join(str(p) for p in e.misleading_positions[:m_preview])
+                m_cell = "{" + mm + (", ...}" if len(e.misleading_positions) > m_preview else "}")
+            else:
+                m_cell = "NA"
+            out.append(
+                [
+                    e.virtual_id,
+                    int(e.privacy_level),
+                    e.provider_index,
+                    "NA" if e.snapshot_index is None else e.snapshot_index,
+                    m_cell,
+                ]
+            )
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Table II — Client Table
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FileChunkRef:
+    """One (filename, sl, PL, chunk-table-index) quadruple from Table II."""
+
+    filename: str
+    serial: int
+    privacy_level: PrivacyLevel
+    chunk_index: int
+
+
+@dataclass
+class ClientEntry:
+    """One row of the Client Table.
+
+    Passwords live in :class:`repro.core.access_control.AccessController`
+    (hashed); this entry records the password *levels* for rendering plus
+    the client's chunk quadruples.
+    """
+
+    name: str
+    password_levels: list[PrivacyLevel] = field(default_factory=list)
+    chunk_refs: list[FileChunkRef] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.chunk_refs)
+
+    def refs_for_file(self, filename: str) -> list[FileChunkRef]:
+        refs = sorted(
+            (r for r in self.chunk_refs if r.filename == filename),
+            key=lambda r: r.serial,
+        )
+        if not refs:
+            raise UnknownFileError(f"client {self.name!r} has no file {filename!r}")
+        return refs
+
+    def ref_for_chunk(self, filename: str, serial: int) -> FileChunkRef:
+        for ref in self.chunk_refs:
+            if ref.filename == filename and ref.serial == serial:
+                return ref
+        # Distinguish "no such file" from "no such serial".
+        if not any(r.filename == filename for r in self.chunk_refs):
+            raise UnknownFileError(f"client {self.name!r} has no file {filename!r}")
+        raise UnknownChunkError(
+            f"file {filename!r} of client {self.name!r} has no chunk {serial}"
+        )
+
+    def filenames(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for ref in self.chunk_refs:
+            seen.setdefault(ref.filename, None)
+        return list(seen)
+
+
+class ClientTable:
+    """Registry of client metadata (Table II), keyed by client name."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, ClientEntry] = {}
+
+    def add(self, name: str) -> ClientEntry:
+        if name in self._entries:
+            raise ValueError(f"client {name!r} already tabled")
+        entry = ClientEntry(name=name)
+        self._entries[name] = entry
+        return entry
+
+    def get(self, name: str) -> ClientEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownClientError(f"no client named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ClientEntry]:
+        return iter(self._entries.values())
+
+    def export_state(self) -> dict:
+        """Serializable snapshot for replication/persistence."""
+        return {
+            name: (
+                [int(pl) for pl in e.password_levels],
+                [
+                    (r.filename, r.serial, int(r.privacy_level), r.chunk_index)
+                    for r in e.chunk_refs
+                ],
+            )
+            for name, e in self._entries.items()
+        }
+
+    def import_state(self, state: dict) -> None:
+        self._entries = {
+            name: ClientEntry(
+                name=name,
+                password_levels=[PrivacyLevel.coerce(pl) for pl in levels],
+                chunk_refs=[
+                    FileChunkRef(
+                        filename=f,
+                        serial=int(sl),
+                        privacy_level=PrivacyLevel.coerce(pl),
+                        chunk_index=int(idx),
+                    )
+                    for f, sl, pl, idx in refs
+                ],
+            )
+            for name, (levels, refs) in state.items()
+        }
+
+    def rows(self, ref_preview: int = 2) -> list[list[object]]:
+        """Render rows shaped like the paper's Table II."""
+        out: list[list[object]] = []
+        for entry in self:
+            pls = ", ".join(f"(****, {int(pl)})" for pl in entry.password_levels)
+            refs = entry.chunk_refs[:ref_preview]
+            quad = "; ".join(
+                f"({r.filename}, {r.serial}, {int(r.privacy_level)}, {r.chunk_index})"
+                for r in refs
+            )
+            if len(entry.chunk_refs) > ref_preview:
+                quad += "; ..."
+            out.append([entry.name, pls, entry.count, quad])
+        return out

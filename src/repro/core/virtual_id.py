@@ -1,0 +1,94 @@
+"""Virtual-id allocation (Section IV-A).
+
+Inside the Cloud Data Distributor "each chunk is given a unique virtual id
+and this id is used to identify the chunk within the Cloud Data Distributor
+and Cloud Providers.  This virtualization conceals the identity of a client
+from the provider."  A provider storing a chunk therefore only ever sees an
+opaque integer key -- never the client name, filename, or serial number.
+
+The paper's Cloud Provider Table (Table I) shows snapshot copies stored
+under a distinguishable key (``S16948`` for chunk ``16948``); we model that
+with :func:`snapshot_key`.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import SeedLike, derive_rng
+
+#: Virtual ids are drawn from this half-open range; the paper's examples use
+#: 5-digit ids (10986, 16948, ...) so we default to the same order of
+#: magnitude but allow far more ids before exhaustion.
+ID_SPACE = 10_000_000
+
+
+class VirtualIdAllocator:
+    """Allocates unique, unpredictable virtual ids.
+
+    Ids are drawn pseudo-randomly (so a provider cannot infer upload order
+    or client grouping from adjacent ids) and uniqueness is enforced with a
+    seen-set.  The allocator is deterministic given its seed.
+    """
+
+    def __init__(self, seed: SeedLike = None, id_space: int = ID_SPACE) -> None:
+        if id_space < 2:
+            raise ValueError(f"id_space must be >= 2, got {id_space}")
+        self._rng = derive_rng(seed)
+        self._id_space = id_space
+        self._used: set[int] = set()
+
+    def allocate(self) -> int:
+        """Return a fresh virtual id, never previously returned."""
+        if len(self._used) >= self._id_space:
+            raise RuntimeError("virtual id space exhausted")
+        while True:
+            vid = int(self._rng.integers(0, self._id_space))
+            if vid not in self._used:
+                self._used.add(vid)
+                return vid
+
+    def reserve(self, vid: int) -> None:
+        """Mark *vid* as used (e.g. when rebuilding state from metadata)."""
+        if vid in self._used:
+            raise ValueError(f"virtual id {vid} already in use")
+        self._used.add(vid)
+
+    def release(self, vid: int) -> None:
+        """Return *vid* to the free pool after its chunk is removed."""
+        self._used.discard(vid)
+
+    @property
+    def allocated_count(self) -> int:
+        return len(self._used)
+
+    def __contains__(self, vid: int) -> bool:
+        return vid in self._used
+
+    def export_state(self) -> dict:
+        """Serializable snapshot (used-id set) for replication."""
+        return {"used": sorted(self._used), "id_space": self._id_space}
+
+    def import_state(self, state: dict) -> None:
+        self._id_space = int(state["id_space"])
+        self._used = set(state["used"])
+
+
+def storage_key(virtual_id: int) -> str:
+    """The provider-side object key for a live chunk."""
+    return str(virtual_id)
+
+
+def shard_key(virtual_id: int, shard_index: int) -> str:
+    """The provider-side object key for one RAID shard of a chunk.
+
+    Each stripe member holds its shard under ``<id>.<shard>``; a provider
+    still learns nothing but an opaque key.
+    """
+    return f"{virtual_id}.{shard_index}"
+
+
+def snapshot_key(virtual_id: int) -> str:
+    """The provider-side object key for a chunk's snapshot (pre-state).
+
+    Mirrors Table I of the paper where snapshot copies appear as ``S<id>``.
+    """
+    return f"S{virtual_id}"

@@ -1,0 +1,40 @@
+"""From-scratch ciphers and the encryption-vs-fragmentation comparison
+(Section VII-E)."""
+
+from repro.crypto.compare import (
+    EncryptedWholeFileStore,
+    PartialEncryptedDistributor,
+    QueryCost,
+    fragmentation_point_query,
+    partial_encryption_point_query,
+)
+from repro.crypto.feistel import (
+    BLOCK_BYTES,
+    ROUNDS,
+    FeistelCipher,
+    decrypt_block,
+    encrypt_block,
+)
+from repro.crypto.selective import (
+    SelectiveEncryptor,
+    SensitiveRange,
+    normalize_ranges,
+)
+from repro.crypto.stream import StreamCipher
+
+__all__ = [
+    "SelectiveEncryptor",
+    "SensitiveRange",
+    "normalize_ranges",
+    "EncryptedWholeFileStore",
+    "PartialEncryptedDistributor",
+    "QueryCost",
+    "fragmentation_point_query",
+    "partial_encryption_point_query",
+    "BLOCK_BYTES",
+    "ROUNDS",
+    "FeistelCipher",
+    "decrypt_block",
+    "encrypt_block",
+    "StreamCipher",
+]

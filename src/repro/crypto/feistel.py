@@ -1,0 +1,113 @@
+"""A from-scratch 16-round Feistel block cipher with CTR mode.
+
+The paper's Section VII-E compares encryption against fragmentation as the
+privacy mechanism.  No third-party crypto package is available offline, so
+the encryption baseline uses this self-contained cipher: a 64-bit-block
+Feistel network whose round function mixes SHA-256-derived round keys with
+rotation and multiplication.  It is a *cost-realistic stand-in*, not a
+vetted cipher -- the comparison needs representative encrypt/decrypt work
+per byte, which a real Feistel construction provides.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+import numpy as np
+
+BLOCK_BYTES = 8
+ROUNDS = 16
+_MASK32 = 0xFFFFFFFF
+
+
+def _round_keys(key: bytes) -> list[int]:
+    """Derive ROUNDS 32-bit round keys from *key* via SHA-256 expansion."""
+    if not key:
+        raise ValueError("key must be non-empty")
+    material = b""
+    counter = 0
+    while len(material) < ROUNDS * 4:
+        material += hashlib.sha256(key + counter.to_bytes(4, "big")).digest()
+        counter += 1
+    return [
+        int.from_bytes(material[i * 4 : (i + 1) * 4], "big") for i in range(ROUNDS)
+    ]
+
+
+def _f(half: int, round_key: int) -> int:
+    """Round function: add-rotate-xor-multiply mix of the half block."""
+    x = (half + round_key) & _MASK32
+    x = ((x << 7) | (x >> 25)) & _MASK32
+    x ^= round_key
+    x = (x * 0x9E3779B1) & _MASK32  # golden-ratio odd multiplier
+    x ^= x >> 15
+    return x
+
+
+def encrypt_block(block: bytes, round_keys: list[int]) -> bytes:
+    """Encrypt one 8-byte block."""
+    if len(block) != BLOCK_BYTES:
+        raise ValueError(f"block must be {BLOCK_BYTES} bytes, got {len(block)}")
+    left, right = struct.unpack(">II", block)
+    for rk in round_keys:
+        left, right = right, left ^ _f(right, rk)
+    return struct.pack(">II", right, left)  # final swap
+
+
+def decrypt_block(block: bytes, round_keys: list[int]) -> bytes:
+    """Decrypt one 8-byte block (Feistel runs the schedule backwards)."""
+    if len(block) != BLOCK_BYTES:
+        raise ValueError(f"block must be {BLOCK_BYTES} bytes, got {len(block)}")
+    right, left = struct.unpack(">II", block)
+    for rk in reversed(round_keys):
+        right, left = left, right ^ _f(left, rk)
+    return struct.pack(">II", left, right)
+
+
+class FeistelCipher:
+    """Feistel-64 in CTR mode: stream encryption of arbitrary lengths.
+
+    CTR mode turns the block cipher into a keystream generator, so
+    ciphertext length equals plaintext length and random-offset decryption
+    is possible (used by the partial-encryption comparison).
+    """
+
+    def __init__(self, key: bytes) -> None:
+        self._round_keys = _round_keys(key)
+
+    def keystream(self, nbytes: int, nonce: int = 0, offset: int = 0) -> bytes:
+        """*nbytes* of keystream starting at byte *offset* of the stream."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        first_block = offset // BLOCK_BYTES
+        last_block = (offset + nbytes + BLOCK_BYTES - 1) // BLOCK_BYTES
+        stream = b"".join(
+            encrypt_block(
+                struct.pack(">II", nonce & _MASK32, counter & _MASK32),
+                self._round_keys,
+            )
+            for counter in range(first_block, last_block)
+        )
+        start = offset - first_block * BLOCK_BYTES
+        return stream[start : start + nbytes]
+
+    def encrypt(self, plaintext: bytes, nonce: int = 0) -> bytes:
+        ks = np.frombuffer(self.keystream(len(plaintext), nonce), dtype=np.uint8)
+        pt = np.frombuffer(plaintext, dtype=np.uint8)
+        return (pt ^ ks).tobytes()
+
+    def decrypt(self, ciphertext: bytes, nonce: int = 0) -> bytes:
+        # CTR mode is an involution.
+        return self.encrypt(ciphertext, nonce)
+
+    def decrypt_range(
+        self, ciphertext_slice: bytes, offset: int, nonce: int = 0
+    ) -> bytes:
+        """Decrypt a slice that began at byte *offset* of the ciphertext."""
+        ks = np.frombuffer(
+            self.keystream(len(ciphertext_slice), nonce, offset=offset),
+            dtype=np.uint8,
+        )
+        ct = np.frombuffer(ciphertext_slice, dtype=np.uint8)
+        return (ct ^ ks).tobytes()

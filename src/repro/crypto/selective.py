@@ -1,0 +1,109 @@
+"""Selective (range-based) encryption (Section VII-E).
+
+"Clients can also use partial encryption along with fragmentation, that
+involves partitioning data and encrypting a portion of it."  Unlike
+:class:`PartialEncryptedDistributor` (which encrypts every chunk), this is
+the paper's literal proposal: the client marks the *sensitive byte ranges*
+of a file (salary columns, coordinates, names) and only those bytes are
+encrypted before the file enters the normal fragment-and-distribute path.
+Crypto cost scales with the sensitive fraction instead of the file size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto.feistel import FeistelCipher
+
+
+@dataclass(frozen=True)
+class SensitiveRange:
+    """A half-open byte range [start, stop) to protect."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < self.start:
+            raise ValueError(
+                f"invalid range [{self.start}, {self.stop})"
+            )
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+
+def normalize_ranges(
+    ranges: list[SensitiveRange | tuple[int, int]], data_len: int
+) -> list[SensitiveRange]:
+    """Validate, clip, sort and merge overlapping/adjacent ranges."""
+    cleaned = []
+    for r in ranges:
+        if isinstance(r, tuple):
+            r = SensitiveRange(*r)
+        if r.start >= data_len:
+            continue
+        cleaned.append(SensitiveRange(r.start, min(r.stop, data_len)))
+    cleaned.sort(key=lambda r: r.start)
+    merged: list[SensitiveRange] = []
+    for r in cleaned:
+        if merged and r.start <= merged[-1].stop:
+            merged[-1] = SensitiveRange(
+                merged[-1].start, max(merged[-1].stop, r.stop)
+            )
+        else:
+            merged.append(r)
+    return merged
+
+
+class SelectiveEncryptor:
+    """Encrypts only the marked ranges of a payload (CTR keystream aligned
+    to absolute file offsets, so ciphertext length == plaintext length and
+    the ranges decrypt independently)."""
+
+    def __init__(self, key: bytes, cipher_cls=FeistelCipher) -> None:
+        self.cipher = cipher_cls(key)
+
+    def _apply(self, data: bytes, ranges: list[SensitiveRange], nonce: int) -> tuple[bytes, int]:
+        buffer = bytearray(data)
+        touched = 0
+        for r in ranges:
+            ks = np.frombuffer(
+                self.cipher.keystream(r.length, nonce=nonce, offset=r.start),
+                dtype=np.uint8,
+            )
+            segment = np.frombuffer(bytes(buffer[r.start : r.stop]), dtype=np.uint8)
+            buffer[r.start : r.stop] = (segment ^ ks).tobytes()
+            touched += r.length
+        return bytes(buffer), touched
+
+    def encrypt(
+        self,
+        data: bytes,
+        ranges: list[SensitiveRange | tuple[int, int]],
+        nonce: int = 0,
+    ) -> tuple[bytes, list[SensitiveRange], int]:
+        """Returns (protected bytes, normalized ranges, bytes encrypted).
+
+        The normalized range list is the client-side metadata needed to
+        decrypt later -- analogous to the misleading-byte position list.
+        """
+        normalized = normalize_ranges(list(ranges), len(data))
+        protected, touched = self._apply(data, normalized, nonce)
+        return protected, normalized, touched
+
+    def decrypt(
+        self, protected: bytes, ranges: list[SensitiveRange], nonce: int = 0
+    ) -> bytes:
+        """Inverse of :meth:`encrypt` (CTR XOR is an involution)."""
+        plain, _ = self._apply(protected, ranges, nonce)
+        return plain
+
+    @staticmethod
+    def sensitive_fraction(ranges: list[SensitiveRange], data_len: int) -> float:
+        if data_len == 0:
+            return 0.0
+        return sum(r.length for r in ranges) / data_len

@@ -1,0 +1,54 @@
+"""A fast keyed stream cipher (SHA-256 counter-mode keystream).
+
+The cheaper of the two encryption baselines: one SHA-256 invocation yields
+32 keystream bytes.  Used where the comparison wants a best-case
+encryption cost (the Feistel cipher represents a slower block cipher).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+_CHUNK = 32  # SHA-256 digest size
+
+
+class StreamCipher:
+    """XOR stream cipher with a hash-counter keystream."""
+
+    def __init__(self, key: bytes) -> None:
+        if not key:
+            raise ValueError("key must be non-empty")
+        self._key = bytes(key)
+
+    def keystream(self, nbytes: int, nonce: int = 0, offset: int = 0) -> bytes:
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        first = offset // _CHUNK
+        last = (offset + nbytes + _CHUNK - 1) // _CHUNK
+        prefix = self._key + nonce.to_bytes(8, "big")
+        stream = b"".join(
+            hashlib.sha256(prefix + counter.to_bytes(8, "big")).digest()
+            for counter in range(first, last)
+        )
+        start = offset - first * _CHUNK
+        return stream[start : start + nbytes]
+
+    def encrypt(self, plaintext: bytes, nonce: int = 0) -> bytes:
+        ks = np.frombuffer(self.keystream(len(plaintext), nonce), dtype=np.uint8)
+        pt = np.frombuffer(plaintext, dtype=np.uint8)
+        return (pt ^ ks).tobytes()
+
+    def decrypt(self, ciphertext: bytes, nonce: int = 0) -> bytes:
+        return self.encrypt(ciphertext, nonce)
+
+    def decrypt_range(
+        self, ciphertext_slice: bytes, offset: int, nonce: int = 0
+    ) -> bytes:
+        ks = np.frombuffer(
+            self.keystream(len(ciphertext_slice), nonce, offset=offset),
+            dtype=np.uint8,
+        )
+        ct = np.frombuffer(ciphertext_slice, dtype=np.uint8)
+        return (ct ^ ks).tobytes()

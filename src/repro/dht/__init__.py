@@ -1,0 +1,32 @@
+"""DHT overlays for the client-side distributor alternative (Section IV-C).
+
+Chord (finger-table routing on an identifier circle) and CAN
+(d-dimensional coordinate-space zones), plus a client-side distributor
+that maps ⟨filename, chunk Sl⟩ pairs to providers through either overlay.
+"""
+
+from repro.dht.can import CANetwork, CANLookupResult, CANNode, Zone, torus_distance
+from repro.dht.chord import ChordNode, ChordRing, LookupResult
+from repro.dht.client_distributor import (
+    ClientSideDistributor,
+    LocalChunkRecord,
+    build_overlays,
+)
+from repro.dht.hashing import hash_point, in_interval, stable_hash
+
+__all__ = [
+    "CANetwork",
+    "CANLookupResult",
+    "CANNode",
+    "Zone",
+    "torus_distance",
+    "ChordNode",
+    "ChordRing",
+    "LookupResult",
+    "ClientSideDistributor",
+    "LocalChunkRecord",
+    "build_overlays",
+    "hash_point",
+    "in_interval",
+    "stable_hash",
+]

@@ -1,0 +1,270 @@
+"""Content-Addressable Network (Ratnasamy et al., SIGCOMM'01).
+
+The second hash-table protocol the paper's Section IV-C suggests for a
+client-side distributor.  The coordinate space is the d-dimensional unit
+torus; each node owns a hyper-rectangular zone.  A joining node picks a
+(deterministic, name-derived) random point, routes to the zone owning it,
+and splits that zone in half along the dimension cycling with split depth.
+A leaving node hands its zone to the sibling (if it can merge back into a
+rectangle) or to its smallest neighbour, matching CAN's takeover rule.
+
+Routing forwards greedily through zone neighbours toward the target point
+(expected O(d * n^(1/d)) hops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import DHTError
+from repro.dht.hashing import hash_point
+
+
+@dataclass(frozen=True)
+class Zone:
+    """Half-open hyper-rectangle [lo_i, hi_i) per dimension."""
+
+    lo: tuple[float, ...]
+    hi: tuple[float, ...]
+
+    @property
+    def dims(self) -> int:
+        return len(self.lo)
+
+    def contains(self, point: tuple[float, ...]) -> bool:
+        return all(l <= x < h for l, x, h in zip(self.lo, point, self.hi))
+
+    def volume(self) -> float:
+        v = 1.0
+        for l, h in zip(self.lo, self.hi):
+            v *= h - l
+        return v
+
+    def center(self) -> tuple[float, ...]:
+        return tuple((l + h) / 2 for l, h in zip(self.lo, self.hi))
+
+    def split(self, dim: int) -> tuple["Zone", "Zone"]:
+        """Halve the zone along dimension *dim*; returns (lower, upper)."""
+        mid = (self.lo[dim] + self.hi[dim]) / 2
+        lower_hi = tuple(mid if i == dim else h for i, h in enumerate(self.hi))
+        upper_lo = tuple(mid if i == dim else l for i, l in enumerate(self.lo))
+        return Zone(self.lo, lower_hi), Zone(upper_lo, self.hi)
+
+    def merged_with(self, other: "Zone") -> "Zone | None":
+        """The union zone if the two abut exactly along one dimension."""
+        diff_dims = [
+            i
+            for i in range(self.dims)
+            if self.lo[i] != other.lo[i] or self.hi[i] != other.hi[i]
+        ]
+        if len(diff_dims) != 1:
+            return None
+        d = diff_dims[0]
+        if self.hi[d] == other.lo[d]:
+            return Zone(self.lo, tuple(other.hi[i] if i == d else h for i, h in enumerate(self.hi)))
+        if other.hi[d] == self.lo[d]:
+            return Zone(
+                tuple(other.lo[i] if i == d else l for i, l in enumerate(self.lo)),
+                self.hi,
+            )
+        return None
+
+    def is_neighbor(self, other: "Zone") -> bool:
+        """True iff zones abut along exactly one dimension and overlap in
+        the others (torus wraparound included)."""
+        touching_dims = 0
+        for i in range(self.dims):
+            overlap = min(self.hi[i], other.hi[i]) - max(self.lo[i], other.lo[i])
+            if overlap > 0:
+                continue
+            abut = (
+                self.hi[i] == other.lo[i]
+                or other.hi[i] == self.lo[i]
+                or (self.hi[i] == 1.0 and other.lo[i] == 0.0)
+                or (other.hi[i] == 1.0 and self.lo[i] == 0.0)
+            )
+            if abut:
+                touching_dims += 1
+            else:
+                return False
+        return touching_dims == 1
+
+
+def torus_distance(a: tuple[float, ...], b: tuple[float, ...]) -> float:
+    """Squared Euclidean distance on the unit torus."""
+    total = 0.0
+    for x, y in zip(a, b):
+        delta = abs(x - y)
+        delta = min(delta, 1.0 - delta)
+        total += delta * delta
+    return total
+
+
+@dataclass
+class CANNode:
+    name: str
+    zone: Zone
+    split_depth: int = 0
+    neighbors: set[str] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class CANLookupResult:
+    point: tuple[float, ...]
+    owner: str
+    path: list[str]
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+class CANetwork:
+    """A d-dimensional CAN overlay over named nodes."""
+
+    def __init__(self, dims: int = 2) -> None:
+        if dims < 1:
+            raise ValueError(f"dims must be >= 1, got {dims}")
+        self.dims = dims
+        self._nodes: dict[str, CANNode] = {}
+
+    # -- membership -------------------------------------------------------------
+
+    def join(self, name: str) -> CANNode:
+        """Insert *name*: route to its hash point's zone and split it."""
+        if name in self._nodes:
+            raise DHTError(f"node {name!r} already in the network")
+        if not self._nodes:
+            node = CANNode(
+                name=name,
+                zone=Zone(lo=(0.0,) * self.dims, hi=(1.0,) * self.dims),
+            )
+            self._nodes[name] = node
+            return node
+        point = hash_point(name, self.dims)
+        victim = self._nodes[self._owner_of(point)]
+        dim = victim.split_depth % self.dims
+        lower, upper = victim.zone.split(dim)
+        # The victim keeps the half containing its own center-point claim;
+        # assign deterministically: victim keeps lower, joiner takes upper,
+        # unless the victim's previous center falls in upper.
+        if upper.contains(victim.zone.center()):
+            victim_zone, joiner_zone = upper, lower
+        else:
+            victim_zone, joiner_zone = lower, upper
+        victim.zone = victim_zone
+        victim.split_depth += 1
+        node = CANNode(name=name, zone=joiner_zone, split_depth=victim.split_depth)
+        self._nodes[name] = node
+        self._rebuild_neighbors()
+        return node
+
+    def leave(self, name: str) -> None:
+        """Remove *name*; its zone merges into a sibling or smallest neighbour."""
+        if name not in self._nodes:
+            raise DHTError(f"no node named {name!r}")
+        leaver = self._nodes.pop(name)
+        if not self._nodes:
+            return
+        # Prefer a neighbour whose zone merges into a clean rectangle.
+        for other in sorted(self._nodes.values(), key=lambda n: n.zone.volume()):
+            merged = other.zone.merged_with(leaver.zone)
+            if merged is not None:
+                other.zone = merged
+                other.split_depth = max(0, other.split_depth - 1)
+                self._rebuild_neighbors()
+                return
+        # Fallback: the smallest neighbour absorbs the zone as a composite.
+        # To keep zones rectangular we instead rebuild the whole space from
+        # the surviving membership (defragmentation-style takeover).
+        survivors = sorted(self._nodes)
+        self._nodes.clear()
+        for survivor in survivors:
+            self.join(survivor)
+
+    @property
+    def node_names(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def zone_of(self, name: str) -> Zone:
+        try:
+            return self._nodes[name].zone
+        except KeyError:
+            raise DHTError(f"no node named {name!r}") from None
+
+    # -- internal ------------------------------------------------------------
+
+    def _owner_of(self, point: tuple[float, ...]) -> str:
+        for name, node in self._nodes.items():
+            if node.zone.contains(point):
+                return name
+        raise DHTError(f"no zone contains point {point} (space fragmented)")
+
+    def _rebuild_neighbors(self) -> None:
+        names = list(self._nodes)
+        for node in self._nodes.values():
+            node.neighbors.clear()
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                if self._nodes[a].zone.is_neighbor(self._nodes[b].zone):
+                    self._nodes[a].neighbors.add(b)
+                    self._nodes[b].neighbors.add(a)
+
+    # -- routing ----------------------------------------------------------------
+
+    def key_point(self, key: str) -> tuple[float, ...]:
+        return hash_point(key, self.dims)
+
+    def owner(self, key: str) -> str:
+        return self._owner_of(self.key_point(key))
+
+    def lookup(self, key: str, start: str | None = None) -> CANLookupResult:
+        """Greedy neighbour routing from *start* to the zone owning *key*."""
+        if not self._nodes:
+            raise DHTError("cannot look up on an empty network")
+        point = self.key_point(key)
+        if start is None:
+            start = min(self._nodes)  # deterministic entry node
+        if start not in self._nodes:
+            raise DHTError(f"start node {start!r} is not in the network")
+        current = self._nodes[start]
+        path = [current.name]
+        limit = 4 * len(self._nodes) + 8
+        for _ in range(limit):
+            if current.zone.contains(point):
+                return CANLookupResult(point=point, owner=current.name, path=path)
+            best_name, best_dist = None, torus_distance(current.zone.center(), point)
+            for neighbor_name in current.neighbors:
+                d = torus_distance(self._nodes[neighbor_name].zone.center(), point)
+                if d < best_dist:
+                    best_name, best_dist = neighbor_name, d
+            if best_name is None:
+                # Greedy local minimum (rare with rectangles): fall back to
+                # the true owner with one extra logical hop.
+                owner_name = self._owner_of(point)
+                path.append(owner_name)
+                return CANLookupResult(point=point, owner=owner_name, path=path)
+            current = self._nodes[best_name]
+            path.append(current.name)
+        raise DHTError(f"lookup for {key!r} exceeded {limit} hops")
+
+    def nodes_for(self, key: str, r: int = 1) -> list[str]:
+        """Owner plus the r-1 neighbours nearest the key (replica set)."""
+        if r < 1:
+            raise ValueError(f"replica count must be >= 1, got {r}")
+        if r > len(self._nodes):
+            raise DHTError(
+                f"cannot place {r} replicas on {len(self._nodes)} nodes"
+            )
+        point = self.key_point(key)
+        owner_name = self._owner_of(point)
+        if r == 1:
+            return [owner_name]
+        others = sorted(
+            (n for n in self._nodes.values() if n.name != owner_name),
+            key=lambda n: (torus_distance(n.zone.center(), point), n.name),
+        )
+        return [owner_name] + [n.name for n in others[: r - 1]]

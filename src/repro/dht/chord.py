@@ -1,0 +1,252 @@
+"""Chord distributed hash table (Stoica et al., SIGCOMM'01).
+
+Section IV-C of the paper proposes implementing the Cloud Data Distributor
+at the client side "by using CAN or CHORD like hash tables that will map
+each ⟨filename, chunk Sl⟩ pair to a Cloud Provider".  Here providers are
+the Chord nodes; a chunk key hashes onto the identifier circle and is owned
+by its successor node.
+
+This is a single-process protocol simulation: nodes keep real finger
+tables and successor lists, and lookups route greedily through the finger
+tables (counting hops, O(log n) expected), but stabilization is performed
+eagerly after each join/leave rather than by background gossip.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.core.errors import DHTError
+from repro.dht.hashing import in_interval, stable_hash
+
+
+@dataclass
+class ChordNode:
+    """One node on the identifier circle."""
+
+    node_id: int
+    name: str
+    fingers: list[int] = field(default_factory=list)  # finger[i] -> node id
+    successors: list[int] = field(default_factory=list)
+    predecessor: int | None = None
+    alive: bool = True
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Owner of a key plus the routing path taken to find it."""
+
+    key_id: int
+    owner: str
+    path: list[str]
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+class ChordRing:
+    """A Chord overlay over named nodes (cloud providers)."""
+
+    def __init__(self, m_bits: int = 32, successor_list_len: int = 3) -> None:
+        if not (1 <= m_bits <= 160):
+            raise ValueError(f"m_bits must be in 1..160, got {m_bits}")
+        self.m_bits = m_bits
+        self.modulus = 1 << m_bits
+        self.successor_list_len = successor_list_len
+        self._nodes: dict[int, ChordNode] = {}
+        self._ring: list[int] = []  # sorted node ids
+
+    # -- membership -------------------------------------------------------------
+
+    def node_id_for(self, name: str) -> int:
+        return stable_hash(name, self.m_bits)
+
+    def join(self, name: str) -> ChordNode:
+        """Add the node *name* to the ring and restabilize."""
+        node_id = self.node_id_for(name)
+        if node_id in self._nodes:
+            raise DHTError(
+                f"id collision: {name!r} hashes onto existing node "
+                f"{self._nodes[node_id].name!r} (increase m_bits)"
+            )
+        node = ChordNode(node_id=node_id, name=name)
+        self._nodes[node_id] = node
+        bisect.insort(self._ring, node_id)
+        self._stabilize()
+        return node
+
+    def leave(self, name: str) -> None:
+        """Remove the node *name*; its keys fall to its successor."""
+        node_id = self.node_id_for(name)
+        if node_id not in self._nodes:
+            raise DHTError(f"no node named {name!r} in the ring")
+        del self._nodes[node_id]
+        self._ring.remove(node_id)
+        self._stabilize()
+
+    def mark_failed(self, name: str) -> None:
+        """Node *name* crashes WITHOUT the ring restabilizing.
+
+        Finger tables and successor lists still reference it; lookups must
+        route around the corpse until :meth:`stabilize` runs -- the
+        scenario Chord's successor lists exist for.
+        """
+        node_id = self.node_id_for(name)
+        if node_id not in self._nodes:
+            raise DHTError(f"no node named {name!r} in the ring")
+        self._nodes[node_id].alive = False
+
+    def stabilize(self) -> list[str]:
+        """Purge failed nodes and rebuild routing state (the periodic
+        stabilization protocol, run eagerly).  Returns the purged names."""
+        dead = [n.name for n in self._nodes.values() if not n.alive]
+        for name in dead:
+            node_id = self.node_id_for(name)
+            del self._nodes[node_id]
+            self._ring.remove(node_id)
+        self._stabilize()
+        return dead
+
+    @property
+    def node_names(self) -> list[str]:
+        return [self._nodes[i].name for i in self._ring]
+
+    @property
+    def alive_names(self) -> list[str]:
+        return [self._nodes[i].name for i in self._ring if self._nodes[i].alive]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- stabilization (eager) ------------------------------------------------
+
+    def _successor_id(self, ident: int) -> int:
+        """The first node id clockwise from *ident* (inclusive)."""
+        if not self._ring:
+            raise DHTError("ring is empty")
+        index = bisect.bisect_left(self._ring, ident % self.modulus)
+        return self._ring[index % len(self._ring)]
+
+    def _first_alive_successor(self, ident: int) -> int:
+        """First *alive* node id clockwise from *ident* (inclusive)."""
+        if not self._ring:
+            raise DHTError("ring is empty")
+        start = bisect.bisect_left(self._ring, ident % self.modulus)
+        for offset in range(len(self._ring)):
+            node_id = self._ring[(start + offset) % len(self._ring)]
+            if self._nodes[node_id].alive:
+                return node_id
+        raise DHTError("no alive node in the ring")
+
+    def _stabilize(self) -> None:
+        """Rebuild fingers, successor lists and predecessors for all nodes."""
+        n = len(self._ring)
+        if n == 0:
+            return
+        for position, node_id in enumerate(self._ring):
+            node = self._nodes[node_id]
+            node.fingers = [
+                self._successor_id(node_id + (1 << i)) for i in range(self.m_bits)
+            ]
+            node.successors = [
+                self._ring[(position + 1 + j) % n]
+                for j in range(min(self.successor_list_len, n))
+            ]
+            node.predecessor = self._ring[(position - 1) % n]
+
+    # -- routing ----------------------------------------------------------------
+
+    def key_id(self, key: str) -> int:
+        return stable_hash(key, self.m_bits)
+
+    def _closest_preceding_finger(self, node: ChordNode, key_id: int) -> int:
+        """Closest preceding *alive* finger (dead fingers are skipped, as a
+        real node would do after a timeout)."""
+        for finger_id in reversed(node.fingers):
+            finger = self._nodes.get(finger_id)
+            if finger is None or not finger.alive:
+                continue
+            if in_interval(
+                finger_id, node.node_id, key_id, self.modulus, inclusive_hi=False
+            ):
+                return finger_id
+        return node.node_id
+
+    def _alive_successor_of(self, node: ChordNode) -> int:
+        """The first alive entry of *node*'s successor list.
+
+        Raises :class:`DHTError` when every listed successor is dead --
+        the ring has partitioned beyond what the successor list can heal.
+        """
+        for candidate in node.successors or [node.node_id]:
+            entry = self._nodes.get(candidate)
+            if entry is not None and entry.alive:
+                return candidate
+        raise DHTError(
+            f"node {node.name!r}: successor list exhausted "
+            f"(more than {self.successor_list_len} consecutive failures)"
+        )
+
+    def lookup(self, key: str, start: str | None = None, max_hops: int | None = None) -> LookupResult:
+        """Route from *start* (default: first node) to the owner of *key*.
+
+        Follows Chord's ``find_successor``: walk closest-preceding fingers
+        until the key falls between the current node and its immediate
+        successor.  Returns the owner and full path (for hop accounting).
+        """
+        if not self._ring:
+            raise DHTError("cannot look up on an empty ring")
+        key_hash = self.key_id(key)
+        if start is not None:
+            start_id = self.node_id_for(start)
+            if start_id not in self._nodes:
+                raise DHTError(f"start node {start!r} is not in the ring")
+            current = self._nodes[start_id]
+        else:
+            current = self._nodes[self._ring[0]]
+        if not current.alive:
+            raise DHTError(f"start node {current.name!r} has failed")
+        limit = max_hops if max_hops is not None else 2 * self.m_bits + len(self._ring)
+        path = [current.name]
+        for _ in range(limit):
+            successor_id = self._alive_successor_of(current)
+            if in_interval(key_hash, current.node_id, successor_id, self.modulus):
+                owner = self._nodes[successor_id]
+                if owner.name != path[-1]:
+                    path.append(owner.name)
+                return LookupResult(key_id=key_hash, owner=owner.name, path=path)
+            next_id = self._closest_preceding_finger(current, key_hash)
+            if next_id == current.node_id:
+                # Fingers degenerate (tiny ring / all dead): fall through to
+                # the alive successor.
+                next_id = successor_id
+            current = self._nodes[next_id]
+            path.append(current.name)
+        raise DHTError(f"lookup for {key!r} exceeded {limit} hops")
+
+    def owner(self, key: str) -> str:
+        """The alive node responsible for *key* (first alive successor of
+        its hash -- with no failures this is the plain successor)."""
+        return self._nodes[self._first_alive_successor(self.key_id(key))].name
+
+    def nodes_for(self, key: str, r: int = 1) -> list[str]:
+        """The owner plus the next r-1 distinct *alive* successors."""
+        if r < 1:
+            raise ValueError(f"replica count must be >= 1, got {r}")
+        alive = [i for i in self._ring if self._nodes[i].alive]
+        if r > len(alive):
+            raise DHTError(
+                f"cannot place {r} replicas on a ring with {len(alive)} "
+                f"alive nodes"
+            )
+        start = self._ring.index(self._first_alive_successor(self.key_id(key)))
+        out: list[str] = []
+        offset = 0
+        while len(out) < r:
+            node = self._nodes[self._ring[(start + offset) % len(self._ring)]]
+            if node.alive:
+                out.append(node.name)
+            offset += 1
+        return out

@@ -1,0 +1,54 @@
+"""Stable hashing utilities for the DHT overlays.
+
+Python's builtin ``hash`` is salted per process; DHT placement must be
+stable across runs, so all overlay hashing goes through SHA-1 (the hash
+Chord's original paper uses for its consistent hashing layer).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_hash(value: str, bits: int = 160) -> int:
+    """Deterministic integer hash of *value* in ``[0, 2**bits)``."""
+    if bits < 1 or bits > 160:
+        raise ValueError(f"bits must be in 1..160, got {bits}")
+    digest = hashlib.sha1(value.encode("utf-8")).digest()
+    return int.from_bytes(digest, "big") >> (160 - bits)
+
+
+def hash_point(value: str, dims: int) -> tuple[float, ...]:
+    """Deterministic point in the *dims*-dimensional unit cube.
+
+    Used by CAN to map keys (and joining nodes) into its coordinate space;
+    each coordinate comes from an independent 32-bit slice of repeated
+    SHA-1 output.
+    """
+    if dims < 1:
+        raise ValueError(f"dims must be >= 1, got {dims}")
+    coords: list[float] = []
+    counter = 0
+    material = b""
+    while len(material) < dims * 4:
+        material += hashlib.sha1(f"{value}#{counter}".encode("utf-8")).digest()
+        counter += 1
+    for i in range(dims):
+        word = int.from_bytes(material[i * 4 : (i + 1) * 4], "big")
+        coords.append(word / 2**32)
+    return tuple(coords)
+
+
+def in_interval(x: int, lo: int, hi: int, modulus: int, inclusive_hi: bool = True) -> bool:
+    """True iff *x* lies in the circular interval (lo, hi] (mod *modulus*).
+
+    The workhorse predicate of Chord routing.  With ``inclusive_hi=False``
+    tests the open interval (lo, hi).
+    """
+    x, lo, hi = x % modulus, lo % modulus, hi % modulus
+    if lo == hi:
+        # The interval covers the whole ring (degenerate single-node case).
+        return inclusive_hi or x != lo
+    if lo < hi:
+        return (lo < x <= hi) if inclusive_hi else (lo < x < hi)
+    return (x > lo or x <= hi) if inclusive_hi else (x > lo or x < hi)

@@ -1,0 +1,28 @@
+"""Experiment drivers: one function per paper table/figure plus ablations.
+
+Each driver builds its own deterministic world (fleet, distributor,
+workload), runs the experiment and returns structured results; the
+``benchmarks/`` tree wraps these in pytest-benchmark and prints the
+paper-style tables, and ``EXPERIMENTS.md`` records their outputs.
+"""
+
+from repro.experiments.app_flow import fig3_application_flow
+from repro.experiments.distribution_time import (
+    distribution_time_once,
+    distribution_time_sweep,
+)
+from repro.experiments.encryption import encryption_vs_fragmentation
+from repro.experiments.gps_clustering import gps_clustering_experiment
+from repro.experiments.metadata_tables import populated_system, render_paper_tables
+from repro.experiments.table4 import table4_bidding_experiment
+
+__all__ = [
+    "fig3_application_flow",
+    "distribution_time_once",
+    "distribution_time_sweep",
+    "encryption_vs_fragmentation",
+    "gps_clustering_experiment",
+    "populated_system",
+    "render_paper_tables",
+    "table4_bidding_experiment",
+]

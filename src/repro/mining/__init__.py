@@ -1,0 +1,84 @@
+"""The attacker's toolkit: data-mining algorithms and adversary models.
+
+Implements the mining attacks the paper analyses (multivariate linear
+regression, hierarchical binary clustering, k-means, Apriori association
+rules, naive-Bayes prediction), the adversary models (insider, colluding,
+global), the cross-provider correlation attack, and the metrics that
+quantify how badly fragmentation degrades each attack.
+"""
+
+from repro.mining.adversary import Adversary, AdversaryView
+from repro.mining.decision_tree import DecisionTree, fit_tree
+from repro.mining.apriori import (
+    Rule,
+    frequent_itemsets,
+    mine_rules,
+    rule_precision,
+    rule_recall,
+)
+from repro.mining.hierarchical import (
+    ascii_dendrogram,
+    cophenetic_correlation,
+    cophenetic_distances,
+    cut_tree,
+    leaf_order,
+    linkage,
+    pairwise_distances,
+)
+from repro.mining.kmeans import KMeansResult, kmeans
+from repro.mining.linkage_attack import (
+    correlating_salvage,
+    correlation_gain,
+    group_shards,
+    reassemble_chunks,
+)
+from repro.mining.metrics import (
+    adjusted_rand_index,
+    cluster_migrations,
+    rand_index,
+    regression_rmse,
+    relative_error,
+)
+from repro.mining.naive_bayes import GaussianNB, fit_gaussian_nb
+from repro.mining.regression import (
+    RegressionModel,
+    coefficient_distance,
+    fit_linear,
+    prediction_rmse,
+)
+
+__all__ = [
+    "Adversary",
+    "AdversaryView",
+    "DecisionTree",
+    "fit_tree",
+    "Rule",
+    "frequent_itemsets",
+    "mine_rules",
+    "rule_precision",
+    "rule_recall",
+    "ascii_dendrogram",
+    "cophenetic_correlation",
+    "cophenetic_distances",
+    "cut_tree",
+    "leaf_order",
+    "linkage",
+    "pairwise_distances",
+    "KMeansResult",
+    "kmeans",
+    "correlating_salvage",
+    "correlation_gain",
+    "group_shards",
+    "reassemble_chunks",
+    "adjusted_rand_index",
+    "cluster_migrations",
+    "rand_index",
+    "regression_rmse",
+    "relative_error",
+    "GaussianNB",
+    "fit_gaussian_nb",
+    "RegressionModel",
+    "coefficient_distance",
+    "fit_linear",
+    "prediction_rmse",
+]

@@ -1,0 +1,128 @@
+"""Adversary models (Section III-A).
+
+"Mining based attacks on cloud involves attackers of two categories:
+malicious employees inside provider and outside attackers."
+
+* :meth:`Adversary.insider` -- one malicious employee: sees every blob at
+  one provider.
+* :meth:`Adversary.colluding` -- an outsider who compromised (or several
+  insiders who pooled) a subset of providers.
+* :meth:`Adversary.global_view` -- the single-provider baseline: what the
+  paper's *current* architecture leaks, where one provider holds all data.
+
+The adversary's pipeline is honest: it reads raw blob bytes from the
+providers it controls (including parity shards and misleading bytes it
+cannot distinguish) and salvages parseable records from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.errors import ProviderError
+from repro.providers.registry import ProviderRegistry
+from repro.workloads.serialization import salvage_records
+
+
+@dataclass(frozen=True)
+class AdversaryView:
+    """Everything an adversary extracted: raw blobs and salvaged rows."""
+
+    compromised: tuple[str, ...]
+    blobs: dict[str, dict[str, bytes]]  # provider -> key -> bytes
+    rows: list[tuple]
+
+    @property
+    def blob_count(self) -> int:
+        return sum(len(b) for b in self.blobs.values())
+
+    @property
+    def byte_count(self) -> int:
+        return sum(len(v) for b in self.blobs.values() for v in b.values())
+
+
+class Adversary:
+    """An attacker controlling a subset of the provider fleet."""
+
+    def __init__(self, registry: ProviderRegistry, compromised: Sequence[str]) -> None:
+        unknown = [name for name in compromised if name not in registry]
+        if unknown:
+            raise KeyError(f"unknown providers: {unknown}")
+        if len(set(compromised)) != len(compromised):
+            raise ValueError("compromised provider list contains duplicates")
+        self.registry = registry
+        self.compromised = tuple(compromised)
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def insider(cls, registry: ProviderRegistry, provider: str) -> "Adversary":
+        """A malicious employee at a single provider."""
+        return cls(registry, [provider])
+
+    @classmethod
+    def colluding(
+        cls, registry: ProviderRegistry, providers: Sequence[str]
+    ) -> "Adversary":
+        """Multiple compromised providers pooling what they store."""
+        return cls(registry, list(providers))
+
+    @classmethod
+    def global_view(cls, registry: ProviderRegistry) -> "Adversary":
+        """Compromise of the whole fleet (upper bound / single-provider
+        architecture baseline)."""
+        return cls(registry, registry.names())
+
+    # -- collection ---------------------------------------------------------------
+
+    def dump_blobs(self) -> dict[str, dict[str, bytes]]:
+        """Raw key->bytes snapshot of every compromised provider.
+
+        Providers that are down contribute nothing (the attacker reads
+        what is readable); corrupt blobs are taken as-is when the backend
+        exposes raw bytes, else skipped.
+        """
+        out: dict[str, dict[str, bytes]] = {}
+        for name in self.compromised:
+            provider = self.registry.get(name).provider
+            blobs: dict[str, bytes] = {}
+            try:
+                keys = provider.keys()
+            except ProviderError:
+                out[name] = {}
+                continue
+            for key in keys:
+                try:
+                    blobs[key] = provider.get(key)
+                except ProviderError:
+                    continue
+            out[name] = blobs
+        return out
+
+    def observe(self, parsers: Sequence[Callable[[str], object]]) -> AdversaryView:
+        """Collect blobs and salvage every parseable record from them."""
+        blobs = self.dump_blobs()
+        rows: list[tuple] = []
+        for per_provider in blobs.values():
+            for key in sorted(per_provider):
+                rows.extend(salvage_records(per_provider[key], parsers))
+        return AdversaryView(
+            compromised=self.compromised, blobs=blobs, rows=rows
+        )
+
+    def recovered_fraction(
+        self,
+        parsers: Sequence[Callable[[str], object]],
+        reference_rows: Sequence[tuple],
+    ) -> float:
+        """Fraction of the true dataset's rows this adversary recovers.
+
+        Duplicate recoveries (RAID mirrors/replicas) count once.
+        """
+        if not reference_rows:
+            return 1.0
+        view = self.observe(parsers)
+        reference = set(reference_rows)
+        recovered = {row for row in view.rows if row in reference}
+        return len(recovered) / len(reference)

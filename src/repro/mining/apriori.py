@@ -1,0 +1,141 @@
+"""Apriori association-rule mining ("association rule mining can be used to
+discover association relationships among large number of business
+transaction records", Section II-B).
+
+Classic level-wise Apriori: frequent itemsets by minimum support, then
+rules by minimum confidence, with lift reported.  Used to measure how rule
+recall collapses when an attacker only sees one provider's fragment of a
+transaction log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+
+@dataclass(frozen=True)
+class Rule:
+    """An association rule ``antecedent -> consequent``."""
+
+    antecedent: frozenset
+    consequent: frozenset
+    support: float
+    confidence: float
+    lift: float
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        lhs = ", ".join(sorted(map(str, self.antecedent)))
+        rhs = ", ".join(sorted(map(str, self.consequent)))
+        return (
+            f"{{{lhs}}} -> {{{rhs}}} "
+            f"(sup={self.support:.3f}, conf={self.confidence:.3f}, lift={self.lift:.2f})"
+        )
+
+
+def frequent_itemsets(
+    transactions: list[set], min_support: float
+) -> dict[frozenset, float]:
+    """All itemsets with support >= *min_support* (level-wise Apriori)."""
+    if not 0 < min_support <= 1:
+        raise ValueError(f"min_support must be in (0, 1], got {min_support}")
+    n = len(transactions)
+    if n == 0:
+        return {}
+    transactions = [frozenset(t) for t in transactions]
+
+    # L1: frequent single items.
+    counts: dict[frozenset, int] = {}
+    for t in transactions:
+        for item in t:
+            key = frozenset([item])
+            counts[key] = counts.get(key, 0) + 1
+    current = {
+        itemset: c / n for itemset, c in counts.items() if c / n >= min_support
+    }
+    result = dict(current)
+
+    k = 2
+    while current:
+        # Candidate generation: join frequent (k-1)-itemsets sharing k-2 items.
+        prev = sorted(current, key=lambda s: sorted(map(str, s)))
+        candidates = set()
+        for i, a in enumerate(prev):
+            for b in prev[i + 1 :]:
+                union = a | b
+                if len(union) == k and all(
+                    frozenset(sub) in current
+                    for sub in combinations(union, k - 1)
+                ):
+                    candidates.add(union)
+        if not candidates:
+            break
+        counts = {c: 0 for c in candidates}
+        for t in transactions:
+            for candidate in candidates:
+                if candidate <= t:
+                    counts[candidate] += 1
+        current = {
+            itemset: c / n for itemset, c in counts.items() if c / n >= min_support
+        }
+        result.update(current)
+        k += 1
+    return result
+
+
+def mine_rules(
+    transactions: list[set],
+    min_support: float = 0.1,
+    min_confidence: float = 0.6,
+) -> list[Rule]:
+    """Association rules from frequent itemsets, sorted by confidence desc."""
+    if not 0 < min_confidence <= 1:
+        raise ValueError(
+            f"min_confidence must be in (0, 1], got {min_confidence}"
+        )
+    itemsets = frequent_itemsets(transactions, min_support)
+    rules: list[Rule] = []
+    for itemset, support in itemsets.items():
+        if len(itemset) < 2:
+            continue
+        for r in range(1, len(itemset)):
+            for antecedent in combinations(itemset, r):
+                antecedent = frozenset(antecedent)
+                consequent = itemset - antecedent
+                ant_support = itemsets[antecedent]
+                confidence = support / ant_support
+                if confidence >= min_confidence:
+                    cons_support = itemsets[frozenset(consequent)]
+                    rules.append(
+                        Rule(
+                            antecedent=antecedent,
+                            consequent=consequent,
+                            support=support,
+                            confidence=confidence,
+                            lift=confidence / cons_support,
+                        )
+                    )
+    rules.sort(key=lambda r: (-r.confidence, -r.support, sorted(map(str, r.antecedent))))
+    return rules
+
+
+def rule_recall(reference: list[Rule], recovered: list[Rule]) -> float:
+    """Fraction of *reference* rules an attacker's *recovered* set found.
+
+    Rules match on (antecedent, consequent) regardless of statistics --
+    the attacker knowing the relationship at all is the leak.
+    """
+    if not reference:
+        return 1.0
+    ref = {(r.antecedent, r.consequent) for r in reference}
+    got = {(r.antecedent, r.consequent) for r in recovered}
+    return len(ref & got) / len(ref)
+
+
+def rule_precision(reference: list[Rule], recovered: list[Rule]) -> float:
+    """Fraction of recovered rules that are real (in the reference set)."""
+    if not recovered:
+        return 1.0
+    ref = {(r.antecedent, r.consequent) for r in reference}
+    got = {(r.antecedent, r.consequent) for r in recovered}
+    return len(ref & got) / len(got)

@@ -1,0 +1,183 @@
+"""CART decision-tree classification.
+
+"As more research works are being done on mining, improved algorithms and
+tools are being developed" (Section II-B) -- the attack suite therefore
+includes a stronger non-linear learner alongside naive Bayes: a binary
+CART tree with Gini splits, depth/min-samples regularization, and an
+interpretable dump (the attacker reads the rules straight off the tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    prediction: object = None
+    samples: int = 0
+    impurity: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+def _best_split(x: np.ndarray, y_codes: np.ndarray, n_classes: int):
+    """The (feature, threshold, gain) of the best Gini split, else None.
+
+    For each feature: sort once, sweep class counts left->right, evaluate
+    every midpoint between distinct values.  Vectorized per feature.
+    """
+    n, p = x.shape
+    total_counts = np.bincount(y_codes, minlength=n_classes)
+    parent = _gini(total_counts)
+    best = None
+    for feature in range(p):
+        order = np.argsort(x[:, feature], kind="stable")
+        xs = x[order, feature]
+        ys = y_codes[order]
+        # One-hot cumulative class counts along the sweep.
+        onehot = np.zeros((n, n_classes))
+        onehot[np.arange(n), ys] = 1.0
+        left_counts = np.cumsum(onehot, axis=0)
+        # Valid cut after position i iff xs[i] != xs[i+1].
+        cut = np.nonzero(xs[:-1] != xs[1:])[0]
+        if cut.size == 0:
+            continue
+        nl = cut + 1.0
+        nr = n - nl
+        lc = left_counts[cut]
+        rc = total_counts[None, :] - lc
+        gini_l = 1.0 - np.sum((lc / nl[:, None]) ** 2, axis=1)
+        gini_r = 1.0 - np.sum((rc / nr[:, None]) ** 2, axis=1)
+        weighted = (nl * gini_l + nr * gini_r) / n
+        gains = parent - weighted
+        i = int(np.argmax(gains))
+        if gains[i] > 1e-12:
+            threshold = (xs[cut[i]] + xs[cut[i] + 1]) / 2.0
+            if best is None or gains[i] > best[2]:
+                best = (feature, float(threshold), float(gains[i]))
+    return best
+
+
+class DecisionTree:
+    """A fitted CART classifier."""
+
+    def __init__(self, root: _Node, classes: np.ndarray) -> None:
+        self._root = root
+        self.classes = classes
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        out = np.empty(x.shape[0], dtype=self.classes.dtype)
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        y = np.asarray(y).ravel()
+        return float(np.mean(self.predict(x) == y))
+
+    @property
+    def depth(self) -> int:
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    @property
+    def n_leaves(self) -> int:
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self._root)
+
+    def dump(self, feature_names: list[str] | None = None) -> str:
+        """Human-readable rules -- what the insider actually reads off."""
+        names = feature_names or [f"x{i}" for i in range(1 << 10)]
+        lines: list[str] = []
+
+        def walk(node: _Node, indent: str) -> None:
+            if node.is_leaf:
+                lines.append(
+                    f"{indent}-> {node.prediction} ({node.samples} samples)"
+                )
+                return
+            lines.append(f"{indent}if {names[node.feature]} <= {node.threshold:.4g}:")
+            walk(node.left, indent + "  ")
+            lines.append(f"{indent}else:")
+            walk(node.right, indent + "  ")
+
+        walk(self._root, "")
+        return "\n".join(lines)
+
+
+def fit_tree(
+    x: np.ndarray,
+    y: np.ndarray,
+    max_depth: int = 8,
+    min_samples_split: int = 4,
+) -> DecisionTree:
+    """Grow a CART tree on (x, y)."""
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    y = np.asarray(y).ravel()
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(f"x has {x.shape[0]} rows but y has {y.shape[0]}")
+    if x.shape[0] == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    if max_depth < 0:
+        raise ValueError(f"max_depth must be >= 0, got {max_depth}")
+    classes, y_codes = np.unique(y, return_inverse=True)
+    n_classes = len(classes)
+
+    def grow(rows: np.ndarray, depth: int) -> _Node:
+        counts = np.bincount(y_codes[rows], minlength=n_classes)
+        node = _Node(
+            prediction=classes[int(np.argmax(counts))],
+            samples=int(rows.size),
+            impurity=_gini(counts),
+        )
+        if (
+            depth >= max_depth
+            or rows.size < min_samples_split
+            or node.impurity == 0.0
+        ):
+            return node
+        split = _best_split(x[rows], y_codes[rows], n_classes)
+        if split is None:
+            return node
+        feature, threshold, _gain = split
+        mask = x[rows, feature] <= threshold
+        left_rows, right_rows = rows[mask], rows[~mask]
+        if left_rows.size == 0 or right_rows.size == 0:
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = grow(left_rows, depth + 1)
+        node.right = grow(right_rows, depth + 1)
+        return node
+
+    root = grow(np.arange(x.shape[0]), 0)
+    return DecisionTree(root=root, classes=classes)

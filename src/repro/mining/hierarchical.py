@@ -1,0 +1,210 @@
+"""Agglomerative hierarchical clustering (Figs. 4-6 of the paper).
+
+The paper clusters 30 GPS users with MATLAB's "hierarchical binary cluster
+tree" and shows that fragmentation moves entities between clusters.  This
+is a from-scratch implementation of Lance-Williams agglomerative
+clustering (single / complete / average / ward linkage) producing a
+SciPy-compatible ``(n-1, 4)`` linkage matrix, plus tree cutting, cophenetic
+distances and an ASCII dendrogram for bench output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Dense Euclidean distance matrix, vectorized via the Gram trick."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {points.shape}")
+    sq = np.sum(points**2, axis=1)
+    gram = points @ points.T
+    d2 = sq[:, None] + sq[None, :] - 2.0 * gram
+    np.maximum(d2, 0.0, out=d2)  # clamp negative rounding noise
+    out = np.sqrt(d2)
+    np.fill_diagonal(out, 0.0)  # exact zeros despite rounding
+    return out
+
+
+_LINKAGES = ("single", "complete", "average", "ward")
+
+
+def linkage(points: np.ndarray, method: str = "average") -> np.ndarray:
+    """Agglomerative clustering; returns a SciPy-style linkage matrix.
+
+    Row ``i`` is ``[left, right, distance, size]`` where ``left``/``right``
+    are cluster ids (originals ``0..n-1``, merged clusters ``n+i``).
+    Implemented with Lance-Williams updates on a working distance matrix --
+    O(n^3) worst case but fully vectorized per merge, comfortably handling
+    the paper's n=30 and our benches' n<=1000.
+    """
+    if method not in _LINKAGES:
+        raise ValueError(f"method must be one of {_LINKAGES}, got {method!r}")
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n < 2:
+        raise ValueError(f"need at least 2 observations, got {n}")
+    d = pairwise_distances(points)
+    if method == "ward":
+        # Ward works on squared Euclidean distances internally.
+        d = d**2
+    np.fill_diagonal(d, np.inf)
+
+    active = np.ones(n, dtype=bool)
+    sizes = np.ones(n, dtype=np.int64)
+    cluster_ids = np.arange(n)
+    merges = np.empty((n - 1, 4), dtype=np.float64)
+
+    for step in range(n - 1):
+        # Find the closest active pair.
+        masked = np.where(active[:, None] & active[None, :], d, np.inf)
+        flat = int(np.argmin(masked))
+        i, j = divmod(flat, n)
+        if i > j:
+            i, j = j, i
+        dist = d[i, j]
+        si, sj = sizes[i], sizes[j]
+
+        # Lance-Williams update of distances from the merged cluster (kept
+        # in slot i) to every other active cluster k.
+        others = active.copy()
+        others[i] = others[j] = False
+        di, dj = d[i, others], d[j, others]
+        if method == "single":
+            new = np.minimum(di, dj)
+        elif method == "complete":
+            new = np.maximum(di, dj)
+        elif method == "average":
+            new = (si * di + sj * dj) / (si + sj)
+        else:  # ward on squared distances
+            sk = sizes[others]
+            total = si + sj + sk
+            new = ((si + sk) * di + (sj + sk) * dj - sk * dist) / total
+
+        d[i, others] = new
+        d[others, i] = new
+        active[j] = False
+        sizes[i] = si + sj
+
+        reported = np.sqrt(dist) if method == "ward" else dist
+        merges[step] = (
+            min(cluster_ids[i], cluster_ids[j]),
+            max(cluster_ids[i], cluster_ids[j]),
+            reported,
+            si + sj,
+        )
+        cluster_ids[i] = n + step
+    return merges
+
+
+def cut_tree(merges: np.ndarray, k: int) -> np.ndarray:
+    """Labels assigning each original observation to one of *k* clusters.
+
+    Cuts the dendrogram after ``n - k`` merges; labels are renumbered to
+    ``0..k-1`` in order of first appearance.
+    """
+    n = merges.shape[0] + 1
+    if not (1 <= k <= n):
+        raise ValueError(f"k must be in 1..{n}, got {k}")
+    parent = np.arange(n + merges.shape[0])
+    for step in range(n - k):
+        left, right = int(merges[step, 0]), int(merges[step, 1])
+        parent[left] = n + step
+        parent[right] = n + step
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    roots = [find(i) for i in range(n)]
+    relabel: dict[int, int] = {}
+    labels = np.empty(n, dtype=np.int64)
+    for i, root in enumerate(roots):
+        labels[i] = relabel.setdefault(root, len(relabel))
+    return labels
+
+
+def cophenetic_distances(merges: np.ndarray) -> np.ndarray:
+    """Condensed-form cophenetic distance between every observation pair.
+
+    The cophenetic distance of (a, b) is the merge height at which they
+    first share a cluster; comparing two trees' cophenetic vectors is how
+    we quantify Fig. 4 vs Figs. 5-6 divergence.
+    """
+    n = merges.shape[0] + 1
+    members: dict[int, list[int]] = {i: [i] for i in range(n)}
+    out = np.zeros((n, n), dtype=np.float64)
+    for step in range(n - 1):
+        left, right = int(merges[step, 0]), int(merges[step, 1])
+        height = merges[step, 2]
+        la, lb = members.pop(left), members.pop(right)
+        ia = np.asarray(la, dtype=np.int64)
+        ib = np.asarray(lb, dtype=np.int64)
+        out[np.ix_(ia, ib)] = height
+        out[np.ix_(ib, ia)] = height
+        members[n + step] = la + lb
+    return out[np.triu_indices(n, k=1)]
+
+
+def cophenetic_correlation(merges_a: np.ndarray, merges_b: np.ndarray) -> float:
+    """Pearson correlation between two trees' cophenetic vectors (1 = same
+    tree shape over the same leaves)."""
+    ca = cophenetic_distances(merges_a)
+    cb = cophenetic_distances(merges_b)
+    if ca.shape != cb.shape:
+        raise ValueError("trees are over different numbers of leaves")
+    if np.std(ca) == 0 or np.std(cb) == 0:
+        return 1.0 if np.allclose(ca, cb) else 0.0
+    return float(np.corrcoef(ca, cb)[0, 1])
+
+
+def leaf_order(merges: np.ndarray) -> list[int]:
+    """Left-to-right dendrogram leaf order (the x-axis of Figs. 4-6)."""
+    n = merges.shape[0] + 1
+    children: dict[int, tuple[int, int]] = {
+        n + step: (int(merges[step, 0]), int(merges[step, 1]))
+        for step in range(n - 1)
+    }
+    order: list[int] = []
+    stack = [n + (n - 2)]
+    while stack:
+        node = stack.pop()
+        if node < n:
+            order.append(node)
+        else:
+            left, right = children[node]
+            stack.append(right)
+            stack.append(left)
+    return order
+
+
+def ascii_dendrogram(
+    merges: np.ndarray, labels: list[str] | None = None, width: int = 60
+) -> str:
+    """Sideways text dendrogram (one leaf per line), for bench output."""
+    n = merges.shape[0] + 1
+    labels = labels or [str(i) for i in range(n)]
+    if len(labels) != n:
+        raise ValueError(f"need {n} labels, got {len(labels)}")
+    max_h = float(merges[-1, 2]) or 1.0
+    # Height at which each original leaf first merges.
+    first_merge = np.zeros(n)
+    members: dict[int, list[int]] = {i: [i] for i in range(n)}
+    joined = np.zeros(n, dtype=bool)
+    for step in range(n - 1):
+        left, right = int(merges[step, 0]), int(merges[step, 1])
+        group = members.pop(left) + members.pop(right)
+        for leaf in group:
+            if not joined[leaf]:
+                first_merge[leaf] = merges[step, 2]
+                joined[leaf] = True
+        members[n + step] = group
+    lines = []
+    name_width = max(len(s) for s in labels)
+    for leaf in leaf_order(merges):
+        bar = int(round((first_merge[leaf] / max_h) * width))
+        lines.append(f"{labels[leaf]:>{name_width}} |" + "-" * bar + "+")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Cross-provider correlation attacks (Sections I and III-B).
+
+"Even if an attacker manages to access required chunks, mining data from
+distributed sources remains a challenging job.  The main challenge in this
+case is to correlate the data seen at the various probes."
+
+Colluding providers *can* try: shard keys expose ``<virtual id>.<shard
+index>``, so an attacker pooling several providers can group shards by
+virtual id, order them by index and concatenate -- recovering contiguous
+chunk bytes whenever every data shard of the stripe is in the pool.
+(Parity shards concatenate into garbage the record salvager drops, and
+misleading bytes corrupt rows exactly as Section VII-D intends.)
+
+This module implements that re-association step so the collusion ablation
+(A5) can compare naive per-provider salvage against the stronger
+correlating attacker.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.workloads.serialization import salvage_records
+
+
+def group_shards(
+    blobs: dict[str, dict[str, bytes]]
+) -> dict[int, dict[int, bytes]]:
+    """Group pooled blobs by virtual id: vid -> shard index -> bytes.
+
+    Keys that do not look like ``<vid>.<shard>`` (e.g. ``S<vid>``
+    snapshots) are kept under shard index 0 of a pseudo id when numeric,
+    otherwise ignored.
+    """
+    grouped: dict[int, dict[int, bytes]] = {}
+    for per_provider in blobs.values():
+        for key, data in per_provider.items():
+            stem, sep, shard = key.partition(".")
+            if sep and stem.isdigit() and shard.isdigit():
+                grouped.setdefault(int(stem), {})[int(shard)] = data
+            elif stem.isdigit() and not sep:
+                grouped.setdefault(int(stem), {})[0] = data
+    return grouped
+
+
+def reassemble_chunks(blobs: dict[str, dict[str, bytes]]) -> dict[int, bytes]:
+    """Concatenate each virtual id's shards in index order.
+
+    The attacker does not know stripe geometry (k vs m), so parity shards
+    are appended too; they decode as garbage rows.  Missing shard indices
+    leave a gap -- the attacker concatenates what it has (rows spanning the
+    gap are lost in parsing).
+    """
+    return {
+        vid: b"".join(shards[i] for i in sorted(shards))
+        for vid, shards in group_shards(blobs).items()
+    }
+
+
+def correlating_salvage(
+    blobs: dict[str, dict[str, bytes]],
+    parsers: Sequence[Callable[[str], object]],
+) -> list[tuple]:
+    """Salvage records from re-associated chunks instead of raw shards.
+
+    Strictly stronger than per-shard salvage when the pool covers whole
+    stripes: rows that straddled shard boundaries become parseable again.
+    """
+    rows: list[tuple] = []
+    chunks = reassemble_chunks(blobs)
+    for vid in sorted(chunks):
+        rows.extend(salvage_records(chunks[vid], parsers))
+    return rows
+
+
+def correlation_gain(
+    blobs: dict[str, dict[str, bytes]],
+    parsers: Sequence[Callable[[str], object]],
+    reference_rows: Sequence[tuple],
+) -> tuple[float, float]:
+    """(naive fraction, correlated fraction) of reference rows recovered."""
+    reference = set(reference_rows)
+    if not reference:
+        return 1.0, 1.0
+    naive: set = set()
+    for per_provider in blobs.values():
+        for data in per_provider.values():
+            naive.update(
+                row for row in salvage_records(data, parsers) if row in reference
+            )
+    correlated = {
+        row for row in correlating_salvage(blobs, parsers) if row in reference
+    }
+    return len(naive) / len(reference), len(correlated) / len(reference)

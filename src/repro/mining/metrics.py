@@ -1,0 +1,102 @@
+"""Attack-quality metrics: how much did fragmentation hurt the miner?
+
+Cluster-agreement scores (Rand / adjusted Rand, migration counts),
+regression divergence and rule recall are the numbers our reproduced
+figures report in place of the paper's visual dendrogram comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_labelings(a, b) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a).ravel()
+    b = np.asarray(b).ravel()
+    if a.shape != b.shape:
+        raise ValueError(
+            f"labelings have different lengths: {a.shape[0]} vs {b.shape[0]}"
+        )
+    if a.shape[0] == 0:
+        raise ValueError("labelings are empty")
+    return a, b
+
+
+def _contingency(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    _, ai = np.unique(a, return_inverse=True)
+    _, bi = np.unique(b, return_inverse=True)
+    table = np.zeros((ai.max() + 1, bi.max() + 1), dtype=np.int64)
+    np.add.at(table, (ai, bi), 1)
+    return table
+
+
+def rand_index(a, b) -> float:
+    """Fraction of observation pairs on which two clusterings agree."""
+    a, b = _check_labelings(a, b)
+    n = a.shape[0]
+    if n == 1:
+        return 1.0
+    table = _contingency(a, b)
+    total_pairs = n * (n - 1) // 2
+    sum_cells = int(np.sum(table * (table - 1) // 2))
+    sum_rows = int(np.sum(table.sum(axis=1) * (table.sum(axis=1) - 1) // 2))
+    sum_cols = int(np.sum(table.sum(axis=0) * (table.sum(axis=0) - 1) // 2))
+    agree_same = sum_cells
+    agree_diff = total_pairs - sum_rows - sum_cols + sum_cells
+    return (agree_same + agree_diff) / total_pairs
+
+
+def adjusted_rand_index(a, b) -> float:
+    """Rand index corrected for chance (0 ~ random, 1 = identical)."""
+    a, b = _check_labelings(a, b)
+    n = a.shape[0]
+    if n == 1:
+        return 1.0
+    table = _contingency(a, b)
+    sum_cells = np.sum(table * (table - 1) // 2)
+    sum_rows = np.sum(table.sum(axis=1) * (table.sum(axis=1) - 1) // 2)
+    sum_cols = np.sum(table.sum(axis=0) * (table.sum(axis=0) - 1) // 2)
+    total_pairs = n * (n - 1) // 2
+    expected = sum_rows * sum_cols / total_pairs
+    max_index = (sum_rows + sum_cols) / 2
+    if max_index == expected:
+        return 1.0
+    return float((sum_cells - expected) / (max_index - expected))
+
+
+def cluster_migrations(a, b) -> int:
+    """How many entities "moved from their original cluster" (Section VIII-B).
+
+    Clusters carry no canonical names across runs, so clusters of *b* are
+    greedily matched to clusters of *a* by overlap; entities outside the
+    matched overlap count as migrated.
+    """
+    a, b = _check_labelings(a, b)
+    table = _contingency(a, b)
+    matched = 0
+    used_rows: set[int] = set()
+    used_cols: set[int] = set()
+    # Greedy maximum-overlap matching (adequate for small k).
+    order = np.dstack(np.unravel_index(np.argsort(-table, axis=None), table.shape))[0]
+    for row, col in order:
+        if row in used_rows or col in used_cols or table[row, col] == 0:
+            continue
+        matched += int(table[row, col])
+        used_rows.add(int(row))
+        used_cols.add(int(col))
+    return int(a.shape[0] - matched)
+
+
+def regression_rmse(y_true, y_pred) -> float:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred have different lengths")
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """|estimate - truth| / |truth| (0/0 defined as 0)."""
+    if truth == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - truth) / abs(truth)

@@ -1,0 +1,97 @@
+"""Multivariate linear regression (the paper's Section VII-A attack).
+
+The paper's insider Hera runs "multivariate analysis (linear multiple
+regression using MATLAB)" on Hercules' bidding history and recovers
+``bid ~ 1.4*Materials + 1.5*Production + 3.1*Maintenance + 5436``.  This is
+ordinary least squares; we solve the normal equations via
+``numpy.linalg.lstsq`` (numerically identical to MATLAB's ``regress``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RegressionModel:
+    """A fitted OLS model ``y = X @ coefficients + intercept``."""
+
+    coefficients: np.ndarray
+    intercept: float
+    r_squared: float
+    n_samples: int
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted responses for feature rows *x*."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.coefficients.shape[0]:
+            raise ValueError(
+                f"expected {self.coefficients.shape[0]} features, got {x.shape[1]}"
+            )
+        return x @ self.coefficients + self.intercept
+
+    def equation(self, names: list[str] | None = None, target: str = "y") -> str:
+        """Human-readable equation string (paper-style)."""
+        names = names or [f"x{i}" for i in range(len(self.coefficients))]
+        terms = " + ".join(
+            f"{c:.1f}*{name}" for c, name in zip(self.coefficients, names)
+        )
+        return f"{target} = {terms} + {self.intercept:.0f}"
+
+
+def fit_linear(x: np.ndarray, y: np.ndarray) -> RegressionModel:
+    """Fit ``y ~ x`` by ordinary least squares with an intercept.
+
+    Requires at least ``n_features + 1`` samples (the normal equations are
+    otherwise underdetermined -- exactly the data-starvation fragmentation
+    inflicts on the attacker).
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"x has {x.shape[0]} rows but y has {y.shape[0]} values"
+        )
+    n, p = x.shape
+    if n < p + 1:
+        raise ValueError(
+            f"need at least {p + 1} samples to fit {p} coefficients + "
+            f"intercept, got {n}"
+        )
+    design = np.concatenate([x, np.ones((n, 1))], axis=1)
+    beta, _, _, _ = np.linalg.lstsq(design, y, rcond=None)
+    fitted = design @ beta
+    ss_res = float(np.sum((y - fitted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return RegressionModel(
+        coefficients=beta[:-1].copy(),
+        intercept=float(beta[-1]),
+        r_squared=r_squared,
+        n_samples=n,
+    )
+
+
+def coefficient_distance(a: RegressionModel, b: RegressionModel) -> float:
+    """Relative L2 distance between two models' (coefficients, intercept).
+
+    The paper's feasibility argument is that per-fragment models diverge
+    from the whole-data model; this is the scalar we report for that.
+    """
+    va = np.append(a.coefficients, a.intercept)
+    vb = np.append(b.coefficients, b.intercept)
+    if va.shape != vb.shape:
+        raise ValueError("models have different dimensionality")
+    denom = np.linalg.norm(va)
+    if denom == 0:
+        return float(np.linalg.norm(vb))
+    return float(np.linalg.norm(va - vb) / denom)
+
+
+def prediction_rmse(model: RegressionModel, x: np.ndarray, y: np.ndarray) -> float:
+    """Root-mean-square prediction error of *model* on held-out (x, y)."""
+    y = np.asarray(y, dtype=np.float64).ravel()
+    residuals = model.predict(x) - y
+    return float(np.sqrt(np.mean(residuals**2)))

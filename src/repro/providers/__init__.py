@@ -1,0 +1,54 @@
+"""Simulated cloud-storage providers: the paper's second system entity.
+
+S3-like object stores (in-memory and on-disk), a latency/cost/availability
+simulation wrapper, deterministic fault injection, GB-month billing, and a
+TCCP-style attestation registry.
+"""
+
+from repro.providers.attestation import AttestationRecord, AttestationRegistry
+from repro.providers.base import BlobStat, CloudProvider, blob_checksum
+from repro.providers.billing import DEFAULT_PRICES, SECONDS_PER_MONTH, BillingMeter
+from repro.providers.disk import DiskProvider
+from repro.providers.failures import FailureInjector, OutageWindow
+from repro.providers.memory import InMemoryProvider
+from repro.providers.registry import (
+    ProviderRegistry,
+    ProviderSpec,
+    RegisteredProvider,
+    build_simulated_fleet,
+    default_fleet_specs,
+    regional_fleet_specs,
+    regional_latency,
+)
+from repro.providers.simulated import (
+    LatencyModel,
+    ParallelWindow,
+    RequestRecord,
+    SimulatedProvider,
+)
+
+__all__ = [
+    "AttestationRecord",
+    "AttestationRegistry",
+    "BlobStat",
+    "CloudProvider",
+    "blob_checksum",
+    "BillingMeter",
+    "DEFAULT_PRICES",
+    "SECONDS_PER_MONTH",
+    "DiskProvider",
+    "FailureInjector",
+    "OutageWindow",
+    "InMemoryProvider",
+    "ProviderRegistry",
+    "ProviderSpec",
+    "RegisteredProvider",
+    "build_simulated_fleet",
+    "default_fleet_specs",
+    "regional_fleet_specs",
+    "regional_latency",
+    "LatencyModel",
+    "ParallelWindow",
+    "RequestRecord",
+    "SimulatedProvider",
+]

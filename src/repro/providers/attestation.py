@@ -1,0 +1,59 @@
+"""TCCP-style attestation registry (Section V, citing Santos et al.).
+
+The paper notes that combining the distributor with a Trusted Cloud
+Computing Platform "ensures the privacy of cloud data in case of outsourced
+storage and processing".  We model the composable piece: a registry that
+records which providers run on attested nodes, which placement policies may
+require for the most sensitive chunks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AttestationRecord:
+    """Evidence that a provider's node booted a trusted software stack."""
+
+    provider: str
+    measurement: str  # hash of the attested software stack
+    nonce: int
+
+
+class AttestationRegistry:
+    """Tracks the trusted-measurement whitelist and per-provider evidence."""
+
+    def __init__(self) -> None:
+        self._trusted_measurements: set[str] = set()
+        self._records: dict[str, AttestationRecord] = {}
+        self._nonce = 0
+
+    @staticmethod
+    def measure(stack_description: str) -> str:
+        """Deterministic measurement of a software stack description."""
+        return hashlib.sha256(stack_description.encode("utf-8")).hexdigest()
+
+    def trust_measurement(self, measurement: str) -> None:
+        """Whitelist a software-stack measurement."""
+        self._trusted_measurements.add(measurement)
+
+    def attest(self, provider: str, stack_description: str) -> AttestationRecord:
+        """Record a (fresh-nonce) attestation quote from *provider*."""
+        self._nonce += 1
+        record = AttestationRecord(
+            provider=provider,
+            measurement=self.measure(stack_description),
+            nonce=self._nonce,
+        )
+        self._records[provider] = record
+        return record
+
+    def revoke(self, provider: str) -> None:
+        self._records.pop(provider, None)
+
+    def is_attested(self, provider: str) -> bool:
+        """True iff the provider's latest quote matches a trusted measurement."""
+        record = self._records.get(provider)
+        return record is not None and record.measurement in self._trusted_measurements

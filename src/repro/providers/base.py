@@ -1,0 +1,94 @@
+"""Cloud-provider abstraction (Section IV-B).
+
+"The main tasks of Cloud Providers are: storing chunks of data, responding
+to a query by providing the desired data, and removing chunks when asked.
+All these are done using virtual id which is known as key for Amazon's
+simple storage service (S3)."
+
+Every backend therefore exposes the S3-flavoured ``put``/``get``/``delete``
+triple (plus ``contains``/``keys``/``head`` conveniences), keyed by opaque
+strings.  Integrity is first-class: backends remember a checksum at ``put``
+time and raise :class:`BlobCorruptedError` from ``get`` if the stored bytes
+no longer match -- which is how injected corruption faults surface.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+def blob_checksum(data: bytes) -> str:
+    """Content checksum used for at-rest integrity verification."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass(frozen=True)
+class BlobStat:
+    """Metadata returned by ``head``: size and integrity checksum."""
+
+    key: str
+    size: int
+    checksum: str
+
+
+class CloudProvider(ABC):
+    """Abstract S3-like object store."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("provider name must be non-empty")
+        self.name = name
+
+    # -- core S3-style interface ------------------------------------------
+
+    @abstractmethod
+    def put(self, key: str, data: bytes) -> None:
+        """Store *data* under *key*, overwriting any previous object."""
+
+    @abstractmethod
+    def get(self, key: str) -> bytes:
+        """Return the object at *key*.
+
+        Raises :class:`BlobNotFoundError` if absent and
+        :class:`BlobCorruptedError` if the stored bytes fail their
+        integrity check.
+        """
+
+    @abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove the object at *key* (raises if absent)."""
+
+    @abstractmethod
+    def keys(self) -> list[str]:
+        """All keys currently stored, in unspecified order."""
+
+    @abstractmethod
+    def head(self, key: str) -> BlobStat:
+        """Size/checksum metadata without transferring the payload."""
+
+    # -- conveniences -------------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        from repro.core.errors import BlobNotFoundError, ProviderUnavailableError
+
+        try:
+            self.head(key)
+            return True
+        except BlobNotFoundError:
+            return False
+        except ProviderUnavailableError:
+            raise
+
+    @property
+    def object_count(self) -> int:
+        return len(self.keys())
+
+    @property
+    def stored_bytes(self) -> int:
+        """Total payload bytes currently stored."""
+        return sum(self.head(k).size for k in self.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"

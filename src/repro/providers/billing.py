@@ -1,0 +1,96 @@
+"""Storage billing (GB-month accounting, Section IV-A).
+
+The distributor "maintains a cost level ... for each cloud provider
+indicating its storage cost (cost of data stored per GB-Month)".  The meter
+integrates stored bytes over simulated time so experiments can report the
+dollar cost of a placement policy, and also counts request fees the way S3
+bills PUT/GET operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.privacy import CostLevel
+from repro.util.clock import SimulatedClock
+from repro.util.units import GiB
+
+SECONDS_PER_MONTH = 30 * 24 * 3600.0
+
+#: Default price schedule per cost level: (USD per GB-month,
+#: USD per 1000 PUT requests, USD per 1000 GET requests).  Shaped after the
+#: 2012-era S3 price ladder: cheaper providers are an order cheaper.
+DEFAULT_PRICES: dict[CostLevel, tuple[float, float, float]] = {
+    CostLevel.CHEAPEST: (0.010, 0.002, 0.0002),
+    CostLevel.CHEAP: (0.030, 0.005, 0.0004),
+    CostLevel.EXPENSIVE: (0.080, 0.010, 0.0010),
+    CostLevel.PREMIUM: (0.125, 0.020, 0.0020),
+}
+
+
+@dataclass
+class BillingMeter:
+    """Accrues storage + request charges for one provider.
+
+    ``record_bytes_delta`` must be called on every put/delete with the net
+    change in stored bytes; storage cost is integrated piecewise-constant
+    against the shared simulated clock.
+    """
+
+    clock: SimulatedClock
+    cost_level: CostLevel
+    _stored_bytes: int = 0
+    _last_checkpoint: float = field(default=0.0)
+    _gb_seconds: float = 0.0
+    put_requests: int = 0
+    get_requests: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+    def __post_init__(self) -> None:
+        self._last_checkpoint = self.clock.now
+
+    def _accrue(self) -> None:
+        now = self.clock.now
+        elapsed = now - self._last_checkpoint
+        if elapsed > 0:
+            self._gb_seconds += (self._stored_bytes / GiB) * elapsed
+            self._last_checkpoint = now
+
+    def record_put(self, nbytes: int) -> None:
+        self._accrue()
+        self.put_requests += 1
+        self.bytes_in += nbytes
+
+    def record_get(self, nbytes: int) -> None:
+        self._accrue()
+        self.get_requests += 1
+        self.bytes_out += nbytes
+
+    def record_bytes_delta(self, delta: int) -> None:
+        """Net change in stored bytes (positive on put, negative on delete)."""
+        self._accrue()
+        self._stored_bytes += delta
+        if self._stored_bytes < 0:
+            raise ValueError("stored byte count went negative")
+
+    @property
+    def stored_bytes(self) -> int:
+        return self._stored_bytes
+
+    @property
+    def gb_months(self) -> float:
+        """GB-months of storage accrued so far (up to the current clock)."""
+        self._accrue()
+        return self._gb_seconds / SECONDS_PER_MONTH
+
+    def total_cost(
+        self, prices: dict[CostLevel, tuple[float, float, float]] | None = None
+    ) -> float:
+        """Total accrued USD: storage + request fees at this cost level."""
+        storage_rate, put_rate, get_rate = (prices or DEFAULT_PRICES)[self.cost_level]
+        return (
+            self.gb_months * storage_rate
+            + (self.put_requests / 1000.0) * put_rate
+            + (self.get_requests / 1000.0) * get_rate
+        )

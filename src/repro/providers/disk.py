@@ -1,0 +1,93 @@
+"""On-disk provider backend.
+
+Persists objects as files under a root directory (one file per key, with a
+sidecar checksum), so examples can survive process restarts and the
+disk-vs-memory overhead can be benchmarked.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core.errors import BlobCorruptedError, BlobNotFoundError
+from repro.providers.base import BlobStat, CloudProvider, blob_checksum
+
+_SAFE = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+
+def _encode_key(key: str) -> str:
+    """Filesystem-safe encoding of an arbitrary object key."""
+    return "".join(c if c in _SAFE else f"%{ord(c):02x}" for c in key)
+
+
+class DiskProvider(CloudProvider):
+    """Directory-backed object store with sidecar checksums."""
+
+    def __init__(self, name: str, root: str | Path) -> None:
+        super().__init__(name)
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _blob_path(self, key: str) -> Path:
+        return self.root / (_encode_key(key) + ".blob")
+
+    def _sum_path(self, key: str) -> Path:
+        return self.root / (_encode_key(key) + ".sha256")
+
+    def put(self, key: str, data: bytes) -> None:
+        tmp = self._blob_path(key).with_suffix(".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, self._blob_path(key))
+        self._sum_path(key).write_text(blob_checksum(data))
+
+    def get(self, key: str) -> bytes:
+        path = self._blob_path(key)
+        if not path.exists():
+            raise BlobNotFoundError(
+                f"provider {self.name!r} has no object {key!r}"
+            )
+        data = path.read_bytes()
+        expected = self._sum_path(key).read_text()
+        if blob_checksum(data) != expected:
+            raise BlobCorruptedError(
+                f"object {key!r} at provider {self.name!r} failed integrity check"
+            )
+        return data
+
+    def delete(self, key: str) -> None:
+        path = self._blob_path(key)
+        if not path.exists():
+            raise BlobNotFoundError(
+                f"provider {self.name!r} has no object {key!r}"
+            )
+        path.unlink()
+        self._sum_path(key).unlink(missing_ok=True)
+
+    def keys(self) -> list[str]:
+        out = []
+        for path in self.root.glob("*.blob"):
+            encoded = path.name[: -len(".blob")]
+            # Reverse the %xx escapes from _encode_key.
+            key, i = [], 0
+            while i < len(encoded):
+                if encoded[i] == "%":
+                    key.append(chr(int(encoded[i + 1 : i + 3], 16)))
+                    i += 3
+                else:
+                    key.append(encoded[i])
+                    i += 1
+            out.append("".join(key))
+        return out
+
+    def head(self, key: str) -> BlobStat:
+        path = self._blob_path(key)
+        if not path.exists():
+            raise BlobNotFoundError(
+                f"provider {self.name!r} has no object {key!r}"
+            )
+        return BlobStat(
+            key=key,
+            size=path.stat().st_size,
+            checksum=self._sum_path(key).read_text(),
+        )

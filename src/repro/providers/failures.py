@@ -1,0 +1,125 @@
+"""Fault injection for providers (Section III-A's threat catalogue).
+
+The paper motivates distribution partly by availability failures --
+"network outage, the cloud provider going out of business, malware attack"
+-- and the 2011 EC2 outage.  This module schedules those events on the
+shared simulated clock:
+
+* **outages**: a provider goes down for a window and comes back;
+* **churn**: a provider goes out of business (never returns; blobs gone);
+* **blob loss / corruption**: silent data damage the RAID layer must catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.providers.memory import InMemoryProvider
+from repro.providers.simulated import SimulatedProvider
+from repro.util.clock import EventScheduler, SimulatedClock
+from repro.util.rng import SeedLike, derive_rng
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    provider: str
+    start: float
+    end: float
+
+
+class FailureInjector:
+    """Deterministic failure scheduling over a fleet of simulated providers."""
+
+    def __init__(
+        self,
+        providers: list[SimulatedProvider],
+        clock: SimulatedClock,
+        seed: SeedLike = None,
+    ) -> None:
+        self.providers = {p.name: p for p in providers}
+        if len(self.providers) != len(providers):
+            raise ValueError("provider names must be unique")
+        self.scheduler = EventScheduler(clock)
+        self.clock = clock
+        self._rng = derive_rng(seed)
+        self.outage_history: list[OutageWindow] = []
+
+    def _provider(self, name: str) -> SimulatedProvider:
+        try:
+            return self.providers[name]
+        except KeyError:
+            raise KeyError(f"no provider named {name!r}") from None
+
+    # -- immediate faults ----------------------------------------------------
+
+    def take_down(self, name: str) -> None:
+        """Immediately mark *name* unavailable."""
+        self._provider(name).set_available(False)
+
+    def bring_up(self, name: str) -> None:
+        self._provider(name).set_available(True)
+
+    def kill_permanently(self, name: str) -> None:
+        """Provider goes out of business: down forever and blobs destroyed."""
+        provider = self._provider(name)
+        provider.set_available(False)
+        backend = provider.backend
+        if isinstance(backend, InMemoryProvider):
+            for key in list(backend.keys()):
+                backend.drop_blob(key)
+
+    def lose_blob(self, name: str, key: str) -> None:
+        """Silently destroy one object (latent sector error)."""
+        backend = self._provider(name).backend
+        if not isinstance(backend, InMemoryProvider):
+            raise TypeError("blob loss injection requires an InMemoryProvider backend")
+        backend.drop_blob(key)
+
+    def corrupt_blob(self, name: str, key: str) -> None:
+        """Silently flip a byte of one object (bit rot)."""
+        backend = self._provider(name).backend
+        if not isinstance(backend, InMemoryProvider):
+            raise TypeError("corruption injection requires an InMemoryProvider backend")
+        backend.corrupt_blob(key)
+
+    # -- scheduled faults ------------------------------------------------------
+
+    def schedule_outage(self, name: str, start: float, duration: float) -> None:
+        """Provider *name* is down during [start, start+duration)."""
+        if duration <= 0:
+            raise ValueError(f"outage duration must be positive, got {duration}")
+        provider = self._provider(name)
+        self.scheduler.schedule_at(start, lambda: provider.set_available(False))
+        self.scheduler.schedule_at(
+            start + duration, lambda: provider.set_available(True)
+        )
+        self.outage_history.append(OutageWindow(name, start, start + duration))
+
+    def schedule_random_outages(
+        self,
+        rate_per_provider: float,
+        horizon: float,
+        mean_duration: float,
+    ) -> int:
+        """Poisson outage arrivals for every provider up to *horizon*.
+
+        Returns the number of outages scheduled.  Deterministic given the
+        injector's seed.
+        """
+        if horizon <= self.clock.now:
+            raise ValueError("horizon must be in the simulated future")
+        scheduled = 0
+        for name in sorted(self.providers):
+            t = self.clock.now
+            while True:
+                t += float(self._rng.exponential(1.0 / rate_per_provider))
+                if t >= horizon:
+                    break
+                duration = float(self._rng.exponential(mean_duration))
+                self.schedule_outage(name, t, max(duration, 1e-6))
+                scheduled += 1
+        return scheduled
+
+    def run_until(self, timestamp: float) -> int:
+        """Advance simulated time, firing scheduled faults; returns count."""
+        return self.scheduler.run_until(timestamp)

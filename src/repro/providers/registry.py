@@ -1,0 +1,235 @@
+"""Provider catalogue: binds storage backends to trust/price metadata.
+
+"Number of cloud service providers is rapidly increasing and some are
+providing better services than the other.  Some cloud providers have a
+reputation of being very trustworthy while some offer very cheap services."
+(Section IV-B.)  The registry is the distributor's view of that market: each
+provider object tagged with its privacy level (reputation), cost level, and
+optional attestation status.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.privacy import CostLevel, PrivacyLevel
+from repro.providers.attestation import AttestationRegistry
+from repro.providers.base import CloudProvider
+from repro.providers.memory import InMemoryProvider
+from repro.providers.simulated import LatencyModel, SimulatedProvider
+from repro.util.clock import SimulatedClock
+from repro.util.rng import SeedLike, spawn_seeds
+
+
+@dataclass(frozen=True)
+class ProviderSpec:
+    """Declarative description of one provider in a fleet.
+
+    ``region`` supports the paper's locality optimization ("storing the
+    chunks in the locations where they are frequently used (for multi
+    national companies)", Section VII-E): placement policies can prefer
+    providers in the client's region, and :func:`regional_latency` derives
+    a realistic RTT from region distance.
+    """
+
+    name: str
+    privacy_level: PrivacyLevel
+    cost_level: CostLevel
+    latency: LatencyModel | None = None
+    attested: bool = False
+    region: str = "default"
+    capacity_bytes: int | None = None  # None = unlimited
+
+
+@dataclass
+class RegisteredProvider:
+    """A provider plus the distributor-side metadata about it."""
+
+    provider: CloudProvider
+    privacy_level: PrivacyLevel
+    cost_level: CostLevel
+    region: str = "default"
+    capacity_bytes: int | None = None
+
+    @property
+    def name(self) -> str:
+        return self.provider.name
+
+    def used_bytes(self) -> int | None:
+        """Cheaply known stored-byte count, or None when untracked.
+
+        Simulated providers track this O(1) via their billing meter;
+        querying a raw backend would cost provider requests, so capacity
+        is only enforced where the meter exists.
+        """
+        meter = getattr(self.provider, "meter", None)
+        return meter.stored_bytes if meter is not None else None
+
+    def has_capacity_for(self, nbytes: int) -> bool:
+        """True unless a known byte count would exceed a set capacity."""
+        if self.capacity_bytes is None:
+            return True
+        used = self.used_bytes()
+        if used is None:
+            return True
+        return used + nbytes <= self.capacity_bytes
+
+
+class ProviderRegistry:
+    """Name-keyed catalogue of registered providers."""
+
+    def __init__(self, attestation: AttestationRegistry | None = None) -> None:
+        self._providers: dict[str, RegisteredProvider] = {}
+        self.attestation = attestation or AttestationRegistry()
+
+    def register(
+        self,
+        provider: CloudProvider,
+        privacy_level: PrivacyLevel | int,
+        cost_level: CostLevel | int,
+        region: str = "default",
+        capacity_bytes: int | None = None,
+    ) -> RegisteredProvider:
+        if provider.name in self._providers:
+            raise ValueError(f"provider {provider.name!r} already registered")
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        entry = RegisteredProvider(
+            provider=provider,
+            privacy_level=PrivacyLevel.coerce(privacy_level),
+            cost_level=CostLevel.coerce(cost_level),
+            region=region,
+            capacity_bytes=capacity_bytes,
+        )
+        self._providers[provider.name] = entry
+        return entry
+
+    def get(self, name: str) -> RegisteredProvider:
+        try:
+            return self._providers[name]
+        except KeyError:
+            raise KeyError(f"no provider named {name!r}") from None
+
+    def names(self) -> list[str]:
+        return list(self._providers)
+
+    def all(self) -> list[RegisteredProvider]:
+        return list(self._providers.values())
+
+    def eligible(self, chunk_level: PrivacyLevel | int) -> list[RegisteredProvider]:
+        """Providers whose privacy level qualifies them for *chunk_level*."""
+        pl = PrivacyLevel.coerce(chunk_level)
+        return [
+            e for e in self._providers.values() if int(e.privacy_level) >= int(pl)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._providers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._providers
+
+
+def build_simulated_fleet(
+    specs: list[ProviderSpec],
+    clock: SimulatedClock | None = None,
+    seed: SeedLike = None,
+) -> tuple[ProviderRegistry, list[SimulatedProvider], SimulatedClock]:
+    """Instantiate a fleet of simulated providers from declarative specs.
+
+    Returns the populated registry, the simulated-provider list (for fault
+    injection), and the shared clock.  Providers marked ``attested`` get a
+    trusted-measurement record in the registry's attestation registry.
+    """
+    clock = clock or SimulatedClock()
+    registry = ProviderRegistry()
+    seeds = spawn_seeds(seed, len(specs))
+    simulated: list[SimulatedProvider] = []
+    trusted = registry.attestation.measure("trusted-stack-v1")
+    registry.attestation.trust_measurement(trusted)
+    for spec, child_seed in zip(specs, seeds):
+        provider = SimulatedProvider(
+            backend=InMemoryProvider(spec.name),
+            clock=clock,
+            latency=spec.latency,
+            cost_level=spec.cost_level,
+            seed=child_seed,
+        )
+        registry.register(
+            provider, spec.privacy_level, spec.cost_level, region=spec.region,
+            capacity_bytes=spec.capacity_bytes,
+        )
+        if spec.attested:
+            registry.attestation.attest(spec.name, "trusted-stack-v1")
+        simulated.append(provider)
+    return registry, simulated, clock
+
+
+#: RTT from the client's vantage point by region distance, modelling a
+#: client in one metro with providers locally, on-continent and overseas.
+REGION_RTT_S = {"local": 0.020, "near": 0.080, "far": 0.220}
+
+
+def regional_latency(region: str) -> LatencyModel:
+    """A latency model shaped by the provider's region distance."""
+    if region not in REGION_RTT_S:
+        raise ValueError(
+            f"region must be one of {sorted(REGION_RTT_S)}, got {region!r}"
+        )
+    return LatencyModel(rtt_s=REGION_RTT_S[region])
+
+
+def regional_fleet_specs(per_region: int = 3) -> list[ProviderSpec]:
+    """A multi-region fleet: *per_region* PL-3 providers in each of the
+    three region distances, for the Section VII-E locality experiments."""
+    if per_region < 1:
+        raise ValueError(f"per_region must be >= 1, got {per_region}")
+    specs = []
+    for region in ("local", "near", "far"):
+        for i in range(per_region):
+            specs.append(
+                ProviderSpec(
+                    name=f"{region}-{i}",
+                    privacy_level=PrivacyLevel.PRIVATE,
+                    cost_level=CostLevel.CHEAP,
+                    latency=regional_latency(region),
+                    region=region,
+                )
+            )
+    return specs
+
+
+def default_fleet_specs(n: int = 7) -> list[ProviderSpec]:
+    """A fleet shaped like the paper's Figure 3 provider table.
+
+    Mixes premium PL-3 providers (Adobe/AWS/Google/Microsoft in the paper)
+    with cheaper low-trust ones (Sky/Sea/Earth).
+    """
+    catalogue = [
+        ProviderSpec("Adobe", PrivacyLevel.PRIVATE, CostLevel.PREMIUM, attested=True),
+        ProviderSpec("AWS", PrivacyLevel.PRIVATE, CostLevel.PREMIUM, attested=True),
+        ProviderSpec("Google", PrivacyLevel.PRIVATE, CostLevel.PREMIUM, attested=True),
+        ProviderSpec("Microsoft", PrivacyLevel.PRIVATE, CostLevel.PREMIUM, attested=True),
+        ProviderSpec("Sky", PrivacyLevel.MODERATE, CostLevel.CHEAP),
+        ProviderSpec("Sea", PrivacyLevel.LOW, CostLevel.CHEAP),
+        ProviderSpec("Earth", PrivacyLevel.LOW, CostLevel.CHEAP),
+        ProviderSpec("Mist", PrivacyLevel.PUBLIC, CostLevel.CHEAPEST),
+        ProviderSpec("Dust", PrivacyLevel.PUBLIC, CostLevel.CHEAPEST),
+        ProviderSpec("Wind", PrivacyLevel.MODERATE, CostLevel.EXPENSIVE),
+        ProviderSpec("Stone", PrivacyLevel.PRIVATE, CostLevel.EXPENSIVE, attested=True),
+        ProviderSpec("River", PrivacyLevel.LOW, CostLevel.CHEAPEST),
+    ]
+    if n < 1:
+        raise ValueError(f"fleet size must be >= 1, got {n}")
+    if n <= len(catalogue):
+        return catalogue[:n]
+    extra = [
+        ProviderSpec(
+            f"CP{i}",
+            PrivacyLevel(i % 4),
+            CostLevel((i + 1) % 4),
+            attested=(i % 4 == 3),
+        )
+        for i in range(len(catalogue), n)
+    ]
+    return catalogue + extra

@@ -1,0 +1,46 @@
+"""RAID-style erasure coding across cloud providers (RACS-inspired).
+
+GF(256) arithmetic, XOR parity (RAID-5), systematic Reed-Solomon coding
+(RAID-6 and general k-of-n), stripe layout with rotating parity, and
+degraded-read/rebuild machinery.
+"""
+
+from repro.raid.gf256 import (
+    gf_div,
+    gf_inv,
+    gf_mat_inv,
+    gf_matmul,
+    gf_mul,
+    gf_pow,
+    vandermonde,
+)
+from repro.raid.parity import recover_with_parity, verify_parity, xor_parity
+from repro.raid.reconstruct import read_stripe, rebuild_shard
+from repro.raid.reed_solomon import RSCode, generator_matrix
+from repro.raid.striping import (
+    RaidLevel,
+    StripeMeta,
+    encode_stripe,
+    rotate_assignment,
+)
+
+__all__ = [
+    "gf_div",
+    "gf_inv",
+    "gf_mat_inv",
+    "gf_matmul",
+    "gf_mul",
+    "gf_pow",
+    "vandermonde",
+    "recover_with_parity",
+    "verify_parity",
+    "xor_parity",
+    "read_stripe",
+    "rebuild_shard",
+    "RSCode",
+    "generator_matrix",
+    "RaidLevel",
+    "StripeMeta",
+    "encode_stripe",
+    "rotate_assignment",
+]

@@ -1,0 +1,119 @@
+"""GF(2^8) arithmetic, vectorized over numpy uint8 arrays.
+
+The Galois field underpinning Reed-Solomon coding (RAID-6 and general
+k-of-n).  Uses the AES/RS-standard primitive polynomial x^8+x^4+x^3+x^2+1
+(0x11D) with log/antilog tables; multiplication of arrays is two table
+gathers and an add, so shard encoding runs at numpy speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+PRIMITIVE_POLY = 0x11D
+FIELD_SIZE = 256
+
+# Build exp/log tables for generator alpha = 2.
+_EXP = np.zeros(510, dtype=np.uint8)
+_LOG = np.zeros(256, dtype=np.int32)
+_x = 1
+for _i in range(255):
+    _EXP[_i] = _x
+    _LOG[_x] = _i
+    _x <<= 1
+    if _x & 0x100:
+        _x ^= PRIMITIVE_POLY
+_EXP[255:510] = _EXP[:255]
+
+
+def gf_mul(a, b):
+    """Element-wise product in GF(256); accepts scalars or uint8 arrays."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    out = _EXP[_LOG[a] + _LOG[b]]
+    zero = (a == 0) | (b == 0)
+    return np.where(zero, np.uint8(0), out)
+
+
+def gf_inv(a):
+    """Element-wise multiplicative inverse; raises on zero."""
+    a = np.asarray(a, dtype=np.uint8)
+    if np.any(a == 0):
+        raise ZeroDivisionError("zero has no inverse in GF(256)")
+    return _EXP[255 - _LOG[a]]
+
+
+def gf_div(a, b):
+    """Element-wise a / b in GF(256); raises on division by zero."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if np.any(b == 0):
+        raise ZeroDivisionError("division by zero in GF(256)")
+    out = _EXP[(_LOG[a] - _LOG[b]) % 255]
+    return np.where(a == 0, np.uint8(0), out)
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    """Scalar a**exponent in GF(256)."""
+    a = int(a) & 0xFF
+    if exponent == 0:
+        return 1
+    if a == 0:
+        return 0
+    return int(_EXP[(_LOG[a] * exponent) % 255])
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(256): XOR-accumulate of gf_mul terms.
+
+    ``a`` is (m, k), ``b`` is (k, n); loops over the small inner dimension
+    so each term is a vectorized row operation.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} @ {b.shape}")
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for l in range(a.shape[1]):
+        out ^= gf_mul(a[:, l : l + 1], b[l : l + 1, :])
+    return out
+
+
+def gf_mat_inv(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square matrix over GF(256) via Gauss-Jordan elimination.
+
+    Raises :class:`numpy.linalg.LinAlgError` if the matrix is singular.
+    """
+    m = np.asarray(matrix, dtype=np.uint8)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ValueError(f"matrix must be square, got shape {m.shape}")
+    n = m.shape[0]
+    aug = np.concatenate([m.copy(), np.eye(n, dtype=np.uint8)], axis=1)
+    for col in range(n):
+        pivot_rows = np.nonzero(aug[col:, col])[0]
+        if pivot_rows.size == 0:
+            raise np.linalg.LinAlgError("matrix is singular over GF(256)")
+        pivot = col + int(pivot_rows[0])
+        if pivot != col:
+            aug[[col, pivot]] = aug[[pivot, col]]
+        aug[col] = gf_div(aug[col], int(aug[col, col]))
+        for row in range(n):
+            if row != col and aug[row, col]:
+                aug[row] ^= gf_mul(int(aug[row, col]), aug[col])
+    return aug[:, n:].copy()
+
+
+def vandermonde(rows: int, cols: int) -> np.ndarray:
+    """Vandermonde matrix V[r, c] = r**c over GF(256).
+
+    Any ``cols`` rows of it are linearly independent provided
+    ``rows <= 256``, which is what makes the systematic RS generator matrix
+    recoverable from any k surviving shards.
+    """
+    if rows > FIELD_SIZE:
+        raise ValueError(f"at most {FIELD_SIZE} rows supported, got {rows}")
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for r in range(rows):
+        for c in range(cols):
+            out[r, c] = gf_pow(r, c)
+    return out

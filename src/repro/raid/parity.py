@@ -1,0 +1,41 @@
+"""XOR parity (RAID-5's single-failure protection).
+
+RAID level 5 is the paper's default striping choice ("The default choice is
+RAID level 5", Section IV-A).  With one parity shard, any single missing
+stripe member is the XOR of the survivors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_matrix(blocks: list[bytes]) -> np.ndarray:
+    if not blocks:
+        raise ValueError("need at least one block")
+    size = len(blocks[0])
+    for i, block in enumerate(blocks):
+        if len(block) != size:
+            raise ValueError(
+                f"block {i} has {len(block)} bytes, expected {size}"
+            )
+    return np.frombuffer(b"".join(blocks), dtype=np.uint8).reshape(len(blocks), size)
+
+
+def xor_parity(blocks: list[bytes]) -> bytes:
+    """The XOR of equally sized *blocks*."""
+    matrix = _as_matrix(blocks)
+    out = np.zeros(matrix.shape[1], dtype=np.uint8)
+    for row in matrix:
+        out ^= row
+    return out.tobytes()
+
+
+def recover_with_parity(survivors: list[bytes], parity: bytes) -> bytes:
+    """Recover the single missing data block from survivors + parity."""
+    return xor_parity(survivors + [parity])
+
+
+def verify_parity(blocks: list[bytes], parity: bytes) -> bool:
+    """True iff *parity* is the XOR of *blocks*."""
+    return xor_parity(blocks) == parity

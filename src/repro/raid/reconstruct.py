@@ -1,0 +1,110 @@
+"""Stripe decoding with degraded reads and shard rebuild.
+
+"[RAID] guarantees successful retrieval of data in case of a cloud provider
+being blocked by any unlikely event or going out of business" (Section
+III-B).  :func:`read_stripe` fetches the data shards first and falls back to
+parity decoding when members are missing; :func:`rebuild_shard` regenerates
+a lost shard for re-replication to a replacement provider.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.errors import ProviderError, ReconstructionError
+from repro.raid.parity import recover_with_parity
+from repro.raid.striping import RaidLevel, StripeMeta, _rs_code
+
+
+def _decode(meta: StripeMeta, shards: dict[int, bytes]) -> bytes:
+    """Reassemble the original payload from enough shards of a stripe."""
+    if meta.orig_len == 0:
+        return b""
+    have_data = [i for i in range(meta.k) if i in shards]
+    if len(shards) < meta.k:
+        raise ReconstructionError(
+            f"{meta.level.name} stripe needs {meta.k} shards, only "
+            f"{len(shards)} available"
+        )
+    if meta.level is RaidLevel.RAID1:
+        # Every shard is a full copy.
+        payload = next(iter(shards.values()))
+        return payload[: meta.orig_len]
+    if len(have_data) == meta.k:
+        data = [shards[i] for i in range(meta.k)]
+    elif meta.level is RaidLevel.RAID5:
+        missing = [i for i in range(meta.k) if i not in shards]
+        # With k shards present and RAID5's single parity, at most one data
+        # shard can be absent.
+        recovered = recover_with_parity(
+            [shards[i] for i in have_data], shards[meta.k]
+        )
+        data = [
+            shards[i] if i in shards else recovered for i in range(meta.k)
+        ]
+        del missing
+    else:
+        data = _rs_code(meta.k, meta.m).decode(shards)
+    return b"".join(data)[: meta.orig_len]
+
+
+def read_stripe(
+    meta: StripeMeta,
+    fetch: Callable[[int], bytes],
+    prefer_data: bool = True,
+) -> tuple[bytes, list[int]]:
+    """Fetch shards (data first) and decode; returns (payload, failed idxs).
+
+    *fetch* maps shard index -> shard bytes and may raise
+    :class:`ProviderError` for unavailable/lost/corrupt shards.  Parity
+    shards are only fetched when needed.  Raises
+    :class:`ReconstructionError` once too many shards have failed.
+    """
+    shards: dict[int, bytes] = {}
+    failed: list[int] = []
+    order = list(range(meta.k)) + list(range(meta.k, meta.n))
+    if not prefer_data:
+        order = list(range(meta.n))
+    for index in order:
+        if len(shards) >= meta.k:
+            break
+        try:
+            shards[index] = fetch(index)
+        except ProviderError:
+            failed.append(index)
+    if len(shards) < meta.k:
+        raise ReconstructionError(
+            f"{meta.level.name} stripe unrecoverable: "
+            f"{len(failed)} shard(s) failed ({failed}), "
+            f"only {len(shards)}/{meta.k} required shards readable"
+        )
+    return _decode(meta, shards), failed
+
+
+def rebuild_shard(
+    meta: StripeMeta, index: int, shards: dict[int, bytes]
+) -> bytes:
+    """Regenerate shard *index* from the surviving *shards*."""
+    if not (0 <= index < meta.n):
+        raise ValueError(f"shard index {index} out of range 0..{meta.n - 1}")
+    if meta.orig_len == 0:
+        return b""
+    if meta.level is RaidLevel.RAID0:
+        raise ReconstructionError("RAID0 has no redundancy to rebuild from")
+    if meta.level is RaidLevel.RAID1:
+        if not shards:
+            raise ReconstructionError("no surviving mirror copy")
+        return next(iter(shards.values()))
+    if meta.level is RaidLevel.RAID5:
+        others = {i: s for i, s in shards.items() if i != index}
+        if len(others) < meta.k:
+            raise ReconstructionError(
+                f"RAID5 rebuild needs {meta.k} surviving shards, got {len(others)}"
+            )
+        blocks = [others[i] for i in sorted(others)][: meta.k]
+        # XOR of any k of the k+1 stripe members reproduces the missing one.
+        from repro.raid.parity import xor_parity
+
+        return xor_parity(blocks)
+    others = {i: s for i, s in shards.items() if i != index}
+    return _rs_code(meta.k, meta.m).reconstruct_shard(index, others)

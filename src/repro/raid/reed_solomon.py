@@ -1,0 +1,111 @@
+"""Systematic Reed-Solomon erasure coding over GF(256).
+
+Provides the general k-of-n code behind RAID-6 (m = 2) and arbitrary
+redundancy levels.  The generator matrix is a Vandermonde matrix
+column-reduced so its top k x k block is the identity: the first k output
+shards are the data shards verbatim (systematic), and ANY k of the k+m
+shards suffice to reconstruct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.raid.gf256 import gf_mat_inv, gf_matmul, vandermonde
+
+
+def generator_matrix(k: int, m: int) -> np.ndarray:
+    """The (k+m) x k systematic RS generator matrix.
+
+    Built as ``V @ inv(V[:k])`` where V is Vandermonde, which preserves the
+    any-k-rows-invertible property while making the top block the identity.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if m < 0:
+        raise ValueError(f"m must be >= 0, got {m}")
+    if k + m > 256:
+        raise ValueError(f"k+m must be <= 256, got {k + m}")
+    v = vandermonde(k + m, k)
+    return gf_matmul(v, gf_mat_inv(v[:k]))
+
+
+@dataclass(frozen=True)
+class RSCode:
+    """A (k data, m parity) systematic Reed-Solomon code."""
+
+    k: int
+    m: int
+
+    def __post_init__(self) -> None:
+        # Validate parameters by building the matrix once.
+        object.__setattr__(self, "_gen", generator_matrix(self.k, self.m))
+
+    @property
+    def n(self) -> int:
+        return self.k + self.m
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._gen  # type: ignore[attr-defined]
+
+    # -- encoding -------------------------------------------------------------
+
+    def encode(self, data_shards: list[bytes]) -> list[bytes]:
+        """Compute the m parity shards for *data_shards* (all equal-sized)."""
+        if len(data_shards) != self.k:
+            raise ValueError(f"expected {self.k} data shards, got {len(data_shards)}")
+        if self.m == 0:
+            return []
+        size = len(data_shards[0])
+        for i, shard in enumerate(data_shards):
+            if len(shard) != size:
+                raise ValueError(
+                    f"shard {i} has {len(shard)} bytes, expected {size}"
+                )
+        data = np.frombuffer(b"".join(data_shards), dtype=np.uint8).reshape(
+            self.k, size
+        )
+        parity = gf_matmul(self.matrix[self.k :], data)
+        return [parity[i].tobytes() for i in range(self.m)]
+
+    # -- decoding -------------------------------------------------------------
+
+    def decode(self, shards: dict[int, bytes]) -> list[bytes]:
+        """Reconstruct the k data shards from any k available shards.
+
+        *shards* maps shard index (0..n-1; data shards first) to bytes.
+        Raises ``ValueError`` if fewer than k shards are supplied.
+        """
+        present = sorted(shards)
+        if any(i < 0 or i >= self.n for i in present):
+            raise ValueError(f"shard indices must be in 0..{self.n - 1}")
+        if len(present) < self.k:
+            raise ValueError(
+                f"need at least {self.k} shards to decode, got {len(present)}"
+            )
+        # Fast path: all data shards survived.
+        if all(i in shards for i in range(self.k)):
+            return [shards[i] for i in range(self.k)]
+        use = present[: self.k]
+        size = len(shards[use[0]])
+        sub = self.matrix[use]
+        inv = gf_mat_inv(sub)
+        stacked = np.frombuffer(
+            b"".join(shards[i] for i in use), dtype=np.uint8
+        ).reshape(self.k, size)
+        data = gf_matmul(inv, stacked)
+        return [data[i].tobytes() for i in range(self.k)]
+
+    def reconstruct_shard(self, index: int, shards: dict[int, bytes]) -> bytes:
+        """Rebuild the single shard *index* (data or parity) from survivors."""
+        data = self.decode(shards)
+        if index < self.k:
+            return data[index]
+        stacked = np.frombuffer(b"".join(data), dtype=np.uint8).reshape(
+            self.k, len(data[0])
+        )
+        row = gf_matmul(self.matrix[index : index + 1], stacked)
+        return row[0].tobytes()

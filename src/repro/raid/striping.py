@@ -1,0 +1,128 @@
+"""RAID stripe layouts over cloud providers (Sections III-B and IV-A).
+
+"While distributing chunks, the distributor applies Redundant Array of
+Independent Disks (RAID) strategy...  The default choice is RAID level 5.
+In case of higher assurance, RAID level 6 is used."  Following RACS, each
+cloud provider plays the role of one disk; a chunk is encoded into a stripe
+of ``width`` shards spread over ``width`` distinct providers.
+
+Level semantics (k data shards, m parity shards, n = k + m = width):
+
+* ``RAID0`` - striping only (k=width, m=0): no redundancy.
+* ``RAID1`` - mirroring (k=1, m=width-1): each shard is a full copy.
+* ``RAID5`` - single XOR parity (k=width-1, m=1): survives any 1 loss.
+* ``RAID6`` - double Reed-Solomon parity (k=width-2, m=2): survives any 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from functools import lru_cache
+
+from repro.raid.parity import xor_parity
+from repro.raid.reed_solomon import RSCode
+
+
+class RaidLevel(Enum):
+    RAID0 = "raid0"
+    RAID1 = "raid1"
+    RAID5 = "raid5"
+    RAID6 = "raid6"
+
+    @property
+    def min_width(self) -> int:
+        return {"raid0": 1, "raid1": 2, "raid5": 3, "raid6": 4}[self.value]
+
+    def shard_counts(self, width: int) -> tuple[int, int]:
+        """(data shards k, parity shards m) for a stripe of *width*."""
+        if width < self.min_width:
+            raise ValueError(
+                f"{self.name} needs stripe width >= {self.min_width}, got {width}"
+            )
+        if self is RaidLevel.RAID0:
+            return width, 0
+        if self is RaidLevel.RAID1:
+            return 1, width - 1
+        if self is RaidLevel.RAID5:
+            return width - 1, 1
+        return width - 2, 2
+
+    @property
+    def fault_tolerance(self) -> str:
+        """Human description of survivable simultaneous losses."""
+        return {
+            RaidLevel.RAID0: "none",
+            RaidLevel.RAID1: "width-1 losses",
+            RaidLevel.RAID5: "any 1 loss",
+            RaidLevel.RAID6: "any 2 losses",
+        }[self]
+
+    def storage_overhead(self, width: int) -> float:
+        """Stored bytes / payload bytes for this level at *width*."""
+        k, m = self.shard_counts(width)
+        return (k + m) / k
+
+
+@dataclass(frozen=True)
+class StripeMeta:
+    """Everything needed to decode a stripe besides the shard bytes."""
+
+    level: RaidLevel
+    width: int
+    k: int
+    m: int
+    shard_size: int
+    orig_len: int
+
+    @property
+    def n(self) -> int:
+        return self.k + self.m
+
+
+@lru_cache(maxsize=64)
+def _rs_code(k: int, m: int) -> RSCode:
+    return RSCode(k=k, m=m)
+
+
+def encode_stripe(
+    payload: bytes, level: RaidLevel, width: int
+) -> tuple[StripeMeta, list[bytes]]:
+    """Encode *payload* into a stripe of ``width`` shards.
+
+    Returns (metadata, shards) where shards[0..k-1] are the (zero-padded)
+    data shards and shards[k..n-1] the parity shards.
+    """
+    k, m = level.shard_counts(width)
+    orig_len = len(payload)
+    shard_size = -(-orig_len // k) if orig_len else 0
+    padded = payload + b"\x00" * (k * shard_size - orig_len)
+    data_shards = [
+        padded[i * shard_size : (i + 1) * shard_size] for i in range(k)
+    ]
+    if level is RaidLevel.RAID1:
+        parity = [bytes(data_shards[0]) for _ in range(m)]
+    elif level is RaidLevel.RAID5:
+        parity = [xor_parity(data_shards)] if shard_size else [b""]
+    elif m > 0:
+        parity = (
+            _rs_code(k, m).encode(data_shards) if shard_size else [b""] * m
+        )
+    else:
+        parity = []
+    meta = StripeMeta(
+        level=level, width=width, k=k, m=m, shard_size=shard_size, orig_len=orig_len
+    )
+    return meta, data_shards + parity
+
+
+def rotate_assignment(n: int, rotation: int) -> list[int]:
+    """Shard->slot mapping that rotates parity placement stripe by stripe.
+
+    Classic RAID-5 rotates which disk holds parity; we rotate the whole
+    shard order by *rotation* so shard ``i`` goes to slot
+    ``(i + rotation) % n``.  Returns ``slot_of_shard`` as a list.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return [(i + rotation) % n for i in range(n)]

@@ -1,0 +1,30 @@
+"""Shared utilities: deterministic RNG plumbing, simulated time, units,
+and ASCII table rendering used by the benchmark harness."""
+
+from repro.util.clock import SimulatedClock
+from repro.util.profiling import profiled, timed
+from repro.util.rng import derive_rng, spawn_seeds
+from repro.util.tables import render_table
+from repro.util.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_bytes,
+    format_duration,
+    parse_bytes,
+)
+
+__all__ = [
+    "SimulatedClock",
+    "profiled",
+    "timed",
+    "derive_rng",
+    "spawn_seeds",
+    "render_table",
+    "KiB",
+    "MiB",
+    "GiB",
+    "format_bytes",
+    "format_duration",
+    "parse_bytes",
+]

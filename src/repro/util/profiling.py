@@ -1,0 +1,79 @@
+"""Profiling helpers (per the optimization workflow: measure first).
+
+Thin wrappers over :mod:`cProfile` and :func:`time.perf_counter` so
+benches and examples can answer "where does the time go" without
+boilerplate.  No optimization without measuring.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ProfileResult:
+    """Captured profile: total wall time + the hottest functions."""
+
+    wall_seconds: float = 0.0
+    top: list[tuple[str, float]] = field(default_factory=list)
+
+    def report(self, limit: int = 10) -> str:
+        lines = [f"wall time: {self.wall_seconds:.4f} s"]
+        for name, cumtime in self.top[:limit]:
+            lines.append(f"  {cumtime:8.4f} s  {name}")
+        return "\n".join(lines)
+
+
+@contextmanager
+def profiled(top: int = 20):
+    """Profile the enclosed block; yields a :class:`ProfileResult`.
+
+    ::
+
+        with profiled() as prof:
+            heavy_work()
+        print(prof.report())
+    """
+    result = ProfileResult()
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    try:
+        yield result
+    finally:
+        profiler.disable()
+        result.wall_seconds = time.perf_counter() - start
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative")
+        entries = []
+        for func, (_cc, _nc, _tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+            filename, lineno, name = func
+            if "profiling.py" in filename:
+                continue
+            entries.append((f"{name} ({filename}:{lineno})", ct))
+        entries.sort(key=lambda pair: -pair[1])
+        result.top = entries[:top]
+
+
+@contextmanager
+def timed():
+    """Minimal wall-clock timer; yields a dict filled on exit.
+
+    ::
+
+        with timed() as t:
+            work()
+        print(t["seconds"])
+    """
+    out: dict[str, float] = {}
+    start = time.perf_counter()
+    try:
+        yield out
+    finally:
+        out["seconds"] = time.perf_counter() - start

@@ -1,0 +1,63 @@
+"""Byte and duration unit helpers used across workloads and benches."""
+
+from __future__ import annotations
+
+import re
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+_SUFFIXES = {
+    "b": 1,
+    "kb": 1000,
+    "kib": KiB,
+    "mb": 1000**2,
+    "mib": MiB,
+    "gb": 1000**3,
+    "gib": GiB,
+}
+
+_BYTES_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_bytes(text: str | int | float) -> int:
+    """Parse ``"4KiB"``-style strings (or pass through numbers) to bytes."""
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"byte count must be >= 0, got {text}")
+        return int(text)
+    match = _BYTES_RE.match(text)
+    if not match:
+        raise ValueError(f"cannot parse byte size: {text!r}")
+    value, suffix = match.groups()
+    suffix = suffix.lower() or "b"
+    if suffix not in _SUFFIXES:
+        raise ValueError(f"unknown byte suffix {suffix!r} in {text!r}")
+    return int(float(value) * _SUFFIXES[suffix])
+
+
+def format_bytes(n: int | float) -> str:
+    """Human-readable binary-prefixed byte count (``1536 -> '1.50 KiB'``)."""
+    n = float(n)
+    for unit, factor in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(n) >= factor:
+            return f"{n / factor:.2f} {unit}"
+    return f"{int(n)} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration (``0.00153 -> '1.53 ms'``)."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds >= 3600:
+        return f"{seconds / 3600:.2f} h"
+    if seconds >= 60:
+        return f"{seconds / 60:.2f} min"
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.2f} us"
+    return f"{seconds * 1e9:.2f} ns"

@@ -1,0 +1,80 @@
+"""Workload generators: the datasets the paper's experiments mine.
+
+Table IV's Hercules bidding history (verbatim + parametric generator),
+synthetic 30-user GPS traces (Figs. 4-6), market-basket transactions with
+planted association rules, customer records with a predictable sensitive
+label, raw file payloads, and the CSV record codec the adversary parses
+from fragments.
+"""
+
+from repro.workloads.access_patterns import (
+    sequential_scan,
+    uniform_accesses,
+    zipf_accesses,
+)
+from repro.workloads.bidding import (
+    FEATURE_NAMES,
+    TABLE_IV,
+    TRUE_COEFFICIENTS,
+    TRUE_INTERCEPT,
+    BiddingDataset,
+    generate_bidding_history,
+    rows_from_salvaged,
+    table_iv,
+)
+from repro.workloads.files import random_bytes, text_like
+from repro.workloads.gps import (
+    GPSTrace,
+    GPSUser,
+    feature_matrix,
+    generate_city,
+    generate_trace,
+    generate_users,
+    user_features,
+)
+from repro.workloads.records import RecordSet, generate_records
+from repro.workloads.serialization import (
+    decode_records,
+    encode_records,
+    salvage_records,
+)
+from repro.workloads.transactions import (
+    PLANTED_RULES,
+    TransactionLog,
+    baskets_from_rows,
+    generate_transactions,
+    planted_rule_pairs,
+)
+
+__all__ = [
+    "sequential_scan",
+    "uniform_accesses",
+    "zipf_accesses",
+    "FEATURE_NAMES",
+    "TABLE_IV",
+    "TRUE_COEFFICIENTS",
+    "TRUE_INTERCEPT",
+    "BiddingDataset",
+    "generate_bidding_history",
+    "rows_from_salvaged",
+    "table_iv",
+    "random_bytes",
+    "text_like",
+    "GPSTrace",
+    "GPSUser",
+    "feature_matrix",
+    "generate_city",
+    "generate_trace",
+    "generate_users",
+    "user_features",
+    "RecordSet",
+    "generate_records",
+    "decode_records",
+    "encode_records",
+    "salvage_records",
+    "PLANTED_RULES",
+    "TransactionLog",
+    "baskets_from_rows",
+    "generate_transactions",
+    "planted_rule_pairs",
+]

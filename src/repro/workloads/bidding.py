@@ -1,0 +1,131 @@
+"""The Hercules bidding workload (Table IV and Section VII-A).
+
+Contains the paper's Table IV verbatim, the ground-truth pricing model the
+paper's insider recovers (``bid ~ 1.4*Materials + 1.5*Production +
+3.1*Maintenance + 5436``), and a parametric generator drawing more bidding
+records from that model for the sample-size ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import SeedLike, derive_rng
+from repro.workloads.serialization import encode_records
+
+#: Table IV of the paper, verbatim: (Year, Company, Materials, Production,
+#: Maintenance, Bid).
+TABLE_IV: list[tuple[int, str, int, int, int, int]] = [
+    (2001, "Greece", 1300, 600, 3200, 18111),
+    (2002, "Rome", 1400, 600, 3300, 18627),
+    (2002, "Greece", 1900, 800, 3200, 19337),
+    (2004, "Rome", 1700, 900, 3500, 20078),
+    (2005, "Greece", 1700, 700, 3100, 18383),
+    (2006, "Rome", 1800, 800, 3300, 19600),
+    (2009, "Greece", 1500, 1000, 3600, 20320),
+    (2010, "Rome", 1700, 900, 3700, 20667),
+    (2010, "Greece", 1800, 700, 3500, 19937),
+    (2011, "Rome", 2100, 800, 3700, 21135),
+    (2011, "Greece", 1900, 1100, 3600, 20945),
+    (2011, "Rome", 2000, 1000, 3700, 21199),
+]
+
+HEADER = ("Year", "Company", "Materials", "Production", "Maintenance", "Bid")
+
+#: The pricing model the paper's insider extracts from the full table:
+#: coefficients for (Materials, Production, Maintenance) and the intercept.
+TRUE_COEFFICIENTS = np.array([1.4, 1.5, 3.1])
+TRUE_INTERCEPT = 5436.0
+
+FEATURE_NAMES = ["Materials", "Production", "Maintenance"]
+
+PARSERS = (int, str, int, int, int, int)
+
+
+@dataclass(frozen=True)
+class BiddingDataset:
+    """Bidding rows plus their regression design (features, target)."""
+
+    rows: list[tuple]
+
+    def features(self) -> np.ndarray:
+        """(n, 3) matrix of (Materials, Production, Maintenance)."""
+        return np.array([[r[2], r[3], r[4]] for r in self.rows], dtype=np.float64)
+
+    def bids(self) -> np.ndarray:
+        return np.array([r[5] for r in self.rows], dtype=np.float64)
+
+    def to_bytes(self, header: bool = False) -> bytes:
+        """Serialize as the CSV file Hercules uploads to the cloud."""
+        return encode_records(self.rows, header=HEADER if header else None)
+
+    def split_equally(self, parts: int) -> list["BiddingDataset"]:
+        """The paper's fragmentation: consecutive equal row blocks.
+
+        "if Hercules distributes his data equally among 3 providers ...
+        Hera gets the first four rows of the above table."
+        """
+        if parts < 1:
+            raise ValueError(f"parts must be >= 1, got {parts}")
+        size = -(-len(self.rows) // parts)
+        return [
+            BiddingDataset(rows=self.rows[i * size : (i + 1) * size])
+            for i in range(parts)
+            if self.rows[i * size : (i + 1) * size]
+        ]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def table_iv() -> BiddingDataset:
+    """The paper's 12-row Hercules bidding history."""
+    return BiddingDataset(rows=list(TABLE_IV))
+
+
+def generate_bidding_history(
+    n: int,
+    seed: SeedLike = None,
+    noise_std: float = 120.0,
+    start_year: int = 2001,
+) -> BiddingDataset:
+    """Draw *n* bidding records from the paper's ground-truth model.
+
+    Cost features are sampled in the ranges Table IV spans; the bid is the
+    true linear model plus Gaussian noise (``noise_std`` ~ the residual
+    scale of Table IV itself).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = derive_rng(seed)
+    materials = rng.integers(12, 22, size=n) * 100
+    production = rng.integers(5, 12, size=n) * 100
+    maintenance = rng.integers(30, 38, size=n) * 100
+    bid = (
+        TRUE_COEFFICIENTS[0] * materials
+        + TRUE_COEFFICIENTS[1] * production
+        + TRUE_COEFFICIENTS[2] * maintenance
+        + TRUE_INTERCEPT
+        + rng.normal(0.0, noise_std, size=n)
+    )
+    companies = np.where(rng.random(n) < 0.5, "Greece", "Rome")
+    years = start_year + rng.integers(0, 12, size=n)
+    rows = [
+        (
+            int(years[i]),
+            str(companies[i]),
+            int(materials[i]),
+            int(production[i]),
+            int(maintenance[i]),
+            int(round(bid[i])),
+        )
+        for i in range(n)
+    ]
+    return BiddingDataset(rows=rows)
+
+
+def rows_from_salvaged(salvaged: list[tuple]) -> BiddingDataset:
+    """Wrap attacker-salvaged rows back into a dataset for mining."""
+    return BiddingDataset(rows=list(salvaged))

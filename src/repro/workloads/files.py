@@ -1,0 +1,31 @@
+"""Raw file payload generators for throughput/distribution-time benches."""
+
+from __future__ import annotations
+
+from repro.util.rng import SeedLike, derive_rng
+
+_WORDS = (
+    "the quick brown fox jumps over a lazy dog while ninety cloud providers "
+    "store fragmented chunks of sensitive data"
+).split()
+
+
+def random_bytes(n: int, seed: SeedLike = None) -> bytes:
+    """*n* uniformly random bytes (incompressible payload)."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    return derive_rng(seed).integers(0, 256, size=n, dtype="u1").tobytes()
+
+
+def text_like(n: int, seed: SeedLike = None) -> bytes:
+    """Roughly *n* bytes of word-salad text (compressible payload)."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    rng = derive_rng(seed)
+    parts: list[str] = []
+    size = 0
+    while size < n:
+        word = _WORDS[int(rng.integers(0, len(_WORDS)))]
+        parts.append(word)
+        size += len(word) + 1
+    return (" ".join(parts)).encode("utf-8")[:n]

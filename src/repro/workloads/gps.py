@@ -1,0 +1,160 @@
+"""Synthetic GPS workload (Section VIII's clustering experiment).
+
+The paper collected GPS traces "from 30 people living in Dhaka city" via an
+Android location app, clustered users hierarchically over >3000
+observations each (Fig. 4), then re-clustered over 500-observation
+fragments (Figs. 5-6) and observed entities moving between clusters.
+
+The generator reproduces that setup synthetically: users live on a city
+grid with home/work/errand anchor points; each observation is an anchor
+visit plus GPS noise.  Users are drawn from a handful of behavioural
+archetypes (neighbourhood + commute pattern) so the full-data clustering
+has real structure for fragmentation to destroy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import SeedLike, derive_rng
+from repro.workloads.serialization import encode_records
+
+HEADER = ("user", "t", "lat", "lon")
+PARSERS = (int, int, float, float)
+
+#: City extent in abstract kilometres (Dhaka is roughly 15 km x 20 km).
+CITY_KM = (15.0, 20.0)
+
+
+@dataclass(frozen=True)
+class GPSUser:
+    """One synthetic user: anchors plus visit propensities."""
+
+    user_id: int
+    archetype: int
+    home: tuple[float, float]
+    work: tuple[float, float]
+    errand: tuple[float, float]
+    visit_probs: tuple[float, float, float]  # home / work / errand
+
+
+@dataclass(frozen=True)
+class GPSTrace:
+    """Observations of one user: integer timestamps + (lat, lon) in km."""
+
+    user: GPSUser
+    times: np.ndarray
+    points: np.ndarray  # (n, 2)
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    def head(self, n: int) -> "GPSTrace":
+        """The first *n* observations (a provider's fragment of the trace)."""
+        return GPSTrace(user=self.user, times=self.times[:n], points=self.points[:n])
+
+    def slice(self, start: int, stop: int) -> "GPSTrace":
+        return GPSTrace(
+            user=self.user, times=self.times[start:stop], points=self.points[start:stop]
+        )
+
+    def rows(self) -> list[tuple]:
+        return [
+            (self.user.user_id, int(t), round(float(p[0]), 5), round(float(p[1]), 5))
+            for t, p in zip(self.times, self.points)
+        ]
+
+    def to_bytes(self) -> bytes:
+        return encode_records(self.rows())
+
+
+def generate_users(
+    n_users: int = 30, n_archetypes: int = 4, seed: SeedLike = None
+) -> list[GPSUser]:
+    """Synthesize *n_users* with behavioural-archetype structure."""
+    if n_users < 1:
+        raise ValueError(f"n_users must be >= 1, got {n_users}")
+    if n_archetypes < 1:
+        raise ValueError(f"n_archetypes must be >= 1, got {n_archetypes}")
+    rng = derive_rng(seed)
+    # Archetype centers: a neighbourhood and a business district per type.
+    archetype_home = rng.uniform([0, 0], CITY_KM, size=(n_archetypes, 2))
+    archetype_work = rng.uniform([0, 0], CITY_KM, size=(n_archetypes, 2))
+    users = []
+    for uid in range(n_users):
+        a = uid % n_archetypes
+        home = archetype_home[a] + rng.normal(0, 0.8, size=2)
+        work = archetype_work[a] + rng.normal(0, 0.8, size=2)
+        errand = rng.uniform([0, 0], CITY_KM, size=2)
+        # Visit mix varies by archetype: some users are homebodies, some
+        # heavy commuters.
+        base = np.array([0.5, 0.35, 0.15])
+        tilt = rng.dirichlet(alpha=8 * base + a)
+        users.append(
+            GPSUser(
+                user_id=uid,
+                archetype=a,
+                home=(float(home[0]), float(home[1])),
+                work=(float(work[0]), float(work[1])),
+                errand=(float(errand[0]), float(errand[1])),
+                visit_probs=(float(tilt[0]), float(tilt[1]), float(tilt[2])),
+            )
+        )
+    return users
+
+
+def generate_trace(
+    user: GPSUser, n_obs: int, seed: SeedLike = None, gps_noise_km: float = 0.15
+) -> GPSTrace:
+    """Draw *n_obs* observations of *user* from their anchor mixture."""
+    if n_obs < 1:
+        raise ValueError(f"n_obs must be >= 1, got {n_obs}")
+    rng = derive_rng(seed)
+    anchors = np.array([user.home, user.work, user.errand])
+    choices = rng.choice(3, size=n_obs, p=np.array(user.visit_probs))
+    points = anchors[choices] + rng.normal(0, gps_noise_km, size=(n_obs, 2))
+    times = np.arange(n_obs) * 600  # one fix every 10 minutes
+    return GPSTrace(user=user, times=times, points=points)
+
+
+def generate_city(
+    n_users: int = 30,
+    n_obs: int = 3200,
+    seed: SeedLike = None,
+) -> list[GPSTrace]:
+    """The paper's dataset: 30 users x >3000 observations each."""
+    rng = derive_rng(seed)
+    users = generate_users(n_users, seed=rng)
+    return [generate_trace(u, n_obs, seed=rng) for u in users]
+
+
+def user_features(trace: GPSTrace) -> np.ndarray:
+    """Behavioural feature vector for clustering one user.
+
+    Mean position, positional spread, radius of gyration and top-anchor
+    dwell fraction -- the profile features the paper warns GPS analysis
+    can build ("a comprehensive profile of a person").
+    """
+    pts = trace.points
+    if pts.shape[0] == 0:
+        raise ValueError("cannot featurize an empty trace")
+    mean = pts.mean(axis=0)
+    std = pts.std(axis=0)
+    centered = pts - mean
+    gyration = float(np.sqrt(np.mean(np.sum(centered**2, axis=1))))
+    # Dwell fraction at the densest 500 m cell ~ "how anchored" the user is.
+    cells = np.floor(pts / 0.5).astype(np.int64)
+    _, counts = np.unique(cells, axis=0, return_counts=True)
+    dwell = float(counts.max() / pts.shape[0])
+    return np.array([mean[0], mean[1], std[0], std[1], gyration, dwell])
+
+
+def feature_matrix(traces: list[GPSTrace]) -> np.ndarray:
+    """Stacked, z-normalized user features (rows ordered by user id)."""
+    matrix = np.stack([user_features(t) for t in traces])
+    mean = matrix.mean(axis=0)
+    std = matrix.std(axis=0)
+    std[std == 0] = 1.0
+    return (matrix - mean) / std

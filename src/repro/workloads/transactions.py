@@ -1,0 +1,123 @@
+"""Market-basket workload for the association-rule attack (Section II-B).
+
+Generates transaction logs with *planted* association rules (e.g. clients
+who buy {bread, butter} almost always buy {milk}), so rule recall against
+the planted ground truth measures how much of the association structure an
+attacker's fragment still reveals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import SeedLike, derive_rng
+from repro.workloads.serialization import encode_records
+
+#: Filler items never referenced by a planted rule, so random baskets do
+#: not dilute rule confidences.
+NEUTRAL_ITEMS = [
+    "eggs", "tea", "rice", "beans", "soap", "paper", "towels", "batteries",
+    "candles", "matches", "foil", "bags",
+]
+
+#: Planted rules: (antecedent items, consequent item, probability the
+#: consequent joins when the antecedent is present).
+PLANTED_RULES: list[tuple[tuple[str, ...], str, float]] = [
+    (("bread", "butter"), "milk", 0.9),
+    (("coffee",), "sugar", 0.85),
+    (("chips",), "salsa", 0.9),
+    (("pasta",), "sauce", 0.85),
+    (("beer",), "peanuts", 0.9),
+]
+
+CATALOG = sorted(
+    set(NEUTRAL_ITEMS)
+    | {item for antecedent, _, _ in PLANTED_RULES for item in antecedent}
+    | {consequent for _, consequent, _ in PLANTED_RULES}
+)
+
+PARSERS = (int, str)
+
+
+@dataclass(frozen=True)
+class TransactionLog:
+    """A list of basket sets plus flat (txn_id, item) rows for upload."""
+
+    baskets: list[set]
+
+    def __len__(self) -> int:
+        return len(self.baskets)
+
+    def rows(self) -> list[tuple]:
+        return [
+            (txn_id, item)
+            for txn_id, basket in enumerate(self.baskets)
+            for item in sorted(basket)
+        ]
+
+    def to_bytes(self) -> bytes:
+        return encode_records(self.rows())
+
+    def split_equally(self, parts: int) -> list["TransactionLog"]:
+        if parts < 1:
+            raise ValueError(f"parts must be >= 1, got {parts}")
+        size = -(-len(self.baskets) // parts)
+        return [
+            TransactionLog(baskets=self.baskets[i * size : (i + 1) * size])
+            for i in range(parts)
+            if self.baskets[i * size : (i + 1) * size]
+        ]
+
+
+def baskets_from_rows(rows: list[tuple]) -> TransactionLog:
+    """Regroup salvaged (txn_id, item) rows into baskets.
+
+    Attacker-side: rows lost at fragment boundaries simply shrink or drop
+    baskets, mirroring real mining over incomplete logs.
+    """
+    grouped: dict[int, set] = {}
+    for txn_id, item in rows:
+        grouped.setdefault(int(txn_id), set()).add(item)
+    return TransactionLog(baskets=[grouped[k] for k in sorted(grouped)])
+
+
+def generate_transactions(
+    n: int,
+    seed: SeedLike = None,
+    base_items: float = 2.5,
+    rule_prob: float = 0.12,
+) -> TransactionLog:
+    """Generate *n* baskets containing the planted association structure.
+
+    Each basket gets ``1 + Poisson(base_items)`` neutral filler items;
+    independently, each planted rule's antecedent joins the basket with
+    probability *rule_prob*, and its consequent follows with the rule's
+    own probability.  Filler items are disjoint from rule items so the
+    planted confidences survive in the aggregate log.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = derive_rng(seed)
+    baskets: list[set] = []
+    for _ in range(n):
+        basket: set = set()
+        n_filler = 1 + rng.poisson(base_items)
+        basket.update(
+            NEUTRAL_ITEMS[int(i)]
+            for i in rng.integers(0, len(NEUTRAL_ITEMS), size=n_filler)
+        )
+        for antecedent, consequent, prob in PLANTED_RULES:
+            if rng.random() < rule_prob:
+                basket.update(antecedent)
+                if rng.random() < prob:
+                    basket.add(consequent)
+        baskets.append(basket)
+    return TransactionLog(baskets=baskets)
+
+
+def planted_rule_pairs() -> list[tuple[frozenset, frozenset]]:
+    """The ground-truth (antecedent, consequent) pairs for recall scoring."""
+    return [
+        (frozenset(antecedent), frozenset([consequent]))
+        for antecedent, consequent, _ in PLANTED_RULES
+    ]

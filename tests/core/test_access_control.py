@@ -1,0 +1,85 @@
+import pytest
+
+from repro.core.access_control import AccessController
+from repro.core.errors import AuthenticationError, UnknownClientError
+from repro.core.privacy import PrivacyLevel
+
+
+@pytest.fixture
+def controller():
+    ctrl = AccessController()
+    ctrl.register_client("Bob")
+    ctrl.add_password("Bob", "aB1c", PrivacyLevel.PUBLIC)
+    ctrl.add_password("Bob", "x9pr", PrivacyLevel.LOW)
+    ctrl.add_password("Bob", "Ty7e", PrivacyLevel.PRIVATE)
+    return ctrl
+
+
+def test_authenticate_returns_level(controller):
+    assert controller.authenticate("Bob", "x9pr") is PrivacyLevel.LOW
+    assert controller.authenticate("Bob", "Ty7e") is PrivacyLevel.PRIVATE
+
+
+def test_wrong_password_raises(controller):
+    with pytest.raises(AuthenticationError):
+        controller.authenticate("Bob", "wrong")
+
+
+def test_unknown_client_raises(controller):
+    with pytest.raises(UnknownClientError):
+        controller.authenticate("Eve", "aB1c")
+
+
+def test_paper_example_grant_and_deny(controller):
+    # Fig. 3: (Bob, x9pr) PL1 may fetch PL1 chunk; (Bob, aB1c) PL0 denied.
+    assert controller.is_authorized("Bob", "x9pr", PrivacyLevel.LOW)
+    assert not controller.is_authorized("Bob", "aB1c", PrivacyLevel.LOW)
+
+
+def test_higher_password_grants_lower_chunks(controller):
+    for chunk_pl in PrivacyLevel:
+        assert controller.is_authorized("Bob", "Ty7e", chunk_pl)
+
+
+def test_authorization_matrix(controller):
+    # password PL >= chunk PL exactly.
+    table = {"aB1c": 0, "x9pr": 1, "Ty7e": 3}
+    for password, granted in table.items():
+        for chunk_pl in PrivacyLevel:
+            expected = granted >= int(chunk_pl)
+            assert controller.is_authorized("Bob", password, chunk_pl) is expected
+
+
+def test_duplicate_client_rejected(controller):
+    with pytest.raises(ValueError):
+        controller.register_client("Bob")
+
+
+def test_passwords_are_per_client():
+    ctrl = AccessController()
+    ctrl.register_client("A")
+    ctrl.register_client("B")
+    ctrl.add_password("A", "secret", PrivacyLevel.PRIVATE)
+    with pytest.raises(AuthenticationError):
+        ctrl.authenticate("B", "secret")
+
+
+def test_passwords_not_stored_in_clear(controller):
+    import pickle
+
+    blob = pickle.dumps(controller)
+    assert b"Ty7e" not in blob
+    assert b"x9pr" not in blob
+
+
+def test_export_import_preserves_credentials(controller):
+    restored = AccessController()
+    restored.import_state(controller.export_state())
+    assert restored.authenticate("Bob", "Ty7e") is PrivacyLevel.PRIVATE
+    with pytest.raises(AuthenticationError):
+        restored.authenticate("Bob", "nope")
+
+
+def test_knows_client(controller):
+    assert controller.knows_client("Bob")
+    assert not controller.knows_client("Mallory")

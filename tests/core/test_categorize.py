@@ -1,0 +1,103 @@
+import pytest
+
+from repro.core.categorize import (
+    CategorySuggestion,
+    check_level,
+    shannon_entropy,
+    suggest_level,
+)
+from repro.core.privacy import PrivacyLevel
+from repro.workloads.bidding import table_iv
+from repro.workloads.files import random_bytes, text_like
+from repro.workloads.gps import generate_trace, generate_users
+from repro.workloads.records import generate_records
+
+
+def test_entropy_bounds():
+    assert shannon_entropy(b"") == 0.0
+    assert shannon_entropy(b"\x00" * 100) == 0.0
+    assert shannon_entropy(bytes(range(256)) * 4) == pytest.approx(8.0)
+    assert 7.5 < shannon_entropy(random_bytes(20_000, seed=1)) <= 8.0
+
+
+def test_empty_file_public():
+    suggestion = suggest_level(b"")
+    assert suggestion.level is PrivacyLevel.PUBLIC
+
+
+def test_plain_text_public():
+    suggestion = suggest_level(text_like(5000, seed=2))
+    assert suggestion.level is PrivacyLevel.PUBLIC
+    assert suggestion.score < 1.5
+
+
+def test_random_binary_moderate():
+    suggestion = suggest_level(random_bytes(10_000, seed=3))
+    assert suggestion.level is PrivacyLevel.MODERATE
+    assert "opaque binary" in suggestion.reasons[0]
+
+
+def test_bidding_history_scores_financial():
+    data = table_iv().to_bytes(header=True)
+    suggestion = suggest_level(data)
+    assert suggestion.tabular
+    assert int(suggestion.level) >= int(PrivacyLevel.LOW)
+    assert any("financial" in r for r in suggestion.reasons)
+
+
+def test_health_records_score_high():
+    records = generate_records(200, seed=4)
+    header = b"id,age,income,visits,cholesterol,risk\n"
+    suggestion = suggest_level(header + records.to_bytes())
+    assert int(suggestion.level) >= int(PrivacyLevel.MODERATE)
+    assert any("health" in r for r in suggestion.reasons)
+
+
+def test_gps_trace_detected():
+    user = generate_users(1, seed=5)[0]
+    trace = generate_trace(user, 300, seed=6)
+    suggestion = suggest_level(trace.to_bytes())
+    assert any("GPS" in r for r in suggestion.reasons)
+    assert int(suggestion.level) >= int(PrivacyLevel.MODERATE)
+
+
+def test_credentials_private():
+    blob = b"username,password\nalice,hunter2\nbob,secret123\ncarol,token-xyz\n" \
+           b"dave,apikey-123\neve,private_key-data\n"
+    suggestion = suggest_level(blob)
+    assert any("credentials" in r for r in suggestion.reasons)
+
+
+def test_check_level_flags_underclassification():
+    records = generate_records(100, seed=7)
+    header = b"id,age,income,visits,cholesterol,risk\n"
+    ok_low, suggestion = check_level(header + records.to_bytes(), PrivacyLevel.PUBLIC)
+    assert not ok_low
+    ok_high, _ = check_level(header + records.to_bytes(), PrivacyLevel.PRIVATE)
+    assert ok_high
+
+
+def test_check_level_accepts_overclassification():
+    ok, _ = check_level(text_like(1000, seed=8), PrivacyLevel.PRIVATE)
+    assert ok
+
+
+def test_suggestion_str():
+    text = str(suggest_level(b"hello world, nothing private here at all"))
+    assert text.startswith("PL ")
+
+
+def test_property_never_crashes_on_arbitrary_bytes():
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.binary(max_size=4000))
+    def run(blob):
+        suggestion = suggest_level(blob)
+        assert suggestion.level in PrivacyLevel
+        assert suggestion.score >= 0.0
+        ok, _ = check_level(blob, PrivacyLevel.PRIVATE)
+        assert ok  # PL3 is always sufficient
+
+    run()

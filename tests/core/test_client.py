@@ -1,0 +1,70 @@
+import pytest
+
+from repro.core.client import CloudClient
+from repro.core.errors import AuthorizationError
+from repro.core.privacy import PrivacyLevel
+
+
+@pytest.fixture
+def alice(distributor):
+    return CloudClient.register(
+        distributor,
+        "Alice",
+        passwords={"low": PrivacyLevel.LOW, "high": PrivacyLevel.PRIVATE},
+    )
+
+
+def test_register_creates_account(alice, distributor):
+    assert distributor.access.knows_client("Alice")
+    assert "Alice" in distributor.client_table
+
+
+def test_upload_download(alice):
+    alice.upload("high", "f", b"hello", PrivacyLevel.PRIVATE)
+    assert alice.download("high", "f") == b"hello"
+    assert alice.chunk_count("f") == 1
+
+
+def test_download_chunk(alice):
+    data = b"a" * 1024 + b"b" * 100  # PL1 chunks are 1024 in the fixture
+    alice.upload("low", "f", data, PrivacyLevel.LOW)
+    assert alice.download_chunk("low", "f", 1) == b"b" * 100
+
+
+def test_privilege_enforced_through_facade(alice):
+    alice.upload("high", "f", b"secret", PrivacyLevel.PRIVATE)
+    with pytest.raises(AuthorizationError):
+        alice.download("low", "f")
+
+
+def test_remove(alice):
+    alice.upload("low", "f", b"x", PrivacyLevel.LOW)
+    alice.remove("low", "f")
+    from repro.core.errors import UnknownFileError
+
+    with pytest.raises(UnknownFileError):
+        alice.download("low", "f")
+
+
+def test_update_and_repair(alice):
+    alice.upload("low", "f", b"v1", PrivacyLevel.LOW)
+    alice.update_chunk("low", "f", 0, b"v2")
+    assert alice.download("low", "f") == b"v2"
+    report = alice.repair("low", "f")
+    assert report.chunks_checked == 1
+
+
+def test_add_password_later(alice):
+    alice.add_password("mid", PrivacyLevel.MODERATE)
+    alice.upload("mid", "f", b"m", PrivacyLevel.MODERATE)
+    assert alice.download("mid", "f") == b"m"
+
+
+def test_two_clients_isolated(distributor):
+    a = CloudClient.register(distributor, "A", passwords={"pw": 3})
+    b = CloudClient.register(distributor, "B", passwords={"pw": 3})
+    a.upload("pw", "f", b"A data", PrivacyLevel.LOW)
+    from repro.core.errors import UnknownFileError
+
+    with pytest.raises(UnknownFileError):
+        b.download("pw", "f")

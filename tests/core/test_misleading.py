@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.misleading import inject, remove
+
+
+def test_zero_fraction_is_identity():
+    result = inject(b"payload", 0.0, rng=1)
+    assert result.stored == b"payload"
+    assert result.positions == ()
+
+
+def test_inject_grows_buffer():
+    result = inject(b"x" * 100, 0.25, rng=1)
+    assert len(result.stored) == 125
+    assert len(result.positions) == 25
+
+
+def test_positions_sorted_unique_in_range():
+    result = inject(b"x" * 200, 0.5, rng=2)
+    positions = result.positions
+    assert list(positions) == sorted(set(positions))
+    assert min(positions) >= 0
+    assert max(positions) < len(result.stored)
+
+
+def test_remove_restores_original():
+    payload = bytes(range(256)) * 4
+    result = inject(payload, 0.3, rng=3)
+    assert remove(result.stored, result.positions) == payload
+
+
+def test_remove_no_positions_is_identity():
+    assert remove(b"abc", ()) == b"abc"
+
+
+def test_remove_validates_positions():
+    with pytest.raises(ValueError):
+        remove(b"abc", (5,))
+    with pytest.raises(ValueError):
+        remove(b"abc", (1, 1))
+    with pytest.raises(ValueError):
+        remove(b"abc", (-1,))
+
+
+def test_negative_fraction_rejected():
+    with pytest.raises(ValueError):
+        inject(b"abc", -0.1)
+
+
+def test_inject_empty_payload():
+    result = inject(b"", 0.5, rng=1)
+    assert remove(result.stored, result.positions) == b""
+
+
+def test_mimic_draws_from_payload_distribution():
+    payload = b"\xAA" * 1000  # single-valued distribution
+    result = inject(payload, 0.2, rng=4, mimic=True)
+    fake = np.frombuffer(result.stored, dtype=np.uint8)[list(result.positions)]
+    assert np.all(fake == 0xAA)
+
+
+def test_non_mimic_is_uniform_random():
+    payload = b"\xAA" * 2000
+    result = inject(payload, 0.5, rng=4, mimic=False)
+    fake = np.frombuffer(result.stored, dtype=np.uint8)[list(result.positions)]
+    assert len(np.unique(fake)) > 50
+
+
+def test_determinism_by_seed():
+    a = inject(b"data" * 50, 0.2, rng=7)
+    b = inject(b"data" * 50, 0.2, rng=7)
+    assert a.stored == b.stored
+    assert a.positions == b.positions
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.binary(min_size=0, max_size=500), st.floats(min_value=0, max_value=2))
+def test_property_inject_remove_roundtrip(payload, fraction):
+    result = inject(payload, fraction, rng=11)
+    assert remove(result.stored, result.positions) == payload

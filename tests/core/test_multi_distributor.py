@@ -1,0 +1,116 @@
+"""Fig. 2 extended architecture: multiple distributors, replication,
+failover."""
+
+import os
+
+import pytest
+
+from repro.core.errors import DistributorUnavailableError
+from repro.core.multi_distributor import DistributorGroup
+from repro.core.privacy import ChunkSizePolicy, PrivacyLevel
+
+
+@pytest.fixture
+def group(registry):
+    return DistributorGroup(
+        registry,
+        n_distributors=3,
+        seed=21,
+        chunk_policy=ChunkSizePolicy.uniform(512),
+    )
+
+
+def setup_client(group, name="Alice"):
+    group.register_client(name)
+    group.add_password(name, "pw", PrivacyLevel.PRIVATE)
+    return name
+
+
+def test_primary_assignment_deterministic(group):
+    assert group.primary_index("Alice") == group.primary_index("Alice")
+
+
+def test_upload_via_primary_read_via_any(group):
+    client = setup_client(group)
+    data = os.urandom(3000)
+    group.upload_file(client, "pw", "f", data, PrivacyLevel.PRIVATE)
+    # Every distributor (not just the primary) can serve the file.
+    for d in group.distributors:
+        assert d.get_file(client, "pw", "f") == data
+
+
+def test_reads_survive_primary_crash(group):
+    client = setup_client(group)
+    data = os.urandom(2000)
+    group.upload_file(client, "pw", "f", data, PrivacyLevel.PRIVATE)
+    group.crash(group.primary_index(client))
+    assert group.get_file(client, "pw", "f") == data
+    assert group.get_chunk(client, "pw", "f", 0) == data[:512]
+
+
+def test_uploads_blocked_while_primary_down(group):
+    client = setup_client(group)
+    group.crash(group.primary_index(client))
+    with pytest.raises(DistributorUnavailableError):
+        group.upload_file(client, "pw", "f2", b"x", PrivacyLevel.PRIVATE)
+
+
+def test_recovered_distributor_resyncs(group):
+    client = setup_client(group)
+    primary = group.primary_index(client)
+    other = (primary + 1) % 3
+
+    group.crash(other)  # other misses the upload below
+    data = os.urandom(1500)
+    group.upload_file(client, "pw", "f", data, PrivacyLevel.PRIVATE)
+    group.recover(other)  # resync pulls the metadata
+    assert group.distributors[other].get_file(client, "pw", "f") == data
+
+
+def test_all_down_raises(group):
+    client = setup_client(group)
+    for i in range(3):
+        group.crash(i)
+    with pytest.raises(DistributorUnavailableError):
+        group.get_file(client, "pw", "f")
+    assert group.online_count == 0
+
+
+def test_multiple_clients_different_primaries(group):
+    # With enough clients, at least two land on different primaries.
+    names = [f"client{i}" for i in range(12)]
+    primaries = {group.primary_index(n) for n in names}
+    assert len(primaries) > 1
+
+    for name in names[:4]:
+        setup_client(group, name)
+        group.upload_file(name, "pw", "f", name.encode(), PrivacyLevel.PRIVATE)
+    for name in names[:4]:
+        assert group.get_file(name, "pw", "f") == name.encode()
+
+
+def test_removal_replicates(group):
+    client = setup_client(group)
+    group.upload_file(client, "pw", "f", b"data", PrivacyLevel.PRIVATE)
+    group.remove_file(client, "pw", "f")
+    for d in group.distributors:
+        assert len(d.chunk_table) == 0
+
+
+def test_update_chunk_replicates(group):
+    client = setup_client(group)
+    group.upload_file(client, "pw", "f", b"before", PrivacyLevel.PRIVATE)
+    group.update_chunk(client, "pw", "f", 0, b"after!")
+    group.crash(group.primary_index(client))
+    assert group.get_file(client, "pw", "f") == b"after!"
+
+
+def test_group_size_validation(registry):
+    with pytest.raises(ValueError):
+        DistributorGroup(registry, n_distributors=0)
+
+
+def test_chunk_count_from_any(group):
+    client = setup_client(group)
+    group.upload_file(client, "pw", "f", b"x" * 1024, PrivacyLevel.PRIVATE)
+    assert group.chunk_count(client, "f") == 2

@@ -1,0 +1,83 @@
+import json
+import os
+
+import pytest
+
+from repro.core.distributor import CloudDataDistributor
+from repro.core.persistence import (
+    MetadataCorruptedError,
+    load_metadata,
+    save_metadata,
+)
+from repro.core.privacy import PrivacyLevel
+
+
+@pytest.fixture
+def stored(distributor, bob, tmp_path):
+    data = os.urandom(5000)
+    distributor.upload_file(
+        bob, "Ty7e", "f", data, PrivacyLevel.PRIVATE, misleading_fraction=0.1
+    )
+    distributor.update_chunk(bob, "Ty7e", "f", 0, os.urandom(256))
+    path = tmp_path / "meta.json"
+    save_metadata(distributor, path)
+    return distributor, path, data
+
+
+def test_restart_from_disk(stored, registry):
+    distributor, path, _ = stored
+    expected = distributor.get_file("Bob", "Ty7e", "f")
+
+    fresh = CloudDataDistributor(registry, seed=999)
+    load_metadata(fresh, path)
+    assert fresh.get_file("Bob", "Ty7e", "f") == expected
+    assert fresh.chunk_count("Bob", "f") == distributor.chunk_count("Bob", "f")
+    # Credentials survived (hashed): wrong password still rejected.
+    from repro.core.errors import AuthenticationError
+
+    with pytest.raises(AuthenticationError):
+        fresh.get_file("Bob", "wrong", "f")
+
+
+def test_snapshot_pointers_survive(stored, registry):
+    distributor, path, _ = stored
+    fresh = CloudDataDistributor(registry, seed=1000)
+    load_metadata(fresh, path)
+    snap = fresh.get_snapshot("Bob", "Ty7e", "f", 0)
+    assert snap == distributor.get_snapshot("Bob", "Ty7e", "f", 0)
+
+
+def test_virtual_id_allocator_survives(stored, registry):
+    distributor, path, _ = stored
+    fresh = CloudDataDistributor(registry, seed=1001)
+    load_metadata(fresh, path)
+    used = {entry.virtual_id for _, entry in fresh.chunk_table}
+    # New uploads never collide with restored ids.
+    fresh.upload_file("Bob", "Ty7e", "g", b"x" * 600, PrivacyLevel.PRIVATE)
+    new_ids = {entry.virtual_id for _, entry in fresh.chunk_table} - used
+    assert new_ids and not (new_ids & used)
+
+
+def test_corruption_detected(stored, registry, tmp_path):
+    _, path, _ = stored
+    document = json.loads(path.read_text())
+    document["metadata"]["ids"]["used"] = []
+    path.write_text(json.dumps(document))
+    fresh = CloudDataDistributor(registry, seed=1)
+    with pytest.raises(MetadataCorruptedError):
+        load_metadata(fresh, path)
+
+
+def test_version_check(stored, registry):
+    _, path, _ = stored
+    document = json.loads(path.read_text())
+    document["version"] = 99
+    path.write_text(json.dumps(document))
+    with pytest.raises(MetadataCorruptedError):
+        load_metadata(CloudDataDistributor(registry, seed=1), path)
+
+
+def test_save_creates_parent_dirs(distributor, bob, tmp_path):
+    path = tmp_path / "deep" / "nested" / "meta.json"
+    save_metadata(distributor, path)
+    assert path.exists()

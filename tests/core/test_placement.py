@@ -1,0 +1,129 @@
+import pytest
+
+from repro.core.errors import PlacementError
+from repro.core.placement import PlacementPolicy
+from repro.core.privacy import CostLevel, PrivacyLevel
+from repro.providers.registry import (
+    ProviderSpec,
+    build_simulated_fleet,
+)
+
+
+def fleet_with(specs, seed=1):
+    registry, providers, clock = build_simulated_fleet(specs, seed=seed)
+    return registry
+
+
+def test_eligibility_by_privacy_level():
+    registry = fleet_with(
+        [
+            ProviderSpec("hi", PrivacyLevel.PRIVATE, CostLevel.PREMIUM),
+            ProviderSpec("mid", PrivacyLevel.MODERATE, CostLevel.CHEAP),
+            ProviderSpec("lo", PrivacyLevel.PUBLIC, CostLevel.CHEAPEST),
+        ]
+    )
+    policy = PlacementPolicy(seed=1)
+    names = {c.name for c in policy.candidates(registry, PrivacyLevel.MODERATE)}
+    assert names == {"hi", "mid"}
+
+
+def test_insufficient_providers_raises():
+    registry = fleet_with([ProviderSpec("only", PrivacyLevel.PRIVATE, CostLevel.CHEAP)])
+    policy = PlacementPolicy(seed=1)
+    with pytest.raises(PlacementError):
+        policy.stripe_group(registry, PrivacyLevel.PRIVATE, width=2)
+
+
+def test_width_validation():
+    registry = fleet_with([ProviderSpec("p", PrivacyLevel.PRIVATE, CostLevel.CHEAP)])
+    with pytest.raises(ValueError):
+        PlacementPolicy(seed=1).stripe_group(registry, 0, width=0)
+
+
+def test_cheaper_providers_preferred():
+    registry = fleet_with(
+        [
+            ProviderSpec("pricey1", PrivacyLevel.PRIVATE, CostLevel.PREMIUM),
+            ProviderSpec("pricey2", PrivacyLevel.PRIVATE, CostLevel.PREMIUM),
+            ProviderSpec("cheap1", PrivacyLevel.PRIVATE, CostLevel.CHEAPEST),
+            ProviderSpec("cheap2", PrivacyLevel.PRIVATE, CostLevel.CHEAPEST),
+        ]
+    )
+    policy = PlacementPolicy(seed=1)
+    group = policy.stripe_group(registry, PrivacyLevel.PRIVATE, width=2)
+    assert set(group) == {"cheap1", "cheap2"}
+
+
+def test_prefer_cheap_disabled_spreads_by_load():
+    registry = fleet_with(
+        [
+            ProviderSpec("a", PrivacyLevel.PRIVATE, CostLevel.PREMIUM),
+            ProviderSpec("b", PrivacyLevel.PRIVATE, CostLevel.CHEAPEST),
+        ]
+    )
+    policy = PlacementPolicy(prefer_cheap=False, seed=1)
+    group = policy.stripe_group(
+        registry, PrivacyLevel.PRIVATE, width=1, load={"b": 10, "a": 0}
+    )
+    assert group == ["a"]
+
+
+def test_load_balancing_within_tier():
+    registry = fleet_with(
+        [
+            ProviderSpec("x", PrivacyLevel.PRIVATE, CostLevel.CHEAP),
+            ProviderSpec("y", PrivacyLevel.PRIVATE, CostLevel.CHEAP),
+        ]
+    )
+    policy = PlacementPolicy(seed=1)
+    group = policy.stripe_group(
+        registry, PrivacyLevel.PRIVATE, width=1, load={"x": 100, "y": 1}
+    )
+    assert group == ["y"]
+
+
+def test_group_members_distinct():
+    registry = fleet_with(
+        [ProviderSpec(f"p{i}", PrivacyLevel.PRIVATE, CostLevel.CHEAP) for i in range(6)]
+    )
+    policy = PlacementPolicy(seed=2)
+    for _ in range(20):
+        group = policy.stripe_group(registry, PrivacyLevel.PRIVATE, width=4)
+        assert len(set(group)) == 4
+
+
+def test_randomization_varies_groups():
+    registry = fleet_with(
+        [ProviderSpec(f"p{i}", PrivacyLevel.PRIVATE, CostLevel.CHEAP) for i in range(8)]
+    )
+    policy = PlacementPolicy(seed=3)
+    groups = {tuple(policy.stripe_group(registry, 3, width=3)) for _ in range(30)}
+    assert len(groups) > 1  # "distributes these chunks ... in a random way"
+
+
+def test_attestation_requirement():
+    registry, providers, _ = build_simulated_fleet(
+        [
+            ProviderSpec("trusted", PrivacyLevel.PRIVATE, CostLevel.PREMIUM, attested=True),
+            ProviderSpec("untrusted", PrivacyLevel.PRIVATE, CostLevel.CHEAPEST),
+        ],
+        seed=1,
+    )
+    policy = PlacementPolicy(require_attested_at=PrivacyLevel.PRIVATE, seed=1)
+    # PL3 chunks only to attested providers even though untrusted is cheaper.
+    assert [c.name for c in policy.candidates(registry, PrivacyLevel.PRIVATE)] == ["trusted"]
+    # PL2 chunks are unrestricted.
+    assert len(policy.candidates(registry, PrivacyLevel.MODERATE)) == 2
+
+
+def test_max_stripe_width():
+    registry = fleet_with(
+        [
+            ProviderSpec("a", PrivacyLevel.PRIVATE, CostLevel.CHEAP),
+            ProviderSpec("b", PrivacyLevel.MODERATE, CostLevel.CHEAP),
+            ProviderSpec("c", PrivacyLevel.PUBLIC, CostLevel.CHEAP),
+        ]
+    )
+    policy = PlacementPolicy(seed=1)
+    assert policy.max_stripe_width(registry, PrivacyLevel.PUBLIC) == 3
+    assert policy.max_stripe_width(registry, PrivacyLevel.PRIVATE) == 1

@@ -1,0 +1,66 @@
+import pytest
+
+from repro.core.privacy import (
+    DEFAULT_CHUNK_SIZES,
+    ChunkSizePolicy,
+    CostLevel,
+    PrivacyLevel,
+    provider_may_store,
+)
+
+
+def test_privacy_levels_are_0_to_3():
+    assert [int(pl) for pl in PrivacyLevel] == [0, 1, 2, 3]
+
+
+def test_coerce_accepts_ints_and_levels():
+    assert PrivacyLevel.coerce(2) is PrivacyLevel.MODERATE
+    assert PrivacyLevel.coerce(PrivacyLevel.PRIVATE) is PrivacyLevel.PRIVATE
+
+
+@pytest.mark.parametrize("bad", [-1, 4, 100])
+def test_coerce_rejects_out_of_range(bad):
+    with pytest.raises(ValueError):
+        PrivacyLevel.coerce(bad)
+    with pytest.raises(ValueError):
+        CostLevel.coerce(bad)
+
+
+def test_default_chunk_sizes_decrease_with_sensitivity():
+    sizes = [DEFAULT_CHUNK_SIZES[pl] for pl in PrivacyLevel]
+    assert sizes == sorted(sizes, reverse=True)
+    assert sizes[0] > sizes[3]
+
+
+def test_policy_default_matches_schedule():
+    policy = ChunkSizePolicy()
+    for pl in PrivacyLevel:
+        assert policy.chunk_size(pl) == DEFAULT_CHUNK_SIZES[pl]
+
+
+def test_policy_uniform():
+    policy = ChunkSizePolicy.uniform(512)
+    assert all(policy.chunk_size(pl) == 512 for pl in PrivacyLevel)
+
+
+def test_policy_rejects_increasing_sizes():
+    with pytest.raises(ValueError):
+        ChunkSizePolicy(sizes=(100, 200, 50, 25))
+
+
+def test_policy_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        ChunkSizePolicy(sizes=(100, 50, 25, 0))
+
+
+def test_policy_rejects_wrong_arity():
+    with pytest.raises(ValueError):
+        ChunkSizePolicy(sizes=(100, 50))
+
+
+def test_provider_may_store_rule():
+    # "A chunk is given to a provider having equal or higher privacy level."
+    for provider_pl in PrivacyLevel:
+        for chunk_pl in PrivacyLevel:
+            expected = int(provider_pl) >= int(chunk_pl)
+            assert provider_may_store(provider_pl, chunk_pl) is expected

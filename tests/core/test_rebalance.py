@@ -1,0 +1,131 @@
+"""Provider churn: admission, draining, rebalancing."""
+
+import os
+
+import pytest
+
+from repro.core.distributor import CloudDataDistributor
+from repro.core.errors import PlacementError
+from repro.core.privacy import ChunkSizePolicy, CostLevel, PrivacyLevel
+from repro.core.rebalance import admit_provider, decommission_provider, rebalance
+from repro.providers.failures import FailureInjector
+from repro.providers.memory import InMemoryProvider
+from repro.providers.registry import ProviderSpec, build_simulated_fleet
+
+
+@pytest.fixture
+def world():
+    specs = [
+        ProviderSpec(f"P{i}", PrivacyLevel.PRIVATE, CostLevel.CHEAP)
+        for i in range(6)
+    ]
+    registry, providers, clock = build_simulated_fleet(specs, seed=71)
+    d = CloudDataDistributor(
+        registry, chunk_policy=ChunkSizePolicy.uniform(512), stripe_width=4, seed=72
+    )
+    d.register_client("C")
+    d.add_password("C", "pw", PrivacyLevel.PRIVATE)
+    payload = os.urandom(8 * 1024)
+    d.upload_file("C", "pw", "f", payload, PrivacyLevel.PRIVATE)
+    return registry, providers, clock, d, payload
+
+
+def test_admit_provider_becomes_placeable(world):
+    registry, _, _, d, _ = world
+    admit_provider(d, InMemoryProvider("Fresh"), PrivacyLevel.PRIVATE, CostLevel.CHEAPEST)
+    assert "Fresh" in registry
+    d.upload_file("C", "pw", "g", b"y" * 2048, PrivacyLevel.PRIVATE)
+    # Cheapest-eligible policy routes new shards to the newcomer.
+    assert d.provider_loads()["Fresh"] > 0
+    assert d.get_file("C", "pw", "g") == b"y" * 2048
+
+
+def test_decommission_drains_everything(world):
+    registry, _, _, d, payload = world
+    victim = max(d.provider_loads(), key=d.provider_loads().get)
+    report = decommission_provider(d, victim)
+    assert report.shards_moved > 0
+    assert report.shards_stuck == 0
+    assert d.provider_loads()[victim] == 0
+    assert registry.get(victim).provider.object_count == 0
+    assert d.get_file("C", "pw", "f") == payload
+    # No chunk references the victim any more.
+    victim_index = d.provider_table.index_of(victim)
+    for _, entry in d.chunk_table:
+        assert victim_index not in entry.provider_indices
+        assert entry.snapshot_index != victim_index
+
+
+def test_decommission_dark_provider_rebuilds(world):
+    registry, providers, clock, d, payload = world
+    victim = max(d.provider_loads(), key=d.provider_loads().get)
+    FailureInjector(providers, clock, seed=1).take_down(victim)
+    report = decommission_provider(d, victim)
+    assert report.shards_moved > 0
+    assert report.shards_rebuilt == report.shards_moved  # all via stripe rebuild
+    assert d.get_file("C", "pw", "f") == payload
+
+
+def test_decommission_moves_snapshots(world):
+    _, _, _, d, _ = world
+    d.update_chunk("C", "pw", "f", 0, b"v2" * 256)
+    ref = d.client_table.get("C").ref_for_chunk("f", 0)
+    entry = d.chunk_table.get(ref.chunk_index)
+    snap_name = d.provider_table.get(entry.snapshot_index).name
+    decommission_provider(d, snap_name)
+    assert d.get_snapshot("C", "pw", "f", 0)  # still readable elsewhere
+
+
+def test_decommission_without_spare_capacity_raises():
+    specs = [
+        ProviderSpec(f"P{i}", PrivacyLevel.PRIVATE, CostLevel.CHEAP)
+        for i in range(4)  # exactly the stripe width: nowhere to drain to
+    ]
+    registry, _, _ = build_simulated_fleet(specs, seed=73)
+    d = CloudDataDistributor(
+        registry, chunk_policy=ChunkSizePolicy.uniform(512), stripe_width=4, seed=74
+    )
+    d.register_client("C")
+    d.add_password("C", "pw", PrivacyLevel.PRIVATE)
+    d.upload_file("C", "pw", "f", b"z" * 2048, PrivacyLevel.PRIVATE)
+    with pytest.raises(PlacementError):
+        decommission_provider(d, "P0")
+
+
+def test_rebalance_levels_loads(world):
+    registry, _, _, d, payload = world
+    # Skew the fleet: admit two empty providers.
+    admit_provider(d, InMemoryProvider("N1"), PrivacyLevel.PRIVATE, CostLevel.CHEAP)
+    admit_provider(d, InMemoryProvider("N2"), PrivacyLevel.PRIVATE, CostLevel.CHEAP)
+    before = d.provider_loads()
+    spread_before = max(before.values()) - min(before.values())
+    report = rebalance(d)
+    after = d.provider_loads()
+    spread_after = max(after.values()) - min(after.values())
+    assert report.shards_moved > 0
+    assert spread_after < spread_before
+    assert d.get_file("C", "pw", "f") == payload
+
+
+def test_rebalance_respects_move_budget(world):
+    _, _, _, d, _ = world
+    admit_provider(d, InMemoryProvider("N1"), PrivacyLevel.PRIVATE, CostLevel.CHEAP)
+    report = rebalance(d, max_moves=3)
+    assert report.shards_moved <= 3
+
+
+def test_rebalance_noop_when_even():
+    specs = [
+        ProviderSpec(f"P{i}", PrivacyLevel.PRIVATE, CostLevel.CHEAP)
+        for i in range(4)
+    ]
+    registry, _, _ = build_simulated_fleet(specs, seed=75)
+    d = CloudDataDistributor(
+        registry, chunk_policy=ChunkSizePolicy.uniform(512), stripe_width=4, seed=76
+    )
+    d.register_client("C")
+    d.add_password("C", "pw", PrivacyLevel.PRIVATE)
+    d.upload_file("C", "pw", "f", b"q" * 4096, PrivacyLevel.PRIVATE)
+    # Width == fleet: every provider holds one shard of every chunk.
+    report = rebalance(d)
+    assert report.shards_moved == 0

@@ -1,0 +1,211 @@
+import pytest
+
+from repro.core.errors import UnknownChunkError, UnknownClientError, UnknownFileError
+from repro.core.privacy import CostLevel, PrivacyLevel
+from repro.core.tables import (
+    ChunkEntry,
+    ChunkTable,
+    ClientTable,
+    CloudProviderTable,
+    FileChunkRef,
+)
+
+
+# -- Cloud Provider Table (Table I) -----------------------------------------
+
+
+def test_provider_table_add_and_index():
+    table = CloudProviderTable()
+    i0 = table.add("CP1", PrivacyLevel.PRIVATE, CostLevel.PREMIUM)
+    i1 = table.add("CP2", PrivacyLevel.LOW, CostLevel.CHEAP)
+    assert (i0, i1) == (0, 1)
+    assert table.get(i0).name == "CP1"
+    assert table.index_of("CP2") == i1
+    assert len(table) == 2
+
+
+def test_provider_table_duplicate_name():
+    table = CloudProviderTable()
+    table.add("CP1", 0, 0)
+    with pytest.raises(ValueError):
+        table.add("CP1", 1, 1)
+
+
+def test_provider_table_unknown_lookups():
+    table = CloudProviderTable()
+    with pytest.raises(KeyError):
+        table.get(5)
+    with pytest.raises(KeyError):
+        table.index_of("ghost")
+
+
+def test_provider_table_store_tracking():
+    table = CloudProviderTable()
+    index = table.add("CP1", 3, 3)
+    table.record_store(index, "41367.0")
+    table.record_store(index, "41367.1")
+    assert table.get(index).count == 2
+    table.record_remove(index, "41367.0")
+    assert table.get(index).count == 1
+
+
+def test_provider_table_rows_render_like_paper():
+    table = CloudProviderTable()
+    index = table.add("CP1", 3, 3)
+    table.record_store(index, "41367")
+    rows = table.rows()
+    assert rows[0][:4] == ["CP1", 3, 3, 1]
+    assert "41367" in rows[0][4]
+
+
+# -- Chunk Table (Table III) --------------------------------------------------
+
+
+def _entry(vid, pl=3, cps=(0,), sp=None, m=()):
+    return ChunkEntry(
+        virtual_id=vid,
+        privacy_level=PrivacyLevel.coerce(pl),
+        provider_indices=list(cps),
+        snapshot_index=sp,
+        misleading_positions=tuple(m),
+    )
+
+
+def test_chunk_table_add_get_by_vid():
+    table = ChunkTable()
+    index = table.add(_entry(41367, m=(12, 90)))
+    assert table.get(index).virtual_id == 41367
+    assert table.by_virtual_id(41367).misleading_positions == (12, 90)
+
+
+def test_chunk_table_duplicate_vid():
+    table = ChunkTable()
+    table.add(_entry(1))
+    with pytest.raises(ValueError):
+        table.add(_entry(1))
+
+
+def test_chunk_table_requires_provider():
+    table = ChunkTable()
+    with pytest.raises(ValueError):
+        table.add(_entry(1, cps=()))
+
+
+def test_chunk_table_remove_keeps_indices_stable():
+    table = ChunkTable()
+    i0 = table.add(_entry(1))
+    i1 = table.add(_entry(2))
+    table.remove(i0)
+    assert table.get(i1).virtual_id == 2
+    with pytest.raises(UnknownChunkError):
+        table.get(i0)
+    i2 = table.add(_entry(3))
+    assert i2 != i0 and i2 != i1  # indices never reused
+
+
+def test_chunk_table_unknown_vid():
+    with pytest.raises(UnknownChunkError):
+        ChunkTable().by_virtual_id(404)
+
+
+def test_chunk_table_rows_na_rendering():
+    table = ChunkTable()
+    table.add(_entry(41367, sp=None, m=()))
+    table.add(_entry(16948, sp=1, m=(12, 14, 90)))
+    rows = table.rows()
+    assert rows[0][3] == "NA" and rows[0][4] == "NA"
+    assert rows[1][3] == 1 and rows[1][4].startswith("{12, 14")
+
+
+# -- Client Table (Table II) ----------------------------------------------------
+
+
+def test_client_table_basic():
+    table = ClientTable()
+    entry = table.add("Bob")
+    entry.chunk_refs.append(FileChunkRef("file1", 0, PrivacyLevel.LOW, 0))
+    entry.chunk_refs.append(FileChunkRef("file1", 1, PrivacyLevel.LOW, 1))
+    entry.chunk_refs.append(FileChunkRef("file2", 0, PrivacyLevel.MODERATE, 2))
+    assert entry.count == 3
+    assert table.get("Bob").filenames() == ["file1", "file2"]
+    assert "Bob" in table
+    assert len(table) == 1
+
+
+def test_client_refs_for_file_sorted():
+    table = ClientTable()
+    entry = table.add("Bob")
+    entry.chunk_refs.append(FileChunkRef("f", 1, PrivacyLevel.LOW, 5))
+    entry.chunk_refs.append(FileChunkRef("f", 0, PrivacyLevel.LOW, 4))
+    serials = [r.serial for r in entry.refs_for_file("f")]
+    assert serials == [0, 1]
+
+
+def test_client_missing_file_vs_missing_chunk():
+    table = ClientTable()
+    entry = table.add("Bob")
+    entry.chunk_refs.append(FileChunkRef("f", 0, PrivacyLevel.LOW, 0))
+    with pytest.raises(UnknownFileError):
+        entry.refs_for_file("ghost")
+    with pytest.raises(UnknownFileError):
+        entry.ref_for_chunk("ghost", 0)
+    with pytest.raises(UnknownChunkError):
+        entry.ref_for_chunk("f", 7)
+
+
+def test_client_table_unknown_client():
+    with pytest.raises(UnknownClientError):
+        ClientTable().get("ghost")
+
+
+def test_client_table_duplicate():
+    table = ClientTable()
+    table.add("Bob")
+    with pytest.raises(ValueError):
+        table.add("Bob")
+
+
+def test_client_rows_hide_passwords():
+    table = ClientTable()
+    entry = table.add("Bob")
+    entry.password_levels.append(PrivacyLevel.PRIVATE)
+    rows = table.rows()
+    assert "****" in rows[0][1]
+    assert "3" in rows[0][1]
+
+
+# -- export / import round trips ------------------------------------------------
+
+
+def test_provider_table_state_roundtrip():
+    table = CloudProviderTable()
+    index = table.add("CP1", 3, 2)
+    table.record_store(index, "k1")
+    restored = CloudProviderTable()
+    restored.import_state(table.export_state())
+    assert restored.get(index).name == "CP1"
+    assert restored.get(index).virtual_ids == {"k1"}
+    assert restored.index_of("CP1") == index
+
+
+def test_chunk_table_state_roundtrip():
+    table = ChunkTable()
+    index = table.add(_entry(99, pl=2, cps=(1, 2, 3), sp=0, m=(4, 5)))
+    restored = ChunkTable()
+    restored.import_state(table.export_state())
+    entry = restored.get(index)
+    assert entry.virtual_id == 99
+    assert entry.provider_indices == [1, 2, 3]
+    assert entry.snapshot_index == 0
+    assert entry.misleading_positions == (4, 5)
+
+
+def test_client_table_state_roundtrip():
+    table = ClientTable()
+    entry = table.add("Bob")
+    entry.password_levels.append(PrivacyLevel.LOW)
+    entry.chunk_refs.append(FileChunkRef("f", 0, PrivacyLevel.LOW, 7))
+    restored = ClientTable()
+    restored.import_state(table.export_state())
+    assert restored.get("Bob").chunk_refs[0].chunk_index == 7
+    assert restored.get("Bob").password_levels == [PrivacyLevel.LOW]

@@ -1,0 +1,99 @@
+"""Upload atomicity and availability-aware placement."""
+
+import os
+
+import pytest
+
+from repro.core.distributor import CloudDataDistributor
+from repro.core.errors import PlacementError, UnknownFileError
+from repro.core.privacy import ChunkSizePolicy, CostLevel, PrivacyLevel
+from repro.providers.failures import FailureInjector
+from repro.providers.registry import ProviderSpec, build_simulated_fleet
+
+
+def make_world(n=6):
+    specs = [
+        ProviderSpec(f"P{i}", PrivacyLevel.PRIVATE, CostLevel.CHEAP)
+        for i in range(n)
+    ]
+    registry, providers, clock = build_simulated_fleet(specs, seed=91)
+    injector = FailureInjector(providers, clock, seed=92)
+    d = CloudDataDistributor(
+        registry, chunk_policy=ChunkSizePolicy.uniform(512), stripe_width=4, seed=93
+    )
+    d.register_client("C")
+    d.add_password("C", "pw", PrivacyLevel.PRIVATE)
+    return registry, providers, injector, d
+
+
+def test_placement_avoids_down_providers():
+    registry, _, injector, d = make_world()
+    injector.take_down("P0")
+    d.upload_file("C", "pw", "f", os.urandom(4096), PrivacyLevel.PRIVATE)
+    # No shard landed on the dark provider.
+    down_index = d.provider_table.index_of("P0")
+    for _, entry in d.chunk_table:
+        assert down_index not in entry.provider_indices
+
+
+def test_upload_fails_cleanly_when_too_few_up():
+    registry, _, injector, d = make_world(n=5)
+    for name in ("P0", "P1"):
+        injector.take_down(name)
+    # Only 3 providers up < stripe width 4.
+    with pytest.raises(PlacementError):
+        d.upload_file("C", "pw", "f", b"x" * 2048, PrivacyLevel.PRIVATE)
+    # Nothing leaked: tables empty, fleet clean.
+    assert len(d.chunk_table) == 0
+    assert sum(d.provider_loads().values()) == 0
+    with pytest.raises(UnknownFileError):
+        d.get_file("C", "pw", "f")
+
+
+def test_mid_upload_failure_rolls_back_whole_file():
+    registry, providers, injector, d = make_world()
+
+    # Sabotage: a provider that dies after its first successful put.
+    class DieAfterFirstPut:
+        def __init__(self, victim):
+            self.victim = victim
+            self.puts = 0
+
+        def __call__(self, key, data):
+            self.puts += 1
+            if self.puts > 1:
+                self.victim.set_available(False)
+            return original_put(key, data)
+
+    victim = providers[0]
+    original_put = victim.put
+    victim.put = DieAfterFirstPut(victim)  # type: ignore[method-assign]
+
+    with pytest.raises(Exception):
+        d.upload_file("C", "pw", "f", os.urandom(8192), PrivacyLevel.PRIVATE)
+
+    # Atomic: no chunk survived, no refs, no shard objects anywhere, and
+    # the provider table counts are all back to zero.
+    assert len(d.chunk_table) == 0
+    assert d.client_table.get("C").chunk_refs == []
+    assert all(count == 0 for count in d.provider_loads().values())
+    for p in providers:
+        if p.available:
+            assert p.backend.object_count == 0
+
+    # Recovery: once the provider is back, the same upload succeeds.
+    victim.put = original_put  # type: ignore[method-assign]
+    injector.bring_up("P0")
+    payload = os.urandom(8192)
+    d.upload_file("C", "pw", "f", payload, PrivacyLevel.PRIVATE)
+    assert d.get_file("C", "pw", "f") == payload
+
+
+def test_virtual_ids_released_on_rollback():
+    registry, providers, injector, d = make_world(n=5)
+    before = d.ids.allocated_count
+    for name in ("P0", "P1"):
+        injector.take_down(name)
+    with pytest.raises(PlacementError):
+        d.upload_file("C", "pw", "f", b"x" * 2048, PrivacyLevel.PRIVATE)
+    assert d.ids.allocated_count == before

@@ -1,0 +1,74 @@
+import pytest
+
+from repro.core.virtual_id import (
+    VirtualIdAllocator,
+    shard_key,
+    snapshot_key,
+    storage_key,
+)
+
+
+def test_ids_unique():
+    alloc = VirtualIdAllocator(seed=1)
+    ids = [alloc.allocate() for _ in range(1000)]
+    assert len(set(ids)) == 1000
+    assert alloc.allocated_count == 1000
+
+
+def test_ids_deterministic_by_seed():
+    a = VirtualIdAllocator(seed=3)
+    b = VirtualIdAllocator(seed=3)
+    assert [a.allocate() for _ in range(20)] == [b.allocate() for _ in range(20)]
+
+
+def test_ids_not_sequential():
+    # Sequential ids would leak upload order to providers.
+    alloc = VirtualIdAllocator(seed=1)
+    ids = [alloc.allocate() for _ in range(50)]
+    diffs = [abs(b - a) for a, b in zip(ids, ids[1:])]
+    assert max(diffs) > 1000
+
+
+def test_exhaustion():
+    alloc = VirtualIdAllocator(seed=1, id_space=4)
+    for _ in range(4):
+        alloc.allocate()
+    with pytest.raises(RuntimeError):
+        alloc.allocate()
+
+
+def test_release_recycles():
+    alloc = VirtualIdAllocator(seed=1, id_space=2)
+    vid = alloc.allocate()
+    alloc.allocate()
+    alloc.release(vid)
+    assert alloc.allocate() == vid
+
+
+def test_reserve():
+    alloc = VirtualIdAllocator(seed=1)
+    alloc.reserve(12345)
+    assert 12345 in alloc
+    with pytest.raises(ValueError):
+        alloc.reserve(12345)
+
+
+def test_small_id_space_rejected():
+    with pytest.raises(ValueError):
+        VirtualIdAllocator(id_space=1)
+
+
+def test_key_formats():
+    assert storage_key(16948) == "16948"
+    assert snapshot_key(16948) == "S16948"  # matches the paper's Table I
+    assert shard_key(16948, 2) == "16948.2"
+
+
+def test_export_import_state():
+    a = VirtualIdAllocator(seed=1)
+    vids = [a.allocate() for _ in range(10)]
+    b = VirtualIdAllocator(seed=2)
+    b.import_state(a.export_state())
+    assert all(v in b for v in vids)
+    fresh = b.allocate()
+    assert fresh not in vids

@@ -1,0 +1,120 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.feistel import (
+    BLOCK_BYTES,
+    FeistelCipher,
+    _round_keys,
+    decrypt_block,
+    encrypt_block,
+)
+from repro.crypto.stream import StreamCipher
+
+
+# -- block primitive -------------------------------------------------------------
+
+
+def test_block_roundtrip():
+    keys = _round_keys(b"key")
+    block = b"12345678"
+    ct = encrypt_block(block, keys)
+    assert ct != block
+    assert decrypt_block(ct, keys) == block
+
+
+@given(st.binary(min_size=8, max_size=8), st.binary(min_size=1, max_size=32))
+def test_property_block_roundtrip(block, key):
+    keys = _round_keys(key)
+    assert decrypt_block(encrypt_block(block, keys), keys) == block
+
+
+def test_block_size_enforced():
+    keys = _round_keys(b"key")
+    with pytest.raises(ValueError):
+        encrypt_block(b"short", keys)
+    with pytest.raises(ValueError):
+        decrypt_block(b"toolongblock", keys)
+
+
+def test_empty_key_rejected():
+    with pytest.raises(ValueError):
+        _round_keys(b"")
+    with pytest.raises(ValueError):
+        StreamCipher(b"")
+
+
+def test_avalanche():
+    """One plaintext bit flip changes roughly half the ciphertext bits."""
+    keys = _round_keys(b"avalanche")
+    a = encrypt_block(b"\x00" * 8, keys)
+    b = encrypt_block(b"\x01" + b"\x00" * 7, keys)
+    diff_bits = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+    assert 16 <= diff_bits <= 48  # ~32 expected of 64
+
+
+# -- CTR mode / stream ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("cipher_cls", [FeistelCipher, StreamCipher])
+def test_ctr_roundtrip(cipher_cls):
+    cipher = cipher_cls(b"secret key")
+    for n in (0, 1, 7, 8, 9, 1000):
+        pt = bytes(range(256))[:n] if n <= 256 else b"x" * n
+        assert cipher.decrypt(cipher.encrypt(pt)) == pt
+
+
+@pytest.mark.parametrize("cipher_cls", [FeistelCipher, StreamCipher])
+def test_nonce_separates_streams(cipher_cls):
+    cipher = cipher_cls(b"secret key")
+    pt = b"same plaintext!!"
+    assert cipher.encrypt(pt, nonce=1) != cipher.encrypt(pt, nonce=2)
+
+
+@pytest.mark.parametrize("cipher_cls", [FeistelCipher, StreamCipher])
+def test_decrypt_range_matches_full(cipher_cls):
+    cipher = cipher_cls(b"ranged")
+    pt = bytes(i % 251 for i in range(5000))
+    ct = cipher.encrypt(pt, nonce=3)
+    for start, length in ((0, 100), (7, 13), (1024, 512), (4990, 10)):
+        got = cipher.decrypt_range(ct[start : start + length], offset=start, nonce=3)
+        assert got == pt[start : start + length]
+
+
+@pytest.mark.parametrize("cipher_cls", [FeistelCipher, StreamCipher])
+def test_keys_separate(cipher_cls):
+    a = cipher_cls(b"key-a")
+    b = cipher_cls(b"key-b")
+    pt = b"plaintext bytes here"
+    assert a.encrypt(pt) != b.encrypt(pt)
+    assert b.decrypt(a.encrypt(pt)) != pt
+
+
+def test_keystream_offset_consistency():
+    cipher = FeistelCipher(b"offsets")
+    full = cipher.keystream(100, nonce=0)
+    assert cipher.keystream(10, nonce=0, offset=37) == full[37:47]
+
+
+def test_keystream_negative_rejected():
+    with pytest.raises(ValueError):
+        FeistelCipher(b"k").keystream(-1)
+    with pytest.raises(ValueError):
+        StreamCipher(b"k").keystream(-1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(max_size=500), st.integers(min_value=0, max_value=100))
+def test_property_ctr_roundtrip_any(payload, nonce):
+    cipher = FeistelCipher(b"prop")
+    assert cipher.decrypt(cipher.encrypt(payload, nonce), nonce) == payload
+
+
+def test_ciphertext_looks_random():
+    cipher = FeistelCipher(b"entropy")
+    ct = cipher.encrypt(b"\x00" * 4096)
+    # Byte histogram of encrypted zeros should be roughly flat.
+    import numpy as np
+
+    counts = np.bincount(np.frombuffer(ct, dtype=np.uint8), minlength=256)
+    assert counts.max() < 4096 * 0.05

@@ -1,0 +1,162 @@
+import pytest
+
+from repro.core.errors import DHTError
+from repro.dht.can import CANetwork, Zone, torus_distance
+
+
+def build_network(n=16, dims=2):
+    net = CANetwork(dims=dims)
+    for i in range(n):
+        net.join(f"node{i}")
+    return net
+
+
+# -- Zone geometry -------------------------------------------------------------
+
+
+def test_zone_contains_half_open():
+    zone = Zone(lo=(0.0, 0.0), hi=(0.5, 0.5))
+    assert zone.contains((0.0, 0.0))
+    assert zone.contains((0.49, 0.49))
+    assert not zone.contains((0.5, 0.25))
+
+
+def test_zone_split_and_merge_roundtrip():
+    zone = Zone(lo=(0.0, 0.0), hi=(1.0, 1.0))
+    lower, upper = zone.split(0)
+    assert lower.hi[0] == 0.5 and upper.lo[0] == 0.5
+    merged = lower.merged_with(upper)
+    assert merged == zone
+    assert upper.merged_with(lower) == zone
+
+
+def test_zone_merge_incompatible():
+    a = Zone(lo=(0.0, 0.0), hi=(0.5, 0.5))
+    b = Zone(lo=(0.5, 0.5), hi=(1.0, 1.0))  # diagonal, not mergeable
+    assert a.merged_with(b) is None
+
+
+def test_zone_volume():
+    assert Zone(lo=(0.0, 0.0), hi=(0.5, 0.25)).volume() == pytest.approx(0.125)
+
+
+def test_torus_distance_wraps():
+    assert torus_distance((0.05,), (0.95,)) == pytest.approx(0.01)
+    assert torus_distance((0.2, 0.2), (0.2, 0.2)) == 0.0
+
+
+# -- membership -----------------------------------------------------------------
+
+
+def test_first_node_owns_whole_space():
+    net = CANetwork(dims=2)
+    net.join("solo")
+    assert net.zone_of("solo").volume() == pytest.approx(1.0)
+
+
+def test_zones_partition_space():
+    net = build_network(17)
+    total = sum(net.zone_of(name).volume() for name in net.node_names)
+    assert total == pytest.approx(1.0)
+
+
+def test_zones_disjoint_on_sample_points():
+    net = build_network(9)
+    import itertools
+
+    for x, y in itertools.product([i / 13 for i in range(13)], repeat=2):
+        owners = [
+            name for name in net.node_names if net.zone_of(name).contains((x, y))
+        ]
+        assert len(owners) == 1
+
+
+def test_duplicate_join_rejected():
+    net = build_network(2)
+    with pytest.raises(DHTError):
+        net.join("node0")
+
+
+def test_leave_restores_partition():
+    net = build_network(8)
+    net.leave("node3")
+    assert len(net) == 7
+    total = sum(net.zone_of(name).volume() for name in net.node_names)
+    assert total == pytest.approx(1.0)
+    # Every point still owned exactly once.
+    for key in ("a", "b", "c", "zz"):
+        net.owner(key)
+
+
+def test_leave_unknown_raises():
+    with pytest.raises(DHTError):
+        build_network(2).leave("ghost")
+
+
+def test_leave_everyone():
+    net = build_network(5)
+    for name in list(net.node_names):
+        net.leave(name)
+    assert len(net) == 0
+
+
+# -- routing ------------------------------------------------------------------
+
+
+def test_lookup_finds_owner():
+    net = build_network(25)
+    for i in range(40):
+        key = f"file{i}:0"
+        result = net.lookup(key)
+        assert result.owner == net.owner(key)
+
+
+def test_lookup_from_any_start():
+    net = build_network(12)
+    owners = {net.lookup("k", start=name).owner for name in net.node_names}
+    assert len(owners) == 1
+
+
+def test_lookup_unknown_start():
+    with pytest.raises(DHTError):
+        build_network(3).lookup("k", start="ghost")
+
+
+def test_empty_lookup_raises():
+    with pytest.raises(DHTError):
+        CANetwork().lookup("k")
+
+
+def test_hops_scale_sublinearly():
+    small = build_network(4)
+    large = build_network(64)
+    avg = lambda net: sum(net.lookup(f"key{i}").hops for i in range(60)) / 60
+    # O(sqrt(n)) for d=2: going 4 -> 64 nodes (16x) should grow hops ~4x,
+    # far below linear 16x.
+    assert avg(large) <= avg(small) * 8 + 4
+
+
+def test_higher_dims_shorter_routes():
+    net2 = build_network(64, dims=2)
+    net4 = build_network(64, dims=4)
+    avg2 = sum(net2.lookup(f"k{i}").hops for i in range(60)) / 60
+    avg4 = sum(net4.lookup(f"k{i}").hops for i in range(60)) / 60
+    assert avg4 <= avg2 + 1  # d=4 routes are no longer than d=2 (within noise)
+
+
+def test_nodes_for_replicas():
+    net = build_network(10)
+    replicas = net.nodes_for("key", r=3)
+    assert len(set(replicas)) == 3
+    assert replicas[0] == net.owner("key")
+    with pytest.raises(ValueError):
+        net.nodes_for("key", r=0)
+    with pytest.raises(DHTError):
+        net.nodes_for("key", r=11)
+
+
+def test_neighbors_symmetric():
+    net = build_network(12)
+    for name, node in net._nodes.items():
+        for other in node.neighbors:
+            assert name in net._nodes[other].neighbors

@@ -1,0 +1,139 @@
+import math
+
+import pytest
+
+from repro.core.errors import DHTError
+from repro.dht.chord import ChordRing
+
+
+def build_ring(n=16, m_bits=32):
+    ring = ChordRing(m_bits=m_bits)
+    for i in range(n):
+        ring.join(f"node{i}")
+    return ring
+
+
+def test_join_and_len():
+    ring = build_ring(8)
+    assert len(ring) == 8
+    assert len(ring.node_names) == 8
+
+
+def test_empty_ring_lookup_raises():
+    with pytest.raises(DHTError):
+        ChordRing().lookup("k")
+
+
+def test_owner_is_successor_of_key():
+    ring = build_ring(16)
+    key = "some-chunk:3"
+    owner = ring.owner(key)
+    key_id = ring.key_id(key)
+    # Verify against the definition: owner's id is the first node id >= key
+    # hash (mod ring).
+    ids = sorted(ring.node_id_for(name) for name in ring.node_names)
+    expected = next((i for i in ids if i >= key_id), ids[0])
+    assert ring.node_id_for(owner) == expected
+
+
+def test_lookup_agrees_with_owner():
+    ring = build_ring(32)
+    for i in range(50):
+        key = f"file{i}:0"
+        result = ring.lookup(key)
+        assert result.owner == ring.owner(key)
+
+
+def test_lookup_from_any_start_same_owner():
+    ring = build_ring(16)
+    key = "chunk:7"
+    owners = {ring.lookup(key, start=name).owner for name in ring.node_names}
+    assert len(owners) == 1
+
+
+def test_lookup_hops_logarithmic():
+    ring = build_ring(128)
+    hops = [ring.lookup(f"key{i}").hops for i in range(200)]
+    mean = sum(hops) / len(hops)
+    # O(log n): for n=128, expect ~ (1/2) log2 128 = 3.5; allow generous slack.
+    assert mean <= 2 * math.log2(128)
+    assert max(hops) <= 2 * math.log2(128) + 6
+
+
+def test_single_node_owns_everything():
+    ring = ChordRing()
+    ring.join("solo")
+    result = ring.lookup("anything")
+    assert result.owner == "solo"
+    assert result.hops == 0
+
+
+def test_leave_moves_keys_to_successor():
+    ring = build_ring(8)
+    keys = [f"k{i}" for i in range(100)]
+    before = {k: ring.owner(k) for k in keys}
+    victim = ring.owner("k0")
+    ring.leave(victim)
+    after = {k: ring.owner(k) for k in keys}
+    # Keys not owned by the victim keep their owner.
+    for k in keys:
+        if before[k] != victim:
+            assert after[k] == before[k]
+        else:
+            assert after[k] != victim
+
+
+def test_leave_unknown_raises():
+    ring = build_ring(2)
+    with pytest.raises(DHTError):
+        ring.leave("ghost")
+
+
+def test_join_rebalances_some_keys():
+    ring = build_ring(8)
+    keys = [f"k{i}" for i in range(300)]
+    before = {k: ring.owner(k) for k in keys}
+    ring.join("newcomer")
+    after = {k: ring.owner(k) for k in keys}
+    moved = [k for k in keys if before[k] != after[k]]
+    # Only keys that now belong to the newcomer moved.
+    assert all(after[k] == "newcomer" for k in moved)
+    # Consistent hashing: roughly 1/9 of keys move; certainly not most.
+    assert len(moved) < len(keys) / 2
+
+
+def test_nodes_for_replicas_distinct_successors():
+    ring = build_ring(10)
+    replicas = ring.nodes_for("key", r=3)
+    assert len(replicas) == 3
+    assert len(set(replicas)) == 3
+    assert replicas[0] == ring.owner("key")
+
+
+def test_nodes_for_too_many_replicas():
+    ring = build_ring(2)
+    with pytest.raises(DHTError):
+        ring.nodes_for("key", r=3)
+    with pytest.raises(ValueError):
+        ring.nodes_for("key", r=0)
+
+
+def test_lookup_unknown_start():
+    ring = build_ring(4)
+    with pytest.raises(DHTError):
+        ring.lookup("k", start="ghost")
+
+
+def test_finger_tables_have_m_entries():
+    ring = build_ring(8, m_bits=16)
+    node = ring._nodes[ring._ring[0]]
+    assert len(node.fingers) == 16
+
+
+def test_key_distribution_roughly_uniform():
+    ring = build_ring(16)
+    counts = {name: 0 for name in ring.node_names}
+    for i in range(2000):
+        counts[ring.owner(f"key{i}")] += 1
+    # No provider should own a wildly disproportionate share.
+    assert max(counts.values()) < 2000 * 0.5

@@ -1,0 +1,123 @@
+"""Chord failure resilience: routing around dead nodes pre-stabilization."""
+
+import pytest
+
+from repro.core.errors import DHTError
+from repro.dht.chord import ChordRing
+
+
+def build(n=16, succ=3):
+    ring = ChordRing(m_bits=32, successor_list_len=succ)
+    for i in range(n):
+        ring.join(f"node{i}")
+    return ring
+
+
+def test_mark_failed_keeps_node_in_ring():
+    ring = build(8)
+    ring.mark_failed("node3")
+    assert "node3" in ring.node_names  # structurally present...
+    assert "node3" not in ring.alive_names  # ...but dead
+
+
+def test_mark_failed_unknown():
+    with pytest.raises(DHTError):
+        build(2).mark_failed("ghost")
+
+
+def test_owner_skips_dead_node():
+    ring = build(16)
+    keys = [f"k{i}" for i in range(200)]
+    victim = ring.owner("k0")
+    owned_by_victim = [k for k in keys if ring.owner(k) == victim]
+    ring.mark_failed(victim)
+    for key in owned_by_victim:
+        new_owner = ring.owner(key)
+        assert new_owner != victim
+        assert new_owner in ring.alive_names
+
+
+def test_lookup_routes_around_single_failure():
+    ring = build(24)
+    keys = [f"key{i}" for i in range(60)]
+    victim = ring.owner(keys[0])
+    ring.mark_failed(victim)
+    for key in keys:
+        result = ring.lookup(key)
+        assert result.owner == ring.owner(key)
+        assert victim not in result.path[1:]  # never forwarded THROUGH a corpse
+
+
+def test_lookup_matches_post_stabilization_owner():
+    """Pre-heal routing must already deliver to the node that owns the key
+    after the ring heals (so no data goes to a soon-to-be-wrong place)."""
+    ring = build(20)
+    for name in ("node2", "node9"):
+        ring.mark_failed(name)
+    keys = [f"key{i}" for i in range(80)]
+    before = {k: ring.lookup(k).owner for k in keys}
+    purged = ring.stabilize()
+    assert set(purged) == {"node2", "node9"}
+    after = {k: ring.lookup(k).owner for k in keys}
+    assert before == after
+
+
+def test_survives_successor_list_len_minus_one_consecutive_failures():
+    ring = build(12, succ=3)
+    # Kill two CONSECUTIVE ring neighbours (worst case for the list).
+    names = ring.node_names  # already in ring (id) order
+    ring.mark_failed(names[3])
+    ring.mark_failed(names[4])
+    for i in range(40):
+        result = ring.lookup(f"key{i}")
+        assert result.owner in ring.alive_names
+
+
+def test_too_many_consecutive_failures_detected():
+    ring = build(8, succ=2)
+    names = ring.node_names
+    for name in names[2:5]:  # three consecutive corpses > successor list 2
+        ring.mark_failed(name)
+    # Some lookup must hit the exhausted successor list; all others still
+    # resolve.  Either outcome is protocol-conformant per key, but the
+    # failure case must be a clean DHTError, never a wrong owner.
+    outcomes = []
+    for i in range(60):
+        try:
+            result = ring.lookup(f"key{i}")
+            assert result.owner in ring.alive_names
+            outcomes.append("ok")
+        except DHTError:
+            outcomes.append("exhausted")
+    assert "exhausted" in outcomes
+
+
+def test_lookup_from_dead_start_rejected():
+    ring = build(6)
+    ring.mark_failed("node1")
+    with pytest.raises(DHTError):
+        ring.lookup("k", start="node1")
+
+
+def test_nodes_for_skips_dead_replicas():
+    ring = build(10)
+    replicas_before = ring.nodes_for("key", r=3)
+    ring.mark_failed(replicas_before[0])
+    replicas_after = ring.nodes_for("key", r=3)
+    assert replicas_before[0] not in replicas_after
+    assert len(set(replicas_after)) == 3
+
+
+def test_nodes_for_counts_only_alive():
+    ring = build(4)
+    ring.mark_failed("node0")
+    with pytest.raises(DHTError):
+        ring.nodes_for("key", r=4)
+    assert len(ring.nodes_for("key", r=3)) == 3
+
+
+def test_stabilize_with_no_failures_is_noop():
+    ring = build(8)
+    before = {k: ring.owner(k) for k in ("a", "b", "c")}
+    assert ring.stabilize() == []
+    assert {k: ring.owner(k) for k in ("a", "b", "c")} == before

@@ -1,0 +1,129 @@
+"""Stateful churn fuzzing of the DHT overlays.
+
+Random joins and leaves, with protocol invariants checked after every
+step: Chord ownership matches the successor definition and key placement
+only shifts minimally on churn; CAN zones always partition the space.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.dht.can import CANetwork
+from repro.dht.chord import ChordRing
+
+NODE_POOL = [f"node{i}" for i in range(12)]
+KEYS = [f"key{i}" for i in range(25)]
+
+
+class ChordChurnMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.ring = ChordRing(m_bits=32)
+        self.members: set[str] = set()
+        self.last_owners: dict[str, str] | None = None
+
+    @rule(name=st.sampled_from(NODE_POOL))
+    def join(self, name):
+        if name in self.members:
+            return
+        before = (
+            {k: self.ring.owner(k) for k in KEYS} if self.members else None
+        )
+        self.ring.join(name)
+        self.members.add(name)
+        if before is not None:
+            after = {k: self.ring.owner(k) for k in KEYS}
+            # Consistent hashing: keys only move TO the joiner.
+            for key in KEYS:
+                if before[key] != after[key]:
+                    assert after[key] == name
+
+    @precondition(lambda self: len(self.members) > 1)
+    @rule(data=st.data())
+    def leave(self, data):
+        name = data.draw(st.sampled_from(sorted(self.members)))
+        before = {k: self.ring.owner(k) for k in KEYS}
+        self.ring.leave(name)
+        self.members.discard(name)
+        after = {k: self.ring.owner(k) for k in KEYS}
+        # Keys only move FROM the leaver.
+        for key in KEYS:
+            if before[key] != after[key]:
+                assert before[key] == name
+
+    @invariant()
+    def lookups_agree_with_owner(self):
+        if not getattr(self, "members", None):
+            return
+        for key in KEYS[:5]:
+            result = self.ring.lookup(key)
+            assert result.owner == self.ring.owner(key)
+
+    @invariant()
+    def replica_sets_distinct(self):
+        members = getattr(self, "members", None)
+        if not members or len(members) < 2:
+            return
+        replicas = self.ring.nodes_for(KEYS[0], r=2)
+        assert len(set(replicas)) == 2
+
+
+class CANChurnMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.net = CANetwork(dims=2)
+        self.members: set[str] = set()
+
+    @rule(name=st.sampled_from(NODE_POOL))
+    def join(self, name):
+        if name in self.members:
+            return
+        self.net.join(name)
+        self.members.add(name)
+
+    @precondition(lambda self: len(self.members) > 1)
+    @rule(data=st.data())
+    def leave(self, data):
+        name = data.draw(st.sampled_from(sorted(self.members)))
+        self.net.leave(name)
+        self.members.discard(name)
+
+    @invariant()
+    def zones_partition_space(self):
+        members = getattr(self, "members", None)
+        if not members:
+            return
+        total = sum(self.net.zone_of(n).volume() for n in members)
+        assert abs(total - 1.0) < 1e-9
+        # Sample points are owned exactly once.
+        for key in KEYS[:6]:
+            point = self.net.key_point(key)
+            owners = [
+                n for n in members if self.net.zone_of(n).contains(point)
+            ]
+            assert len(owners) == 1
+
+    @invariant()
+    def routing_reaches_owner(self):
+        members = getattr(self, "members", None)
+        if not members:
+            return
+        for key in KEYS[:4]:
+            assert self.net.lookup(key).owner == self.net.owner(key)
+
+
+TestChordChurn = ChordChurnMachine.TestCase
+TestChordChurn.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
+)
+TestCANChurn = CANChurnMachine.TestCase
+TestCANChurn.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
+)

@@ -1,0 +1,80 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dht.hashing import hash_point, in_interval, stable_hash
+
+
+def test_stable_hash_deterministic():
+    assert stable_hash("abc") == stable_hash("abc")
+    assert stable_hash("abc") != stable_hash("abd")
+
+
+def test_stable_hash_respects_bits():
+    for bits in (1, 8, 16, 32, 160):
+        assert 0 <= stable_hash("key", bits) < (1 << bits)
+
+
+def test_stable_hash_bits_validation():
+    with pytest.raises(ValueError):
+        stable_hash("x", 0)
+    with pytest.raises(ValueError):
+        stable_hash("x", 161)
+
+
+def test_hash_point_in_unit_cube():
+    for dims in (1, 2, 3, 7):
+        point = hash_point("key", dims)
+        assert len(point) == dims
+        assert all(0.0 <= x < 1.0 for x in point)
+
+
+def test_hash_point_deterministic_and_distinct():
+    assert hash_point("a", 3) == hash_point("a", 3)
+    assert hash_point("a", 3) != hash_point("b", 3)
+
+
+def test_hash_point_dims_validation():
+    with pytest.raises(ValueError):
+        hash_point("x", 0)
+
+
+def test_in_interval_simple():
+    assert in_interval(5, 3, 7, 16)
+    assert in_interval(7, 3, 7, 16)  # hi inclusive
+    assert not in_interval(3, 3, 7, 16)  # lo exclusive
+    assert not in_interval(8, 3, 7, 16)
+
+
+def test_in_interval_wraparound():
+    # (14, 2] on a mod-16 ring covers 15, 0, 1, 2.
+    assert in_interval(15, 14, 2, 16)
+    assert in_interval(0, 14, 2, 16)
+    assert in_interval(2, 14, 2, 16)
+    assert not in_interval(5, 14, 2, 16)
+
+
+def test_in_interval_open_hi():
+    assert not in_interval(7, 3, 7, 16, inclusive_hi=False)
+    assert in_interval(6, 3, 7, 16, inclusive_hi=False)
+
+
+def test_in_interval_degenerate_full_ring():
+    # lo == hi means the whole ring.
+    assert in_interval(9, 4, 4, 16)
+    assert in_interval(4, 4, 4, 16)
+    assert not in_interval(4, 4, 4, 16, inclusive_hi=False)
+
+
+@given(
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=255),
+)
+def test_property_interval_partition(x, lo, hi):
+    """(lo, hi] and (hi, lo] partition the ring minus the endpoints."""
+    if lo == hi:
+        return
+    a = in_interval(x, lo, hi, 256)
+    b = in_interval(x, hi, lo, 256)
+    assert a != b  # exactly one of the two arcs contains x

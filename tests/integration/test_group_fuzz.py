@@ -1,0 +1,107 @@
+"""Stateful fuzz of the Fig. 2 distributor group against a reference model:
+random uploads/reads/removals by several clients interleaved with
+distributor crashes and recoveries."""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.errors import DistributorUnavailableError
+from repro.core.multi_distributor import DistributorGroup
+from repro.core.privacy import ChunkSizePolicy, CostLevel, PrivacyLevel
+from repro.providers.registry import ProviderSpec, build_simulated_fleet
+
+CLIENTS = ["alice", "bravo", "carol"]
+FILES = [f"f{i}" for i in range(4)]
+N_DISTRIBUTORS = 3
+
+
+class GroupMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(min_value=0, max_value=2**20))
+    def setup(self, seed):
+        specs = [
+            ProviderSpec(f"P{i}", PrivacyLevel.PRIVATE, CostLevel.CHEAP)
+            for i in range(6)
+        ]
+        registry, _, _ = build_simulated_fleet(specs, seed=seed)
+        self.group = DistributorGroup(
+            registry,
+            n_distributors=N_DISTRIBUTORS,
+            seed=seed + 1,
+            chunk_policy=ChunkSizePolicy.uniform(256),
+        )
+        for client in CLIENTS:
+            self.group.register_client(client)
+            self.group.add_password(client, "pw", PrivacyLevel.PRIVATE)
+        self.model: dict[tuple[str, str], bytes] = {}
+        self.crashed: set[int] = set()
+
+    def _primary_up(self, client: str) -> bool:
+        return self.group.primary_index(client) not in self.crashed
+
+    @rule(client=st.sampled_from(CLIENTS), name=st.sampled_from(FILES),
+          payload=st.binary(max_size=1500))
+    def upload(self, client, name, payload):
+        if (client, name) in self.model:
+            return
+        if not self._primary_up(client):
+            try:
+                self.group.upload_file(client, "pw", name, payload, PrivacyLevel.PRIVATE)
+                raise AssertionError("upload must fail while primary is down")
+            except DistributorUnavailableError:
+                return
+        self.group.upload_file(client, "pw", name, payload, PrivacyLevel.PRIVATE)
+        self.model[(client, name)] = payload
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def remove(self, data):
+        client, name = data.draw(st.sampled_from(sorted(self.model)))
+        if not self._primary_up(client):
+            return
+        self.group.remove_file(client, "pw", name)
+        del self.model[(client, name)]
+
+    @precondition(lambda self: len(self.crashed) < N_DISTRIBUTORS - 1)
+    @rule(index=st.integers(min_value=0, max_value=N_DISTRIBUTORS - 1))
+    def crash(self, index):
+        if index not in self.crashed:
+            self.group.crash(index)
+            self.crashed.add(index)
+
+    @precondition(lambda self: self.crashed)
+    @rule(data=st.data())
+    def recover(self, data):
+        index = data.draw(st.sampled_from(sorted(self.crashed)))
+        self.group.recover(index)
+        self.crashed.discard(index)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def read_matches_model(self, data):
+        client, name = data.draw(st.sampled_from(sorted(self.model)))
+        got = self.group.get_file(client, "pw", name)
+        assert got == self.model[(client, name)]
+
+    @invariant()
+    def live_distributors_agree(self):
+        group = getattr(self, "group", None)
+        if group is None:
+            return
+        live = [
+            d for i, d in enumerate(group.distributors) if i not in self.crashed
+        ]
+        snapshots = [d.export_metadata()["chunk_table"] for d in live]
+        assert all(s == snapshots[0] for s in snapshots[1:])
+
+
+TestGroupMachine = GroupMachine.TestCase
+TestGroupMachine.settings = settings(
+    max_examples=12, stateful_step_count=20, deadline=None
+)

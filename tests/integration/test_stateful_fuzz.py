@@ -1,0 +1,139 @@
+"""Model-based fuzzing: the distributor vs. an in-memory reference model.
+
+Hypothesis drives random interleavings of upload / download / per-chunk
+read / update / remove / provider outage / recovery / repair, and checks
+after every step that the distributor serves exactly what a plain dict
+would -- under at most one concurrent provider outage (RAID-5's budget).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.distributor import CloudDataDistributor
+from repro.core.privacy import ChunkSizePolicy, CostLevel, PrivacyLevel
+from repro.providers.failures import FailureInjector
+from repro.providers.registry import ProviderSpec, build_simulated_fleet
+
+N_PROVIDERS = 6
+WIDTH = 4
+
+payload_st = st.binary(min_size=0, max_size=2000)
+name_st = st.sampled_from([f"file{i}" for i in range(5)])
+provider_st = st.sampled_from([f"P{i}" for i in range(N_PROVIDERS)])
+
+
+class DistributorMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(min_value=0, max_value=2**20))
+    def setup(self, seed):
+        specs = [
+            ProviderSpec(f"P{i}", PrivacyLevel.PRIVATE, CostLevel.CHEAP)
+            for i in range(N_PROVIDERS)
+        ]
+        registry, providers, clock = build_simulated_fleet(specs, seed=seed)
+        self.injector = FailureInjector(providers, clock, seed=seed + 1)
+        from repro.core.cache import ChunkCache
+
+        self.distributor = CloudDataDistributor(
+            registry,
+            chunk_policy=ChunkSizePolicy.uniform(256),
+            stripe_width=WIDTH,
+            seed=seed + 2,
+            # A small cache so the fuzz also exercises hit/invalidation paths.
+            cache=ChunkCache(4 * 1024),
+        )
+        self.distributor.register_client("C")
+        self.distributor.add_password("C", "pw", PrivacyLevel.PRIVATE)
+        self.model: dict[str, bytes] = {}
+        self.down: set[str] = set()
+
+    # -- mutations --------------------------------------------------------
+
+    @rule(name=name_st, payload=payload_st)
+    def upload(self, name, payload):
+        if name in self.model:
+            return
+        self.distributor.upload_file("C", "pw", name, payload, PrivacyLevel.PRIVATE)
+        self.model[name] = payload
+
+    @precondition(lambda self: self.model and not self.down)
+    @rule(data=st.data())
+    def remove(self, data):
+        name = data.draw(st.sampled_from(sorted(self.model)))
+        self.distributor.remove_file("C", "pw", name)
+        del self.model[name]
+
+    @precondition(lambda self: self.model and not self.down)
+    @rule(data=st.data(), payload=st.binary(min_size=0, max_size=256))
+    def update_chunk0(self, data, payload):
+        name = data.draw(st.sampled_from(sorted(self.model)))
+        old = self.model[name]
+        self.distributor.update_chunk("C", "pw", name, 0, payload)
+        # Chunk 0 replaced: splice into the model at chunk granularity.
+        self.model[name] = payload + old[256:]
+
+    # -- failures ----------------------------------------------------------
+
+    @precondition(lambda self: not self.down)
+    @rule(name=provider_st)
+    def take_down(self, name):
+        self.injector.take_down(name)
+        self.down.add(name)
+
+    @precondition(lambda self: self.down)
+    @rule()
+    def bring_up(self):
+        for name in sorted(self.down):
+            self.injector.bring_up(name)
+        self.down.clear()
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def repair(self, data):
+        name = data.draw(st.sampled_from(sorted(self.model)))
+        report = self.distributor.repair_file("C", "pw", name)
+        assert report.chunks_unrecoverable == 0
+
+    # -- observations -------------------------------------------------------
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), parallel=st.booleans())
+    def download_matches_model(self, data, parallel):
+        name = data.draw(st.sampled_from(sorted(self.model)))
+        got = self.distributor.get_file("C", "pw", name, parallel=parallel)
+        assert got == self.model[name]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def chunk_read_matches_model(self, data):
+        name = data.draw(st.sampled_from(sorted(self.model)))
+        n = self.distributor.chunk_count("C", name)
+        serial = data.draw(st.integers(min_value=0, max_value=n - 1))
+        got = self.distributor.get_chunk("C", "pw", name, serial)
+        assert got == self.model[name][serial * 256 : (serial + 1) * 256]
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def table_counts_consistent(self):
+        if not hasattr(self, "distributor"):
+            return
+        # Provider Table counts equal the number of table-tracked keys.
+        for _, entry in self.distributor.provider_table:
+            assert entry.count == len(entry.virtual_ids)
+        # Client Table quadruples reference live Chunk Table entries.
+        client = self.distributor.client_table.get("C")
+        for ref in client.chunk_refs:
+            self.distributor.chunk_table.get(ref.chunk_index)
+
+
+TestDistributorStateMachine = DistributorMachine.TestCase
+TestDistributorStateMachine.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,97 @@
+import pytest
+
+from repro.mining.apriori import (
+    frequent_itemsets,
+    mine_rules,
+    rule_precision,
+    rule_recall,
+)
+from repro.workloads.transactions import generate_transactions, planted_rule_pairs
+
+SIMPLE = [
+    {"a", "b", "c"},
+    {"a", "b"},
+    {"a", "c"},
+    {"a", "b", "c"},
+    {"b", "c"},
+]
+
+
+def test_frequent_itemsets_supports():
+    itemsets = frequent_itemsets(SIMPLE, min_support=0.5)
+    assert itemsets[frozenset({"a"})] == pytest.approx(0.8)
+    assert itemsets[frozenset({"a", "b"})] == pytest.approx(0.6)
+    assert itemsets[frozenset({"b", "c"})] == pytest.approx(0.6)
+
+
+def test_min_support_prunes():
+    itemsets = frequent_itemsets(SIMPLE, min_support=0.7)
+    assert frozenset({"a"}) in itemsets
+    assert frozenset({"a", "b"}) not in itemsets
+
+
+def test_apriori_antimonotone_property():
+    """Support of any superset never exceeds support of its subsets."""
+    itemsets = frequent_itemsets(SIMPLE, min_support=0.2)
+    for itemset, support in itemsets.items():
+        for other, other_support in itemsets.items():
+            if itemset < other:
+                assert other_support <= support + 1e-12
+
+
+def test_empty_transactions():
+    assert frequent_itemsets([], min_support=0.5) == {}
+    assert mine_rules([], min_support=0.5) == []
+
+
+def test_support_validation():
+    with pytest.raises(ValueError):
+        frequent_itemsets(SIMPLE, min_support=0.0)
+    with pytest.raises(ValueError):
+        mine_rules(SIMPLE, min_confidence=1.5)
+
+
+def test_rules_statistics():
+    rules = mine_rules(SIMPLE, min_support=0.4, min_confidence=0.7)
+    for rule in rules:
+        assert 0 < rule.support <= 1
+        assert 0.7 <= rule.confidence <= 1
+        assert rule.lift > 0
+        assert rule.antecedent and rule.consequent
+        assert not (rule.antecedent & rule.consequent)
+
+
+def test_rules_sorted_by_confidence():
+    rules = mine_rules(SIMPLE, min_support=0.2, min_confidence=0.5)
+    confidences = [r.confidence for r in rules]
+    assert confidences == sorted(confidences, reverse=True)
+
+
+def test_planted_rules_recovered_from_large_log():
+    log = generate_transactions(3000, seed=5)
+    rules = mine_rules(log.baskets, min_support=0.03, min_confidence=0.6)
+    found = {(r.antecedent, r.consequent) for r in rules}
+    recovered = [pair for pair in planted_rule_pairs() if pair in found]
+    assert len(recovered) >= 4  # at least 4 of 5 planted rules surface
+
+
+def test_rule_recall_and_precision():
+    log = generate_transactions(2000, seed=6)
+    reference = mine_rules(log.baskets, min_support=0.03, min_confidence=0.6)
+    assert rule_recall(reference, reference) == 1.0
+    assert rule_precision(reference, reference) == 1.0
+    assert rule_recall(reference, []) == 0.0
+    assert rule_precision([], reference) == 0.0 if reference else True
+    assert rule_recall([], []) == 1.0
+    assert rule_precision([], []) == 1.0
+
+
+def test_small_fragment_loses_rules():
+    """Section VII-A's claim for association mining: fragments lose rules."""
+    log = generate_transactions(3000, seed=7)
+    reference = mine_rules(log.baskets, min_support=0.03, min_confidence=0.6)
+    tiny = log.split_equally(60)[0]  # 50 baskets
+    recovered = mine_rules(tiny.baskets, min_support=0.03, min_confidence=0.6)
+    assert rule_precision(reference, recovered) < 1.0 or rule_recall(
+        reference, recovered
+    ) < 1.0

@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+
+from repro.mining.decision_tree import fit_tree
+from repro.workloads.records import RecordSet, generate_records
+
+
+def test_separable_data_perfect():
+    rng = np.random.default_rng(1)
+    x0 = rng.normal(0, 0.5, size=(60, 2))
+    x1 = rng.normal(5, 0.5, size=(60, 2))
+    x = np.concatenate([x0, x1])
+    y = np.repeat([0, 1], 60)
+    tree = fit_tree(x, y)
+    assert tree.accuracy(x, y) == 1.0
+    assert tree.depth >= 1
+
+
+def test_xor_needs_depth_two():
+    """Nonlinear structure NB can't model; CART nails it at depth 2."""
+    rng = np.random.default_rng(2)
+    x = rng.uniform(-1, 1, size=(400, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+    deep = fit_tree(x, y, max_depth=3)
+    stump = fit_tree(x, y, max_depth=1)
+    assert deep.accuracy(x, y) > 0.9
+    assert stump.accuracy(x, y) < 0.8
+
+
+def test_depth_and_leaves_bounded():
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(300, 4))
+    y = (x[:, 0] + x[:, 1] > 0).astype(int)
+    tree = fit_tree(x, y, max_depth=3)
+    assert tree.depth <= 3
+    assert tree.n_leaves <= 2**3
+
+
+def test_max_depth_zero_is_majority_vote():
+    x = np.arange(10, dtype=float).reshape(-1, 1)
+    y = np.array([0] * 7 + [1] * 3)
+    tree = fit_tree(x, y, max_depth=0)
+    assert tree.n_leaves == 1
+    assert np.all(tree.predict(x) == 0)
+
+
+def test_pure_node_stops_early():
+    x = np.arange(20, dtype=float).reshape(-1, 1)
+    y = np.zeros(20, dtype=int)
+    tree = fit_tree(x, y)
+    assert tree.n_leaves == 1
+
+
+def test_constant_features_no_split():
+    x = np.ones((30, 3))
+    y = np.arange(30) % 2
+    tree = fit_tree(x, y)
+    assert tree.n_leaves == 1
+
+
+def test_string_labels_supported():
+    x = np.concatenate([np.zeros((20, 1)), np.ones((20, 1))])
+    y = np.array(["low"] * 20 + ["high"] * 20)
+    tree = fit_tree(x, y)
+    assert set(tree.predict(x)) == {"low", "high"}
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        fit_tree(np.zeros((3, 2)), np.zeros(4))
+    with pytest.raises(ValueError):
+        fit_tree(np.zeros((0, 2)), np.zeros(0))
+    with pytest.raises(ValueError):
+        fit_tree(np.zeros((3, 2)), np.zeros(3), max_depth=-1)
+
+
+def test_dump_readable():
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=(100, 2))
+    y = (x[:, 0] > 0).astype(int)
+    tree = fit_tree(x, y, max_depth=2)
+    dump = tree.dump(feature_names=["age", "income"])
+    assert "if age <=" in dump or "if income <=" in dump
+    assert "samples" in dump
+
+
+def test_records_workload_beats_majority():
+    train = generate_records(3000, seed=5)
+    test = generate_records(800, seed=6)
+    tree = fit_tree(train.features(), train.labels(), max_depth=6)
+    accuracy = tree.accuracy(test.features(), test.labels())
+    majority = max(np.mean(test.labels()), 1 - np.mean(test.labels()))
+    assert accuracy > majority + 0.05
+
+
+def test_fragmentation_degrades_tree():
+    """Averaged over seeds (single tiny fragments are noisy), a
+    15-record fragment trains a clearly worse tree than the full log."""
+    import numpy as np
+
+    full_accs, frag_accs = [], []
+    for seed in range(5):
+        big = generate_records(3000, seed=100 + seed)
+        test = generate_records(800, seed=200 + seed)
+        full = fit_tree(big.features(), big.labels(), max_depth=5)
+        tiny = RecordSet(rows=big.rows[:15])
+        frag = fit_tree(tiny.features(), tiny.labels(), max_depth=5)
+        full_accs.append(full.accuracy(test.features(), test.labels()))
+        frag_accs.append(frag.accuracy(test.features(), test.labels()))
+    assert np.mean(full_accs) > np.mean(frag_accs) + 0.05

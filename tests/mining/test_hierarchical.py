@@ -1,0 +1,164 @@
+import numpy as np
+import pytest
+from scipy.cluster import hierarchy as scipy_hierarchy
+from scipy.spatial.distance import pdist
+
+from repro.mining.hierarchical import (
+    ascii_dendrogram,
+    cophenetic_correlation,
+    cophenetic_distances,
+    cut_tree,
+    leaf_order,
+    linkage,
+    pairwise_distances,
+)
+
+
+@pytest.fixture
+def blobs(rng):
+    """Three well-separated Gaussian blobs."""
+    centers = np.array([[0, 0], [10, 0], [0, 10]])
+    points = np.concatenate(
+        [center + rng.normal(0, 0.5, size=(20, 2)) for center in centers]
+    )
+    labels = np.repeat([0, 1, 2], 20)
+    return points, labels
+
+
+def test_pairwise_distances_match_scipy(rng):
+    points = rng.normal(size=(25, 4))
+    ours = pairwise_distances(points)
+    theirs = scipy_hierarchy.distance.squareform(pdist(points))
+    assert np.allclose(ours, theirs)
+
+
+@pytest.mark.parametrize("method", ["single", "complete", "average", "ward"])
+def test_linkage_matches_scipy(rng, method):
+    points = rng.normal(size=(30, 3))
+    ours = linkage(points, method=method)
+    theirs = scipy_hierarchy.linkage(points, method=method)
+    # Merge heights must agree (cluster ids can be permuted at ties).
+    assert np.allclose(np.sort(ours[:, 2]), np.sort(theirs[:, 2]), atol=1e-8)
+    # Cut labels must agree up to relabeling for several k.
+    from repro.mining.metrics import adjusted_rand_index
+
+    for k in (2, 3, 5):
+        ours_labels = cut_tree(ours, k)
+        theirs_labels = scipy_hierarchy.fcluster(theirs, k, criterion="maxclust")
+        assert adjusted_rand_index(ours_labels, theirs_labels) == pytest.approx(1.0)
+
+
+def test_linkage_recovers_blobs(blobs):
+    points, truth = blobs
+    merges = linkage(points, method="average")
+    labels = cut_tree(merges, 3)
+    from repro.mining.metrics import adjusted_rand_index
+
+    assert adjusted_rand_index(labels, truth) == pytest.approx(1.0)
+
+
+def test_linkage_validation():
+    with pytest.raises(ValueError):
+        linkage(np.zeros((1, 2)))
+    with pytest.raises(ValueError):
+        linkage(np.zeros((5, 2)), method="median")
+
+
+def test_cut_tree_extremes(blobs):
+    points, _ = blobs
+    merges = linkage(points)
+    assert len(np.unique(cut_tree(merges, 1))) == 1
+    assert len(np.unique(cut_tree(merges, len(points)))) == len(points)
+    with pytest.raises(ValueError):
+        cut_tree(merges, 0)
+    with pytest.raises(ValueError):
+        cut_tree(merges, len(points) + 1)
+
+
+def test_cophenetic_matches_scipy(rng):
+    points = rng.normal(size=(20, 3))
+    ours = cophenetic_distances(linkage(points, method="average"))
+    theirs = scipy_hierarchy.cophenet(
+        scipy_hierarchy.linkage(points, method="average")
+    )
+    assert np.allclose(np.sort(ours), np.sort(theirs), atol=1e-8)
+
+
+def test_cophenetic_correlation_self_is_one(rng):
+    points = rng.normal(size=(15, 2))
+    merges = linkage(points)
+    assert cophenetic_correlation(merges, merges) == pytest.approx(1.0)
+
+
+def test_cophenetic_correlation_different_data_lower(rng):
+    a = linkage(rng.normal(size=(20, 2)))
+    b = linkage(rng.normal(size=(20, 2)))
+    assert cophenetic_correlation(a, b) < 0.999
+
+
+def test_cophenetic_correlation_shape_mismatch(rng):
+    a = linkage(rng.normal(size=(10, 2)))
+    b = linkage(rng.normal(size=(12, 2)))
+    with pytest.raises(ValueError):
+        cophenetic_correlation(a, b)
+
+
+def test_leaf_order_is_permutation(blobs):
+    points, _ = blobs
+    order = leaf_order(linkage(points))
+    assert sorted(order) == list(range(len(points)))
+
+
+def test_leaf_order_groups_blobs(blobs):
+    """Dendrogram x-axis keeps each blob contiguous (as in Figs. 4-6)."""
+    points, truth = blobs
+    order = leaf_order(linkage(points, method="average"))
+    ordered_labels = truth[order]
+    transitions = int(np.sum(ordered_labels[1:] != ordered_labels[:-1]))
+    assert transitions == 2  # three contiguous blocks
+
+
+def test_ascii_dendrogram_renders(blobs):
+    points, _ = blobs
+    merges = linkage(points)
+    art = ascii_dendrogram(merges, labels=[f"u{i}" for i in range(len(points))])
+    assert len(art.splitlines()) == len(points)
+    assert "u0" in art
+
+
+def test_ascii_dendrogram_label_count(blobs):
+    points, _ = blobs
+    merges = linkage(points)
+    with pytest.raises(ValueError):
+        ascii_dendrogram(merges, labels=["too", "few"])
+
+
+def test_property_merge_heights_monotone(rng):
+    """Single/complete/average/ward linkages are monotone: merge heights
+    never decrease up the tree (no dendrogram inversions)."""
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.sampled_from(["single", "complete", "average", "ward"]))
+    def run(seed, method):
+        import numpy as np
+
+        points = np.random.default_rng(seed).normal(size=(18, 3))
+        heights = linkage(points, method=method)[:, 2]
+        assert np.all(np.diff(heights) >= -1e-9)
+
+    run()
+
+
+def test_property_cut_sizes_sum(rng):
+    """cut_tree labels always partition all n points into exactly k groups."""
+    import numpy as np
+
+    points = rng.normal(size=(24, 2))
+    merges = linkage(points)
+    for k in range(1, 25):
+        labels = cut_tree(merges, k)
+        assert labels.shape == (24,)
+        assert len(np.unique(labels)) == k

@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.mining.kmeans import kmeans
+from repro.mining.metrics import adjusted_rand_index
+
+
+@pytest.fixture
+def blobs(rng):
+    centers = np.array([[0, 0], [8, 8], [0, 8], [8, 0]], dtype=float)
+    points = np.concatenate(
+        [c + rng.normal(0, 0.4, size=(25, 2)) for c in centers]
+    )
+    labels = np.repeat(np.arange(4), 25)
+    return points, labels
+
+
+def test_recovers_blobs(blobs):
+    points, truth = blobs
+    result = kmeans(points, 4, seed=1)
+    assert adjusted_rand_index(result.labels, truth) == pytest.approx(1.0)
+    assert result.k == 4
+
+
+def test_deterministic_under_seed(blobs):
+    points, _ = blobs
+    a = kmeans(points, 4, seed=9)
+    b = kmeans(points, 4, seed=9)
+    assert np.array_equal(a.labels, b.labels)
+    assert np.allclose(a.centers, b.centers)
+
+
+def test_inertia_decreases_with_k(blobs):
+    points, _ = blobs
+    inertias = [kmeans(points, k, seed=3).inertia for k in (1, 2, 4, 8)]
+    assert all(a >= b for a, b in zip(inertias, inertias[1:]))
+
+
+def test_k_equals_n_zero_inertia():
+    points = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+    result = kmeans(points, 3, seed=1)
+    assert result.inertia == pytest.approx(0.0)
+
+
+def test_k_one_center_is_mean(blobs):
+    points, _ = blobs
+    result = kmeans(points, 1, seed=1)
+    assert np.allclose(result.centers[0], points.mean(axis=0))
+
+
+def test_validation(blobs):
+    points, _ = blobs
+    with pytest.raises(ValueError):
+        kmeans(points, 0)
+    with pytest.raises(ValueError):
+        kmeans(points, len(points) + 1)
+    with pytest.raises(ValueError):
+        kmeans(points[0], 1)
+
+
+def test_duplicate_points_dont_crash():
+    points = np.zeros((10, 2))
+    result = kmeans(points, 3, seed=1)
+    assert result.inertia == pytest.approx(0.0)
+
+
+def test_labels_cover_all_points(blobs):
+    points, _ = blobs
+    result = kmeans(points, 5, seed=2)
+    assert result.labels.shape == (points.shape[0],)
+    assert set(result.labels) <= set(range(5))

@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mining.metrics import (
+    adjusted_rand_index,
+    cluster_migrations,
+    rand_index,
+    regression_rmse,
+    relative_error,
+)
+
+labels_st = st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=40)
+
+
+def test_rand_index_identical():
+    assert rand_index([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0  # relabeling ok
+
+
+def test_rand_index_total_disagreement():
+    # One clustering lumps everything; the other splits every point.
+    a = [0, 0, 0, 0]
+    b = [0, 1, 2, 3]
+    assert rand_index(a, b) == 0.0
+
+
+def test_adjusted_rand_identical_and_random():
+    a = [0, 0, 1, 1, 2, 2]
+    assert adjusted_rand_index(a, a) == pytest.approx(1.0)
+    rng = np.random.default_rng(1)
+    scores = [
+        adjusted_rand_index(rng.integers(0, 3, 60), rng.integers(0, 3, 60))
+        for _ in range(30)
+    ]
+    assert abs(float(np.mean(scores))) < 0.1  # chance-corrected ~ 0
+
+
+def test_ari_invariant_to_relabeling():
+    a = [0, 0, 1, 1, 2, 2]
+    b = [2, 2, 0, 0, 1, 1]
+    assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+
+@given(labels_st)
+def test_property_rand_self_is_one(labels):
+    assert rand_index(labels, labels) == pytest.approx(1.0)
+    assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+
+@given(labels_st, st.randoms())
+def test_property_rand_symmetric(labels, random):
+    other = [random.randint(0, 3) for _ in labels]
+    assert rand_index(labels, other) == pytest.approx(rand_index(other, labels))
+    assert adjusted_rand_index(labels, other) == pytest.approx(
+        adjusted_rand_index(other, labels)
+    )
+
+
+def test_length_mismatch():
+    with pytest.raises(ValueError):
+        rand_index([0, 1], [0, 1, 2])
+    with pytest.raises(ValueError):
+        cluster_migrations([], [])
+
+
+def test_cluster_migrations_zero_for_same():
+    assert cluster_migrations([0, 0, 1, 1], [1, 1, 0, 0]) == 0
+
+
+def test_cluster_migrations_counts_movers():
+    a = [0, 0, 0, 1, 1, 1]
+    b = [0, 0, 1, 1, 1, 1]  # one entity moved cluster
+    assert cluster_migrations(a, b) == 1
+
+
+def test_cluster_migrations_all_merge():
+    a = [0, 1, 2, 3]
+    b = [0, 0, 0, 0]
+    assert cluster_migrations(a, b) == 3  # best match keeps one entity
+
+
+def test_regression_rmse():
+    assert regression_rmse([1, 2, 3], [1, 2, 3]) == 0.0
+    assert regression_rmse([0, 0], [3, 4]) == pytest.approx(np.sqrt(12.5))
+    with pytest.raises(ValueError):
+        regression_rmse([1], [1, 2])
+
+
+def test_relative_error():
+    assert relative_error(11, 10) == pytest.approx(0.1)
+    assert relative_error(0, 0) == 0.0
+    assert relative_error(1, 0) == float("inf")

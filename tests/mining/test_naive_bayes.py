@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from repro.mining.naive_bayes import fit_gaussian_nb
+from repro.workloads.records import generate_records
+
+
+def test_separable_classes_perfect():
+    rng = np.random.default_rng(1)
+    x0 = rng.normal(0, 0.5, size=(50, 2))
+    x1 = rng.normal(10, 0.5, size=(50, 2))
+    x = np.concatenate([x0, x1])
+    y = np.concatenate([np.zeros(50), np.ones(50)])
+    model = fit_gaussian_nb(x, y)
+    assert model.accuracy(x, y) == 1.0
+
+
+def test_predict_shapes():
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(30, 3))
+    y = rng.integers(0, 2, size=30)
+    model = fit_gaussian_nb(x, y)
+    assert model.predict(x).shape == (30,)
+    assert model.log_posterior(x).shape == (30, len(model.classes))
+
+
+def test_feature_count_mismatch():
+    model = fit_gaussian_nb(np.zeros((10, 2)) + np.arange(10)[:, None],
+                            np.arange(10) % 2)
+    with pytest.raises(ValueError):
+        model.predict(np.zeros((3, 5)))
+
+
+def test_fit_validation():
+    with pytest.raises(ValueError):
+        fit_gaussian_nb(np.zeros((5, 2)), np.zeros(4))
+    with pytest.raises(ValueError):
+        fit_gaussian_nb(np.zeros((0, 2)), np.zeros(0))
+
+
+def test_priors_reflect_imbalance():
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(100, 1))
+    y = np.array([0] * 90 + [1] * 10)
+    model = fit_gaussian_nb(x, y)
+    assert model.priors[0] > model.priors[1]
+
+
+def test_constant_feature_no_crash():
+    x = np.ones((20, 2))
+    y = np.arange(20) % 2
+    model = fit_gaussian_nb(x, y)
+    model.predict(x)  # must not divide by zero
+
+
+def test_records_workload_learnable():
+    train = generate_records(4000, seed=1)
+    test = generate_records(1000, seed=2)
+    model = fit_gaussian_nb(train.features(), train.labels())
+    accuracy = model.accuracy(test.features(), test.labels())
+    # Far better than the majority-class baseline.
+    majority = max(np.mean(test.labels()), 1 - np.mean(test.labels()))
+    assert accuracy > majority + 0.05
+
+
+def test_small_fragment_hurts_accuracy():
+    """Prediction attack degrades with fragment size (Section VII-A)."""
+    big = generate_records(4000, seed=3)
+    test = generate_records(1000, seed=4)
+    accuracies = []
+    for n in (4000, 40, 12):
+        fragment_rows = big.rows[:n]
+        from repro.workloads.records import RecordSet
+
+        frag = RecordSet(rows=fragment_rows)
+        model = fit_gaussian_nb(frag.features(), frag.labels())
+        accuracies.append(model.accuracy(test.features(), test.labels()))
+    assert accuracies[0] > accuracies[2]

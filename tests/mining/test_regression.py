@@ -1,0 +1,117 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.regression import (
+    coefficient_distance,
+    fit_linear,
+    prediction_rmse,
+)
+from repro.workloads.bidding import (
+    TRUE_COEFFICIENTS,
+    TRUE_INTERCEPT,
+    table_iv,
+)
+
+
+def test_exact_fit_noiseless():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(50, 3))
+    y = x @ [2.0, -1.0, 0.5] + 7.0
+    model = fit_linear(x, y)
+    assert np.allclose(model.coefficients, [2.0, -1.0, 0.5])
+    assert model.intercept == pytest.approx(7.0)
+    assert model.r_squared == pytest.approx(1.0)
+    assert model.n_samples == 50
+
+
+def test_paper_table_iv_coefficients():
+    """The headline Section VII-A result: full-data OLS recovers the
+    paper's equation 1.4*Mat + 1.5*Prod + 3.1*Maint + 5436."""
+    ds = table_iv()
+    model = fit_linear(ds.features(), ds.bids())
+    assert np.allclose(model.coefficients, TRUE_COEFFICIENTS, atol=0.05)
+    assert model.intercept == pytest.approx(TRUE_INTERCEPT, abs=1.0)
+    assert model.r_squared > 0.99
+
+
+def test_paper_fragment_equations():
+    """Per-fragment models match the paper's three misleading equations."""
+    fragments = table_iv().split_equally(3)
+    expected = [
+        ((1.8, 0.8, 3.4), 4489),
+        ((3.0, 4.7, 2.2), 3089),
+        ((2.4, 1.5, 1.7), 8753),
+    ]
+    for fragment, (coeffs, intercept) in zip(fragments, expected):
+        model = fit_linear(fragment.features(), fragment.bids())
+        assert np.allclose(model.coefficients, coeffs, atol=0.05)
+        assert model.intercept == pytest.approx(intercept, abs=2.0)
+
+
+def test_fragments_diverge_from_full():
+    ds = table_iv()
+    full = fit_linear(ds.features(), ds.bids())
+    for fragment in ds.split_equally(3):
+        frag_model = fit_linear(fragment.features(), fragment.bids())
+        assert coefficient_distance(full, frag_model) > 0.05
+
+
+def test_underdetermined_raises():
+    x = np.zeros((3, 3))
+    y = np.zeros(3)
+    with pytest.raises(ValueError):
+        fit_linear(x, y)
+
+
+def test_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        fit_linear(np.zeros((5, 2)), np.zeros(4))
+
+
+def test_predict_shape_check():
+    model = fit_linear(np.random.default_rng(0).normal(size=(10, 2)), np.zeros(10))
+    with pytest.raises(ValueError):
+        model.predict(np.zeros((3, 5)))
+
+
+def test_equation_string():
+    ds = table_iv()
+    model = fit_linear(ds.features(), ds.bids())
+    eq = model.equation(["Materials", "Production", "Maintenance"], target="Bid")
+    assert eq.startswith("Bid = 1.4*Materials")
+    assert "5436" in eq
+
+
+def test_coefficient_distance_zero_for_identical():
+    ds = table_iv()
+    model = fit_linear(ds.features(), ds.bids())
+    assert coefficient_distance(model, model) == 0.0
+
+
+def test_prediction_rmse():
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(100, 2))
+    y = x @ [1.0, 2.0] + 3.0
+    model = fit_linear(x[:50], y[:50])
+    assert prediction_rmse(model, x[50:], y[50:]) < 1e-8
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=5, max_value=60),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_property_recovers_planted_model(n, seed):
+    rng = np.random.default_rng(seed)
+    coeffs = rng.uniform(-5, 5, size=3)
+    intercept = rng.uniform(-100, 100)
+    x = rng.normal(size=(n, 3))
+    y = x @ coeffs + intercept
+    model = fit_linear(x, y)
+    # Noiseless data with n >= p+1 samples: recovery should be near-exact
+    # whenever the design is well-conditioned.
+    if np.linalg.cond(np.c_[x, np.ones(n)]) < 1e6:
+        assert np.allclose(model.coefficients, coeffs, atol=1e-5)
+        assert model.intercept == pytest.approx(intercept, abs=1e-5)

@@ -1,0 +1,69 @@
+import pytest
+
+from repro.core.privacy import CostLevel
+from repro.providers.billing import (
+    DEFAULT_PRICES,
+    SECONDS_PER_MONTH,
+    BillingMeter,
+)
+from repro.util.clock import SimulatedClock
+from repro.util.units import GiB
+
+
+def test_gb_month_integration():
+    clock = SimulatedClock()
+    meter = BillingMeter(clock=clock, cost_level=CostLevel.CHEAP)
+    meter.record_bytes_delta(GiB)
+    clock.advance(SECONDS_PER_MONTH)
+    assert meter.gb_months == pytest.approx(1.0)
+
+
+def test_storage_cost_scales_with_cost_level():
+    costs = {}
+    for level in CostLevel:
+        clock = SimulatedClock()
+        meter = BillingMeter(clock=clock, cost_level=level)
+        meter.record_bytes_delta(GiB)
+        clock.advance(SECONDS_PER_MONTH)
+        costs[level] = meter.total_cost()
+    assert costs[CostLevel.CHEAPEST] < costs[CostLevel.CHEAP]
+    assert costs[CostLevel.CHEAP] < costs[CostLevel.EXPENSIVE]
+    assert costs[CostLevel.EXPENSIVE] < costs[CostLevel.PREMIUM]
+
+
+def test_piecewise_constant_integration():
+    clock = SimulatedClock()
+    meter = BillingMeter(clock=clock, cost_level=CostLevel.CHEAP)
+    meter.record_bytes_delta(2 * GiB)
+    clock.advance(SECONDS_PER_MONTH / 2)
+    meter.record_bytes_delta(-GiB)  # drop to 1 GiB halfway
+    clock.advance(SECONDS_PER_MONTH / 2)
+    assert meter.gb_months == pytest.approx(1.5)
+
+
+def test_request_fees():
+    clock = SimulatedClock()
+    meter = BillingMeter(clock=clock, cost_level=CostLevel.PREMIUM)
+    for _ in range(1000):
+        meter.record_put(10)
+    for _ in range(2000):
+        meter.record_get(10)
+    _, put_rate, get_rate = DEFAULT_PRICES[CostLevel.PREMIUM]
+    assert meter.total_cost() == pytest.approx(put_rate + 2 * get_rate)
+    assert meter.bytes_in == 10_000
+    assert meter.bytes_out == 20_000
+
+
+def test_negative_storage_rejected():
+    meter = BillingMeter(clock=SimulatedClock(), cost_level=CostLevel.CHEAP)
+    with pytest.raises(ValueError):
+        meter.record_bytes_delta(-1)
+
+
+def test_custom_price_table():
+    clock = SimulatedClock()
+    meter = BillingMeter(clock=clock, cost_level=CostLevel.CHEAP)
+    meter.record_bytes_delta(GiB)
+    clock.advance(SECONDS_PER_MONTH)
+    prices = {CostLevel.CHEAP: (1.0, 0.0, 0.0)}
+    assert meter.total_cost(prices) == pytest.approx(1.0)

@@ -1,0 +1,58 @@
+import pytest
+
+from repro.core.errors import BlobCorruptedError, BlobNotFoundError
+from repro.providers.disk import DiskProvider
+
+
+@pytest.fixture
+def provider(tmp_path):
+    return DiskProvider("disk", tmp_path / "store")
+
+
+def test_roundtrip(provider):
+    provider.put("k", b"\x00\x01binary")
+    assert provider.get("k") == b"\x00\x01binary"
+
+
+def test_missing(provider):
+    with pytest.raises(BlobNotFoundError):
+        provider.get("nope")
+    with pytest.raises(BlobNotFoundError):
+        provider.delete("nope")
+    with pytest.raises(BlobNotFoundError):
+        provider.head("nope")
+
+
+def test_delete(provider):
+    provider.put("k", b"v")
+    provider.delete("k")
+    assert not provider.contains("k")
+
+
+def test_weird_keys_are_encoded(provider):
+    keys = ["a/b", "12345.0", "S98765", "sp ace", "unié"]
+    for i, key in enumerate(keys):
+        provider.put(key, str(i).encode())
+    assert sorted(provider.keys()) == sorted(keys)
+    for i, key in enumerate(keys):
+        assert provider.get(key) == str(i).encode()
+
+
+def test_persistence_across_instances(tmp_path):
+    a = DiskProvider("d", tmp_path / "s")
+    a.put("k", b"persists")
+    b = DiskProvider("d", tmp_path / "s")
+    assert b.get("k") == b"persists"
+
+
+def test_corruption_detected(provider, tmp_path):
+    provider.put("k", b"data!")
+    blob_file = provider._blob_path("k")
+    blob_file.write_bytes(b"DATA!")
+    with pytest.raises(BlobCorruptedError):
+        provider.get("k")
+
+
+def test_head_size(provider):
+    provider.put("k", b"123")
+    assert provider.head("k").size == 3

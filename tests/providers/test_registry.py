@@ -1,0 +1,87 @@
+import pytest
+
+from repro.core.privacy import CostLevel, PrivacyLevel
+from repro.providers.attestation import AttestationRegistry
+from repro.providers.memory import InMemoryProvider
+from repro.providers.registry import (
+    ProviderRegistry,
+    ProviderSpec,
+    build_simulated_fleet,
+    default_fleet_specs,
+)
+
+
+def test_register_and_get():
+    registry = ProviderRegistry()
+    entry = registry.register(InMemoryProvider("A"), PrivacyLevel.PRIVATE, CostLevel.CHEAP)
+    assert registry.get("A") is entry
+    assert registry.names() == ["A"]
+    assert len(registry) == 1
+    assert "A" in registry
+
+
+def test_duplicate_name_rejected():
+    registry = ProviderRegistry()
+    registry.register(InMemoryProvider("A"), 0, 0)
+    with pytest.raises(ValueError):
+        registry.register(InMemoryProvider("A"), 1, 1)
+
+
+def test_unknown_get_raises():
+    with pytest.raises(KeyError):
+        ProviderRegistry().get("ghost")
+
+
+def test_eligible_filters_by_privacy_level():
+    registry = ProviderRegistry()
+    registry.register(InMemoryProvider("pl0"), PrivacyLevel.PUBLIC, 0)
+    registry.register(InMemoryProvider("pl2"), PrivacyLevel.MODERATE, 0)
+    registry.register(InMemoryProvider("pl3"), PrivacyLevel.PRIVATE, 0)
+    assert {e.name for e in registry.eligible(PrivacyLevel.PUBLIC)} == {"pl0", "pl2", "pl3"}
+    assert {e.name for e in registry.eligible(PrivacyLevel.MODERATE)} == {"pl2", "pl3"}
+    assert {e.name for e in registry.eligible(PrivacyLevel.PRIVATE)} == {"pl3"}
+
+
+def test_build_simulated_fleet_shares_clock():
+    registry, providers, clock = build_simulated_fleet(default_fleet_specs(3), seed=1)
+    assert len(providers) == 3
+    providers[0].put("k", b"x")
+    assert clock.now > 0
+    assert all(p.clock is clock for p in providers)
+
+
+def test_fleet_attestation():
+    registry, _, _ = build_simulated_fleet(default_fleet_specs(7), seed=1)
+    # Paper-style fleet: the four premium PL3 providers are attested.
+    assert registry.attestation.is_attested("AWS")
+    assert not registry.attestation.is_attested("Sea")
+
+
+def test_default_fleet_specs_extends():
+    specs = default_fleet_specs(20)
+    assert len(specs) == 20
+    assert len({s.name for s in specs}) == 20
+
+
+def test_default_fleet_specs_validates():
+    with pytest.raises(ValueError):
+        default_fleet_specs(0)
+
+
+def test_attestation_lifecycle():
+    reg = AttestationRegistry()
+    trusted = reg.measure("good-stack")
+    reg.trust_measurement(trusted)
+    reg.attest("P", "good-stack")
+    assert reg.is_attested("P")
+    reg.revoke("P")
+    assert not reg.is_attested("P")
+    reg.attest("P", "evil-stack")
+    assert not reg.is_attested("P")
+
+
+def test_attestation_nonces_increase():
+    reg = AttestationRegistry()
+    r1 = reg.attest("A", "s")
+    r2 = reg.attest("B", "s")
+    assert r2.nonce > r1.nonce

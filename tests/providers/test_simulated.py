@@ -1,0 +1,96 @@
+import pytest
+
+from repro.core.errors import ProviderUnavailableError
+from repro.core.privacy import CostLevel
+from repro.providers.memory import InMemoryProvider
+from repro.providers.simulated import LatencyModel, SimulatedProvider
+from repro.util.clock import SimulatedClock
+from repro.util.units import MiB
+
+
+def make_provider(clock=None, latency=None):
+    clock = clock or SimulatedClock()
+    provider = SimulatedProvider(
+        backend=InMemoryProvider("sim"),
+        clock=clock,
+        latency=latency or LatencyModel(rtt_s=0.1, jitter=0.0, upload_bw=MiB, download_bw=2 * MiB),
+        cost_level=CostLevel.CHEAP,
+        seed=1,
+    )
+    return provider, clock
+
+
+def test_put_advances_clock_by_rtt_plus_transfer():
+    provider, clock = make_provider()
+    provider.put("k", b"\x00" * MiB)
+    # 0.1 s RTT + 1 MiB / 1 MiB/s = 1.1 s.
+    assert clock.now == pytest.approx(1.1)
+
+
+def test_get_advances_clock_with_download_bw():
+    provider, clock = make_provider()
+    provider.put("k", b"\x00" * (2 * MiB))
+    start = clock.now
+    data = provider.get("k")
+    assert len(data) == 2 * MiB
+    # 0.1 RTT + 2 MiB / 2 MiB/s download.
+    assert clock.now - start == pytest.approx(1.1)
+
+
+def test_unavailable_raises_and_charges_timeout():
+    provider, clock = make_provider()
+    provider.put("k", b"v")
+    provider.set_available(False)
+    start = clock.now
+    with pytest.raises(ProviderUnavailableError):
+        provider.get("k")
+    assert clock.now - start == pytest.approx(provider.latency.timeout_s)
+    provider.set_available(True)
+    assert provider.get("k") == b"v"
+
+
+def test_request_log_records_failures():
+    provider, _ = make_provider()
+    provider.put("k", b"v")
+    provider.set_available(False)
+    with pytest.raises(ProviderUnavailableError):
+        provider.get("k")
+    ops = [(r.op, r.ok) for r in provider.request_log]
+    assert ("put", True) in ops
+    assert ("get", False) in ops
+
+
+def test_billing_integration():
+    provider, clock = make_provider()
+    provider.put("k", b"\x00" * MiB)
+    assert provider.meter.stored_bytes == MiB
+    assert provider.meter.put_requests == 1
+    provider.get("k")
+    assert provider.meter.get_requests == 1
+    provider.delete("k")
+    assert provider.meter.stored_bytes == 0
+    assert provider.meter.total_cost() > 0
+
+
+def test_overwrite_updates_stored_bytes():
+    provider, _ = make_provider()
+    provider.put("k", b"\x00" * 100)
+    provider.put("k", b"\x00" * 40)
+    assert provider.meter.stored_bytes == 40
+
+
+def test_jitter_determinism():
+    latency = LatencyModel(rtt_s=0.1, jitter=0.5)
+    a, clock_a = make_provider(latency=latency)
+    b, clock_b = make_provider(latency=latency)
+    for provider in (a, b):
+        provider.put("k", b"x" * 1000)
+        provider.get("k")
+    assert clock_a.now == pytest.approx(clock_b.now)
+
+
+def test_latency_model_validation():
+    with pytest.raises(ValueError):
+        LatencyModel(rtt_s=-1)
+    with pytest.raises(ValueError):
+        LatencyModel(upload_bw=0)

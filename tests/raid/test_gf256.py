@@ -1,0 +1,139 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.raid.gf256 import (
+    gf_div,
+    gf_inv,
+    gf_mat_inv,
+    gf_matmul,
+    gf_mul,
+    gf_pow,
+    vandermonde,
+)
+
+bytes_st = st.integers(min_value=0, max_value=255)
+nonzero_st = st.integers(min_value=1, max_value=255)
+
+
+def test_mul_identity_and_zero():
+    a = np.arange(256, dtype=np.uint8)
+    assert np.array_equal(gf_mul(a, 1), a)
+    assert np.all(gf_mul(a, 0) == 0)
+
+
+@given(bytes_st, bytes_st)
+def test_mul_commutative(a, b):
+    assert int(gf_mul(a, b)) == int(gf_mul(b, a))
+
+
+@given(bytes_st, bytes_st, bytes_st)
+def test_mul_associative(a, b, c):
+    assert int(gf_mul(gf_mul(a, b), c)) == int(gf_mul(a, gf_mul(b, c)))
+
+
+@given(bytes_st, bytes_st, bytes_st)
+def test_mul_distributes_over_xor(a, b, c):
+    left = int(gf_mul(a, b ^ c))
+    right = int(gf_mul(a, b)) ^ int(gf_mul(a, c))
+    assert left == right
+
+
+@given(nonzero_st)
+def test_inverse_round_trip(a):
+    assert int(gf_mul(a, gf_inv(a))) == 1
+
+
+def test_inv_of_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        gf_inv(0)
+
+
+@given(bytes_st, nonzero_st)
+def test_div_is_mul_by_inverse(a, b):
+    assert int(gf_div(a, b)) == int(gf_mul(a, gf_inv(b)))
+
+
+def test_div_by_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        gf_div(3, 0)
+
+
+def test_pow_matches_repeated_mul():
+    for base in (2, 3, 29, 255):
+        acc = 1
+        for exponent in range(8):
+            assert gf_pow(base, exponent) == acc
+            acc = int(gf_mul(acc, base))
+
+
+def test_pow_zero_cases():
+    assert gf_pow(0, 0) == 1
+    assert gf_pow(0, 5) == 0
+    assert gf_pow(7, 0) == 1
+
+
+def test_field_multiplicative_order():
+    # alpha = 2 generates the full multiplicative group of size 255.
+    seen = set()
+    x = 1
+    for _ in range(255):
+        seen.add(x)
+        x = int(gf_mul(x, 2))
+    assert len(seen) == 255
+    assert x == 1  # cycles back
+
+
+def test_matmul_identity():
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 256, size=(4, 4), dtype=np.uint8)
+    eye = np.eye(4, dtype=np.uint8)
+    assert np.array_equal(gf_matmul(a, eye), a)
+    assert np.array_equal(gf_matmul(eye, a), a)
+
+
+def test_matmul_shape_mismatch():
+    with pytest.raises(ValueError):
+        gf_matmul(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 3), dtype=np.uint8))
+
+
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=2**32))
+def test_mat_inv_round_trip(n, seed):
+    rng = np.random.default_rng(seed)
+    # Build a random invertible matrix by rejection sampling.
+    for _ in range(64):
+        m = rng.integers(0, 256, size=(n, n), dtype=np.uint8)
+        try:
+            inv = gf_mat_inv(m)
+        except np.linalg.LinAlgError:
+            continue
+        eye = np.eye(n, dtype=np.uint8)
+        assert np.array_equal(gf_matmul(m, inv), eye)
+        assert np.array_equal(gf_matmul(inv, m), eye)
+        return
+    pytest.skip("no invertible sample found (vanishingly unlikely)")
+
+
+def test_mat_inv_singular_raises():
+    singular = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+    with pytest.raises(np.linalg.LinAlgError):
+        gf_mat_inv(singular)
+
+
+def test_mat_inv_rejects_non_square():
+    with pytest.raises(ValueError):
+        gf_mat_inv(np.zeros((2, 3), dtype=np.uint8))
+
+
+def test_vandermonde_any_k_rows_invertible():
+    v = vandermonde(8, 4)
+    from itertools import combinations
+
+    for rows in combinations(range(8), 4):
+        gf_mat_inv(v[list(rows)])  # must not raise
+
+
+def test_vandermonde_too_many_rows():
+    with pytest.raises(ValueError):
+        vandermonde(257, 3)

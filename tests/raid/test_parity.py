@@ -1,0 +1,48 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.raid.parity import recover_with_parity, verify_parity, xor_parity
+
+
+def test_xor_parity_simple():
+    assert xor_parity([b"\x01\x02", b"\x03\x04"]) == b"\x02\x06"
+
+
+def test_xor_parity_single_block_is_identity():
+    assert xor_parity([b"abc"]) == b"abc"
+
+
+def test_xor_parity_rejects_empty_list():
+    with pytest.raises(ValueError):
+        xor_parity([])
+
+
+def test_xor_parity_rejects_ragged_blocks():
+    with pytest.raises(ValueError):
+        xor_parity([b"ab", b"abc"])
+
+
+blocks_st = st.lists(
+    st.binary(min_size=8, max_size=8), min_size=2, max_size=6
+)
+
+
+@given(blocks_st)
+def test_recover_any_missing_block(blocks):
+    parity = xor_parity(blocks)
+    for missing in range(len(blocks)):
+        survivors = [b for i, b in enumerate(blocks) if i != missing]
+        assert recover_with_parity(survivors, parity) == blocks[missing]
+
+
+@given(blocks_st)
+def test_verify_parity_accepts_and_rejects(blocks):
+    parity = xor_parity(blocks)
+    assert verify_parity(blocks, parity)
+    flipped = bytes([parity[0] ^ 1]) + parity[1:]
+    assert not verify_parity(blocks, flipped)
+
+
+def test_parity_of_zero_length_blocks():
+    assert xor_parity([b"", b""]) == b""

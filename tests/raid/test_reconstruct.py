@@ -1,0 +1,82 @@
+import pytest
+
+from repro.core.errors import (
+    BlobNotFoundError,
+    ProviderUnavailableError,
+    ReconstructionError,
+)
+from repro.raid.reconstruct import read_stripe
+from repro.raid.striping import RaidLevel, encode_stripe
+
+
+def _make_fetch(shards, failing=()):
+    calls = []
+
+    def fetch(index):
+        calls.append(index)
+        if index in failing:
+            raise ProviderUnavailableError(f"shard {index} down")
+        return shards[index]
+
+    return fetch, calls
+
+
+def test_read_stripe_happy_path_skips_parity():
+    payload = bytes(range(120))
+    meta, shards = encode_stripe(payload, RaidLevel.RAID5, 4)
+    fetch, calls = _make_fetch(shards)
+    out, failed = read_stripe(meta, fetch)
+    assert out == payload
+    assert failed == []
+    # Parity shard (index 3) never fetched when data shards are healthy.
+    assert 3 not in calls
+
+
+def test_read_stripe_degraded_uses_parity():
+    payload = bytes(range(120))
+    meta, shards = encode_stripe(payload, RaidLevel.RAID5, 4)
+    fetch, calls = _make_fetch(shards, failing={1})
+    out, failed = read_stripe(meta, fetch)
+    assert out == payload
+    assert failed == [1]
+    assert 3 in calls
+
+
+def test_read_stripe_mixed_error_types():
+    payload = b"q" * 64
+    meta, shards = encode_stripe(payload, RaidLevel.RAID6, 5)
+
+    def fetch(index):
+        if index == 0:
+            raise ProviderUnavailableError("down")
+        if index == 1:
+            raise BlobNotFoundError("lost")
+        return shards[index]
+
+    out, failed = read_stripe(meta, fetch)
+    assert out == payload
+    assert failed == [0, 1]
+
+
+def test_read_stripe_unrecoverable():
+    payload = b"q" * 64
+    meta, shards = encode_stripe(payload, RaidLevel.RAID5, 4)
+    fetch, _ = _make_fetch(shards, failing={0, 1})
+    with pytest.raises(ReconstructionError):
+        read_stripe(meta, fetch)
+
+
+def test_read_stripe_empty_payload():
+    meta, shards = encode_stripe(b"", RaidLevel.RAID5, 3)
+    fetch, _ = _make_fetch(shards)
+    out, failed = read_stripe(meta, fetch)
+    assert out == b""
+
+
+def test_read_stripe_raid1_any_single_copy():
+    payload = b"replica"
+    meta, shards = encode_stripe(payload, RaidLevel.RAID1, 3)
+    fetch, _ = _make_fetch(shards, failing={0, 1})
+    out, failed = read_stripe(meta, fetch)
+    assert out == payload
+    assert failed == [0, 1]

@@ -1,0 +1,98 @@
+import pytest
+
+from repro.util.clock import EventScheduler, SimulatedClock
+
+
+def test_clock_starts_at_zero():
+    assert SimulatedClock().now == 0.0
+
+
+def test_clock_custom_start():
+    assert SimulatedClock(start=5.0).now == 5.0
+
+
+def test_clock_negative_start_raises():
+    with pytest.raises(ValueError):
+        SimulatedClock(start=-1.0)
+
+
+def test_advance_accumulates():
+    clock = SimulatedClock()
+    clock.advance(1.5)
+    clock.advance(2.5)
+    assert clock.now == pytest.approx(4.0)
+
+
+def test_advance_negative_raises():
+    clock = SimulatedClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+
+
+def test_advance_to_forward_only():
+    clock = SimulatedClock()
+    clock.advance_to(10.0)
+    assert clock.now == 10.0
+    clock.advance_to(5.0)  # no-op going backwards
+    assert clock.now == 10.0
+
+
+def test_scheduler_fires_in_time_order():
+    clock = SimulatedClock()
+    sched = EventScheduler(clock)
+    fired = []
+    sched.schedule_at(2.0, lambda: fired.append("b"))
+    sched.schedule_at(1.0, lambda: fired.append("a"))
+    sched.schedule_at(3.0, lambda: fired.append("c"))
+    count = sched.run_until(2.5)
+    assert count == 2
+    assert fired == ["a", "b"]
+    assert clock.now == 2.5
+    assert sched.pending == 1
+
+
+def test_scheduler_run_all():
+    clock = SimulatedClock()
+    sched = EventScheduler(clock)
+    fired = []
+    for t in (3.0, 1.0, 2.0):
+        sched.schedule_at(t, lambda t=t: fired.append(t))
+    assert sched.run_all() == 3
+    assert fired == [1.0, 2.0, 3.0]
+    assert clock.now == 3.0
+
+
+def test_scheduler_ties_fire_in_insertion_order():
+    clock = SimulatedClock()
+    sched = EventScheduler(clock)
+    fired = []
+    sched.schedule_at(1.0, lambda: fired.append("first"))
+    sched.schedule_at(1.0, lambda: fired.append("second"))
+    sched.run_all()
+    assert fired == ["first", "second"]
+
+
+def test_schedule_in_past_raises():
+    clock = SimulatedClock(start=10.0)
+    sched = EventScheduler(clock)
+    with pytest.raises(ValueError):
+        sched.schedule_at(5.0, lambda: None)
+
+
+def test_schedule_after_relative():
+    clock = SimulatedClock(start=10.0)
+    sched = EventScheduler(clock)
+    fired = []
+    sched.schedule_after(2.0, lambda: fired.append(clock.now))
+    sched.run_all()
+    assert fired == [12.0]
+
+
+def test_event_advances_clock_to_event_time():
+    clock = SimulatedClock()
+    sched = EventScheduler(clock)
+    seen = []
+    sched.schedule_at(4.0, lambda: seen.append(clock.now))
+    sched.run_until(9.0)
+    assert seen == [4.0]
+    assert clock.now == 9.0

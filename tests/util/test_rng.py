@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.util.rng import derive_rng, spawn_seeds
+
+
+def test_default_seed_is_deterministic():
+    a = derive_rng(None).integers(0, 1 << 30, size=8)
+    b = derive_rng(None).integers(0, 1 << 30, size=8)
+    assert np.array_equal(a, b)
+
+
+def test_int_seed_reproducible():
+    a = derive_rng(5).random(4)
+    b = derive_rng(5).random(4)
+    assert np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = derive_rng(5).random(16)
+    b = derive_rng(6).random(16)
+    assert not np.array_equal(a, b)
+
+
+def test_generator_passthrough():
+    gen = np.random.default_rng(1)
+    assert derive_rng(gen) is gen
+
+
+def test_spawn_seeds_count_and_determinism():
+    seeds1 = spawn_seeds(11, 5)
+    seeds2 = spawn_seeds(11, 5)
+    assert seeds1 == seeds2
+    assert len(seeds1) == 5
+    assert len(set(seeds1)) == 5
+
+
+def test_spawn_seeds_independent_across_parents():
+    assert spawn_seeds(1, 3) != spawn_seeds(2, 3)
+
+
+def test_spawn_seeds_zero():
+    assert spawn_seeds(3, 0) == []
+
+
+def test_spawn_seeds_negative_raises():
+    with pytest.raises(ValueError):
+        spawn_seeds(3, -1)
+
+
+def test_spawn_seeds_from_generator():
+    gen = np.random.default_rng(9)
+    seeds = spawn_seeds(gen, 4)
+    assert len(seeds) == 4
+    assert all(isinstance(s, int) for s in seeds)

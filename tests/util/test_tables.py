@@ -1,0 +1,32 @@
+import pytest
+
+from repro.util.tables import render_table
+
+
+def test_render_basic():
+    out = render_table(["a", "bb"], [[1, 2], [30, 4]])
+    lines = out.splitlines()
+    assert lines[0].startswith("+-")
+    assert "| a " in lines[1]
+    # All rows are the same width.
+    assert len({len(line) for line in lines}) == 1
+
+
+def test_render_with_title():
+    out = render_table(["x"], [[1]], title="Table IV")
+    assert out.splitlines()[0] == "Table IV"
+
+
+def test_render_floats_compact():
+    out = render_table(["v"], [[3.14159265]])
+    assert "3.142" in out
+
+
+def test_render_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [[1]])
+
+
+def test_render_empty_rows_ok():
+    out = render_table(["a"], [])
+    assert "| a |" in out

@@ -1,0 +1,66 @@
+import pytest
+
+from repro.util.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_bytes,
+    format_duration,
+    parse_bytes,
+)
+
+
+def test_constants():
+    assert KiB == 1024
+    assert MiB == 1024**2
+    assert GiB == 1024**3
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("512", 512),
+        ("4KiB", 4 * KiB),
+        ("4kb", 4000),
+        ("1.5MiB", int(1.5 * MiB)),
+        ("2GiB", 2 * GiB),
+        ("10 b", 10),
+        ("3 MB", 3_000_000),
+    ],
+)
+def test_parse_bytes(text, expected):
+    assert parse_bytes(text) == expected
+
+
+def test_parse_bytes_passthrough_numbers():
+    assert parse_bytes(1024) == 1024
+    assert parse_bytes(10.9) == 10
+
+
+def test_parse_bytes_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_bytes("many bytes")
+    with pytest.raises(ValueError):
+        parse_bytes("10XiB")
+    with pytest.raises(ValueError):
+        parse_bytes(-5)
+
+
+def test_format_bytes():
+    assert format_bytes(100) == "100 B"
+    assert format_bytes(1536) == "1.50 KiB"
+    assert format_bytes(5 * MiB) == "5.00 MiB"
+    assert format_bytes(2 * GiB) == "2.00 GiB"
+
+
+def test_format_duration_scales():
+    assert format_duration(2.0) == "2.00 s"
+    assert format_duration(0.002) == "2.00 ms"
+    assert format_duration(3e-6) == "3.00 us"
+    assert format_duration(5e-9) == "5.00 ns"
+    assert format_duration(120) == "2.00 min"
+    assert format_duration(7200) == "2.00 h"
+
+
+def test_format_duration_negative():
+    assert format_duration(-2.0) == "-2.00 s"

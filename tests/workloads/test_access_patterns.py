@@ -1,0 +1,59 @@
+import numpy as np
+import pytest
+
+from repro.workloads.access_patterns import (
+    sequential_scan,
+    uniform_accesses,
+    zipf_accesses,
+)
+
+
+def test_zipf_skew():
+    accesses = zipf_accesses(100, 5000, alpha=1.3, seed=1)
+    assert all(0 <= a < 100 for a in accesses)
+    counts = np.bincount(accesses, minlength=100)
+    top_share = np.sort(counts)[::-1][:10].sum() / 5000
+    assert top_share > 0.5  # hot head dominates
+
+
+def test_zipf_deterministic():
+    assert zipf_accesses(50, 100, seed=2) == zipf_accesses(50, 100, seed=2)
+    assert zipf_accesses(50, 100, seed=2) != zipf_accesses(50, 100, seed=3)
+
+
+def test_zipf_hot_set_not_low_serials():
+    accesses = zipf_accesses(1000, 3000, alpha=1.5, seed=4)
+    hottest = int(np.argmax(np.bincount(accesses, minlength=1000)))
+    # The permutation makes rank-1 land anywhere; overwhelmingly not at 0.
+    counts = np.bincount(accesses, minlength=1000)
+    assert counts[hottest] > 100
+
+
+def test_sequential_scan():
+    assert sequential_scan(3, 2) == [0, 1, 2, 0, 1, 2]
+    assert sequential_scan(3, 0) == []
+
+
+def test_uniform_covers_range():
+    accesses = uniform_accesses(20, 2000, seed=5)
+    assert set(accesses) == set(range(20))
+
+
+@pytest.mark.parametrize("fn", [zipf_accesses, uniform_accesses])
+def test_validation(fn):
+    with pytest.raises(ValueError):
+        fn(0, 10)
+    with pytest.raises(ValueError):
+        fn(10, -1)
+
+
+def test_zipf_alpha_validation():
+    with pytest.raises(ValueError):
+        zipf_accesses(10, 10, alpha=1.0)
+
+
+def test_sequential_validation():
+    with pytest.raises(ValueError):
+        sequential_scan(0)
+    with pytest.raises(ValueError):
+        sequential_scan(5, -1)

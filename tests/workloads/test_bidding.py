@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from repro.workloads.bidding import (
+    HEADER,
+    PARSERS,
+    TABLE_IV,
+    TRUE_COEFFICIENTS,
+    TRUE_INTERCEPT,
+    BiddingDataset,
+    generate_bidding_history,
+    table_iv,
+)
+from repro.workloads.serialization import decode_records
+
+
+def test_table_iv_verbatim():
+    ds = table_iv()
+    assert len(ds) == 12
+    assert ds.rows[0] == (2001, "Greece", 1300, 600, 3200, 18111)
+    assert ds.rows[-1] == (2011, "Rome", 2000, 1000, 3700, 21199)
+
+
+def test_features_and_bids_shapes():
+    ds = table_iv()
+    assert ds.features().shape == (12, 3)
+    assert ds.bids().shape == (12,)
+    assert ds.features()[0].tolist() == [1300, 600, 3200]
+
+
+def test_serialization_roundtrip():
+    ds = table_iv()
+    decoded = decode_records(ds.to_bytes(), PARSERS)
+    assert decoded == TABLE_IV
+    with_header = decode_records(ds.to_bytes(header=True), PARSERS, has_header=True)
+    assert with_header == TABLE_IV
+
+
+def test_split_equally_matches_paper():
+    """First fragment is "the first four rows of the above table"."""
+    fragments = table_iv().split_equally(3)
+    assert [len(f) for f in fragments] == [4, 4, 4]
+    assert fragments[0].rows == TABLE_IV[:4]
+    assert fragments[2].rows == TABLE_IV[8:]
+
+
+def test_split_uneven():
+    fragments = table_iv().split_equally(5)
+    assert sum(len(f) for f in fragments) == 12
+    with pytest.raises(ValueError):
+        table_iv().split_equally(0)
+
+
+def test_generated_follows_true_model():
+    ds = generate_bidding_history(500, seed=1, noise_std=50.0)
+    from repro.mining.regression import fit_linear
+
+    model = fit_linear(ds.features(), ds.bids())
+    assert np.allclose(model.coefficients, TRUE_COEFFICIENTS, atol=0.1)
+    assert model.intercept == pytest.approx(TRUE_INTERCEPT, abs=200)
+
+
+def test_generated_deterministic():
+    a = generate_bidding_history(20, seed=4)
+    b = generate_bidding_history(20, seed=4)
+    assert a.rows == b.rows
+
+
+def test_generated_validation():
+    with pytest.raises(ValueError):
+        generate_bidding_history(0)
+
+
+def test_generated_ranges_match_table_iv():
+    ds = generate_bidding_history(300, seed=2)
+    features = ds.features()
+    assert features[:, 0].min() >= 1200 and features[:, 0].max() <= 2100
+    assert features[:, 2].min() >= 3000 and features[:, 2].max() <= 3700

@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+
+from repro.workloads.gps import (
+    PARSERS,
+    feature_matrix,
+    generate_city,
+    generate_trace,
+    generate_users,
+    user_features,
+)
+from repro.workloads.serialization import decode_records
+
+
+def test_generate_users_count_and_determinism():
+    a = generate_users(30, seed=1)
+    b = generate_users(30, seed=1)
+    assert len(a) == 30
+    assert [u.home for u in a] == [u.home for u in b]
+    assert len({u.user_id for u in a}) == 30
+
+
+def test_archetypes_cycle():
+    users = generate_users(8, n_archetypes=4, seed=1)
+    assert [u.archetype for u in users] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_visit_probs_normalized():
+    for user in generate_users(10, seed=2):
+        assert sum(user.visit_probs) == pytest.approx(1.0)
+
+
+def test_generate_trace_shapes():
+    user = generate_users(1, seed=3)[0]
+    trace = generate_trace(user, 100, seed=4)
+    assert len(trace) == 100
+    assert trace.points.shape == (100, 2)
+    assert trace.times.shape == (100,)
+
+
+def test_trace_head_and_slice():
+    user = generate_users(1, seed=3)[0]
+    trace = generate_trace(user, 100, seed=4)
+    assert len(trace.head(10)) == 10
+    assert np.array_equal(trace.slice(5, 15).points, trace.points[5:15])
+
+
+def test_trace_serialization_roundtrip():
+    user = generate_users(1, seed=5)[0]
+    trace = generate_trace(user, 20, seed=6)
+    decoded = decode_records(trace.to_bytes(), PARSERS)
+    assert len(decoded) == 20
+    assert decoded[0][0] == user.user_id
+
+
+def test_generate_city_paper_scale():
+    traces = generate_city(n_users=30, n_obs=3200, seed=7)
+    assert len(traces) == 30
+    assert all(len(t) == 3200 for t in traces)
+
+
+def test_user_features_shape_and_sanity():
+    user = generate_users(1, seed=8)[0]
+    trace = generate_trace(user, 500, seed=9)
+    features = user_features(trace)
+    assert features.shape == (6,)
+    assert features[4] > 0  # radius of gyration positive for a mover
+    assert 0 < features[5] <= 1  # dwell fraction
+
+
+def test_user_features_empty_raises():
+    user = generate_users(1, seed=8)[0]
+    trace = generate_trace(user, 10, seed=9).head(10).slice(0, 0)
+    with pytest.raises(ValueError):
+        user_features(trace)
+
+
+def test_feature_matrix_normalized():
+    traces = generate_city(n_users=12, n_obs=300, seed=10)
+    matrix = feature_matrix(traces)
+    assert matrix.shape == (12, 6)
+    assert np.allclose(matrix.mean(axis=0), 0, atol=1e-9)
+
+
+def test_archetype_structure_clusterable():
+    """Full-data clustering finds the archetype structure (Fig. 4 setup)."""
+    traces = generate_city(n_users=24, n_obs=2000, seed=11)
+    truth = [t.user.archetype for t in traces]
+    from repro.mining.hierarchical import cut_tree, linkage
+    from repro.mining.metrics import adjusted_rand_index
+
+    labels = cut_tree(linkage(feature_matrix(traces), method="ward"), 4)
+    assert adjusted_rand_index(labels, truth) > 0.5
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        generate_users(0)
+    user = generate_users(1, seed=1)[0]
+    with pytest.raises(ValueError):
+        generate_trace(user, 0)

@@ -1,0 +1,111 @@
+import pytest
+
+from repro.workloads.files import random_bytes, text_like
+from repro.workloads.records import generate_records
+from repro.workloads.serialization import decode_records
+from repro.workloads.transactions import (
+    PARSERS,
+    baskets_from_rows,
+    generate_transactions,
+    planted_rule_pairs,
+)
+
+
+# -- transactions ---------------------------------------------------------------
+
+
+def test_transactions_count_and_determinism():
+    a = generate_transactions(100, seed=1)
+    b = generate_transactions(100, seed=1)
+    assert len(a) == 100
+    assert a.baskets == b.baskets
+
+
+def test_baskets_nonempty():
+    log = generate_transactions(200, seed=2)
+    assert all(len(b) >= 1 for b in log.baskets)
+
+
+def test_rows_roundtrip_through_codec():
+    log = generate_transactions(50, seed=3)
+    decoded = decode_records(log.to_bytes(), PARSERS)
+    rebuilt = baskets_from_rows(decoded)
+    assert rebuilt.baskets == log.baskets
+
+
+def test_split_equally():
+    log = generate_transactions(100, seed=4)
+    parts = log.split_equally(3)
+    assert sum(len(p) for p in parts) == 100
+    with pytest.raises(ValueError):
+        log.split_equally(0)
+
+
+def test_planted_pairs_shape():
+    pairs = planted_rule_pairs()
+    assert len(pairs) == 5
+    assert all(isinstance(a, frozenset) and isinstance(c, frozenset) for a, c in pairs)
+
+
+def test_transactions_validation():
+    with pytest.raises(ValueError):
+        generate_transactions(0)
+
+
+# -- records ----------------------------------------------------------------------
+
+
+def test_records_shapes():
+    records = generate_records(100, seed=1)
+    assert len(records) == 100
+    assert records.features().shape == (100, 4)
+    assert set(records.labels()) <= {0, 1}
+
+
+def test_records_roundtrip():
+    from repro.workloads.records import PARSERS as RECORD_PARSERS
+
+    records = generate_records(30, seed=2)
+    decoded = decode_records(records.to_bytes(), RECORD_PARSERS)
+    assert decoded == records.rows
+
+
+def test_records_label_correlates_with_age():
+    records = generate_records(5000, seed=3)
+    import numpy as np
+
+    age = records.features()[:, 0]
+    risk = records.labels()
+    assert np.mean(age[risk == 1]) > np.mean(age[risk == 0])
+
+
+def test_records_validation():
+    with pytest.raises(ValueError):
+        generate_records(0)
+
+
+# -- files ---------------------------------------------------------------------
+
+
+def test_random_bytes_length_and_determinism():
+    assert len(random_bytes(1000, seed=1)) == 1000
+    assert random_bytes(100, seed=1) == random_bytes(100, seed=1)
+    assert random_bytes(100, seed=1) != random_bytes(100, seed=2)
+
+
+def test_text_like_length():
+    blob = text_like(500, seed=1)
+    assert len(blob) == 500
+    assert b"cloud" in text_like(5000, seed=1)
+
+
+def test_files_validation():
+    with pytest.raises(ValueError):
+        random_bytes(-1)
+    with pytest.raises(ValueError):
+        text_like(-1)
+
+
+def test_zero_length():
+    assert random_bytes(0) == b""
+    assert text_like(0) == b""
