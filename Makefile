@@ -6,10 +6,10 @@ install:
 	pip install -e . || python setup.py develop
 
 test:
-	pytest tests/
+	PYTHONPATH=src pytest tests/
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src pytest benchmarks/ --benchmark-only
 
 examples:
 	for f in examples/*.py; do python $$f > /dev/null || exit 1; echo "ok $$f"; done

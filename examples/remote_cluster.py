@@ -1,0 +1,88 @@
+"""A networked deployment: 4 localhost chunk servers behind the distributor.
+
+The paper's architecture has the Cloud Data Distributor dispersing chunks
+to *remote* Cloud Providers.  This example runs that topology for real:
+four chunk servers listen on localhost TCP ports, the distributor reaches
+each through a ``RemoteProvider`` (pooled connections, timeouts, retries),
+and a PL-3 file round-trips through fragmentation, RAID-5 striping and the
+wire protocol.  Then a server dies and the read path survives it.
+
+Run: ``PYTHONPATH=src python examples/remote_cluster.py``
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.distributor import CloudDataDistributor
+from repro.core.errors import ProviderUnavailableError
+from repro.net import LocalCluster, RetryPolicy
+from repro.util.units import format_bytes, format_duration
+
+
+def main() -> None:
+    print("=== remote cluster: distributor over TCP chunk servers ===\n")
+    with LocalCluster(
+        4,
+        retry=RetryPolicy(attempts=3, base_delay=0.02, max_delay=0.2),
+        failfast_window=5.0,  # circuit breaker: pay the retry cost once
+    ) as cluster:
+        for server in cluster.servers:
+            print(
+                f"  chunk server {server.backend.name!r} listening on "
+                f"remote://{server.host}:{server.port}"
+            )
+
+        distributor = CloudDataDistributor(cluster.build_registry(), seed=99)
+        distributor.register_client("Alice")
+        distributor.add_password("Alice", "pl3-secret", 3)
+
+        data = os.urandom(256 * 1024)
+        started = time.perf_counter()
+        receipt = distributor.upload_file(
+            "Alice", "pl3-secret", "ledger.bin", data, level=3
+        )
+        upload_s = time.perf_counter() - started
+        print(
+            f"\nuploaded {format_bytes(receipt.file_size)} as "
+            f"{receipt.chunk_count} chunks x {receipt.stripe_width} shards "
+            f"({receipt.raid_level.name}) in {format_duration(upload_s)}"
+        )
+        for name, count in sorted(distributor.provider_loads().items()):
+            print(f"  {name}: {count} shard objects")
+
+        started = time.perf_counter()
+        retrieved = distributor.get_file("Alice", "pl3-secret", "ledger.bin")
+        print(
+            f"retrieved and verified: {retrieved == data} "
+            f"({format_duration(time.perf_counter() - started)})"
+        )
+
+        print("\nkilling chunk server 'node1' ...")
+        cluster.kill_server(1)
+        try:
+            cluster.providers[1].get("any-key")
+        except ProviderUnavailableError as exc:
+            print(f"  direct access now fails: {exc}")
+        started = time.perf_counter()
+        degraded = distributor.get_file("Alice", "pl3-secret", "ledger.bin")
+        print(
+            f"  degraded read through RAID-5 parity: {degraded == data} "
+            f"({format_duration(time.perf_counter() - started)})"
+        )
+
+        print("restarting 'node1' and scrubbing ...")
+        cluster.restart_server(1)
+        report = distributor.repair_file("Alice", "pl3-secret", "ledger.bin")
+        print(
+            f"  repair: {report.chunks_checked} chunks checked, "
+            f"{report.shards_missing} shards missing, "
+            f"{report.shards_rebuilt} rebuilt"
+        )
+        distributor.close()
+    print("\nall servers stopped; done")
+
+
+if __name__ == "__main__":
+    main()

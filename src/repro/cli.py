@@ -26,7 +26,7 @@ from repro.core.distributor import CloudDataDistributor
 from repro.core.persistence import load_metadata, save_metadata
 from repro.core.privacy import ChunkSizePolicy, CostLevel, PrivacyLevel
 from repro.providers.disk import DiskProvider
-from repro.providers.registry import ProviderRegistry
+from repro.providers.registry import ProviderRegistry, provider_from_url
 from repro.util.tables import render_table
 from repro.util.units import format_bytes
 
@@ -66,8 +66,21 @@ def _open(args) -> tuple[CloudDataDistributor, Path]:
         raise SystemExit(f"error: {state} is not initialized (run `init` first)")
     registry = ProviderRegistry()
     for spec in json.loads(fleet_path.read_text()):
+        # A fleet entry may point at any provider URL (e.g. a
+        # remote://host:port chunk server); bare entries stay disk-backed.
+        if "url" in spec:
+            try:
+                provider = provider_from_url(spec["name"], spec["url"])
+            except ValueError as exc:
+                raise SystemExit(
+                    f"error: bad fleet entry {spec['name']!r} in {fleet_path}: {exc}"
+                )
+        else:
+            provider = DiskProvider(
+                spec["name"], state / "providers" / spec["name"]
+            )
         registry.register(
-            DiskProvider(spec["name"], state / "providers" / spec["name"]),
+            provider,
             PrivacyLevel.coerce(spec["privacy_level"]),
             CostLevel.coerce(spec["cost_level"]),
             region=spec.get("region", "default"),
@@ -226,6 +239,46 @@ def _suggest(args) -> int:
     return 0
 
 
+def _serve(args) -> int:
+    """Run one chunk server fronting a memory or disk backend.
+
+    Blocks until interrupted; a distributor reaches it via a fleet entry
+    ``{"name": ..., "url": "remote://HOST:PORT", ...}`` or
+    ``ProviderRegistry.register_url``.
+    """
+    from repro.net.server import ChunkServer
+    from repro.providers.memory import InMemoryProvider
+
+    if args.backend == "disk":
+        root = args.root or f"./chunks-{args.name}"
+        backend = DiskProvider(args.name, root)
+    else:
+        backend = InMemoryProvider(args.name)
+    server = ChunkServer(backend, host=args.host, port=args.port)
+    try:
+        server.start()
+    except OSError as exc:
+        print(
+            f"error: cannot listen on {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"chunk server {args.name!r} ({args.backend}) listening on "
+        f"remote://{server.host}:{server.port}",
+        flush=True,
+    )
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.stop()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -306,6 +359,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("suggest-level", help="advisory mining-sensitivity score")
     p.add_argument("file")
     p.set_defaults(func=_suggest)
+
+    p = sub.add_parser(
+        "serve", help="run a chunk server exposing one provider over TCP")
+    p.add_argument("name", help="provider name the server fronts")
+    p.add_argument("--backend", choices=["memory", "disk"], default="disk")
+    p.add_argument("--root", help="disk backend root (default: ./chunks-NAME)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default: ephemeral, printed at startup)")
+    p.set_defaults(func=_serve)
 
     return parser
 

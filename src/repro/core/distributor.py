@@ -16,7 +16,9 @@ the three metadata tables.
 from __future__ import annotations
 
 import contextlib
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Callable, TypeVar
 
 from repro.core import chunking
 from repro.core.access_control import AccessController
@@ -83,6 +85,10 @@ class _ChunkState:
     rotation: int
 
 
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
 class CloudDataDistributor:
     """The agent of clients toward the provider fleet."""
 
@@ -96,6 +102,7 @@ class CloudDataDistributor:
         seed: SeedLike = None,
         audit: "AuditLog | None" = None,
         cache: "ChunkCache | None" = None,
+        max_transport_workers: int | None = None,
     ) -> None:
         seeds = spawn_seeds(seed, 3)
         self.audit = audit
@@ -114,6 +121,12 @@ class CloudDataDistributor:
         self.chunk_table = ChunkTable()
         self.snapshots = SnapshotManager(registry, self.placement)
         self._chunk_state: dict[int, _ChunkState] = {}
+        if max_transport_workers is not None and max_transport_workers < 1:
+            raise ValueError(
+                f"max_transport_workers must be >= 1, got {max_transport_workers}"
+            )
+        self.max_transport_workers = max_transport_workers
+        self._transport_pool: ThreadPoolExecutor | None = None
 
         for entry in registry.all():
             self.provider_table.add(
@@ -181,6 +194,76 @@ class CloudDataDistributor:
                 return ParallelWindow(entry.provider.clock)
         return contextlib.nullcontext()
 
+    # ------------------------------------------------------------------
+    # transport executor (concurrent fan-out across providers)
+    # ------------------------------------------------------------------
+
+    def _transport_workers(self) -> int:
+        """How many provider requests of one stripe may be in flight.
+
+        Simulated fleets always run serially: their shared clock is not
+        thread-safe and :class:`ParallelWindow` already models concurrency
+        in simulated time, so threading them would double-count overlap.
+        Real transports (remote/disk/memory) default to one worker per
+        provider, capped at 8; ``max_transport_workers=1`` forces the
+        serial path.
+        """
+        for entry in self.registry.all():
+            if isinstance(entry.provider, SimulatedProvider):
+                return 1
+        if self.max_transport_workers is not None:
+            return self.max_transport_workers
+        return min(8, max(1, len(self.registry)))
+
+    def _executor(self, workers: int) -> ThreadPoolExecutor:
+        if self._transport_pool is None:
+            self._transport_pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-transport"
+            )
+        return self._transport_pool
+
+    def close(self) -> None:
+        """Release the transport executor (idle fleets need no cleanup)."""
+        if self._transport_pool is not None:
+            self._transport_pool.shutdown(wait=True)
+            self._transport_pool = None
+
+    def __enter__(self) -> "CloudDataDistributor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _transport_map(
+        self, fn: Callable[[_T], _R], items: list[_T]
+    ) -> list[tuple[_R | None, ProviderError | None]]:
+        """Run one provider request per item; returns (result, error) pairs.
+
+        With multiple transport workers every request is dispatched at
+        once and all outcomes are collected; on the serial path requests
+        run in order and stop at the first failure (preserving the
+        simulated-time cost of the historical serial loop), so the
+        returned list may be shorter than *items*.
+        """
+        workers = self._transport_workers()
+        if workers <= 1 or len(items) <= 1:
+            outcomes: list[tuple[_R | None, ProviderError | None]] = []
+            for item in items:
+                try:
+                    outcomes.append((fn(item), None))
+                except ProviderError as exc:
+                    outcomes.append((None, exc))
+                    break
+            return outcomes
+        futures = [self._executor(workers).submit(fn, item) for item in items]
+        outcomes = []
+        for future in futures:
+            try:
+                outcomes.append((future.result(), None))
+            except ProviderError as exc:
+                outcomes.append((None, exc))
+        return outcomes
+
     def _stripe_width_for(self, level: PrivacyLevel, raid: RaidLevel) -> int:
         if self.default_stripe_width is not None:
             return self.default_stripe_width
@@ -213,27 +296,38 @@ class CloudDataDistributor:
         # Rotate the shard->provider assignment by serial so parity cycles
         # around the group, RAID-5 style.
         rotated = group[serial % width :] + group[: serial % width]
-        provider_indices: list[int] = []
-        try:
-            for shard_index, provider_name in enumerate(rotated):
-                key = shard_key(vid, shard_index)
-                self.registry.get(provider_name).provider.put(
-                    key, shards[shard_index]
-                )
-                table_index = self.provider_table.index_of(provider_name)
-                self.provider_table.record_store(table_index, key)
-                provider_indices.append(table_index)
-        except ProviderError:
+
+        def put_shard(assignment: tuple[int, str]) -> None:
+            shard_index, provider_name = assignment
+            self.registry.get(provider_name).provider.put(
+                shard_key(vid, shard_index), shards[shard_index]
+            )
+
+        # Fan the shard uploads out across the stripe's providers (each
+        # worker talks to a distinct provider); table bookkeeping stays on
+        # this thread.
+        outcomes = self._transport_map(put_shard, list(enumerate(rotated)))
+        first_error = next((exc for _, exc in outcomes if exc is not None), None)
+        if first_error is not None:
             # A stripe member failed mid-upload: roll the chunk back so no
             # partial state leaks into the tables or the fleet.
-            for shard_index, table_index in enumerate(provider_indices):
-                key = shard_key(vid, shard_index)
-                name = self.provider_table.get(table_index).name
+            for shard_index, (_, exc) in enumerate(outcomes):
+                if exc is not None:
+                    continue
+                name = rotated[shard_index]
                 with contextlib.suppress(ProviderError):
-                    self.registry.get(name).provider.delete(key)
-                self.provider_table.record_remove(table_index, key)
+                    self.registry.get(name).provider.delete(
+                        shard_key(vid, shard_index)
+                    )
             self.ids.release(vid)
-            raise
+            raise first_error
+        provider_indices: list[int] = []
+        for shard_index, provider_name in enumerate(rotated):
+            table_index = self.provider_table.index_of(provider_name)
+            self.provider_table.record_store(
+                table_index, shard_key(vid, shard_index)
+            )
+            provider_indices.append(table_index)
 
         chunk_index = self.chunk_table.add(
             ChunkEntry(
@@ -266,7 +360,27 @@ class CloudDataDistributor:
                 shard_key(entry.virtual_id, shard_index)
             )
 
-        stored, _failed = read_stripe(state.stripe, fetch)
+        if self._transport_workers() > 1 and state.stripe.k > 1:
+            # Fan out the data-shard fetches across providers; parity is
+            # still pulled lazily (and serially) only on degraded reads,
+            # matching read_stripe's prefer-data order.
+            data_indices = list(range(state.stripe.k))
+            prefetched = dict(
+                zip(data_indices, self._transport_map(fetch, data_indices))
+            )
+
+            def fetch_prefetched(shard_index: int) -> bytes:
+                outcome = prefetched.get(shard_index)
+                if outcome is None:
+                    return fetch(shard_index)
+                result, exc = outcome
+                if exc is not None:
+                    raise exc
+                return result
+
+            stored, _failed = read_stripe(state.stripe, fetch_prefetched)
+        else:
+            stored, _failed = read_stripe(state.stripe, fetch)
         payload = remove_misleading(stored, entry.misleading_positions)
         if self.cache is not None:
             self.cache.put(entry.virtual_id, payload)

@@ -1,0 +1,43 @@
+"""Socket transport: chunk servers, remote providers, wire protocol.
+
+Turns the paper's distributor <-> provider interaction into an actual
+network conversation: a :class:`ChunkServer` fronts any backend over TCP,
+a :class:`RemoteProvider` speaks the wire protocol from the distributor
+side, and :class:`LocalCluster` stands up whole localhost fleets for
+tests, examples and benchmarks.
+"""
+
+from repro.net.cluster import LocalCluster
+from repro.net.pool import ConnectionPool
+from repro.net.protocol import (
+    MAGIC,
+    MAX_PAYLOAD,
+    VERSION,
+    Frame,
+    OpCode,
+    ProtocolError,
+    Status,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+from repro.net.remote import RemoteProvider, RetryPolicy
+from repro.net.server import ChunkServer
+
+__all__ = [
+    "ChunkServer",
+    "ConnectionPool",
+    "Frame",
+    "LocalCluster",
+    "MAGIC",
+    "MAX_PAYLOAD",
+    "OpCode",
+    "ProtocolError",
+    "RemoteProvider",
+    "RetryPolicy",
+    "Status",
+    "VERSION",
+    "encode_frame",
+    "recv_frame",
+    "send_frame",
+]

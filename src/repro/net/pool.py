@@ -1,0 +1,86 @@
+"""Bounded pool of persistent client connections to one chunk server.
+
+Opening a TCP connection per request would put connection setup on every
+hot path; the pool keeps a small stack of idle sockets and hands them out
+one request at a time.  It is thread-safe, which is what lets a single
+:class:`~repro.net.remote.RemoteProvider` be driven concurrently by the
+distributor's transport executor.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ConnectionPool:
+    """Stack of reusable sockets to ``(host, port)``.
+
+    ``acquire()`` yields a connected socket; on clean exit the socket is
+    returned for reuse (up to *size* idle sockets are retained), on error
+    it is closed -- a connection that failed mid-request is never reused,
+    because the stream position can no longer be trusted.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        size: int = 4,
+        connect_timeout: float = 2.0,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.host = host
+        self.port = port
+        self.size = size
+        self.connect_timeout = connect_timeout
+        self._idle: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    @contextmanager
+    def acquire(self) -> Iterator[socket.socket]:
+        """Borrow a socket for one request/response exchange."""
+        if self._closed:
+            raise RuntimeError("connection pool is closed")
+        with self._lock:
+            sock = self._idle.pop() if self._idle else None
+        if sock is None:
+            sock = self._connect()
+        try:
+            yield sock
+        except BaseException:
+            sock.close()
+            raise
+        with self._lock:
+            if not self._closed and len(self._idle) < self.size:
+                self._idle.append(sock)
+                return
+        sock.close()
+
+    def discard_idle(self) -> None:
+        """Drop every idle socket (e.g. after the server restarted)."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for sock in idle:
+            sock.close()
+
+    def close(self) -> None:
+        """Close the pool and every idle socket."""
+        self._closed = True
+        self.discard_idle()
+
+    @property
+    def idle_count(self) -> int:
+        with self._lock:
+            return len(self._idle)

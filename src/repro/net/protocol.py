@@ -1,0 +1,231 @@
+"""Length-prefixed binary wire protocol for distributor <-> chunk server.
+
+The paper's Cloud Data Distributor talks to remote Cloud Providers; this
+module defines the byte-level contract of that conversation.  One *frame*
+carries one request or one response::
+
+    offset  size  field
+    0       2     magic  b"RP"
+    2       1     protocol version (currently 1)
+    3       1     code: op code in requests, status code in responses
+    4       2     key length K            (unsigned big-endian)
+    6       4     payload length N        (unsigned big-endian)
+    10      4     CRC-32 of the payload   (unsigned big-endian)
+    14      K     key bytes (UTF-8)
+    14+K    N     payload bytes
+
+Both sides verify the CRC-32 before trusting a payload, so a truncated or
+bit-flipped transfer surfaces as :class:`ProtocolError` at the transport
+layer instead of silently corrupting an object.  On top of that, a PUT
+response echoes the server-side SHA-256 of the stored bytes ("checksum
+echo"), giving the client end-to-end write verification independent of the
+transport CRC.
+
+The full specification (including error-code semantics) lives in
+``docs/net_protocol.md``; keep the two in sync.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import zlib
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.core.errors import (
+    BlobCorruptedError,
+    BlobNotFoundError,
+    ProviderError,
+    ProviderUnavailableError,
+    ReproError,
+)
+from repro.providers.base import BlobStat
+
+MAGIC = b"RP"
+VERSION = 1
+
+#: Frame header: magic, version, code, key length, payload length, CRC-32.
+HEADER = struct.Struct("!2sBBHII")
+
+#: Upper bound on a single payload; a hostile or corrupt length field must
+#: not be able to make the receiver allocate unbounded memory.
+MAX_PAYLOAD = 256 * 1024 * 1024
+
+
+class OpCode(IntEnum):
+    """Request operations (client -> server)."""
+
+    PING = 0x01
+    PUT = 0x02
+    GET = 0x03
+    DELETE = 0x04
+    HEAD = 0x05
+    KEYS = 0x06
+
+
+class Status(IntEnum):
+    """Response status codes (server -> client)."""
+
+    OK = 0x00
+    NOT_FOUND = 0x01
+    CORRUPTED = 0x02
+    UNAVAILABLE = 0x03
+    BAD_REQUEST = 0x04
+    INTERNAL = 0x05
+
+
+class ProtocolError(ReproError):
+    """Malformed frame: bad magic, version, length, or CRC mismatch."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame; ``code`` is an op code or status code."""
+
+    code: int
+    key: str = ""
+    payload: bytes = b""
+
+
+def encode_frame(code: int, key: str = "", payload: bytes = b"") -> bytes:
+    """Serialize one frame to bytes."""
+    key_bytes = key.encode("utf-8")
+    if len(key_bytes) > 0xFFFF:
+        raise ProtocolError(f"key too long: {len(key_bytes)} bytes")
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(f"payload too large: {len(payload)} bytes")
+    header = HEADER.pack(
+        MAGIC, VERSION, code, len(key_bytes), len(payload),
+        zlib.crc32(payload) & 0xFFFFFFFF,
+    )
+    return header + key_bytes + payload
+
+
+def send_frame(sock: socket.socket, code: int, key: str = "",
+               payload: bytes = b"") -> None:
+    """Write one frame to *sock* (blocking, honours the socket timeout)."""
+    sock.sendall(encode_frame(code, key, payload))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly *n* bytes; ``None`` on clean EOF before the first byte.
+
+    EOF in the *middle* of the read is a protocol violation (the peer hung
+    up mid-frame) and raises :class:`ProtocolError`.
+    """
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if not chunks:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if chunks else b""
+
+
+def recv_frame(sock: socket.socket) -> Frame | None:
+    """Read one frame from *sock*; ``None`` on clean EOF between frames."""
+    raw = _recv_exact(sock, HEADER.size)
+    if raw is None:
+        return None
+    magic, version, code, key_len, payload_len, crc = HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    if payload_len > MAX_PAYLOAD:
+        raise ProtocolError(f"payload length {payload_len} exceeds cap")
+    body = _recv_exact(sock, key_len + payload_len)
+    if body is None and key_len + payload_len > 0:
+        raise ProtocolError("connection closed mid-frame (body)")
+    body = body or b""
+    key_bytes, payload = body[:key_len], body[key_len:]
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise ProtocolError(f"payload CRC mismatch for key {key_bytes!r}")
+    return Frame(code=code, key=key_bytes.decode("utf-8"), payload=payload)
+
+
+# ---------------------------------------------------------------------------
+# payload encodings for the structured responses
+# ---------------------------------------------------------------------------
+
+_STAT_HEADER = struct.Struct("!Q")
+
+
+def encode_stat(stat: BlobStat) -> bytes:
+    """HEAD response payload: size (u64) + checksum text."""
+    return _STAT_HEADER.pack(stat.size) + stat.checksum.encode("utf-8")
+
+
+def decode_stat(key: str, payload: bytes) -> BlobStat:
+    if len(payload) < _STAT_HEADER.size:
+        raise ProtocolError("HEAD payload truncated")
+    (size,) = _STAT_HEADER.unpack(payload[: _STAT_HEADER.size])
+    checksum = payload[_STAT_HEADER.size :].decode("utf-8")
+    return BlobStat(key=key, size=size, checksum=checksum)
+
+
+def encode_keys(keys: list[str]) -> bytes:
+    """KEYS response payload: count (u32) + per-key (u16 length + bytes)."""
+    parts = [struct.pack("!I", len(keys))]
+    for key in keys:
+        raw = key.encode("utf-8")
+        parts.append(struct.pack("!H", len(raw)))
+        parts.append(raw)
+    return b"".join(parts)
+
+
+def decode_keys(payload: bytes) -> list[str]:
+    if len(payload) < 4:
+        raise ProtocolError("KEYS payload truncated")
+    (count,) = struct.unpack_from("!I", payload, 0)
+    keys: list[str] = []
+    offset = 4
+    for _ in range(count):
+        if offset + 2 > len(payload):
+            raise ProtocolError("KEYS payload truncated")
+        (length,) = struct.unpack_from("!H", payload, offset)
+        offset += 2
+        if offset + length > len(payload):
+            raise ProtocolError("KEYS payload truncated")
+        keys.append(payload[offset : offset + length].decode("utf-8"))
+        offset += length
+    return keys
+
+
+# ---------------------------------------------------------------------------
+# error <-> status translation
+# ---------------------------------------------------------------------------
+
+_STATUS_FOR_ERROR: list[tuple[type[Exception], Status]] = [
+    (BlobNotFoundError, Status.NOT_FOUND),
+    (BlobCorruptedError, Status.CORRUPTED),
+    (ProviderUnavailableError, Status.UNAVAILABLE),
+]
+
+
+def status_for_error(exc: Exception) -> Status:
+    """Wire status a server should answer for a backend exception."""
+    for err_type, status in _STATUS_FOR_ERROR:
+        if isinstance(exc, err_type):
+            return status
+    if isinstance(exc, (ProtocolError, ValueError)):
+        return Status.BAD_REQUEST
+    return Status.INTERNAL
+
+
+def error_for_status(status: int, message: str) -> ProviderError:
+    """Client-side exception reconstructed from an error response."""
+    if status == Status.NOT_FOUND:
+        return BlobNotFoundError(message)
+    if status == Status.CORRUPTED:
+        return BlobCorruptedError(message)
+    if status == Status.UNAVAILABLE:
+        return ProviderUnavailableError(message)
+    return ProviderError(f"status {status}: {message}")

@@ -1,0 +1,194 @@
+"""``RemoteProvider``: the full ``CloudProvider`` contract over a socket.
+
+The distributor never learns it is talking across a network: a
+``RemoteProvider`` keyed into the registry behaves exactly like the
+in-process backends -- same methods, same exception types -- but every
+operation becomes a framed request to a :class:`~repro.net.server.ChunkServer`.
+
+Failure handling mirrors a production object-store client:
+
+* per-operation socket timeouts (a hung server cannot wedge the distributor);
+* bounded exponential-backoff retries on *transport* failures (refused
+  connection, reset, timeout) -- retried operations are idempotent at the
+  chunk layer because ``put`` overwrites and ``get``/``head``/``keys`` read;
+* wire error statuses translated back into the :mod:`repro.core.errors`
+  hierarchy, so RAID degraded reads and repair treat a dead server exactly
+  like a dead simulated provider.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.errors import BlobCorruptedError, ProviderUnavailableError
+from repro.net.pool import ConnectionPool
+from repro.net.protocol import (
+    Frame,
+    OpCode,
+    ProtocolError,
+    Status,
+    decode_keys,
+    decode_stat,
+    error_for_status,
+    recv_frame,
+    send_frame,
+)
+from repro.providers.base import BlobStat, CloudProvider, blob_checksum
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transport-level failures.
+
+    Attempt *i* (0-based) sleeps ``min(max_delay, base_delay * 2**i)``
+    before retrying; after *attempts* total tries the operation fails with
+    :class:`ProviderUnavailableError`.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+
+    def delay(self, attempt: int) -> float:
+        return min(self.max_delay, self.base_delay * (2**attempt))
+
+
+class RemoteProvider(CloudProvider):
+    """Socket-backed provider client with pooling, timeouts and retries."""
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        *,
+        op_timeout: float = 10.0,
+        connect_timeout: float = 2.0,
+        retry: RetryPolicy | None = None,
+        pool_size: int = 4,
+        failfast_window: float = 0.0,
+    ) -> None:
+        super().__init__(name)
+        if op_timeout <= 0:
+            raise ValueError(f"op_timeout must be positive, got {op_timeout}")
+        if failfast_window < 0:
+            raise ValueError(
+                f"failfast_window must be >= 0, got {failfast_window}"
+            )
+        self.host = host
+        self.port = port
+        self.op_timeout = op_timeout
+        self.retry = retry or RetryPolicy()
+        self.failfast_window = failfast_window
+        self._down_until = 0.0
+        self.pool = ConnectionPool(
+            host, port, size=pool_size, connect_timeout=connect_timeout
+        )
+
+    # -- transport ---------------------------------------------------------
+
+    def _exchange(self, op: OpCode, key: str, payload: bytes) -> Frame:
+        """One framed request/response on a pooled connection."""
+        with self.pool.acquire() as sock:
+            sock.settimeout(self.op_timeout)
+            send_frame(sock, op, key=key, payload=payload)
+            frame = recv_frame(sock)
+        if frame is None:
+            raise ProtocolError("server closed connection before responding")
+        return frame
+
+    def _request(self, op: OpCode, key: str = "", payload: bytes = b"") -> Frame:
+        """Exchange with transport retries; raises provider-layer errors.
+
+        Application-level error statuses (NOT_FOUND, CORRUPTED, ...) are
+        definitive answers from a live server and are never retried; only
+        connection failures, timeouts and malformed frames are.
+
+        With ``failfast_window > 0`` the client acts as a circuit breaker:
+        after the retry budget is exhausted, further operations fail
+        immediately for that many seconds instead of re-dialing a server
+        known to be down -- a RAID degraded read over hundreds of chunks
+        then pays the retry cost once, not once per chunk.
+        """
+        if self.failfast_window > 0 and time.monotonic() < self._down_until:
+            raise ProviderUnavailableError(
+                f"provider {self.name!r} at {self.host}:{self.port} "
+                f"failing fast (circuit open)"
+            )
+        last_exc: Exception | None = None
+        for attempt in range(self.retry.attempts):
+            if attempt:
+                time.sleep(self.retry.delay(attempt - 1))
+                # The server may have restarted; pre-restart sockets would
+                # fail again and burn the remaining attempts.
+                self.pool.discard_idle()
+            try:
+                frame = self._exchange(op, key, payload)
+            except (OSError, ProtocolError) as exc:
+                last_exc = exc
+                continue
+            self._down_until = 0.0
+            if frame.code != Status.OK:
+                raise error_for_status(
+                    frame.code, frame.payload.decode("utf-8", "replace")
+                )
+            return frame
+        if self.failfast_window > 0:
+            self._down_until = time.monotonic() + self.failfast_window
+        raise ProviderUnavailableError(
+            f"provider {self.name!r} at {self.host}:{self.port} unreachable "
+            f"after {self.retry.attempts} attempt(s): {last_exc}"
+        ) from last_exc
+
+    def ping(self) -> float:
+        """Round-trip one empty frame; returns the wall-clock seconds."""
+        started = time.perf_counter()
+        self._request(OpCode.PING, payload=b"ping")
+        return time.perf_counter() - started
+
+    def reset_circuit(self) -> None:
+        """Forget a fail-fast verdict (e.g. the server is known restarted)."""
+        self._down_until = 0.0
+
+    def close(self) -> None:
+        """Release every pooled connection."""
+        self.pool.close()
+
+    def __enter__(self) -> "RemoteProvider":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- CloudProvider interface -------------------------------------------
+
+    def put(self, key: str, data: bytes) -> None:
+        frame = self._request(OpCode.PUT, key=key, payload=bytes(data))
+        echoed = frame.payload.decode("utf-8", "replace")
+        if echoed != blob_checksum(data):
+            # The transport CRC passed but the server stored something else:
+            # end-to-end write verification failed.
+            raise BlobCorruptedError(
+                f"checksum echo mismatch from provider {self.name!r} "
+                f"for key {key!r}"
+            )
+
+    def get(self, key: str) -> bytes:
+        return self._request(OpCode.GET, key=key).payload
+
+    def delete(self, key: str) -> None:
+        self._request(OpCode.DELETE, key=key)
+
+    def keys(self) -> list[str]:
+        return decode_keys(self._request(OpCode.KEYS).payload)
+
+    def head(self, key: str) -> BlobStat:
+        frame = self._request(OpCode.HEAD, key=key)
+        return decode_stat(key, frame.payload)

@@ -1,0 +1,211 @@
+"""Threaded chunk server: fronts any ``CloudProvider`` backend over TCP.
+
+"The main tasks of Cloud Providers are: storing chunks of data, responding
+to a query by providing the desired data, and removing chunks when asked"
+(Section IV-B).  A :class:`ChunkServer` is exactly that entity as a network
+process: it binds a localhost TCP port, accepts one thread per connection,
+and answers the wire protocol of :mod:`repro.net.protocol` by delegating to
+its backend -- so the same in-memory or on-disk store used in-process can
+also be reached the way a real provider would be.
+
+Backend exceptions are translated into wire status codes (never into a
+dropped connection), so a remote client can distinguish "no such object"
+from "object corrupted" from "server gone".
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+
+from repro.net.protocol import (
+    Frame,
+    OpCode,
+    ProtocolError,
+    Status,
+    encode_keys,
+    encode_stat,
+    recv_frame,
+    send_frame,
+    status_for_error,
+)
+from repro.providers.base import CloudProvider, blob_checksum
+
+log = logging.getLogger(__name__)
+
+
+class ChunkServer:
+    """TCP front-end for one provider backend.
+
+    Usable as a context manager; ``port=0`` (the default) binds an
+    ephemeral port, readable from :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        backend: CloudProvider,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.backend = backend
+        self.host = host
+        self._requested_port = port
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._connections: set[socket.socket] = set()
+        # Serializes backend access: connection handlers run concurrently
+        # but the wrapped backends make no thread-safety promises.
+        self._backend_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._running = False
+        self.requests_served = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (only meaningful after :meth:`start`)."""
+        if self._listener is None:
+            return self._requested_port
+        return self._listener.getsockname()[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> "ChunkServer":
+        """Bind the port and begin accepting connections in the background."""
+        if self._running:
+            raise RuntimeError(f"chunk server {self.backend.name!r} already running")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self._requested_port))
+        listener.listen()
+        self._listener = listener
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"chunk-server-{self.backend.name}",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, sever live connections, release the port."""
+        if not self._running:
+            return
+        self._running = False
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            port = listener.getsockname()[1]
+            # A plain close() does not wake a thread blocked in accept();
+            # shutdown() does on Linux, and the self-connection covers
+            # platforms where it does not.
+            try:
+                listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                socket.create_connection((self.host, port), timeout=0.2).close()
+            except OSError:
+                pass
+            listener.close()
+        with self._state_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+
+    def __enter__(self) -> "ChunkServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- serving -----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while self._running and listener is not None:
+            try:
+                conn, _peer = listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            with self._state_lock:
+                if not self._running:
+                    conn.close()
+                    break
+                self._connections.add(conn)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name=f"chunk-conn-{self.backend.name}",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            while self._running:
+                try:
+                    frame = recv_frame(conn)
+                except ProtocolError as exc:
+                    # Can't trust the stream position any more: answer if
+                    # possible, then hang up.
+                    try:
+                        send_frame(conn, Status.BAD_REQUEST, payload=str(exc).encode())
+                    except OSError:
+                        pass
+                    return
+                if frame is None:
+                    return  # clean EOF
+                status, key, payload = self._dispatch(frame)
+                send_frame(conn, status, key=key, payload=payload)
+                self.requests_served += 1
+        except OSError:
+            pass  # peer vanished / we are shutting down
+        finally:
+            with self._state_lock:
+                self._connections.discard(conn)
+            conn.close()
+
+    def _dispatch(self, frame: Frame) -> tuple[Status, str, bytes]:
+        """Run one request against the backend; never raises."""
+        try:
+            with self._backend_lock:
+                return self._handle(frame)
+        except Exception as exc:  # noqa: BLE001 - must answer, not crash
+            return status_for_error(exc), frame.key, str(exc).encode("utf-8")
+
+    def _handle(self, frame: Frame) -> tuple[Status, str, bytes]:
+        op = frame.code
+        if op == OpCode.PING:
+            return Status.OK, "", frame.payload  # echo
+        if op == OpCode.PUT:
+            self.backend.put(frame.key, frame.payload)
+            # Checksum echo: the client verifies the server stored exactly
+            # the bytes it sent.
+            return Status.OK, frame.key, blob_checksum(frame.payload).encode()
+        if op == OpCode.GET:
+            return Status.OK, frame.key, self.backend.get(frame.key)
+        if op == OpCode.DELETE:
+            self.backend.delete(frame.key)
+            return Status.OK, frame.key, b""
+        if op == OpCode.HEAD:
+            return Status.OK, frame.key, encode_stat(self.backend.head(frame.key))
+        if op == OpCode.KEYS:
+            return Status.OK, "", encode_keys(self.backend.keys())
+        raise ProtocolError(f"unknown op code {op:#x}")

@@ -17,6 +17,7 @@ from repro.providers.registry import (
     RegisteredProvider,
     build_simulated_fleet,
     default_fleet_specs,
+    provider_from_url,
     regional_fleet_specs,
     regional_latency,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "RegisteredProvider",
     "build_simulated_fleet",
     "default_fleet_specs",
+    "provider_from_url",
     "regional_fleet_specs",
     "regional_latency",
     "LatencyModel",

@@ -18,6 +18,8 @@ import hashlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+from repro.core.errors import BlobNotFoundError, ProviderUnavailableError
+
 
 def blob_checksum(data: bytes) -> str:
     """Content checksum used for at-rest integrity verification."""
@@ -71,8 +73,6 @@ class CloudProvider(ABC):
     # -- conveniences -------------------------------------------------------
 
     def contains(self, key: str) -> bool:
-        from repro.core.errors import BlobNotFoundError, ProviderUnavailableError
-
         try:
             self.head(key)
             return True
@@ -87,7 +87,12 @@ class CloudProvider(ABC):
 
     @property
     def stored_bytes(self) -> int:
-        """Total payload bytes currently stored."""
+        """Total payload bytes currently stored.
+
+        Costs one ``keys`` listing plus O(keys) ``head`` calls against the
+        backend -- on metered or remote providers that is one billed/network
+        request per object, so avoid it on hot paths.
+        """
         return sum(self.head(k).size for k in self.keys())
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -17,8 +17,14 @@ _SAFE = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ012345678
 
 
 def _encode_key(key: str) -> str:
-    """Filesystem-safe encoding of an arbitrary object key."""
-    return "".join(c if c in _SAFE else f"%{ord(c):02x}" for c in key)
+    """Filesystem-safe encoding of an arbitrary object key.
+
+    Escapes are applied per UTF-8 *byte* (always two hex digits), so
+    non-ASCII keys survive the round trip through :meth:`DiskProvider.keys`.
+    """
+    return "".join(
+        chr(b) if chr(b) in _SAFE else f"%{b:02x}" for b in key.encode("utf-8")
+    )
 
 
 class DiskProvider(CloudProvider):
@@ -68,16 +74,16 @@ class DiskProvider(CloudProvider):
         out = []
         for path in self.root.glob("*.blob"):
             encoded = path.name[: -len(".blob")]
-            # Reverse the %xx escapes from _encode_key.
-            key, i = [], 0
+            # Reverse the %xx byte escapes from _encode_key.
+            raw, i = bytearray(), 0
             while i < len(encoded):
                 if encoded[i] == "%":
-                    key.append(chr(int(encoded[i + 1 : i + 3], 16)))
+                    raw.append(int(encoded[i + 1 : i + 3], 16))
                     i += 3
                 else:
-                    key.append(encoded[i])
+                    raw.append(ord(encoded[i]))
                     i += 1
-            out.append("".join(key))
+            out.append(raw.decode("utf-8"))
         return out
 
     def head(self, key: str) -> BlobStat:

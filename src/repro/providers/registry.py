@@ -75,6 +75,47 @@ class RegisteredProvider:
         return used + nbytes <= self.capacity_bytes
 
 
+def provider_from_url(name: str, url: str) -> CloudProvider:
+    """Construct a provider backend from a scheme URL.
+
+    Supported schemes::
+
+        memory://                   in-process dict store
+        disk:///path/to/root        directory-backed store
+        remote://host:port          socket client to a chunk server
+
+    ``remote://`` is how a fleet file or registry call points the
+    distributor at a network chunk server (:mod:`repro.net`).  URL-built
+    remotes enable a 5 s circuit breaker: fleet files describe long-lived
+    deployments, and a dead node should cost one retry budget per run,
+    not one per chunk.
+    """
+    scheme, sep, rest = url.partition("://")
+    if not sep:
+        raise ValueError(f"not a provider URL (missing '://'): {url!r}")
+    if scheme == "memory":
+        return InMemoryProvider(name)
+    if scheme == "disk":
+        if not rest:
+            raise ValueError(f"disk:// URL needs a root path: {url!r}")
+        from repro.providers.disk import DiskProvider
+
+        return DiskProvider(name, rest)
+    if scheme == "remote":
+        host, colon, port_text = rest.rpartition(":")
+        if not colon or not port_text.isdigit():
+            raise ValueError(
+                f"remote:// URL must be remote://host:port, got {url!r}"
+            )
+        # Imported lazily: repro.net imports this package at module load.
+        from repro.net.remote import RemoteProvider
+
+        return RemoteProvider(
+            name, host or "127.0.0.1", int(port_text), failfast_window=5.0
+        )
+    raise ValueError(f"unknown provider scheme {scheme!r} in {url!r}")
+
+
 class ProviderRegistry:
     """Name-keyed catalogue of registered providers."""
 
@@ -103,6 +144,24 @@ class ProviderRegistry:
         )
         self._providers[provider.name] = entry
         return entry
+
+    def register_url(
+        self,
+        name: str,
+        url: str,
+        privacy_level: PrivacyLevel | int,
+        cost_level: CostLevel | int,
+        region: str = "default",
+        capacity_bytes: int | None = None,
+    ) -> RegisteredProvider:
+        """Register a backend described by URL (see :func:`provider_from_url`)."""
+        return self.register(
+            provider_from_url(name, url),
+            privacy_level,
+            cost_level,
+            region=region,
+            capacity_bytes=capacity_bytes,
+        )
 
     def get(self, name: str) -> RegisteredProvider:
         try:

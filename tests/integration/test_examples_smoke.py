@@ -15,6 +15,7 @@ SCRIPTS = [
     ("fault_tolerance.py", []),
     ("client_side_dht.py", []),
     ("operations_dashboard.py", []),
+    ("remote_cluster.py", []),
     ("reproduce_paper.py", ["--quick"]),
 ]
 

@@ -1,0 +1,160 @@
+"""Provider conformance suite: every backend honours the same contract.
+
+The distributor treats backends as interchangeable (Section IV-B's "virtual
+id is all a provider sees"), which only holds if put/get/delete/head/keys,
+overwrite, missing-key and corruption-detection semantics are *identical*
+across in-memory, on-disk, simulated and remote-socket providers.  Each
+test here runs once per backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import BlobCorruptedError, BlobNotFoundError
+from repro.net.remote import RemoteProvider, RetryPolicy
+from repro.net.server import ChunkServer
+from repro.providers.base import blob_checksum
+from repro.providers.disk import DiskProvider
+from repro.providers.memory import InMemoryProvider
+from repro.providers.simulated import SimulatedProvider
+from repro.util.clock import SimulatedClock
+
+BACKENDS = ["memory", "disk", "simulated", "remote"]
+
+
+@pytest.fixture(params=BACKENDS)
+def conformant(request, tmp_path):
+    """(provider, corrupt) pair for each backend flavour.
+
+    *corrupt* flips a stored byte behind the provider's back without
+    updating the recorded checksum -- the bit-rot scenario every backend
+    must detect at ``get`` time.
+    """
+    if request.param == "memory":
+        provider = InMemoryProvider("conf")
+        yield provider, provider.corrupt_blob
+    elif request.param == "disk":
+        provider = DiskProvider("conf", tmp_path / "store")
+
+        def corrupt(key: str) -> None:
+            path = provider._blob_path(key)
+            data = bytearray(path.read_bytes())
+            data[0] ^= 0xFF
+            path.write_bytes(bytes(data))
+
+        yield provider, corrupt
+    elif request.param == "simulated":
+        inner = InMemoryProvider("conf")
+        provider = SimulatedProvider(inner, clock=SimulatedClock(), seed=5)
+        yield provider, inner.corrupt_blob
+    else:
+        inner = InMemoryProvider("conf")
+        with ChunkServer(inner) as server:
+            provider = RemoteProvider(
+                "conf",
+                server.host,
+                server.port,
+                retry=RetryPolicy(attempts=2, base_delay=0.01),
+            )
+            yield provider, inner.corrupt_blob
+            provider.close()
+
+
+def test_put_get_roundtrip(conformant):
+    provider, _ = conformant
+    provider.put("k", b"value")
+    assert provider.get("k") == b"value"
+
+
+def test_binary_payload_roundtrip(conformant):
+    provider, _ = conformant
+    payload = bytes(range(256)) * 17
+    provider.put("bin", payload)
+    assert provider.get("bin") == payload
+
+
+def test_empty_payload_roundtrip(conformant):
+    provider, _ = conformant
+    provider.put("empty", b"")
+    assert provider.get("empty") == b""
+    assert provider.head("empty").size == 0
+
+
+def test_unusual_keys_roundtrip(conformant):
+    provider, _ = conformant
+    for key in ("a/b c", "chunk-10986.0", "snap:S16948", "ключ"):
+        provider.put(key, key.encode("utf-8"))
+    for key in ("a/b c", "chunk-10986.0", "snap:S16948", "ключ"):
+        assert provider.get(key) == key.encode("utf-8")
+    assert sorted(provider.keys()) == sorted(
+        ["a/b c", "chunk-10986.0", "snap:S16948", "ключ"]
+    )
+
+
+def test_overwrite_replaces(conformant):
+    provider, _ = conformant
+    provider.put("k", b"one")
+    provider.put("k", b"two-is-longer")
+    assert provider.get("k") == b"two-is-longer"
+    assert provider.head("k").size == len(b"two-is-longer")
+    assert provider.keys() == ["k"]
+
+
+def test_get_missing_raises(conformant):
+    provider, _ = conformant
+    with pytest.raises(BlobNotFoundError):
+        provider.get("nope")
+
+
+def test_head_missing_raises(conformant):
+    provider, _ = conformant
+    with pytest.raises(BlobNotFoundError):
+        provider.head("nope")
+
+
+def test_delete_then_missing(conformant):
+    provider, _ = conformant
+    provider.put("k", b"v")
+    provider.delete("k")
+    assert not provider.contains("k")
+    with pytest.raises(BlobNotFoundError):
+        provider.get("k")
+    with pytest.raises(BlobNotFoundError):
+        provider.delete("k")
+
+
+def test_keys_and_contains(conformant):
+    provider, _ = conformant
+    assert provider.keys() == []
+    provider.put("a", b"1")
+    provider.put("b", b"22")
+    assert sorted(provider.keys()) == ["a", "b"]
+    assert provider.contains("a")
+    assert not provider.contains("c")
+    assert provider.object_count == 2
+
+
+def test_head_matches_content(conformant):
+    provider, _ = conformant
+    provider.put("k", b"payload-bytes")
+    stat = provider.head("k")
+    assert stat.key == "k"
+    assert stat.size == len(b"payload-bytes")
+    assert stat.checksum == blob_checksum(b"payload-bytes")
+
+
+def test_corruption_detected_at_get(conformant):
+    provider, corrupt = conformant
+    provider.put("k", b"precious data")
+    corrupt("k")
+    with pytest.raises(BlobCorruptedError):
+        provider.get("k")
+
+
+def test_overwrite_clears_corruption(conformant):
+    provider, corrupt = conformant
+    provider.put("k", b"precious data")
+    corrupt("k")
+    provider.put("k", b"fresh")
+    assert provider.get("k") == b"fresh"

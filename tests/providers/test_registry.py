@@ -8,6 +8,7 @@ from repro.providers.registry import (
     ProviderSpec,
     build_simulated_fleet,
     default_fleet_specs,
+    provider_from_url,
 )
 
 
@@ -85,3 +86,37 @@ def test_attestation_nonces_increase():
     r1 = reg.attest("A", "s")
     r2 = reg.attest("B", "s")
     assert r2.nonce > r1.nonce
+
+
+def test_provider_from_url_schemes(tmp_path):
+    from repro.net.remote import RemoteProvider
+    from repro.providers.disk import DiskProvider
+
+    mem = provider_from_url("m", "memory://")
+    assert isinstance(mem, InMemoryProvider) and mem.name == "m"
+    disk = provider_from_url("d", f"disk://{tmp_path}")
+    assert isinstance(disk, DiskProvider)
+    remote = provider_from_url("r", "remote://127.0.0.1:5900")
+    assert isinstance(remote, RemoteProvider)
+    assert (remote.host, remote.port) == ("127.0.0.1", 5900)
+    # Fleet-file remotes get the circuit breaker by default (a dead node
+    # must not cost one retry budget per chunk in a CLI run).
+    assert remote.failfast_window == 5.0
+    remote.close()
+
+
+@pytest.mark.parametrize(
+    "url",
+    ["no-scheme", "disk://", "remote://hostonly", "remote://h:notaport", "ftp://x"],
+)
+def test_provider_from_url_rejects_malformed(url):
+    with pytest.raises(ValueError):
+        provider_from_url("x", url)
+
+
+def test_register_url_round_trip():
+    registry = ProviderRegistry()
+    registry.register_url("m0", "memory://", PrivacyLevel.PRIVATE, CostLevel.CHEAP)
+    entry = registry.get("m0")
+    assert isinstance(entry.provider, InMemoryProvider)
+    assert entry.privacy_level == PrivacyLevel.PRIVATE
