@@ -53,10 +53,13 @@ from repro.core import (
     split,
     suggest_level,
 )
+from repro.health import HealthMonitor, HealthState, Scrubber, ScrubReport
 from repro.providers import (
+    ChaosProvider,
     CloudProvider,
     DiskProvider,
     FailureInjector,
+    FaultPlan,
     InMemoryProvider,
     LatencyModel,
     ParallelWindow,
@@ -112,9 +115,15 @@ __all__ = [
     "save_metadata",
     "split",
     "suggest_level",
+    "ChaosProvider",
     "CloudProvider",
     "DiskProvider",
     "FailureInjector",
+    "FaultPlan",
+    "HealthMonitor",
+    "HealthState",
+    "Scrubber",
+    "ScrubReport",
     "InMemoryProvider",
     "LatencyModel",
     "ParallelWindow",

@@ -185,6 +185,21 @@ def _status(args) -> int:
 
 def _repair(args) -> int:
     distributor, meta = _open(args)
+    if args.auto:
+        from repro.health.scrubber import Scrubber
+
+        report = Scrubber(distributor).run_once()
+        _commit(distributor, meta)
+        print(report.summary())
+        for vid, shard, old, new in report.relocations:
+            print(f"  relocated chunk {vid} shard {shard}: {old} -> {new}")
+        return 0 if report.chunks_unrecoverable == 0 else 2
+    if not (args.client and args.password and args.filename):
+        print(
+            "error: repair needs CLIENT PASSWORD FILENAME (or --auto)",
+            file=sys.stderr,
+        )
+        return 1
     report = distributor.repair_file(args.client, args.password, args.filename)
     _commit(distributor, meta)
     print(
@@ -193,6 +208,25 @@ def _repair(args) -> int:
         f"{report.chunks_unrecoverable} unrecoverable"
     )
     return 0 if report.chunks_unrecoverable == 0 else 2
+
+
+def _health(args) -> int:
+    distributor, _ = _open(args)
+    monitor = distributor.health
+    if args.probe:
+        monitor.probe_all()
+    print(
+        render_table(
+            ["provider", "state", "error EWMA", "consec fails", "ops", "probe"],
+            monitor.report_rows(),
+            title="Provider health",
+        )
+    )
+    down = [name for name in distributor.registry.names() if monitor.down(name)]
+    if down:
+        print(f"down: {', '.join(down)}")
+        return 2
+    return 0
 
 
 def _scrub(args) -> int:
@@ -339,10 +373,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_status)
 
     p = with_state(sub.add_parser("repair", help="scrub + rebuild a file's stripes"))
-    p.add_argument("client")
-    p.add_argument("password")
-    p.add_argument("filename")
+    p.add_argument("client", nargs="?")
+    p.add_argument("password", nargs="?")
+    p.add_argument("filename", nargs="?")
+    p.add_argument("--auto", action="store_true",
+                   help="scrub every chunk of every client (one scrubber cycle)")
     p.set_defaults(func=_repair)
+
+    p = with_state(sub.add_parser(
+        "health", help="per-provider health verdicts (exit 2 if any down)"))
+    p.add_argument("--probe", action="store_true",
+                   help="actively probe every provider before reporting")
+    p.set_defaults(func=_health)
 
     p = with_state(sub.add_parser(
         "exposure", help="per-provider exposure bound for a client"))

@@ -16,8 +16,9 @@ the three metadata tables.
 from __future__ import annotations
 
 import contextlib
+import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, TypeVar
 
 from repro.core import chunking
@@ -26,11 +27,14 @@ from repro.core.audit import AuditLog
 from repro.core.cache import ChunkCache
 from repro.core.errors import (
     AuthorizationError,
+    BlobCorruptedError,
+    BlobNotFoundError,
     PlacementError,
     ProviderError,
     ReproError,
     UnknownChunkError,
 )
+from repro.health.monitor import HealthMonitor
 from repro.core.misleading import inject, remove as remove_misleading
 from repro.core.placement import PlacementPolicy
 from repro.core.privacy import ChunkSizePolicy, PrivacyLevel
@@ -42,7 +46,8 @@ from repro.core.tables import (
     CloudProviderTable,
     FileChunkRef,
 )
-from repro.core.virtual_id import VirtualIdAllocator, shard_key
+from repro.core.virtual_id import VirtualIdAllocator, shard_key, snapshot_key
+from repro.providers.base import blob_checksum
 from repro.providers.registry import ProviderRegistry
 from repro.providers.simulated import ParallelWindow, SimulatedProvider
 from repro.raid.reconstruct import read_stripe, rebuild_shard
@@ -79,10 +84,17 @@ class RepairReport:
 
 @dataclass
 class _ChunkState:
-    """Distributor-private per-chunk state beyond the paper's Table III."""
+    """Distributor-private per-chunk state beyond the paper's Table III.
+
+    ``shard_checksums`` records each shard's end-to-end checksum at write
+    time, so reads and the scrubber can detect silent corruption a
+    provider never reports (``None`` for chunks imported from metadata
+    snapshots that predate checksum tracking).
+    """
 
     stripe: StripeMeta
     rotation: int
+    shard_checksums: tuple[str, ...] | None = None
 
 
 _T = TypeVar("_T")
@@ -103,11 +115,18 @@ class CloudDataDistributor:
         audit: "AuditLog | None" = None,
         cache: "ChunkCache | None" = None,
         max_transport_workers: int | None = None,
+        health: "HealthMonitor | None" = None,
     ) -> None:
         seeds = spawn_seeds(seed, 3)
         self.audit = audit
         self.cache = cache
         self.registry = registry
+        # Every distributor tracks fleet health from its own traffic; pass
+        # a shared monitor to pool evidence across distributors.
+        self.health = health if health is not None else HealthMonitor(registry)
+        # Serializes table mutation between client ops and the background
+        # scrubber; provider I/O inside an op may still fan out.
+        self.op_lock = threading.RLock()
         self.chunk_policy = chunk_policy or ChunkSizePolicy()
         self.placement = placement or PlacementPolicy(seed=seeds[0])
         self.default_raid_level = raid_level
@@ -167,6 +186,62 @@ class CloudDataDistributor:
         return {
             entry.name: entry.count for _, entry in self.provider_table
         }
+
+    # -- health accounting -------------------------------------------------
+
+    def _record_health(
+        self, name: str, ok: bool, exc: Exception | None = None
+    ) -> None:
+        """Feed one live-traffic outcome into the fleet health monitor.
+
+        Missing or corrupt blobs are data problems, not transport ones:
+        they raise the provider's error EWMA (toward SUSPECT) without
+        counting toward the consecutive-failure DOWN verdict.
+        """
+        if self.health is None or name not in self.registry:
+            return
+        if ok:
+            self.health.record_success(name)
+        else:
+            transport = not isinstance(
+                exc, (BlobNotFoundError, BlobCorruptedError)
+            )
+            self.health.record_failure(name, transport=transport)
+
+    def _provider_put(self, name: str, key: str, data: bytes) -> None:
+        try:
+            self.registry.get(name).provider.put(key, data)
+        except ProviderError as exc:
+            self._record_health(name, ok=False, exc=exc)
+            raise
+        self._record_health(name, ok=True)
+
+    def _provider_get(self, name: str, key: str) -> bytes:
+        try:
+            data = self.registry.get(name).provider.get(key)
+        except ProviderError as exc:
+            self._record_health(name, ok=False, exc=exc)
+            raise
+        self._record_health(name, ok=True)
+        return data
+
+    def _provider_usable(self, name: str) -> bool:
+        """Is *name* currently a sane target for new shard bytes?
+
+        The simulated ``available`` flag is authoritative when present;
+        otherwise the health monitor's evidence-based verdict decides
+        (with an active probe when the monitor has marked the provider
+        DOWN, so recovered providers come back without manual action).
+        """
+        provider = self.registry.get(name).provider
+        available = getattr(provider, "available", True)
+        if not callable(available) and not available:
+            return False
+        if self.health is not None:
+            return self.health.is_usable(name)
+        from repro.health.monitor import probe_provider
+
+        return probe_provider(provider)
 
     def _audited(self, operation, client, filename, serial, fn):
         """Run *fn*, recording the outcome in the audit log (if attached)."""
@@ -235,15 +310,20 @@ class CloudDataDistributor:
         self.close()
 
     def _transport_map(
-        self, fn: Callable[[_T], _R], items: list[_T]
+        self,
+        fn: Callable[[_T], _R],
+        items: list[_T],
+        stop_on_error: bool = True,
     ) -> list[tuple[_R | None, ProviderError | None]]:
         """Run one provider request per item; returns (result, error) pairs.
 
         With multiple transport workers every request is dispatched at
         once and all outcomes are collected; on the serial path requests
-        run in order and stop at the first failure (preserving the
-        simulated-time cost of the historical serial loop), so the
-        returned list may be shorter than *items*.
+        run in order and -- when ``stop_on_error`` is set -- stop at the
+        first failure (preserving the simulated-time cost of the
+        historical serial loop), so the returned list may be shorter than
+        *items*.  Callers that must attempt every item (write failover,
+        scrub audits, repair reads) pass ``stop_on_error=False``.
         """
         workers = self._transport_workers()
         if workers <= 1 or len(items) <= 1:
@@ -253,7 +333,8 @@ class CloudDataDistributor:
                     outcomes.append((fn(item), None))
                 except ProviderError as exc:
                     outcomes.append((None, exc))
-                    break
+                    if stop_on_error:
+                        break
             return outcomes
         futures = [self._executor(workers).submit(fn, item) for item in items]
         outcomes = []
@@ -267,7 +348,9 @@ class CloudDataDistributor:
     def _stripe_width_for(self, level: PrivacyLevel, raid: RaidLevel) -> int:
         if self.default_stripe_width is not None:
             return self.default_stripe_width
-        available = self.placement.max_stripe_width(self.registry, level)
+        available = self.placement.max_stripe_width(
+            self.registry, level, health=self.health
+        )
         # Spread as wide as the paper intends (more targets for the
         # attacker) but cap so huge fleets don't shred tiny chunks.
         return max(raid.min_width, min(available, 4))
@@ -290,31 +373,40 @@ class CloudDataDistributor:
 
         meta, shards = encode_stripe(stored, raid, width)
         group = self.placement.stripe_group(
-            self.registry, level, width, load=self._provider_load()
+            self.registry, level, width, load=self._provider_load(),
+            health=self.health,
         )
         vid = self.ids.allocate()
         # Rotate the shard->provider assignment by serial so parity cycles
         # around the group, RAID-5 style.
-        rotated = group[serial % width :] + group[: serial % width]
+        assigned = group[serial % width :] + group[: serial % width]
 
         def put_shard(assignment: tuple[int, str]) -> None:
             shard_index, provider_name = assignment
-            self.registry.get(provider_name).provider.put(
-                shard_key(vid, shard_index), shards[shard_index]
+            self._provider_put(
+                provider_name, shard_key(vid, shard_index), shards[shard_index]
             )
 
         # Fan the shard uploads out across the stripe's providers (each
         # worker talks to a distinct provider); table bookkeeping stays on
-        # this thread.
-        outcomes = self._transport_map(put_shard, list(enumerate(rotated)))
+        # this thread.  Every shard is attempted even when one fails, so
+        # failover sees the full damage at once.
+        outcomes = self._transport_map(
+            put_shard, list(enumerate(assigned)), stop_on_error=False
+        )
         first_error = next((exc for _, exc in outcomes if exc is not None), None)
-        if first_error is not None:
-            # A stripe member failed mid-upload: roll the chunk back so no
+        failed = [i for i, (_, exc) in enumerate(outcomes) if exc is not None]
+        if failed:
+            # Write-path failover: re-place only the failed shards on
+            # alternate healthy eligible providers instead of aborting the
+            # whole chunk.
+            failed = self._failover_shards(vid, level, shards, assigned, failed)
+        if failed and width - len(failed) < meta.k:
+            # Terminal case: fewer than k shards landed anywhere, so the
+            # chunk could never be read back.  Roll everything (including
+            # possible torn writes on the failed members) back so no
             # partial state leaks into the tables or the fleet.
-            for shard_index, (_, exc) in enumerate(outcomes):
-                if exc is not None:
-                    continue
-                name = rotated[shard_index]
+            for shard_index, name in enumerate(assigned):
                 with contextlib.suppress(ProviderError):
                     self.registry.get(name).provider.delete(
                         shard_key(vid, shard_index)
@@ -322,8 +414,11 @@ class CloudDataDistributor:
             self.ids.release(vid)
             raise first_error
         provider_indices: list[int] = []
-        for shard_index, provider_name in enumerate(rotated):
+        for shard_index, provider_name in enumerate(assigned):
             table_index = self.provider_table.index_of(provider_name)
+            # Failed-but-accepted shards are recorded too: the table is
+            # the scrubber's work list, and the next scrub cycle rebuilds
+            # them from the >= k members that did land.
             self.provider_table.record_store(
                 table_index, shard_key(vid, shard_index)
             )
@@ -338,8 +433,78 @@ class CloudDataDistributor:
                 misleading_positions=positions,
             )
         )
-        self._chunk_state[vid] = _ChunkState(stripe=meta, rotation=serial % width)
+        self._chunk_state[vid] = _ChunkState(
+            stripe=meta,
+            rotation=serial % width,
+            shard_checksums=tuple(blob_checksum(s) for s in shards),
+        )
         return chunk_index
+
+    def _failover_shards(
+        self,
+        vid: int,
+        level: PrivacyLevel,
+        shards: list[bytes],
+        assigned: list[str],
+        failed: list[int],
+    ) -> list[int]:
+        """Re-place failed shard puts on alternate providers, in place.
+
+        For each failed shard index, healthy eligible providers outside
+        the current assignment (one shard per provider, or RAID failure
+        independence is forfeit) are tried in placement-preference order.
+        ``assigned`` is updated with the providers that accepted a shard;
+        the returned list holds the indices nowhere to be placed -- the
+        caller accepts the chunk degraded if >= k landed, or rolls back.
+        """
+        remaining: list[int] = []
+        for shard_index in failed:
+            key = shard_key(vid, shard_index)
+            # The failed member may hold a torn write (bytes stored, ack
+            # lost); scrub it so the relocated shard has no orphan twin.
+            with contextlib.suppress(ProviderError):
+                self.registry.get(assigned[shard_index]).provider.delete(key)
+            placed = False
+            for name in self._replacement_candidates(level, set(assigned)):
+                try:
+                    self._provider_put(name, key, shards[shard_index])
+                except ProviderError:
+                    with contextlib.suppress(ProviderError):
+                        self.registry.get(name).provider.delete(key)
+                    continue
+                assigned[shard_index] = name
+                placed = True
+                break
+            if not placed:
+                remaining.append(shard_index)
+        return remaining
+
+    def _replacement_candidates(
+        self, level: PrivacyLevel, exclude: set[str]
+    ) -> list[str]:
+        """Usable eligible providers outside *exclude*, best first.
+
+        Preference mirrors placement: suspect providers last, then
+        cheaper cost tier, then least loaded.
+        """
+        candidates = [
+            c
+            for c in self.placement.candidates(
+                self.registry, level, health=self.health
+            )
+            if c.name not in exclude and self._provider_usable(c.name)
+        ]
+        load = self._provider_load()
+
+        def sort_key(e):
+            suspect = (
+                1 if self.health is not None and self.health.suspect(e.name)
+                else 0
+            )
+            return (suspect, int(e.cost_level), load.get(e.name, 0))
+
+        candidates.sort(key=sort_key)
+        return [c.name for c in candidates]
 
     def _fetch_chunk_payload(self, entry: ChunkEntry) -> bytes:
         """Degraded-read a chunk's stripe and strip misleading bytes.
@@ -356,9 +521,24 @@ class CloudDataDistributor:
         def fetch(shard_index: int) -> bytes:
             table_index = entry.provider_indices[shard_index]
             name = self.provider_table.get(table_index).name
-            return self.registry.get(name).provider.get(
-                shard_key(entry.virtual_id, shard_index)
-            )
+            key = shard_key(entry.virtual_id, shard_index)
+            data = self._provider_get(name, key)
+            expected = state.shard_checksums
+            if (
+                expected is not None
+                and blob_checksum(data) != expected[shard_index]
+            ):
+                # Silently rotten shard: surface it as a failed member so
+                # the degraded read rebuilds from parity instead of
+                # returning corrupt plaintext.
+                self._record_health(
+                    name, ok=False, exc=BlobCorruptedError(key)
+                )
+                raise BlobCorruptedError(
+                    f"shard {key!r} from provider {name!r} does not match "
+                    f"its recorded checksum"
+                )
+            return data
 
         if self._transport_workers() > 1 and state.stripe.k > 1:
             # Fan out the data-shard fetches across providers; parity is
@@ -417,42 +597,45 @@ class CloudDataDistributor:
                 self.audit.record("upload", client, filename, None,
                                   ok=False, detail=type(exc).__name__)
             raise
-        client_entry = self.client_table.get(client)
-        if any(ref.filename == filename for ref in client_entry.chunk_refs):
-            raise ValueError(
-                f"client {client!r} already stores a file named {filename!r}"
-            )
-        raid = raid_level or self.default_raid_level
-        width = stripe_width or self._stripe_width_for(pl, raid)
+        with self.op_lock:
+            client_entry = self.client_table.get(client)
+            if any(ref.filename == filename for ref in client_entry.chunk_refs):
+                raise ValueError(
+                    f"client {client!r} already stores a file named {filename!r}"
+                )
+            raid = raid_level or self.default_raid_level
+            width = stripe_width or self._stripe_width_for(pl, raid)
 
-        chunks = chunking.split(data, pl, policy=self.chunk_policy)
-        window = self._parallel_window() if parallel else contextlib.nullcontext()
-        stored_refs: list[FileChunkRef] = []
-        try:
-            with window:
-                for chunk in chunks:
-                    chunk_index = self._store_chunk(
-                        chunk.payload, pl, chunk.serial, raid, width,
-                        misleading_fraction,
-                    )
-                    ref = FileChunkRef(
-                        filename=filename,
-                        serial=chunk.serial,
-                        privacy_level=pl,
-                        chunk_index=chunk_index,
-                    )
-                    client_entry.chunk_refs.append(ref)
-                    stored_refs.append(ref)
-        except (ProviderError, PlacementError) as exc:
-            # Roll back chunks already distributed so the upload is atomic:
-            # either the whole file is stored or none of it is.
-            for ref in stored_refs:
-                self._delete_chunk(ref)
-                client_entry.chunk_refs.remove(ref)
-            if self.audit is not None:
-                self.audit.record("upload", client, filename, None,
-                                  ok=False, detail=type(exc).__name__)
-            raise
+            chunks = chunking.split(data, pl, policy=self.chunk_policy)
+            window = (
+                self._parallel_window() if parallel else contextlib.nullcontext()
+            )
+            stored_refs: list[FileChunkRef] = []
+            try:
+                with window:
+                    for chunk in chunks:
+                        chunk_index = self._store_chunk(
+                            chunk.payload, pl, chunk.serial, raid, width,
+                            misleading_fraction,
+                        )
+                        ref = FileChunkRef(
+                            filename=filename,
+                            serial=chunk.serial,
+                            privacy_level=pl,
+                            chunk_index=chunk_index,
+                        )
+                        client_entry.chunk_refs.append(ref)
+                        stored_refs.append(ref)
+            except (ProviderError, PlacementError) as exc:
+                # Roll back chunks already distributed so the upload is
+                # atomic: either the whole file is stored or none of it is.
+                for ref in stored_refs:
+                    self._delete_chunk(ref)
+                    client_entry.chunk_refs.remove(ref)
+                if self.audit is not None:
+                    self.audit.record("upload", client, filename, None,
+                                      ok=False, detail=type(exc).__name__)
+                raise
         if self.audit is not None:
             self.audit.record("upload", client, filename, None, ok=True)
         return FileReceipt(
@@ -478,10 +661,13 @@ class CloudDataDistributor:
         """
 
         def work() -> bytes:
-            ref = self.client_table.get(client).ref_for_chunk(filename, serial)
-            self._authorize(client, password, ref.privacy_level)
-            entry = self.chunk_table.get(ref.chunk_index)
-            return self._fetch_chunk_payload(entry)
+            with self.op_lock:
+                ref = self.client_table.get(client).ref_for_chunk(
+                    filename, serial
+                )
+                self._authorize(client, password, ref.privacy_level)
+                entry = self.chunk_table.get(ref.chunk_index)
+                return self._fetch_chunk_payload(entry)
 
         return self._audited("get_chunk", client, filename, serial, work)
 
@@ -496,23 +682,26 @@ class CloudDataDistributor:
         with; simulated time drops to the critical path.
         """
         def work() -> bytes:
-            refs = self.client_table.get(client).refs_for_file(filename)
-            self._authorize(client, password, refs[0].privacy_level)
-            window = (
-                self._parallel_window() if parallel else contextlib.nullcontext()
-            )
-            with window:
-                chunks = [
-                    chunking.Chunk(
-                        serial=ref.serial,
-                        level=ref.privacy_level,
-                        payload=self._fetch_chunk_payload(
-                            self.chunk_table.get(ref.chunk_index)
-                        ),
-                    )
-                    for ref in refs
-                ]
-            return chunking.join(chunks)
+            with self.op_lock:
+                refs = self.client_table.get(client).refs_for_file(filename)
+                self._authorize(client, password, refs[0].privacy_level)
+                window = (
+                    self._parallel_window()
+                    if parallel
+                    else contextlib.nullcontext()
+                )
+                with window:
+                    chunks = [
+                        chunking.Chunk(
+                            serial=ref.serial,
+                            level=ref.privacy_level,
+                            payload=self._fetch_chunk_payload(
+                                self.chunk_table.get(ref.chunk_index)
+                            ),
+                        )
+                        for ref in refs
+                    ]
+                return chunking.join(chunks)
 
         return self._audited("get_file", client, filename, None, work)
 
@@ -553,6 +742,9 @@ class CloudDataDistributor:
                 self.snapshots.drop(name, vid)
             except ProviderError:
                 pass
+            self.provider_table.record_remove(
+                entry.snapshot_index, snapshot_key(vid)
+            )
         self.chunk_table.remove(ref.chunk_index)
         del self._chunk_state[vid]
         if self.cache is not None:
@@ -565,11 +757,12 @@ class CloudDataDistributor:
         """Remove one chunk; forwarded to every stripe member."""
 
         def work() -> None:
-            client_entry = self.client_table.get(client)
-            ref = client_entry.ref_for_chunk(filename, serial)
-            self._authorize(client, password, ref.privacy_level)
-            self._delete_chunk(ref)
-            client_entry.chunk_refs.remove(ref)
+            with self.op_lock:
+                client_entry = self.client_table.get(client)
+                ref = client_entry.ref_for_chunk(filename, serial)
+                self._authorize(client, password, ref.privacy_level)
+                self._delete_chunk(ref)
+                client_entry.chunk_refs.remove(ref)
 
         self._audited("remove_chunk", client, filename, serial, work)
 
@@ -577,12 +770,13 @@ class CloudDataDistributor:
         """Remove every chunk of *filename*."""
 
         def work() -> None:
-            client_entry = self.client_table.get(client)
-            refs = client_entry.refs_for_file(filename)
-            self._authorize(client, password, refs[0].privacy_level)
-            for ref in refs:
-                self._delete_chunk(ref)
-                client_entry.chunk_refs.remove(ref)
+            with self.op_lock:
+                client_entry = self.client_table.get(client)
+                refs = client_entry.refs_for_file(filename)
+                self._authorize(client, password, refs[0].privacy_level)
+                for ref in refs:
+                    self._delete_chunk(ref)
+                    client_entry.chunk_refs.remove(ref)
 
         self._audited("remove_file", client, filename, None, work)
 
@@ -623,65 +817,90 @@ class CloudDataDistributor:
         serial: int,
         new_payload: bytes,
     ) -> None:
-        ref = self.client_table.get(client).ref_for_chunk(filename, serial)
-        self._authorize(client, password, ref.privacy_level)
-        entry = self.chunk_table.get(ref.chunk_index)
-        vid = entry.virtual_id
-        state = self._chunk_state[vid]
+        with self.op_lock:
+            client_entry = self.client_table.get(client)
+            ref = client_entry.ref_for_chunk(filename, serial)
+            self._authorize(client, password, ref.privacy_level)
+            entry = self.chunk_table.get(ref.chunk_index)
+            vid = entry.virtual_id
+            state = self._chunk_state[vid]
 
-        pre_state = self._fetch_chunk_payload(entry)
-        stripe_names = {
-            self.provider_table.get(i).name for i in entry.provider_indices
-        }
-        snap_name = self.snapshots.choose_provider(
-            entry.privacy_level, exclude=stripe_names, load=self._provider_load()
-        )
-        snap_table_index = self.provider_table.index_of(snap_name)
-        if entry.snapshot_index is not None and entry.snapshot_index != snap_table_index:
-            old_name = self.provider_table.get(entry.snapshot_index).name
+            pre_state = self._fetch_chunk_payload(entry)
+            # Re-inject misleading bytes at the same budget the chunk had.
+            fraction = 0.0
+            if entry.misleading_positions:
+                fraction = len(entry.misleading_positions) / max(
+                    1, state.stripe.orig_len - len(entry.misleading_positions)
+                )
+
+            # Copy-on-write: the new version is staged as a fresh stripe
+            # (fresh virtual id, freshly placed group, full write-path
+            # failover) and only swapped in once it fully lands.  A failed
+            # update therefore leaves the old version intact and readable
+            # instead of a torn half-written stripe.
+            new_index = self._store_chunk(
+                new_payload, entry.privacy_level, state.rotation,
+                state.stripe.level, state.stripe.width, fraction,
+            )
+            new_entry = self.chunk_table.get(new_index)
+            new_vid = new_entry.virtual_id
             try:
-                self.snapshots.drop(old_name, vid)
-            except ProviderError:
-                pass
-        key = self.snapshots.write(snap_name, vid, pre_state)
-        self.provider_table.record_store(snap_table_index, key)
-        entry.snapshot_index = snap_table_index
+                new_names = {
+                    self.provider_table.get(i).name
+                    for i in new_entry.provider_indices
+                }
+                snap_name = self.snapshots.choose_provider(
+                    entry.privacy_level, exclude=new_names,
+                    load=self._provider_load(),
+                )
+                snap_key = self.snapshots.write(snap_name, new_vid, pre_state)
+            except (ProviderError, PlacementError):
+                # Unstage the new version; the chunk is untouched.
+                self._delete_chunk(replace(ref, chunk_index=new_index))
+                raise
+            snap_table_index = self.provider_table.index_of(snap_name)
+            self.provider_table.record_store(snap_table_index, snap_key)
+            new_entry.snapshot_index = snap_table_index
 
-        # Re-inject misleading bytes at the same budget the chunk had.
-        positions: tuple[int, ...] = ()
-        stored = new_payload
-        if entry.misleading_positions:
-            fraction = len(entry.misleading_positions) / max(
-                1, state.stripe.orig_len - len(entry.misleading_positions)
-            )
-            result = inject(new_payload, fraction, rng=self._rng)
-            stored, positions = result.stored, result.positions
-        meta, shards = encode_stripe(
-            stored, state.stripe.level, state.stripe.width
-        )
-        for shard_index, table_index in enumerate(entry.provider_indices):
-            name = self.provider_table.get(table_index).name
-            self.registry.get(name).provider.put(
-                shard_key(vid, shard_index), shards[shard_index]
-            )
-        entry.misleading_positions = positions
-        state.stripe = meta
-        if self.cache is not None:
-            self.cache.invalidate(vid)
+            # Swap the client's quadruple to the new stripe, then retire
+            # the old one (shards, old snapshot, tables, id).
+            old_snapshot_index = entry.snapshot_index
+            entry.snapshot_index = None
+            i = client_entry.chunk_refs.index(ref)
+            client_entry.chunk_refs[i] = replace(ref, chunk_index=new_index)
+            if old_snapshot_index is not None:
+                old_snap_name = self.provider_table.get(old_snapshot_index).name
+                with contextlib.suppress(ProviderError):
+                    self.snapshots.drop(old_snap_name, vid)
+                self.provider_table.record_remove(
+                    old_snapshot_index, snapshot_key(vid)
+                )
+            for shard_index, table_index in enumerate(entry.provider_indices):
+                name = self.provider_table.get(table_index).name
+                shard = shard_key(vid, shard_index)
+                with contextlib.suppress(ProviderError):
+                    self.registry.get(name).provider.delete(shard)
+                self.provider_table.record_remove(table_index, shard)
+            self.chunk_table.remove(ref.chunk_index)
+            del self._chunk_state[vid]
+            self.ids.release(vid)
+            if self.cache is not None:
+                self.cache.invalidate(vid)
 
     def get_snapshot(
         self, client: str, password: str, filename: str, serial: int
     ) -> bytes:
         """Read the pre-modification state of a chunk (if one exists)."""
-        ref = self.client_table.get(client).ref_for_chunk(filename, serial)
-        self._authorize(client, password, ref.privacy_level)
-        entry = self.chunk_table.get(ref.chunk_index)
-        if entry.snapshot_index is None:
-            raise UnknownChunkError(
-                f"chunk {serial} of {filename!r} has never been modified"
-            )
-        name = self.provider_table.get(entry.snapshot_index).name
-        return self.snapshots.read(name, entry.virtual_id)
+        with self.op_lock:
+            ref = self.client_table.get(client).ref_for_chunk(filename, serial)
+            self._authorize(client, password, ref.privacy_level)
+            entry = self.chunk_table.get(ref.chunk_index)
+            if entry.snapshot_index is None:
+                raise UnknownChunkError(
+                    f"chunk {serial} of {filename!r} has never been modified"
+                )
+            name = self.provider_table.get(entry.snapshot_index).name
+            return self.snapshots.read(name, entry.virtual_id)
 
     # ------------------------------------------------------------------
     # RAID repair
@@ -694,54 +913,18 @@ class CloudDataDistributor:
         surviving stripe members and relocated to a healthy eligible
         provider outside the current group.
         """
-        refs = self.client_table.get(client).refs_for_file(filename)
-        self._authorize(client, password, refs[0].privacy_level)
-        missing = rebuilt = unrecoverable = 0
-        relocations: list[tuple[int, int, str, str]] = []
-        for ref in refs:
-            entry = self.chunk_table.get(ref.chunk_index)
-            state = self._chunk_state[entry.virtual_id]
-            shards: dict[int, bytes] = {}
-            bad: list[int] = []
-            for shard_index, table_index in enumerate(entry.provider_indices):
-                name = self.provider_table.get(table_index).name
-                try:
-                    shards[shard_index] = self.registry.get(name).provider.get(
-                        shard_key(entry.virtual_id, shard_index)
-                    )
-                except ProviderError:
-                    bad.append(shard_index)
-            missing += len(bad)
-            if not bad:
-                continue
-            if len(shards) < state.stripe.k:
-                unrecoverable += 1
-                continue
-            group_names = {
-                self.provider_table.get(i).name for i in entry.provider_indices
-            }
-            for shard_index in bad:
-                old_table_index = entry.provider_indices[shard_index]
-                old_name = self.provider_table.get(old_table_index).name
-                new_name = self._choose_replacement(
-                    entry.privacy_level, group_names, old_name
-                )
-                if new_name is None:
-                    # No healthy eligible provider outside the stripe: the
-                    # chunk stays degraded (still readable) until one heals.
-                    continue
-                shard = rebuild_shard(state.stripe, shard_index, shards)
-                key = shard_key(entry.virtual_id, shard_index)
-                self.registry.get(new_name).provider.put(key, shard)
-                self.provider_table.record_remove(old_table_index, key)
-                new_table_index = self.provider_table.index_of(new_name)
-                self.provider_table.record_store(new_table_index, key)
-                entry.provider_indices[shard_index] = new_table_index
-                group_names.add(new_name)
-                relocations.append(
-                    (entry.virtual_id, shard_index, old_name, new_name)
-                )
-                rebuilt += 1
+        with self.op_lock:
+            refs = self.client_table.get(client).refs_for_file(filename)
+            self._authorize(client, password, refs[0].privacy_level)
+            missing = rebuilt = unrecoverable = 0
+            relocations: list[tuple[int, int, str, str]] = []
+            for ref in refs:
+                entry = self.chunk_table.get(ref.chunk_index)
+                m, r, u, moved = self._repair_chunk(entry)
+                missing += m
+                rebuilt += r
+                unrecoverable += u
+                relocations.extend(moved)
         return RepairReport(
             filename=filename,
             chunks_checked=len(refs),
@@ -750,6 +933,96 @@ class CloudDataDistributor:
             chunks_unrecoverable=unrecoverable,
             relocations=relocations,
         )
+
+    def _repair_chunk(
+        self, entry: ChunkEntry, suspect: list[int] | tuple[int, ...] = ()
+    ) -> tuple[int, int, int, list[tuple[int, int, str, str]]]:
+        """Audit and heal one chunk's stripe.
+
+        Reads every shard not already condemned by *suspect* (indices the
+        caller's ``head`` audit flagged), concurrently on real transports,
+        verifying each against its recorded checksum.  Lost/rotten shards
+        are rebuilt from >= k survivors and placed on healthy eligible
+        providers outside the group (or back on a recovered member).
+        Returns ``(missing, rebuilt, unrecoverable, relocations)``.
+        """
+        vid = entry.virtual_id
+        state = self._chunk_state[vid]
+        names = [
+            self.provider_table.get(i).name for i in entry.provider_indices
+        ]
+        suspect_set = set(suspect)
+        to_read = [i for i in range(len(names)) if i not in suspect_set]
+
+        def read(shard_index: int) -> bytes:
+            key = shard_key(vid, shard_index)
+            data = self._provider_get(names[shard_index], key)
+            expected = state.shard_checksums
+            if (
+                expected is not None
+                and blob_checksum(data) != expected[shard_index]
+            ):
+                raise BlobCorruptedError(
+                    f"shard {key!r} at provider {names[shard_index]!r} "
+                    f"drifted from its recorded checksum"
+                )
+            return data
+
+        outcomes = self._transport_map(read, to_read, stop_on_error=False)
+        shards: dict[int, bytes] = {}
+        bad = sorted(suspect_set)
+        for shard_index, (data, exc) in zip(to_read, outcomes):
+            if exc is None:
+                shards[shard_index] = data
+            else:
+                bad.append(shard_index)
+        bad.sort()
+        missing = len(bad)
+        if not bad:
+            return 0, 0, 0, []
+        if len(shards) < state.stripe.k:
+            return missing, 0, 1, []
+        group_names = set(names)
+        rebuilt = 0
+        relocations: list[tuple[int, int, str, str]] = []
+        for shard_index in bad:
+            old_table_index = entry.provider_indices[shard_index]
+            old_name = self.provider_table.get(old_table_index).name
+            targets = self._replacement_candidates(
+                entry.privacy_level, group_names
+            )
+            if not targets and self._provider_usable(old_name):
+                # No eligible provider outside the stripe but the failed
+                # member recovered: re-store in place.
+                targets = [old_name]
+            key = shard_key(vid, shard_index)
+            shard = rebuild_shard(state.stripe, shard_index, shards)
+            stored_to = None
+            for new_name in targets:
+                try:
+                    self._provider_put(new_name, key, shard)
+                except ProviderError:
+                    continue
+                stored_to = new_name
+                break
+            if stored_to is None:
+                # No healthy eligible provider outside the stripe: the
+                # chunk stays degraded (still readable) until one heals.
+                continue
+            if stored_to != old_name:
+                # Best effort: clear the stale twin so the old provider
+                # does not resurface an orphan (or rotten bytes) later.
+                with contextlib.suppress(ProviderError):
+                    self.registry.get(old_name).provider.delete(key)
+                relocations.append((vid, shard_index, old_name, stored_to))
+            self.provider_table.record_remove(old_table_index, key)
+            new_table_index = self.provider_table.index_of(stored_to)
+            self.provider_table.record_store(new_table_index, key)
+            entry.provider_indices[shard_index] = new_table_index
+            group_names.add(stored_to)
+            shards[shard_index] = shard
+            rebuilt += 1
+        return missing, rebuilt, 0, relocations
 
     def _choose_replacement(
         self, level: PrivacyLevel, group_names: set[str], failed_name: str
@@ -761,24 +1034,12 @@ class CloudDataDistributor:
         caller leaves the chunk degraded rather than doubling up shards on
         a surviving member (which would forfeit failure independence).
         """
-        candidates = [
-            c
-            for c in self.placement.candidates(self.registry, level)
-            if c.name not in group_names
-        ]
-
-        def healthy(name: str) -> bool:
-            provider = self.registry.get(name).provider
-            return getattr(provider, "available", True)
-
-        candidates = [c for c in candidates if healthy(c.name)]
-        if not candidates:
-            if healthy(failed_name):
-                return failed_name  # same provider recovered; re-store there
-            return None
-        load = self._provider_load()
-        candidates.sort(key=lambda e: (int(e.cost_level), load.get(e.name, 0)))
-        return candidates[0].name
+        names = self._replacement_candidates(level, set(group_names))
+        if names:
+            return names[0]
+        if self._provider_usable(failed_name):
+            return failed_name  # same provider recovered; re-store there
+        return None
 
     # ------------------------------------------------------------------
     # introspection used by experiments
@@ -800,54 +1061,66 @@ class CloudDataDistributor:
         needs to serve retrievals, and everything persistence needs to
         survive a restart.  Provider *data* stays at the providers.
         """
-        return {
-            "access": self.access.export_state(),
-            "provider_table": self.provider_table.export_state(),
-            "client_table": self.client_table.export_state(),
-            "chunk_table": self.chunk_table.export_state(),
-            "ids": self.ids.export_state(),
-            "chunk_state": {
-                vid: (
-                    state.stripe.level.value,
-                    state.stripe.width,
-                    state.stripe.k,
-                    state.stripe.m,
-                    state.stripe.shard_size,
-                    state.stripe.orig_len,
-                    state.rotation,
-                )
-                for vid, state in self._chunk_state.items()
-            },
-        }
+        with self.op_lock:
+            return {
+                "access": self.access.export_state(),
+                "provider_table": self.provider_table.export_state(),
+                "client_table": self.client_table.export_state(),
+                "chunk_table": self.chunk_table.export_state(),
+                "ids": self.ids.export_state(),
+                "chunk_state": {
+                    vid: (
+                        state.stripe.level.value,
+                        state.stripe.width,
+                        state.stripe.k,
+                        state.stripe.m,
+                        state.stripe.shard_size,
+                        state.stripe.orig_len,
+                        state.rotation,
+                        list(state.shard_checksums)
+                        if state.shard_checksums is not None
+                        else None,
+                    )
+                    for vid, state in self._chunk_state.items()
+                },
+            }
 
     def import_metadata(self, snapshot: dict) -> None:
         """Replace this distributor's metadata with an exported snapshot."""
-        if self.cache is not None:
-            # Chunks may have been updated at the snapshot's source; a
-            # stale local cache must not outlive the old metadata.
-            self.cache.clear()
-        self.access.import_state(snapshot["access"])
-        self.provider_table.import_state(snapshot["provider_table"])
-        self.client_table.import_state(snapshot["client_table"])
-        self.chunk_table.import_state(snapshot["chunk_table"])
-        self.ids.import_state(snapshot["ids"])
-        self._chunk_state = {
-            int(vid): _ChunkState(
-                stripe=StripeMeta(
-                    level=RaidLevel(level),
-                    width=width,
-                    k=k,
-                    m=m,
-                    shard_size=shard_size,
-                    orig_len=orig_len,
-                ),
-                rotation=rotation,
-            )
-            for vid, (level, width, k, m, shard_size, orig_len, rotation)
-            in snapshot["chunk_state"].items()
-        }
+        with self.op_lock:
+            if self.cache is not None:
+                # Chunks may have been updated at the snapshot's source; a
+                # stale local cache must not outlive the old metadata.
+                self.cache.clear()
+            self.access.import_state(snapshot["access"])
+            self.provider_table.import_state(snapshot["provider_table"])
+            self.client_table.import_state(snapshot["client_table"])
+            self.chunk_table.import_state(snapshot["chunk_table"])
+            self.ids.import_state(snapshot["ids"])
+            chunk_state: dict[int, _ChunkState] = {}
+            for vid, packed in snapshot["chunk_state"].items():
+                # Accept both the current 8-field tuple and the 7-field
+                # layout from metadata exported before checksum tracking.
+                level, width, k, m, shard_size, orig_len, rotation = packed[:7]
+                checksums = packed[7] if len(packed) > 7 else None
+                chunk_state[int(vid)] = _ChunkState(
+                    stripe=StripeMeta(
+                        level=RaidLevel(level),
+                        width=width,
+                        k=k,
+                        m=m,
+                        shard_size=shard_size,
+                        orig_len=orig_len,
+                    ),
+                    rotation=rotation,
+                    shard_checksums=(
+                        tuple(checksums) if checksums is not None else None
+                    ),
+                )
+            self._chunk_state = chunk_state
 
     def stripe_meta(self, client: str, filename: str, serial: int) -> StripeMeta:
-        ref = self.client_table.get(client).ref_for_chunk(filename, serial)
-        entry = self.chunk_table.get(ref.chunk_index)
-        return self._chunk_state[entry.virtual_id].stripe
+        with self.op_lock:
+            ref = self.client_table.get(client).ref_for_chunk(filename, serial)
+            entry = self.chunk_table.get(ref.chunk_index)
+            return self._chunk_state[entry.virtual_id].stripe

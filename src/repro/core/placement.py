@@ -20,11 +20,15 @@ hold one chunk's RAID shards.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.errors import PlacementError
 from repro.core.privacy import PrivacyLevel
 from repro.providers.registry import ProviderRegistry, RegisteredProvider
 from repro.util.rng import SeedLike, derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.health.monitor import HealthMonitor
 
 
 @dataclass
@@ -62,12 +66,16 @@ class PlacementPolicy:
         registry: ProviderRegistry,
         chunk_level: PrivacyLevel | int,
         include_unavailable: bool = False,
+        health: "HealthMonitor | None" = None,
     ) -> list[RegisteredProvider]:
         """All providers eligible to store a chunk at *chunk_level*.
 
         Providers currently known to be down are excluded (new shards
         should never target a dark provider) unless
-        ``include_unavailable`` is set.
+        ``include_unavailable`` is set.  With a *health* monitor attached,
+        "down" means the monitor's evidence-based DOWN verdict (which
+        covers real disk/socket backends); the simulated-only ``available``
+        flag remains honoured as a fallback signal.
         """
         pl = PrivacyLevel.coerce(chunk_level)
         eligible = registry.eligible(pl)
@@ -86,6 +94,8 @@ class PlacementPolicy:
                 for e in eligible
                 if getattr(e.provider, "available", True)
             ]
+            if health is not None:
+                eligible = [e for e in eligible if health.is_usable(e.name)]
         # Capacity enforcement is coarse (a provider already at its limit
         # stops receiving shards; the shard that crosses the line still
         # lands) -- adequate for steering, not a hard quota.
@@ -100,17 +110,20 @@ class PlacementPolicy:
         chunk_level: PrivacyLevel | int,
         width: int,
         load: dict[str, int] | None = None,
+        health: "HealthMonitor | None" = None,
     ) -> list[str]:
         """Pick ``width`` distinct provider names for one chunk's stripe.
 
         ``load`` maps provider name -> current chunk-shard count and is used
-        for least-loaded tie-breaking inside a cost tier.
+        for least-loaded tie-breaking inside a cost tier.  With a *health*
+        monitor, DOWN providers are excluded and SUSPECT ones (elevated
+        error rate) rank after healthy peers regardless of cost.
         Raises :class:`PlacementError` if fewer than ``width`` providers are
         eligible.
         """
         if width < 1:
             raise ValueError(f"stripe width must be >= 1, got {width}")
-        eligible = self.candidates(registry, chunk_level)
+        eligible = self.candidates(registry, chunk_level, health=health)
         if len(eligible) < width:
             raise PlacementError(
                 f"need {width} providers eligible for PL "
@@ -126,6 +139,10 @@ class PlacementPolicy:
 
         def sort_key(e):
             key = []
+            if health is not None:
+                # Suspect providers (elevated error EWMA) are a last
+                # resort: correctness of future reads beats cost.
+                key.append(1 if health.suspect(e.name) else 0)
             if self.preferred_regions:
                 key.append(self._region_rank(e.region))
             if self.prefer_cheap:
@@ -137,7 +154,10 @@ class PlacementPolicy:
         return [e.name for e in shuffled[:width]]
 
     def max_stripe_width(
-        self, registry: ProviderRegistry, chunk_level: PrivacyLevel | int
+        self,
+        registry: ProviderRegistry,
+        chunk_level: PrivacyLevel | int,
+        health: "HealthMonitor | None" = None,
     ) -> int:
         """Largest stripe width placeable at *chunk_level*."""
-        return len(self.candidates(registry, chunk_level))
+        return len(self.candidates(registry, chunk_level, health=health))

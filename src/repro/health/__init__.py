@@ -1,0 +1,26 @@
+"""Self-healing layer: provider health tracking and background scrubbing.
+
+:class:`HealthMonitor` turns live-traffic outcomes and cheap active probes
+into per-provider HEALTHY / SUSPECT / DOWN verdicts that placement, write
+failover and repair consult; :class:`Scrubber` walks the chunk table on an
+interval and rebuilds missing or rotten shards automatically.
+"""
+
+from repro.health.monitor import (
+    PROBE_KEY,
+    HealthMonitor,
+    HealthState,
+    ProviderHealth,
+    probe_provider,
+)
+from repro.health.scrubber import Scrubber, ScrubReport
+
+__all__ = [
+    "PROBE_KEY",
+    "HealthMonitor",
+    "HealthState",
+    "ProviderHealth",
+    "probe_provider",
+    "Scrubber",
+    "ScrubReport",
+]

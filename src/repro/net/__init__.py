@@ -22,7 +22,7 @@ from repro.net.protocol import (
     send_frame,
 )
 from repro.net.remote import RemoteProvider, RetryPolicy
-from repro.net.server import ChunkServer
+from repro.net.server import ChunkServer, WireFaults
 
 __all__ = [
     "ChunkServer",
@@ -37,6 +37,7 @@ __all__ = [
     "RetryPolicy",
     "Status",
     "VERSION",
+    "WireFaults",
     "encode_frame",
     "recv_frame",
     "send_frame",

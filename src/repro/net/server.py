@@ -18,12 +18,15 @@ from __future__ import annotations
 import logging
 import socket
 import threading
+import time
+from dataclasses import dataclass
 
 from repro.net.protocol import (
     Frame,
     OpCode,
     ProtocolError,
     Status,
+    encode_frame,
     encode_keys,
     encode_stat,
     recv_frame,
@@ -31,8 +34,64 @@ from repro.net.protocol import (
     status_for_error,
 )
 from repro.providers.base import CloudProvider, blob_checksum
+from repro.util.rng import SeedLike, derive_rng
 
 log = logging.getLogger(__name__)
+
+
+@dataclass
+class WireFaults:
+    """Wire-level fault injection for a :class:`ChunkServer`.
+
+    Where :class:`~repro.providers.chaos.ChaosProvider` faults the storage
+    *semantics*, these hooks fault the *transport*: the backend has already
+    executed the request (or not), and the failure happens on the way back
+    to the client -- exactly the ambiguity real networks produce.
+
+    * ``stall_rate`` / ``stall_s`` -- the response is delayed ``stall_s``
+      seconds (exercises client socket timeouts);
+    * ``drop_rate`` -- the connection is closed without answering (the
+      client cannot tell whether the request executed);
+    * ``corrupt_rate`` -- the response frame's CRC field is flipped, so the
+      client detects a damaged frame and must retry.
+
+    Draws are seeded, so a server's fault schedule is reproducible for a
+    fixed request sequence.  Counters record what was injected.
+    """
+
+    stall_rate: float = 0.0
+    stall_s: float = 0.05
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        for attr in ("stall_rate", "drop_rate", "corrupt_rate"):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{attr} must be in [0, 1], got {value}")
+        if self.stall_s < 0:
+            raise ValueError(f"stall_s must be >= 0, got {self.stall_s}")
+        self._rng = derive_rng(self.seed)
+        self._lock = threading.Lock()
+        self.injected: dict[str, int] = {"stall": 0, "drop": 0, "corrupt": 0}
+
+    def draw(self) -> str | None:
+        """Advance the schedule one response; returns the fault to inject."""
+        with self._lock:
+            r_stall = float(self._rng.random())
+            r_drop = float(self._rng.random())
+            r_corrupt = float(self._rng.random())
+            fault = None
+            if r_drop < self.drop_rate:
+                fault = "drop"
+            elif r_corrupt < self.corrupt_rate:
+                fault = "corrupt"
+            elif r_stall < self.stall_rate:
+                fault = "stall"
+            if fault is not None:
+                self.injected[fault] += 1
+            return fault
 
 
 class ChunkServer:
@@ -47,8 +106,10 @@ class ChunkServer:
         backend: CloudProvider,
         host: str = "127.0.0.1",
         port: int = 0,
+        wire_faults: WireFaults | None = None,
     ) -> None:
         self.backend = backend
+        self.wire_faults = wire_faults
         self.host = host
         self._requested_port = port
         self._listener: socket.socket | None = None
@@ -173,7 +234,23 @@ class ChunkServer:
                 if frame is None:
                     return  # clean EOF
                 status, key, payload = self._dispatch(frame)
-                send_frame(conn, status, key=key, payload=payload)
+                fault = (
+                    self.wire_faults.draw()
+                    if self.wire_faults is not None
+                    else None
+                )
+                if fault == "drop":
+                    # The backend already executed the request; the client
+                    # never hears about it (ambiguous-outcome failure).
+                    return
+                if fault == "stall":
+                    time.sleep(self.wire_faults.stall_s)
+                if fault == "corrupt":
+                    raw = bytearray(encode_frame(status, key=key, payload=payload))
+                    raw[10] ^= 0xFF  # flip one CRC byte: detectable damage
+                    conn.sendall(bytes(raw))
+                else:
+                    send_frame(conn, status, key=key, payload=payload)
                 self.requests_served += 1
         except OSError:
             pass  # peer vanished / we are shutting down

@@ -8,6 +8,7 @@ TCCP-style attestation registry.
 from repro.providers.attestation import AttestationRecord, AttestationRegistry
 from repro.providers.base import BlobStat, CloudProvider, blob_checksum
 from repro.providers.billing import DEFAULT_PRICES, SECONDS_PER_MONTH, BillingMeter
+from repro.providers.chaos import ChaosProvider, FaultEvent, FaultPlan
 from repro.providers.disk import DiskProvider
 from repro.providers.failures import FailureInjector, OutageWindow
 from repro.providers.memory import InMemoryProvider
@@ -34,6 +35,9 @@ __all__ = [
     "BlobStat",
     "CloudProvider",
     "blob_checksum",
+    "ChaosProvider",
+    "FaultEvent",
+    "FaultPlan",
     "BillingMeter",
     "DEFAULT_PRICES",
     "SECONDS_PER_MONTH",

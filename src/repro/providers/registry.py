@@ -83,13 +83,26 @@ def provider_from_url(name: str, url: str) -> CloudProvider:
         memory://                   in-process dict store
         disk:///path/to/root        directory-backed store
         remote://host:port          socket client to a chunk server
+        chaos+<inner-url>?params    fault-injecting wrapper over any of them
 
     ``remote://`` is how a fleet file or registry call points the
     distributor at a network chunk server (:mod:`repro.net`).  URL-built
     remotes enable a 5 s circuit breaker: fleet files describe long-lived
     deployments, and a dead node should cost one retry budget per run,
     not one per chunk.
+
+    ``chaos+`` composes: ``chaos+memory://?seed=7&error_rate=0.05`` or
+    ``chaos+remote://host:port?latency_rate=0.2&latency_s=0.05`` wrap the
+    inner backend in a :class:`~repro.providers.chaos.ChaosProvider` with a
+    seeded deterministic fault plan (see
+    :func:`repro.providers.chaos.plan_from_query` for the parameter names).
     """
+    if url.startswith("chaos+"):
+        from repro.providers.chaos import ChaosProvider, plan_from_query
+
+        inner_url, _, query = url[len("chaos+") :].partition("?")
+        plan, seed = plan_from_query(query)
+        return ChaosProvider(provider_from_url(name, inner_url), plan, seed=seed)
     scheme, sep, rest = url.partition("://")
     if not sep:
         raise ValueError(f"not a provider URL (missing '://'): {url!r}")

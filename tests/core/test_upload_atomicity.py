@@ -50,24 +50,47 @@ def test_upload_fails_cleanly_when_too_few_up():
         d.get_file("C", "pw", "f")
 
 
-def test_mid_upload_failure_rolls_back_whole_file():
-    registry, providers, injector, d = make_world()
-
-    # Sabotage: a provider that dies after its first successful put.
-    class DieAfterFirstPut:
-        def __init__(self, victim):
-            self.victim = victim
-            self.puts = 0
-
-        def __call__(self, key, data):
-            self.puts += 1
-            if self.puts > 1:
-                self.victim.set_available(False)
-            return original_put(key, data)
-
-    victim = providers[0]
+def sabotage_after_first_put(victim):
+    """Make *victim* die right after its first successful put."""
     original_put = victim.put
-    victim.put = DieAfterFirstPut(victim)  # type: ignore[method-assign]
+    state = {"puts": 0}
+
+    def put(key, data):
+        state["puts"] += 1
+        if state["puts"] > 1:
+            victim.set_available(False)
+        return original_put(key, data)
+
+    victim.put = put  # type: ignore[method-assign]
+    return original_put
+
+
+def test_mid_upload_failure_fails_over_to_spare_provider():
+    # A member dying mid-upload no longer aborts the file: its later
+    # shards are re-placed on the spare providers (n=6 > width=4).
+    registry, providers, injector, d = make_world()
+    victim = providers[0]
+    sabotage_after_first_put(victim)
+
+    payload = os.urandom(8192)
+    d.upload_file("C", "pw", "f", payload, PrivacyLevel.PRIVATE)
+    assert d.get_file("C", "pw", "f") == payload
+
+    # Bookkeeping is consistent: every recorded shard key actually exists
+    # at a live provider or is repairable; nothing doubled up.
+    for _, entry in d.chunk_table:
+        assert len(set(entry.provider_indices)) == len(entry.provider_indices)
+
+
+def test_mid_upload_failure_rolls_back_whole_file():
+    # With zero spare providers (n = width = 4) failover has nowhere to
+    # go, so dropping below k survivors kills the upload atomically:
+    # two of the four members dying leaves 2 < k=3 shards placeable.
+    registry, providers, injector, d = make_world(n=4)
+    original_puts = [
+        sabotage_after_first_put(providers[0]),
+        sabotage_after_first_put(providers[1]),
+    ]
 
     with pytest.raises(Exception):
         d.upload_file("C", "pw", "f", os.urandom(8192), PrivacyLevel.PRIVATE)
@@ -81,9 +104,10 @@ def test_mid_upload_failure_rolls_back_whole_file():
         if p.available:
             assert p.backend.object_count == 0
 
-    # Recovery: once the provider is back, the same upload succeeds.
-    victim.put = original_put  # type: ignore[method-assign]
-    injector.bring_up("P0")
+    # Recovery: once the providers are back, the same upload succeeds.
+    for p, put in zip(providers[:2], original_puts):
+        p.put = put  # type: ignore[method-assign]
+        injector.bring_up(p.name)
     payload = os.urandom(8192)
     d.upload_file("C", "pw", "f", payload, PrivacyLevel.PRIVATE)
     assert d.get_file("C", "pw", "f") == payload

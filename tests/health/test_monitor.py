@@ -1,0 +1,164 @@
+"""HealthMonitor verdicts: passive EWMA/consecutive-failure evidence plus
+active probes, and the DOWN -> probe -> recovery loop."""
+
+import pytest
+
+from repro.core.errors import BlobNotFoundError
+from repro.health.monitor import (
+    PROBE_KEY,
+    HealthMonitor,
+    HealthState,
+    probe_provider,
+)
+from repro.net.remote import RemoteProvider, RetryPolicy
+from repro.net.server import ChunkServer
+from repro.providers.memory import InMemoryProvider
+from repro.providers.registry import ProviderRegistry
+from repro.providers.simulated import SimulatedProvider
+from repro.util.clock import SimulatedClock
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def make_registry(n=3):
+    registry = ProviderRegistry()
+    for i in range(n):
+        registry.register(InMemoryProvider(f"P{i}"), 3, 0)
+    return registry
+
+
+def make_monitor(n=3, **kwargs):
+    clock = FakeClock()
+    registry = make_registry(n)
+    kwargs.setdefault("time_fn", clock)
+    return HealthMonitor(registry, **kwargs), registry, clock
+
+
+def test_unknown_provider_defaults_healthy():
+    monitor, _, _ = make_monitor()
+    assert monitor.state("P0") is HealthState.HEALTHY
+    assert monitor.is_usable("P0")
+
+
+def test_consecutive_transport_failures_mark_down():
+    monitor, _, _ = make_monitor(down_after=3)
+    for _ in range(2):
+        monitor.record_failure("P0")
+    assert monitor.state("P0") is not HealthState.DOWN
+    monitor.record_failure("P0")
+    assert monitor.down("P0")
+
+
+def test_success_resets_consecutive_count():
+    monitor, _, _ = make_monitor(down_after=3)
+    monitor.record_failure("P0")
+    monitor.record_failure("P0")
+    monitor.record_success("P0")
+    monitor.record_failure("P0")
+    monitor.record_failure("P0")
+    assert not monitor.down("P0")
+
+
+def test_application_failures_never_mark_down():
+    # Missing/corrupt blobs prove the provider is answering; only
+    # transport failures can take it DOWN.
+    monitor, _, _ = make_monitor(down_after=2)
+    for _ in range(10):
+        monitor.record_failure("P0", transport=False)
+    assert monitor.state("P0") is HealthState.SUSPECT  # elevated EWMA
+    assert not monitor.down("P0")
+
+
+def test_elevated_error_rate_turns_suspect_then_recovers():
+    monitor, _, _ = make_monitor(ewma_alpha=0.5, suspect_threshold=0.5)
+    monitor.record_failure("P0", transport=False)
+    monitor.record_failure("P0", transport=False)
+    assert monitor.suspect("P0")
+    for _ in range(6):
+        monitor.record_success("P0")
+    assert monitor.healthy("P0")
+
+
+def test_down_provider_reprobed_and_readmitted():
+    monitor, registry, clock = make_monitor(down_after=1, probe_min_interval=5.0)
+    monitor.record_failure("P0")
+    assert monitor.down("P0")
+    # First usability check probes (memory backend answers head) and the
+    # provider is readmitted immediately.
+    assert monitor.is_usable("P0")
+    assert not monitor.down("P0")
+
+
+def test_probe_rate_limit_caches_failed_verdict():
+    registry = ProviderRegistry()
+    clock = SimulatedClock()
+    sim = SimulatedProvider(InMemoryProvider("S"), clock=clock, seed=1)
+    registry.register(sim, 3, 0)
+    fake = FakeClock()
+    monitor = HealthMonitor(
+        registry, down_after=1, probe_min_interval=10.0, time_fn=fake
+    )
+    sim.set_available(False)
+    monitor.record_failure("S")
+    assert not monitor.is_usable("S")  # probe ran, saw it down
+    sim.set_available(True)
+    # Inside the rate-limit window the cached DOWN verdict stands...
+    assert not monitor.is_usable("S")
+    # ...and after it expires a fresh probe readmits the provider.
+    fake.t += 11.0
+    assert monitor.is_usable("S")
+
+
+def test_probe_all_reports_every_provider():
+    monitor, registry, _ = make_monitor(n=4)
+    results = monitor.probe_all()
+    assert set(results) == set(registry.names())
+    assert all(results.values())
+
+
+def test_report_rows_cover_fleet():
+    monitor, registry, _ = make_monitor(n=3)
+    monitor.record_failure("P1")
+    rows = monitor.report_rows()
+    assert len(rows) == 3
+    states = {row[0]: row[1] for row in rows}
+    assert states["P0"] == "healthy"
+
+
+def test_probe_provider_simulated_flag():
+    clock = SimulatedClock()
+    sim = SimulatedProvider(InMemoryProvider("S"), clock=clock, seed=1)
+    assert probe_provider(sim)
+    sim.set_available(False)
+    assert not probe_provider(sim)
+
+
+def test_probe_provider_memory_head_missing_key_is_success():
+    provider = InMemoryProvider("M")
+    with pytest.raises(BlobNotFoundError):
+        provider.head(PROBE_KEY)
+    assert probe_provider(provider)
+
+
+def test_probe_provider_remote_ping_and_dead_server():
+    inner = InMemoryProvider("R")
+    server = ChunkServer(inner)
+    server.start()
+    provider = RemoteProvider(
+        "R", server.host, server.port,
+        retry=RetryPolicy(attempts=1, base_delay=0.01),
+        connect_timeout=0.2, op_timeout=0.5,
+    )
+    try:
+        assert probe_provider(provider)
+        server.stop()
+        assert not probe_provider(provider)
+    finally:
+        provider.close()
+        server.stop()

@@ -1,0 +1,144 @@
+"""ChaosProvider: deterministic seeded fault schedules over any backend."""
+
+import pytest
+
+from repro.core.errors import BlobCorruptedError, ProviderUnavailableError
+from repro.providers.chaos import ChaosProvider, FaultPlan, plan_from_query
+from repro.providers.memory import InMemoryProvider
+from repro.providers.registry import provider_from_url
+
+
+def run_script(provider):
+    """A fixed op sequence; returns the observed outcome per op."""
+    outcomes = []
+    for i in range(40):
+        key = f"k{i % 5}"
+        try:
+            if i % 3 == 0:
+                provider.put(key, bytes([i]) * 16)
+                outcomes.append(("put", key, "ok"))
+            elif i % 3 == 1:
+                data = provider.get(key)
+                outcomes.append(("get", key, data.hex()))
+            else:
+                provider.head(key)
+                outcomes.append(("head", key, "ok"))
+        except Exception as exc:  # noqa: BLE001 - outcome capture
+            outcomes.append((None, key, type(exc).__name__))
+    return outcomes
+
+
+def test_quiet_plan_is_transparent():
+    inner = InMemoryProvider("c")
+    chaos = ChaosProvider(inner, seed=7)
+    chaos.put("k", b"payload")
+    assert chaos.get("k") == b"payload"
+    assert chaos.head("k").size == 7
+    assert chaos.keys() == ["k"]
+    chaos.delete("k")
+    assert not chaos.contains("k")
+    assert chaos.fault_log == []
+
+
+def test_same_seed_same_fault_schedule():
+    plan = FaultPlan(error_rate=0.2, corrupt_rate=0.2, silent_corrupt_rate=0.1)
+    a = ChaosProvider(InMemoryProvider("c"), plan, seed=42)
+    b = ChaosProvider(InMemoryProvider("c"), plan, seed=42)
+    assert run_script(a) == run_script(b)
+    assert a.fault_log == b.fault_log
+    assert a.fault_summary() == b.fault_summary()
+    assert a.fault_summary()  # the rates above must inject something
+
+
+def test_different_seed_different_schedule():
+    plan = FaultPlan(error_rate=0.3)
+    a = ChaosProvider(InMemoryProvider("c"), plan, seed=1)
+    b = ChaosProvider(InMemoryProvider("c"), plan, seed=2)
+    assert run_script(a) != run_script(b)
+
+
+def test_disable_suppresses_faults_but_advances_schedule():
+    plan = FaultPlan(error_rate=1.0)
+    chaos = ChaosProvider(InMemoryProvider("c"), plan, seed=3)
+    chaos.disable()
+    chaos.put("k", b"x")  # would fail if enabled
+    assert chaos.get("k") == b"x"
+    assert chaos.op_index == 2
+    chaos.enable()
+    with pytest.raises(ProviderUnavailableError):
+        chaos.get("k")
+
+
+def test_blackout_window_follows_op_index():
+    plan = FaultPlan(blackout_every=4, blackout_ops=2)
+    inner = InMemoryProvider("c")
+    inner.put("k", b"x")  # seed the backend without advancing the schedule
+    chaos = ChaosProvider(inner, plan, seed=4)
+    results = []
+    for i in range(8):
+        try:
+            chaos.head("k")
+            results.append(True)
+        except ProviderUnavailableError:
+            results.append(False)
+    assert results == [False, False, True, True, False, False, True, True]
+
+
+def test_partial_write_stores_then_raises():
+    plan = FaultPlan(partial_write_rate=1.0)
+    inner = InMemoryProvider("c")
+    chaos = ChaosProvider(inner, plan, seed=5)
+    with pytest.raises(ProviderUnavailableError):
+        chaos.put("torn", b"bytes")
+    assert inner.get("torn") == b"bytes"  # the object landed anyway
+
+
+def test_detected_corruption_raises():
+    plan = FaultPlan(corrupt_rate=1.0)
+    chaos = ChaosProvider(InMemoryProvider("c"), plan, seed=6)
+    chaos.disable()
+    chaos.put("k", b"x")
+    chaos.enable()
+    with pytest.raises(BlobCorruptedError):
+        chaos.get("k")
+
+
+def test_silent_corruption_flips_bytes_without_error():
+    plan = FaultPlan(silent_corrupt_rate=1.0)
+    inner = InMemoryProvider("c")
+    chaos = ChaosProvider(inner, plan, seed=7)
+    chaos.disable()
+    chaos.put("k", b"\x00payload")
+    chaos.enable()
+    data = chaos.get("k")
+    assert data != b"\x00payload"
+    assert data[1:] == b"payload"
+    assert inner.get("k") == b"\x00payload"  # at-rest copy untouched
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        FaultPlan(error_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(latency_s=-1)
+    with pytest.raises(ValueError):
+        FaultPlan(blackout_every=2, blackout_ops=3)
+    assert FaultPlan().quiet
+    assert not FaultPlan(error_rate=0.1).quiet
+
+
+def test_chaos_url_scheme_builds_wrapped_provider():
+    provider = provider_from_url(
+        "c", "chaos+memory://?seed=9&error_rate=0.25&blackout_every=10&blackout_ops=2"
+    )
+    assert isinstance(provider, ChaosProvider)
+    assert isinstance(provider.inner, InMemoryProvider)
+    assert provider.plan.error_rate == 0.25
+    assert provider.plan.blackout_every == 10
+
+
+def test_chaos_url_rejects_unknown_params():
+    with pytest.raises(ValueError):
+        plan_from_query("error_rate=0.1&bogus=1")
+    with pytest.raises(ValueError):
+        plan_from_query("malformed")

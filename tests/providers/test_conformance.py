@@ -15,12 +15,13 @@ from repro.core.errors import BlobCorruptedError, BlobNotFoundError
 from repro.net.remote import RemoteProvider, RetryPolicy
 from repro.net.server import ChunkServer
 from repro.providers.base import blob_checksum
+from repro.providers.chaos import ChaosProvider
 from repro.providers.disk import DiskProvider
 from repro.providers.memory import InMemoryProvider
 from repro.providers.simulated import SimulatedProvider
 from repro.util.clock import SimulatedClock
 
-BACKENDS = ["memory", "disk", "simulated", "remote"]
+BACKENDS = ["memory", "disk", "simulated", "remote", "chaos"]
 
 
 @pytest.fixture(params=BACKENDS)
@@ -47,6 +48,11 @@ def conformant(request, tmp_path):
     elif request.param == "simulated":
         inner = InMemoryProvider("conf")
         provider = SimulatedProvider(inner, clock=SimulatedClock(), seed=5)
+        yield provider, inner.corrupt_blob
+    elif request.param == "chaos":
+        # A quiet fault plan: the wrapper must be bit-for-bit transparent.
+        inner = InMemoryProvider("conf")
+        provider = ChaosProvider(inner, seed=5)
         yield provider, inner.corrupt_blob
     else:
         inner = InMemoryProvider("conf")
