@@ -1,6 +1,6 @@
 # Convenience targets; see README.md for details.
 
-.PHONY: install test bench examples reproduce clean
+.PHONY: install test bench bench-pipeline examples reproduce clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,11 @@ test:
 
 bench:
 	PYTHONPATH=src pytest benchmarks/ --benchmark-only
+
+# The pipelined-data-path gate: regenerates BENCH_pipeline.json and fails
+# if the batched path does not beat the chunk-serial path >= 3x.
+bench-pipeline:
+	PYTHONPATH=src pytest benchmarks/test_pipeline_throughput.py --benchmark-only
 
 examples:
 	for f in examples/*.py; do python $$f > /dev/null || exit 1; echo "ok $$f"; done

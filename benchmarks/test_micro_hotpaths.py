@@ -66,6 +66,24 @@ def test_bench_misleading_roundtrip(benchmark):
     assert benchmark(roundtrip) == data
 
 
+def test_bench_misleading_remove_fast_path(benchmark):
+    # The read-path strip: a single fancy-index delete over trusted
+    # Chunk Table positions (the validating path re-checks them per call).
+    data = PAYLOAD[: 256 * 1024]
+    injected = inject(data, 0.2, rng=1)
+
+    result = benchmark(remove, injected.stored, injected.positions)
+    assert result == data
+
+
+def test_bench_stream_keystream(benchmark):
+    from repro.crypto.stream import StreamCipher
+
+    cipher = StreamCipher(b"bench-key")
+    out = benchmark(cipher.keystream, 256 * 1024)
+    assert len(out) == 256 * 1024
+
+
 def test_bench_linkage_200_points(benchmark):
     points = np.random.default_rng(1).normal(size=(200, 6))
     merges = benchmark(linkage, points, "average")

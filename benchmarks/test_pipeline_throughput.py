@@ -1,0 +1,205 @@
+"""Pipeline bench: the batched data path against the chunk-serial path.
+
+Round-trips PL-2 files through a 4-node socket cluster (plain in-memory
+backends -- the cost under measurement is wire round-trips, framing and
+syscalls, not storage) with the pipelined data path on and off, at RAID-5
+and RAID-6, single-client and four concurrent clients.  Writes machine-
+readable throughput numbers to ``BENCH_pipeline.json`` at the repo root.
+
+The gate: pipelined single-file upload at RAID-5 must beat the
+chunk-serial path by >= 3x.  At the PL-2 chunk size (4 KiB) a 2 MiB file
+is 512 chunks x 4 shards = 2048 sequential round-trips, versus one
+MULTI_PUT frame per provider on the pipelined path -- the margin is
+structural, not a timing accident.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the file sizes so CI can exercise the
+harness in seconds; the speedup assertion is skipped there (tiny files
+measure fixed overheads, not the data path).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.core.distributor import CloudDataDistributor
+from repro.core.privacy import PrivacyLevel
+from repro.net.cluster import LocalCluster
+from repro.net.remote import RetryPolicy
+from repro.raid.striping import RaidLevel
+from repro.util.tables import render_table
+from repro.util.units import format_bytes
+
+NODES = 4
+LEVEL = PrivacyLevel.MODERATE  # PL-2: 4 KiB chunks from the default policy
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+FILE_SIZE = 64 * 1024 if SMOKE else 2 * 1024 * 1024
+CONCURRENT_CLIENTS = 4
+MIN_UPLOAD_SPEEDUP = 3.0
+# Best-of-N timing per configuration: a loaded machine adds noise on top
+# of both paths, and the gate should measure the structural win (round-
+# trip count), not one sample's scheduling luck.
+ROUNDS = 1 if SMOKE else 3
+
+OUTPUT = Path(__file__).parent.parent / "BENCH_pipeline.json"
+
+
+def _make_distributor(cluster: LocalCluster) -> CloudDataDistributor:
+    d = CloudDataDistributor(cluster.build_registry(), seed=29)
+    for i in range(CONCURRENT_CLIENTS):
+        d.register_client(f"c{i}")
+        d.add_password(f"c{i}", "pw", LEVEL)
+    return d
+
+
+def _mbps(nbytes: int, seconds: float) -> float:
+    return nbytes / (1024 * 1024) / max(seconds, 1e-9)
+
+
+def _single_file(cluster, raid: RaidLevel, pipelined: bool) -> dict:
+    d = _make_distributor(cluster)
+    data = os.urandom(FILE_SIZE)
+    upload_s = download_s = float("inf")
+    try:
+        for round_no in range(ROUNDS):
+            name = f"bench{round_no}.bin"
+            started = time.perf_counter()
+            d.upload_file("c0", "pw", name, data, LEVEL,
+                          raid_level=raid, pipelined=pipelined)
+            upload_s = min(upload_s, time.perf_counter() - started)
+
+            started = time.perf_counter()
+            retrieved = d.get_file("c0", "pw", name, pipelined=pipelined)
+            download_s = min(download_s, time.perf_counter() - started)
+            assert retrieved == data
+            d.remove_file("c0", "pw", name)
+    finally:
+        d.close()
+    return {
+        "upload_mbps": round(_mbps(FILE_SIZE, upload_s), 2),
+        "download_mbps": round(_mbps(FILE_SIZE, download_s), 2),
+        "upload_s": round(upload_s, 4),
+        "download_s": round(download_s, 4),
+    }
+
+
+def _concurrent_clients(cluster, raid: RaidLevel, pipelined: bool) -> dict:
+    d = _make_distributor(cluster)
+    per_client = FILE_SIZE // CONCURRENT_CLIENTS
+    payloads = {f"c{i}": os.urandom(per_client)
+                for i in range(CONCURRENT_CLIENTS)}
+    errors: list[Exception] = []
+
+    def run(phase: str) -> float:
+        def work(client: str) -> None:
+            try:
+                if phase == "upload":
+                    d.upload_file(client, "pw", "f.bin", payloads[client],
+                                  LEVEL, raid_level=raid, pipelined=pipelined)
+                else:
+                    got = d.get_file(client, "pw", "f.bin",
+                                     pipelined=pipelined)
+                    assert got == payloads[client]
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(c,)) for c in payloads]
+        started = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return time.perf_counter() - started
+
+    try:
+        upload_s = run("upload")
+        download_s = run("download")
+    finally:
+        d.close()
+    if errors:
+        raise errors[0]
+    total = per_client * CONCURRENT_CLIENTS
+    return {
+        "upload_mbps": round(_mbps(total, upload_s), 2),
+        "download_mbps": round(_mbps(total, download_s), 2),
+    }
+
+
+def run_bench() -> dict:
+    results: dict = {
+        "config": {
+            "nodes": NODES,
+            "file_size": FILE_SIZE,
+            "privacy_level": int(LEVEL),
+            "concurrent_clients": CONCURRENT_CLIENTS,
+            "smoke": SMOKE,
+        },
+    }
+    for raid in (RaidLevel.RAID5, RaidLevel.RAID6):
+        raid_key = raid.name.lower()
+        results[raid_key] = {}
+        for label, pipelined in (("sequential", False), ("pipelined", True)):
+            with LocalCluster(
+                NODES, retry=RetryPolicy(attempts=2, base_delay=0.01)
+            ) as cluster:
+                single = _single_file(cluster, raid, pipelined)
+                multi = _concurrent_clients(cluster, raid, pipelined)
+            results[raid_key][label] = {
+                "single_file": single,
+                "concurrent": multi,
+            }
+        seq = results[raid_key]["sequential"]["single_file"]
+        pip = results[raid_key]["pipelined"]["single_file"]
+        results[raid_key]["upload_speedup"] = round(
+            pip["upload_mbps"] / max(seq["upload_mbps"], 1e-9), 2
+        )
+        results[raid_key]["download_speedup"] = round(
+            pip["download_mbps"] / max(seq["download_mbps"], 1e-9), 2
+        )
+    return results
+
+
+def test_pipeline_throughput(benchmark, save_result):
+    results = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+
+    rows = []
+    for raid_key in ("raid5", "raid6"):
+        for label in ("sequential", "pipelined"):
+            entry = results[raid_key][label]
+            rows.append([
+                raid_key,
+                label,
+                f"{entry['single_file']['upload_mbps']:.1f}",
+                f"{entry['single_file']['download_mbps']:.1f}",
+                f"{entry['concurrent']['upload_mbps']:.1f}",
+                f"{entry['concurrent']['download_mbps']:.1f}",
+            ])
+        rows.append([
+            raid_key, "speedup",
+            f"{results[raid_key]['upload_speedup']:.1f}x",
+            f"{results[raid_key]['download_speedup']:.1f}x",
+            "", "",
+        ])
+    table = render_table(
+        ["raid", "path", "up MB/s", "down MB/s", "4-client up", "4-client down"],
+        rows,
+        title=(
+            f"NET: PIPELINED DATA PATH ({format_bytes(FILE_SIZE)} PL-2 file, "
+            f"{NODES} socket providers)"
+        ),
+    )
+    save_result("pipeline_throughput", table)
+
+    if not SMOKE:
+        # The benchmark gate: batching + chunk-level parallelism must
+        # repay at least 3x on the sequential round-trip count.
+        assert results["raid5"]["upload_speedup"] >= MIN_UPLOAD_SPEEDUP, (
+            f"pipelined upload speedup {results['raid5']['upload_speedup']}x "
+            f"below the {MIN_UPLOAD_SPEEDUP}x gate"
+        )
+        # Downloads must not regress.
+        assert results["raid5"]["download_speedup"] >= 1.0

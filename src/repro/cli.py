@@ -131,6 +131,7 @@ def _put(args) -> int:
     receipt = distributor.upload_file(
         args.client, args.password, filename, data, level,
         misleading_fraction=args.misleading,
+        pipelined=not args.no_pipeline,
     )
     _commit(distributor, meta)
     print(
@@ -143,7 +144,10 @@ def _put(args) -> int:
 
 def _get(args) -> int:
     distributor, _ = _open(args)
-    data = distributor.get_file(args.client, args.password, args.filename)
+    data = distributor.get_file(
+        args.client, args.password, args.filename,
+        pipelined=not args.no_pipeline,
+    )
     out = Path(args.output) if args.output else Path(args.filename)
     out.write_bytes(data)
     print(f"retrieved {format_bytes(len(data))} -> {out}")
@@ -349,6 +353,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="misleading-byte fraction (Section VII-D)")
     p.add_argument("--strict", action="store_true",
                    help="refuse upload if content looks more sensitive than --level")
+    p.add_argument("--no-pipeline", action="store_true",
+                   help="use the historical chunk-serial data path")
     p.set_defaults(func=_put)
 
     p = with_state(sub.add_parser("get", help="reassemble a file"))
@@ -356,6 +362,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("password")
     p.add_argument("filename")
     p.add_argument("-o", "--output")
+    p.add_argument("--no-pipeline", action="store_true",
+                   help="use the historical chunk-serial data path")
     p.set_defaults(func=_get)
 
     p = with_state(sub.add_parser("rm", help="remove a file from all providers"))

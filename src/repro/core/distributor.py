@@ -97,6 +97,41 @@ class _ChunkState:
     shard_checksums: tuple[str, ...] | None = None
 
 
+@dataclass
+class _ChunkPlan:
+    """One chunk's placement decision, staged before any bytes move.
+
+    The pipelined upload path makes every placement decision (and rng
+    draw) inside the critical section, in the same order the historical
+    chunk-serial loop did, then transfers all plans lock-free.  ``failed``
+    collects shard indices whose put did not land anywhere; ``assigned``
+    is updated in place by write-path failover.
+    """
+
+    serial: int
+    level: PrivacyLevel
+    vid: int
+    stripe: StripeMeta
+    shards: list[bytes]
+    assigned: list[str]
+    positions: tuple[int, ...]
+    failed: list[int] = field(default_factory=list)
+    first_error: ProviderError | None = None
+
+
+@dataclass
+class _FetchJob:
+    """One chunk's retrieval state for the pipelined read path."""
+
+    serial: int
+    entry: ChunkEntry
+    state: _ChunkState
+    names: list[str]
+    cached: bytes | None = None
+    prefetched: dict = field(default_factory=dict)
+    # shard_index -> bytes | ProviderError (filled by the batched phase)
+
+
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
@@ -116,6 +151,7 @@ class CloudDataDistributor:
         cache: "ChunkCache | None" = None,
         max_transport_workers: int | None = None,
         health: "HealthMonitor | None" = None,
+        pipelined: bool = True,
     ) -> None:
         seeds = spawn_seeds(seed, 3)
         self.audit = audit
@@ -146,6 +182,13 @@ class CloudDataDistributor:
             )
         self.max_transport_workers = max_transport_workers
         self._transport_pool: ThreadPoolExecutor | None = None
+        # Default for the per-call ``pipelined`` switch on upload_file /
+        # get_file; False restores the historical chunk-serial data path
+        # (the benchmark gate measures both against the same fleet).
+        self.pipelined = pipelined
+        # Filenames with an upload in flight per client: the duplicate-name
+        # check must hold across the lock-free transfer phase.
+        self._inflight_uploads: dict[str, set[str]] = {}
 
         for entry in registry.all():
             self.provider_table.add(
@@ -224,6 +267,37 @@ class CloudDataDistributor:
             raise
         self._record_health(name, ok=True)
         return data
+
+    def _provider_put_many(
+        self, name: str, items: list[tuple[str, bytes]]
+    ) -> list[ProviderError | None]:
+        """Batched put with per-item health accounting.
+
+        A transport-level batch failure (the provider raised instead of
+        answering per item) condemns every item -- each failed shard is a
+        real failed store, so each feeds the monitor, exactly as the
+        equivalent run of individual puts would have.
+        """
+        try:
+            outcomes = self.registry.get(name).provider.put_many(items)
+        except ProviderError as exc:
+            outcomes = [exc] * len(items)
+        for exc in outcomes:
+            self._record_health(name, ok=exc is None, exc=exc)
+        return outcomes
+
+    def _provider_get_many(
+        self, name: str, keys: list[str]
+    ) -> list["bytes | ProviderError"]:
+        """Batched get with per-item health accounting."""
+        try:
+            outcomes = self.registry.get(name).provider.get_many(keys)
+        except ProviderError as exc:
+            outcomes = [exc] * len(keys)
+        for outcome in outcomes:
+            ok = not isinstance(outcome, ProviderError)
+            self._record_health(name, ok=ok, exc=None if ok else outcome)
+        return outcomes
 
     def _provider_usable(self, name: str) -> bool:
         """Is *name* currently a sane target for new shard bytes?
@@ -355,6 +429,181 @@ class CloudDataDistributor:
         # attacker) but cap so huge fleets don't shred tiny chunks.
         return max(raid.min_width, min(available, 4))
 
+    def _plan_chunk(
+        self,
+        payload: bytes,
+        level: PrivacyLevel,
+        serial: int,
+        raid: RaidLevel,
+        width: int,
+        misleading_fraction: float,
+        load: dict[str, int],
+    ) -> _ChunkPlan:
+        """Encode and place one chunk without moving any bytes.
+
+        Must run inside the critical section: it consumes rng draws
+        (misleading injection, placement) and allocates a virtual id, in
+        exactly the order the chunk-serial loop did, so a fault-free
+        pipelined upload lands byte-identical placement and tables.
+        *load* is the caller's view of per-provider shard counts --
+        pipelined planning passes a working copy it advances per plan,
+        reproducing the loads the serial path would have observed.
+        """
+        positions: tuple[int, ...] = ()
+        stored = payload
+        if misleading_fraction > 0:
+            result = inject(payload, misleading_fraction, rng=self._rng)
+            stored, positions = result.stored, result.positions
+
+        meta, shards = encode_stripe(stored, raid, width)
+        group = self.placement.stripe_group(
+            self.registry, level, width, load=load, health=self.health,
+        )
+        vid = self.ids.allocate()
+        # Rotate the shard->provider assignment by serial so parity cycles
+        # around the group, RAID-5 style.
+        assigned = group[serial % width :] + group[: serial % width]
+        return _ChunkPlan(
+            serial=serial,
+            level=level,
+            vid=vid,
+            stripe=meta,
+            shards=shards,
+            assigned=assigned,
+            positions=positions,
+        )
+
+    def _transfer_plan(self, plan: _ChunkPlan) -> None:
+        """Upload one plan's shards, one wire request per shard.
+
+        This is the historical (non-batched) wire behaviour, kept for the
+        ``pipelined=False`` compatibility path and measured against the
+        batched path by the throughput benchmark.
+        """
+
+        def put_shard(assignment: tuple[int, str]) -> None:
+            shard_index, provider_name = assignment
+            self._provider_put(
+                provider_name,
+                shard_key(plan.vid, shard_index),
+                plan.shards[shard_index],
+            )
+
+        # Fan the shard uploads out across the stripe's providers (each
+        # worker talks to a distinct provider); table bookkeeping stays on
+        # this thread.  Every shard is attempted even when one fails, so
+        # failover sees the full damage at once.
+        outcomes = self._transport_map(
+            put_shard, list(enumerate(plan.assigned)), stop_on_error=False
+        )
+        plan.first_error = next(
+            (exc for _, exc in outcomes if exc is not None), None
+        )
+        plan.failed = [i for i, (_, exc) in enumerate(outcomes) if exc is not None]
+
+    def _transfer_plans(self, plans: list[_ChunkPlan]) -> None:
+        """Upload many plans' shards, one batched request per provider.
+
+        All shards bound for one provider across the whole upload window
+        coalesce into a single MULTI_PUT round-trip (or a per-item loop on
+        backends without a wire), and the per-provider batches fan out
+        concurrently over the transport executor -- chunk-level and
+        shard-level parallelism at once, with no per-chunk barrier.
+        """
+        by_provider: dict[str, list[tuple[_ChunkPlan, int]]] = {}
+        for plan in plans:
+            for shard_index, name in enumerate(plan.assigned):
+                by_provider.setdefault(name, []).append((plan, shard_index))
+
+        groups = list(by_provider.items())
+
+        def put_batch(
+            group: tuple[str, list[tuple[_ChunkPlan, int]]]
+        ) -> list[ProviderError | None]:
+            name, members = group
+            items = [
+                (shard_key(plan.vid, shard_index), plan.shards[shard_index])
+                for plan, shard_index in members
+            ]
+            return self._provider_put_many(name, items)
+
+        outcomes = self._transport_map(put_batch, groups, stop_on_error=False)
+        for (name, members), (per_item, exc) in zip(groups, outcomes):
+            if exc is not None:
+                per_item = [exc] * len(members)
+            for (plan, shard_index), item_exc in zip(members, per_item):
+                if item_exc is not None:
+                    plan.failed.append(shard_index)
+                    if plan.first_error is None:
+                        plan.first_error = item_exc
+        for plan in plans:
+            plan.failed.sort()
+
+    def _recover_plan(self, plan: _ChunkPlan) -> bool:
+        """Failover a plan's failed shards; returns True if the chunk is lost.
+
+        The terminal case -- fewer than k shards landed anywhere -- is
+        reported, not raised: the caller decides the rollback scope (the
+        single chunk on the legacy path, the whole upload window on the
+        pipelined path).
+        """
+        if plan.failed:
+            # Write-path failover: re-place only the failed shards on
+            # alternate healthy eligible providers instead of aborting the
+            # whole chunk.
+            plan.failed = self._failover_shards(
+                plan.vid, plan.level, plan.shards, plan.assigned, plan.failed
+            )
+        return bool(plan.failed) and (
+            len(plan.assigned) - len(plan.failed) < plan.stripe.k
+        )
+
+    def _rollback_plan(self, plan: _ChunkPlan) -> None:
+        """Best-effort removal of a plan's fleet footprint; frees its id.
+
+        Safe to call lock-free (the pipelined abort path does): only the
+        id allocator touch re-enters the critical section.
+        """
+        for shard_index, name in enumerate(plan.assigned):
+            with contextlib.suppress(ProviderError):
+                self.registry.get(name).provider.delete(
+                    shard_key(plan.vid, shard_index)
+                )
+        with self.op_lock:
+            self.ids.release(plan.vid)
+
+    def _commit_plan(self, plan: _ChunkPlan) -> int:
+        """Record a transferred plan in the tables; returns its chunk index.
+
+        Must run inside the critical section.
+        """
+        provider_indices: list[int] = []
+        for shard_index, provider_name in enumerate(plan.assigned):
+            table_index = self.provider_table.index_of(provider_name)
+            # Failed-but-accepted shards are recorded too: the table is
+            # the scrubber's work list, and the next scrub cycle rebuilds
+            # them from the >= k members that did land.
+            self.provider_table.record_store(
+                table_index, shard_key(plan.vid, shard_index)
+            )
+            provider_indices.append(table_index)
+
+        chunk_index = self.chunk_table.add(
+            ChunkEntry(
+                virtual_id=plan.vid,
+                privacy_level=plan.level,
+                provider_indices=provider_indices,
+                snapshot_index=None,
+                misleading_positions=plan.positions,
+            )
+        )
+        self._chunk_state[plan.vid] = _ChunkState(
+            stripe=plan.stripe,
+            rotation=plan.serial % plan.stripe.width,
+            shard_checksums=tuple(blob_checksum(s) for s in plan.shards),
+        )
+        return chunk_index
+
     def _store_chunk(
         self,
         payload: bytes,
@@ -365,80 +614,15 @@ class CloudDataDistributor:
         misleading_fraction: float,
     ) -> int:
         """Encode, place and upload one chunk; returns its chunk-table index."""
-        positions: tuple[int, ...] = ()
-        stored = payload
-        if misleading_fraction > 0:
-            result = inject(payload, misleading_fraction, rng=self._rng)
-            stored, positions = result.stored, result.positions
-
-        meta, shards = encode_stripe(stored, raid, width)
-        group = self.placement.stripe_group(
-            self.registry, level, width, load=self._provider_load(),
-            health=self.health,
+        plan = self._plan_chunk(
+            payload, level, serial, raid, width, misleading_fraction,
+            load=self._provider_load(),
         )
-        vid = self.ids.allocate()
-        # Rotate the shard->provider assignment by serial so parity cycles
-        # around the group, RAID-5 style.
-        assigned = group[serial % width :] + group[: serial % width]
-
-        def put_shard(assignment: tuple[int, str]) -> None:
-            shard_index, provider_name = assignment
-            self._provider_put(
-                provider_name, shard_key(vid, shard_index), shards[shard_index]
-            )
-
-        # Fan the shard uploads out across the stripe's providers (each
-        # worker talks to a distinct provider); table bookkeeping stays on
-        # this thread.  Every shard is attempted even when one fails, so
-        # failover sees the full damage at once.
-        outcomes = self._transport_map(
-            put_shard, list(enumerate(assigned)), stop_on_error=False
-        )
-        first_error = next((exc for _, exc in outcomes if exc is not None), None)
-        failed = [i for i, (_, exc) in enumerate(outcomes) if exc is not None]
-        if failed:
-            # Write-path failover: re-place only the failed shards on
-            # alternate healthy eligible providers instead of aborting the
-            # whole chunk.
-            failed = self._failover_shards(vid, level, shards, assigned, failed)
-        if failed and width - len(failed) < meta.k:
-            # Terminal case: fewer than k shards landed anywhere, so the
-            # chunk could never be read back.  Roll everything (including
-            # possible torn writes on the failed members) back so no
-            # partial state leaks into the tables or the fleet.
-            for shard_index, name in enumerate(assigned):
-                with contextlib.suppress(ProviderError):
-                    self.registry.get(name).provider.delete(
-                        shard_key(vid, shard_index)
-                    )
-            self.ids.release(vid)
-            raise first_error
-        provider_indices: list[int] = []
-        for shard_index, provider_name in enumerate(assigned):
-            table_index = self.provider_table.index_of(provider_name)
-            # Failed-but-accepted shards are recorded too: the table is
-            # the scrubber's work list, and the next scrub cycle rebuilds
-            # them from the >= k members that did land.
-            self.provider_table.record_store(
-                table_index, shard_key(vid, shard_index)
-            )
-            provider_indices.append(table_index)
-
-        chunk_index = self.chunk_table.add(
-            ChunkEntry(
-                virtual_id=vid,
-                privacy_level=level,
-                provider_indices=provider_indices,
-                snapshot_index=None,
-                misleading_positions=positions,
-            )
-        )
-        self._chunk_state[vid] = _ChunkState(
-            stripe=meta,
-            rotation=serial % width,
-            shard_checksums=tuple(blob_checksum(s) for s in shards),
-        )
-        return chunk_index
+        self._transfer_plan(plan)
+        if self._recover_plan(plan):
+            self._rollback_plan(plan)
+            raise plan.first_error
+        return self._commit_plan(plan)
 
     def _failover_shards(
         self,
@@ -485,16 +669,19 @@ class CloudDataDistributor:
         """Usable eligible providers outside *exclude*, best first.
 
         Preference mirrors placement: suspect providers last, then
-        cheaper cost tier, then least loaded.
+        cheaper cost tier, then least loaded.  Takes the op lock for its
+        table reads -- write-path failover calls it from the pipelined
+        transfer phase, outside the critical section.
         """
-        candidates = [
-            c
-            for c in self.placement.candidates(
-                self.registry, level, health=self.health
-            )
-            if c.name not in exclude and self._provider_usable(c.name)
-        ]
-        load = self._provider_load()
+        with self.op_lock:
+            candidates = [
+                c
+                for c in self.placement.candidates(
+                    self.registry, level, health=self.health
+                )
+                if c.name not in exclude and self._provider_usable(c.name)
+            ]
+            load = self._provider_load()
 
         def sort_key(e):
             suspect = (
@@ -570,6 +757,28 @@ class CloudDataDistributor:
     # upload path: split() + distribute()          (Section VI)
     # ------------------------------------------------------------------
 
+    def _check_new_filename(self, client: str, filename: str) -> None:
+        """Reject a duplicate filename (stored or upload-in-flight).
+
+        Must run inside the critical section.
+        """
+        client_entry = self.client_table.get(client)
+        if filename in self._inflight_uploads.get(client, set()) or any(
+            ref.filename == filename for ref in client_entry.chunk_refs
+        ):
+            raise ValueError(
+                f"client {client!r} already stores a file named {filename!r}"
+            )
+
+    def _release_upload_slot(self, client: str, filename: str) -> None:
+        """Drop a pipelined upload's in-flight filename reservation."""
+        with self.op_lock:
+            inflight = self._inflight_uploads.get(client)
+            if inflight is not None:
+                inflight.discard(filename)
+                if not inflight:
+                    self._inflight_uploads.pop(client, None)
+
     def upload_file(
         self,
         client: str,
@@ -581,13 +790,24 @@ class CloudDataDistributor:
         stripe_width: int | None = None,
         misleading_fraction: float = 0.0,
         parallel: bool = False,
+        pipelined: bool | None = None,
     ) -> FileReceipt:
         """Receive a file, split it, and distribute the chunks.
 
         The client's password must be privileged for the file's privacy
         level.  Chunk size follows the PL schedule; each chunk is
         RAID-striped over a freshly chosen provider group.  With
-        ``parallel=True`` shard uploads overlap across providers.
+        ``parallel=True`` shard uploads overlap across providers in
+        simulated time.
+
+        ``pipelined`` (default: the distributor-level switch) selects the
+        data path.  The pipelined path holds the op lock only to plan
+        (authorize, split, place, allocate ids) and to commit the tables;
+        the transfer in between batches every shard bound for one
+        provider into a single provider call and fans the providers out
+        concurrently.  ``pipelined=False`` restores the historical
+        chunk-serial path.  Both are atomic: a chunk that cannot reach k
+        shards rolls the entire upload back.
         """
         pl = PrivacyLevel.coerce(level)
         try:
@@ -597,12 +817,15 @@ class CloudDataDistributor:
                 self.audit.record("upload", client, filename, None,
                                   ok=False, detail=type(exc).__name__)
             raise
+        use_pipeline = self.pipelined if pipelined is None else pipelined
+        if use_pipeline:
+            return self._upload_file_pipelined(
+                client, pl, filename, data, raid_level, stripe_width,
+                misleading_fraction, parallel,
+            )
         with self.op_lock:
             client_entry = self.client_table.get(client)
-            if any(ref.filename == filename for ref in client_entry.chunk_refs):
-                raise ValueError(
-                    f"client {client!r} already stores a file named {filename!r}"
-                )
+            self._check_new_filename(client, filename)
             raid = raid_level or self.default_raid_level
             width = stripe_width or self._stripe_width_for(pl, raid)
 
@@ -647,6 +870,99 @@ class CloudDataDistributor:
             stripe_width=width,
         )
 
+    def _upload_file_pipelined(
+        self,
+        client: str,
+        pl: PrivacyLevel,
+        filename: str,
+        data: bytes,
+        raid_level: RaidLevel | None,
+        stripe_width: int | None,
+        misleading_fraction: float,
+        parallel: bool,
+    ) -> FileReceipt:
+        """Plan -> transfer -> commit upload (authorization already done).
+
+        Planning emulates the serial path's per-chunk load accounting
+        (each planned shard bumps its provider's count in a working copy
+        of the loads) so a fault-free pipelined upload places every chunk
+        exactly where the chunk-serial loop would have.  The filename is
+        reserved in ``_inflight_uploads`` across the lock-free transfer so
+        a racing duplicate upload is rejected up front.
+        """
+        # -- plan (critical section): rng draws, placement, id allocation --
+        with self.op_lock:
+            self._check_new_filename(client, filename)
+            raid = raid_level or self.default_raid_level
+            width = stripe_width or self._stripe_width_for(pl, raid)
+            chunks = chunking.split(data, pl, policy=self.chunk_policy)
+            self._inflight_uploads.setdefault(client, set()).add(filename)
+            plans: list[_ChunkPlan] = []
+            load = self._provider_load()
+            try:
+                for chunk in chunks:
+                    plan = self._plan_chunk(
+                        chunk.payload, pl, chunk.serial, raid, width,
+                        misleading_fraction, load=load,
+                    )
+                    for name in plan.assigned:
+                        load[name] = load.get(name, 0) + 1
+                    plans.append(plan)
+            except Exception as exc:
+                for plan in plans:
+                    self.ids.release(plan.vid)
+                self._release_upload_slot(client, filename)
+                if self.audit is not None and isinstance(exc, ReproError):
+                    self.audit.record("upload", client, filename, None,
+                                      ok=False, detail=type(exc).__name__)
+                raise
+
+        # -- transfer (lock-free): batched puts, failover ------------------
+        try:
+            window = (
+                self._parallel_window() if parallel else contextlib.nullcontext()
+            )
+            with window:
+                self._transfer_plans(plans)
+                lost = [plan for plan in plans if self._recover_plan(plan)]
+            if lost:
+                # Atomicity: one unrecoverable chunk aborts the whole file.
+                for plan in plans:
+                    self._rollback_plan(plan)
+                error = lost[0].first_error
+                if self.audit is not None:
+                    self.audit.record("upload", client, filename, None,
+                                      ok=False, detail=type(error).__name__)
+                raise error
+        except BaseException:
+            self._release_upload_slot(client, filename)
+            raise
+
+        # -- commit (critical section): tables and client refs -------------
+        with self.op_lock:
+            self._release_upload_slot(client, filename)
+            client_entry = self.client_table.get(client)
+            for plan in plans:
+                chunk_index = self._commit_plan(plan)
+                client_entry.chunk_refs.append(
+                    FileChunkRef(
+                        filename=filename,
+                        serial=plan.serial,
+                        privacy_level=pl,
+                        chunk_index=chunk_index,
+                    )
+                )
+        if self.audit is not None:
+            self.audit.record("upload", client, filename, None, ok=True)
+        return FileReceipt(
+            filename=filename,
+            privacy_level=pl,
+            chunk_count=len(chunks),
+            file_size=len(data),
+            raid_level=raid,
+            stripe_width=width,
+        )
+
     # ------------------------------------------------------------------
     # retrieval path: get_chunk() / get_file()      (Sections V and VI)
     # ------------------------------------------------------------------
@@ -671,17 +987,100 @@ class CloudDataDistributor:
 
         return self._audited("get_chunk", client, filename, serial, work)
 
+    def _prefetch_jobs(self, jobs: list[_FetchJob]) -> None:
+        """Batch-fetch every uncached job's data shards, lock-free.
+
+        All data-shard keys bound for one provider across the whole file
+        coalesce into a single ``get_many`` (one MULTI_GET round-trip on
+        remote providers) and the providers fan out concurrently.  Parity
+        members are *not* prefetched -- they are pulled lazily only by
+        degraded reads, matching ``read_stripe``'s prefer-data order.
+        """
+        by_provider: dict[str, list[tuple[_FetchJob, int]]] = {}
+        for job in jobs:
+            if job.cached is not None:
+                continue
+            for shard_index in range(job.state.stripe.k):
+                name = job.names[shard_index]
+                by_provider.setdefault(name, []).append((job, shard_index))
+
+        groups = list(by_provider.items())
+
+        def get_batch(
+            group: tuple[str, list[tuple[_FetchJob, int]]]
+        ) -> list["bytes | ProviderError"]:
+            name, members = group
+            keys = [
+                shard_key(job.entry.virtual_id, shard_index)
+                for job, shard_index in members
+            ]
+            return self._provider_get_many(name, keys)
+
+        outcomes = self._transport_map(get_batch, groups, stop_on_error=False)
+        for (name, members), (per_item, exc) in zip(groups, outcomes):
+            if exc is not None:
+                per_item = [exc] * len(members)
+            for (job, shard_index), outcome in zip(members, per_item):
+                job.prefetched[shard_index] = outcome
+
+    def _assemble_job(self, job: _FetchJob) -> bytes:
+        """Decode one prefetched chunk (degraded-read + misleading strip)."""
+        if job.cached is not None:
+            return job.cached
+        entry, state = job.entry, job.state
+
+        def fetch(shard_index: int) -> bytes:
+            outcome = job.prefetched.get(shard_index)
+            if outcome is None:
+                # Parity member: pulled lazily, only on a degraded read.
+                outcome = self._provider_get(
+                    job.names[shard_index],
+                    shard_key(entry.virtual_id, shard_index),
+                )
+            if isinstance(outcome, ProviderError):
+                raise outcome
+            expected = state.shard_checksums
+            if (
+                expected is not None
+                and blob_checksum(outcome) != expected[shard_index]
+            ):
+                key = shard_key(entry.virtual_id, shard_index)
+                self._record_health(
+                    job.names[shard_index], ok=False,
+                    exc=BlobCorruptedError(key),
+                )
+                raise BlobCorruptedError(
+                    f"shard {key!r} from provider {job.names[shard_index]!r} "
+                    f"does not match its recorded checksum"
+                )
+            return outcome
+
+        stored, _failed = read_stripe(state.stripe, fetch)
+        return remove_misleading(stored, entry.misleading_positions)
+
     def get_file(
-        self, client: str, password: str, filename: str, parallel: bool = False
+        self,
+        client: str,
+        password: str,
+        filename: str,
+        parallel: bool = False,
+        pipelined: bool | None = None,
     ) -> bytes:
         """Fetch and reassemble every chunk of *filename*.
 
-        With ``parallel=True`` the shard fetches of all chunks overlap
-        across providers (one serial chain per provider), modelling the
-        parallel query processing Section VII-E credits fragmentation
-        with; simulated time drops to the critical path.
+        The pipelined path (default) resolves every chunk's metadata
+        under the op lock, then fetches the data shards of *all* chunks
+        at once -- batched per provider, providers in flight concurrently
+        -- and reassembles into a preallocated buffer.  With
+        ``pipelined=False`` chunks are fetched one at a time, serially.
+
+        With ``parallel=True`` the overlap is also modelled in simulated
+        time (one serial chain per provider), the parallel query
+        processing Section VII-E credits fragmentation with.
         """
-        def work() -> bytes:
+        use_pipeline = self.pipelined if pipelined is None else pipelined
+
+        def work_serial() -> bytes:
             with self.op_lock:
                 refs = self.client_table.get(client).refs_for_file(filename)
                 self._authorize(client, password, refs[0].privacy_level)
@@ -703,6 +1102,54 @@ class CloudDataDistributor:
                     ]
                 return chunking.join(chunks)
 
+        def work_pipelined() -> bytes:
+            # Phase 1 (critical section): resolve refs -> entries ->
+            # provider names, and consult the (unsynchronized) cache.
+            with self.op_lock:
+                refs = self.client_table.get(client).refs_for_file(filename)
+                self._authorize(client, password, refs[0].privacy_level)
+                jobs: list[_FetchJob] = []
+                for ref in refs:
+                    entry = self.chunk_table.get(ref.chunk_index)
+                    jobs.append(
+                        _FetchJob(
+                            serial=ref.serial,
+                            entry=entry,
+                            state=self._chunk_state[entry.virtual_id],
+                            names=[
+                                self.provider_table.get(i).name
+                                for i in entry.provider_indices
+                            ],
+                            cached=(
+                                self.cache.get(entry.virtual_id)
+                                if self.cache is not None
+                                else None
+                            ),
+                        )
+                    )
+            # Phase 2 (lock-free): batched fetches, decode, reassemble.
+            window = (
+                self._parallel_window() if parallel else contextlib.nullcontext()
+            )
+            with window:
+                self._prefetch_jobs(jobs)
+                payloads = [self._assemble_job(job) for job in jobs]
+            # refs_for_file returns serial order, so the payloads
+            # concatenate in place of a sort+join.
+            out = bytearray(sum(len(p) for p in payloads))
+            offset = 0
+            for payload in payloads:
+                out[offset : offset + len(payload)] = payload
+                offset += len(payload)
+            # Phase 3 (critical section): fill the shared chunk cache.
+            if self.cache is not None:
+                with self.op_lock:
+                    for job, payload in zip(jobs, payloads):
+                        if job.cached is None:
+                            self.cache.put(job.entry.virtual_id, payload)
+            return bytes(out)
+
+        work = work_pipelined if use_pipeline else work_serial
         return self._audited("get_file", client, filename, None, work)
 
     def chunk_count(self, client: str, filename: str) -> int:

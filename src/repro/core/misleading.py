@@ -70,21 +70,32 @@ def inject(
     )
 
 
-def remove(stored: bytes, positions: tuple[int, ...] | list[int]) -> bytes:
+def remove(
+    stored: bytes,
+    positions: tuple[int, ...] | list[int],
+    validate: bool = False,
+) -> bytes:
     """Strip the misleading bytes at *positions* from *stored*.
 
     Inverse of :func:`inject`; the paper's read path applies this before
     handing a chunk back to the client.
+
+    Positions come from the distributor's own Chunk Table, where
+    :func:`inject` wrote them sorted, distinct and in range -- so the
+    read path strips them with a single fancy-index delete and no
+    per-call validation.  ``validate=True`` enables the checks for
+    callers handling untrusted position lists (tests, imported
+    metadata): out-of-range or duplicate positions raise ``ValueError``.
     """
     if not positions:
         return stored
     pos = np.asarray(positions, dtype=np.int64)
-    if pos.min() < 0 or pos.max() >= len(stored):
-        raise ValueError(
-            f"misleading positions out of range for buffer of {len(stored)} bytes"
-        )
-    if len(np.unique(pos)) != len(pos):
-        raise ValueError("misleading positions contain duplicates")
-    mask = np.ones(len(stored), dtype=bool)
-    mask[pos] = False
-    return np.frombuffer(stored, dtype=np.uint8)[mask].tobytes()
+    if validate:
+        if pos.min() < 0 or pos.max() >= len(stored):
+            raise ValueError(
+                f"misleading positions out of range for buffer of "
+                f"{len(stored)} bytes"
+            )
+        if len(np.unique(pos)) != len(pos):
+            raise ValueError("misleading positions contain duplicates")
+    return np.delete(np.frombuffer(stored, dtype=np.uint8), pos).tobytes()

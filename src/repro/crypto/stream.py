@@ -28,12 +28,18 @@ class StreamCipher:
         first = offset // _CHUNK
         last = (offset + nbytes + _CHUNK - 1) // _CHUNK
         prefix = self._key + nonce.to_bytes(8, "big")
-        stream = b"".join(
-            hashlib.sha256(prefix + counter.to_bytes(8, "big")).digest()
-            for counter in range(first, last)
-        )
+        # Hash straight into one preallocated buffer: join()-ing per-block
+        # digests costs an allocation plus a copy per 32 bytes, which
+        # dominates on chunk-sized payloads.
+        stream = bytearray((last - first) * _CHUNK)
+        pos = 0
+        for counter in range(first, last):
+            stream[pos : pos + _CHUNK] = hashlib.sha256(
+                prefix + counter.to_bytes(8, "big")
+            ).digest()
+            pos += _CHUNK
         start = offset - first * _CHUNK
-        return stream[start : start + nbytes]
+        return bytes(stream[start : start + nbytes])
 
     def encrypt(self, plaintext: bytes, nonce: int = 0) -> bytes:
         ks = np.frombuffer(self.keystream(len(plaintext), nonce), dtype=np.uint8)

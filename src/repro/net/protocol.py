@@ -62,6 +62,11 @@ class OpCode(IntEnum):
     DELETE = 0x04
     HEAD = 0x05
     KEYS = 0x06
+    # Batched forms: every shard bound for one provider in an upload (or
+    # retrieval) window rides a single framed round-trip, with per-item
+    # status in the response so partial failures stay observable.
+    MULTI_PUT = 0x07
+    MULTI_GET = 0x08
 
 
 class Status(IntEnum):
@@ -197,6 +202,102 @@ def decode_keys(payload: bytes) -> list[str]:
         keys.append(payload[offset : offset + length].decode("utf-8"))
         offset += length
     return keys
+
+
+# ---------------------------------------------------------------------------
+# batch payload encodings (MULTI_PUT / MULTI_GET)
+# ---------------------------------------------------------------------------
+#
+# MULTI_PUT request:   count (u32), then per item key length (u16) + key +
+#                      data length (u32) + data.
+# MULTI_GET request:   the KEYS encoding (count + per-key length + key).
+# Batch response:      count (u32), then per item status (u8) + body length
+#                      (u32) + body, where body is the checksum echo
+#                      (MULTI_PUT, OK), the object bytes (MULTI_GET, OK) or
+#                      a UTF-8 error message (any non-OK status).  The frame
+#                      itself answers Status.OK whenever the batch was
+#                      decodable; item outcomes live in the payload.
+
+_BATCH_COUNT = struct.Struct("!I")
+_ITEM_KEY_LEN = struct.Struct("!H")
+_ITEM_BODY_LEN = struct.Struct("!I")
+_ITEM_STATUS = struct.Struct("!B")
+
+
+def encode_multi_put(items: list[tuple[str, bytes]]) -> bytes:
+    """MULTI_PUT request payload from ``(key, data)`` pairs."""
+    parts = [_BATCH_COUNT.pack(len(items))]
+    for key, data in items:
+        raw = key.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise ProtocolError(f"key too long: {len(raw)} bytes")
+        parts.append(_ITEM_KEY_LEN.pack(len(raw)))
+        parts.append(raw)
+        parts.append(_ITEM_BODY_LEN.pack(len(data)))
+        parts.append(data)
+    return b"".join(parts)
+
+
+def decode_multi_put(payload: bytes) -> list[tuple[str, bytes]]:
+    if len(payload) < _BATCH_COUNT.size:
+        raise ProtocolError("MULTI_PUT payload truncated")
+    (count,) = _BATCH_COUNT.unpack_from(payload, 0)
+    offset = _BATCH_COUNT.size
+    items: list[tuple[str, bytes]] = []
+    for _ in range(count):
+        if offset + _ITEM_KEY_LEN.size > len(payload):
+            raise ProtocolError("MULTI_PUT payload truncated")
+        (key_len,) = _ITEM_KEY_LEN.unpack_from(payload, offset)
+        offset += _ITEM_KEY_LEN.size
+        if offset + key_len + _ITEM_BODY_LEN.size > len(payload):
+            raise ProtocolError("MULTI_PUT payload truncated")
+        key = payload[offset : offset + key_len].decode("utf-8")
+        offset += key_len
+        (data_len,) = _ITEM_BODY_LEN.unpack_from(payload, offset)
+        offset += _ITEM_BODY_LEN.size
+        if offset + data_len > len(payload):
+            raise ProtocolError("MULTI_PUT payload truncated")
+        items.append((key, payload[offset : offset + data_len]))
+        offset += data_len
+    if offset != len(payload):
+        raise ProtocolError(
+            f"MULTI_PUT payload has {len(payload) - offset} trailing bytes"
+        )
+    return items
+
+
+def encode_batch_results(results: list[tuple[int, bytes]]) -> bytes:
+    """Batch response payload from per-item ``(status, body)`` pairs."""
+    parts = [_BATCH_COUNT.pack(len(results))]
+    for status, body in results:
+        parts.append(_ITEM_STATUS.pack(status))
+        parts.append(_ITEM_BODY_LEN.pack(len(body)))
+        parts.append(body)
+    return b"".join(parts)
+
+
+def decode_batch_results(payload: bytes) -> list[tuple[int, bytes]]:
+    if len(payload) < _BATCH_COUNT.size:
+        raise ProtocolError("batch response payload truncated")
+    (count,) = _BATCH_COUNT.unpack_from(payload, 0)
+    offset = _BATCH_COUNT.size
+    results: list[tuple[int, bytes]] = []
+    for _ in range(count):
+        if offset + _ITEM_STATUS.size + _ITEM_BODY_LEN.size > len(payload):
+            raise ProtocolError("batch response payload truncated")
+        (status,) = _ITEM_STATUS.unpack_from(payload, offset)
+        offset += _ITEM_STATUS.size
+        (body_len,) = _ITEM_BODY_LEN.unpack_from(payload, offset)
+        offset += _ITEM_BODY_LEN.size
+        if offset + body_len > len(payload):
+            raise ProtocolError("batch response payload truncated")
+        results.append((status, payload[offset : offset + body_len]))
+        offset += body_len
+    if offset != len(payload):
+        raise ProtocolError(
+            f"batch response payload has {len(payload) - offset} trailing bytes"
+        )
+    return results
 
 
 # ---------------------------------------------------------------------------

@@ -21,20 +21,37 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.core.errors import BlobCorruptedError, ProviderUnavailableError
+from repro.core.errors import (
+    BlobCorruptedError,
+    ProviderError,
+    ProviderUnavailableError,
+)
 from repro.net.pool import ConnectionPool
 from repro.net.protocol import (
     Frame,
     OpCode,
     ProtocolError,
     Status,
+    decode_batch_results,
     decode_keys,
     decode_stat,
+    encode_keys,
+    encode_multi_put,
     error_for_status,
     recv_frame,
     send_frame,
 )
 from repro.providers.base import BlobStat, CloudProvider, blob_checksum
+
+#: Soft cap on one MULTI_PUT/MULTI_GET frame's payload.  Oversized batches
+#: are split into several frames *pipelined* on one connection (all requests
+#: written before the responses are read), so splitting costs no extra
+#: round-trips.  Well under protocol.MAX_PAYLOAD so per-item framing
+#: overhead can never push a frame over the hard limit.
+BATCH_BYTES = 32 * 1024 * 1024
+
+#: Cap on items per batch frame, bounding server-side decode allocations.
+BATCH_ITEMS = 1024
 
 
 @dataclass(frozen=True)
@@ -104,8 +121,34 @@ class RemoteProvider(CloudProvider):
             raise ProtocolError("server closed connection before responding")
         return frame
 
-    def _request(self, op: OpCode, key: str = "", payload: bytes = b"") -> Frame:
-        """Exchange with transport retries; raises provider-layer errors.
+    def _exchange_pipelined(
+        self, requests: list[tuple[OpCode, str, bytes]]
+    ) -> list[Frame]:
+        """Pipeline several frames on one pooled connection.
+
+        Every request is written before any response is read, so N frames
+        cost one round-trip of latency instead of N.  Safe for the batch
+        ops because their requests and responses are never both large
+        (MULTI_PUT answers small status lists, MULTI_GET asks with small
+        key lists), so the two directions cannot deadlock on full socket
+        buffers.
+        """
+        with self.pool.acquire() as sock:
+            sock.settimeout(self.op_timeout)
+            for op, key, payload in requests:
+                send_frame(sock, op, key=key, payload=payload)
+            frames: list[Frame] = []
+            for _ in requests:
+                frame = recv_frame(sock)
+                if frame is None:
+                    raise ProtocolError(
+                        "server closed connection before responding"
+                    )
+                frames.append(frame)
+        return frames
+
+    def _with_retries(self, exchange):
+        """Run *exchange* under the retry budget and circuit breaker.
 
         Application-level error statuses (NOT_FOUND, CORRUPTED, ...) are
         definitive answers from a live server and are never retried; only
@@ -130,22 +173,43 @@ class RemoteProvider(CloudProvider):
                 # fail again and burn the remaining attempts.
                 self.pool.discard_idle()
             try:
-                frame = self._exchange(op, key, payload)
+                result = exchange()
             except (OSError, ProtocolError) as exc:
                 last_exc = exc
                 continue
             self._down_until = 0.0
-            if frame.code != Status.OK:
-                raise error_for_status(
-                    frame.code, frame.payload.decode("utf-8", "replace")
-                )
-            return frame
+            return result
         if self.failfast_window > 0:
             self._down_until = time.monotonic() + self.failfast_window
         raise ProviderUnavailableError(
             f"provider {self.name!r} at {self.host}:{self.port} unreachable "
             f"after {self.retry.attempts} attempt(s): {last_exc}"
         ) from last_exc
+
+    def _request(self, op: OpCode, key: str = "", payload: bytes = b"") -> Frame:
+        """Exchange one frame with transport retries; raises on error status."""
+        frame = self._with_retries(lambda: self._exchange(op, key, payload))
+        if frame.code != Status.OK:
+            raise error_for_status(
+                frame.code, frame.payload.decode("utf-8", "replace")
+            )
+        return frame
+
+    def _request_batches(
+        self, requests: list[tuple[OpCode, str, bytes]]
+    ) -> list[Frame]:
+        """Pipelined batch frames with transport retries.
+
+        Retrying replays the whole window -- idempotent at this layer
+        because PUT overwrites whole objects and GET reads.
+        """
+        frames = self._with_retries(lambda: self._exchange_pipelined(requests))
+        for frame in frames:
+            if frame.code != Status.OK:
+                raise error_for_status(
+                    frame.code, frame.payload.decode("utf-8", "replace")
+                )
+        return frames
 
     def ping(self) -> float:
         """Round-trip one empty frame; returns the wall-clock seconds."""
@@ -182,6 +246,94 @@ class RemoteProvider(CloudProvider):
 
     def get(self, key: str) -> bytes:
         return self._request(OpCode.GET, key=key).payload
+
+    def put_many(
+        self, items: list[tuple[str, bytes]]
+    ) -> list[ProviderError | None]:
+        """Store many objects in one MULTI_PUT round-trip per batch frame.
+
+        Transport failure raises (the whole window is in doubt); per-item
+        backend failures come back as exceptions in the result list, so a
+        partially failed batch still tells the caller exactly which shards
+        need failover.
+        """
+        if not items:
+            return []
+        batches = self._split_batches(items, lambda item: len(item[1]))
+        requests = [
+            (OpCode.MULTI_PUT, "", encode_multi_put(batch)) for batch in batches
+        ]
+        frames = self._request_batches(requests)
+        outcomes: list[ProviderError | None] = []
+        for batch, frame in zip(batches, frames):
+            results = decode_batch_results(frame.payload)
+            if len(results) != len(batch):
+                raise ProtocolError(
+                    f"MULTI_PUT answered {len(results)} results for "
+                    f"{len(batch)} items"
+                )
+            for (key, data), (status, body) in zip(batch, results):
+                if status != Status.OK:
+                    outcomes.append(
+                        error_for_status(status, body.decode("utf-8", "replace"))
+                    )
+                elif body.decode("utf-8", "replace") != blob_checksum(data):
+                    outcomes.append(
+                        BlobCorruptedError(
+                            f"checksum echo mismatch from provider "
+                            f"{self.name!r} for key {key!r}"
+                        )
+                    )
+                else:
+                    outcomes.append(None)
+        return outcomes
+
+    def get_many(self, keys: list[str]) -> list["bytes | ProviderError"]:
+        """Fetch many objects in one MULTI_GET round-trip per batch frame."""
+        if not keys:
+            return []
+        batches = self._split_batches(keys, len)
+        requests = [
+            (OpCode.MULTI_GET, "", encode_keys(batch)) for batch in batches
+        ]
+        frames = self._request_batches(requests)
+        outcomes: list[bytes | ProviderError] = []
+        for batch, frame in zip(batches, frames):
+            results = decode_batch_results(frame.payload)
+            if len(results) != len(batch):
+                raise ProtocolError(
+                    f"MULTI_GET answered {len(results)} results for "
+                    f"{len(batch)} keys"
+                )
+            for status, body in results:
+                if status != Status.OK:
+                    outcomes.append(
+                        error_for_status(status, body.decode("utf-8", "replace"))
+                    )
+                else:
+                    outcomes.append(body)
+        return outcomes
+
+    @staticmethod
+    def _split_batches(items: list, weigh) -> list[list]:
+        """Split *items* into frame-sized batches (bytes and count caps)."""
+        batches: list[list] = []
+        current: list = []
+        current_bytes = 0
+        for item in items:
+            weight = weigh(item)
+            if current and (
+                current_bytes + weight > BATCH_BYTES
+                or len(current) >= BATCH_ITEMS
+            ):
+                batches.append(current)
+                current = []
+                current_bytes = 0
+            current.append(item)
+            current_bytes += weight
+        if current:
+            batches.append(current)
+        return batches
 
     def delete(self, key: str) -> None:
         self._request(OpCode.DELETE, key=key)

@@ -26,6 +26,9 @@ from repro.net.protocol import (
     OpCode,
     ProtocolError,
     Status,
+    decode_keys,
+    decode_multi_put,
+    encode_batch_results,
     encode_frame,
     encode_keys,
     encode_stat,
@@ -285,4 +288,30 @@ class ChunkServer:
             return Status.OK, frame.key, encode_stat(self.backend.head(frame.key))
         if op == OpCode.KEYS:
             return Status.OK, "", encode_keys(self.backend.keys())
+        if op == OpCode.MULTI_PUT:
+            # One frame, many objects.  Item failures become per-item
+            # statuses -- the batch always answers, so the client can tell
+            # "shard 3 failed" apart from "the whole provider is dark".
+            results: list[tuple[int, bytes]] = []
+            for key, data in decode_multi_put(frame.payload):
+                try:
+                    self.backend.put(key, data)
+                    results.append(
+                        (int(Status.OK), blob_checksum(data).encode())
+                    )
+                except Exception as exc:  # noqa: BLE001 - per-item verdicts
+                    results.append(
+                        (int(status_for_error(exc)), str(exc).encode("utf-8"))
+                    )
+            return Status.OK, "", encode_batch_results(results)
+        if op == OpCode.MULTI_GET:
+            results = []
+            for key in decode_keys(frame.payload):
+                try:
+                    results.append((int(Status.OK), self.backend.get(key)))
+                except Exception as exc:  # noqa: BLE001 - per-item verdicts
+                    results.append(
+                        (int(status_for_error(exc)), str(exc).encode("utf-8"))
+                    )
+            return Status.OK, "", encode_batch_results(results)
         raise ProtocolError(f"unknown op code {op:#x}")

@@ -18,7 +18,11 @@ import hashlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
-from repro.core.errors import BlobNotFoundError, ProviderUnavailableError
+from repro.core.errors import (
+    BlobNotFoundError,
+    ProviderError,
+    ProviderUnavailableError,
+)
 
 
 def blob_checksum(data: bytes) -> str:
@@ -69,6 +73,38 @@ class CloudProvider(ABC):
     @abstractmethod
     def head(self, key: str) -> BlobStat:
         """Size/checksum metadata without transferring the payload."""
+
+    # -- batched forms ------------------------------------------------------
+    #
+    # The distributor's pipelined data path stores/fetches every shard bound
+    # for one provider in a single call.  The defaults below loop the
+    # per-object primitives with per-item error capture, so any backend is
+    # batch-capable; RemoteProvider overrides both with one MULTI_PUT /
+    # MULTI_GET wire round-trip.  A whole-provider failure (e.g. transport
+    # down) may instead be raised directly by an override.
+
+    def put_many(
+        self, items: list[tuple[str, bytes]]
+    ) -> list[ProviderError | None]:
+        """Store many objects; one outcome (``None`` = stored) per item."""
+        outcomes: list[ProviderError | None] = []
+        for key, data in items:
+            try:
+                self.put(key, data)
+                outcomes.append(None)
+            except ProviderError as exc:
+                outcomes.append(exc)
+        return outcomes
+
+    def get_many(self, keys: list[str]) -> list["bytes | ProviderError"]:
+        """Fetch many objects; each slot holds the bytes or the error."""
+        outcomes: list[bytes | ProviderError] = []
+        for key in keys:
+            try:
+                outcomes.append(self.get(key))
+            except ProviderError as exc:
+                outcomes.append(exc)
+        return outcomes
 
     # -- conveniences -------------------------------------------------------
 

@@ -37,12 +37,22 @@ def test_remove_no_positions_is_identity():
 
 
 def test_remove_validates_positions():
+    # Validation is opt-in: the read path trusts Chunk Table positions
+    # (inject wrote them sorted/distinct/in-range) and skips the checks.
     with pytest.raises(ValueError):
-        remove(b"abc", (5,))
+        remove(b"abc", (5,), validate=True)
     with pytest.raises(ValueError):
-        remove(b"abc", (1, 1))
+        remove(b"abc", (1, 1), validate=True)
     with pytest.raises(ValueError):
-        remove(b"abc", (-1,))
+        remove(b"abc", (-1,), validate=True)
+
+
+def test_remove_fast_path_matches_validated_path():
+    payload = bytes(range(256)) * 8
+    result = inject(payload, 0.25, rng=9)
+    fast = remove(result.stored, result.positions)
+    slow = remove(result.stored, result.positions, validate=True)
+    assert fast == slow == payload
 
 
 def test_negative_fraction_rejected():

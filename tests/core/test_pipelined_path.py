@@ -1,0 +1,199 @@
+"""The pipelined data path against the historical chunk-serial path.
+
+The pipelined upload plans every chunk inside the critical section (same
+rng-draw and id-allocation order as the serial loop, with emulated load
+accounting) and transfers lock-free in provider batches -- so a
+fault-free pipelined upload must be *bit-identical* to the serial one:
+same placement, same tables, same loads.  These tests pin that
+equivalence plus the semantics the lock split must not lose: upload
+atomicity, write failover, the duplicate-filename guard across the
+lock-free window, and read parity.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.core.distributor import CloudDataDistributor
+from repro.core.errors import ProviderUnavailableError
+from repro.core.privacy import ChunkSizePolicy, CostLevel, PrivacyLevel
+from repro.providers.registry import ProviderSpec, build_simulated_fleet
+from repro.raid.striping import RaidLevel
+
+
+def make_distributor(n=6, width=4, seed=63, pipelined=True, **kwargs):
+    specs = [
+        ProviderSpec(f"P{i}", PrivacyLevel.PRIVATE, CostLevel.CHEAP)
+        for i in range(n)
+    ]
+    registry, providers, clock = build_simulated_fleet(specs, seed=61)
+    d = CloudDataDistributor(
+        registry,
+        chunk_policy=ChunkSizePolicy.uniform(512),
+        stripe_width=width,
+        seed=seed,
+        pipelined=pipelined,
+        **kwargs,
+    )
+    d.register_client("C")
+    d.add_password("C", "pw", PrivacyLevel.PRIVATE)
+    return d, providers
+
+
+def sabotage_puts(victim):
+    def put(key, data):
+        raise ProviderUnavailableError(f"{victim.name} sabotaged")
+
+    victim.put = put
+
+
+DATA = bytes(range(256)) * 40  # 10240 bytes -> 20 chunks at 512
+
+
+def test_fault_free_pipelined_upload_is_bit_identical_to_serial():
+    serial, _ = make_distributor(pipelined=False)
+    piped, _ = make_distributor(pipelined=True)
+    serial.upload_file("C", "pw", "f", DATA, PrivacyLevel.PRIVATE,
+                       misleading_fraction=0.1)
+    piped.upload_file("C", "pw", "f", DATA, PrivacyLevel.PRIVATE,
+                      misleading_fraction=0.1)
+
+    # Identical placement, identical tables, identical loads.
+    assert piped.provider_loads() == serial.provider_loads()
+    a, b = serial.export_metadata(), piped.export_metadata()
+    assert a["chunk_table"] == b["chunk_table"]
+    assert a["client_table"] == b["client_table"]
+    assert a["provider_table"] == b["provider_table"]
+    assert a["chunk_state"] == b["chunk_state"]
+
+    assert piped.get_file("C", "pw", "f") == DATA
+    assert serial.get_file("C", "pw", "f") == DATA
+
+
+@pytest.mark.parametrize("raid", [RaidLevel.RAID5, RaidLevel.RAID6])
+def test_pipelined_roundtrip_both_raid_levels(raid):
+    d, _ = make_distributor()
+    data = os.urandom(7000)
+    receipt = d.upload_file(
+        "C", "pw", "f", data, PrivacyLevel.PRIVATE,
+        raid_level=raid, misleading_fraction=0.2,
+    )
+    assert receipt.raid_level is raid
+    assert d.get_file("C", "pw", "f") == data
+    # Per-call override: the serial read path sees the same stripes.
+    assert d.get_file("C", "pw", "f", pipelined=False) == data
+
+
+def test_pipelined_upload_rolls_back_whole_file_when_chunk_lost():
+    # Width 4 over exactly 4 providers, two sabotaged: 2 of 4 < k=3, and
+    # no spare exists -- every chunk is terminal, the file must vanish.
+    d, providers = make_distributor(n=4, width=4)
+    sabotage_puts(providers[0])
+    sabotage_puts(providers[1])
+    with pytest.raises(ProviderUnavailableError):
+        d.upload_file("C", "pw", "f", DATA, PrivacyLevel.PRIVATE)
+
+    assert sum(d.provider_loads().values()) == 0
+    assert all(p.object_count == 0 for p in providers)
+    assert d.client_table.get("C").chunk_refs == []
+    # The reservation was released: the name is reusable.
+    assert d._inflight_uploads == {}
+
+
+def test_pipelined_write_failover_uses_spare():
+    d, providers = make_distributor(n=6, width=4)
+    victim = providers[0]
+    sabotage_puts(victim)
+    d.upload_file("C", "pw", "f", DATA, PrivacyLevel.PRIVATE)
+    assert d.get_file("C", "pw", "f") == DATA
+    assert victim.object_count == 0
+    # Every shard landed somewhere: total objects match the receipt.
+    assert sum(d.provider_loads().values()) == 20 * 4
+
+
+def test_degraded_write_accepted_when_k_shards_land_pipelined():
+    # No spare exists (width == fleet): one failed member is accepted
+    # degraded, and the file still reads back through parity.
+    d, providers = make_distributor(n=4, width=4)
+    sabotage_puts(providers[0])
+    d.upload_file("C", "pw", "f", DATA, PrivacyLevel.PRIVATE)
+    assert d.get_file("C", "pw", "f") == DATA
+    assert providers[0].object_count == 0
+
+
+def test_duplicate_filename_rejected_while_upload_in_flight():
+    d, _ = make_distributor()
+    # Simulate a pipelined upload parked in its lock-free transfer phase.
+    d._inflight_uploads["C"] = {"f"}
+    with pytest.raises(ValueError, match="already stores"):
+        d.upload_file("C", "pw", "f", DATA, PrivacyLevel.PRIVATE)
+    with pytest.raises(ValueError, match="already stores"):
+        d.upload_file("C", "pw", "f", DATA, PrivacyLevel.PRIVATE,
+                      pipelined=False)
+    d._inflight_uploads.clear()
+    d.upload_file("C", "pw", "f", DATA, PrivacyLevel.PRIVATE)
+
+
+def test_concurrent_same_name_uploads_store_exactly_one_copy():
+    d, _ = make_distributor()
+    outcomes = []
+    barrier = threading.Barrier(2)
+
+    def attempt():
+        barrier.wait()
+        try:
+            d.upload_file("C", "pw", "f", DATA, PrivacyLevel.PRIVATE)
+            outcomes.append("ok")
+        except ValueError:
+            outcomes.append("duplicate")
+
+    threads = [threading.Thread(target=attempt) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert sorted(outcomes) == ["duplicate", "ok"]
+    assert d.get_file("C", "pw", "f") == DATA
+    assert sum(d.provider_loads().values()) == 20 * 4
+
+
+def test_get_file_parity_between_paths():
+    d, _ = make_distributor()
+    data = os.urandom(5000)
+    d.upload_file("C", "pw", "f", data, PrivacyLevel.PRIVATE,
+                  misleading_fraction=0.15)
+    assert d.get_file("C", "pw", "f", pipelined=True) == data
+    assert d.get_file("C", "pw", "f", pipelined=False) == data
+
+
+def test_pipelined_get_survives_dead_member():
+    d, providers = make_distributor(n=4, width=4)
+    d.upload_file("C", "pw", "f", DATA, PrivacyLevel.PRIVATE)
+    providers[1].available = False
+    assert d.get_file("C", "pw", "f") == DATA
+
+
+def test_pipelined_get_fills_and_uses_cache():
+    from repro.core.cache import ChunkCache
+
+    cache = ChunkCache(capacity_bytes=1 << 20)
+    d, providers = make_distributor(cache=cache)
+    d.upload_file("C", "pw", "f", DATA, PrivacyLevel.PRIVATE)
+    assert d.get_file("C", "pw", "f") == DATA
+    # Second read is served entirely from cache: even a dark fleet answers.
+    for p in providers:
+        p.available = False
+    assert d.get_file("C", "pw", "f") == DATA
+
+
+def test_placement_error_during_planning_releases_ids():
+    d, _ = make_distributor(n=4, width=4)
+    before = d.ids.export_state()
+    from repro.core.errors import PlacementError
+
+    with pytest.raises(PlacementError):
+        d.upload_file("C", "pw", "f", DATA, PrivacyLevel.PRIVATE,
+                      stripe_width=5)  # wider than the fleet
+    assert d.ids.export_state() == before
+    assert d._inflight_uploads == {}
