@@ -1,6 +1,6 @@
 # Convenience targets; see README.md for details.
 
-.PHONY: install test bench bench-pipeline examples reproduce clean
+.PHONY: install test bench bench-pipeline bench-obs examples reproduce clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -15,6 +15,11 @@ bench:
 # if the batched path does not beat the chunk-serial path >= 3x.
 bench-pipeline:
 	PYTHONPATH=src pytest benchmarks/test_pipeline_throughput.py --benchmark-only
+
+# The telemetry gate: regenerates BENCH_obs.json and fails if the
+# instrumented data path costs more than 5% of pipelined upload throughput.
+bench-obs:
+	PYTHONPATH=src pytest benchmarks/test_obs_overhead.py --benchmark-only
 
 examples:
 	for f in examples/*.py; do python $$f > /dev/null || exit 1; echo "ok $$f"; done

@@ -17,14 +17,19 @@ checksummed JSON -- a working miniature of the paper's system::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
 
+from repro.core.cache import ChunkCache
 from repro.core.categorize import check_level, suggest_level
 from repro.core.distributor import CloudDataDistributor
 from repro.core.persistence import load_metadata, save_metadata
 from repro.core.privacy import ChunkSizePolicy, CostLevel, PrivacyLevel
+from repro.obs.events import EventLog, set_events
+from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from repro.obs.trace import Tracer, get_tracer, set_tracer
 from repro.providers.disk import DiskProvider
 from repro.providers.registry import ProviderRegistry, provider_from_url
 from repro.util.tables import render_table
@@ -32,6 +37,16 @@ from repro.util.units import format_bytes
 
 FLEET_FILE = "fleet.json"
 METADATA_FILE = "metadata.json"
+METRICS_FILE = "metrics.json"
+
+#: Chunk-cache budget for CLI deployments; enough to keep a whole file
+#: hot across a get + verify pass without growing unbounded.
+CACHE_BYTES = 64 << 20
+
+# The registry installed by the current invocation's ``_open``; metrics
+# are persisted only when this matches the live registry, so commands
+# that never opened a deployment don't write stale process-wide state.
+_installed_registry: MetricsRegistry | None = None
 
 
 def _state_dir(args) -> Path:
@@ -60,10 +75,19 @@ def _init(args) -> int:
 
 
 def _open(args) -> tuple[CloudDataDistributor, Path]:
+    global _installed_registry
     state = _state_dir(args)
     fleet_path = state / FLEET_FILE
     if not fleet_path.exists():
         raise SystemExit(f"error: {state} is not initialized (run `init` first)")
+    # Fresh telemetry per invocation: this run's counts merge into the
+    # deployment's persisted totals on exit (see ``_persist_metrics``),
+    # and a fresh registry keeps repeated in-process invocations from
+    # double-counting older runs.
+    _installed_registry = MetricsRegistry()
+    set_metrics(_installed_registry)
+    set_tracer(Tracer())
+    set_events(EventLog())
     registry = ProviderRegistry()
     for spec in json.loads(fleet_path.read_text()):
         # A fleet entry may point at any provider URL (e.g. a
@@ -86,12 +110,35 @@ def _open(args) -> tuple[CloudDataDistributor, Path]:
             region=spec.get("region", "default"),
         )
     distributor = CloudDataDistributor(
-        registry, chunk_policy=ChunkSizePolicy(), seed=0xC11
+        registry,
+        chunk_policy=ChunkSizePolicy(),
+        seed=0xC11,
+        cache=ChunkCache(CACHE_BYTES),
     )
     metadata_path = state / METADATA_FILE
     if metadata_path.exists():
         load_metadata(distributor, metadata_path)
     return distributor, metadata_path
+
+
+def _persist_metrics(state: Path) -> None:
+    """Fold this invocation's metrics into the deployment's running totals.
+
+    Order matters: the persisted file is imported into a scratch registry
+    *before* this run's counts, so counters/histograms add while gauges
+    (last-writer-wins on merge) keep this run's live level instead of
+    being clobbered by a stale snapshot.
+    """
+    registry = get_metrics()
+    if registry is not _installed_registry or _installed_registry is None:
+        return
+    path = state / METRICS_FILE
+    scratch = MetricsRegistry()
+    if path.exists():
+        with contextlib.suppress(ValueError, KeyError, TypeError):
+            scratch.import_state(json.loads(path.read_text()))
+    scratch.import_state(registry.export_state())
+    path.write_text(json.dumps(scratch.export_state()))
 
 
 def _commit(distributor: CloudDataDistributor, metadata_path: Path) -> None:
@@ -151,6 +198,17 @@ def _get(args) -> int:
     out = Path(args.output) if args.output else Path(args.filename)
     out.write_bytes(data)
     print(f"retrieved {format_bytes(len(data))} -> {out}")
+    if args.verify:
+        # Second read: chunks come from the warm cache, and any mismatch
+        # means the fleet returned unstable bytes.
+        again = distributor.get_file(
+            args.client, args.password, args.filename,
+            pipelined=not args.no_pipeline,
+        )
+        if again != data:
+            print("error: re-read returned different bytes", file=sys.stderr)
+            return 2
+        print("verified: re-read matches")
     return 0
 
 
@@ -277,6 +335,64 @@ def _suggest(args) -> int:
     return 0
 
 
+def _stats(args) -> int:
+    """Render the deployment's accumulated metrics (see ``_persist_metrics``)."""
+    state = _state_dir(args)
+    path = state / METRICS_FILE
+    registry = MetricsRegistry()
+    if path.exists():
+        registry.import_state(json.loads(path.read_text()))
+    elif not (state / FLEET_FILE).exists():
+        raise SystemExit(f"error: {state} is not initialized (run `init` first)")
+    if args.format == "prom":
+        print(registry.render(), end="")
+        return 0
+    if args.format == "json":
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+        return 0
+    snapshot = registry.snapshot()
+    rows = []
+    for name, series in sorted(snapshot["counters"].items()):
+        for labels, value in sorted(series.items()):
+            rows.append([name, labels, int(value)])
+    for name, series in sorted(snapshot["gauges"].items()):
+        for labels, value in sorted(series.items()):
+            rows.append([name, labels, int(value)])
+    print(render_table(["metric", "labels", "value"], rows, title="Counters"))
+    rows = []
+    for name, series in sorted(snapshot["histograms"].items()):
+        for labels, summary in sorted(series.items()):
+            count = summary["count"]
+            mean = summary["sum"] / count if count else 0.0
+            rows.append([name, labels, count, f"{mean * 1e3:.3f}"])
+    print(
+        render_table(
+            ["histogram", "labels", "count", "mean ms"],
+            rows,
+            title="Latencies",
+        )
+    )
+    return 0
+
+
+def _trace(args) -> int:
+    """Run one traced download and print the joined span tree."""
+    distributor, _ = _open(args)
+    tracer = get_tracer()
+    with tracer.trace(f"get {args.filename}", client=args.client):
+        data = distributor.get_file(
+            args.client, args.password, args.filename,
+            pipelined=not args.no_pipeline,
+        )
+    trace = tracer.last_trace()
+    print(trace.render_tree())
+    print(
+        f"retrieved {format_bytes(len(data))}; "
+        f"{len(trace.spans)} spans recorded"
+    )
+    return 0
+
+
 def _serve(args) -> int:
     """Run one chunk server fronting a memory or disk backend.
 
@@ -364,6 +480,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output")
     p.add_argument("--no-pipeline", action="store_true",
                    help="use the historical chunk-serial data path")
+    p.add_argument("--verify", action="store_true",
+                   help="re-read (through the cache) and compare")
     p.set_defaults(func=_get)
 
     p = with_state(sub.add_parser("rm", help="remove a file from all providers"))
@@ -406,6 +524,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="delete orphan objects no table references")
     p.set_defaults(func=_scrub)
 
+    p = with_state(sub.add_parser(
+        "stats", help="accumulated telemetry for this deployment"))
+    p.add_argument("--format", choices=["text", "prom", "json"],
+                   default="text",
+                   help="text tables, Prometheus exposition, or JSON")
+    p.set_defaults(func=_stats)
+
+    p = with_state(sub.add_parser(
+        "trace", help="download a file with tracing on; print the span tree"))
+    p.add_argument("client")
+    p.add_argument("password")
+    p.add_argument("filename")
+    p.add_argument("--no-pipeline", action="store_true",
+                   help="use the historical chunk-serial data path")
+    p.set_defaults(func=_trace)
+
     p = sub.add_parser("suggest-level", help="advisory mining-sensitivity score")
     p.add_argument("file")
     p.set_defaults(func=_suggest)
@@ -424,8 +558,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    global _installed_registry
+    _installed_registry = None
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    finally:
+        if hasattr(args, "state"):
+            _persist_metrics(_state_dir(args))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -6,12 +6,23 @@ worries about: an intruder probing many chunks.  The log records every
 data-path operation with its simulated timestamp and outcome, and offers
 simple anomaly queries (repeated authentication failures, unusually broad
 read sweeps).
+
+Every record is additionally emitted through the structured-log event
+path (:mod:`repro.obs.events`), so audit entries interleave with the rest
+of the telemetry stream -- ``repro stats`` consumers and tests tail one
+feed instead of two.  Records carry the virtual ids and provider names
+the operation touched, which is what the provider-sweep anomaly query
+keys on: a client whose reads fan out across many virtual ids *and* many
+providers inside a short window looks like data-mining reconnaissance,
+not normal file access.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable
+
+from repro.obs.events import EventLog, get_events
 
 
 @dataclass(frozen=True)
@@ -25,6 +36,16 @@ class AuditEvent:
     serial: int | None
     ok: bool
     detail: str = ""
+    virtual_ids: tuple[int, ...] = ()
+    providers: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class SweepBreadth:
+    """Breadth of a client's trailing read activity, keyed by virtual id."""
+
+    virtual_ids: int  # distinct virtual ids read
+    providers: int  # distinct providers those reads touched
 
 
 @dataclass
@@ -33,11 +54,13 @@ class AuditLog:
 
     ``now`` supplies timestamps (wire it to a SimulatedClock's ``now`` for
     simulated deployments; defaults to a monotone counter so the log works
-    without a clock).
+    without a clock).  ``event_log`` is the structured-log sink; it
+    defaults to the process-wide event log at record time.
     """
 
     now: Callable[[], float] | None = None
     events: list[AuditEvent] = field(default_factory=list)
+    event_log: EventLog | None = None
     _counter: int = 0
 
     def _timestamp(self) -> float:
@@ -54,6 +77,8 @@ class AuditLog:
         serial: int | None = None,
         ok: bool = True,
         detail: str = "",
+        virtual_ids: tuple[int, ...] = (),
+        providers: tuple[str, ...] = (),
     ) -> AuditEvent:
         event = AuditEvent(
             timestamp=self._timestamp(),
@@ -63,8 +88,23 @@ class AuditLog:
             serial=serial,
             ok=ok,
             detail=detail,
+            virtual_ids=tuple(virtual_ids),
+            providers=tuple(providers),
         )
         self.events.append(event)
+        sink = self.event_log if self.event_log is not None else get_events()
+        sink.emit(
+            "audit",
+            level="info" if ok else "warning",
+            op=operation,
+            client=client,
+            file=filename,
+            serial=serial,
+            ok=ok,
+            detail=detail,
+            virtual_ids=list(event.virtual_ids),
+            providers=list(event.providers),
+        )
         return event
 
     # -- queries -----------------------------------------------------------
@@ -89,22 +129,47 @@ class AuditLog:
             streak += 1
         return streak
 
-    def read_sweep_breadth(self, client: str, window: float) -> int:
-        """Distinct (filename, serial) pairs read in the trailing *window*
-        of time -- a full-corpus sweep is what an exfiltrating intruder
-        with a stolen password looks like."""
+    def _trailing_reads(self, client: str, window: float) -> list[AuditEvent]:
         if not self.events:
-            return 0
+            return []
         cutoff = self.events[-1].timestamp - window
-        seen = {
-            (e.filename, e.serial)
+        return [
+            e
             for e in self.events
             if e.client == client
             and e.timestamp >= cutoff
             and e.operation in ("get_chunk", "get_file")
             and e.ok
+        ]
+
+    def read_sweep_breadth(self, client: str, window: float) -> int:
+        """Distinct (filename, serial) pairs read in the trailing *window*
+        of time -- a full-corpus sweep is what an exfiltrating intruder
+        with a stolen password looks like."""
+        seen = {
+            (e.filename, e.serial)
+            for e in self._trailing_reads(client, window)
         }
         return len(seen)
+
+    def provider_sweep_breadth(
+        self, client: str, window: float
+    ) -> SweepBreadth:
+        """How broadly *client*'s trailing reads fanned out, keyed by
+        virtual id.
+
+        Counts the distinct virtual ids read in the trailing *window* and
+        the distinct providers those reads touched.  High breadth on both
+        axes is the "broad read sweep across providers" precursor: an
+        intruder collecting chunks fleet-wide to mine, where a legitimate
+        client re-reading one file keeps both counts small.
+        """
+        vids: set[int] = set()
+        providers: set[str] = set()
+        for event in self._trailing_reads(client, window):
+            vids.update(event.virtual_ids)
+            providers.update(event.providers)
+        return SweepBreadth(virtual_ids=len(vids), providers=len(providers))
 
     def __len__(self) -> int:
         return len(self.events)

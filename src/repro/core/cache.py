@@ -11,14 +11,39 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro.obs.metrics import MetricsRegistry, get_metrics
+
 
 class ChunkCache:
-    """Byte-capacity-bounded LRU of decoded chunk payloads."""
+    """Byte-capacity-bounded LRU of decoded chunk payloads.
 
-    def __init__(self, capacity_bytes: int) -> None:
+    Hit/miss/eviction tallies feed both the instance attributes (kept for
+    direct inspection) and the shared ``cache_*_total`` counters in the
+    metrics registry, so ``repro stats`` sees cache behaviour without a
+    handle on the cache object.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         if capacity_bytes <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
+        metrics = metrics if metrics is not None else get_metrics()
+        self._hits = metrics.counter(
+            "cache_hits_total", help="chunk cache hits"
+        )
+        self._misses = metrics.counter(
+            "cache_misses_total", help="chunk cache misses"
+        )
+        self._evictions = metrics.counter(
+            "cache_evictions_total", help="chunk cache LRU evictions"
+        )
+        self._stored = metrics.gauge(
+            "cache_stored_bytes", help="bytes currently cached"
+        )
         self._entries: OrderedDict[int, bytes] = OrderedDict()
         self._bytes = 0
         self.hits = 0
@@ -30,9 +55,11 @@ class ChunkCache:
         payload = self._entries.get(virtual_id)
         if payload is None:
             self.misses += 1
+            self._misses.inc()
             return None
         self._entries.move_to_end(virtual_id)
         self.hits += 1
+        self._hits.inc()
         return payload
 
     def put(self, virtual_id: int, payload: bytes) -> None:
@@ -51,15 +78,19 @@ class ChunkCache:
             _, evicted = self._entries.popitem(last=False)
             self._bytes -= len(evicted)
             self.evictions += 1
+            self._evictions.inc()
+        self._stored.set(self._bytes)
 
     def invalidate(self, virtual_id: int) -> None:
         old = self._entries.pop(virtual_id, None)
         if old is not None:
             self._bytes -= len(old)
+            self._stored.set(self._bytes)
 
     def clear(self) -> None:
         self._entries.clear()
         self._bytes = 0
+        self._stored.set(0)
 
     @property
     def stored_bytes(self) -> int:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Callable, TypeVar
@@ -36,6 +37,9 @@ from repro.core.errors import (
 )
 from repro.health.monitor import HealthMonitor
 from repro.core.misleading import inject, remove as remove_misleading
+from repro.obs.events import EventLog, get_events
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.trace import Tracer, get_tracer
 from repro.core.placement import PlacementPolicy
 from repro.core.privacy import ChunkSizePolicy, PrivacyLevel
 from repro.core.snapshots import SnapshotManager
@@ -152,14 +156,26 @@ class CloudDataDistributor:
         max_transport_workers: int | None = None,
         health: "HealthMonitor | None" = None,
         pipelined: bool = True,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        events: EventLog | None = None,
     ) -> None:
         seeds = spawn_seeds(seed, 3)
         self.audit = audit
         self.cache = cache
         self.registry = registry
+        # Telemetry sinks default to the process-wide singletons so every
+        # component reports into the same registry; tests inject their own.
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.events = events if events is not None else get_events()
         # Every distributor tracks fleet health from its own traffic; pass
         # a shared monitor to pool evidence across distributors.
-        self.health = health if health is not None else HealthMonitor(registry)
+        self.health = (
+            health
+            if health is not None
+            else HealthMonitor(registry, metrics=self.metrics)
+        )
         # Serializes table mutation between client ops and the background
         # scrubber; provider I/O inside an op may still fan out.
         self.op_lock = threading.RLock()
@@ -189,6 +205,10 @@ class CloudDataDistributor:
         # Filenames with an upload in flight per client: the duplicate-name
         # check must hold across the lock-free transfer phase.
         self._inflight_uploads: dict[str, set[str]] = {}
+        # Per-thread scratch pad for the virtual ids / providers an op
+        # touches, drained into its audit record (the provider-sweep
+        # anomaly queries key on them).
+        self._audit_note = threading.local()
 
         for entry in registry.all():
             self.provider_table.add(
@@ -317,19 +337,71 @@ class CloudDataDistributor:
 
         return probe_provider(provider)
 
-    def _audited(self, operation, client, filename, serial, fn):
-        """Run *fn*, recording the outcome in the audit log (if attached)."""
-        if self.audit is None:
-            return fn()
-        try:
-            result = fn()
-        except ReproError as exc:
+    @contextlib.contextmanager
+    def _phase(self, op: str, phase: str):
+        """Time one data-path phase: a trace span plus a latency histogram.
+
+        The histogram always fires; the span is a no-op outside a trace.
+        """
+        t0 = time.perf_counter()
+        with self.tracer.span(f"{op}.{phase}"):
+            try:
+                yield
+            finally:
+                self.metrics.histogram(
+                    "distributor_phase_seconds", op=op, phase=phase
+                ).observe(time.perf_counter() - t0)
+
+    def _note_audit(self, vids=(), providers=()) -> None:
+        """Remember virtual ids / provider names the current op touched."""
+        cell = self._audit_note
+        if not hasattr(cell, "vids"):
+            cell.vids, cell.providers = set(), set()
+        cell.vids.update(vids)
+        cell.providers.update(providers)
+
+    def _drain_audit_note(self) -> tuple[tuple[int, ...], tuple[str, ...]]:
+        cell = self._audit_note
+        vids = tuple(sorted(getattr(cell, "vids", ())))
+        providers = tuple(sorted(getattr(cell, "providers", ())))
+        cell.vids, cell.providers = set(), set()
+        return vids, providers
+
+    def _record_op(
+        self,
+        operation: str,
+        client: str,
+        filename: str | None,
+        serial: int | None,
+        ok: bool,
+        detail: str = "",
+    ) -> None:
+        """Count one finished client op and (if attached) audit it."""
+        vids, providers = self._drain_audit_note()
+        self.metrics.counter(
+            "distributor_ops_total",
+            op=operation,
+            status="ok" if ok else "error",
+        ).inc()
+        if self.audit is not None:
             self.audit.record(
                 operation, client, filename, serial,
-                ok=False, detail=type(exc).__name__,
+                ok=ok, detail=detail,
+                virtual_ids=vids, providers=providers,
             )
-            raise
-        self.audit.record(operation, client, filename, serial, ok=True)
+
+    def _audited(self, operation, client, filename, serial, fn):
+        """Run *fn*, counting the outcome and recording it in the audit log."""
+        with self.tracer.span(f"distributor.{operation}", client=client):
+            try:
+                result = fn()
+            except ReproError as exc:
+                self._record_op(
+                    operation, client, filename, serial,
+                    ok=False, detail=type(exc).__name__,
+                )
+                raise
+            self._record_op(operation, client, filename, serial, ok=True)
         return result
 
     def _parallel_window(self):
@@ -410,7 +482,16 @@ class CloudDataDistributor:
                     if stop_on_error:
                         break
             return outcomes
-        futures = [self._executor(workers).submit(fn, item) for item in items]
+        # Pool workers have no active span; hand them the dispatching
+        # thread's context so their net spans (and TRACED wire contexts)
+        # stay inside this request's trace.
+        captured = self.tracer.capture()
+
+        def run(item: _T) -> _R:
+            with self.tracer.adopt(captured):
+                return fn(item)
+
+        futures = [self._executor(workers).submit(run, item) for item in items]
         outcomes = []
         for future in futures:
             try:
@@ -564,6 +645,8 @@ class CloudDataDistributor:
         Safe to call lock-free (the pipelined abort path does): only the
         id allocator touch re-enters the critical section.
         """
+        self.metrics.counter("distributor_rollbacks_total").inc()
+        self.events.emit("upload_rollback", level="warning", vid=plan.vid)
         for shard_index, name in enumerate(plan.assigned):
             with contextlib.suppress(ProviderError):
                 self.registry.get(name).provider.delete(
@@ -577,6 +660,7 @@ class CloudDataDistributor:
 
         Must run inside the critical section.
         """
+        self._note_audit(vids=(plan.vid,), providers=plan.assigned)
         provider_indices: list[int] = []
         for shard_index, provider_name in enumerate(plan.assigned):
             table_index = self.provider_table.index_of(provider_name)
@@ -656,10 +740,26 @@ class CloudDataDistributor:
                     with contextlib.suppress(ProviderError):
                         self.registry.get(name).provider.delete(key)
                     continue
+                self.metrics.counter("distributor_failover_shards_total").inc()
+                self.events.emit(
+                    "write_failover",
+                    vid=vid,
+                    shard=shard_index,
+                    src=assigned[shard_index],
+                    dst=name,
+                )
                 assigned[shard_index] = name
                 placed = True
                 break
             if not placed:
+                self.metrics.counter("distributor_failover_failed_total").inc()
+                self.events.emit(
+                    "failover_exhausted",
+                    level="warning",
+                    vid=vid,
+                    shard=shard_index,
+                    src=assigned[shard_index],
+                )
                 remaining.append(shard_index)
         return remaining
 
@@ -699,6 +799,13 @@ class CloudDataDistributor:
         Served from the chunk cache when attached (filled on miss,
         invalidated by update/remove).
         """
+        self._note_audit(
+            vids=(entry.virtual_id,),
+            providers=(
+                self.provider_table.get(i).name
+                for i in entry.provider_indices
+            ),
+        )
         if self.cache is not None:
             cached = self.cache.get(entry.virtual_id)
             if cached is not None:
@@ -813,17 +920,17 @@ class CloudDataDistributor:
         try:
             self._authorize(client, password, pl)
         except ReproError as exc:
-            if self.audit is not None:
-                self.audit.record("upload", client, filename, None,
-                                  ok=False, detail=type(exc).__name__)
+            self._record_op("upload", client, filename, None,
+                            ok=False, detail=type(exc).__name__)
             raise
         use_pipeline = self.pipelined if pipelined is None else pipelined
         if use_pipeline:
-            return self._upload_file_pipelined(
-                client, pl, filename, data, raid_level, stripe_width,
-                misleading_fraction, parallel,
-            )
-        with self.op_lock:
+            with self.tracer.span("distributor.upload", client=client):
+                return self._upload_file_pipelined(
+                    client, pl, filename, data, raid_level, stripe_width,
+                    misleading_fraction, parallel,
+                )
+        with self.tracer.span("distributor.upload", client=client), self.op_lock:
             client_entry = self.client_table.get(client)
             self._check_new_filename(client, filename)
             raid = raid_level or self.default_raid_level
@@ -855,12 +962,10 @@ class CloudDataDistributor:
                 for ref in stored_refs:
                     self._delete_chunk(ref)
                     client_entry.chunk_refs.remove(ref)
-                if self.audit is not None:
-                    self.audit.record("upload", client, filename, None,
-                                      ok=False, detail=type(exc).__name__)
+                self._record_op("upload", client, filename, None,
+                                ok=False, detail=type(exc).__name__)
                 raise
-        if self.audit is not None:
-            self.audit.record("upload", client, filename, None, ok=True)
+        self._record_op("upload", client, filename, None, ok=True)
         return FileReceipt(
             filename=filename,
             privacy_level=pl,
@@ -891,7 +996,7 @@ class CloudDataDistributor:
         a racing duplicate upload is rejected up front.
         """
         # -- plan (critical section): rng draws, placement, id allocation --
-        with self.op_lock:
+        with self.op_lock, self._phase("upload", "plan"):
             self._check_new_filename(client, filename)
             raid = raid_level or self.default_raid_level
             width = stripe_width or self._stripe_width_for(pl, raid)
@@ -912,9 +1017,9 @@ class CloudDataDistributor:
                 for plan in plans:
                     self.ids.release(plan.vid)
                 self._release_upload_slot(client, filename)
-                if self.audit is not None and isinstance(exc, ReproError):
-                    self.audit.record("upload", client, filename, None,
-                                      ok=False, detail=type(exc).__name__)
+                if isinstance(exc, ReproError):
+                    self._record_op("upload", client, filename, None,
+                                    ok=False, detail=type(exc).__name__)
                 raise
 
         # -- transfer (lock-free): batched puts, failover ------------------
@@ -922,7 +1027,7 @@ class CloudDataDistributor:
             window = (
                 self._parallel_window() if parallel else contextlib.nullcontext()
             )
-            with window:
+            with window, self._phase("upload", "transfer"):
                 self._transfer_plans(plans)
                 lost = [plan for plan in plans if self._recover_plan(plan)]
             if lost:
@@ -930,16 +1035,15 @@ class CloudDataDistributor:
                 for plan in plans:
                     self._rollback_plan(plan)
                 error = lost[0].first_error
-                if self.audit is not None:
-                    self.audit.record("upload", client, filename, None,
-                                      ok=False, detail=type(error).__name__)
+                self._record_op("upload", client, filename, None,
+                                ok=False, detail=type(error).__name__)
                 raise error
         except BaseException:
             self._release_upload_slot(client, filename)
             raise
 
         # -- commit (critical section): tables and client refs -------------
-        with self.op_lock:
+        with self.op_lock, self._phase("upload", "commit"):
             self._release_upload_slot(client, filename)
             client_entry = self.client_table.get(client)
             for plan in plans:
@@ -952,8 +1056,7 @@ class CloudDataDistributor:
                         chunk_index=chunk_index,
                     )
                 )
-        if self.audit is not None:
-            self.audit.record("upload", client, filename, None, ok=True)
+        self._record_op("upload", client, filename, None, ok=True)
         return FileReceipt(
             filename=filename,
             privacy_level=pl,
@@ -1105,21 +1208,25 @@ class CloudDataDistributor:
         def work_pipelined() -> bytes:
             # Phase 1 (critical section): resolve refs -> entries ->
             # provider names, and consult the (unsynchronized) cache.
-            with self.op_lock:
+            with self.op_lock, self._phase("get_file", "resolve"):
                 refs = self.client_table.get(client).refs_for_file(filename)
                 self._authorize(client, password, refs[0].privacy_level)
                 jobs: list[_FetchJob] = []
                 for ref in refs:
                     entry = self.chunk_table.get(ref.chunk_index)
+                    names = [
+                        self.provider_table.get(i).name
+                        for i in entry.provider_indices
+                    ]
+                    self._note_audit(
+                        vids=(entry.virtual_id,), providers=names
+                    )
                     jobs.append(
                         _FetchJob(
                             serial=ref.serial,
                             entry=entry,
                             state=self._chunk_state[entry.virtual_id],
-                            names=[
-                                self.provider_table.get(i).name
-                                for i in entry.provider_indices
-                            ],
+                            names=names,
                             cached=(
                                 self.cache.get(entry.virtual_id)
                                 if self.cache is not None
@@ -1131,7 +1238,7 @@ class CloudDataDistributor:
             window = (
                 self._parallel_window() if parallel else contextlib.nullcontext()
             )
-            with window:
+            with window, self._phase("get_file", "fetch"):
                 self._prefetch_jobs(jobs)
                 payloads = [self._assemble_job(job) for job in jobs]
             # refs_for_file returns serial order, so the payloads
@@ -1143,7 +1250,7 @@ class CloudDataDistributor:
                 offset += len(payload)
             # Phase 3 (critical section): fill the shared chunk cache.
             if self.cache is not None:
-                with self.op_lock:
+                with self.op_lock, self._phase("get_file", "cache_fill"):
                     for job, payload in zip(jobs, payloads):
                         if job.cached is None:
                             self.cache.put(job.entry.virtual_id, payload)
@@ -1173,6 +1280,13 @@ class CloudDataDistributor:
     def _delete_chunk(self, ref: FileChunkRef) -> None:
         entry = self.chunk_table.get(ref.chunk_index)
         vid = entry.virtual_id
+        self._note_audit(
+            vids=(vid,),
+            providers=(
+                self.provider_table.get(i).name
+                for i in entry.provider_indices
+            ),
+        )
         for shard_index, table_index in enumerate(entry.provider_indices):
             name = self.provider_table.get(table_index).name
             key = shard_key(vid, shard_index)
@@ -1245,15 +1359,11 @@ class CloudDataDistributor:
         (preferably outside the stripe group) and the Chunk Table's SP
         column updated, per Table III.
         """
-        if self.audit is not None:
-            return self._audited(
-                "update_chunk", client, filename, serial,
-                lambda: self._update_chunk_inner(
-                    client, password, filename, serial, new_payload
-                ),
-            )
-        return self._update_chunk_inner(
-            client, password, filename, serial, new_payload
+        return self._audited(
+            "update_chunk", client, filename, serial,
+            lambda: self._update_chunk_inner(
+                client, password, filename, serial, new_payload
+            ),
         )
 
     def _update_chunk_inner(
@@ -1360,26 +1470,30 @@ class CloudDataDistributor:
         surviving stripe members and relocated to a healthy eligible
         provider outside the current group.
         """
-        with self.op_lock:
-            refs = self.client_table.get(client).refs_for_file(filename)
-            self._authorize(client, password, refs[0].privacy_level)
-            missing = rebuilt = unrecoverable = 0
-            relocations: list[tuple[int, int, str, str]] = []
-            for ref in refs:
-                entry = self.chunk_table.get(ref.chunk_index)
-                m, r, u, moved = self._repair_chunk(entry)
-                missing += m
-                rebuilt += r
-                unrecoverable += u
-                relocations.extend(moved)
-        return RepairReport(
-            filename=filename,
-            chunks_checked=len(refs),
-            shards_missing=missing,
-            shards_rebuilt=rebuilt,
-            chunks_unrecoverable=unrecoverable,
-            relocations=relocations,
-        )
+
+        def work() -> RepairReport:
+            with self.op_lock:
+                refs = self.client_table.get(client).refs_for_file(filename)
+                self._authorize(client, password, refs[0].privacy_level)
+                missing = rebuilt = unrecoverable = 0
+                relocations: list[tuple[int, int, str, str]] = []
+                for ref in refs:
+                    entry = self.chunk_table.get(ref.chunk_index)
+                    m, r, u, moved = self._repair_chunk(entry)
+                    missing += m
+                    rebuilt += r
+                    unrecoverable += u
+                    relocations.extend(moved)
+            return RepairReport(
+                filename=filename,
+                chunks_checked=len(refs),
+                shards_missing=missing,
+                shards_rebuilt=rebuilt,
+                chunks_unrecoverable=unrecoverable,
+                relocations=relocations,
+            )
+
+        return self._audited("repair_file", client, filename, None, work)
 
     def _repair_chunk(
         self, entry: ChunkEntry, suspect: list[int] | tuple[int, ...] = ()
@@ -1462,6 +1576,16 @@ class CloudDataDistributor:
                 with contextlib.suppress(ProviderError):
                     self.registry.get(old_name).provider.delete(key)
                 relocations.append((vid, shard_index, old_name, stored_to))
+                self.metrics.counter(
+                    "distributor_shards_relocated_total"
+                ).inc()
+                self.events.emit(
+                    "shard_relocated",
+                    vid=vid,
+                    shard=shard_index,
+                    src=old_name,
+                    dst=stored_to,
+                )
             self.provider_table.record_remove(old_table_index, key)
             new_table_index = self.provider_table.index_of(stored_to)
             self.provider_table.record_store(new_table_index, key)

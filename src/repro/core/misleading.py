@@ -13,10 +13,12 @@ is a pure function of (stored bytes, positions).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.metrics import get_metrics
 from repro.util.rng import SeedLike, derive_rng
 
 
@@ -49,6 +51,7 @@ def inject(
     n_fake = int(round(len(payload) * fraction))
     if n_fake == 0:
         return InjectionResult(stored=payload, positions=())
+    t0 = time.perf_counter()
     gen = derive_rng(rng)
     if mimic and payload:
         source = np.frombuffer(payload, dtype=np.uint8)
@@ -65,6 +68,11 @@ def inject(
     stored[mask] = fake
     if payload:
         stored[~mask] = np.frombuffer(payload, dtype=np.uint8)
+    metrics = get_metrics()
+    metrics.histogram("misleading_transform_seconds", op="inject").observe(
+        time.perf_counter() - t0
+    )
+    metrics.counter("misleading_bytes_total", op="inject").inc(n_fake)
     return InjectionResult(
         stored=stored.tobytes(), positions=tuple(int(p) for p in positions)
     )
@@ -89,6 +97,7 @@ def remove(
     """
     if not positions:
         return stored
+    t0 = time.perf_counter()
     pos = np.asarray(positions, dtype=np.int64)
     if validate:
         if pos.min() < 0 or pos.max() >= len(stored):
@@ -98,4 +107,10 @@ def remove(
             )
         if len(np.unique(pos)) != len(pos):
             raise ValueError("misleading positions contain duplicates")
-    return np.delete(np.frombuffer(stored, dtype=np.uint8), pos).tobytes()
+    out = np.delete(np.frombuffer(stored, dtype=np.uint8), pos).tobytes()
+    metrics = get_metrics()
+    metrics.histogram("misleading_transform_seconds", op="remove").observe(
+        time.perf_counter() - t0
+    )
+    metrics.counter("misleading_bytes_total", op="remove").inc(len(pos))
+    return out

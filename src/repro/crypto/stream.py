@@ -8,8 +8,11 @@ encryption cost (the Feistel cipher represents a slower block cipher).
 from __future__ import annotations
 
 import hashlib
+import time
 
 import numpy as np
+
+from repro.obs.metrics import get_metrics
 
 _CHUNK = 32  # SHA-256 digest size
 
@@ -41,20 +44,28 @@ class StreamCipher:
         start = offset - first * _CHUNK
         return bytes(stream[start : start + nbytes])
 
+    def _transform(
+        self, data: bytes, nonce: int, offset: int, op: str
+    ) -> bytes:
+        t0 = time.perf_counter()
+        ks = np.frombuffer(
+            self.keystream(len(data), nonce, offset=offset), dtype=np.uint8
+        )
+        out = (np.frombuffer(data, dtype=np.uint8) ^ ks).tobytes()
+        metrics = get_metrics()
+        metrics.histogram("cipher_transform_seconds", op=op).observe(
+            time.perf_counter() - t0
+        )
+        metrics.counter("cipher_bytes_total", op=op).inc(len(data))
+        return out
+
     def encrypt(self, plaintext: bytes, nonce: int = 0) -> bytes:
-        ks = np.frombuffer(self.keystream(len(plaintext), nonce), dtype=np.uint8)
-        pt = np.frombuffer(plaintext, dtype=np.uint8)
-        return (pt ^ ks).tobytes()
+        return self._transform(plaintext, nonce, 0, "encrypt")
 
     def decrypt(self, ciphertext: bytes, nonce: int = 0) -> bytes:
-        return self.encrypt(ciphertext, nonce)
+        return self._transform(ciphertext, nonce, 0, "decrypt")
 
     def decrypt_range(
         self, ciphertext_slice: bytes, offset: int, nonce: int = 0
     ) -> bytes:
-        ks = np.frombuffer(
-            self.keystream(len(ciphertext_slice), nonce, offset=offset),
-            dtype=np.uint8,
-        )
-        ct = np.frombuffer(ciphertext_slice, dtype=np.uint8)
-        return (ct ^ ks).tobytes()
+        return self._transform(ciphertext_slice, nonce, offset, "decrypt")

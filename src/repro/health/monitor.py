@@ -31,6 +31,7 @@ from enum import Enum
 from typing import TYPE_CHECKING
 
 from repro.core.errors import ProviderError, ProviderUnavailableError, ReproError
+from repro.obs.metrics import MetricsRegistry, get_metrics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.providers.base import CloudProvider
@@ -82,16 +83,54 @@ def probe_provider(provider: "CloudProvider") -> bool:
 
 @dataclass
 class ProviderHealth:
-    """Mutable health record for one provider."""
+    """Mutable health record for one provider.
+
+    Success/failure totals live in the shared metrics registry (the
+    ``health_provider_results_total`` counter, labelled by provider and
+    outcome) rather than private integers, so the health report and
+    ``repro stats`` count the very same traffic.  A record created
+    outside a monitor (e.g. a placeholder row) reads zero.
+    """
 
     name: str
     error_ewma: float = 0.0
     consecutive_failures: int = 0
-    successes: int = 0
-    failures: int = 0
     marked_down: bool = False
     last_probe_ok: bool | None = None
     last_probe_at: float = field(default=float("-inf"))
+    metrics: MetricsRegistry | None = None
+
+    def __post_init__(self) -> None:
+        metrics = self.metrics if self.metrics is not None else get_metrics()
+        self._success = metrics.counter(
+            "health_provider_results_total",
+            provider=self.name,
+            outcome="success",
+        )
+        self._failure = metrics.counter(
+            "health_provider_results_total",
+            provider=self.name,
+            outcome="failure",
+        )
+        # The registry counter is process-wide and outlives any one record
+        # (several monitors may track the same provider name); baselines
+        # keep this record's view scoped to traffic it witnessed itself.
+        self._success_base = self._success.value
+        self._failure_base = self._failure.value
+
+    @property
+    def successes(self) -> int:
+        return int(self._success.value - self._success_base)
+
+    @property
+    def failures(self) -> int:
+        return int(self._failure.value - self._failure_base)
+
+    def count_success(self) -> None:
+        self._success.inc()
+
+    def count_failure(self) -> None:
+        self._failure.inc()
 
 
 class HealthMonitor:
@@ -114,6 +153,7 @@ class HealthMonitor:
         down_after: int = 3,
         probe_min_interval: float = 1.0,
         time_fn=time.monotonic,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not 0.0 < ewma_alpha <= 1.0:
             raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
@@ -133,13 +173,16 @@ class HealthMonitor:
         self.down_after = down_after
         self.probe_min_interval = probe_min_interval
         self._time = time_fn
+        self.metrics = metrics if metrics is not None else get_metrics()
         self._lock = threading.RLock()
         self._records: dict[str, ProviderHealth] = {}
 
     def _record(self, name: str) -> ProviderHealth:
         record = self._records.get(name)
         if record is None:
-            record = self._records[name] = ProviderHealth(name)
+            record = self._records[name] = ProviderHealth(
+                name, metrics=self.metrics
+            )
         return record
 
     # -- passive signals (fed by distributor traffic) ----------------------
@@ -147,7 +190,7 @@ class HealthMonitor:
     def record_success(self, name: str) -> None:
         with self._lock:
             record = self._record(name)
-            record.successes += 1
+            record.count_success()
             record.consecutive_failures = 0
             record.marked_down = False
             record.error_ewma *= 1.0 - self.ewma_alpha
@@ -162,7 +205,7 @@ class HealthMonitor:
         """
         with self._lock:
             record = self._record(name)
-            record.failures += 1
+            record.count_failure()
             record.error_ewma = (
                 record.error_ewma * (1.0 - self.ewma_alpha) + self.ewma_alpha
             )
@@ -241,7 +284,9 @@ class HealthMonitor:
         rows: list[list[object]] = []
         with self._lock:
             for name in self.registry.names():
-                record = self._records.get(name) or ProviderHealth(name)
+                record = self._records.get(name) or ProviderHealth(
+                    name, metrics=self.metrics
+                )
                 probe = (
                     "-"
                     if record.last_probe_ok is None

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.errors import BlobCorruptedError, ProviderError
 from repro.core.virtual_id import shard_key
+from repro.obs.metrics import MetricsRegistry, get_metrics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.distributor import CloudDataDistributor
@@ -74,12 +75,14 @@ class Scrubber:
         *,
         interval_s: float = 30.0,
         probe_fleet: bool = True,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval_s must be positive, got {interval_s}")
         self.distributor = distributor
         self.interval_s = interval_s
         self.probe_fleet = probe_fleet
+        self.metrics = metrics if metrics is not None else get_metrics()
         self.reports: list[ScrubReport] = []
         self._cycle = 0
         self._stop = threading.Event()
@@ -119,9 +122,10 @@ class Scrubber:
                 chunks_unrecoverable += unrecoverable
                 relocations.extend(moved)
         self._cycle += 1
+        duration = time.perf_counter() - started
         report = ScrubReport(
             cycle=self._cycle,
-            duration_s=time.perf_counter() - started,
+            duration_s=duration,
             chunks_checked=chunks_checked,
             shards_checked=shards_checked,
             shards_missing=shards_missing,
@@ -130,6 +134,17 @@ class Scrubber:
             relocations=tuple(relocations),
         )
         self.reports.append(report)
+        # Same registry the rest of the data path reports into, so
+        # ``repro stats`` shows scrub coverage next to live traffic.
+        self.metrics.counter("scrub_cycles_total").inc()
+        self.metrics.counter("scrub_chunks_checked_total").inc(chunks_checked)
+        self.metrics.counter("scrub_shards_checked_total").inc(shards_checked)
+        self.metrics.counter("scrub_shards_missing_total").inc(shards_missing)
+        self.metrics.counter("scrub_shards_rebuilt_total").inc(shards_rebuilt)
+        self.metrics.counter("scrub_chunks_unrecoverable_total").inc(
+            chunks_unrecoverable
+        )
+        self.metrics.histogram("scrub_cycle_seconds").observe(duration)
         return report
 
     def _audit_chunk(self, entry) -> tuple[int, list[int]]:

@@ -11,8 +11,17 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator
+
+from repro.obs.events import EventLog, get_events
+from repro.obs.metrics import MetricsRegistry, get_metrics
+
+#: Checkout wait (pop-or-dial seconds) above which the pool reports
+#: saturation: the request had to dial a fresh connection (or the dial
+#: itself crawled), which means the idle stack was empty under load.
+SATURATION_THRESHOLD_S = 0.05
 
 
 class ConnectionPool:
@@ -22,6 +31,12 @@ class ConnectionPool:
     returned for reuse (up to *size* idle sockets are retained), on error
     it is closed -- a connection that failed mid-request is never reused,
     because the stream position can no longer be trusted.
+
+    Checkout waits (idle pop or fresh dial) feed the
+    ``net_pool_checkout_wait_seconds`` histogram; a wait above
+    *saturation_threshold* additionally emits one warning-level
+    ``pool_saturation`` structured-log event carrying the opcode that was
+    kept waiting.
     """
 
     def __init__(
@@ -30,6 +45,10 @@ class ConnectionPool:
         port: int,
         size: int = 4,
         connect_timeout: float = 2.0,
+        *,
+        metrics: MetricsRegistry | None = None,
+        events: EventLog | None = None,
+        saturation_threshold: float = SATURATION_THRESHOLD_S,
     ) -> None:
         if size < 1:
             raise ValueError(f"pool size must be >= 1, got {size}")
@@ -37,6 +56,10 @@ class ConnectionPool:
         self.port = port
         self.size = size
         self.connect_timeout = connect_timeout
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.events = events if events is not None else get_events()
+        self.saturation_threshold = saturation_threshold
+        self.label = f"{host}:{port}"
         self._idle: list[socket.socket] = []
         self._lock = threading.Lock()
         self._closed = False
@@ -49,14 +72,32 @@ class ConnectionPool:
         return sock
 
     @contextmanager
-    def acquire(self) -> Iterator[socket.socket]:
-        """Borrow a socket for one request/response exchange."""
+    def acquire(self, op: str = "") -> Iterator[socket.socket]:
+        """Borrow a socket for one request/response exchange.
+
+        *op* names the wire operation waiting on the checkout, purely for
+        telemetry -- it labels the saturation event when the wait crosses
+        the threshold.
+        """
         if self._closed:
             raise RuntimeError("connection pool is closed")
+        t0 = time.perf_counter()
         with self._lock:
             sock = self._idle.pop() if self._idle else None
         if sock is None:
             sock = self._connect()
+        wait = time.perf_counter() - t0
+        self.metrics.histogram(
+            "net_pool_checkout_wait_seconds", pool=self.label
+        ).observe(wait)
+        if wait > self.saturation_threshold:
+            self.events.emit(
+                "pool_saturation",
+                level="warning",
+                pool=self.label,
+                op=op,
+                wait_s=round(wait, 6),
+            )
         try:
             yield sock
         except BaseException:

@@ -27,6 +27,7 @@ The full specification (including error-code semantics) lives in
 
 from __future__ import annotations
 
+import json
 import socket
 import struct
 import zlib
@@ -67,6 +68,13 @@ class OpCode(IntEnum):
     # status in the response so partial failures stay observable.
     MULTI_PUT = 0x07
     MULTI_GET = 0x08
+    # Telemetry envelope: wraps any other request frame together with the
+    # caller's trace context; the response wraps the inner response frame
+    # plus the server-side span records.  Servers that predate this op
+    # answer BAD_REQUEST ("unknown op code") with the connection intact,
+    # which is exactly the backward-compatible downgrade signal clients
+    # need -- see ``docs/net_protocol.md``.
+    TRACED = 0x09
 
 
 class Status(IntEnum):
@@ -154,6 +162,89 @@ def recv_frame(sock: socket.socket) -> Frame | None:
     if zlib.crc32(payload) & 0xFFFFFFFF != crc:
         raise ProtocolError(f"payload CRC mismatch for key {key_bytes!r}")
     return Frame(code=code, key=key_bytes.decode("utf-8"), payload=payload)
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Decode one complete frame from an in-memory buffer.
+
+    The buffer must contain exactly one frame (header + key + payload);
+    this is the TRACED envelope's way of nesting a frame inside another
+    frame's payload without a socket in between.
+    """
+    if len(data) < HEADER.size:
+        raise ProtocolError("frame buffer shorter than header")
+    magic, version, code, key_len, payload_len, crc = HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    if payload_len > MAX_PAYLOAD:
+        raise ProtocolError(f"payload length {payload_len} exceeds cap")
+    end = HEADER.size + key_len + payload_len
+    if len(data) != end:
+        raise ProtocolError(
+            f"frame buffer is {len(data)} bytes, expected {end}"
+        )
+    key_bytes = data[HEADER.size : HEADER.size + key_len]
+    payload = data[HEADER.size + key_len : end]
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise ProtocolError(f"payload CRC mismatch for key {key_bytes!r}")
+    return Frame(code=code, key=key_bytes.decode("utf-8"), payload=payload)
+
+
+# ---------------------------------------------------------------------------
+# TRACED envelope (trace propagation, backward compatible)
+# ---------------------------------------------------------------------------
+#
+# TRACED request payload:   context length (u16) + context (UTF-8, the
+#                           client's "trace_id:span_id") + the complete
+#                           encoded inner request frame.
+# TRACED response payload:  spans length (u32) + span records (UTF-8 JSON
+#                           list) + the complete encoded inner response
+#                           frame.  The envelope's own status is OK when
+#                           the server understood the envelope; the inner
+#                           frame carries the operation's real status.
+
+_CTX_LEN = struct.Struct("!H")
+_SPANS_LEN = struct.Struct("!I")
+
+
+def encode_traced_request(context: str, inner: bytes) -> bytes:
+    raw = context.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ProtocolError(f"trace context too long: {len(raw)} bytes")
+    return _CTX_LEN.pack(len(raw)) + raw + inner
+
+
+def decode_traced_request(payload: bytes) -> tuple[str, Frame]:
+    if len(payload) < _CTX_LEN.size:
+        raise ProtocolError("TRACED request payload truncated")
+    (ctx_len,) = _CTX_LEN.unpack_from(payload, 0)
+    offset = _CTX_LEN.size
+    if offset + ctx_len > len(payload):
+        raise ProtocolError("TRACED request payload truncated")
+    context = payload[offset : offset + ctx_len].decode("utf-8")
+    return context, decode_frame(payload[offset + ctx_len :])
+
+
+def encode_traced_response(spans_json: bytes, inner: bytes) -> bytes:
+    return _SPANS_LEN.pack(len(spans_json)) + spans_json + inner
+
+
+def decode_traced_response(payload: bytes) -> tuple[list[dict], Frame]:
+    if len(payload) < _SPANS_LEN.size:
+        raise ProtocolError("TRACED response payload truncated")
+    (spans_len,) = _SPANS_LEN.unpack_from(payload, 0)
+    offset = _SPANS_LEN.size
+    if offset + spans_len > len(payload):
+        raise ProtocolError("TRACED response payload truncated")
+    try:
+        records = json.loads(payload[offset : offset + spans_len] or b"[]")
+    except ValueError as exc:
+        raise ProtocolError(f"TRACED span records not valid JSON: {exc}")
+    if not isinstance(records, list):
+        raise ProtocolError("TRACED span records must be a JSON list")
+    return records, decode_frame(payload[offset + spans_len :])
 
 
 # ---------------------------------------------------------------------------

@@ -28,6 +28,7 @@ from repro.core.errors import (
 )
 from repro.net.pool import ConnectionPool
 from repro.net.protocol import (
+    HEADER,
     Frame,
     OpCode,
     ProtocolError,
@@ -35,12 +36,18 @@ from repro.net.protocol import (
     decode_batch_results,
     decode_keys,
     decode_stat,
+    decode_traced_response,
+    encode_frame,
     encode_keys,
     encode_multi_put,
+    encode_traced_request,
     error_for_status,
     recv_frame,
     send_frame,
 )
+from repro.obs.events import EventLog, get_events
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.trace import Tracer, get_tracer
 from repro.providers.base import BlobStat, CloudProvider, blob_checksum
 
 #: Soft cap on one MULTI_PUT/MULTI_GET frame's payload.  Oversized batches
@@ -91,6 +98,9 @@ class RemoteProvider(CloudProvider):
         retry: RetryPolicy | None = None,
         pool_size: int = 4,
         failfast_window: float = 0.0,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        events: EventLog | None = None,
     ) -> None:
         super().__init__(name)
         if op_timeout <= 0:
@@ -104,17 +114,72 @@ class RemoteProvider(CloudProvider):
         self.op_timeout = op_timeout
         self.retry = retry or RetryPolicy()
         self.failfast_window = failfast_window
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.events = events if events is not None else get_events()
         self._down_until = 0.0
+        # Whether the server understands TRACED envelopes: None until the
+        # first traced exchange answers, then cached for the connection's
+        # lifetime (a pre-telemetry server never starts understanding it
+        # mid-flight, and a rolling upgrade recreates the provider).
+        self._server_traced: bool | None = None
         self.pool = ConnectionPool(
-            host, port, size=pool_size, connect_timeout=connect_timeout
+            host, port, size=pool_size, connect_timeout=connect_timeout,
+            metrics=self.metrics, events=self.events,
         )
 
     # -- transport ---------------------------------------------------------
 
+    def _trace_context(self) -> str | None:
+        """The active trace context, unless the server is known untraced."""
+        if self._server_traced is False:
+            return None
+        return self.tracer.wire_context()
+
+    def _wrap_traced(
+        self, context: str, op: OpCode, key: str, payload: bytes
+    ) -> bytes:
+        return encode_traced_request(
+            context, encode_frame(op, key=key, payload=payload)
+        )
+
+    def _unwrap_traced(self, frame: Frame) -> Frame | None:
+        """Inner frame of a TRACED response; ``None`` on server downgrade.
+
+        An old server answers a TRACED envelope with BAD_REQUEST ("unknown
+        op code") and keeps the connection in sync, so ``None`` tells the
+        caller to resend plainly on the same socket.  Any shipped span
+        records are grafted into the active trace here.
+        """
+        if frame.code == Status.BAD_REQUEST and b"unknown op code" in frame.payload:
+            return None
+        if frame.code != Status.OK:
+            return frame  # envelope-level error; surfaces like any other
+        records, inner = decode_traced_response(frame.payload)
+        if records:
+            self.tracer.attach_remote(records)
+        return inner
+
     def _exchange(self, op: OpCode, key: str, payload: bytes) -> Frame:
         """One framed request/response on a pooled connection."""
-        with self.pool.acquire() as sock:
+        context = self._trace_context()
+        with self.pool.acquire(op=op.name) as sock:
             sock.settimeout(self.op_timeout)
+            if context is not None:
+                send_frame(
+                    sock, OpCode.TRACED,
+                    payload=self._wrap_traced(context, op, key, payload),
+                )
+                frame = recv_frame(sock)
+                if frame is None:
+                    raise ProtocolError(
+                        "server closed connection before responding"
+                    )
+                inner = self._unwrap_traced(frame)
+                if inner is not None:
+                    self._server_traced = True
+                    return inner
+                self._server_traced = False  # downgrade: resend plainly
             send_frame(sock, op, key=key, payload=payload)
             frame = recv_frame(sock)
         if frame is None:
@@ -133,11 +198,37 @@ class RemoteProvider(CloudProvider):
         key lists), so the two directions cannot deadlock on full socket
         buffers.
         """
-        with self.pool.acquire() as sock:
+        context = self._trace_context()
+        with self.pool.acquire(op=requests[0][0].name) as sock:
             sock.settimeout(self.op_timeout)
+            if context is not None:
+                for op, key, payload in requests:
+                    send_frame(
+                        sock, OpCode.TRACED,
+                        payload=self._wrap_traced(context, op, key, payload),
+                    )
+                frames: list[Frame] = []
+                downgraded = False
+                for _ in requests:
+                    frame = recv_frame(sock)
+                    if frame is None:
+                        raise ProtocolError(
+                            "server closed connection before responding"
+                        )
+                    inner = self._unwrap_traced(frame)
+                    if inner is None:
+                        downgraded = True
+                    else:
+                        frames.append(inner)
+                if not downgraded:
+                    self._server_traced = True
+                    return frames
+                # Old server: every envelope bounced but the stream is in
+                # sync -- replay the whole window plainly on this socket.
+                self._server_traced = False
             for op, key, payload in requests:
                 send_frame(sock, op, key=key, payload=payload)
-            frames: list[Frame] = []
+            frames = []
             for _ in requests:
                 frame = recv_frame(sock)
                 if frame is None:
@@ -168,6 +259,9 @@ class RemoteProvider(CloudProvider):
         last_exc: Exception | None = None
         for attempt in range(self.retry.attempts):
             if attempt:
+                self.metrics.counter(
+                    "net_client_retries_total", provider=self.name
+                ).inc()
                 time.sleep(self.retry.delay(attempt - 1))
                 # The server may have restarted; pre-restart sockets would
                 # fail again and burn the remaining attempts.
@@ -181,14 +275,49 @@ class RemoteProvider(CloudProvider):
             return result
         if self.failfast_window > 0:
             self._down_until = time.monotonic() + self.failfast_window
+            self.metrics.counter(
+                "net_client_circuit_open_total", provider=self.name
+            ).inc()
+            self.events.emit(
+                "circuit_open",
+                level="warning",
+                provider=self.name,
+                window_s=self.failfast_window,
+                error=str(last_exc),
+            )
         raise ProviderUnavailableError(
             f"provider {self.name!r} at {self.host}:{self.port} unreachable "
             f"after {self.retry.attempts} attempt(s): {last_exc}"
         ) from last_exc
 
+    def _account(self, op: OpCode, sent: int, received: int, t0: float) -> None:
+        """Per-opcode request count, wire bytes and latency for one exchange."""
+        self.metrics.counter(
+            "net_client_requests_total", op=op.name, provider=self.name
+        ).inc()
+        self.metrics.counter(
+            "net_client_wire_bytes_total", direction="out"
+        ).inc(sent)
+        self.metrics.counter(
+            "net_client_wire_bytes_total", direction="in"
+        ).inc(received)
+        self.metrics.histogram(
+            "net_client_request_seconds", op=op.name
+        ).observe(time.perf_counter() - t0)
+
     def _request(self, op: OpCode, key: str = "", payload: bytes = b"") -> Frame:
         """Exchange one frame with transport retries; raises on error status."""
-        frame = self._with_retries(lambda: self._exchange(op, key, payload))
+        t0 = time.perf_counter()
+        # The span is active while _exchange reads wire_context(), so
+        # server-side spans shipped back parent under this net span.
+        with self.tracer.span(f"net.{op.name}", provider=self.name):
+            frame = self._with_retries(lambda: self._exchange(op, key, payload))
+        self._account(
+            op,
+            sent=HEADER.size + len(key.encode()) + len(payload),
+            received=HEADER.size + len(frame.key.encode()) + len(frame.payload),
+            t0=t0,
+        )
         if frame.code != Status.OK:
             raise error_for_status(
                 frame.code, frame.payload.decode("utf-8", "replace")
@@ -203,7 +332,31 @@ class RemoteProvider(CloudProvider):
         Retrying replays the whole window -- idempotent at this layer
         because PUT overwrites whole objects and GET reads.
         """
-        frames = self._with_retries(lambda: self._exchange_pipelined(requests))
+        t0 = time.perf_counter()
+        with self.tracer.span(
+            f"net.{requests[0][0].name}",
+            provider=self.name,
+            frames=len(requests),
+        ):
+            frames = self._with_retries(
+                lambda: self._exchange_pipelined(requests)
+            )
+        for (op, key, payload), frame in zip(requests, frames):
+            self.metrics.counter(
+                "net_client_requests_total", op=op.name, provider=self.name
+            ).inc()
+            self.metrics.counter(
+                "net_client_wire_bytes_total", direction="out"
+            ).inc(HEADER.size + len(key.encode()) + len(payload))
+            self.metrics.counter(
+                "net_client_wire_bytes_total", direction="in"
+            ).inc(HEADER.size + len(frame.key.encode()) + len(frame.payload))
+        # One latency sample per pipelined window (not per frame): the
+        # frames share one round-trip, and N identical samples would skew
+        # the histogram.
+        self.metrics.histogram(
+            "net_client_request_seconds", op=requests[0][0].name
+        ).observe(time.perf_counter() - t0)
         for frame in frames:
             if frame.code != Status.OK:
                 raise error_for_status(

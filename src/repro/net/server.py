@@ -15,6 +15,7 @@ from "object corrupted" from "server gone".
 
 from __future__ import annotations
 
+import json
 import logging
 import socket
 import threading
@@ -22,20 +23,25 @@ import time
 from dataclasses import dataclass
 
 from repro.net.protocol import (
+    HEADER,
     Frame,
     OpCode,
     ProtocolError,
     Status,
     decode_keys,
     decode_multi_put,
+    decode_traced_request,
     encode_batch_results,
     encode_frame,
     encode_keys,
     encode_stat,
+    encode_traced_response,
     recv_frame,
     send_frame,
     status_for_error,
 )
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.trace import Tracer, get_tracer
 from repro.providers.base import CloudProvider, blob_checksum
 from repro.util.rng import SeedLike, derive_rng
 
@@ -110,9 +116,13 @@ class ChunkServer:
         host: str = "127.0.0.1",
         port: int = 0,
         wire_faults: WireFaults | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.backend = backend
         self.wire_faults = wire_faults
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.host = host
         self._requested_port = port
         self._listener: socket.socket | None = None
@@ -236,7 +246,13 @@ class ChunkServer:
                     return
                 if frame is None:
                     return  # clean EOF
+                self.metrics.counter(
+                    "net_server_wire_bytes_total", direction="in"
+                ).inc(HEADER.size + len(frame.key.encode()) + len(frame.payload))
                 status, key, payload = self._dispatch(frame)
+                self.metrics.counter(
+                    "net_server_wire_bytes_total", direction="out"
+                ).inc(HEADER.size + len(key.encode()) + len(payload))
                 fault = (
                     self.wire_faults.draw()
                     if self.wire_faults is not None
@@ -264,11 +280,57 @@ class ChunkServer:
 
     def _dispatch(self, frame: Frame) -> tuple[Status, str, bytes]:
         """Run one request against the backend; never raises."""
+        if frame.code == OpCode.TRACED:
+            return self._dispatch_traced(frame)
+        op_label = (
+            OpCode(frame.code).name
+            if frame.code in OpCode._value2member_map_
+            else f"{frame.code:#x}"
+        )
+        t0 = time.perf_counter()
         try:
-            with self._backend_lock:
-                return self._handle(frame)
+            # The span is a shared no-op unless this request arrived inside
+            # a TRACED envelope (which opened the server-side trace).
+            with self.tracer.span("server.backend", op=op_label):
+                with self._backend_lock:
+                    result = self._handle(frame)
+        except Exception as exc:  # noqa: BLE001 - must answer, not crash
+            result = status_for_error(exc), frame.key, str(exc).encode("utf-8")
+        self.metrics.counter(
+            "net_server_requests_total",
+            op=op_label,
+            status=Status(result[0]).name,
+        ).inc()
+        self.metrics.histogram(
+            "net_server_request_seconds", op=op_label
+        ).observe(time.perf_counter() - t0)
+        return result
+
+    def _dispatch_traced(self, frame: Frame) -> tuple[Status, str, bytes]:
+        """Unwrap a TRACED envelope: trace the inner request, ship spans back.
+
+        The envelope answers OK whenever it was decodable; the inner
+        response frame (nested in the payload) carries the operation's
+        real status, so error semantics match the untraced path exactly.
+        """
+        try:
+            context, inner = decode_traced_request(frame.payload)
         except Exception as exc:  # noqa: BLE001 - must answer, not crash
             return status_for_error(exc), frame.key, str(exc).encode("utf-8")
+        op_label = (
+            OpCode(inner.code).name
+            if inner.code in OpCode._value2member_map_
+            else f"{inner.code:#x}"
+        )
+        with self.tracer.serve_remote(
+            context, f"server.{op_label}", backend=self.backend.name
+        ):
+            status, key, payload = self._dispatch(inner)
+        records = self.tracer.drain_remote(context.partition(":")[0])
+        return Status.OK, "", encode_traced_response(
+            json.dumps(records).encode("utf-8"),
+            encode_frame(status, key=key, payload=payload),
+        )
 
     def _handle(self, frame: Frame) -> tuple[Status, str, bytes]:
         op = frame.code

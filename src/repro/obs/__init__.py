@@ -1,0 +1,48 @@
+"""``repro.obs``: end-to-end telemetry for the distributor stack.
+
+Three legs, each process-wide by default and injectable per component:
+
+* :mod:`repro.obs.metrics` -- counters, gauges and fixed-bucket latency
+  histograms (:class:`MetricsRegistry`), with Prometheus-text and JSON
+  exposition plus mergeable snapshots for the CLI ops surface;
+* :mod:`repro.obs.trace` -- :class:`Span`/:class:`Tracer` causal timing
+  per request, carried across the wire by the TRACED frame extension so
+  chunk-server spans join the client's trace;
+* :mod:`repro.obs.events` -- structured-log events (pool saturation,
+  failover, rollback, audit, finished traces).
+
+The instrumented layers are: distributor phases (plan/transfer/commit,
+fetch/assemble), RAID encode/decode, cipher and misleading-byte
+transforms, the chunk cache, the socket transport (per-opcode counts,
+wire bytes, pool waits, retries, circuit-breaker flips), and the
+health/scrub loop.  ``docs/observability.md`` catalogues every metric
+and span name.
+"""
+
+from repro.obs.events import EventLog, get_events, set_events
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.trace import Span, Trace, Tracer, get_tracer, set_tracer
+
+__all__ = [
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "Tracer",
+    "get_events",
+    "get_metrics",
+    "get_tracer",
+    "set_events",
+    "set_metrics",
+    "set_tracer",
+]

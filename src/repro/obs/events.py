@@ -1,0 +1,104 @@
+"""Structured-log events: one JSON-shaped record per notable occurrence.
+
+The third leg of ``repro.obs``: where metrics aggregate and traces time,
+events *narrate* -- pool saturation, write-path failover, upload
+rollback, audit records, finished traces.  Each event is a plain dict
+with a name, a level and arbitrary fields; it is
+
+* appended to a bounded in-memory ring (:attr:`EventLog.recent`), which
+  is what tests assert on, and
+* emitted as one JSON line through the standard :mod:`logging` logger
+  ``repro.events``, which is what operators ship.
+
+Like the other legs, the log is process-wide by default and injectable
+per component (:func:`get_events` / :func:`set_events`).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from collections import deque
+from typing import Callable
+
+log = logging.getLogger("repro.events")
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class EventLog:
+    """Bounded ring of structured events plus a logging bridge.
+
+    ``keep`` bounds the in-memory ring; ``emit_logging=False`` silences
+    the ``repro.events`` logger (the ring still fills).  ``on_event``
+    hooks every record (used by tests that want a push interface).
+    """
+
+    def __init__(self, keep: int = 1024, emit_logging: bool = True) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.recent: deque[dict] = deque(maxlen=keep)
+        self.emit_logging = emit_logging
+        self.on_event: Callable[[dict], None] | None = None
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def emit(self, event: str, level: str = "info", **fields: object) -> dict:
+        """Record one event; returns the stored dict."""
+        if level not in _LEVELS:
+            raise ValueError(f"unknown level {level!r}")
+        with self._lock:
+            self._seq += 1
+            record = {"seq": self._seq, "event": event, "level": level}
+        record.update(fields)
+        self.recent.append(record)
+        if self.on_event is not None:
+            self.on_event(record)
+        if self.emit_logging and log.isEnabledFor(_LEVELS[level]):
+            log.log(_LEVELS[level], "%s", json.dumps(record, default=str))
+        return record
+
+    # -- queries (tests / CLI) ---------------------------------------------
+
+    def named(self, event: str) -> list[dict]:
+        """Every retained record with this event name, oldest first."""
+        return [r for r in list(self.recent) if r["event"] == event]
+
+    def last(self, event: str | None = None) -> dict | None:
+        if event is None:
+            return self.recent[-1] if self.recent else None
+        matches = self.named(event)
+        return matches[-1] if matches else None
+
+    def clear(self) -> None:
+        self.recent.clear()
+
+    def __len__(self) -> int:
+        return len(self.recent)
+
+
+# ---------------------------------------------------------------------------
+# process-wide default
+# ---------------------------------------------------------------------------
+
+_default = EventLog()
+_default_lock = threading.Lock()
+
+
+def get_events() -> EventLog:
+    """The process-wide event log instrumented code falls back to."""
+    return _default
+
+
+def set_events(events: EventLog) -> EventLog:
+    """Swap the process-wide event log; returns the previous one."""
+    global _default
+    with _default_lock:
+        previous, _default = _default, events
+    return previous

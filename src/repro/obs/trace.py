@@ -1,0 +1,478 @@
+"""Per-request causal timing: spans, traces, and wire propagation.
+
+Metrics answer "how much, how often"; a trace answers "where did *this*
+request's time go".  A :class:`Tracer` keeps a thread-local active span;
+:meth:`Tracer.trace` opens a root span (one client request), and
+:meth:`Tracer.span` nests children under whatever is active.  When no
+trace is active, ``span()`` returns one shared no-op context manager --
+the instrumented data path costs a thread-local read and nothing else,
+which is what lets tracing stay compiled-in on the hot path.
+
+Traces cross the wire: :meth:`Tracer.wire_context` packs the active
+``trace_id:span_id`` for the TRACED frame extension
+(:mod:`repro.net.protocol`), a :class:`~repro.net.server.ChunkServer`
+opens its server-side spans under that parent via
+:meth:`Tracer.serve_remote`, and :meth:`Tracer.attach_remote` grafts the
+records it ships back into the client's tree -- so ``repro trace``
+prints one joined client->server view of a request.
+
+Finished root traces land in :attr:`Tracer.finished` (a bounded deque)
+and are exported as one structured-log event each, which is how tests
+assert on span taxonomy without parsing rendered trees.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+
+class _IdSource:
+    """Process-unique span/trace ids without per-call randomness."""
+
+    def __init__(self, prefix: str) -> None:
+        self._prefix = prefix
+        self._lock = threading.Lock()
+        self._next = 0
+
+    def next_id(self) -> str:
+        with self._lock:
+            self._next += 1
+            return f"{self._prefix}{self._next:08x}"
+
+
+_tracer_seq = _IdSource("")
+
+
+def _tracer_ordinal() -> str:
+    """A process-unique ordinal so two tracers never mint the same id.
+
+    A client tracer and a (different-process or just different-instance)
+    server tracer both contribute span ids to one trace; distinct prefixes
+    keep the grafted tree acyclic without coordination.
+    """
+    return _tracer_seq.next_id().lstrip("0") or "0"
+
+
+@dataclass
+class Span:
+    """One timed operation inside a trace.
+
+    ``remote=True`` marks spans imported from a chunk server; their
+    ``start_offset`` is relative to the *server's* receipt of the request
+    (clocks are not assumed synchronized), so renders show durations and
+    structure rather than absolute alignment.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    start_offset: float = 0.0
+    duration: float = 0.0
+    tags: dict[str, str] = field(default_factory=dict)
+    status: str = "ok"
+    remote: bool = False
+
+    def to_record(self) -> dict:
+        """JSON-ready form (wire export + structured-log export)."""
+        record = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_offset": round(self.start_offset, 6),
+            "duration": round(self.duration, 6),
+            "status": self.status,
+        }
+        if self.tags:
+            record["tags"] = dict(self.tags)
+        if self.remote:
+            record["remote"] = True
+        return record
+
+    @classmethod
+    def from_record(cls, trace_id: str, record: dict) -> "Span":
+        return cls(
+            name=str(record.get("name", "?")),
+            trace_id=trace_id,
+            span_id=str(record.get("span_id", "?")),
+            parent_id=record.get("parent_id"),
+            start_offset=float(record.get("start_offset", 0.0)),
+            duration=float(record.get("duration", 0.0)),
+            tags={
+                str(k): str(v)
+                for k, v in (record.get("tags") or {}).items()
+            },
+            status=str(record.get("status", "ok")),
+            remote=bool(record.get("remote", False)),
+        )
+
+
+@dataclass
+class Trace:
+    """One root span plus everything that happened beneath it.
+
+    ``remote=True`` marks a server-side trace fragment assembled while
+    answering a TRACED request; it is shipped back to the client rather
+    than exported locally.
+    """
+
+    trace_id: str
+    root_name: str
+    spans: list[Span] = field(default_factory=list)
+    started: float = 0.0
+    remote: bool = False
+
+    @property
+    def root(self) -> Span | None:
+        for span in self.spans:
+            if span.parent_id is None:
+                return span
+        return None
+
+    def span_names(self) -> list[str]:
+        return [span.name for span in self.spans]
+
+    def render_tree(self) -> str:
+        """ASCII span tree, children indented under their parents."""
+        by_id = {span.span_id: span for span in self.spans}
+        children: dict[str | None, list[Span]] = {}
+        for span in self.spans:
+            parent = span.parent_id if span.parent_id in by_id else None
+            children.setdefault(parent, []).append(span)
+        for kids in children.values():
+            kids.sort(key=lambda s: (s.remote, s.start_offset))
+        lines: list[str] = [f"trace {self.trace_id} ({len(self.spans)} spans)"]
+
+        def walk(span: Span, prefix: str, last: bool) -> None:
+            joint = "└─ " if last else "├─ "
+            suffix = " [server]" if span.remote else ""
+            mark = "" if span.status == "ok" else f" !{span.status}"
+            tags = (
+                " " + " ".join(f"{k}={v}" for k, v in sorted(span.tags.items()))
+                if span.tags
+                else ""
+            )
+            lines.append(
+                f"{prefix}{joint}{span.name} "
+                f"({span.duration * 1000:.2f} ms){tags}{mark}{suffix}"
+            )
+            child_prefix = prefix + ("   " if last else "│  ")
+            kids = children.get(span.span_id, [])
+            for i, kid in enumerate(kids):
+                walk(kid, child_prefix, i == len(kids) - 1)
+
+        roots = children.get(None, [])
+        for i, root in enumerate(roots):
+            walk(root, "", i == len(roots) - 1)
+        return "\n".join(lines)
+
+
+class _ActiveSpan:
+    """Context manager recording one span into its trace on exit."""
+
+    __slots__ = (
+        "_tracer", "_trace", "span", "_root", "_t0",
+        "_restore", "_restore_trace",
+    )
+
+    def __init__(
+        self, tracer: "Tracer", trace: Trace, span: Span, root: bool
+    ) -> None:
+        self._tracer = tracer
+        self._trace = trace
+        self.span = span
+        self._root = root
+        self._t0 = 0.0
+        self._restore: Span | None = None
+        self._restore_trace: Trace | None = None
+
+    def tag(self, **tags: object) -> None:
+        for key, value in tags.items():
+            self.span.tags[key] = str(value)
+
+    def __enter__(self) -> "_ActiveSpan":
+        local = self._tracer._local()
+        self._restore = local.span
+        self._restore_trace = local.trace
+        local.span = self.span
+        local.trace = self._trace
+        self._t0 = time.perf_counter()
+        self.span.start_offset = self._t0 - self._trace.started
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        self.span.duration = time.perf_counter() - self._t0
+        if exc_type is not None and self.span.status == "ok":
+            self.span.status = exc_type.__name__
+        self._trace.spans.append(self.span)
+        local = self._tracer._local()
+        local.span = self._restore
+        local.trace = self._restore_trace
+        if self._root:
+            self._tracer._finish(self._trace)
+
+
+class _AdoptedContext:
+    """Make a captured (trace, span) active on the current thread."""
+
+    __slots__ = ("_tracer", "_trace", "_span", "_restore", "_restore_trace")
+
+    def __init__(self, tracer: "Tracer", trace: Trace, span: Span) -> None:
+        self._tracer = tracer
+        self._trace = trace
+        self._span = span
+        self._restore: Span | None = None
+        self._restore_trace: Trace | None = None
+
+    def __enter__(self) -> "_AdoptedContext":
+        local = self._tracer._local()
+        self._restore = local.span
+        self._restore_trace = local.trace
+        local.span = self._span
+        local.trace = self._trace
+        return self
+
+    def __exit__(self, *exc) -> None:
+        local = self._tracer._local()
+        local.span = self._restore
+        local.trace = self._restore_trace
+
+
+class _NoopSpan:
+    """Shared, allocation-free stand-in when no trace is active."""
+
+    __slots__ = ()
+    span = None
+
+    def tag(self, **tags: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+class Tracer:
+    """Thread-local span stacks over a bounded finished-trace buffer.
+
+    ``on_finish`` (if set) receives each completed client :class:`Trace`;
+    the default export path additionally emits one ``trace``
+    structured-log event via :mod:`repro.obs.events` so tests and log
+    shippers see span records without holding a tracer reference.
+    """
+
+    def __init__(self, keep: int = 64, export_events: bool = True) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.finished: deque[Trace] = deque(maxlen=keep)
+        self.export_events = export_events
+        self.on_finish = None
+        ordinal = _tracer_ordinal()
+        self._ids = _IdSource(f"s{ordinal}.")
+        self._trace_ids = _IdSource(f"t{ordinal}.")
+        self._tls = threading.local()
+        self._remote_done: dict[str, list[Trace]] = {}
+        self._lock = threading.Lock()
+
+    def _local(self):
+        local = self._tls
+        if not hasattr(local, "span"):
+            local.span = None
+            local.trace = None
+        return local
+
+    # -- span API ----------------------------------------------------------
+
+    def trace(self, name: str, **tags: object) -> _ActiveSpan:
+        """Open a root span (a fresh trace) on this thread."""
+        trace = Trace(
+            trace_id=self._trace_ids.next_id(),
+            root_name=name,
+            started=time.perf_counter(),
+        )
+        span = Span(
+            name=name,
+            trace_id=trace.trace_id,
+            span_id=self._ids.next_id(),
+            parent_id=None,
+            tags={k: str(v) for k, v in tags.items()},
+        )
+        return _ActiveSpan(self, trace, span, root=True)
+
+    def span(self, name: str, **tags: object):
+        """A child span of whatever is active; no-op outside a trace."""
+        local = self._local()
+        parent: Span | None = local.span
+        if parent is None or local.trace is None:
+            return _NOOP
+        span = Span(
+            name=name,
+            trace_id=parent.trace_id,
+            span_id=self._ids.next_id(),
+            parent_id=parent.span_id,
+            tags={k: str(v) for k, v in tags.items()},
+        )
+        return _ActiveSpan(self, local.trace, span, root=False)
+
+    def active(self) -> bool:
+        return self._local().span is not None
+
+    # -- cross-thread propagation ------------------------------------------
+
+    def capture(self):
+        """Snapshot the active (trace, span) for another thread.
+
+        The span stack is thread-local, so work fanned out to a pool
+        vanishes from the trace unless the dispatching thread captures
+        its context and each worker resumes under it.  Returns ``None``
+        outside a trace; hand the result to :meth:`resume`.
+        """
+        local = self._local()
+        if local.span is None or local.trace is None:
+            return None
+        return (local.trace, local.span)
+
+    def adopt(self, captured):
+        """Install a :meth:`capture` context as this thread's active span.
+
+        No new span is opened -- spans the adopting thread creates (and
+        wire contexts it exports) parent under the captured span, exactly
+        as if they ran on the dispatching thread.  Safe concurrently:
+        span lists append under the GIL, and dispatchers join their
+        workers before closing the captured parent.  No-op when
+        ``captured`` is ``None`` (the dispatcher ran untraced).
+        """
+        if captured is None:
+            return _NOOP
+        trace, parent = captured
+        return _AdoptedContext(self, trace, parent)
+
+    # -- wire propagation (client side) ------------------------------------
+
+    def wire_context(self) -> str | None:
+        """``trace_id:span_id`` of the active span, or ``None``.
+
+        This is the string the TRACED frame extension carries; the
+        receiving chunk server parents its spans under ``span_id``.
+        """
+        span = self._local().span
+        if span is None:
+            return None
+        return f"{span.trace_id}:{span.span_id}"
+
+    def attach_remote(self, records: list[dict]) -> None:
+        """Graft span records a server shipped back into the active trace.
+
+        Records whose ``parent_id`` matches no local or shipped span are
+        re-parented under the active span, so a partial export still
+        renders attached instead of orphaned.  Shipped span ids come from
+        the *server's* id source and may collide with local ones, so they
+        are remapped onto fresh local ids before grafting.
+        """
+        local = self._local()
+        if local.trace is None or not records:
+            return
+        active: Span | None = local.span
+        remap = {str(r.get("span_id")): self._ids.next_id() for r in records}
+        known = {s.span_id for s in local.trace.spans}
+        if active is not None:
+            known.add(active.span_id)
+        for record in records:
+            span = Span.from_record(local.trace.trace_id, record)
+            span.remote = True
+            span.span_id = remap[span.span_id]
+            if span.parent_id in remap:
+                span.parent_id = remap[span.parent_id]
+            elif span.parent_id not in known:
+                span.parent_id = (
+                    active.span_id if active is not None else None
+                )
+            local.trace.spans.append(span)
+
+    # -- wire propagation (server side) ------------------------------------
+
+    def serve_remote(self, context: str, name: str, **tags: object):
+        """Open a span under a *remote* parent (server side of TRACED).
+
+        ``context`` is the client's ``wire_context()`` string.  The
+        resulting trace fragment is queued for :meth:`drain_remote`
+        instead of :attr:`finished` -- the trace belongs to the client.
+        """
+        trace_id, _, parent_id = context.partition(":")
+        trace = Trace(
+            trace_id=trace_id or "remote",
+            root_name=name,
+            started=time.perf_counter(),
+            remote=True,
+        )
+        span = Span(
+            name=name,
+            trace_id=trace.trace_id,
+            span_id=self._ids.next_id(),
+            parent_id=parent_id or None,
+            tags={k: str(v) for k, v in tags.items()},
+        )
+        return _ActiveSpan(self, trace, span, root=True)
+
+    def drain_remote(self, trace_id: str) -> list[dict]:
+        """Pop one finished server-side trace fragment as wire records."""
+        with self._lock:
+            queue = self._remote_done.get(trace_id)
+            if not queue:
+                return []
+            trace = queue.pop(0)
+            if not queue:
+                del self._remote_done[trace_id]
+        return [span.to_record() for span in trace.spans]
+
+    # -- completion --------------------------------------------------------
+
+    def _finish(self, trace: Trace) -> None:
+        if trace.remote:
+            with self._lock:
+                self._remote_done.setdefault(trace.trace_id, []).append(trace)
+            return
+        self.finished.append(trace)
+        if self.on_finish is not None:
+            self.on_finish(trace)
+        if self.export_events:
+            from repro.obs.events import get_events
+
+            get_events().emit(
+                "trace",
+                trace_id=trace.trace_id,
+                root=trace.root_name,
+                spans=[span.to_record() for span in trace.spans],
+            )
+
+    def last_trace(self) -> Trace | None:
+        return self.finished[-1] if self.finished else None
+
+
+# ---------------------------------------------------------------------------
+# process-wide default
+# ---------------------------------------------------------------------------
+
+_default = Tracer()
+_default_lock = threading.Lock()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer instrumented code falls back to."""
+    return _default
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-wide tracer; returns the previous one."""
+    global _default
+    with _default_lock:
+        previous, _default = _default, tracer
+    return previous

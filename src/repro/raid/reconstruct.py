@@ -9,9 +9,11 @@ a lost shard for re-replication to a replacement provider.
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 from repro.core.errors import ProviderError, ReconstructionError
+from repro.obs.metrics import get_metrics
 from repro.raid.parity import recover_with_parity
 from repro.raid.striping import RaidLevel, StripeMeta, _rs_code
 
@@ -60,6 +62,7 @@ def read_stripe(
     shards are only fetched when needed.  Raises
     :class:`ReconstructionError` once too many shards have failed.
     """
+    t0 = time.perf_counter()
     shards: dict[int, bytes] = {}
     failed: list[int] = []
     order = list(range(meta.k)) + list(range(meta.k, meta.n))
@@ -72,13 +75,25 @@ def read_stripe(
             shards[index] = fetch(index)
         except ProviderError:
             failed.append(index)
+    metrics = get_metrics()
+    if failed:
+        metrics.counter(
+            "raid_degraded_reads_total", level=meta.level.value
+        ).inc()
     if len(shards) < meta.k:
+        metrics.counter(
+            "raid_unrecoverable_reads_total", level=meta.level.value
+        ).inc()
         raise ReconstructionError(
             f"{meta.level.name} stripe unrecoverable: "
             f"{len(failed)} shard(s) failed ({failed}), "
             f"only {len(shards)}/{meta.k} required shards readable"
         )
-    return _decode(meta, shards), failed
+    payload = _decode(meta, shards)
+    metrics.histogram("raid_decode_seconds", level=meta.level.value).observe(
+        time.perf_counter() - t0
+    )
+    return payload, failed
 
 
 def rebuild_shard(
@@ -87,6 +102,14 @@ def rebuild_shard(
     """Regenerate shard *index* from the surviving *shards*."""
     if not (0 <= index < meta.n):
         raise ValueError(f"shard index {index} out of range 0..{meta.n - 1}")
+    shard = _rebuild(meta, index, shards)
+    get_metrics().counter(
+        "raid_shards_rebuilt_total", level=meta.level.value
+    ).inc()
+    return shard
+
+
+def _rebuild(meta: StripeMeta, index: int, shards: dict[int, bytes]) -> bytes:
     if meta.orig_len == 0:
         return b""
     if meta.level is RaidLevel.RAID0:

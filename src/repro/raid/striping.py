@@ -16,10 +16,12 @@ Level semantics (k data shards, m parity shards, n = k + m = width):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from enum import Enum
 from functools import lru_cache
 
+from repro.obs.metrics import get_metrics
 from repro.raid.parity import xor_parity
 from repro.raid.reed_solomon import RSCode
 
@@ -93,6 +95,7 @@ def encode_stripe(
     Returns (metadata, shards) where shards[0..k-1] are the (zero-padded)
     data shards and shards[k..n-1] the parity shards.
     """
+    t0 = time.perf_counter()
     k, m = level.shard_counts(width)
     orig_len = len(payload)
     shard_size = -(-orig_len // k) if orig_len else 0
@@ -113,6 +116,11 @@ def encode_stripe(
     meta = StripeMeta(
         level=level, width=width, k=k, m=m, shard_size=shard_size, orig_len=orig_len
     )
+    metrics = get_metrics()
+    metrics.histogram("raid_encode_seconds", level=level.value).observe(
+        time.perf_counter() - t0
+    )
+    metrics.counter("raid_encode_bytes_total", level=level.value).inc(orig_len)
     return meta, data_shards + parity
 
 

@@ -6,6 +6,7 @@ from repro.core.audit import AuditLog
 from repro.core.distributor import CloudDataDistributor
 from repro.core.errors import AuthorizationError, UnknownFileError
 from repro.core.privacy import ChunkSizePolicy, PrivacyLevel
+from repro.obs.events import EventLog
 from repro.providers.registry import build_simulated_fleet, default_fleet_specs
 
 
@@ -56,6 +57,49 @@ def test_read_sweep_breadth():
     assert log.read_sweep_breadth("A", window=10.0) == 5
     assert log.read_sweep_breadth("A", window=1.5) == 2  # only the last two
     assert log.read_sweep_breadth("B", window=10.0) == 0
+
+
+def test_provider_sweep_breadth_keyed_by_virtual_id():
+    t = [0.0]
+    log = AuditLog(now=lambda: t[0])
+    # A legitimate client re-reads one chunk: one vid, few providers.
+    for _ in range(4):
+        t[0] += 1.0
+        log.record("get_chunk", "A", "f", 0, ok=True,
+                   virtual_ids=(7,), providers=("p0", "p1"))
+    narrow = log.provider_sweep_breadth("A", window=10.0)
+    assert narrow.virtual_ids == 1
+    assert narrow.providers == 2
+    # An intruder sweeps distinct vids across the whole fleet.
+    for serial in range(4):
+        t[0] += 1.0
+        log.record("get_chunk", "X", "g", serial, ok=True,
+                   virtual_ids=(100 + serial,),
+                   providers=(f"p{serial}", f"p{serial + 1}"))
+    broad = log.provider_sweep_breadth("X", window=10.0)
+    assert broad.virtual_ids == 4
+    assert broad.providers == 5
+    # Failed reads and other clients never count.
+    t[0] += 1.0
+    log.record("get_chunk", "X", "g", 9, ok=False,
+               virtual_ids=(999,), providers=("p9",))
+    assert log.provider_sweep_breadth("X", window=100.0).virtual_ids == 4
+
+
+def test_records_emit_structured_log_events():
+    events = EventLog()
+    log = AuditLog(event_log=events)
+    log.record("get_file", "A", "f", ok=True,
+               virtual_ids=(3, 4), providers=("p0",))
+    log.record("get_file", "B", "f", ok=False, detail="AuthorizationError")
+    emitted = events.named("audit")
+    assert len(emitted) == 2
+    assert emitted[0]["client"] == "A"
+    assert emitted[0]["level"] == "info"
+    assert emitted[0]["virtual_ids"] == [3, 4]
+    assert emitted[0]["providers"] == ["p0"]
+    assert emitted[1]["level"] == "warning"
+    assert emitted[1]["detail"] == "AuthorizationError"
 
 
 # -- distributor integration ---------------------------------------------------

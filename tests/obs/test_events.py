@@ -1,0 +1,61 @@
+"""EventLog: ring buffer, queries, logging bridge."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.obs.events import EventLog, get_events, set_events
+
+
+def test_emit_and_query():
+    events = EventLog(emit_logging=False)
+    events.emit("pool_saturation", level="warning", op="PUT", wait_s=0.3)
+    events.emit("failover", shard=2)
+    assert len(events) == 2
+    sat = events.last("pool_saturation")
+    assert sat["level"] == "warning" and sat["op"] == "PUT"
+    assert events.last()["event"] == "failover"
+    assert [r["event"] for r in events.named("failover")] == ["failover"]
+    assert events.last("nope") is None
+
+
+def test_ring_is_bounded():
+    events = EventLog(keep=3, emit_logging=False)
+    for i in range(10):
+        events.emit("e", i=i)
+    assert len(events) == 3
+    assert [r["i"] for r in events.recent] == [7, 8, 9]
+    # Sequence numbers keep counting across evictions.
+    assert events.last()["seq"] == 10
+
+
+def test_unknown_level_rejected():
+    with pytest.raises(ValueError):
+        EventLog(emit_logging=False).emit("e", level="shout")
+
+
+def test_logging_bridge_emits_json_lines(caplog):
+    events = EventLog()
+    with caplog.at_level(logging.WARNING, logger="repro.events"):
+        events.emit("pool_saturation", level="warning", op="GET")
+    assert any("pool_saturation" in r.message for r in caplog.records)
+
+
+def test_on_event_hook():
+    events = EventLog(emit_logging=False)
+    seen = []
+    events.on_event = seen.append
+    events.emit("x")
+    assert seen and seen[0]["event"] == "x"
+
+
+def test_process_wide_default_is_swappable():
+    original = get_events()
+    fresh = EventLog(emit_logging=False)
+    try:
+        assert set_events(fresh) is original
+        assert get_events() is fresh
+    finally:
+        set_events(original)

@@ -1,0 +1,155 @@
+"""MetricsRegistry: handles, exposition, persistence, disabled mode."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+
+
+def test_counter_inc_and_value():
+    reg = MetricsRegistry()
+    c = reg.counter("requests_total", op="put")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    assert reg.value("requests_total", op="put") == 5
+    assert reg.value("requests_total", op="get") == 0
+
+
+def test_counter_rejects_negative():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("c").inc(-1)
+
+
+def test_counter_handles_are_cached_per_label_set():
+    reg = MetricsRegistry()
+    assert reg.counter("x", a="1") is reg.counter("x", a="1")
+    assert reg.counter("x", a="1") is not reg.counter("x", a="2")
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    g = reg.gauge("pool_idle")
+    g.set(4)
+    g.dec()
+    g.inc(2)
+    assert g.value == 5
+
+
+def test_histogram_observe_and_cumulative():
+    h = Histogram(buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    assert h.count == 3
+    assert h.sum == pytest.approx(5.55)
+    assert h.cumulative() == [(0.1, 1), (1.0, 2), (float("inf"), 3)]
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        Histogram(buckets=(1.0, 0.5))
+
+
+def test_sum_counter_across_labels():
+    reg = MetricsRegistry()
+    reg.counter("ops_total", op="put").inc(2)
+    reg.counter("ops_total", op="get").inc(3)
+    assert reg.sum_counter("ops_total") == 5
+
+
+def test_render_prometheus_text():
+    reg = MetricsRegistry()
+    reg.counter("reqs_total", help="requests", op="put").inc(2)
+    reg.gauge("idle").set(1.5)
+    reg.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(0.05)
+    text = reg.render()
+    assert "# HELP reqs_total requests" in text
+    assert "# TYPE reqs_total counter" in text
+    assert 'reqs_total{op="put"} 2' in text
+    assert "# TYPE idle gauge" in text
+    assert "idle 1.5" in text
+    assert 'lat_seconds_bucket{le="0.1"} 1' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+    assert "lat_seconds_count 1" in text
+
+
+def test_snapshot_is_json_serializable():
+    reg = MetricsRegistry()
+    reg.counter("a_total", k="v").inc()
+    reg.histogram("h_seconds").observe(0.2)
+    snap = reg.snapshot()
+    parsed = json.loads(json.dumps(snap))
+    assert parsed["counters"]["a_total"]['{k="v"}'] == 1
+    assert parsed["histograms"]["h_seconds"]["{}"]["count"] == 1
+
+
+def test_export_import_merges_additively():
+    a = MetricsRegistry()
+    a.counter("ops_total", op="put").inc(2)
+    a.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(0.05)
+    a.gauge("level").set(7)
+
+    b = MetricsRegistry()
+    b.counter("ops_total", op="put").inc(1)
+    b.import_state(a.export_state())
+    assert b.value("ops_total", op="put") == 3
+    assert b.gauge("level").value == 7
+    h = b.histogram("lat_seconds", buckets=(0.1, 1.0))
+    assert h.count == 1
+    # Round-tripping through JSON (the CLI persistence path) is lossless.
+    c = MetricsRegistry()
+    c.import_state(json.loads(json.dumps(b.export_state())))
+    assert c.value("ops_total", op="put") == 3
+
+
+def test_disabled_registry_is_a_noop():
+    reg = MetricsRegistry(enabled=False)
+    c = reg.counter("x")
+    c.inc(10)
+    reg.gauge("y").set(2)
+    reg.histogram("z").observe(0.5)
+    assert c.value == 0
+    assert reg.render() == ""
+    assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_concurrent_increments_do_not_lose_updates():
+    reg = MetricsRegistry()
+    c = reg.counter("hammer_total")
+    h = reg.histogram("hammer_seconds", buckets=DEFAULT_BUCKETS)
+
+    def work():
+        for _ in range(1000):
+            c.inc()
+            h.observe(0.01)
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value == 8000
+    assert h.count == 8000
+
+
+def test_process_wide_default_is_swappable():
+    original = get_metrics()
+    fresh = MetricsRegistry()
+    try:
+        previous = set_metrics(fresh)
+        assert previous is original
+        assert get_metrics() is fresh
+    finally:
+        set_metrics(original)

@@ -1,0 +1,164 @@
+"""Tracer: span nesting, no-op fast path, wire join, export."""
+
+from __future__ import annotations
+
+from repro.obs.events import EventLog, set_events
+from repro.obs.trace import Tracer, _NOOP
+
+
+def test_span_outside_trace_is_shared_noop():
+    tracer = Tracer(export_events=False)
+    assert tracer.span("anything") is _NOOP
+    assert not tracer.active()
+
+
+def test_trace_records_nested_spans():
+    tracer = Tracer(export_events=False)
+    with tracer.trace("upload") as root:
+        with tracer.span("plan"):
+            pass
+        with tracer.span("transfer") as transfer:
+            transfer.tag(provider="node0")
+            with tracer.span("put_batch"):
+                pass
+        with tracer.span("commit"):
+            pass
+    trace = tracer.last_trace()
+    assert trace is not None
+    names = trace.span_names()
+    assert set(names) == {"upload", "plan", "transfer", "put_batch", "commit"}
+    assert trace.root is not None and trace.root.name == "upload"
+    spans = {s.name: s for s in trace.spans}
+    assert spans["plan"].parent_id == root.span.span_id
+    assert spans["put_batch"].parent_id == spans["transfer"].span_id
+    assert spans["transfer"].tags == {"provider": "node0"}
+    assert all(s.duration >= 0 for s in trace.spans)
+    # The thread-local is clean after the root exits.
+    assert not tracer.active()
+    assert tracer.span("later") is _NOOP
+
+
+def test_exception_marks_span_status():
+    tracer = Tracer(export_events=False)
+    try:
+        with tracer.trace("op"):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+    except ValueError:
+        pass
+    trace = tracer.last_trace()
+    spans = {s.name: s for s in trace.spans}
+    assert spans["boom"].status == "ValueError"
+    assert spans["op"].status == "ValueError"
+
+
+def test_wire_context_and_remote_join():
+    client = Tracer(export_events=False)
+    server = Tracer(export_events=False)
+    with client.trace("get_file"):
+        with client.span("net.GET"):
+            context = client.wire_context()
+            assert context is not None
+            trace_id = context.split(":")[0]
+            # Server side: open spans under the shipped parent, then
+            # export them back (what the TRACED frame round-trip does).
+            with server.serve_remote(context, "server.GET", backend="mem"):
+                with server.span("backend.get"):
+                    pass
+            records = server.drain_remote(trace_id)
+            assert len(records) == 2
+            client.attach_remote(records)
+    trace = client.last_trace()
+    spans = {s.name: s for s in trace.spans}
+    assert spans["server.GET"].remote
+    assert spans["server.GET"].parent_id == spans["net.GET"].span_id
+    assert spans["backend.get"].parent_id == spans["server.GET"].span_id
+    tree = trace.render_tree()
+    assert "get_file" in tree and "[server]" in tree
+    # The join is visible structurally: server.GET renders under net.GET.
+    lines = tree.splitlines()
+    net_i = next(i for i, l in enumerate(lines) if "net.GET" in l)
+    srv_i = next(i for i, l in enumerate(lines) if "server.GET" in l)
+    assert srv_i > net_i
+
+
+def test_orphan_remote_records_reparent_under_active_span():
+    tracer = Tracer(export_events=False)
+    with tracer.trace("op") as root:
+        tracer.attach_remote(
+            [{"name": "lost", "span_id": "zz", "parent_id": "unknown"}]
+        )
+    trace = tracer.last_trace()
+    lost = next(s for s in trace.spans if s.name == "lost")
+    assert lost.parent_id == root.span.span_id
+
+
+def test_drain_remote_unknown_trace_is_empty():
+    tracer = Tracer(export_events=False)
+    assert tracer.drain_remote("missing") == []
+
+
+def test_remote_fragments_do_not_pollute_finished():
+    tracer = Tracer(export_events=False)
+    with tracer.serve_remote("t1:s1", "server.PUT"):
+        pass
+    assert tracer.last_trace() is None
+    assert tracer.drain_remote("t1")
+
+
+def test_finished_trace_exports_structured_event():
+    previous = set_events(EventLog(emit_logging=False))
+    try:
+        tracer = Tracer()
+        with tracer.trace("get_file"):
+            with tracer.span("fetch"):
+                pass
+        from repro.obs.events import get_events
+
+        record = get_events().last("trace")
+        assert record is not None
+        assert record["root"] == "get_file"
+        names = {s["name"] for s in record["spans"]}
+        assert names == {"get_file", "fetch"}
+    finally:
+        set_events(previous)
+
+
+def test_on_finish_hook():
+    tracer = Tracer(export_events=False)
+    seen = []
+    tracer.on_finish = seen.append
+    with tracer.trace("op"):
+        pass
+    assert len(seen) == 1 and seen[0].root_name == "op"
+
+
+def test_capture_and_adopt_cross_thread():
+    import threading
+
+    tracer = Tracer(export_events=False)
+    with tracer.trace("fanout") as root:
+        with tracer.span("dispatch") as dispatch:
+            captured = tracer.capture()
+
+            def worker():
+                with tracer.adopt(captured):
+                    with tracer.span("net.batch", provider="P0"):
+                        pass
+                # Adoption is scoped: the worker thread ends clean.
+                assert not tracer.active()
+
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+    trace = tracer.last_trace()
+    spans = {s.name: s for s in trace.spans}
+    assert spans["net.batch"].parent_id == dispatch.span.span_id
+    assert spans["dispatch"].parent_id == root.span.span_id
+
+
+def test_capture_outside_trace_adopts_to_noop():
+    tracer = Tracer(export_events=False)
+    assert tracer.capture() is None
+    with tracer.adopt(None):
+        assert tracer.span("ignored") is _NOOP

@@ -1,0 +1,77 @@
+"""Unit tests for the profiling helpers."""
+
+import pytest
+
+from repro.util.profiling import profiled, timed
+
+
+def _burn(n: int = 20_000) -> int:
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+def _caller() -> int:
+    return _burn()
+
+
+def test_profiled_captures_hot_functions():
+    with profiled() as prof:
+        _burn()
+    assert prof.wall_seconds > 0
+    assert any("_burn" in name for name, _ in prof.top)
+
+
+def test_profiled_report_lists_wall_time():
+    with profiled(top=3) as prof:
+        _burn(1000)
+    report = prof.report()
+    assert report.startswith("wall time:")
+    assert len(prof.top) <= 3
+
+
+def test_profiled_fills_result_when_block_raises():
+    """The profile survives an exception: wall time and hot functions are
+    captured up to the raise instead of being lost."""
+    with pytest.raises(RuntimeError, match="boom"):
+        with profiled() as prof:
+            _burn()
+            raise RuntimeError("boom")
+    assert prof.wall_seconds > 0
+    assert any("_burn" in name for name, _ in prof.top)
+
+
+def test_profiled_top_by_tottime_ranks_self_time():
+    """With top_by='tottime' the leaf doing the work outranks its caller;
+    by cumulative time the caller ties or beats the leaf."""
+    with profiled(top_by="tottime") as prof:
+        _caller()
+    ranks = {name.split(" ")[0]: i for i, (name, _) in enumerate(prof.top)}
+    assert "_burn" in ranks
+    assert "_caller" not in ranks or ranks["_burn"] < ranks["_caller"]
+
+    with profiled(top_by="cumtime") as prof:
+        _caller()
+    values = {name.split(" ")[0]: v for name, v in prof.top}
+    assert "_caller" in values and "_burn" in values
+    assert values["_caller"] >= values["_burn"]
+
+
+def test_profiled_rejects_unknown_top_by():
+    with pytest.raises(ValueError, match="top_by"):
+        with profiled(top_by="ncalls"):
+            pass
+
+
+def test_timed_measures_block():
+    with timed() as t:
+        _burn(1000)
+    assert t["seconds"] > 0
+
+
+def test_timed_fills_on_exception():
+    with pytest.raises(ValueError):
+        with timed() as t:
+            raise ValueError("x")
+    assert t["seconds"] >= 0
