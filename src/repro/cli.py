@@ -38,6 +38,7 @@ from repro.util.units import format_bytes
 FLEET_FILE = "fleet.json"
 METADATA_FILE = "metadata.json"
 METRICS_FILE = "metrics.json"
+JOURNAL_FILE = "journal.jsonl"
 
 #: Chunk-cache budget for CLI deployments; enough to keep a whole file
 #: hot across a get + verify pass without growing unbounded.
@@ -109,15 +110,26 @@ def _open(args) -> tuple[CloudDataDistributor, Path]:
             CostLevel.coerce(spec["cost_level"]),
             region=spec.get("region", "default"),
         )
+    from repro.core.journal import IntentJournal, recover_from_journal
+
+    journal = IntentJournal(state / JOURNAL_FILE)
     distributor = CloudDataDistributor(
         registry,
         chunk_policy=ChunkSizePolicy(),
         seed=0xC11,
         cache=ChunkCache(CACHE_BYTES),
+        journal=journal,
     )
     metadata_path = state / METADATA_FILE
     if metadata_path.exists():
         load_metadata(distributor, metadata_path)
+    # Resolve whatever a crashed previous invocation left in flight before
+    # this one touches anything; a no-op when the journal is empty.
+    report = recover_from_journal(distributor, journal)
+    if report.acted:
+        save_metadata(distributor, metadata_path)
+        journal.checkpoint()
+        print(report.summary(), file=sys.stderr)
     return distributor, metadata_path
 
 
@@ -143,6 +155,9 @@ def _persist_metrics(state: Path) -> None:
 
 def _commit(distributor: CloudDataDistributor, metadata_path: Path) -> None:
     save_metadata(distributor, metadata_path)
+    if distributor.journal is not None:
+        # The snapshot now covers every finished transaction; drop them.
+        distributor.journal.checkpoint()
 
 
 def _register_client(args) -> int:
@@ -306,6 +321,20 @@ def _scrub(args) -> int:
     if args.gc and report.orphans:
         removed = collect_garbage(distributor, report)
         print(f"garbage-collected {removed} orphan object(s)")
+    return 0 if report.clean else 2
+
+
+def _fsck(args) -> int:
+    from repro.health.fsck import run_fsck
+
+    distributor, meta = _open(args)
+    report = run_fsck(distributor, repair=args.repair)
+    if args.repair:
+        _commit(distributor, meta)
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
     return 0 if report.clean else 2
 
 
@@ -517,6 +546,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("client")
     p.add_argument("--collusion", type=int, default=3)
     p.set_defaults(func=_exposure)
+
+    p = with_state(sub.add_parser(
+        "fsck",
+        help="cross-audit chunk table vs providers: missing/corrupt shards, "
+             "orphans, stale snapshots (exit 2 if not clean)"))
+    p.add_argument("--repair", action="store_true",
+                   help="rebuild damaged shards and delete loose objects")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(func=_fsck)
 
     p = with_state(sub.add_parser(
         "scrub", help="cross-audit metadata vs providers; report drift"))

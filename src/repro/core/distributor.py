@@ -20,7 +20,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Callable, TypeVar
+from typing import TYPE_CHECKING, Callable, TypeVar
 
 from repro.core import chunking
 from repro.core.access_control import AccessController
@@ -56,7 +56,11 @@ from repro.providers.registry import ProviderRegistry
 from repro.providers.simulated import ParallelWindow, SimulatedProvider
 from repro.raid.reconstruct import read_stripe, rebuild_shard
 from repro.raid.striping import RaidLevel, StripeMeta, encode_stripe
+from repro.util.crash import crashpoint
 from repro.util.rng import SeedLike, derive_rng, spawn_seeds
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.journal import IntentJournal
 
 
 @dataclass(frozen=True)
@@ -159,10 +163,15 @@ class CloudDataDistributor:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         events: EventLog | None = None,
+        journal: "IntentJournal | None" = None,
     ) -> None:
         seeds = spawn_seeds(seed, 3)
         self.audit = audit
         self.cache = cache
+        # Optional write-ahead intent journal: upload/update/remove become
+        # recoverable transactions (see repro.core.journal).  None keeps
+        # the historical fire-and-forget behaviour.
+        self.journal = journal
         self.registry = registry
         # Telemetry sinks default to the process-wide singletons so every
         # component reports into the same registry; tests inject their own.
@@ -688,6 +697,57 @@ class CloudDataDistributor:
         )
         return chunk_index
 
+    def _chunk_spec(self, client: str, ref: FileChunkRef) -> dict:
+        """Self-contained description of one stored chunk for the journal.
+
+        Everything recovery needs to re-create (or finish destroying) the
+        chunk without the in-memory tables: provider names instead of
+        table indices, the stripe geometry, and the write-time checksums.
+        Must run inside the critical section.
+        """
+        entry = self.chunk_table.get(ref.chunk_index)
+        vid = entry.virtual_id
+        state = self._chunk_state[vid]
+        return {
+            "vid": vid,
+            "client": client,
+            "filename": ref.filename,
+            "serial": ref.serial,
+            "level": int(entry.privacy_level),
+            "providers": [
+                self.provider_table.get(i).name
+                for i in entry.provider_indices
+            ],
+            "snapshot": (
+                None
+                if entry.snapshot_index is None
+                else self.provider_table.get(entry.snapshot_index).name
+            ),
+            "positions": list(entry.misleading_positions),
+            "stripe": [
+                state.stripe.level.value,
+                state.stripe.width,
+                state.stripe.k,
+                state.stripe.m,
+                state.stripe.shard_size,
+                state.stripe.orig_len,
+            ],
+            "rotation": state.rotation,
+            "checksums": (
+                list(state.shard_checksums)
+                if state.shard_checksums is not None
+                else None
+            ),
+        }
+
+    @staticmethod
+    def _plan_put_keys(plan: _ChunkPlan) -> list[tuple[str, str]]:
+        """The (provider, key) pairs a plan's transfer is about to create."""
+        return [
+            (name, shard_key(plan.vid, shard_index))
+            for shard_index, name in enumerate(plan.assigned)
+        ]
+
     def _store_chunk(
         self,
         payload: bytes,
@@ -696,16 +756,36 @@ class CloudDataDistributor:
         raid: RaidLevel,
         width: int,
         misleading_fraction: float,
+        journal_txn: int | None = None,
     ) -> int:
-        """Encode, place and upload one chunk; returns its chunk-table index."""
+        """Encode, place and upload one chunk; returns its chunk-table index.
+
+        With *journal_txn* set, the shard keys are appended to that open
+        intent transaction before any byte moves, so a crash mid-transfer
+        leaves recovery enough to delete the orphans.
+        """
         plan = self._plan_chunk(
             payload, level, serial, raid, width, misleading_fraction,
             load=self._provider_load(),
         )
+        logged = self._plan_put_keys(plan)
+        if journal_txn is not None and self.journal is not None:
+            self.journal.extend(journal_txn, logged)
         self._transfer_plan(plan)
         if self._recover_plan(plan):
             self._rollback_plan(plan)
             raise plan.first_error
+        if journal_txn is not None and self.journal is not None:
+            # Write-path failover may have relocated shards since the
+            # intent was logged; record the new homes so rollback can
+            # still find every object.
+            moved = [
+                pair
+                for pair in self._plan_put_keys(plan)
+                if pair not in set(logged)
+            ]
+            if moved:
+                self.journal.extend(journal_txn, moved)
         return self._commit_plan(plan)
 
     def _failover_shards(
@@ -941,12 +1021,16 @@ class CloudDataDistributor:
                 self._parallel_window() if parallel else contextlib.nullcontext()
             )
             stored_refs: list[FileChunkRef] = []
+            txn = None
+            if self.journal is not None:
+                txn = self.journal.begin("upload", client, filename)
+                crashpoint("upload.intent_logged")
             try:
                 with window:
                     for chunk in chunks:
                         chunk_index = self._store_chunk(
                             chunk.payload, pl, chunk.serial, raid, width,
-                            misleading_fraction,
+                            misleading_fraction, journal_txn=txn,
                         )
                         ref = FileChunkRef(
                             filename=filename,
@@ -962,9 +1046,25 @@ class CloudDataDistributor:
                 for ref in stored_refs:
                     self._delete_chunk(ref)
                     client_entry.chunk_refs.remove(ref)
+                if txn is not None:
+                    self.journal.abort(txn)
                 self._record_op("upload", client, filename, None,
                                 ok=False, detail=type(exc).__name__)
                 raise
+            if txn is not None:
+                self.journal.commit(
+                    txn,
+                    {
+                        "client": client,
+                        "filename": filename,
+                        "remove": [],
+                        "add": [
+                            self._chunk_spec(client, ref)
+                            for ref in stored_refs
+                        ],
+                    },
+                )
+                crashpoint("upload.committed")
         self._record_op("upload", client, filename, None, ok=True)
         return FileReceipt(
             filename=filename,
@@ -1022,6 +1122,17 @@ class CloudDataDistributor:
                                     ok=False, detail=type(exc).__name__)
                 raise
 
+        # -- intent (durable): every key the transfer will create ----------
+        txn = None
+        if self.journal is not None:
+            logged = [
+                pair for plan in plans for pair in self._plan_put_keys(plan)
+            ]
+            txn = self.journal.begin(
+                "upload", client, filename, put_keys=logged
+            )
+            crashpoint("upload.intent_logged")
+
         # -- transfer (lock-free): batched puts, failover ------------------
         try:
             window = (
@@ -1034,10 +1145,23 @@ class CloudDataDistributor:
                 # Atomicity: one unrecoverable chunk aborts the whole file.
                 for plan in plans:
                     self._rollback_plan(plan)
+                if txn is not None:
+                    self.journal.abort(txn)
                 error = lost[0].first_error
                 self._record_op("upload", client, filename, None,
                                 ok=False, detail=type(error).__name__)
                 raise error
+            if txn is not None:
+                # Failover may have relocated shards; log the new homes.
+                moved = [
+                    pair
+                    for plan in plans
+                    for pair in self._plan_put_keys(plan)
+                    if pair not in set(logged)
+                ]
+                if moved:
+                    self.journal.extend(txn, moved)
+            crashpoint("upload.transferred")
         except BaseException:
             self._release_upload_slot(client, filename)
             raise
@@ -1046,16 +1170,30 @@ class CloudDataDistributor:
         with self.op_lock, self._phase("upload", "commit"):
             self._release_upload_slot(client, filename)
             client_entry = self.client_table.get(client)
+            new_refs: list[FileChunkRef] = []
             for plan in plans:
                 chunk_index = self._commit_plan(plan)
-                client_entry.chunk_refs.append(
-                    FileChunkRef(
-                        filename=filename,
-                        serial=plan.serial,
-                        privacy_level=pl,
-                        chunk_index=chunk_index,
-                    )
+                ref = FileChunkRef(
+                    filename=filename,
+                    serial=plan.serial,
+                    privacy_level=pl,
+                    chunk_index=chunk_index,
                 )
+                client_entry.chunk_refs.append(ref)
+                new_refs.append(ref)
+            if txn is not None:
+                self.journal.commit(
+                    txn,
+                    {
+                        "client": client,
+                        "filename": filename,
+                        "remove": [],
+                        "add": [
+                            self._chunk_spec(client, ref) for ref in new_refs
+                        ],
+                    },
+                )
+        crashpoint("upload.committed")
         self._record_op("upload", client, filename, None, ok=True)
         return FileReceipt(
             filename=filename,
@@ -1322,8 +1460,7 @@ class CloudDataDistributor:
                 client_entry = self.client_table.get(client)
                 ref = client_entry.ref_for_chunk(filename, serial)
                 self._authorize(client, password, ref.privacy_level)
-                self._delete_chunk(ref)
-                client_entry.chunk_refs.remove(ref)
+                self._remove_refs(client, client_entry, filename, [ref])
 
         self._audited("remove_chunk", client, filename, serial, work)
 
@@ -1335,11 +1472,42 @@ class CloudDataDistributor:
                 client_entry = self.client_table.get(client)
                 refs = client_entry.refs_for_file(filename)
                 self._authorize(client, password, refs[0].privacy_level)
-                for ref in refs:
-                    self._delete_chunk(ref)
-                    client_entry.chunk_refs.remove(ref)
+                self._remove_refs(client, client_entry, filename, refs)
 
         self._audited("remove_file", client, filename, None, work)
+
+    def _remove_refs(
+        self, client, client_entry, filename: str, refs: list[FileChunkRef]
+    ) -> None:
+        """Journalled deletion of *refs* (already authorized, lock held).
+
+        The intent record carries the full chunk specs: a remove that
+        crashes half-done can only roll *forward* (shards cannot be
+        un-deleted), so recovery needs enough to finish the job.
+        """
+        txn = None
+        if self.journal is not None:
+            specs = [self._chunk_spec(client, ref) for ref in refs]
+            txn = self.journal.begin(
+                "remove", client, filename, remove_specs=specs
+            )
+            crashpoint("remove.intent_logged")
+        for i, ref in enumerate(refs):
+            self._delete_chunk(ref)
+            client_entry.chunk_refs.remove(ref)
+            if i == 0:
+                crashpoint("remove.partial")
+        if txn is not None:
+            self.journal.commit(
+                txn,
+                {
+                    "client": client,
+                    "filename": filename,
+                    "remove": specs,
+                    "add": [],
+                },
+            )
+            crashpoint("remove.committed")
 
     # ------------------------------------------------------------------
     # modification with snapshotting                (Table III's SP column)
@@ -1395,10 +1563,30 @@ class CloudDataDistributor:
             # failover) and only swapped in once it fully lands.  A failed
             # update therefore leaves the old version intact and readable
             # instead of a torn half-written stripe.
-            new_index = self._store_chunk(
+            old_spec = (
+                self._chunk_spec(client, ref)
+                if self.journal is not None
+                else None
+            )
+            plan = self._plan_chunk(
                 new_payload, entry.privacy_level, state.rotation,
                 state.stripe.level, state.stripe.width, fraction,
+                load=self._provider_load(),
             )
+            txn = None
+            if self.journal is not None:
+                txn = self.journal.begin(
+                    "update", client, filename,
+                    put_keys=self._plan_put_keys(plan),
+                )
+                crashpoint("update.intent_logged")
+            self._transfer_plan(plan)
+            if self._recover_plan(plan):
+                self._rollback_plan(plan)
+                if txn is not None:
+                    self.journal.abort(txn)
+                raise plan.first_error
+            new_index = self._commit_plan(plan)
             new_entry = self.chunk_table.get(new_index)
             new_vid = new_entry.virtual_id
             try:
@@ -1410,10 +1598,19 @@ class CloudDataDistributor:
                     entry.privacy_level, exclude=new_names,
                     load=self._provider_load(),
                 )
+                if txn is not None:
+                    # The snapshot object joins the transaction's write
+                    # set before its bytes move, same as the shards.
+                    self.journal.extend(
+                        txn, [(snap_name, snapshot_key(new_vid))]
+                    )
+                crashpoint("update.staged")
                 snap_key = self.snapshots.write(snap_name, new_vid, pre_state)
             except (ProviderError, PlacementError):
                 # Unstage the new version; the chunk is untouched.
                 self._delete_chunk(replace(ref, chunk_index=new_index))
+                if txn is not None:
+                    self.journal.abort(txn)
                 raise
             snap_table_index = self.provider_table.index_of(snap_name)
             self.provider_table.record_store(snap_table_index, snap_key)
@@ -1443,6 +1640,18 @@ class CloudDataDistributor:
             self.ids.release(vid)
             if self.cache is not None:
                 self.cache.invalidate(vid)
+            if txn is not None:
+                new_ref = replace(ref, chunk_index=new_index)
+                self.journal.commit(
+                    txn,
+                    {
+                        "client": client,
+                        "filename": filename,
+                        "remove": [old_spec],
+                        "add": [self._chunk_spec(client, new_ref)],
+                    },
+                )
+                crashpoint("update.committed")
 
     def get_snapshot(
         self, client: str, password: str, filename: str, serial: int

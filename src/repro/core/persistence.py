@@ -12,10 +12,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from pathlib import Path
 
 from repro.core.distributor import CloudDataDistributor
+from repro.util.atomic import atomic_write_text
 
 FORMAT_VERSION = 1
 
@@ -35,15 +35,19 @@ def _canonical(snapshot) -> str:
 
 
 def save_metadata(distributor: CloudDataDistributor, path: str | Path) -> None:
-    """Atomically write the distributor's metadata snapshot to *path*."""
+    """Atomically and durably write the distributor's metadata to *path*.
+
+    Routed through :func:`repro.util.atomic.atomic_write_text`: the
+    snapshot is fsynced before the rename and the directory entry after
+    it, so a power cut leaves either the previous snapshot or the new one
+    -- never an empty or torn file under the final name.
+    """
     snapshot = distributor.export_metadata()
     digest = hashlib.sha256(_canonical(snapshot).encode("utf-8")).hexdigest()
     document = {"version": FORMAT_VERSION, "sha256": digest, "metadata": snapshot}
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(json.dumps(document, sort_keys=True))
-    os.replace(tmp, path)
+    atomic_write_text(path, json.dumps(document, sort_keys=True))
 
 
 def _intify_keys(mapping: dict) -> dict:
@@ -57,7 +61,18 @@ def load_metadata(distributor: CloudDataDistributor, path: str | Path) -> None:
     Verifies the integrity checksum and format version, then rebuilds the
     int-keyed structures JSON stringified.
     """
-    document = json.loads(Path(path).read_text())
+    try:
+        document = json.loads(Path(path).read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        # Truncated or garbage file: surface it as corruption, not as a
+        # parser traceback -- the operator's next stop is the .tmp/backup.
+        raise MetadataCorruptedError(
+            f"metadata file {path} is not valid JSON (truncated?): {exc}"
+        ) from exc
+    if not isinstance(document, dict):
+        raise MetadataCorruptedError(
+            f"metadata file {path} does not hold a JSON object"
+        )
     if document.get("version") != FORMAT_VERSION:
         raise MetadataCorruptedError(
             f"unsupported metadata format version {document.get('version')!r}"

@@ -13,6 +13,7 @@ import socket
 import threading
 import time
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.obs.events import EventLog, get_events
@@ -22,6 +23,31 @@ from repro.obs.metrics import MetricsRegistry, get_metrics
 #: saturation: the request had to dial a fresh connection (or the dial
 #: itself crawled), which means the idle stack was empty under load.
 SATURATION_THRESHOLD_S = 0.05
+
+
+class StaleConnectionError(OSError):
+    """A *reused* pooled socket failed before delivering a response.
+
+    The classic cause is a server restart: every socket parked in the idle
+    stack is silently dead, and the first request on each one fails even
+    though the server is back up and a fresh dial would succeed.  Clients
+    treat this as "redial now, for free" rather than a verdict about the
+    server -- it must not burn retry budget, trip circuit breakers, or
+    feed failure evidence to health monitors.
+    """
+
+
+@dataclass
+class Lease:
+    """One checked-out pool connection plus how it was obtained.
+
+    ``fresh`` is True when the socket was dialed for this checkout; False
+    means it was reused from the idle stack and may have died while parked
+    (see :class:`StaleConnectionError`).
+    """
+
+    sock: socket.socket
+    fresh: bool
 
 
 class ConnectionPool:
@@ -79,11 +105,24 @@ class ConnectionPool:
         telemetry -- it labels the saturation event when the wait crosses
         the threshold.
         """
+        with self.lease(op=op) as leased:
+            yield leased.sock
+
+    @contextmanager
+    def lease(self, op: str = "") -> Iterator[Lease]:
+        """Like :meth:`acquire`, but the caller also learns *how* the
+        socket was obtained (:attr:`Lease.fresh`).
+
+        Transport-aware callers use this to tell a dead reused socket (a
+        pool-staleness artifact, fixed by redialing) from a dead freshly
+        dialed one (the server really is unreachable).
+        """
         if self._closed:
             raise RuntimeError("connection pool is closed")
         t0 = time.perf_counter()
         with self._lock:
             sock = self._idle.pop() if self._idle else None
+        fresh = sock is None
         if sock is None:
             sock = self._connect()
         wait = time.perf_counter() - t0
@@ -99,7 +138,7 @@ class ConnectionPool:
                 wait_s=round(wait, 6),
             )
         try:
-            yield sock
+            yield Lease(sock=sock, fresh=fresh)
         except BaseException:
             sock.close()
             raise

@@ -26,7 +26,7 @@ from repro.core.errors import (
     ProviderError,
     ProviderUnavailableError,
 )
-from repro.net.pool import ConnectionPool
+from repro.net.pool import ConnectionPool, StaleConnectionError
 from repro.net.protocol import (
     HEADER,
     Frame,
@@ -160,30 +160,52 @@ class RemoteProvider(CloudProvider):
             self.tracer.attach_remote(records)
         return inner
 
+    @staticmethod
+    def _classify(exc: Exception, fresh: bool) -> Exception:
+        """A transport failure on a *reused* socket is pool staleness.
+
+        The server may have restarted since the socket was parked; the
+        failure says nothing about its current health, so it is re-raised
+        as :class:`StaleConnectionError` -- redialed for free by
+        ``_with_retries`` instead of burning retry budget or feeding
+        false negatives to circuit breakers and health monitors.
+        """
+        if fresh or isinstance(exc, StaleConnectionError):
+            return exc
+        return StaleConnectionError(
+            f"reused pooled connection failed: {exc}"
+        )
+
     def _exchange(self, op: OpCode, key: str, payload: bytes) -> Frame:
         """One framed request/response on a pooled connection."""
         context = self._trace_context()
-        with self.pool.acquire(op=op.name) as sock:
-            sock.settimeout(self.op_timeout)
-            if context is not None:
-                send_frame(
-                    sock, OpCode.TRACED,
-                    payload=self._wrap_traced(context, op, key, payload),
-                )
+        with self.pool.lease(op=op.name) as leased:
+            sock = leased.sock
+            try:
+                sock.settimeout(self.op_timeout)
+                if context is not None:
+                    send_frame(
+                        sock, OpCode.TRACED,
+                        payload=self._wrap_traced(context, op, key, payload),
+                    )
+                    frame = recv_frame(sock)
+                    if frame is None:
+                        raise ProtocolError(
+                            "server closed connection before responding"
+                        )
+                    inner = self._unwrap_traced(frame)
+                    if inner is not None:
+                        self._server_traced = True
+                        return inner
+                    self._server_traced = False  # downgrade: resend plainly
+                send_frame(sock, op, key=key, payload=payload)
                 frame = recv_frame(sock)
                 if frame is None:
                     raise ProtocolError(
                         "server closed connection before responding"
                     )
-                inner = self._unwrap_traced(frame)
-                if inner is not None:
-                    self._server_traced = True
-                    return inner
-                self._server_traced = False  # downgrade: resend plainly
-            send_frame(sock, op, key=key, payload=payload)
-            frame = recv_frame(sock)
-        if frame is None:
-            raise ProtocolError("server closed connection before responding")
+            except (OSError, ProtocolError) as exc:
+                raise self._classify(exc, leased.fresh) from exc
         return frame
 
     def _exchange_pipelined(
@@ -199,43 +221,47 @@ class RemoteProvider(CloudProvider):
         buffers.
         """
         context = self._trace_context()
-        with self.pool.acquire(op=requests[0][0].name) as sock:
-            sock.settimeout(self.op_timeout)
-            if context is not None:
+        with self.pool.lease(op=requests[0][0].name) as leased:
+            sock = leased.sock
+            try:
+                sock.settimeout(self.op_timeout)
+                if context is not None:
+                    for op, key, payload in requests:
+                        send_frame(
+                            sock, OpCode.TRACED,
+                            payload=self._wrap_traced(context, op, key, payload),
+                        )
+                    frames: list[Frame] = []
+                    downgraded = False
+                    for _ in requests:
+                        frame = recv_frame(sock)
+                        if frame is None:
+                            raise ProtocolError(
+                                "server closed connection before responding"
+                            )
+                        inner = self._unwrap_traced(frame)
+                        if inner is None:
+                            downgraded = True
+                        else:
+                            frames.append(inner)
+                    if not downgraded:
+                        self._server_traced = True
+                        return frames
+                    # Old server: every envelope bounced but the stream is in
+                    # sync -- replay the whole window plainly on this socket.
+                    self._server_traced = False
                 for op, key, payload in requests:
-                    send_frame(
-                        sock, OpCode.TRACED,
-                        payload=self._wrap_traced(context, op, key, payload),
-                    )
-                frames: list[Frame] = []
-                downgraded = False
+                    send_frame(sock, op, key=key, payload=payload)
+                frames = []
                 for _ in requests:
                     frame = recv_frame(sock)
                     if frame is None:
                         raise ProtocolError(
                             "server closed connection before responding"
                         )
-                    inner = self._unwrap_traced(frame)
-                    if inner is None:
-                        downgraded = True
-                    else:
-                        frames.append(inner)
-                if not downgraded:
-                    self._server_traced = True
-                    return frames
-                # Old server: every envelope bounced but the stream is in
-                # sync -- replay the whole window plainly on this socket.
-                self._server_traced = False
-            for op, key, payload in requests:
-                send_frame(sock, op, key=key, payload=payload)
-            frames = []
-            for _ in requests:
-                frame = recv_frame(sock)
-                if frame is None:
-                    raise ProtocolError(
-                        "server closed connection before responding"
-                    )
-                frames.append(frame)
+                    frames.append(frame)
+            except (OSError, ProtocolError) as exc:
+                raise self._classify(exc, leased.fresh) from exc
         return frames
 
     def _with_retries(self, exchange):
@@ -244,6 +270,14 @@ class RemoteProvider(CloudProvider):
         Application-level error statuses (NOT_FOUND, CORRUPTED, ...) are
         definitive answers from a live server and are never retried; only
         connection failures, timeouts and malformed frames are.
+
+        A :class:`StaleConnectionError` -- a *reused* pooled socket died
+        while parked, typically because the server restarted -- is not a
+        failure verdict at all: the remaining idle sockets are discarded
+        and the exchange redials immediately, without consuming a retry
+        attempt, sleeping, or (when the free redials are themselves
+        exhausted, which needs a genuinely flapping server) opening the
+        circuit any earlier than a plain transport failure would.
 
         With ``failfast_window > 0`` the client acts as a circuit breaker:
         after the retry budget is exhausted, further operations fail
@@ -257,22 +291,40 @@ class RemoteProvider(CloudProvider):
                 f"failing fast (circuit open)"
             )
         last_exc: Exception | None = None
-        for attempt in range(self.retry.attempts):
-            if attempt:
-                self.metrics.counter(
-                    "net_client_retries_total", provider=self.name
-                ).inc()
-                time.sleep(self.retry.delay(attempt - 1))
-                # The server may have restarted; pre-restart sockets would
-                # fail again and burn the remaining attempts.
-                self.pool.discard_idle()
+        # One free redial per idle socket the pool could have handed us,
+        # plus the one that failed: after discard_idle every subsequent
+        # checkout dials fresh, so this bound is never hit by a healthy
+        # restarted server -- only by a genuinely flapping one.
+        stale_budget = self.pool.size + 1
+        attempt = 0
+        while True:
             try:
                 result = exchange()
+            except StaleConnectionError as exc:
+                self.pool.discard_idle()
+                self.metrics.counter(
+                    "net_client_stale_connections_total", provider=self.name
+                ).inc()
+                if stale_budget > 0:
+                    stale_budget -= 1
+                    continue  # immediate redial; no budget consumed
+                last_exc = exc
+                attempt += 1
             except (OSError, ProtocolError) as exc:
                 last_exc = exc
-                continue
-            self._down_until = 0.0
-            return result
+                attempt += 1
+            else:
+                self._down_until = 0.0
+                return result
+            if attempt >= self.retry.attempts:
+                break
+            self.metrics.counter(
+                "net_client_retries_total", provider=self.name
+            ).inc()
+            time.sleep(self.retry.delay(attempt - 1))
+            # The server may have restarted; pre-restart sockets would
+            # fail again and burn the remaining attempts.
+            self.pool.discard_idle()
         if self.failfast_window > 0:
             self._down_until = time.monotonic() + self.failfast_window
             self.metrics.counter(

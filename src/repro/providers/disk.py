@@ -1,19 +1,34 @@
 """On-disk provider backend.
 
-Persists objects as files under a root directory (one file per key, with a
-sidecar checksum), so examples can survive process restarts and the
-disk-vs-memory overhead can be benchmarked.
+Persists objects as files under a root directory, so examples can survive
+process restarts and the disk-vs-memory overhead can be benchmarked.
+
+Each object is one self-checking record file::
+
+    b"RB1\\n" + <64 hex sha256 of payload> + b"\\n" + payload
+
+written through :func:`repro.util.atomic.atomic_write_bytes`, so the blob
+and its checksum land in a single atomic rename and can never disagree --
+the torn window the old sidecar layout had (new blob renamed in, stale
+``.sha256`` still on disk) is gone by construction.  Files written by older
+versions (raw payload + ``.sha256`` sidecar) are still readable; the first
+overwrite migrates them to the record format and removes the sidecar.
 """
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 from repro.core.errors import BlobCorruptedError, BlobNotFoundError
 from repro.providers.base import BlobStat, CloudProvider, blob_checksum
+from repro.util.atomic import atomic_write_bytes
+from repro.util.crash import crashpoint
 
 _SAFE = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+#: Record layout: magic + newline, 64 hex checksum chars, newline, payload.
+_MAGIC = b"RB1\n"
+_HEADER_LEN = len(_MAGIC) + 64 + 1
 
 
 def _encode_key(key: str) -> str:
@@ -27,8 +42,25 @@ def _encode_key(key: str) -> str:
     )
 
 
+def _pack_record(data: bytes) -> bytes:
+    return _MAGIC + blob_checksum(data).encode("ascii") + b"\n" + data
+
+
+def _unpack_record(raw: bytes) -> tuple[str, bytes] | None:
+    """(checksum, payload) if *raw* is a record file, else ``None`` (legacy)."""
+    if not raw.startswith(_MAGIC) or len(raw) < _HEADER_LEN:
+        return None
+    if raw[_HEADER_LEN - 1 : _HEADER_LEN] != b"\n":
+        return None
+    checksum = raw[len(_MAGIC) : _HEADER_LEN - 1]
+    try:
+        return checksum.decode("ascii"), raw[_HEADER_LEN:]
+    except UnicodeDecodeError:
+        return None
+
+
 class DiskProvider(CloudProvider):
-    """Directory-backed object store with sidecar checksums."""
+    """Directory-backed object store with embedded checksums."""
 
     def __init__(self, name: str, root: str | Path) -> None:
         super().__init__(name)
@@ -39,22 +71,42 @@ class DiskProvider(CloudProvider):
         return self.root / (_encode_key(key) + ".blob")
 
     def _sum_path(self, key: str) -> Path:
+        # Legacy sidecar location; only ever read (and cleaned up), never
+        # written, since the record format embeds the checksum.
         return self.root / (_encode_key(key) + ".sha256")
 
     def put(self, key: str, data: bytes) -> None:
-        tmp = self._blob_path(key).with_suffix(".tmp")
-        tmp.write_bytes(data)
-        os.replace(tmp, self._blob_path(key))
-        self._sum_path(key).write_text(blob_checksum(data))
+        crashpoint("disk.put.start")
+        atomic_write_bytes(self._blob_path(key), _pack_record(data))
+        crashpoint("disk.put.committed")
+        # If this key predates the record format, its sidecar is now stale;
+        # drop it.  A crash in between is harmless: readers prefer the
+        # embedded checksum, so the leftover sidecar is ignored garbage.
+        self._sum_path(key).unlink(missing_ok=True)
 
-    def get(self, key: str) -> bytes:
+    def _read_record(self, key: str) -> tuple[str, bytes]:
+        """(expected checksum, payload) for *key* in either format."""
         path = self._blob_path(key)
-        if not path.exists():
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
             raise BlobNotFoundError(
                 f"provider {self.name!r} has no object {key!r}"
-            )
-        data = path.read_bytes()
-        expected = self._sum_path(key).read_text()
+            ) from None
+        unpacked = _unpack_record(raw)
+        if unpacked is not None:
+            return unpacked
+        # Legacy layout: raw payload with a sidecar checksum.
+        try:
+            return self._sum_path(key).read_text(), raw
+        except FileNotFoundError:
+            raise BlobCorruptedError(
+                f"object {key!r} at provider {self.name!r} has neither an "
+                f"embedded checksum nor a sidecar"
+            ) from None
+
+    def get(self, key: str) -> bytes:
+        expected, data = self._read_record(key)
         if blob_checksum(data) != expected:
             raise BlobCorruptedError(
                 f"object {key!r} at provider {self.name!r} failed integrity check"
@@ -91,6 +143,15 @@ class DiskProvider(CloudProvider):
         if not path.exists():
             raise BlobNotFoundError(
                 f"provider {self.name!r} has no object {key!r}"
+            )
+        with path.open("rb") as fh:
+            header = fh.read(_HEADER_LEN)
+        unpacked = _unpack_record(header)
+        if unpacked is not None:
+            return BlobStat(
+                key=key,
+                size=path.stat().st_size - _HEADER_LEN,
+                checksum=unpacked[0],
             )
         return BlobStat(
             key=key,

@@ -1,0 +1,105 @@
+"""Fsync-disciplined atomic file replacement.
+
+``tmp.write(); os.replace(tmp, path)`` alone is *not* crash-safe: after a
+power cut the rename may be durable while the tmp file's data is not,
+leaving an empty or half-written file under the final name -- or the rename
+itself may be lost because the directory entry was never flushed.  The safe
+sequence is::
+
+    write tmp  ->  fsync(tmp)  ->  os.replace(tmp, path)  ->  fsync(dir)
+
+so that by the time anything can observe ``path`` its bytes are on stable
+storage, and the rename itself survives the next power cut.  This module is
+the single implementation of that discipline; metadata persistence and the
+disk provider both route their writes through it.
+
+Tmp names embed pid, thread id and a process-global counter, so concurrent
+writers -- even to the same destination -- never tread on each other's tmp
+file; the last ``os.replace`` wins, which matches object-store put
+semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from pathlib import Path
+
+from repro.util.crash import CrashPoint, crashpoint
+
+_counter = itertools.count()
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Flush a directory entry table to stable storage.
+
+    A no-op on platforms that cannot open directories (e.g. Windows);
+    the rename there is already as durable as the OS allows.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _tmp_path(path: Path) -> Path:
+    """A collision-free sibling tmp name for *path*.
+
+    Unique across processes (pid), threads (tid) and call sites (counter),
+    so two concurrent writers to the same key can never interleave inside
+    one tmp file.
+    """
+    return path.parent / (
+        f"{path.name}.{os.getpid()}.{threading.get_ident()}."
+        f"{next(_counter)}.tmp"
+    )
+
+
+def atomic_write_bytes(
+    path: str | Path, data: bytes, *, fsync: bool = True
+) -> None:
+    """Atomically replace *path* with *data*, durable against power loss.
+
+    Readers never observe a partial file: they see either the old content
+    or the new, and with ``fsync`` (the default) whichever they see is on
+    stable storage.  ``fsync=False`` keeps only the atomicity (for
+    throwaway scratch state where durability is not worth the flush).
+    """
+    path = Path(path)
+    tmp = _tmp_path(path)
+    fd = os.open(str(tmp), os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+    try:
+        try:
+            os.write(fd, data)
+            crashpoint("atomic.tmp_written")
+            if fsync:
+                os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+    except CrashPoint:
+        # Simulated power cut: leave the torn tmp file behind, exactly as
+        # a real crash would -- recovery and fsck must cope with it.
+        raise
+    except BaseException:
+        # Real error (ENOSPC, ...): the tmp file is ours alone, don't leak it.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    crashpoint("atomic.renamed")
+    if fsync:
+        fsync_dir(path.parent)
+
+
+def atomic_write_text(
+    path: str | Path, text: str, *, fsync: bool = True
+) -> None:
+    """:func:`atomic_write_bytes` for UTF-8 text."""
+    atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)

@@ -1,0 +1,179 @@
+"""Deterministic crash injection: kill the process at every registered
+kill point, reboot, and prove recovery + fsck restore the invariants.
+
+Each case simulates one power cut via :func:`crashing_at`, then boots a
+fresh distributor over the same on-disk state the way the CLI does
+(metadata snapshot -> journal recovery -> save -> checkpoint) and asserts:
+
+* ``repro fsck --repair`` converges: the post-repair report is clean and
+  a second read-only pass stays clean (no orphaned provider objects, no
+  missing shards);
+* an unrelated file survives byte-exact;
+* the interrupted operation resolved to one of its two legal end states
+  (fully applied or fully rolled back) -- never a torn middle;
+* a full upload -> get -> remove round trip works afterwards;
+* the tables have no holes: every client ref resolves and every file's
+  serials are contiguous.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from repro.core.distributor import CloudDataDistributor
+from repro.core.errors import UnknownFileError
+from repro.core.journal import IntentJournal, recover_from_journal
+from repro.core.persistence import load_metadata, save_metadata
+from repro.core.privacy import ChunkSizePolicy, CostLevel, PrivacyLevel
+from repro.health.fsck import run_fsck
+from repro.providers.disk import DiskProvider
+from repro.providers.registry import ProviderRegistry
+from repro.util.crash import KILL_POINTS, CrashPoint, crashing_at
+
+N_PROVIDERS = 6
+KEEP = bytes(range(256)) * 8  # 2048 bytes -> 8 PRIVATE chunks
+VICTIM = bytes(reversed(range(256))) * 8
+CRASHED = b"\xab" * 2048
+NEW_CHUNK = b"\x5a" * 128
+UPDATED_VICTIM = NEW_CHUNK + VICTIM[256:]  # PRIVATE chunk size is 256
+
+
+def _fleet(root) -> ProviderRegistry:
+    registry = ProviderRegistry()
+    for i in range(N_PROVIDERS):
+        registry.register(
+            DiskProvider(f"D{i}", root / "providers" / f"D{i}"),
+            PrivacyLevel.PRIVATE,
+            CostLevel(1),
+        )
+    return registry
+
+
+def boot(root):
+    """One CLI-style process start over the deployment under *root*."""
+    journal = IntentJournal(root / "journal.jsonl")
+    distributor = CloudDataDistributor(
+        _fleet(root),
+        chunk_policy=ChunkSizePolicy(sizes=(4096, 1024, 512, 256)),
+        seed=7,
+        max_transport_workers=1,
+        journal=journal,
+    )
+    meta = root / "meta.json"
+    if meta.exists():
+        load_metadata(distributor, meta)
+    report = recover_from_journal(distributor, journal)
+    save_metadata(distributor, meta)
+    journal.checkpoint()
+    return distributor, report
+
+
+def _setup(root) -> CloudDataDistributor:
+    distributor, _ = boot(root)
+    distributor.register_client("Bob")
+    distributor.add_password("Bob", "pw", PrivacyLevel.PRIVATE)
+    distributor.upload_file("Bob", "pw", "keep", KEEP, PrivacyLevel.PRIVATE)
+    distributor.upload_file("Bob", "pw", "victim", VICTIM, PrivacyLevel.PRIVATE)
+    save_metadata(distributor, root / "meta.json")
+    distributor.journal.checkpoint()
+    return distributor
+
+
+def _op_for(distributor: CloudDataDistributor, point: str):
+    """The operation that exercises *point* (chosen by its prefix)."""
+    if point.startswith("remove."):
+        return lambda: distributor.remove_file("Bob", "pw", "victim")
+    if point.startswith("update."):
+        return lambda: distributor.update_chunk(
+            "Bob", "pw", "victim", 0, NEW_CHUNK
+        )
+    # upload.transferred only exists on the pipelined path; the low-level
+    # atomic/disk/journal points fire on either, so let the serial path
+    # cover them.
+    pipelined = point.startswith("upload.")
+    return lambda: distributor.upload_file(
+        "Bob", "pw", "crashed", CRASHED, PrivacyLevel.PRIVATE,
+        pipelined=pipelined,
+    )
+
+
+def _assert_no_table_holes(distributor: CloudDataDistributor) -> None:
+    for _, entry in distributor.chunk_table:
+        assert entry.virtual_id in distributor._chunk_state
+        assert entry.virtual_id in distributor.ids
+    client = distributor.client_table.get("Bob")
+    serials: dict[str, list[int]] = defaultdict(list)
+    for ref in client.chunk_refs:
+        assert distributor.chunk_table.get(ref.chunk_index) is not None
+        serials[ref.filename].append(ref.serial)
+    for filename, found in serials.items():
+        assert sorted(found) == list(range(len(found))), (filename, found)
+
+
+@pytest.mark.parametrize("point", sorted(KILL_POINTS))
+def test_recovery_restores_invariants(tmp_path, point):
+    distributor = _setup(tmp_path)
+    op = _op_for(distributor, point)
+    with crashing_at(point) as reached:
+        with pytest.raises(CrashPoint):
+            op()
+    assert point in reached  # the op genuinely passed through this point
+
+    # -- reboot over the torn state ------------------------------------
+    rebooted, _ = boot(tmp_path)
+    report = run_fsck(rebooted, repair=True)
+    assert report.clean, report.render_text()
+    assert run_fsck(rebooted).clean  # convergence: second pass stays clean
+
+    # Unrelated data is untouched.
+    assert rebooted.get_file("Bob", "pw", "keep") == KEEP
+
+    # The interrupted op landed in one of its two legal end states.
+    if point.startswith("remove."):
+        with pytest.raises(UnknownFileError):
+            rebooted.get_file("Bob", "pw", "victim")
+    elif point.startswith("update."):
+        assert rebooted.get_file("Bob", "pw", "victim") in (
+            VICTIM, UPDATED_VICTIM,
+        )
+    else:
+        try:
+            assert rebooted.get_file("Bob", "pw", "crashed") == CRASHED
+        except UnknownFileError:
+            pass  # rolled back entirely: equally legal
+
+    # The deployment is fully writable again.
+    rebooted.upload_file("Bob", "pw", "rt", KEEP, PrivacyLevel.PRIVATE)
+    assert rebooted.get_file("Bob", "pw", "rt") == KEEP
+    rebooted.remove_file("Bob", "pw", "rt")
+    _assert_no_table_holes(rebooted)
+
+
+def test_double_recovery_is_idempotent(tmp_path):
+    """Crashing *during recovery's own cleanup* must also be survivable:
+    running recovery twice converges to the same state."""
+    distributor = _setup(tmp_path)
+    with crashing_at("upload.transferred"):
+        with pytest.raises(CrashPoint):
+            distributor.upload_file(
+                "Bob", "pw", "crashed", CRASHED, PrivacyLevel.PRIVATE,
+                pipelined=True,
+            )
+    # First reboot recovers; boot() checkpoints, but replay the same
+    # journal again by hand to model a crash before the checkpoint.
+    journal = IntentJournal(tmp_path / "journal.jsonl")
+    first, _ = boot(tmp_path)
+    recover_from_journal(first, journal)  # second run over resolved txns
+    assert run_fsck(first, repair=True).clean
+    assert first.get_file("Bob", "pw", "keep") == KEEP
+
+
+def test_clean_boot_reports_nothing(tmp_path):
+    distributor = _setup(tmp_path)
+    assert distributor.get_file("Bob", "pw", "victim") == VICTIM
+    _, report = boot(tmp_path)
+    assert report.rolled_back == 0
+    assert report.rolled_forward == 0
+    assert report.objects_deleted == 0

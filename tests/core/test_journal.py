@@ -1,0 +1,105 @@
+"""IntentJournal record mechanics: append, replay, torn tails, checkpoint."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.journal import IntentJournal
+from repro.util.crash import CrashPoint, crashing_at
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return IntentJournal(tmp_path / "journal.jsonl")
+
+
+def test_begin_commit_replay(journal):
+    txn = journal.begin("upload", "Bob", "f", put_keys=[("P0", "1.0")])
+    journal.extend(txn, [("P1", "1.1")])
+    journal.commit(txn, {"add": [], "remove": []})
+    (replayed,) = journal.replay()
+    assert replayed.txn == txn
+    assert replayed.op == "upload"
+    assert replayed.client == "Bob"
+    assert replayed.put_keys == [("P0", "1.0"), ("P1", "1.1")]
+    assert replayed.state == "committed"
+    assert replayed.delta == {"add": [], "remove": []}
+
+
+def test_txn_ids_monotonic_across_reopen(journal):
+    a = journal.begin("upload", "Bob", "f")
+    b = journal.begin("remove", "Bob", "g")
+    assert b == a + 1
+    reopened = IntentJournal(journal.path)
+    assert reopened.begin("upload", "Bob", "h") == b + 1
+
+
+def test_abort_marks_aborted(journal):
+    txn = journal.begin("upload", "Bob", "f")
+    journal.abort(txn)
+    (replayed,) = journal.replay()
+    assert replayed.state == "aborted"
+
+
+def test_records_for_unknown_txn_are_ignored(journal):
+    journal.commit(999, {"add": []})
+    journal.extend(998, [("P0", "k")])
+    assert journal.replay() == []
+
+
+def test_torn_tail_is_tolerated_and_trimmed(journal):
+    txn = journal.begin("upload", "Bob", "f", put_keys=[("P0", "1.0")])
+    # Simulate a power cut mid-append: half a record, no newline.
+    with open(journal.path, "ab") as fh:
+        fh.write(b'{"rec": "com')
+    (replayed,) = journal.replay()
+    assert replayed.txn == txn and replayed.state == "open"
+    # Reopening trims the torn tail so the next O_APPEND record does not
+    # glue onto it (which would lose that record too).
+    reopened = IntentJournal(journal.path)
+    assert not journal.path.read_bytes().endswith(b'{"rec": "com')
+    reopened.commit(txn, {"add": []})
+    (replayed,) = reopened.replay()
+    assert replayed.state == "committed"
+
+
+def test_crash_mid_append_leaves_replayable_log(journal):
+    txn = journal.begin("upload", "Bob", "f")
+    with crashing_at("journal.append.torn"):
+        with pytest.raises(CrashPoint):
+            journal.commit(txn, {"add": []})
+    # The commit never became durable: the txn is still open.
+    reopened = IntentJournal(journal.path)
+    (replayed,) = reopened.replay()
+    assert replayed.state == "open"
+
+
+def test_checkpoint_drops_resolved_keeps_open(journal):
+    done = journal.begin("upload", "Bob", "f")
+    journal.commit(done, {"add": []})
+    aborted = journal.begin("upload", "Bob", "g")
+    journal.abort(aborted)
+    open_txn = journal.begin("remove", "Bob", "h", remove_specs=[{"vid": 1}])
+    journal.checkpoint()
+    (survivor,) = journal.replay()
+    assert survivor.txn == open_txn
+    assert survivor.remove_specs == [{"vid": 1}]
+    # Resolving and checkpointing again empties the file.
+    journal.abort(open_txn)
+    journal.checkpoint()
+    assert journal.replay() == []
+    assert journal.path.read_bytes() == b""
+
+
+def test_records_are_json_lines(journal):
+    journal.begin("upload", "Bob", "f")
+    lines = journal.path.read_bytes().splitlines()
+    assert all(json.loads(line)["rec"] for line in lines)
+
+
+def test_missing_file_replays_empty(tmp_path):
+    journal = IntentJournal(tmp_path / "never-written.jsonl")
+    assert journal.replay() == []
+    assert journal.pending() == []

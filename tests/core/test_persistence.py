@@ -81,3 +81,45 @@ def test_save_creates_parent_dirs(distributor, bob, tmp_path):
     path = tmp_path / "deep" / "nested" / "meta.json"
     save_metadata(distributor, path)
     assert path.exists()
+
+
+def test_truncated_file_reports_corruption(stored, registry):
+    _, path, _ = stored
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    with pytest.raises(MetadataCorruptedError, match="truncated"):
+        load_metadata(CloudDataDistributor(registry, seed=1), path)
+
+
+def test_empty_file_reports_corruption(stored, registry):
+    _, path, _ = stored
+    path.write_bytes(b"")
+    with pytest.raises(MetadataCorruptedError):
+        load_metadata(CloudDataDistributor(registry, seed=1), path)
+
+
+def test_checksum_field_corruption_detected(stored, registry):
+    _, path, _ = stored
+    document = json.loads(path.read_text())
+    document["sha256"] = "0" * 64
+    path.write_text(json.dumps(document))
+    with pytest.raises(MetadataCorruptedError, match="checksum"):
+        load_metadata(CloudDataDistributor(registry, seed=1), path)
+
+
+def test_crashed_save_leaves_previous_snapshot_readable(stored, registry):
+    from repro.util.crash import CrashPoint, crashing_at
+
+    distributor, path, _ = stored
+    before = path.read_bytes()
+    distributor.register_client("Carol")  # make the next save differ
+    with crashing_at("atomic.tmp_written"):
+        with pytest.raises(CrashPoint):
+            save_metadata(distributor, path)
+    # The interrupted save never replaced the file: the previous snapshot
+    # is byte-identical and still loads.
+    assert path.read_bytes() == before
+    fresh = CloudDataDistributor(registry, seed=2)
+    load_metadata(fresh, path)
+    expected = distributor.get_file("Bob", "Ty7e", "f")
+    assert fresh.get_file("Bob", "Ty7e", "f") == expected

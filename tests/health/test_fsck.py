@@ -1,0 +1,146 @@
+"""fsck: table-vs-fleet cross-audit, classification, and repair."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.distributor import CloudDataDistributor
+from repro.core.errors import ProviderError
+from repro.core.privacy import ChunkSizePolicy, CostLevel, PrivacyLevel
+from repro.health.fsck import run_fsck
+from repro.providers.disk import DiskProvider
+from repro.providers.registry import ProviderRegistry
+
+PAYLOAD = bytes(range(256)) * 8  # 2048 bytes -> 8 PRIVATE chunks
+
+
+@pytest.fixture
+def deployed(tmp_path):
+    registry = ProviderRegistry()
+    for i in range(6):
+        registry.register(
+            DiskProvider(f"D{i}", tmp_path / f"D{i}"),
+            PrivacyLevel.PRIVATE,
+            CostLevel(1),
+        )
+    distributor = CloudDataDistributor(
+        registry,
+        chunk_policy=ChunkSizePolicy(sizes=(4096, 1024, 512, 256)),
+        seed=7,
+        max_transport_workers=1,
+    )
+    distributor.register_client("Bob")
+    distributor.add_password("Bob", "pw", PrivacyLevel.PRIVATE)
+    distributor.upload_file("Bob", "pw", "doc", PAYLOAD, PrivacyLevel.PRIVATE)
+    return distributor
+
+
+def _some_shard(distributor) -> tuple[str, str]:
+    """(provider name, shard key) of one live shard."""
+    for name in distributor.registry.names():
+        keys = distributor.registry.get(name).provider.keys()
+        if keys:
+            return name, sorted(keys)[0]
+    raise AssertionError("no shards stored")  # pragma: no cover
+
+
+def test_clean_deployment(deployed):
+    report = run_fsck(deployed)
+    assert report.clean
+    assert report.providers_checked == 6
+    assert report.shards_checked > 0
+    assert not report.repaired  # read-only pass never claims repair
+    assert report.render_text().endswith("clean")
+
+
+def test_missing_shard_detected_and_repaired(deployed):
+    name, key = _some_shard(deployed)
+    deployed.registry.get(name).provider.delete(key)
+    report = run_fsck(deployed)
+    assert not report.clean
+    assert [(i.provider, i.key) for i in report.missing] == [(name, key)]
+
+    repaired = run_fsck(deployed, repair=True)
+    assert repaired.clean, repaired.render_text()
+    assert repaired.repaired and repaired.shards_rebuilt >= 1
+    assert deployed.get_file("Bob", "pw", "doc") == PAYLOAD
+
+
+def test_corrupt_shard_detected_by_checksum_drift(deployed):
+    name, key = _some_shard(deployed)
+    # Overwrite with a self-consistent record whose content (and therefore
+    # checksum) no longer matches what the tables recorded.
+    deployed.registry.get(name).provider.put(key, b"not the shard")
+    report = run_fsck(deployed)
+    assert [(i.provider, i.key) for i in report.corrupt] == [(name, key)]
+    repaired = run_fsck(deployed, repair=True)
+    assert repaired.clean
+    assert deployed.get_file("Bob", "pw", "doc") == PAYLOAD
+
+
+def test_orphans_and_stale_snapshots_classified(deployed):
+    provider = deployed.registry.get("D0").provider
+    provider.put("424242.0", b"crash litter")
+    provider.put("S424242", b"stale snapshot")
+    report = run_fsck(deployed)
+    assert report.orphans == {"D0": ["424242.0"]}
+    assert report.stale_snapshots == {"D0": ["S424242"]}
+
+    repaired = run_fsck(deployed, repair=True)
+    assert repaired.clean
+    assert repaired.orphans_deleted == 2
+    assert "424242.0" not in provider.keys()
+    assert "S424242" not in provider.keys()
+
+
+def test_unreachable_provider_not_condemned(deployed):
+    provider = deployed.registry.get("D1").provider
+
+    def boom():
+        raise ProviderError("listing failed")
+
+    provider.keys = boom  # type: ignore[method-assign]
+    report = run_fsck(deployed)
+    assert report.unreachable == ["D1"]
+    # Its shards are neither missing nor orphaned: no verdict without data.
+    assert all(i.provider != "D1" for i in report.missing)
+    assert "D1" not in report.orphans
+
+
+def test_report_json_round_trips(deployed):
+    deployed.registry.get("D0").provider.put("9.9", b"x")
+    report = run_fsck(deployed)
+    doc = json.loads(json.dumps(report.to_json()))
+    assert doc["clean"] is False
+    assert doc["orphans"] == {"D0": ["9.9"]}
+    assert doc["shards_checked"] == report.shards_checked
+
+
+def test_cli_fsck_smoke(tmp_path):
+    """init -> put -> damage -> fsck (dirty) -> fsck --repair -> clean."""
+    from repro.cli import main
+
+    state = tmp_path / "cloud"
+    src = tmp_path / "doc.bin"
+    src.write_bytes(PAYLOAD)
+    assert main(["init", "--state", str(state), "--providers", "6"]) == 0
+    assert main(["register-client", "--state", str(state), "Bob"]) == 0
+    assert main(["add-password", "--state", str(state), "Bob", "pw", "3"]) == 0
+    assert main(["put", "--state", str(state), "Bob", "pw", str(src),
+                 "--level", "3"]) == 0
+    assert main(["fsck", "--state", str(state)]) == 0
+
+    # Lose one shard and plant crash litter.
+    blobs = sorted((state / "providers").rglob("*.blob"))
+    blobs[0].unlink()
+    (state / "providers" / "P0" / "999999.0.blob").write_bytes(b"junk")
+    assert main(["fsck", "--state", str(state)]) == 2
+    assert main(["fsck", "--state", str(state), "--repair"]) == 0
+    assert main(["fsck", "--state", str(state), "--format", "json"]) == 0
+
+    out = tmp_path / "out.bin"
+    assert main(["get", "--state", str(state), "Bob", "pw", "doc.bin",
+                 "-o", str(out)]) == 0
+    assert out.read_bytes() == PAYLOAD

@@ -1,0 +1,100 @@
+"""Atomic replace discipline and the crash-injection primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.atomic import atomic_write_bytes, atomic_write_text, _tmp_path
+from repro.util.crash import (
+    KILL_POINTS,
+    CrashPoint,
+    crashing_at,
+    crashpoint,
+    install_crash_hook,
+)
+
+
+def test_round_trip_and_replace(tmp_path):
+    path = tmp_path / "f.bin"
+    atomic_write_bytes(path, b"one")
+    assert path.read_bytes() == b"one"
+    atomic_write_bytes(path, b"two")
+    assert path.read_bytes() == b"two"
+    # No tmp litter on the happy path.
+    assert list(tmp_path.iterdir()) == [path]
+
+
+def test_text_variant(tmp_path):
+    path = tmp_path / "f.txt"
+    atomic_write_text(path, "héllo")
+    assert path.read_text() == "héllo"
+
+
+def test_tmp_names_are_collision_free(tmp_path):
+    path = tmp_path / "f"
+    names = {_tmp_path(path).name for _ in range(100)}
+    assert len(names) == 100
+    assert all(n.startswith("f.") and n.endswith(".tmp") for n in names)
+
+
+def test_crash_before_rename_preserves_old_content(tmp_path):
+    path = tmp_path / "f.bin"
+    atomic_write_bytes(path, b"old")
+    with crashing_at("atomic.tmp_written"):
+        with pytest.raises(CrashPoint):
+            atomic_write_bytes(path, b"new")
+    # The torn tmp file stays behind (as after a real power cut) and the
+    # published content is untouched.
+    assert path.read_bytes() == b"old"
+    litter = [p for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+    assert len(litter) == 1
+
+
+def test_crash_after_rename_publishes_new_content(tmp_path):
+    path = tmp_path / "f.bin"
+    atomic_write_bytes(path, b"old")
+    with crashing_at("atomic.renamed"):
+        with pytest.raises(CrashPoint):
+            atomic_write_bytes(path, b"new")
+    assert path.read_bytes() == b"new"
+
+
+def test_real_error_does_not_leak_tmp(tmp_path):
+    path = tmp_path / "f.bin"
+    with pytest.raises(TypeError):
+        atomic_write_bytes(path, "not-bytes")  # os.write rejects str
+    assert list(tmp_path.iterdir()) == []
+    assert not path.exists()
+
+
+def test_crashpoint_is_noop_without_hook():
+    crashpoint("atomic.tmp_written")  # nothing installed: must not raise
+
+
+def test_unregistered_point_fails_loudly():
+    install_crash_hook(lambda name: None)
+    try:
+        with pytest.raises(AssertionError, match="unregistered"):
+            crashpoint("no.such.point")
+    finally:
+        install_crash_hook(None)
+    with pytest.raises(AssertionError, match="unregistered"):
+        with crashing_at("no.such.point"):
+            pass  # pragma: no cover
+
+
+def test_crashing_at_counts_hits(tmp_path):
+    path = tmp_path / "f.bin"
+    with crashing_at("atomic.renamed", after=1) as reached:
+        atomic_write_bytes(path, b"first")  # survives hit 0
+        with pytest.raises(CrashPoint):
+            atomic_write_bytes(path, b"second")
+    assert reached.count("atomic.renamed") == 2
+    # Hook is uninstalled on exit even though the crash propagated.
+    atomic_write_bytes(path, b"third")
+    assert path.read_bytes() == b"third"
+
+
+def test_kill_point_registry_is_frozen():
+    assert "atomic.tmp_written" in KILL_POINTS
+    assert isinstance(KILL_POINTS, frozenset)
