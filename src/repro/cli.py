@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -75,20 +76,9 @@ def _init(args) -> int:
     return 0
 
 
-def _open(args) -> tuple[CloudDataDistributor, Path]:
-    global _installed_registry
-    state = _state_dir(args)
+def _build_registry(state: Path) -> ProviderRegistry:
+    """Provider registry from the deployment's ``fleet.json``."""
     fleet_path = state / FLEET_FILE
-    if not fleet_path.exists():
-        raise SystemExit(f"error: {state} is not initialized (run `init` first)")
-    # Fresh telemetry per invocation: this run's counts merge into the
-    # deployment's persisted totals on exit (see ``_persist_metrics``),
-    # and a fresh registry keeps repeated in-process invocations from
-    # double-counting older runs.
-    _installed_registry = MetricsRegistry()
-    set_metrics(_installed_registry)
-    set_tracer(Tracer())
-    set_events(EventLog())
     registry = ProviderRegistry()
     for spec in json.loads(fleet_path.read_text()):
         # A fleet entry may point at any provider URL (e.g. a
@@ -110,6 +100,29 @@ def _open(args) -> tuple[CloudDataDistributor, Path]:
             CostLevel.coerce(spec["cost_level"]),
             region=spec.get("region", "default"),
         )
+    return registry
+
+
+def _open(args) -> tuple[CloudDataDistributor, Path]:
+    global _installed_registry
+    state = _state_dir(args)
+    fleet_path = state / FLEET_FILE
+    if not fleet_path.exists():
+        raise SystemExit(f"error: {state} is not initialized (run `init` first)")
+    if (state / FLEET_STATE_FILE).exists():
+        raise SystemExit(
+            f"error: {state} is a sharded fleet deployment "
+            f"(use the fleet-*/shard-* commands)"
+        )
+    # Fresh telemetry per invocation: this run's counts merge into the
+    # deployment's persisted totals on exit (see ``_persist_metrics``),
+    # and a fresh registry keeps repeated in-process invocations from
+    # double-counting older runs.
+    _installed_registry = MetricsRegistry()
+    set_metrics(_installed_registry)
+    set_tracer(Tracer())
+    set_events(EventLog())
+    registry = _build_registry(state)
     from repro.core.journal import IntentJournal, recover_from_journal
 
     journal = IntentJournal(state / JOURNAL_FILE)
@@ -462,6 +475,265 @@ def _serve(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# sharded fleet commands (repro.fleet)
+# ---------------------------------------------------------------------------
+
+FLEET_STATE_FILE = "fleet-state.json"
+
+
+def _open_fleet(args):
+    """Open the sharded deployment under ``--state`` and resume migrations."""
+    global _installed_registry
+    state = _state_dir(args)
+    if not (state / FLEET_FILE).exists():
+        raise SystemExit(
+            f"error: {state} is not initialized (run `fleet-init` first)"
+        )
+    if not (state / FLEET_STATE_FILE).exists():
+        raise SystemExit(
+            f"error: {state} has no shard fleet (run `fleet-init` first)"
+        )
+    from repro.fleet import FleetGateway, ShardRebalancer
+
+    _installed_registry = MetricsRegistry()
+    set_metrics(_installed_registry)
+    gateway = FleetGateway.open(
+        _build_registry(state), state, metrics=_installed_registry
+    )
+    rebalancer = ShardRebalancer(gateway)
+    resumed = rebalancer.resume()
+    for report in resumed:
+        print(f"resumed interrupted migration: {report.summary()}", file=sys.stderr)
+    return gateway, rebalancer
+
+
+def _fleet_commit(gateway) -> None:
+    """Persist fleet state and fold shard metrics into this run's registry."""
+    gateway.save()
+    registry = get_metrics()
+    for shard in gateway.shards.values():
+        registry.import_state(shard.metrics.export_state())
+
+
+def _fleet_init(args) -> int:
+    state = _state_dir(args)
+    if (state / FLEET_STATE_FILE).exists():
+        print(f"error: {state} already holds a shard fleet", file=sys.stderr)
+        return 1
+    if not (state / FLEET_FILE).exists():
+        code = _init(args)
+        if code != 0:
+            return code
+    from repro.fleet import FleetGateway
+
+    gateway = FleetGateway(_build_registry(state), state, seed=0xC11)
+    for i in range(args.shards):
+        gateway.add_shard(f"s{i}")
+    gateway.save()
+    gateway.close()
+    print(f"fleet of {args.shards} shards ready under {state}")
+    return 0
+
+
+def _tenant_add(args) -> int:
+    gateway, _ = _open_fleet(args)
+    gateway.register_tenant(args.tenant)
+    _fleet_commit(gateway)
+    print(f"registered tenant {args.tenant!r}")
+    return 0
+
+
+def _tenant_password(args) -> int:
+    gateway, _ = _open_fleet(args)
+    gateway.add_tenant_password(args.tenant, args.password, int(args.level))
+    _fleet_commit(gateway)
+    print(f"added PL-{args.level} password for tenant {args.tenant!r}")
+    return 0
+
+
+def _tenant_quota(args) -> int:
+    gateway, _ = _open_fleet(args)
+    gateway.set_quota(
+        args.tenant, max_bytes=args.max_bytes, max_files=args.max_files
+    )
+    _fleet_commit(gateway)
+    print(
+        f"quota for {args.tenant!r}: "
+        f"max_bytes={args.max_bytes} max_files={args.max_files}"
+    )
+    return 0
+
+
+def _shard_add(args) -> int:
+    gateway, rebalancer = _open_fleet(args)
+    report = rebalancer.add_shard(args.shard)
+    _fleet_commit(gateway)
+    print(report.summary())
+    return 0
+
+
+def _shard_drain(args) -> int:
+    gateway, rebalancer = _open_fleet(args)
+    report = rebalancer.drain_shard(args.shard)
+    _fleet_commit(gateway)
+    print(report.summary())
+    return 0
+
+
+def _shards(args) -> int:
+    """Fleet status: ring membership, per-shard load, tenant quota usage."""
+    gateway, rebalancer = _open_fleet(args)
+    status = gateway.status()
+    merged = MetricsRegistry()
+    # The deployment's running totals first, then this invocation's live
+    # counts on top (counters add; gauges last-writer-wins to the live run).
+    metrics_path = _state_dir(args) / METRICS_FILE
+    if metrics_path.exists():
+        with contextlib.suppress(ValueError, KeyError, TypeError):
+            merged.import_state(json.loads(metrics_path.read_text()))
+    merged.import_state(gateway.merged_metrics().export_state())
+    pending = (
+        sum(len(p.remaining) for p in rebalancer.journal.pending())
+        if rebalancer.journal is not None
+        else 0
+    )
+    if args.format == "json":
+        status["pending_migration_files"] = pending
+        status["quota_rejections"] = merged.sum_counter(
+            "fleet_quota_rejections_total"
+        )
+        print(json.dumps(status, indent=2, sort_keys=True))
+        _fleet_commit(gateway)
+        return 0
+    print(
+        render_table(
+            ["shard", "ring id", "files", "chunks", "tenants"],
+            [
+                [r["shard"], f"{r['node_id']:#010x}", r["files"], r["chunks"],
+                 r["tenants"]]
+                for r in status["shards"]
+            ],
+            title=f"Ring membership (m_bits={status['m_bits']})",
+        )
+    )
+    rows = []
+    for tenant, usage in sorted(status["tenants"].items()):
+        quota = usage["quota"]
+        rows.append(
+            [
+                tenant,
+                usage["files"],
+                format_bytes(usage["bytes"]),
+                quota["max_files"] if quota["max_files"] is not None else "-",
+                format_bytes(quota["max_bytes"])
+                if quota["max_bytes"] is not None
+                else "-",
+            ]
+        )
+    print(
+        render_table(
+            ["tenant", "files", "used", "file quota", "byte quota"],
+            rows,
+            title="Tenant usage",
+        )
+    )
+    rejections = merged.sum_counter("fleet_quota_rejections_total")
+    print(
+        f"pending migration files: {pending}  "
+        f"quota rejections: {int(rejections)}"
+    )
+    _fleet_commit(gateway)
+    return 0
+
+
+def _fleet_put(args) -> int:
+    gateway, _ = _open_fleet(args)
+    data = Path(args.file).read_bytes()
+    filename = args.name or Path(args.file).name
+    receipt = gateway.upload_file(
+        args.tenant, args.password, filename, data,
+        PrivacyLevel.coerce(args.level),
+        misleading_fraction=args.misleading,
+    )
+    _fleet_commit(gateway)
+    print(
+        f"stored {filename!r} for tenant {args.tenant!r}: "
+        f"{format_bytes(receipt.file_size)} in {receipt.chunk_count} chunks"
+    )
+    return 0
+
+
+def _fleet_get(args) -> int:
+    gateway, _ = _open_fleet(args)
+    data = gateway.get_file(args.tenant, args.password, args.filename)
+    out = Path(args.output) if args.output else Path(args.filename)
+    out.write_bytes(data)
+    _fleet_commit(gateway)
+    print(f"retrieved {format_bytes(len(data))} -> {out}")
+    return 0
+
+
+def _fleet_rm(args) -> int:
+    gateway, _ = _open_fleet(args)
+    gateway.remove_file(args.tenant, args.password, args.filename)
+    _fleet_commit(gateway)
+    print(f"removed {args.filename!r}")
+    return 0
+
+
+def _fleet_ls(args) -> int:
+    gateway, _ = _open_fleet(args)
+    for name in gateway.list_files(args.tenant, args.password):
+        print(name)
+    _fleet_commit(gateway)
+    return 0
+
+
+def _fleet_fsck(args) -> int:
+    gateway, _ = _open_fleet(args)
+    reports = gateway.fsck(repair=args.repair)
+    _fleet_commit(gateway)
+    dirty = 0
+    for shard_id, report in reports.items():
+        print(f"[{shard_id}] {report.summary()}")
+        if not report.clean:
+            dirty += 1
+            print(report.render_text())
+    return 0 if dirty == 0 else 2
+
+
+def _serve_gateway(args) -> int:
+    """Serve the fleet gateway over JSON-lines TCP (blocks until ^C)."""
+    from repro.net.gateway import GatewayServer
+
+    gateway, _ = _open_fleet(args)
+    server = GatewayServer(gateway, host=args.host, port=args.port)
+    try:
+        server.start()
+    except OSError as exc:
+        print(
+            f"error: cannot listen on {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"fleet gateway ({len(gateway.shards)} shards) listening on "
+        f"{server.host}:{server.port}",
+        flush=True,
+    )
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.stop()
+        _fleet_commit(gateway)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -592,6 +864,99 @@ def build_parser() -> argparse.ArgumentParser:
                    help="TCP port (default: ephemeral, printed at startup)")
     p.set_defaults(func=_serve)
 
+    # -- sharded fleet -----------------------------------------------------
+
+    p = with_state(sub.add_parser(
+        "fleet-init",
+        help="shard the deployment: DHT-routed distributor shards behind "
+             "a stateless gateway"))
+    p.add_argument("--providers", type=int, default=6)
+    p.add_argument("--shards", type=int, default=3,
+                   help="initial shard count (default: 3)")
+    p.set_defaults(func=_fleet_init)
+
+    p = with_state(sub.add_parser("tenant-add", help="register a tenant"))
+    p.add_argument("tenant")
+    p.set_defaults(func=_tenant_add)
+
+    p = with_state(sub.add_parser(
+        "tenant-password", help="attach a ⟨password, PL⟩ pair to a tenant"))
+    p.add_argument("tenant")
+    p.add_argument("password")
+    p.add_argument("level", type=int, choices=[0, 1, 2, 3])
+    p.set_defaults(func=_tenant_password)
+
+    p = with_state(sub.add_parser(
+        "tenant-quota", help="cap a tenant's stored bytes and/or file count"))
+    p.add_argument("tenant")
+    p.add_argument("--max-bytes", type=int, default=None)
+    p.add_argument("--max-files", type=int, default=None)
+    p.set_defaults(func=_tenant_quota)
+
+    p = with_state(sub.add_parser(
+        "shards", help="ring membership, per-shard load, tenant quota usage"))
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(func=_shards)
+
+    p = with_state(sub.add_parser(
+        "shard-add",
+        help="join a shard and migrate the key ranges it now owns"))
+    p.add_argument("shard")
+    p.set_defaults(func=_shard_add)
+
+    p = with_state(sub.add_parser(
+        "shard-drain",
+        help="migrate a shard's files to the survivors, then remove it"))
+    p.add_argument("shard")
+    p.set_defaults(func=_shard_drain)
+
+    p = with_state(sub.add_parser(
+        "fleet-put", help="store a file for a tenant via the gateway"))
+    p.add_argument("tenant")
+    p.add_argument("password")
+    p.add_argument("file")
+    p.add_argument("--level", type=int, default=2, choices=[0, 1, 2, 3])
+    p.add_argument("--name", help="stored filename (default: basename)")
+    p.add_argument("--misleading", type=float, default=0.0,
+                   help="misleading-byte fraction (Section VII-D)")
+    p.set_defaults(func=_fleet_put)
+
+    p = with_state(sub.add_parser(
+        "fleet-get", help="retrieve a tenant's file via the gateway"))
+    p.add_argument("tenant")
+    p.add_argument("password")
+    p.add_argument("filename")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_fleet_get)
+
+    p = with_state(sub.add_parser(
+        "fleet-rm", help="remove a tenant's file via the gateway"))
+    p.add_argument("tenant")
+    p.add_argument("password")
+    p.add_argument("filename")
+    p.set_defaults(func=_fleet_rm)
+
+    p = with_state(sub.add_parser(
+        "fleet-ls", help="list a tenant's files across all shards"))
+    p.add_argument("tenant")
+    p.add_argument("password")
+    p.set_defaults(func=_fleet_ls)
+
+    p = with_state(sub.add_parser(
+        "fleet-fsck",
+        help="run the cross-audit on every shard (exit 2 if any dirty)"))
+    p.add_argument("--repair", action="store_true",
+                   help="rebuild damaged shards and delete loose objects")
+    p.set_defaults(func=_fleet_fsck)
+
+    p = with_state(sub.add_parser(
+        "serve-gateway",
+        help="serve the fleet gateway over JSON-lines TCP"))
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default: ephemeral, printed at startup)")
+    p.set_defaults(func=_serve_gateway)
+
     return parser
 
 
@@ -601,6 +966,13 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except BrokenPipeError:
+        # Downstream reader (`head`, `grep -q`, ...) closed the pipe early;
+        # the Unix convention is to exit quietly.  Point stdout at devnull
+        # so interpreter shutdown doesn't trip over the dead descriptor.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     finally:
         if hasattr(args, "state"):
             _persist_metrics(_state_dir(args))

@@ -31,7 +31,20 @@ class _Credential:
     level: PrivacyLevel
 
     def matches(self, password: str) -> bool:
+        # compare_digest keeps the digest comparison constant-time; the
+        # PBKDF2 cost dominates anyway, but a short-circuiting ``==`` here
+        # would still leak a prefix-length oracle on the digest.
         return hmac.compare_digest(self.digest, _hash_password(password, self.salt))
+
+
+#: Fixed decoy credential hashed against when a client is unknown or has no
+#: credentials, so the failure path costs one PBKDF2 either way and a remote
+#: caller cannot enumerate tenant names by timing the gateway.
+_DECOY = _Credential(
+    salt=b"\x00" * 16,
+    digest=_hash_password("\x00decoy", b"\x00" * 16),
+    level=PrivacyLevel.PUBLIC,
+)
 
 
 @dataclass
@@ -66,10 +79,25 @@ class AccessController:
         Raises :class:`AuthenticationError` for an unknown password and
         :class:`UnknownClientError` for an unknown client.
         """
-        creds = self._require_client(client_name)
+        try:
+            creds = self._require_client(client_name)
+        except UnknownClientError:
+            # Burn the same PBKDF2 work an existing client would cost before
+            # failing, so "unknown client" and "wrong password" are not
+            # separable by response time.
+            _DECOY.matches(password)
+            raise
+        matched: _Credential | None = None
+        # Scan the full credential list without early exit: the loop cost
+        # depends only on the list length, not on where (or whether) the
+        # password matches.
         for cred in creds:
-            if cred.matches(password):
-                return cred.level
+            if cred.matches(password) and matched is None:
+                matched = cred
+        if not creds:
+            _DECOY.matches(password)
+        if matched is not None:
+            return matched.level
         raise AuthenticationError(
             f"invalid password for client {client_name!r}"
         )
@@ -86,6 +114,44 @@ class AccessController:
         """
         granted = self.authenticate(client_name, password)
         return int(granted) >= int(PrivacyLevel.coerce(chunk_level))
+
+    def remove_client(self, client_name: str) -> None:
+        """Drop *client_name* and every credential attached to it.
+
+        Raises :class:`UnknownClientError` when absent, so a revocation
+        that silently did nothing cannot be mistaken for one that worked.
+        """
+        self._require_client(client_name)
+        del self._clients[client_name]
+
+    def remove_password(self, client_name: str, password: str) -> PrivacyLevel:
+        """Revoke one credential, returning the privacy level it carried.
+
+        Raises :class:`AuthenticationError` when no credential matches --
+        revoking an already-invalid password is a caller bug, not a no-op.
+        """
+        creds = self._require_client(client_name)
+        for i, cred in enumerate(creds):
+            if cred.matches(password):
+                del creds[i]
+                return cred.level
+        raise AuthenticationError(
+            f"cannot revoke: invalid password for client {client_name!r}"
+        )
+
+    def rotate_password(
+        self, client_name: str, old_password: str, new_password: str
+    ) -> PrivacyLevel:
+        """Replace *old_password* with *new_password* at the same level.
+
+        Authentication of the old password happens before any mutation, so
+        a failed rotation leaves the credential set untouched.  Returns the
+        privacy level carried across.
+        """
+        level = self.authenticate(client_name, old_password)
+        self.remove_password(client_name, old_password)
+        self.add_password(client_name, new_password, level)
+        return level
 
     def knows_client(self, client_name: str) -> bool:
         return client_name in self._clients

@@ -57,3 +57,11 @@ class DistributorUnavailableError(ReproError):
 
 class DHTError(ReproError):
     """Lookup/maintenance failure inside a DHT overlay."""
+
+
+class QuotaExceededError(AuthorizationError):
+    """A tenant operation would exceed its configured fleet quota."""
+
+
+class FleetError(ReproError):
+    """Sharded-fleet control-plane failure (routing, membership, migration)."""

@@ -204,10 +204,14 @@ class ChordRing:
             if start_id not in self._nodes:
                 raise DHTError(f"start node {start!r} is not in the ring")
             current = self._nodes[start_id]
+            if not current.alive:
+                raise DHTError(f"start node {current.name!r} has failed")
         else:
-            current = self._nodes[self._ring[0]]
-        if not current.alive:
-            raise DHTError(f"start node {current.name!r} has failed")
+            # Default entry point: the first *alive* node.  Before the
+            # successor-list fix, this picked ``_ring[0]`` unconditionally
+            # and raised once that node died -- even though ``owner()``
+            # kept answering -- so lookup and owner disagreed under churn.
+            current = self._nodes[self._first_alive_successor(0)]
         limit = max_hops if max_hops is not None else 2 * self.m_bits + len(self._ring)
         path = [current.name]
         for _ in range(limit):
@@ -230,6 +234,48 @@ class ChordRing:
         """The alive node responsible for *key* (first alive successor of
         its hash -- with no failures this is the plain successor)."""
         return self._nodes[self._first_alive_successor(self.key_id(key))].name
+
+    # -- ownership ranges -------------------------------------------------------
+
+    def predecessor_id(self, name: str) -> int:
+        """Id of the closest *alive* node counter-clockwise of *name*.
+
+        With a single alive node this is the node's own id (it owns the
+        whole circle).  Raises :class:`DHTError` for unknown or dead nodes.
+        """
+        node_id = self.node_id_for(name)
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise DHTError(f"no node named {name!r} in the ring")
+        if not node.alive:
+            raise DHTError(f"node {name!r} has failed and owns no range")
+        position = self._ring.index(node_id)
+        for offset in range(1, len(self._ring) + 1):
+            candidate = self._ring[(position - offset) % len(self._ring)]
+            if self._nodes[candidate].alive:
+                return candidate
+        raise DHTError("no alive node in the ring")
+
+    def owned_range(self, name: str) -> tuple[int, int]:
+        """The half-open arc ``(predecessor_id, node_id]`` owned by *name*.
+
+        When the two ids coincide (single alive node) the range is the
+        whole circle, matching :func:`~repro.dht.hashing.in_interval`.
+        """
+        return self.predecessor_id(name), self.node_id_for(name)
+
+    def owns(self, name: str, key: str) -> bool:
+        """True when *name* is the alive owner of *key*.
+
+        Agrees with :meth:`owner` by construction; exists so range
+        migration can test many keys against one node without re-running
+        the successor scan per key.
+        """
+        try:
+            lo, hi = self.owned_range(name)
+        except DHTError:
+            return False
+        return in_interval(self.key_id(key), lo, hi, self.modulus)
 
     def nodes_for(self, key: str, r: int = 1) -> list[str]:
         """The owner plus the next r-1 distinct *alive* successors."""

@@ -1,0 +1,34 @@
+"""Sharded multi-tenant metadata plane (Section IV-C at fleet scale).
+
+One :class:`~repro.core.distributor.CloudDataDistributor` holds one chunk
+table -- the scaling ceiling this package removes.  The ⟨tenant, filename⟩
+namespace is partitioned across N distributor *shards* by the Chord ring
+from :mod:`repro.dht.chord`; a stateless :class:`FleetGateway` in front
+authenticates tenants, enforces quotas, routes each request to the owning
+shard, and fans out cross-shard operations.  A :class:`ShardRebalancer`
+migrates only the affected key ranges on ring membership change, journaled
+and resumable across crashes.
+
+See ``docs/sharding.md`` for the architecture and migration protocol.
+"""
+
+from repro.fleet.gateway import FleetGateway, TenantQuota
+from repro.fleet.migration import MigrationJournal
+from repro.fleet.namespace import NamespacedProvider, shard_registry
+from repro.fleet.rebalance import FleetMigrationReport, ShardRebalancer
+from repro.fleet.router import FleetRouter, fleet_key, split_fleet_key
+from repro.fleet.shard import FleetShard
+
+__all__ = [
+    "FleetGateway",
+    "FleetMigrationReport",
+    "FleetRouter",
+    "FleetShard",
+    "MigrationJournal",
+    "NamespacedProvider",
+    "ShardRebalancer",
+    "TenantQuota",
+    "fleet_key",
+    "shard_registry",
+    "split_fleet_key",
+]

@@ -1,0 +1,428 @@
+"""Stateless multi-tenant gateway in front of the shard fleet.
+
+The gateway holds no file metadata at all: only ring membership, tenant
+credentials and quotas.  Any number of gateway processes over the same
+membership route identically (consistent hashing), which is what lets the
+metadata plane scale horizontally while each shard stays a small,
+crash-consistent distributor.
+
+Data-path requests are authenticated here (the paper's ⟨password, PL⟩
+check via :class:`~repro.core.access_control.AccessController`), checked
+against the tenant's quota, then forwarded to the owning shard -- which
+authenticates *again* with its own synced credential copy, so a request
+that somehow bypassed the gateway faces the same check twice.  Cross-shard
+operations (list, fsck, stats, usage) fan out and merge.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.access_control import AccessController
+from repro.core.errors import FleetError, QuotaExceededError, UnknownFileError
+from repro.core.privacy import ChunkSizePolicy, PrivacyLevel
+from repro.fleet.router import FleetRouter, fleet_key, validate_tenant
+from repro.fleet.shard import FleetShard
+from repro.health.fsck import FsckReport
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.providers.registry import ProviderRegistry
+from repro.util.atomic import atomic_write_text
+from repro.util.rng import SeedLike
+
+FLEET_STATE_FILE = "fleet-state.json"
+MIGRATION_JOURNAL_FILE = "migration.jsonl"
+
+
+class TenantQuota:
+    """Per-tenant ceilings; ``None`` means unlimited."""
+
+    def __init__(
+        self, max_bytes: int | None = None, max_files: int | None = None
+    ) -> None:
+        self.max_bytes = max_bytes
+        self.max_files = max_files
+
+    def to_dict(self) -> dict:
+        return {"max_bytes": self.max_bytes, "max_files": self.max_files}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantQuota":
+        return cls(
+            max_bytes=data.get("max_bytes"), max_files=data.get("max_files")
+        )
+
+
+class FleetGateway:
+    """Routes tenant requests to DHT-owned shards; fans out the rest."""
+
+    def __init__(
+        self,
+        base_registry: ProviderRegistry,
+        state_dir: str | Path | None = None,
+        *,
+        m_bits: int = 32,
+        seed: SeedLike = None,
+        chunk_policy: ChunkSizePolicy | None = None,
+        stripe_width: int | None = None,
+        max_transport_workers: int | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.base_registry = base_registry
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self.seed = seed
+        self.chunk_policy = chunk_policy
+        self.stripe_width = stripe_width
+        self.max_transport_workers = max_transport_workers
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.router = FleetRouter(m_bits=m_bits, metrics=self.metrics)
+        self.access = AccessController()
+        self.quotas: dict[str, TenantQuota] = {}
+        self.shards: dict[str, FleetShard] = {}
+        if self.state_dir is not None:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- construction / persistence ----------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        base_registry: ProviderRegistry,
+        state_dir: str | Path,
+        **kwargs,
+    ) -> "FleetGateway":
+        """Reopen a persisted fleet: membership, tenants, then shard boot.
+
+        Each shard replays its own intent journal during construction.
+        Pending cross-shard migrations are NOT resumed here -- call
+        :meth:`repro.fleet.rebalance.ShardRebalancer.resume` next, the way
+        the CLI does.
+        """
+        state_path = Path(state_dir) / FLEET_STATE_FILE
+        state = json.loads(state_path.read_text(encoding="utf-8"))
+        gateway = cls(
+            base_registry,
+            state_dir,
+            m_bits=int(state.get("m_bits", 32)),
+            seed=state.get("seed"),
+            **kwargs,
+        )
+        gateway.access.import_state(state.get("tenants", {}))
+        gateway.quotas = {
+            name: TenantQuota.from_dict(q)
+            for name, q in state.get("quotas", {}).items()
+        }
+        for shard_id in state.get("shards", []):
+            gateway._attach_shard(shard_id)
+        return gateway
+
+    def shard_state_dir(self, shard_id: str) -> Path | None:
+        if self.state_dir is None:
+            return None
+        return self.state_dir / "shards" / shard_id
+
+    @property
+    def migration_journal_path(self) -> Path | None:
+        if self.state_dir is None:
+            return None
+        return self.state_dir / MIGRATION_JOURNAL_FILE
+
+    def save_state(self) -> None:
+        """Persist the control plane (membership, tenants, quotas)."""
+        if self.state_dir is None:
+            return
+        state = {
+            "m_bits": self.router.ring.m_bits,
+            "seed": self.seed if isinstance(self.seed, int) else None,
+            "shards": sorted(self.shards),
+            "tenants": self.access.export_state(),
+            "quotas": {n: q.to_dict() for n, q in self.quotas.items()},
+        }
+        atomic_write_text(
+            self.state_dir / FLEET_STATE_FILE,
+            json.dumps(state, indent=2, sort_keys=True),
+        )
+
+    def save(self) -> None:
+        """Persist control plane plus every shard's metadata snapshot."""
+        self.save_state()
+        for shard in self.shards.values():
+            shard.save()
+
+    def close(self) -> None:
+        for shard in self.shards.values():
+            shard.close()
+
+    # -- shard membership --------------------------------------------------
+
+    def _build_shard(self, shard_id: str) -> FleetShard:
+        return FleetShard(
+            shard_id,
+            self.base_registry,
+            self.shard_state_dir(shard_id),
+            seed=self.seed,
+            chunk_policy=self.chunk_policy,
+            stripe_width=self.stripe_width,
+            max_transport_workers=self.max_transport_workers,
+        )
+
+    def _attach_shard(self, shard_id: str) -> FleetShard:
+        if shard_id in self.shards:
+            raise FleetError(f"shard {shard_id!r} already in the fleet")
+        shard = self._build_shard(shard_id)
+        shard.sync_access(self.access.export_state())
+        # Snapshot immediately: journal recovery purges committed chunks
+        # whose client row is missing from the snapshot, so the tenant
+        # roster must be durable on a shard BEFORE any data can land on it
+        # (e.g. a migration that crashes right after the copy).
+        shard.save()
+        self.shards[shard_id] = shard
+        self.router.add_shard(shard_id)
+        return shard
+
+    def add_shard(self, shard_id: str) -> FleetShard:
+        """Join a shard to the ring (membership only -- no data moves).
+
+        Use :class:`~repro.fleet.rebalance.ShardRebalancer` to join *and*
+        migrate the affected key ranges on a fleet that already holds data.
+        """
+        shard = self._attach_shard(shard_id)
+        self.save_state()
+        return shard
+
+    def detach_shard(self, shard_id: str) -> FleetShard:
+        """Remove a (drained) shard from the ring and the fleet."""
+        if shard_id not in self.shards:
+            raise FleetError(f"no shard {shard_id!r} in the fleet")
+        self.router.remove_shard(shard_id)
+        shard = self.shards.pop(shard_id)
+        self.save_state()
+        return shard
+
+    @property
+    def shard_ids(self) -> list[str]:
+        return sorted(self.shards)
+
+    # -- tenant management -------------------------------------------------
+
+    def _sync_tenants(self) -> None:
+        state = self.access.export_state()
+        for shard in self.shards.values():
+            shard.sync_access(state)
+            shard.save()  # roster must be durable before tenant data lands
+        self.save_state()
+
+    def register_tenant(self, tenant: str) -> None:
+        validate_tenant(tenant)
+        self.access.register_client(tenant)
+        self._sync_tenants()
+
+    def add_tenant_password(
+        self, tenant: str, password: str, level: PrivacyLevel | int
+    ) -> None:
+        self.access.add_password(tenant, password, level)
+        self._sync_tenants()
+
+    def rotate_tenant_password(
+        self, tenant: str, old_password: str, new_password: str
+    ) -> PrivacyLevel:
+        level = self.access.rotate_password(tenant, old_password, new_password)
+        self._sync_tenants()
+        return level
+
+    def remove_tenant(self, tenant: str) -> None:
+        """Deprovision a tenant; refuses while it still stores data."""
+        usage = self.tenant_usage(tenant)
+        if usage["files"]:
+            raise FleetError(
+                f"tenant {tenant!r} still stores {usage['files']} file(s); "
+                f"remove them before deprovisioning"
+            )
+        self.access.remove_client(tenant)
+        self.quotas.pop(tenant, None)
+        self._sync_tenants()
+
+    def set_quota(
+        self,
+        tenant: str,
+        max_bytes: int | None = None,
+        max_files: int | None = None,
+    ) -> None:
+        if not self.access.knows_client(tenant):
+            validate_tenant(tenant)
+            raise FleetError(f"unknown tenant {tenant!r}")
+        self.quotas[tenant] = TenantQuota(max_bytes, max_files)
+        self.save_state()
+
+    def tenants(self) -> list[str]:
+        return sorted(self.access.export_state())
+
+    # -- routing helpers ---------------------------------------------------
+
+    def _owner_shard(self, key: str, op: str) -> FleetShard:
+        shard_id = self.router.route(key)
+        self.metrics.counter("fleet_ops_total", op=op, shard=shard_id).inc()
+        return self.shards[shard_id]
+
+    def _locate(self, key: str, op: str) -> FleetShard:
+        """Owner shard, falling back to a fan-out scan mid-migration.
+
+        While a migration is in flight a file can briefly live on its old
+        shard although the ring already routes to the new one; the scan
+        keeps reads available through that window (and counts how often it
+        was needed).
+        """
+        shard = self._owner_shard(key, op)
+        if shard.has_file(key):
+            return shard
+        for other in self.shards.values():
+            if other is not shard and other.has_file(key):
+                self.metrics.counter("fleet_route_misses_total", op=op).inc()
+                return other
+        return shard  # let the owner raise its UnknownFileError
+
+    # -- tenant data path --------------------------------------------------
+
+    def upload_file(
+        self,
+        tenant: str,
+        password: str,
+        filename: str,
+        data: bytes,
+        level: PrivacyLevel | int,
+        misleading_fraction: float = 0.0,
+    ):
+        key = fleet_key(tenant, filename)
+        self.access.authenticate(tenant, password)
+        self._check_quota(tenant, len(data))
+        shard = self._owner_shard(key, "upload")
+        for other_id, other in self.shards.items():
+            if other is not shard and other.has_file(key):
+                raise ValueError(
+                    f"file {filename!r} of tenant {tenant!r} already exists "
+                    f"(on shard {other_id!r})"
+                )
+        return shard.distributor.upload_file(
+            tenant, password, key, data, level,
+            misleading_fraction=misleading_fraction,
+        )
+
+    def get_file(self, tenant: str, password: str, filename: str) -> bytes:
+        key = fleet_key(tenant, filename)
+        shard = self._locate(key, "get")
+        return shard.distributor.get_file(tenant, password, key)
+
+    def update_chunk(
+        self,
+        tenant: str,
+        password: str,
+        filename: str,
+        serial: int,
+        new_payload: bytes,
+    ) -> None:
+        key = fleet_key(tenant, filename)
+        shard = self._locate(key, "update")
+        shard.distributor.update_chunk(tenant, password, key, serial, new_payload)
+
+    def remove_file(self, tenant: str, password: str, filename: str) -> None:
+        key = fleet_key(tenant, filename)
+        shard = self._locate(key, "remove")
+        shard.distributor.remove_file(tenant, password, key)
+
+    def list_files(self, tenant: str, password: str) -> list[str]:
+        """All of the tenant's visible filenames, fanned out and merged."""
+        self.access.authenticate(tenant, password)
+        prefix = f"{tenant}/"
+        names: list[str] = []
+        for shard in self.shards.values():
+            for key in shard.distributor.list_files(tenant, password):
+                if key.startswith(prefix):
+                    names.append(key[len(prefix):])
+        self.metrics.counter("fleet_ops_total", op="list", shard="*").inc()
+        return sorted(names)
+
+    # -- quotas ------------------------------------------------------------
+
+    def tenant_usage(self, tenant: str) -> dict[str, int]:
+        """Fleet-wide ``{"files": n, "bytes": n}`` for one tenant."""
+        files = 0
+        nbytes = 0
+        for shard in self.shards.values():
+            usage = shard.tenant_usage().get(tenant)
+            if usage:
+                files += usage["files"]
+                nbytes += usage["bytes"]
+        self.metrics.gauge("fleet_tenant_used_bytes", tenant=tenant).set(nbytes)
+        self.metrics.gauge("fleet_tenant_used_files", tenant=tenant).set(files)
+        return {"files": files, "bytes": nbytes}
+
+    def _check_quota(self, tenant: str, incoming_bytes: int) -> None:
+        quota = self.quotas.get(tenant)
+        if quota is None or (quota.max_bytes is None and quota.max_files is None):
+            return
+        usage = self.tenant_usage(tenant)
+        over_bytes = (
+            quota.max_bytes is not None
+            and usage["bytes"] + incoming_bytes > quota.max_bytes
+        )
+        over_files = (
+            quota.max_files is not None and usage["files"] + 1 > quota.max_files
+        )
+        if over_bytes or over_files:
+            self.metrics.counter(
+                "fleet_quota_rejections_total", tenant=tenant
+            ).inc()
+            what = "byte" if over_bytes else "file"
+            raise QuotaExceededError(
+                f"tenant {tenant!r} would exceed its {what} quota "
+                f"(used {usage['bytes']} B in {usage['files']} files)"
+            )
+
+    # -- fleet-wide fan-out ------------------------------------------------
+
+    def fsck(self, repair: bool = False) -> dict[str, FsckReport]:
+        """Run the cross-audit on every shard."""
+        return {
+            shard_id: shard.fsck(repair=repair)
+            for shard_id, shard in sorted(self.shards.items())
+        }
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """Gateway metrics plus every shard's registry, merged."""
+        merged = MetricsRegistry()
+        merged.import_state(self.metrics.export_state())
+        for shard in self.shards.values():
+            merged.import_state(shard.metrics.export_state())
+        return merged
+
+    def shard_rows(self) -> list[dict]:
+        """Per-shard status for ``repro shards``."""
+        rows = []
+        for shard_id in sorted(self.shards):
+            shard = self.shards[shard_id]
+            stats = shard.stats()
+            rows.append(
+                {
+                    "shard": shard_id,
+                    "node_id": self.router.ring.node_id_for(shard_id),
+                    "files": stats["files"],
+                    "chunks": stats["chunks"],
+                    "tenants": stats["tenants"],
+                }
+            )
+        return rows
+
+    def status(self) -> dict:
+        """Fleet-level view: membership, shard stats, tenant usage."""
+        usage = {
+            tenant: dict(
+                self.tenant_usage(tenant),
+                quota=self.quotas.get(tenant, TenantQuota()).to_dict(),
+            )
+            for tenant in self.tenants()
+        }
+        return {
+            "m_bits": self.router.ring.m_bits,
+            "shards": self.shard_rows(),
+            "tenants": usage,
+        }

@@ -1,0 +1,168 @@
+"""Write-ahead journal for cross-shard migrations.
+
+Ring membership changes move whole *files* between shards; a crash in the
+middle must not lose a file or leave it double-counted.  The fleet keeps a
+dedicated append-only journal (separate from the per-shard intent
+journals, which cover the chunk-level work inside each shard):
+
+``plan``
+    The full move list, durable before the first byte moves.
+``done``
+    One move finished: the file is live at the destination and gone from
+    the source.
+``complete``
+    Every planned move is done; the migration id retires.
+
+Replay pairs plans with their done/complete records.  A migration with a
+plan but no complete is *pending*: resume re-walks its remaining moves,
+deciding per file from where the copies actually are (source only →
+re-copy; both → finish the source removal; destination only → just mark
+done).  Every step is idempotent, so crashing during resume and resuming
+again converges.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.util.atomic import fsync_dir
+
+
+@dataclass(frozen=True)
+class PlannedMove:
+    """One file's migration assignment."""
+
+    key: str  # fleet key: "tenant/filename"
+    src: str  # source shard id
+    dst: str  # destination shard id
+
+
+@dataclass
+class PendingMigration:
+    """A planned migration that has not recorded ``complete`` yet."""
+
+    migration: int
+    reason: str
+    moves: list[PlannedMove] = field(default_factory=list)
+    done: set[str] = field(default_factory=set)
+
+    @property
+    def remaining(self) -> list[PlannedMove]:
+        return [m for m in self.moves if m.key not in self.done]
+
+
+class MigrationJournal:
+    """Append-only, fsynced journal of fleet migrations."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._trim_torn_tail()
+        # Ids must never be reused: a completed migration's ``complete``
+        # record would retroactively swallow a new plan carrying the same
+        # id, so the counter advances past every id ever seen, not just
+        # the pending ones.
+        _, max_id = self._scan()
+        self._next_id = max_id + 1
+
+    def _trim_torn_tail(self) -> None:
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return
+        if not raw or raw.endswith(b"\n"):
+            return
+        keep = raw.rfind(b"\n") + 1
+        with open(self.path, "rb+") as fh:
+            fh.truncate(keep)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _append(self, record: dict) -> None:
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        with self._lock:
+            created = not self.path.exists()
+            fd = os.open(
+                str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, line)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            if created:
+                fsync_dir(self.path.parent)
+
+    # -- writing -----------------------------------------------------------
+
+    def plan(self, moves: list[PlannedMove], reason: str) -> int:
+        """Record a migration plan; returns its id once durable."""
+        migration = self._next_id
+        self._next_id += 1
+        self._append(
+            {
+                "type": "plan",
+                "migration": migration,
+                "reason": reason,
+                "moves": [
+                    {"key": m.key, "src": m.src, "dst": m.dst} for m in moves
+                ],
+            }
+        )
+        return migration
+
+    def mark_done(self, migration: int, key: str) -> None:
+        self._append({"type": "done", "migration": migration, "key": key})
+
+    def complete(self, migration: int) -> None:
+        self._append({"type": "complete", "migration": migration})
+
+    # -- reading -----------------------------------------------------------
+
+    def _scan(self) -> tuple[list[PendingMigration], int]:
+        """(migrations still pending, highest id ever planned).
+
+        Records are applied in stream order, so a ``complete`` retires
+        only the plan that preceded it.  A torn trailing line (crash
+        mid-append) is skipped, matching the intent journal's recovery
+        semantics.
+        """
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return [], 0
+        migrations: dict[int, PendingMigration] = {}
+        max_id = 0
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn record from a crash mid-append
+            kind = record.get("type")
+            mid = int(record.get("migration", 0))
+            max_id = max(max_id, mid)
+            if kind == "plan":
+                migrations[mid] = PendingMigration(
+                    migration=mid,
+                    reason=str(record.get("reason", "")),
+                    moves=[
+                        PlannedMove(m["key"], m["src"], m["dst"])
+                        for m in record.get("moves", [])
+                    ],
+                )
+            elif kind == "done" and mid in migrations:
+                migrations[mid].done.add(record["key"])
+            elif kind == "complete":
+                migrations.pop(mid, None)
+        return list(migrations.values()), max_id
+
+    def pending(self) -> list[PendingMigration]:
+        """Planned-but-incomplete migrations, oldest first."""
+        return sorted(self._scan()[0], key=lambda p: p.migration)

@@ -1,0 +1,252 @@
+"""Ring-membership rebalancing: move only the affected key ranges.
+
+Consistent hashing guarantees that joining one shard reassigns only the
+keys that now hash into its arc, and draining one shard reassigns only the
+keys it held.  The rebalancer turns that property into an operational
+tool: it diffs ownership before/after the membership change, writes the
+full move list to the fleet's :class:`~repro.fleet.migration.MigrationJournal`
+*before* moving a byte, then migrates file by file.
+
+Each move is copy → verify → remove.  The copy and the remove are
+themselves journaled transactions inside the destination and source
+shards' intent journals, so a crash tears at most one file -- and the
+fleet journal knows which one.  :meth:`ShardRebalancer.resume` replays an
+interrupted migration by looking at where each file actually is:
+
+========================  =======================================
+observed state            action
+========================  =======================================
+source only               copy again, verify, remove source
+source and destination    verify destination, remove source
+destination only          nothing left to move; mark done
+========================  =======================================
+
+Kill points ``fleet.migrate.planned`` / ``fleet.migrate.copied`` /
+``fleet.migrate.removed`` let the crash suite cut power at each stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.errors import FleetError
+from repro.fleet.gateway import FleetGateway
+from repro.fleet.migration import MigrationJournal, PendingMigration, PlannedMove
+from repro.fleet.shard import FleetShard
+from repro.util.crash import crashpoint
+
+
+@dataclass
+class FleetMigrationReport:
+    """What one rebalancing pass did."""
+
+    reason: str
+    files_moved: int = 0
+    bytes_moved: int = 0
+    files_skipped: int = 0  # already at destination when visited (resume)
+    moves: list[tuple[str, str, str]] = field(default_factory=list)
+    # (fleet key, source shard, destination shard)
+
+    def summary(self) -> str:
+        return (
+            f"{self.reason}: moved {self.files_moved} file(s) "
+            f"({self.bytes_moved} B), {self.files_skipped} already in place"
+        )
+
+
+class ShardRebalancer:
+    """Journaled fleet migrations on ring membership change."""
+
+    def __init__(
+        self,
+        gateway: FleetGateway,
+        journal_path: str | Path | None = None,
+    ) -> None:
+        self.gateway = gateway
+        path = journal_path or gateway.migration_journal_path
+        self.journal = MigrationJournal(path) if path is not None else None
+        self.metrics = gateway.metrics
+
+    # -- membership changes ------------------------------------------------
+
+    def add_shard(self, shard_id: str) -> FleetMigrationReport:
+        """Join *shard_id* and migrate the keys it now owns.
+
+        Membership is persisted before the plan is written: a crash in
+        between reopens with the new ring and zero pending moves, and the
+        gateway's fan-out read fallback keeps the not-yet-migrated files
+        reachable until :meth:`rebalance` sweeps them into place.
+        """
+        gateway = self.gateway
+        gateway.add_shard(shard_id)
+        moves = []
+        for src_id, shard in sorted(gateway.shards.items()):
+            if src_id == shard_id:
+                continue
+            for key in shard.files():
+                if gateway.router.owns(shard_id, key):
+                    moves.append(PlannedMove(key, src_id, shard_id))
+        return self._run(moves, reason=f"join:{shard_id}")
+
+    def drain_shard(self, shard_id: str) -> FleetMigrationReport:
+        """Remove *shard_id* from the ring and migrate its files away.
+
+        The shard leaves the ring first so every move's destination is
+        final ownership; the (empty) shard object is detached from the
+        fleet afterwards.
+        """
+        gateway = self.gateway
+        if shard_id not in gateway.shards:
+            raise FleetError(f"no shard {shard_id!r} in the fleet")
+        if len(gateway.shards) < 2:
+            raise FleetError("cannot drain the last shard in the fleet")
+        source = gateway.shards[shard_id]
+        gateway.router.remove_shard(shard_id)
+        try:
+            moves = [
+                PlannedMove(key, shard_id, gateway.router.owner(key))
+                for key in source.files()
+            ]
+            report = self._run(moves, reason=f"drain:{shard_id}")
+            leftover = source.files()
+            if leftover:
+                raise FleetError(
+                    f"drain of {shard_id!r} left {len(leftover)} file(s) behind"
+                )
+        except BaseException:
+            # Failure (or simulated crash) mid-drain: rejoin the ring so
+            # the in-process gateway matches the persisted membership,
+            # which still lists the shard; a real restart reopens with the
+            # shard attached and resume() finishes the drain.
+            gateway.router.add_shard(shard_id)
+            raise
+        # Fully drained: detach expects the shard on the ring, so put the
+        # (empty) shard back for the one call that removes it for good.
+        gateway.router.add_shard(shard_id)
+        gateway.detach_shard(shard_id)
+        return report
+
+    def rebalance(self) -> FleetMigrationReport:
+        """Sweep every shard for misplaced keys and move them home.
+
+        Safety net for the windows a targeted join/drain plan cannot
+        cover (e.g. a crash between membership persist and plan append).
+        """
+        gateway = self.gateway
+        moves = []
+        for src_id, shard in sorted(gateway.shards.items()):
+            for key in shard.files():
+                owner = gateway.router.owner(key)
+                if owner != src_id:
+                    moves.append(PlannedMove(key, src_id, owner))
+        return self._run(moves, reason="rebalance")
+
+    # -- crash recovery ----------------------------------------------------
+
+    def resume(self) -> list[FleetMigrationReport]:
+        """Finish every migration the journal says is incomplete."""
+        if self.journal is None:
+            return []
+        reports = []
+        for pending in self.journal.pending():
+            reports.append(self._execute(pending))
+            # A drain interrupted before its detach reopens with the
+            # (now empty) shard still attached: finish the membership
+            # change once its files are confirmed gone.
+            kind, _, shard_id = pending.reason.partition(":")
+            if (
+                kind == "drain"
+                and shard_id in self.gateway.shards
+                and not self.gateway.shards[shard_id].files()
+            ):
+                self.gateway.detach_shard(shard_id)
+        return reports
+
+    # -- execution ---------------------------------------------------------
+
+    def _run(self, moves: list[PlannedMove], reason: str) -> FleetMigrationReport:
+        if not moves:
+            return FleetMigrationReport(reason=reason)
+        if self.journal is not None:
+            migration_id = self.journal.plan(moves, reason)
+        else:
+            migration_id = 0
+        crashpoint("fleet.migrate.planned")
+        pending = PendingMigration(
+            migration=migration_id, reason=reason, moves=list(moves)
+        )
+        return self._execute(pending)
+
+    def _execute(self, pending: PendingMigration) -> FleetMigrationReport:
+        gateway = self.gateway
+        report = FleetMigrationReport(reason=pending.reason)
+        remaining = pending.remaining
+        progress = self.metrics.gauge("fleet_migration_pending_files")
+        progress.set(len(remaining))
+        for move in remaining:
+            src = gateway.shards.get(move.src)
+            dst = gateway.shards.get(move.dst)
+            if dst is None:
+                raise FleetError(
+                    f"migration {pending.migration}: destination shard "
+                    f"{move.dst!r} is not in the fleet"
+                )
+            self._move_one(move, src, dst, report)
+            if self.journal is not None:
+                self.journal.mark_done(pending.migration, move.key)
+            self.metrics.counter(
+                "fleet_migration_files_total", reason=_kind(pending.reason)
+            ).inc()
+            progress.dec()
+        if self.journal is not None:
+            self.journal.complete(pending.migration)
+        gateway.save()
+        report.moves = [(m.key, m.src, m.dst) for m in remaining]
+        return report
+
+    def _move_one(
+        self,
+        move: PlannedMove,
+        src: FleetShard | None,
+        dst: FleetShard,
+        report: FleetMigrationReport,
+    ) -> None:
+        at_src = src is not None and src.has_file(move.key)
+        at_dst = dst.has_file(move.key)
+        if at_dst and not at_src:
+            # Crash landed after the source removal: nothing left to do.
+            report.files_skipped += 1
+            return
+        if not at_src:
+            raise FleetError(
+                f"file {move.key!r} vanished: on neither {move.src!r} "
+                f"nor {move.dst!r}"
+            )
+        data, level, fraction = src.export_file(move.key)
+        if at_dst:
+            # Crash landed between copy and removal: verify, then finish.
+            copied, _, _ = dst.export_file(move.key)
+            if copied != data:
+                raise FleetError(
+                    f"file {move.key!r} differs between {move.src!r} and "
+                    f"{move.dst!r} after interrupted migration"
+                )
+            report.files_skipped += 1
+        else:
+            dst.import_file(move.key, data, level, fraction)
+            crashpoint("fleet.migrate.copied")
+            copied, _, _ = dst.export_file(move.key)
+            if copied != data:
+                raise FleetError(
+                    f"post-copy verification failed for {move.key!r} "
+                    f"({move.src!r} -> {move.dst!r})"
+                )
+            report.files_moved += 1
+            report.bytes_moved += len(data)
+        src.service_remove(move.key)
+        crashpoint("fleet.migrate.removed")
+
+
+def _kind(reason: str) -> str:
+    return reason.split(":", 1)[0]

@@ -1,0 +1,102 @@
+"""Tenant-key routing over the Chord ring.
+
+The fleet partitions the ⟨tenant, filename⟩ namespace: the routing key is
+the string ``"tenant/filename"``, hashed onto the identifier circle, owned
+by the shard that is its successor (Section IV-C's "CHORD like hash table
+that will map each pair to a provider", lifted one level up: the nodes are
+metadata shards, not storage providers).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import DHTError, FleetError
+from repro.dht.chord import ChordRing
+from repro.obs.metrics import MetricsRegistry, get_metrics
+
+#: Routing-hop histogram buckets: a fleet has tens of shards, not millions
+#: of nodes, so single-digit hop counts are the whole story.
+HOP_BUCKETS = (0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0)
+
+
+def validate_tenant(tenant: str) -> str:
+    """A tenant name must be a non-empty single path segment."""
+    if not tenant or "/" in tenant:
+        raise FleetError(
+            f"tenant name must be non-empty and contain no '/', got {tenant!r}"
+        )
+    return tenant
+
+
+def fleet_key(tenant: str, filename: str) -> str:
+    """The fleet-wide routing key for one tenant file.
+
+    This exact string is also the *filename* inside the owning shard's
+    distributor, so journals, audit records and provider object metadata
+    carry the tenant namespace end-to-end.
+    """
+    validate_tenant(tenant)
+    if not filename:
+        raise FleetError("filename must be non-empty")
+    return f"{tenant}/{filename}"
+
+
+def split_fleet_key(key: str) -> tuple[str, str]:
+    """Inverse of :func:`fleet_key`."""
+    tenant, sep, filename = key.partition("/")
+    if not sep or not tenant or not filename:
+        raise FleetError(f"not a tenant/filename key: {key!r}")
+    return tenant, filename
+
+
+class FleetRouter:
+    """Shard membership + key routing, with hop accounting.
+
+    Stateless beyond ring membership: given the same member set, any
+    router instance routes any key identically (the property the
+    stateless-gateway design rests on).
+    """
+
+    def __init__(
+        self,
+        m_bits: int = 32,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.ring = ChordRing(m_bits=m_bits)
+        self.metrics = metrics if metrics is not None else get_metrics()
+
+    # -- membership --------------------------------------------------------
+
+    def add_shard(self, shard_id: str) -> None:
+        self.ring.join(shard_id)
+
+    def remove_shard(self, shard_id: str) -> None:
+        self.ring.leave(shard_id)
+
+    @property
+    def shard_ids(self) -> list[str]:
+        return self.ring.node_names
+
+    def __len__(self) -> int:
+        return len(self.ring)
+
+    # -- routing -----------------------------------------------------------
+
+    def route(self, key: str) -> str:
+        """The shard id owning *key*, recording the Chord hop count."""
+        if len(self.ring) == 0:
+            raise FleetError("no shards in the fleet")
+        try:
+            result = self.ring.lookup(key)
+        except DHTError as exc:
+            raise FleetError(f"routing failed for {key!r}: {exc}") from exc
+        self.metrics.histogram(
+            "fleet_routing_hops", buckets=HOP_BUCKETS
+        ).observe(result.hops)
+        return result.owner
+
+    def owner(self, key: str) -> str:
+        """Authoritative owner of *key* (no hop accounting)."""
+        return self.ring.owner(key)
+
+    def owns(self, shard_id: str, key: str) -> bool:
+        return self.ring.owns(shard_id, key)

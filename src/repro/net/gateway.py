@@ -1,0 +1,307 @@
+"""Gateway server: the fleet's tenant-facing API over TCP.
+
+Where :class:`~repro.net.server.ChunkServer` speaks the chunk-level binary
+protocol providers need, the gateway speaks a request/response protocol at
+tenant granularity: newline-delimited JSON objects, one request per line,
+file payloads base64-encoded.  The server is a thin shim -- every request
+maps 1:1 onto a :class:`~repro.fleet.gateway.FleetGateway` method, so all
+authentication, quota and routing behaviour is identical whether the
+gateway is reached in-process or over the wire.
+
+Errors travel as ``{"ok": false, "error": "<ExceptionName>", "message":
+...}`` and are re-raised client-side as the matching
+:mod:`repro.core.errors` type when one exists.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import logging
+import socket
+import threading
+
+from repro.core import errors as core_errors
+from repro.core.errors import ReproError
+from repro.fleet.gateway import FleetGateway
+
+log = logging.getLogger(__name__)
+
+_MAX_LINE = 256 << 20  # refuse absurd frames rather than swallowing RAM
+
+
+class GatewayProtocolError(ReproError):
+    """Malformed gateway request/response."""
+
+
+def _encode(obj: dict) -> bytes:
+    return (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _read_line(sock_file) -> dict | None:
+    line = sock_file.readline(_MAX_LINE)
+    if not line:
+        return None
+    try:
+        return json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise GatewayProtocolError(f"bad gateway frame: {exc}") from exc
+
+
+class GatewayServer:
+    """Serves a :class:`FleetGateway` over newline-delimited JSON/TCP."""
+
+    def __init__(
+        self,
+        gateway: FleetGateway,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.gateway = gateway
+        self.host = host
+        self._requested_port = port
+        self._sock: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._running = False
+
+    @property
+    def port(self) -> int:
+        if self._sock is None:
+            raise RuntimeError("server is not running")
+        return self._sock.getsockname()[1]
+
+    def start(self) -> "GatewayServer":
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.host, self._requested_port))
+        sock.listen(32)
+        self._sock = sock
+        self._running = True
+        accept = threading.Thread(
+            target=self._accept_loop, name="gateway-accept", daemon=True
+        )
+        accept.start()
+        self._threads.append(accept)
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "GatewayServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _accept_loop(self) -> None:
+        while self._running and self._sock is not None:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return  # socket closed by stop()
+            worker = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            worker.start()
+            self._threads.append(worker)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn, conn.makefile("rb") as reader:
+            while True:
+                try:
+                    request = _read_line(reader)
+                except GatewayProtocolError as exc:
+                    conn.sendall(_encode(_error_payload(exc)))
+                    return
+                if request is None:
+                    return
+                try:
+                    response = self._handle(request)
+                except ReproError as exc:
+                    response = _error_payload(exc)
+                except (ValueError, KeyError, TypeError) as exc:
+                    response = _error_payload(exc)
+                except Exception:  # noqa: BLE001 -- keep the server alive
+                    log.exception("gateway request failed")
+                    response = {
+                        "ok": False,
+                        "error": "InternalError",
+                        "message": "internal gateway error",
+                    }
+                try:
+                    conn.sendall(_encode(response))
+                except OSError:
+                    return
+
+    def _handle(self, request: dict) -> dict:
+        op = request.get("op")
+        gw = self.gateway
+        if op == "ping":
+            return {"ok": True, "shards": gw.shard_ids}
+        if op == "upload":
+            receipt = gw.upload_file(
+                request["tenant"],
+                request["password"],
+                request["filename"],
+                base64.b64decode(request["data"]),
+                int(request.get("level", 2)),
+                misleading_fraction=float(request.get("misleading", 0.0)),
+            )
+            return {
+                "ok": True,
+                "chunks": receipt.chunk_count,
+                "bytes": receipt.file_size,
+            }
+        if op == "get":
+            data = gw.get_file(
+                request["tenant"], request["password"], request["filename"]
+            )
+            return {"ok": True, "data": base64.b64encode(data).decode("ascii")}
+        if op == "update":
+            gw.update_chunk(
+                request["tenant"],
+                request["password"],
+                request["filename"],
+                int(request["serial"]),
+                base64.b64decode(request["data"]),
+            )
+            return {"ok": True}
+        if op == "remove":
+            gw.remove_file(
+                request["tenant"], request["password"], request["filename"]
+            )
+            return {"ok": True}
+        if op == "list":
+            names = gw.list_files(request["tenant"], request["password"])
+            return {"ok": True, "files": names}
+        if op == "usage":
+            return {"ok": True, "usage": gw.tenant_usage(request["tenant"])}
+        if op == "status":
+            return {"ok": True, "status": gw.status()}
+        raise GatewayProtocolError(f"unknown gateway op {op!r}")
+
+
+def _error_payload(exc: Exception) -> dict:
+    return {"ok": False, "error": type(exc).__name__, "message": str(exc)}
+
+
+class GatewayClient:
+    """Blocking client for :class:`GatewayServer` (one connection)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _call(self, request: dict) -> dict:
+        self._sock.sendall(_encode(request))
+        response = _read_line(self._reader)
+        if response is None:
+            raise GatewayProtocolError("gateway closed the connection")
+        if not response.get("ok"):
+            raise _rebuild_error(response)
+        return response
+
+    def ping(self) -> list[str]:
+        return self._call({"op": "ping"})["shards"]
+
+    def upload_file(
+        self,
+        tenant: str,
+        password: str,
+        filename: str,
+        data: bytes,
+        level: int,
+        misleading_fraction: float = 0.0,
+    ) -> dict:
+        return self._call(
+            {
+                "op": "upload",
+                "tenant": tenant,
+                "password": password,
+                "filename": filename,
+                "data": base64.b64encode(data).decode("ascii"),
+                "level": int(level),
+                "misleading": misleading_fraction,
+            }
+        )
+
+    def get_file(self, tenant: str, password: str, filename: str) -> bytes:
+        response = self._call(
+            {
+                "op": "get",
+                "tenant": tenant,
+                "password": password,
+                "filename": filename,
+            }
+        )
+        return base64.b64decode(response["data"])
+
+    def update_chunk(
+        self,
+        tenant: str,
+        password: str,
+        filename: str,
+        serial: int,
+        data: bytes,
+    ) -> None:
+        self._call(
+            {
+                "op": "update",
+                "tenant": tenant,
+                "password": password,
+                "filename": filename,
+                "serial": serial,
+                "data": base64.b64encode(data).decode("ascii"),
+            }
+        )
+
+    def remove_file(self, tenant: str, password: str, filename: str) -> None:
+        self._call(
+            {
+                "op": "remove",
+                "tenant": tenant,
+                "password": password,
+                "filename": filename,
+            }
+        )
+
+    def list_files(self, tenant: str, password: str) -> list[str]:
+        return self._call(
+            {"op": "list", "tenant": tenant, "password": password}
+        )["files"]
+
+    def tenant_usage(self, tenant: str) -> dict:
+        return self._call({"op": "usage", "tenant": tenant})["usage"]
+
+    def status(self) -> dict:
+        return self._call({"op": "status"})["status"]
+
+
+def _rebuild_error(response: dict) -> Exception:
+    """Map a wire error back onto the library's exception hierarchy."""
+    name = response.get("error", "ReproError")
+    message = response.get("message", "gateway error")
+    exc_type = getattr(core_errors, name, None)
+    if isinstance(exc_type, type) and issubclass(exc_type, Exception):
+        return exc_type(message)
+    if name in ("ValueError", "KeyError", "TypeError"):
+        return ValueError(message)
+    return ReproError(f"{name}: {message}")

@@ -49,6 +49,10 @@ KILL_POINTS: frozenset[str] = frozenset(
         "update.intent_logged",  # intent durable, no staged shard written
         "update.staged",  # new stripe + snapshot keys listed, not swapped
         "update.committed",  # commit durable, metadata snapshot stale
+        # repro.fleet.rebalance -- cross-shard file migration
+        "fleet.migrate.planned",  # plan record durable, nothing moved yet
+        "fleet.migrate.copied",  # file live on both source and destination
+        "fleet.migrate.removed",  # source copy gone, done record not written
     }
 )
 

@@ -83,3 +83,93 @@ def test_export_import_preserves_credentials(controller):
 def test_knows_client(controller):
     assert controller.knows_client("Bob")
     assert not controller.knows_client("Mallory")
+
+
+# -- credential lifecycle: revocation and rotation ----------------------------
+
+
+def test_remove_client_revokes_everything(controller):
+    controller.remove_client("Bob")
+    assert not controller.knows_client("Bob")
+    with pytest.raises(UnknownClientError):
+        controller.authenticate("Bob", "Ty7e")
+
+
+def test_remove_unknown_client_raises(controller):
+    with pytest.raises(UnknownClientError):
+        controller.remove_client("Eve")
+
+
+def test_remove_password_revokes_only_that_credential(controller):
+    level = controller.remove_password("Bob", "x9pr")
+    assert level == PrivacyLevel.LOW
+    with pytest.raises(AuthenticationError):
+        controller.authenticate("Bob", "x9pr")
+    # Other credentials keep working.
+    assert controller.authenticate("Bob", "aB1c") == PrivacyLevel.PUBLIC
+    assert controller.authenticate("Bob", "Ty7e") == PrivacyLevel.PRIVATE
+
+
+def test_remove_invalid_password_raises(controller):
+    with pytest.raises(AuthenticationError):
+        controller.remove_password("Bob", "not-a-password")
+
+
+def test_rotate_password_carries_level(controller):
+    level = controller.rotate_password("Bob", "Ty7e", "N3w!")
+    assert level == PrivacyLevel.PRIVATE
+    with pytest.raises(AuthenticationError):
+        controller.authenticate("Bob", "Ty7e")
+    assert controller.authenticate("Bob", "N3w!") == PrivacyLevel.PRIVATE
+
+
+def test_failed_rotation_mutates_nothing(controller):
+    with pytest.raises(AuthenticationError):
+        controller.rotate_password("Bob", "WRONG", "N3w!")
+    # The old credential set is untouched.
+    assert controller.authenticate("Bob", "Ty7e") == PrivacyLevel.PRIVATE
+    with pytest.raises(AuthenticationError):
+        controller.authenticate("Bob", "N3w!")
+
+
+def test_rotate_to_same_password_is_allowed(controller):
+    assert controller.rotate_password("Bob", "Ty7e", "Ty7e") == PrivacyLevel.PRIVATE
+    assert controller.authenticate("Bob", "Ty7e") == PrivacyLevel.PRIVATE
+
+
+# -- timing-hardening behaviour ----------------------------------------------
+
+
+def test_unknown_client_and_wrong_password_raise_distinct_types(controller):
+    # The *types* differ (callers need them to) but both paths burn one
+    # PBKDF2 evaluation -- asserted structurally below, not by timing.
+    with pytest.raises(UnknownClientError):
+        controller.authenticate("Eve", "whatever")
+    with pytest.raises(AuthenticationError):
+        controller.authenticate("Bob", "whatever")
+
+
+def test_credential_less_client_rejects_all_passwords():
+    ctrl = AccessController()
+    ctrl.register_client("Empty")
+    with pytest.raises(AuthenticationError):
+        ctrl.authenticate("Empty", "anything")
+
+
+def test_full_scan_finds_match_regardless_of_position(controller):
+    # The no-early-exit scan must still return the right level wherever
+    # the matching credential sits in the list.
+    for password, level in (
+        ("aB1c", PrivacyLevel.PUBLIC),   # first
+        ("x9pr", PrivacyLevel.LOW),      # middle
+        ("Ty7e", PrivacyLevel.PRIVATE),  # last
+    ):
+        assert controller.authenticate("Bob", password) == level
+
+
+def test_duplicate_password_first_registration_wins():
+    ctrl = AccessController()
+    ctrl.register_client("C")
+    ctrl.add_password("C", "same", PrivacyLevel.PRIVATE)
+    ctrl.add_password("C", "same", PrivacyLevel.PUBLIC)
+    assert ctrl.authenticate("C", "same") == PrivacyLevel.PRIVATE

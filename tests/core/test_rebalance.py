@@ -129,3 +129,70 @@ def test_rebalance_noop_when_even():
     # Width == fleet: every provider holds one shard of every chunk.
     report = rebalance(d)
     assert report.shards_moved == 0
+
+
+# -- decommission under degradation: unreachable providers -------------------
+
+
+def test_decommission_degraded_beyond_repair_counts_stuck(world):
+    registry, providers, clock, d, _ = world
+    loads = d.provider_loads()
+    victim = max(loads, key=loads.get)
+    keeper = min((n for n in loads if n != victim), key=loads.get)
+    injector = FailureInjector(providers, clock, seed=2)
+    # Darken the victim AND everything but one survivor: its shards can
+    # neither be read directly nor rebuilt (survivors < k).
+    for name in loads:
+        if name != keeper:
+            injector.take_down(name)
+    report = decommission_provider(d, victim)
+    assert report.shards_moved == 0
+    assert report.shards_stuck > 0
+    # Nothing was mutated for the stuck shards: the victim is still
+    # referenced, so a later retry (post-repair) can drain it properly.
+    victim_index = d.provider_table.index_of(victim)
+    assert any(
+        victim_index in entry.provider_indices for _, entry in d.chunk_table
+    )
+
+
+def test_decommission_skips_dark_replacement_targets(world):
+    registry, providers, clock, d, payload = world
+    loads = d.provider_loads()
+    victim = max(loads, key=loads.get)
+    dark_spare = min((n for n in loads if n != victim), key=loads.get)
+    FailureInjector(providers, clock, seed=3).take_down(dark_spare)
+    report = decommission_provider(d, victim)
+    assert report.shards_moved > 0
+    assert d.provider_loads()[victim] == 0
+    # No displaced shard may land on the unreachable provider.
+    assert all(target != dark_spare for _, _, _, target in report.moves)
+    assert d.get_file("C", "pw", "f") == payload
+
+
+def test_decommission_raises_when_all_spares_dark(world):
+    registry, providers, clock, d, _ = world
+    loads = d.provider_loads()
+    victim = max(loads, key=loads.get)
+    injector = FailureInjector(providers, clock, seed=4)
+    for name in loads:
+        if name != victim:
+            injector.take_down(name)
+    # The victim itself is readable, but every eligible target is dark:
+    # refusing beats quietly leaving shards in limbo.
+    with pytest.raises(PlacementError):
+        decommission_provider(d, victim)
+
+
+def test_decommission_snapshot_on_dark_victim_counts_stuck(world):
+    registry, providers, clock, d, _ = world
+    d.update_chunk("C", "pw", "f", 0, b"v2" * 256)
+    ref = d.client_table.get("C").ref_for_chunk("f", 0)
+    entry = d.chunk_table.get(ref.chunk_index)
+    snap_name = d.provider_table.get(entry.snapshot_index).name
+    FailureInjector(providers, clock, seed=5).take_down(snap_name)
+    report = decommission_provider(d, snap_name)
+    # The snapshot cannot be read off the dark victim: it stays put and is
+    # reported stuck rather than silently dropped.
+    assert report.shards_stuck >= 1
+    assert entry.snapshot_index == d.provider_table.index_of(snap_name)

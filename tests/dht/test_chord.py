@@ -137,3 +137,148 @@ def test_key_distribution_roughly_uniform():
         counts[ring.owner(f"key{i}")] += 1
     # No provider should own a wildly disproportionate share.
     assert max(counts.values()) < 2000 * 0.5
+
+
+# -- churn: join/leave/mark_failed interleavings ------------------------------
+
+
+def test_lookup_deterministic_under_churn():
+    """lookup() and owner() must agree after any membership interleaving."""
+    ring = build_ring(12)
+    keys = [f"churn-key{i}" for i in range(40)]
+
+    def check():
+        for key in keys:
+            assert ring.lookup(key).owner == ring.owner(key)
+
+    check()
+    ring.leave("node3")
+    check()
+    ring.join("node100")
+    check()
+    ring.mark_failed("node7")
+    check()
+    ring.join("node101")
+    check()
+    ring.leave("node5")
+    check()
+    ring.stabilize()
+    check()
+
+
+def test_lookup_default_start_survives_first_node_failure():
+    # Regression: the default entry point used to be _ring[0]
+    # unconditionally, so killing the lowest-id node broke every
+    # start-less lookup while owner() kept answering.
+    ring = build_ring(8)
+    lowest = min(ring.node_names, key=ring.node_id_for)
+    ring.mark_failed(lowest)
+    for i in range(20):
+        key = f"k{i}"
+        assert ring.lookup(key).owner == ring.owner(key)
+
+
+def test_explicit_dead_start_still_raises():
+    ring = build_ring(8)
+    ring.mark_failed("node2")
+    with pytest.raises(DHTError):
+        ring.lookup("k", start="node2")
+
+
+def test_successor_list_routes_around_failed_node():
+    ring = build_ring(16)
+    key = "fallback-key"
+    victim = ring.owner(key)
+    ring.mark_failed(victim)
+    result = ring.lookup(key)
+    assert result.owner != victim
+    assert result.owner == ring.owner(key)
+    # The replacement is the failed owner's first alive successor.
+    ids = sorted(ring.node_id_for(n) for n in ring.node_names)
+    victim_id = ring.node_id_for(victim)
+    after = ids[(ids.index(victim_id) + 1) % len(ids)]
+    alive_after = after
+    while not ring._nodes[alive_after].alive:  # walk clockwise
+        alive_after = ids[(ids.index(alive_after) + 1) % len(ids)]
+    assert ring.node_id_for(result.owner) == alive_after
+
+
+def test_successor_list_exhaustion_raises():
+    # Kill more consecutive nodes than the successor list covers: routing
+    # through the gap must fail loudly, and stabilize() must heal it.
+    ring = ChordRing(m_bits=32, successor_list_len=2)
+    for i in range(8):
+        ring.join(f"node{i}")
+    ordered = sorted(ring.node_names, key=ring.node_id_for)
+    for name in ordered[2:6]:  # 4 consecutive corpses > list length 2
+        ring.mark_failed(name)
+    start = ordered[1]
+    with pytest.raises(DHTError):
+        for i in range(200):  # some key must route through the gap
+            ring.lookup(f"gap{i}", start=start)
+    purged = ring.stabilize()
+    assert sorted(purged) == sorted(ordered[2:6])
+    for i in range(50):
+        key = f"healed{i}"
+        assert ring.lookup(key).owner == ring.owner(key)
+
+
+def test_mark_failed_then_stabilize_matches_leave():
+    a, b = build_ring(10), build_ring(10)
+    a.mark_failed("node4")
+    a.stabilize()
+    b.leave("node4")
+    for i in range(50):
+        key = f"k{i}"
+        assert a.owner(key) == b.owner(key)
+        assert a.lookup(key).owner == b.lookup(key).owner
+
+
+# -- ownership ranges ---------------------------------------------------------
+
+
+def test_owns_agrees_with_owner():
+    ring = build_ring(12)
+    for i in range(60):
+        key = f"rangekey{i}"
+        owner = ring.owner(key)
+        for name in ring.node_names:
+            assert ring.owns(name, key) == (name == owner)
+
+
+def test_owned_ranges_partition_the_circle():
+    ring = build_ring(9)
+    for i in range(100):
+        key = f"pk{i}"
+        owners = [n for n in ring.node_names if ring.owns(n, key)]
+        assert len(owners) == 1
+
+
+def test_owned_range_grows_when_predecessor_fails():
+    ring = build_ring(8)
+    ordered = sorted(ring.node_names, key=ring.node_id_for)
+    node, pred = ordered[3], ordered[2]
+    lo_before, hi = ring.owned_range(node)
+    assert lo_before == ring.node_id_for(pred)
+    ring.mark_failed(pred)
+    lo_after, hi_after = ring.owned_range(node)
+    assert hi_after == hi
+    assert lo_after == ring.node_id_for(ordered[1])
+
+
+def test_dead_or_unknown_node_owns_nothing():
+    ring = build_ring(6)
+    ring.mark_failed("node1")
+    assert not any(ring.owns("node1", f"k{i}") for i in range(30))
+    assert not any(ring.owns("ghost", f"k{i}") for i in range(30))
+    with pytest.raises(DHTError):
+        ring.owned_range("node1")
+    with pytest.raises(DHTError):
+        ring.predecessor_id("ghost")
+
+
+def test_single_alive_node_owns_whole_circle():
+    ring = ChordRing()
+    ring.join("solo")
+    assert ring.predecessor_id("solo") == ring.node_id_for("solo")
+    assert all(ring.owns("solo", f"k{i}") for i in range(30))

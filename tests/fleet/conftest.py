@@ -1,0 +1,64 @@
+"""Shared fixtures for the sharded fleet tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.privacy import CostLevel, PrivacyLevel
+from repro.fleet import FleetGateway
+from repro.providers.memory import InMemoryProvider
+from repro.providers.registry import ProviderRegistry
+
+FLEET_SEED = 0xF1EE7
+
+
+def make_base_registry(count: int = 6) -> ProviderRegistry:
+    """An in-memory physical fleet every shard's view wraps."""
+    registry = ProviderRegistry()
+    for i in range(count):
+        registry.register(
+            InMemoryProvider(f"P{i}"), PrivacyLevel.PRIVATE, CostLevel(i % 4)
+        )
+    return registry
+
+
+def make_gateway(
+    base_registry: ProviderRegistry,
+    state_dir=None,
+    shards=("s0", "s1", "s2"),
+) -> FleetGateway:
+    gateway = FleetGateway(base_registry, state_dir, seed=FLEET_SEED)
+    for shard_id in shards:
+        gateway.add_shard(shard_id)
+    return gateway
+
+
+def add_tenants(gateway: FleetGateway) -> None:
+    gateway.register_tenant("alice")
+    gateway.add_tenant_password("alice", "pw-a", PrivacyLevel.PRIVATE)
+    gateway.register_tenant("bob")
+    gateway.add_tenant_password("bob", "pw-b", PrivacyLevel.MODERATE)
+
+
+@pytest.fixture
+def base_registry():
+    return make_base_registry()
+
+
+@pytest.fixture
+def gateway(base_registry):
+    """3-shard in-memory fleet with tenants alice (PL3) and bob (PL2)."""
+    gw = make_gateway(base_registry)
+    add_tenants(gw)
+    yield gw
+    gw.close()
+
+
+@pytest.fixture
+def disk_gateway(base_registry, tmp_path):
+    """Same fleet, persisted under tmp_path (providers stay in memory)."""
+    gw = make_gateway(base_registry, tmp_path)
+    add_tenants(gw)
+    gw.save()
+    yield gw
+    gw.close()

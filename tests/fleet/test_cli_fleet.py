@@ -1,0 +1,112 @@
+"""End-to-end CLI tests for the sharded fleet commands."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def run(*argv):
+    return main(list(argv))
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    path = tmp_path / "cloud"
+    assert run("fleet-init", "--state", str(path), "--providers", "6",
+               "--shards", "3") == 0
+    assert run("tenant-add", "--state", str(path), "alice") == 0
+    assert run("tenant-password", "--state", str(path), "alice", "pw-a",
+               "3") == 0
+    assert run("tenant-add", "--state", str(path), "bob") == 0
+    assert run("tenant-password", "--state", str(path), "bob", "pw-b",
+               "2") == 0
+    return path
+
+
+def test_fleet_init_refuses_reinit(fleet):
+    assert run("fleet-init", "--state", str(fleet)) == 1
+
+
+def test_fleet_put_get_roundtrip(fleet, tmp_path):
+    src = tmp_path / "doc.bin"
+    payload = os.urandom(12_000)
+    src.write_bytes(payload)
+    assert run("fleet-put", "--state", str(fleet), "alice", "pw-a",
+               str(src), "--level", "3") == 0
+    out = tmp_path / "out.bin"
+    assert run("fleet-get", "--state", str(fleet), "alice", "pw-a",
+               "doc.bin", "-o", str(out)) == 0
+    assert out.read_bytes() == payload
+
+
+def test_fleet_ls_and_rm_are_tenant_scoped(fleet, tmp_path, capsys):
+    src = tmp_path / "f.txt"
+    src.write_text("shared name, disjoint namespaces")
+    for tenant, password in (("alice", "pw-a"), ("bob", "pw-b")):
+        assert run("fleet-put", "--state", str(fleet), tenant, password,
+                   str(src), "--level", "2") == 0
+    capsys.readouterr()
+    assert run("fleet-rm", "--state", str(fleet), "bob", "pw-b",
+               "f.txt") == 0
+    capsys.readouterr()
+    assert run("fleet-ls", "--state", str(fleet), "alice", "pw-a") == 0
+    assert "f.txt" in capsys.readouterr().out
+    assert run("fleet-ls", "--state", str(fleet), "bob", "pw-b") == 0
+    assert "f.txt" not in capsys.readouterr().out
+
+
+def test_shards_reports_membership_and_usage(fleet, tmp_path, capsys):
+    src = tmp_path / "d.bin"
+    src.write_bytes(os.urandom(5000))
+    assert run("fleet-put", "--state", str(fleet), "alice", "pw-a",
+               str(src), "--level", "3") == 0
+    assert run("tenant-quota", "--state", str(fleet), "alice",
+               "--max-files", "10") == 0
+    capsys.readouterr()
+    assert run("shards", "--state", str(fleet)) == 0
+    out = capsys.readouterr().out
+    for shard_id in ("s0", "s1", "s2"):
+        assert shard_id in out
+    assert "alice" in out
+
+    assert run("shards", "--state", str(fleet), "--format", "json") == 0
+    status = json.loads(capsys.readouterr().out)
+    assert [r["shard"] for r in status["shards"]] == ["s0", "s1", "s2"]
+    assert sum(r["files"] for r in status["shards"]) == 1
+    assert status["tenants"]["alice"]["quota"]["max_files"] == 10
+    assert status["pending_migration_files"] == 0
+
+
+def test_shard_add_and_drain_keep_data_available(fleet, tmp_path):
+    payloads = {}
+    for i in range(5):
+        src = tmp_path / f"m{i}.bin"
+        payloads[f"m{i}.bin"] = os.urandom(4000)
+        src.write_bytes(payloads[f"m{i}.bin"])
+        assert run("fleet-put", "--state", str(fleet), "alice", "pw-a",
+                   str(src), "--level", "3") == 0
+
+    assert run("shard-add", "--state", str(fleet), "s3") == 0
+    assert run("fleet-fsck", "--state", str(fleet)) == 0
+    assert run("shard-drain", "--state", str(fleet), "s1") == 0
+    assert run("fleet-fsck", "--state", str(fleet)) == 0
+
+    for name, payload in payloads.items():
+        out = tmp_path / f"out-{name}"
+        assert run("fleet-get", "--state", str(fleet), "alice", "pw-a",
+                   name, "-o", str(out)) == 0
+        assert out.read_bytes() == payload
+
+
+def test_plain_commands_refuse_fleet_state(fleet, tmp_path):
+    # The monolithic data path must not trample a sharded deployment's
+    # per-shard metadata; fleet commands are required.
+    src = tmp_path / "x.txt"
+    src.write_text("x")
+    with pytest.raises(SystemExit):
+        run("put", "--state", str(fleet), "alice", "pw-a", str(src))

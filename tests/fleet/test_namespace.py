@@ -1,0 +1,93 @@
+"""NamespacedProvider: per-shard key prefixing over one physical store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.privacy import CostLevel, PrivacyLevel
+from repro.fleet.namespace import NamespacedProvider, shard_registry
+from repro.providers.memory import InMemoryProvider
+from repro.providers.registry import ProviderRegistry
+
+
+@pytest.fixture
+def inner():
+    return InMemoryProvider("P0")
+
+
+class TestKeyMapping:
+    def test_put_prefixes_physical_key(self, inner):
+        view = NamespacedProvider(inner, "s0")
+        view.put("V1:0", b"data")
+        assert inner.get("fleet/s0/V1:0") == b"data"
+        assert view.get("V1:0") == b"data"
+
+    def test_keys_strips_prefix_and_filters(self, inner):
+        s0 = NamespacedProvider(inner, "s0")
+        s1 = NamespacedProvider(inner, "s1")
+        s0.put("a", b"1")
+        s1.put("b", b"2")
+        inner.put("unrelated", b"3")
+        assert s0.keys() == ["a"]
+        assert s1.keys() == ["b"]
+
+    def test_namespaces_are_disjoint(self, inner):
+        s0 = NamespacedProvider(inner, "s0")
+        s1 = NamespacedProvider(inner, "s1")
+        s0.put("same-key", b"zero")
+        s1.put("same-key", b"one")
+        assert s0.get("same-key") == b"zero"
+        assert s1.get("same-key") == b"one"
+        s0.delete("same-key")
+        assert not s0.contains("same-key")
+        assert s1.get("same-key") == b"one"
+
+    def test_head_reports_logical_key(self, inner):
+        view = NamespacedProvider(inner, "s0")
+        view.put("k", b"payload")
+        stat = view.head("k")
+        assert stat.key == "k"
+        assert stat.size == len(b"payload")
+
+    def test_batched_ops_round_trip(self, inner):
+        view = NamespacedProvider(inner, "s0")
+        outcomes = view.put_many([("a", b"1"), ("b", b"2")])
+        assert all(o is None for o in outcomes)
+        assert sorted(inner.keys()) == ["fleet/s0/a", "fleet/s0/b"]
+        assert view.get_many(["a", "b"]) == [b"1", b"2"]
+
+    def test_namespace_must_be_path_segment(self, inner):
+        with pytest.raises(ValueError):
+            NamespacedProvider(inner, "")
+        with pytest.raises(ValueError):
+            NamespacedProvider(inner, "a/b")
+
+
+class TestShardRegistry:
+    def test_preserves_placement_metadata(self):
+        base = ProviderRegistry()
+        base.register(
+            InMemoryProvider("P0"),
+            PrivacyLevel.PRIVATE,
+            CostLevel.EXPENSIVE,
+            region="eu",
+        )
+        base.register(
+            InMemoryProvider("P1"), PrivacyLevel.LOW, CostLevel.CHEAP
+        )
+        view = shard_registry(base, "s0")
+        entries = {e.provider.name: e for e in view.all()}
+        assert set(entries) == {"P0", "P1"}
+        assert entries["P0"].privacy_level == PrivacyLevel.PRIVATE
+        assert entries["P0"].cost_level == CostLevel.EXPENSIVE
+        assert entries["P0"].region == "eu"
+        assert entries["P1"].privacy_level == PrivacyLevel.LOW
+        assert isinstance(entries["P0"].provider, NamespacedProvider)
+
+    def test_shares_attestation_registry(self):
+        base = ProviderRegistry()
+        base.register(
+            InMemoryProvider("P0"), PrivacyLevel.PRIVATE, CostLevel.CHEAP
+        )
+        view = shard_registry(base, "s0")
+        assert view.attestation is base.attestation

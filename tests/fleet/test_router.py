@@ -1,0 +1,121 @@
+"""FleetRouter: tenant key namespace + consistent-hash routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import FleetError
+from repro.fleet.router import (
+    FleetRouter,
+    fleet_key,
+    split_fleet_key,
+    validate_tenant,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestFleetKeys:
+    def test_round_trip(self):
+        key = fleet_key("alice", "reports/q3.csv")
+        assert key == "alice/reports/q3.csv"
+        assert split_fleet_key(key) == ("alice", "reports/q3.csv")
+
+    def test_tenant_names_are_single_segments(self):
+        with pytest.raises(FleetError):
+            validate_tenant("")
+        with pytest.raises(FleetError):
+            validate_tenant("a/b")
+        with pytest.raises(FleetError):
+            fleet_key("a/b", "f")
+
+    def test_empty_filename_rejected(self):
+        with pytest.raises(FleetError):
+            fleet_key("alice", "")
+
+    def test_split_requires_namespaced_key(self):
+        with pytest.raises(FleetError):
+            split_fleet_key("no-slash-here")
+
+
+def make_router(shards=("s0", "s1", "s2")) -> FleetRouter:
+    router = FleetRouter()
+    for shard_id in shards:
+        router.add_shard(shard_id)
+    return router
+
+
+class TestRouting:
+    def test_empty_ring_raises(self):
+        router = FleetRouter()
+        with pytest.raises(FleetError):
+            router.route("alice/f")
+
+    def test_route_is_deterministic(self):
+        router = make_router()
+        keys = [fleet_key("t", f"file-{i}") for i in range(50)]
+        first = [router.route(k) for k in keys]
+        assert [router.route(k) for k in keys] == first
+
+    def test_identical_membership_routes_identically(self):
+        # The gateway is stateless: any process with the same membership
+        # must route every key to the same shard.
+        a, b = make_router(), make_router()
+        for i in range(100):
+            key = fleet_key("tenant", f"f{i}")
+            assert a.route(key) == b.route(key)
+
+    def test_keys_spread_across_shards(self):
+        router = make_router()
+        owners = {router.route(fleet_key("t", f"f{i}")) for i in range(200)}
+        assert len(owners) == 3
+
+    def test_owner_agrees_with_route(self):
+        router = make_router()
+        for i in range(50):
+            key = fleet_key("t", f"f{i}")
+            assert router.owner(key) == router.route(key)
+
+    def test_owns_matches_route(self):
+        router = make_router()
+        for i in range(50):
+            key = fleet_key("t", f"f{i}")
+            owner = router.route(key)
+            for shard_id in router.shard_ids:
+                assert router.owns(shard_id, key) == (shard_id == owner)
+
+    def test_membership_change_moves_only_some_keys(self):
+        router = make_router()
+        keys = [fleet_key("t", f"f{i}") for i in range(300)]
+        before = {k: router.route(k) for k in keys}
+        router.add_shard("s3")
+        after = {k: router.route(k) for k in keys}
+        moved = [k for k in keys if before[k] != after[k]]
+        assert 0 < len(moved) < len(keys)
+        # Every moved key lands on the new shard: consistent hashing only
+        # reassigns the range the joiner took over.
+        assert all(after[k] == "s3" for k in moved)
+
+    def test_remove_shard_reassigns_its_keys(self):
+        router = make_router()
+        keys = [fleet_key("t", f"f{i}") for i in range(300)]
+        before = {k: router.route(k) for k in keys}
+        router.remove_shard("s1")
+        for key in keys:
+            owner = router.route(key)
+            assert owner != "s1"
+            if before[key] != "s1":
+                assert owner == before[key]
+
+    def test_routing_hops_observed(self):
+        metrics = MetricsRegistry()
+        router = FleetRouter(metrics=metrics)
+        for shard_id in ("s0", "s1", "s2"):
+            router.add_shard(shard_id)
+        for i in range(10):
+            router.route(fleet_key("t", f"f{i}"))
+        state = metrics.export_state()
+        hist = next(
+            v for k, v in state["histograms"].items()
+            if k.startswith("fleet_routing_hops")
+        )
+        assert hist["count"] == 10

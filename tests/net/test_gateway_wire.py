@@ -1,0 +1,93 @@
+"""GatewayServer/GatewayClient: the tenant-facing JSON-lines protocol."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.core.errors import (
+    AuthenticationError,
+    QuotaExceededError,
+    UnknownFileError,
+)
+from repro.core.privacy import PrivacyLevel
+from repro.net.gateway import GatewayClient, GatewayProtocolError, GatewayServer
+
+from tests.fleet.conftest import add_tenants, make_base_registry, make_gateway
+
+
+@pytest.fixture
+def served():
+    gateway = make_gateway(make_base_registry())
+    add_tenants(gateway)
+    with GatewayServer(gateway) as server:
+        with GatewayClient("127.0.0.1", server.port) as client:
+            yield gateway, client
+    gateway.close()
+
+
+def test_ping_lists_shards(served):
+    _, client = served
+    assert client.ping() == ["s0", "s1", "s2"]
+
+
+def test_round_trip_over_wire(served):
+    _, client = served
+    payload = b"tenant bytes over tcp " * 64
+    receipt = client.upload_file("alice", "pw-a", "wire.bin", payload, 3)
+    assert receipt["bytes"] == len(payload)
+    assert client.get_file("alice", "pw-a", "wire.bin") == payload
+    assert client.list_files("alice", "pw-a") == ["wire.bin"]
+    client.update_chunk("alice", "pw-a", "wire.bin", 0, b"NEW" * 10)
+    assert client.get_file("alice", "pw-a", "wire.bin").startswith(b"NEW")
+    client.remove_file("alice", "pw-a", "wire.bin")
+    assert client.list_files("alice", "pw-a") == []
+
+
+def test_errors_round_trip_as_library_types(served):
+    gateway, client = served
+    with pytest.raises(AuthenticationError):
+        client.list_files("alice", "WRONG")
+    with pytest.raises(UnknownFileError):
+        client.get_file("alice", "pw-a", "missing.bin")
+    gateway.set_quota("bob", max_files=0)
+    with pytest.raises(QuotaExceededError):
+        client.upload_file("bob", "pw-b", "f", b"x", 2)
+
+
+def test_usage_and_status(served):
+    _, client = served
+    client.upload_file("alice", "pw-a", "a.bin", b"z" * 500, 3)
+    assert client.tenant_usage("alice") == {"files": 1, "bytes": 500}
+    status = client.status()
+    assert [r["shard"] for r in status["shards"]] == ["s0", "s1", "s2"]
+
+
+def test_unknown_op_reports_protocol_error(served):
+    gateway, client = served
+    with pytest.raises(Exception) as excinfo:
+        client._call({"op": "self-destruct"})
+    assert "GatewayProtocolError" in type(excinfo.value).__name__ or (
+        "unknown gateway op" in str(excinfo.value)
+    )
+
+
+def test_malformed_frame_closes_cleanly(served):
+    gateway, _ = served
+    # A raw socket speaking garbage gets one error frame, not a hang.
+    with GatewayServer(gateway) as server:
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=5
+        ) as raw:
+            raw.sendall(b"this is not json\n")
+            response = raw.makefile("rb").readline()
+    assert b"GatewayProtocolError" in response
+
+
+def test_isolation_holds_over_wire(served):
+    _, client = served
+    client.upload_file("alice", "pw-a", "secret.bin", b"top secret", 3)
+    with pytest.raises(UnknownFileError):
+        client.get_file("bob", "pw-b", "secret.bin")
+    assert client.list_files("bob", "pw-b") == []
