@@ -450,7 +450,14 @@ def _serve(args) -> int:
         backend = DiskProvider(args.name, root)
     else:
         backend = InMemoryProvider(args.name)
-    server = ChunkServer(backend, host=args.host, port=args.port)
+    server = ChunkServer(
+        backend,
+        host=args.host,
+        port=args.port,
+        max_workers=args.max_workers,
+        accept_queue=args.accept_queue,
+        shed_retry_after=args.shed_retry_after,
+    )
     try:
         server.start()
     except OSError as exc:
@@ -608,10 +615,10 @@ def _shards(args) -> int:
         return 0
     print(
         render_table(
-            ["shard", "ring id", "files", "chunks", "tenants"],
+            ["shard", "ring id", "files", "chunks", "tenants", "health"],
             [
                 [r["shard"], f"{r['node_id']:#010x}", r["files"], r["chunks"],
-                 r["tenants"]]
+                 r["tenants"], r["health"]]
                 for r in status["shards"]
             ],
             title=f"Ring membership (m_bits={status['m_bits']})",
@@ -708,7 +715,14 @@ def _serve_gateway(args) -> int:
     from repro.net.gateway import GatewayServer
 
     gateway, _ = _open_fleet(args)
-    server = GatewayServer(gateway, host=args.host, port=args.port)
+    server = GatewayServer(
+        gateway,
+        host=args.host,
+        port=args.port,
+        max_workers=args.max_workers,
+        accept_queue=args.accept_queue,
+        shed_retry_after=args.shed_retry_after,
+    )
     try:
         server.start()
     except OSError as exc:
@@ -862,6 +876,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0,
                    help="TCP port (default: ephemeral, printed at startup)")
+    p.add_argument("--max-workers", type=int, default=32,
+                   help="concurrent connection workers (default: 32)")
+    p.add_argument("--accept-queue", type=int, default=64,
+                   help="accepted connections waiting for a worker before "
+                        "the server sheds load (default: 64)")
+    p.add_argument("--shed-retry-after", type=float, default=0.1,
+                   help="retry-after hint (seconds) sent with "
+                        "RESOURCE_EXHAUSTED sheds (default: 0.1)")
     p.set_defaults(func=_serve)
 
     # -- sharded fleet -----------------------------------------------------
@@ -955,6 +977,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0,
                    help="TCP port (default: ephemeral, printed at startup)")
+    p.add_argument("--max-workers", type=int, default=16,
+                   help="concurrent connection workers (default: 16)")
+    p.add_argument("--accept-queue", type=int, default=32,
+                   help="accepted connections waiting for a worker before "
+                        "the gateway sheds load (default: 32)")
+    p.add_argument("--shed-retry-after", type=float, default=0.1,
+                   help="retry-after hint (seconds) sent with "
+                        "resource_exhausted sheds (default: 0.1)")
     p.set_defaults(func=_serve_gateway)
 
     return parser

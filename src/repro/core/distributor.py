@@ -56,7 +56,9 @@ from repro.providers.registry import ProviderRegistry
 from repro.providers.simulated import ParallelWindow, SimulatedProvider
 from repro.raid.reconstruct import read_stripe, rebuild_shard
 from repro.raid.striping import RaidLevel, StripeMeta, encode_stripe
+from repro.net.resilience import current_retry_budget, retry_budget_scope
 from repro.util.crash import crashpoint
+from repro.util.deadline import check_deadline, current_deadline, deadline_scope
 from repro.util.rng import SeedLike, derive_rng, spawn_seeds
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -281,6 +283,10 @@ class CloudDataDistributor:
             self.health.record_failure(name, transport=transport)
 
     def _provider_put(self, name: str, key: str, data: bytes) -> None:
+        # Deadline check sits *outside* the try: an expired caller budget
+        # is the caller's verdict, not provider evidence, so it must not
+        # feed the health monitor a false transport failure.
+        check_deadline(f"put {key} -> {name}")
         try:
             self.registry.get(name).provider.put(key, data)
         except ProviderError as exc:
@@ -289,6 +295,7 @@ class CloudDataDistributor:
         self._record_health(name, ok=True)
 
     def _provider_get(self, name: str, key: str) -> bytes:
+        check_deadline(f"get {key} <- {name}")
         try:
             data = self.registry.get(name).provider.get(key)
         except ProviderError as exc:
@@ -307,6 +314,7 @@ class CloudDataDistributor:
         real failed store, so each feeds the monitor, exactly as the
         equivalent run of individual puts would have.
         """
+        check_deadline(f"put_many ({len(items)} items) -> {name}")
         try:
             outcomes = self.registry.get(name).provider.put_many(items)
         except ProviderError as exc:
@@ -319,6 +327,7 @@ class CloudDataDistributor:
         self, name: str, keys: list[str]
     ) -> list["bytes | ProviderError"]:
         """Batched get with per-item health accounting."""
+        check_deadline(f"get_many ({len(keys)} keys) <- {name}")
         try:
             outcomes = self.registry.get(name).provider.get_many(keys)
         except ProviderError as exc:
@@ -493,12 +502,18 @@ class CloudDataDistributor:
             return outcomes
         # Pool workers have no active span; hand them the dispatching
         # thread's context so their net spans (and TRACED wire contexts)
-        # stay inside this request's trace.
+        # stay inside this request's trace.  The ambient deadline and
+        # retry budget are thread-local for the same reason -- capture
+        # them here so every parallel leg races the *same* clock and
+        # spends from the *same* budget as the serial path would.
         captured = self.tracer.capture()
+        deadline = current_deadline()
+        budget = current_retry_budget()
 
         def run(item: _T) -> _R:
             with self.tracer.adopt(captured):
-                return fn(item)
+                with deadline_scope(deadline), retry_budget_scope(budget):
+                    return fn(item)
 
         futures = [self._executor(workers).submit(run, item) for item in items]
         outcomes = []

@@ -43,6 +43,34 @@ class BlobCorruptedError(ProviderError):
     """The stored object failed its integrity check."""
 
 
+class DeadlineExceeded(ProviderError):
+    """The request's deadline expired before the operation completed.
+
+    Subclasses :class:`ProviderError` deliberately: a deadline that
+    expires mid-operation must flow through the same failover, degraded
+    read, and rollback machinery a failed provider does -- the caller
+    gave up, so grinding on (or crashing a transfer loop with an
+    unexpected exception type) would be worse than failing the shard.
+    """
+
+
+class ResourceExhaustedError(ProviderUnavailableError):
+    """The server shed the request at admission (overloaded).
+
+    Carries an optional ``retry_after`` hint (seconds) the server attached
+    to the rejection; retry loops honor it (with jitter) instead of their
+    default backoff.  The request was never started, so retrying is safe.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class RequestTooLargeError(ReproError):
+    """A wire request exceeded the server's framing limit."""
+
+
 class PlacementError(ReproError):
     """No eligible provider set satisfies the placement constraints."""
 
@@ -65,3 +93,17 @@ class QuotaExceededError(AuthorizationError):
 
 class FleetError(ReproError):
     """Sharded-fleet control-plane failure (routing, membership, migration)."""
+
+
+class ShardUnavailable(FleetError):
+    """The owning shard is degraded; writes fail fast instead of timing out.
+
+    Reads are unaffected -- the gateway keeps them alive through its
+    ``_locate`` fan-out -- so this is a *read-only degradation* verdict,
+    not an outage.  Carries an optional ``retry_after`` hint mirroring
+    :class:`ResourceExhaustedError`.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after

@@ -17,18 +17,49 @@ operations (list, fsck, stats, usage) fan out and merge.
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 
 from repro.core.access_control import AccessController
-from repro.core.errors import FleetError, QuotaExceededError, UnknownFileError
+from repro.core.errors import (
+    DistributorUnavailableError,
+    FleetError,
+    PlacementError,
+    ProviderError,
+    QuotaExceededError,
+    ReconstructionError,
+    ShardUnavailable,
+    UnknownFileError,
+)
 from repro.core.privacy import ChunkSizePolicy, PrivacyLevel
+from repro.fleet.health import ShardHealthTracker
 from repro.fleet.router import FleetRouter, fleet_key, validate_tenant
 from repro.fleet.shard import FleetShard
 from repro.health.fsck import FsckReport
+from repro.health.monitor import HealthState
+from repro.net.resilience import LatencyTracker, hedged_call
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.providers.registry import ProviderRegistry
 from repro.util.atomic import atomic_write_text
+from repro.util.deadline import current_deadline, deadline_scope
 from repro.util.rng import SeedLike
+
+#: Exception types that count as *shard* failure evidence: the shard's data
+#: path (providers, transport, reconstruction, placement) misbehaved.  A
+#: PlacementError counts because a shard whose own health monitor has
+#: condemned too many providers to place a write is exactly as unavailable
+#: as one whose puts fail outright.  Auth, quota and unknown-file verdicts
+#: are correct answers from a healthy shard.
+SHARD_FAILURE_ERRORS = (
+    ProviderError,
+    ReconstructionError,
+    DistributorUnavailableError,
+    PlacementError,
+)
+
+#: Hedge delay used until enough read latencies have been observed to
+#: derive a p95.
+DEFAULT_HEDGE_DELAY = 0.05
 
 FLEET_STATE_FILE = "fleet-state.json"
 MIGRATION_JOURNAL_FILE = "migration.jsonl"
@@ -66,7 +97,11 @@ class FleetGateway:
         chunk_policy: ChunkSizePolicy | None = None,
         stripe_width: int | None = None,
         max_transport_workers: int | None = None,
+        pipelined: bool = True,
         metrics: MetricsRegistry | None = None,
+        shard_health: ShardHealthTracker | None = None,
+        hedge_delay: float | None = None,
+        hedge_reads: bool = True,
     ) -> None:
         self.base_registry = base_registry
         self.state_dir = Path(state_dir) if state_dir is not None else None
@@ -74,11 +109,24 @@ class FleetGateway:
         self.chunk_policy = chunk_policy
         self.stripe_width = stripe_width
         self.max_transport_workers = max_transport_workers
+        self.pipelined = pipelined
         self.metrics = metrics if metrics is not None else get_metrics()
         self.router = FleetRouter(m_bits=m_bits, metrics=self.metrics)
         self.access = AccessController()
         self.quotas: dict[str, TenantQuota] = {}
         self.shards: dict[str, FleetShard] = {}
+        # Degraded fleet mode: per-shard verdicts from live data-path
+        # outcomes; writes to a degraded shard fail fast, reads fan out.
+        self.shard_health = (
+            shard_health
+            if shard_health is not None
+            else ShardHealthTracker(metrics=self.metrics)
+        )
+        # Hedged reads: a fixed override, or a p95 derived from recent
+        # read latencies once enough samples exist.
+        self.hedge_reads = hedge_reads
+        self.hedge_delay = hedge_delay
+        self._read_latency = LatencyTracker()
         if self.state_dir is not None:
             self.state_dir.mkdir(parents=True, exist_ok=True)
 
@@ -164,6 +212,7 @@ class FleetGateway:
             chunk_policy=self.chunk_policy,
             stripe_width=self.stripe_width,
             max_transport_workers=self.max_transport_workers,
+            pipelined=self.pipelined,
         )
 
     def _attach_shard(self, shard_id: str) -> FleetShard:
@@ -281,6 +330,73 @@ class FleetGateway:
                 return other
         return shard  # let the owner raise its UnknownFileError
 
+    def _holders(self, key: str, op: str) -> list[FleetShard]:
+        """Every shard holding *key*, owner first; ``[owner]`` if none do.
+
+        More than one holder exists only in the copy->verify->remove window
+        of a migration -- exactly when a hedged read has somewhere to go.
+        When the first-choice holder is degraded and another holder exists,
+        the healthy one is promoted to primary (degraded-mode read routing).
+        """
+        owner = self._owner_shard(key, op)
+        holders = [owner] if owner.has_file(key) else []
+        for other in self.shards.values():
+            if other is not owner and other.has_file(key):
+                if not holders:
+                    self.metrics.counter(
+                        "fleet_route_misses_total", op=op
+                    ).inc()
+                holders.append(other)
+        if not holders:
+            return [owner]  # let the owner raise its UnknownFileError
+        if (
+            len(holders) > 1
+            and self.shard_health.state(holders[0].shard_id)
+            is not HealthState.HEALTHY
+        ):
+            for i, shard in enumerate(holders[1:], start=1):
+                if (
+                    self.shard_health.state(shard.shard_id)
+                    is HealthState.HEALTHY
+                ):
+                    self.metrics.counter(
+                        "fleet_degraded_reads_total",
+                        shard=holders[0].shard_id,
+                    ).inc()
+                    holders[0], holders[i] = holders[i], holders[0]
+                    break
+        return holders
+
+    # -- degraded fleet mode ------------------------------------------------
+
+    def _admit_write(self, shard: FleetShard, op: str) -> None:
+        """Fail fast (typed) instead of timing out against a sick shard."""
+        if self.shard_health.allow_write(shard.shard_id):
+            return
+        state = self.shard_health.state(shard.shard_id)
+        self.metrics.counter(
+            "fleet_writes_failed_fast_total", shard=shard.shard_id, op=op
+        ).inc()
+        raise ShardUnavailable(
+            f"shard {shard.shard_id!r} is {state.value}; {op} refused "
+            f"(reads stay available via fan-out)",
+            retry_after=self.shard_health.retry_interval,
+        )
+
+    def _record_shard_outcome(self, shard: FleetShard, exc: Exception | None) -> None:
+        """Fold one data-path outcome into the shard's health record."""
+        if exc is None:
+            self.shard_health.record_success(shard.shard_id)
+        elif isinstance(exc, SHARD_FAILURE_ERRORS):
+            self.shard_health.record_failure(shard.shard_id)
+
+    def shard_health_states(self) -> dict[str, str]:
+        """``shard_id -> verdict`` for every shard (HEALTHY when unseen)."""
+        return {
+            shard_id: self.shard_health.state(shard_id).value
+            for shard_id in sorted(self.shards)
+        }
+
     # -- tenant data path --------------------------------------------------
 
     def upload_file(
@@ -296,21 +412,80 @@ class FleetGateway:
         self.access.authenticate(tenant, password)
         self._check_quota(tenant, len(data))
         shard = self._owner_shard(key, "upload")
+        self._admit_write(shard, "upload")
         for other_id, other in self.shards.items():
             if other is not shard and other.has_file(key):
                 raise ValueError(
                     f"file {filename!r} of tenant {tenant!r} already exists "
                     f"(on shard {other_id!r})"
                 )
-        return shard.distributor.upload_file(
-            tenant, password, key, data, level,
-            misleading_fraction=misleading_fraction,
-        )
+        try:
+            receipt = shard.distributor.upload_file(
+                tenant, password, key, data, level,
+                misleading_fraction=misleading_fraction,
+            )
+        except Exception as exc:
+            self._record_shard_outcome(shard, exc)
+            raise
+        self._record_shard_outcome(shard, None)
+        return receipt
 
     def get_file(self, tenant: str, password: str, filename: str) -> bytes:
         key = fleet_key(tenant, filename)
-        shard = self._locate(key, "get")
-        return shard.distributor.get_file(tenant, password, key)
+        holders = self._holders(key, "get")
+        t0 = time.perf_counter()
+        if len(holders) == 1 or not self.hedge_reads:
+            data = self._read_from(holders[0], tenant, password, key)
+        else:
+            data = self._hedged_read(holders, tenant, password, key)
+        self._read_latency.observe(time.perf_counter() - t0)
+        return data
+
+    def _read_from(
+        self, shard: FleetShard, tenant: str, password: str, key: str
+    ) -> bytes:
+        try:
+            data = shard.distributor.get_file(tenant, password, key)
+        except Exception as exc:
+            self._record_shard_outcome(shard, exc)
+            raise
+        self._record_shard_outcome(shard, None)
+        return data
+
+    def _hedged_read(
+        self, holders: list[FleetShard], tenant: str, password: str, key: str
+    ) -> bytes:
+        """Race the primary holder against a backup after a p95 delay.
+
+        Only reachable mid-migration, when two shards hold the file.  The
+        hedge fires once the primary is slower than the fleet's recent p95
+        read latency (or the configured fixed delay); first response wins
+        and the loser's outcome is discarded.  The ambient deadline is
+        re-entered inside each thunk because hedge threads are new threads.
+        """
+        deadline = current_deadline()
+
+        def read_thunk(shard: FleetShard):
+            def thunk() -> bytes:
+                with deadline_scope(deadline):
+                    return self._read_from(shard, tenant, password, key)
+
+            return thunk
+
+        delay = (
+            self.hedge_delay
+            if self.hedge_delay is not None
+            else self._read_latency.percentile(95.0, DEFAULT_HEDGE_DELAY)
+        )
+        primary, backup = holders[0], holders[1]
+        return hedged_call(
+            read_thunk(primary),
+            read_thunk(backup),
+            delay,
+            on_hedge=lambda: self.metrics.counter(
+                "fleet_hedged_reads_total", shard=backup.shard_id
+            ).inc(),
+        )
 
     def update_chunk(
         self,
@@ -322,12 +497,29 @@ class FleetGateway:
     ) -> None:
         key = fleet_key(tenant, filename)
         shard = self._locate(key, "update")
-        shard.distributor.update_chunk(tenant, password, key, serial, new_payload)
+        self._admit_write(shard, "update")
+        try:
+            shard.distributor.update_chunk(
+                tenant, password, key, serial, new_payload
+            )
+        except Exception as exc:
+            self._record_shard_outcome(shard, exc)
+            raise
+        self._record_shard_outcome(shard, None)
 
     def remove_file(self, tenant: str, password: str, filename: str) -> None:
+        # Removal is deliberately NOT gated by _admit_write: a degraded
+        # fleet must still let tenants shed data (it frees the very
+        # resources that may be causing the degradation), and a failed
+        # remove is evidence like any other write.
         key = fleet_key(tenant, filename)
         shard = self._locate(key, "remove")
-        shard.distributor.remove_file(tenant, password, key)
+        try:
+            shard.distributor.remove_file(tenant, password, key)
+        except Exception as exc:
+            self._record_shard_outcome(shard, exc)
+            raise
+        self._record_shard_outcome(shard, None)
 
     def list_files(self, tenant: str, password: str) -> list[str]:
         """All of the tenant's visible filenames, fanned out and merged."""
@@ -408,6 +600,7 @@ class FleetGateway:
                     "files": stats["files"],
                     "chunks": stats["chunks"],
                     "tenants": stats["tenants"],
+                    "health": self.shard_health.state(shard_id).value,
                 }
             )
         return rows

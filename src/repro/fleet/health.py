@@ -1,0 +1,146 @@
+"""Per-shard health verdicts driving the gateway's degraded fleet mode.
+
+A :class:`ShardHealthTracker` applies the :class:`~repro.health.monitor.HealthMonitor`
+evidence model one level up the stack: instead of judging physical
+providers from distributor traffic, it judges whole *shards* from the
+gateway's data-path outcomes.  The verdict vocabulary is shared
+(:class:`~repro.health.monitor.HealthState`), and so are the knobs -- an
+error-rate EWMA turns a shard SUSPECT, enough consecutive failures turn it
+DOWN.
+
+The consequence differs, though: a sick provider is routed *around* by
+placement, but a sick shard owns a key range no other shard can serve
+writes for.  So degradation is asymmetric -- writes to a SUSPECT/DOWN
+shard fail fast with :class:`~repro.core.errors.ShardUnavailable` (the
+caller gets a typed verdict in microseconds instead of a timeout), while
+reads stay alive through the gateway's ``_locate`` fan-out.  Recovery is
+half-open: every ``retry_interval`` seconds one trial write is admitted,
+and its success flips the shard back to HEALTHY.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.health.monitor import HealthState
+from repro.obs.metrics import MetricsRegistry, get_metrics
+
+__all__ = ["ShardHealth", "ShardHealthTracker"]
+
+
+@dataclass
+class ShardHealth:
+    """Mutable evidence record for one shard."""
+
+    shard_id: str
+    error_ewma: float = 0.0
+    consecutive_failures: int = 0
+    marked_down: bool = False
+    last_trial_at: float = field(default=float("-inf"))
+
+
+class ShardHealthTracker:
+    """EWMA + consecutive-failure shard verdicts with half-open recovery."""
+
+    def __init__(
+        self,
+        *,
+        ewma_alpha: float = 0.3,
+        suspect_threshold: float = 0.5,
+        down_after: int = 3,
+        retry_interval: float = 1.0,
+        time_fn=time.monotonic,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        if not 0.0 < suspect_threshold <= 1.0:
+            raise ValueError(
+                f"suspect_threshold must be in (0, 1], got {suspect_threshold}"
+            )
+        if down_after < 1:
+            raise ValueError(f"down_after must be >= 1, got {down_after}")
+        if retry_interval < 0:
+            raise ValueError(
+                f"retry_interval must be >= 0, got {retry_interval}"
+            )
+        self.ewma_alpha = ewma_alpha
+        self.suspect_threshold = suspect_threshold
+        self.down_after = down_after
+        self.retry_interval = retry_interval
+        self._time = time_fn
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self._lock = threading.RLock()
+        self._records: dict[str, ShardHealth] = {}
+
+    def _record(self, shard_id: str) -> ShardHealth:
+        record = self._records.get(shard_id)
+        if record is None:
+            record = self._records[shard_id] = ShardHealth(shard_id)
+        return record
+
+    # -- evidence (fed by gateway data-path outcomes) ----------------------
+
+    def record_success(self, shard_id: str) -> None:
+        with self._lock:
+            record = self._record(shard_id)
+            was_degraded = record.marked_down or (
+                record.error_ewma >= self.suspect_threshold
+            )
+            record.consecutive_failures = 0
+            record.marked_down = False
+            record.error_ewma *= 1.0 - self.ewma_alpha
+            if was_degraded and record.error_ewma < self.suspect_threshold:
+                self.metrics.counter(
+                    "fleet_shard_recovered_total", shard=shard_id
+                ).inc()
+
+    def record_failure(self, shard_id: str) -> None:
+        with self._lock:
+            record = self._record(shard_id)
+            record.error_ewma = (
+                record.error_ewma * (1.0 - self.ewma_alpha) + self.ewma_alpha
+            )
+            record.consecutive_failures += 1
+            if (
+                record.consecutive_failures >= self.down_after
+                and not record.marked_down
+            ):
+                record.marked_down = True
+                self.metrics.counter(
+                    "fleet_shard_marked_down_total", shard=shard_id
+                ).inc()
+
+    # -- verdicts ----------------------------------------------------------
+
+    def state(self, shard_id: str) -> HealthState:
+        with self._lock:
+            record = self._records.get(shard_id)
+            if record is None:
+                return HealthState.HEALTHY
+            if record.marked_down:
+                return HealthState.DOWN
+            if record.error_ewma >= self.suspect_threshold:
+                return HealthState.SUSPECT
+            return HealthState.HEALTHY
+
+    def allow_write(self, shard_id: str) -> bool:
+        """Admit a write?  HEALTHY always; degraded shards get one trial
+        write per ``retry_interval`` (half-open) so recovery is automatic --
+        everything else should fail fast with ``ShardUnavailable``.
+        """
+        with self._lock:
+            if self.state(shard_id) is HealthState.HEALTHY:
+                return True
+            record = self._record(shard_id)
+            now = self._time()
+            if now - record.last_trial_at >= self.retry_interval:
+                record.last_trial_at = now
+                return True
+            return False
+
+    def states(self) -> dict[str, HealthState]:
+        with self._lock:
+            return {shard_id: self.state(shard_id) for shard_id in self._records}

@@ -22,23 +22,35 @@ from repro.net.protocol import (
     send_frame,
 )
 from repro.net.remote import RemoteProvider, RetryPolicy
+from repro.net.resilience import (
+    LatencyTracker,
+    RetryBudget,
+    current_retry_budget,
+    hedged_call,
+    retry_budget_scope,
+)
 from repro.net.server import ChunkServer, WireFaults
 
 __all__ = [
     "ChunkServer",
     "ConnectionPool",
     "Frame",
+    "LatencyTracker",
     "LocalCluster",
     "MAGIC",
     "MAX_PAYLOAD",
     "OpCode",
     "ProtocolError",
     "RemoteProvider",
+    "RetryBudget",
     "RetryPolicy",
     "Status",
     "VERSION",
     "WireFaults",
+    "current_retry_budget",
     "encode_frame",
+    "hedged_call",
     "recv_frame",
+    "retry_budget_scope",
     "send_frame",
 ]

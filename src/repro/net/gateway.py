@@ -18,12 +18,19 @@ from __future__ import annotations
 import base64
 import json
 import logging
+import queue
 import socket
 import threading
 
 from repro.core import errors as core_errors
-from repro.core.errors import ReproError
+from repro.core.errors import (
+    DeadlineExceeded,
+    ReproError,
+    RequestTooLargeError,
+    ResourceExhaustedError,
+)
 from repro.fleet.gateway import FleetGateway
+from repro.util.deadline import Deadline, current_deadline, deadline_scope
 
 log = logging.getLogger(__name__)
 
@@ -34,14 +41,25 @@ class GatewayProtocolError(ReproError):
     """Malformed gateway request/response."""
 
 
+class GatewayTimeoutError(ReproError):
+    """A gateway exchange timed out; the connection was recycled."""
+
+
 def _encode(obj: dict) -> bytes:
     return (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
 
 
-def _read_line(sock_file) -> dict | None:
-    line = sock_file.readline(_MAX_LINE)
+def _read_line(sock_file, max_line: int = _MAX_LINE) -> dict | None:
+    # Read one byte past the cap: a line of exactly max_line bytes is
+    # legal, anything longer is a typed refusal rather than a silent
+    # truncation (which would desync the JSON stream).
+    line = sock_file.readline(max_line + 1)
     if not line:
         return None
+    if len(line) > max_line:
+        raise RequestTooLargeError(
+            f"gateway request line exceeds {max_line} bytes"
+        )
     try:
         return json.loads(line)
     except json.JSONDecodeError as exc:
@@ -49,20 +67,51 @@ def _read_line(sock_file) -> dict | None:
 
 
 class GatewayServer:
-    """Serves a :class:`FleetGateway` over newline-delimited JSON/TCP."""
+    """Serves a :class:`FleetGateway` over newline-delimited JSON/TCP.
+
+    Admission control mirrors :class:`~repro.net.server.ChunkServer`: a
+    bounded pool of ``max_workers`` threads serves connections popped from
+    a bounded accept queue; once both are full, new connections get one
+    ``ResourceExhaustedError`` payload (with a ``retry_after`` hint) and
+    are closed instead of being accepted-and-stalled.
+    """
 
     def __init__(
         self,
         gateway: FleetGateway,
         host: str = "127.0.0.1",
         port: int = 0,
+        max_workers: int = 16,
+        accept_queue: int = 32,
+        shed_retry_after: float = 0.1,
+        max_line: int = _MAX_LINE,
     ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if accept_queue < 1:
+            raise ValueError(f"accept_queue must be >= 1, got {accept_queue}")
+        if max_line < 1:
+            raise ValueError(f"max_line must be >= 1, got {max_line}")
         self.gateway = gateway
         self.host = host
+        self.max_workers = max_workers
+        self.shed_retry_after = shed_retry_after
+        self.max_line = max_line
         self._requested_port = port
         self._sock: socket.socket | None = None
-        self._threads: list[threading.Thread] = []
+        self._workers: list[threading.Thread] = []
+        self._accept_thread: threading.Thread | None = None
+        self._conn_queue: queue.Queue[socket.socket | None] = queue.Queue(
+            maxsize=accept_queue
+        )
+        self._connections: set[socket.socket] = set()
+        self._state_lock = threading.Lock()
         self._running = False
+        self.requests_shed = 0
+
+    @property
+    def metrics(self):
+        return self.gateway.metrics
 
     @property
     def port(self) -> int:
@@ -77,21 +126,61 @@ class GatewayServer:
         sock.listen(32)
         self._sock = sock
         self._running = True
-        accept = threading.Thread(
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"gateway-worker-{i}", daemon=True
+            )
+            for i in range(self.max_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+        self._accept_thread = threading.Thread(
             target=self._accept_loop, name="gateway-accept", daemon=True
         )
-        accept.start()
-        self._threads.append(accept)
+        self._accept_thread.start()
         return self
 
     def stop(self) -> None:
         self._running = False
-        if self._sock is not None:
+        listener, self._sock = self._sock, None
+        if listener is not None:
+            port = listener.getsockname()[1]
+            # close() alone does not wake a thread blocked in accept();
+            # shutdown() does on Linux, and the self-connection covers
+            # platforms where it does not.
             try:
-                self._sock.close()
+                listener.shutdown(socket.SHUT_RDWR)
             except OSError:
                 pass
-            self._sock = None
+            try:
+                socket.create_connection((self.host, port), timeout=0.2).close()
+            except OSError:
+                pass
+            listener.close()
+        with self._state_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        for _ in self._workers:
+            self._conn_queue.put(None)
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        self._workers = []
+        while True:
+            try:
+                leftover = self._conn_queue.get_nowait()
+            except queue.Empty:
+                break
+            if leftover is not None:
+                leftover.close()
 
     def __enter__(self) -> "GatewayServer":
         return self.start()
@@ -100,44 +189,106 @@ class GatewayServer:
         self.stop()
 
     def _accept_loop(self) -> None:
-        while self._running and self._sock is not None:
+        listener = self._sock
+        while self._running and listener is not None:
             try:
-                conn, _ = self._sock.accept()
+                conn, _ = listener.accept()
             except OSError:
                 return  # socket closed by stop()
-            worker = threading.Thread(
-                target=self._serve_connection, args=(conn,), daemon=True
+            with self._state_lock:
+                if not self._running:
+                    conn.close()
+                    return
+                self._connections.add(conn)
+            try:
+                self._conn_queue.put_nowait(conn)
+            except queue.Full:
+                with self._state_lock:
+                    self._connections.discard(conn)
+                self._shed(conn)
+                continue
+            self.metrics.gauge("gateway_accept_queue_depth").set(
+                self._conn_queue.qsize()
             )
-            worker.start()
-            self._threads.append(worker)
+
+    def _worker_loop(self) -> None:
+        while True:
+            conn = self._conn_queue.get()
+            if conn is None:
+                return  # stop() sentinel
+            self.metrics.gauge("gateway_accept_queue_depth").set(
+                self._conn_queue.qsize()
+            )
+            try:
+                self._serve_connection(conn)
+            finally:
+                with self._state_lock:
+                    self._connections.discard(conn)
+
+    def _shed(self, conn: socket.socket) -> None:
+        """One typed refusal, then close -- never accept-and-stall."""
+        self.requests_shed += 1
+        self.metrics.counter("gateway_shed_total").inc()
+        payload = {
+            "ok": False,
+            "error": "ResourceExhaustedError",
+            "message": "gateway overloaded: accept queue full",
+            "retry_after": self.shed_retry_after,
+        }
+        try:
+            conn.settimeout(1.0)
+            conn.sendall(_encode(payload))
+        except OSError:
+            pass
+        finally:
+            conn.close()
 
     def _serve_connection(self, conn: socket.socket) -> None:
         with conn, conn.makefile("rb") as reader:
             while True:
                 try:
-                    request = _read_line(reader)
-                except GatewayProtocolError as exc:
-                    conn.sendall(_encode(_error_payload(exc)))
+                    request = _read_line(reader, self.max_line)
+                except (GatewayProtocolError, RequestTooLargeError) as exc:
+                    # The stream position cannot be trusted past a bad or
+                    # oversized line: answer with the typed error, then
+                    # hang up.
+                    try:
+                        conn.sendall(_encode(_error_payload(exc)))
+                    except OSError:
+                        pass
                     return
                 if request is None:
                     return
-                try:
-                    response = self._handle(request)
-                except ReproError as exc:
-                    response = _error_payload(exc)
-                except (ValueError, KeyError, TypeError) as exc:
-                    response = _error_payload(exc)
-                except Exception:  # noqa: BLE001 -- keep the server alive
-                    log.exception("gateway request failed")
-                    response = {
-                        "ok": False,
-                        "error": "InternalError",
-                        "message": "internal gateway error",
-                    }
+                response = self._respond(request)
                 try:
                     conn.sendall(_encode(response))
                 except OSError:
                     return
+
+    def _respond(self, request: dict) -> dict:
+        """Run one request under its propagated deadline; never raises."""
+        deadline = None
+        budget_ms = request.pop("deadline_ms", None)
+        if budget_ms is not None:
+            deadline = Deadline.after(max(int(budget_ms), 0) / 1000.0)
+        try:
+            if deadline is not None:
+                deadline.check("gateway request")
+            with deadline_scope(deadline):
+                return self._handle(request)
+        except ReproError as exc:
+            if isinstance(exc, DeadlineExceeded):
+                self.metrics.counter("gateway_deadline_exceeded_total").inc()
+            return _error_payload(exc)
+        except (ValueError, KeyError, TypeError) as exc:
+            return _error_payload(exc)
+        except Exception:  # noqa: BLE001 -- keep the server alive
+            log.exception("gateway request failed")
+            return {
+                "ok": False,
+                "error": "InternalError",
+                "message": "internal gateway error",
+            }
 
     def _handle(self, request: dict) -> dict:
         op = request.get("op")
@@ -188,21 +339,50 @@ class GatewayServer:
 
 
 def _error_payload(exc: Exception) -> dict:
-    return {"ok": False, "error": type(exc).__name__, "message": str(exc)}
+    payload = {"ok": False, "error": type(exc).__name__, "message": str(exc)}
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        payload["retry_after"] = retry_after
+    return payload
 
 
 class GatewayClient:
-    """Blocking client for :class:`GatewayServer` (one connection)."""
+    """Blocking client for :class:`GatewayServer` (one connection).
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    Every exchange runs under a per-request socket timeout: the configured
+    ``request_timeout`` capped by the ambient deadline's remaining budget
+    (which is also propagated to the server as ``deadline_ms``).  After a
+    timeout the response may still arrive later, which would desync the
+    JSON stream -- so the connection is dropped and redialed lazily on the
+    next call (reconnect-on-timeout) instead of being reused.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        request_timeout: float | None = None,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._connect_timeout = timeout
+        self._request_timeout = (
+            request_timeout if request_timeout is not None else timeout
+        )
+        self._sock: socket.socket | None = socket.create_connection(
+            (host, port), timeout=timeout
+        )
         self._reader = self._sock.makefile("rb")
 
     def close(self) -> None:
+        if self._sock is None:
+            return
         try:
             self._reader.close()
         finally:
-            self._sock.close()
+            sock, self._sock = self._sock, None
+            sock.close()
 
     def __enter__(self) -> "GatewayClient":
         return self
@@ -210,13 +390,67 @@ class GatewayClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def _drop_connection(self) -> None:
+        """Discard a desynced/dead connection; the next call redials."""
+        if self._sock is None:
+            return
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        sock, self._sock = self._sock, None
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def _ensure_connected(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self._host, self._port), timeout=self._connect_timeout
+            )
+            self._reader = self._sock.makefile("rb")
+        return self._sock
+
     def _call(self, request: dict) -> dict:
-        self._sock.sendall(_encode(request))
-        response = _read_line(self._reader)
+        deadline = current_deadline()
+        timeout = self._request_timeout
+        if deadline is not None:
+            deadline.check("gateway call")
+            timeout = deadline.timeout(cap=timeout)
+            request = dict(request)
+            request["deadline_ms"] = max(
+                1, int(deadline.remaining() * 1000)
+            )
+        sock = self._ensure_connected()
+        try:
+            sock.settimeout(timeout)
+            sock.sendall(_encode(request))
+            response = _read_line(self._reader)
+        except socket.timeout as exc:
+            self._drop_connection()
+            if deadline is not None and deadline.expired:
+                raise DeadlineExceeded(
+                    f"gateway call exceeded its deadline ({timeout:.3f}s "
+                    f"budget)"
+                ) from exc
+            raise GatewayTimeoutError(
+                f"gateway did not answer within {timeout:.3f}s"
+            ) from exc
+        except OSError as exc:
+            self._drop_connection()
+            raise GatewayProtocolError(
+                f"gateway connection failed: {exc}"
+            ) from exc
         if response is None:
+            self._drop_connection()
             raise GatewayProtocolError("gateway closed the connection")
         if not response.get("ok"):
-            raise _rebuild_error(response)
+            error = _rebuild_error(response)
+            if isinstance(error, ResourceExhaustedError):
+                # The server shut the connection right after shedding us.
+                self._drop_connection()
+            raise error
         return response
 
     def ping(self) -> list[str]:
@@ -299,6 +533,10 @@ def _rebuild_error(response: dict) -> Exception:
     """Map a wire error back onto the library's exception hierarchy."""
     name = response.get("error", "ReproError")
     message = response.get("message", "gateway error")
+    if name == "ResourceExhaustedError":
+        return ResourceExhaustedError(
+            message, retry_after=response.get("retry_after")
+        )
     exc_type = getattr(core_errors, name, None)
     if isinstance(exc_type, type) and issubclass(exc_type, Exception):
         return exc_type(message)

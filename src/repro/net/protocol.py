@@ -37,9 +37,11 @@ from enum import IntEnum
 from repro.core.errors import (
     BlobCorruptedError,
     BlobNotFoundError,
+    DeadlineExceeded,
     ProviderError,
     ProviderUnavailableError,
     ReproError,
+    ResourceExhaustedError,
 )
 from repro.providers.base import BlobStat
 
@@ -75,6 +77,15 @@ class OpCode(IntEnum):
     # which is exactly the backward-compatible downgrade signal clients
     # need -- see ``docs/net_protocol.md``.
     TRACED = 0x09
+    # Deadline envelope: wraps any other request frame (TRACED included)
+    # together with the caller's *remaining* time budget in milliseconds.
+    # Only the budget crosses the wire -- never an absolute timestamp --
+    # because monotonic clocks are per-process and wall clocks skew; the
+    # server re-anchors the budget against its own clock.  The response is
+    # the inner response frame directly (no response envelope needed: the
+    # deadline has nothing to report back).  Old servers answer BAD_REQUEST
+    # ("unknown op code"), the same downgrade signal TRACED uses.
+    DEADLINE = 0x0A
 
 
 class Status(IntEnum):
@@ -86,6 +97,12 @@ class Status(IntEnum):
     UNAVAILABLE = 0x03
     BAD_REQUEST = 0x04
     INTERNAL = 0x05
+    #: The server shed the request at admission (worker pool + accept queue
+    #: saturated).  The message may carry a ``retry-after=<seconds>;`` hint.
+    RESOURCE_EXHAUSTED = 0x06
+    #: The request's propagated deadline expired before (or while) the
+    #: server worked on it; the caller already gave up, so no data follows.
+    DEADLINE_EXCEEDED = 0x07
 
 
 class ProtocolError(ReproError):
@@ -248,6 +265,61 @@ def decode_traced_response(payload: bytes) -> tuple[list[dict], Frame]:
 
 
 # ---------------------------------------------------------------------------
+# DEADLINE envelope (remaining-budget propagation, backward compatible)
+# ---------------------------------------------------------------------------
+#
+# DEADLINE request payload:  remaining budget in milliseconds (u32) + the
+#                            complete encoded inner request frame (which may
+#                            itself be a TRACED envelope).  The response is
+#                            the inner response frame sent directly.
+
+_BUDGET_MS = struct.Struct("!I")
+
+#: Upper bound on a wire budget; also what an effectively-unbounded local
+#: deadline is clamped to (u32 milliseconds ~= 49.7 days).
+MAX_BUDGET_MS = 0xFFFFFFFF
+
+
+def encode_deadline_request(budget_ms: int, inner: bytes) -> bytes:
+    if not 0 <= budget_ms <= MAX_BUDGET_MS:
+        raise ProtocolError(f"deadline budget out of range: {budget_ms} ms")
+    return _BUDGET_MS.pack(budget_ms) + inner
+
+
+def decode_deadline_request(payload: bytes) -> tuple[int, Frame]:
+    if len(payload) < _BUDGET_MS.size:
+        raise ProtocolError("DEADLINE request payload truncated")
+    (budget_ms,) = _BUDGET_MS.unpack_from(payload, 0)
+    return budget_ms, decode_frame(payload[_BUDGET_MS.size :])
+
+
+# ---------------------------------------------------------------------------
+# retry-after hint (RESOURCE_EXHAUSTED message text)
+# ---------------------------------------------------------------------------
+
+_RETRY_AFTER_PREFIX = "retry-after="
+
+
+def encode_retry_hint(retry_after: float, message: str) -> str:
+    """RESOURCE_EXHAUSTED message text carrying a retry-after hint."""
+    return f"{_RETRY_AFTER_PREFIX}{retry_after:.3f}; {message}"
+
+
+def decode_retry_hint(message: str) -> tuple[float | None, str]:
+    """Split a shed message into ``(retry_after_seconds | None, text)``."""
+    if not message.startswith(_RETRY_AFTER_PREFIX):
+        return None, message
+    head, sep, rest = message[len(_RETRY_AFTER_PREFIX) :].partition(";")
+    try:
+        retry_after = float(head.strip())
+    except ValueError:
+        return None, message
+    if retry_after < 0:
+        return None, message
+    return retry_after, rest.strip() if sep else ""
+
+
+# ---------------------------------------------------------------------------
 # payload encodings for the structured responses
 # ---------------------------------------------------------------------------
 
@@ -396,6 +468,10 @@ def decode_batch_results(payload: bytes) -> list[tuple[int, bytes]]:
 # ---------------------------------------------------------------------------
 
 _STATUS_FOR_ERROR: list[tuple[type[Exception], Status]] = [
+    # Order matters: subclasses before their bases (ResourceExhaustedError
+    # is a ProviderUnavailableError, DeadlineExceeded is a ProviderError).
+    (ResourceExhaustedError, Status.RESOURCE_EXHAUSTED),
+    (DeadlineExceeded, Status.DEADLINE_EXCEEDED),
     (BlobNotFoundError, Status.NOT_FOUND),
     (BlobCorruptedError, Status.CORRUPTED),
     (ProviderUnavailableError, Status.UNAVAILABLE),
@@ -420,4 +496,9 @@ def error_for_status(status: int, message: str) -> ProviderError:
         return BlobCorruptedError(message)
     if status == Status.UNAVAILABLE:
         return ProviderUnavailableError(message)
+    if status == Status.RESOURCE_EXHAUSTED:
+        retry_after, text = decode_retry_hint(message)
+        return ResourceExhaustedError(text or message, retry_after=retry_after)
+    if status == Status.DEADLINE_EXCEEDED:
+        return DeadlineExceeded(message)
     return ProviderError(f"status {status}: {message}")

@@ -18,17 +18,21 @@ Failure handling mirrors a production object-store client:
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
 
 from repro.core.errors import (
     BlobCorruptedError,
+    DeadlineExceeded,
     ProviderError,
     ProviderUnavailableError,
+    ResourceExhaustedError,
 )
 from repro.net.pool import ConnectionPool, StaleConnectionError
 from repro.net.protocol import (
     HEADER,
+    MAX_BUDGET_MS,
     Frame,
     OpCode,
     ProtocolError,
@@ -37,14 +41,16 @@ from repro.net.protocol import (
     decode_keys,
     decode_stat,
     decode_traced_response,
+    encode_deadline_request,
     encode_frame,
     encode_keys,
     encode_multi_put,
     encode_traced_request,
     error_for_status,
     recv_frame,
-    send_frame,
 )
+from repro.net.resilience import current_retry_budget
+from repro.util.deadline import Deadline, current_deadline
 from repro.obs.events import EventLog, get_events
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.trace import Tracer, get_tracer
@@ -123,6 +129,9 @@ class RemoteProvider(CloudProvider):
         # lifetime (a pre-telemetry server never starts understanding it
         # mid-flight, and a rolling upgrade recreates the provider).
         self._server_traced: bool | None = None
+        # Same tri-state for the DEADLINE envelope (an older server bounces
+        # it with BAD_REQUEST "unknown op code"; we then stop sending it).
+        self._server_deadline: bool | None = None
         self.pool = ConnectionPool(
             host, port, size=pool_size, connect_timeout=connect_timeout,
             metrics=self.metrics, events=self.events,
@@ -135,13 +144,6 @@ class RemoteProvider(CloudProvider):
         if self._server_traced is False:
             return None
         return self.tracer.wire_context()
-
-    def _wrap_traced(
-        self, context: str, op: OpCode, key: str, payload: bytes
-    ) -> bytes:
-        return encode_traced_request(
-            context, encode_frame(op, key=key, payload=payload)
-        )
 
     def _unwrap_traced(self, frame: Frame) -> Frame | None:
         """Inner frame of a TRACED response; ``None`` on server downgrade.
@@ -176,37 +178,89 @@ class RemoteProvider(CloudProvider):
             f"reused pooled connection failed: {exc}"
         )
 
+    def _check_deadline(self, what: str) -> Deadline | None:
+        """Ambient deadline, checked (and counted) before starting I/O."""
+        deadline = current_deadline()
+        if deadline is not None and deadline.expired:
+            self.metrics.counter(
+                "net_client_deadline_exceeded_total", provider=self.name
+            ).inc()
+            deadline.check(what)  # raises DeadlineExceeded
+        return deadline
+
+    def _op_timeout(self, deadline: Deadline | None) -> float:
+        """Socket timeout for one exchange: op_timeout capped by the budget."""
+        if deadline is None:
+            return self.op_timeout
+        return deadline.timeout(cap=self.op_timeout)
+
+    @staticmethod
+    def _wrap_deadline(deadline: Deadline, frame_bytes: bytes) -> bytes:
+        """Nest a complete frame inside a DEADLINE envelope frame."""
+        budget_ms = max(1, min(MAX_BUDGET_MS, int(deadline.remaining() * 1000)))
+        return encode_frame(
+            OpCode.DEADLINE,
+            payload=encode_deadline_request(budget_ms, frame_bytes),
+        )
+
+    @staticmethod
+    def _deadline_bounced(frame: Frame) -> bool:
+        """An old server answered the DEADLINE envelope with unknown-op."""
+        return (
+            frame.code == Status.BAD_REQUEST
+            and b"unknown op code" in frame.payload
+        )
+
     def _exchange(self, op: OpCode, key: str, payload: bytes) -> Frame:
-        """One framed request/response on a pooled connection."""
+        """One framed request/response on a pooled connection.
+
+        The request may ride inside up to two envelopes, outermost first:
+        DEADLINE (remaining budget) wrapping TRACED (trace context) wrapping
+        the operation.  Either envelope downgrades independently when an
+        older server bounces it with BAD_REQUEST "unknown op code" -- the
+        stream stays in sync, so the request is resent one layer thinner on
+        the same socket and the verdict is cached for this provider.
+        """
+        deadline = self._check_deadline(f"net.{op.name}")
         context = self._trace_context()
+        send_deadline = deadline is not None and self._server_deadline is not False
+        send_traced = context is not None
         with self.pool.lease(op=op.name) as leased:
             sock = leased.sock
             try:
-                sock.settimeout(self.op_timeout)
-                if context is not None:
-                    send_frame(
-                        sock, OpCode.TRACED,
-                        payload=self._wrap_traced(context, op, key, payload),
-                    )
+                sock.settimeout(self._op_timeout(deadline))
+                while True:
+                    frame_bytes = encode_frame(op, key=key, payload=payload)
+                    if send_traced:
+                        frame_bytes = encode_frame(
+                            OpCode.TRACED,
+                            payload=encode_traced_request(context, frame_bytes),
+                        )
+                    if send_deadline:
+                        frame_bytes = self._wrap_deadline(deadline, frame_bytes)
+                    sock.sendall(frame_bytes)
                     frame = recv_frame(sock)
                     if frame is None:
                         raise ProtocolError(
                             "server closed connection before responding"
                         )
-                    inner = self._unwrap_traced(frame)
-                    if inner is not None:
+                    if send_deadline and self._deadline_bounced(frame):
+                        self._server_deadline = False
+                        send_deadline = False
+                        continue  # resend without the DEADLINE envelope
+                    if send_deadline:
+                        self._server_deadline = True
+                    if send_traced:
+                        inner = self._unwrap_traced(frame)
+                        if inner is None:
+                            self._server_traced = False
+                            send_traced = False
+                            continue  # resend without the TRACED envelope
                         self._server_traced = True
                         return inner
-                    self._server_traced = False  # downgrade: resend plainly
-                send_frame(sock, op, key=key, payload=payload)
-                frame = recv_frame(sock)
-                if frame is None:
-                    raise ProtocolError(
-                        "server closed connection before responding"
-                    )
+                    return frame
             except (OSError, ProtocolError) as exc:
                 raise self._classify(exc, leased.fresh) from exc
-        return frame
 
     def _exchange_pipelined(
         self, requests: list[tuple[OpCode, str, bytes]]
@@ -220,49 +274,67 @@ class RemoteProvider(CloudProvider):
         key lists), so the two directions cannot deadlock on full socket
         buffers.
         """
+        deadline = self._check_deadline(f"net.{requests[0][0].name}")
         context = self._trace_context()
+        send_deadline = deadline is not None and self._server_deadline is not False
+        send_traced = context is not None
         with self.pool.lease(op=requests[0][0].name) as leased:
             sock = leased.sock
             try:
-                sock.settimeout(self.op_timeout)
-                if context is not None:
+                sock.settimeout(self._op_timeout(deadline))
+                while True:
                     for op, key, payload in requests:
-                        send_frame(
-                            sock, OpCode.TRACED,
-                            payload=self._wrap_traced(context, op, key, payload),
-                        )
+                        frame_bytes = encode_frame(op, key=key, payload=payload)
+                        if send_traced:
+                            frame_bytes = encode_frame(
+                                OpCode.TRACED,
+                                payload=encode_traced_request(
+                                    context, frame_bytes
+                                ),
+                            )
+                        if send_deadline:
+                            frame_bytes = self._wrap_deadline(
+                                deadline, frame_bytes
+                            )
+                        sock.sendall(frame_bytes)
                     frames: list[Frame] = []
-                    downgraded = False
+                    deadline_bounced = False
+                    traced_bounced = False
                     for _ in requests:
                         frame = recv_frame(sock)
                         if frame is None:
                             raise ProtocolError(
                                 "server closed connection before responding"
                             )
-                        inner = self._unwrap_traced(frame)
-                        if inner is None:
-                            downgraded = True
+                        if send_deadline and self._deadline_bounced(frame):
+                            deadline_bounced = True
+                            continue
+                        if send_traced:
+                            inner = self._unwrap_traced(frame)
+                            if inner is None:
+                                traced_bounced = True
+                            else:
+                                frames.append(inner)
                         else:
-                            frames.append(inner)
-                    if not downgraded:
+                            frames.append(frame)
+                    # Old server: every envelope bounced but the stream is
+                    # in sync -- replay the whole window one layer thinner
+                    # on this same socket (idempotent at this layer).
+                    if deadline_bounced:
+                        self._server_deadline = False
+                        send_deadline = False
+                        continue
+                    if send_deadline:
+                        self._server_deadline = True
+                    if traced_bounced:
+                        self._server_traced = False
+                        send_traced = False
+                        continue
+                    if send_traced:
                         self._server_traced = True
-                        return frames
-                    # Old server: every envelope bounced but the stream is in
-                    # sync -- replay the whole window plainly on this socket.
-                    self._server_traced = False
-                for op, key, payload in requests:
-                    send_frame(sock, op, key=key, payload=payload)
-                frames = []
-                for _ in requests:
-                    frame = recv_frame(sock)
-                    if frame is None:
-                        raise ProtocolError(
-                            "server closed connection before responding"
-                        )
-                    frames.append(frame)
+                    return frames
             except (OSError, ProtocolError) as exc:
                 raise self._classify(exc, leased.fresh) from exc
-        return frames
 
     def _with_retries(self, exchange):
         """Run *exchange* under the retry budget and circuit breaker.
@@ -284,6 +356,15 @@ class RemoteProvider(CloudProvider):
         immediately for that many seconds instead of re-dialing a server
         known to be down -- a RAID degraded read over hundreds of chunks
         then pays the retry cost once, not once per chunk.
+
+        Two cross-cutting limits bound the loop further when ambient scopes
+        are active: an ambient :class:`~repro.net.resilience.RetryBudget`
+        (shared by every hop of one logical request -- once it is spent,
+        *no* hop retries any more, stopping retry storms at the source),
+        and the ambient deadline (no sleep ever extends past it).  A
+        ``RESOURCE_EXHAUSTED`` answer -- the server shed us at admission --
+        is retried like a transport failure but honours the server's
+        retry-after hint with jitter instead of our own backoff curve.
         """
         if self.failfast_window > 0 and time.monotonic() < self._down_until:
             raise ProviderUnavailableError(
@@ -297,7 +378,9 @@ class RemoteProvider(CloudProvider):
         # restarted server -- only by a genuinely flapping one.
         stale_budget = self.pool.size + 1
         attempt = 0
+        retry_after: float | None = None
         while True:
+            retry_after = None
             try:
                 result = exchange()
             except StaleConnectionError as exc:
@@ -314,14 +397,48 @@ class RemoteProvider(CloudProvider):
                 last_exc = exc
                 attempt += 1
             else:
-                self._down_until = 0.0
-                return result
+                shed = self._find_shed(result)
+                if shed is None:
+                    self._down_until = 0.0
+                    return result
+                # The server refused us at admission and closed the socket;
+                # drop parked siblings (they are dead too) and back off for
+                # roughly the hinted interval before trying again.
+                self.pool.discard_idle()
+                self.metrics.counter(
+                    "net_client_shed_total", provider=self.name
+                ).inc()
+                last_exc = shed
+                retry_after = shed.retry_after
+                attempt += 1
             if attempt >= self.retry.attempts:
+                break
+            budget = current_retry_budget()
+            if budget is not None and not budget.try_spend():
+                self.metrics.counter(
+                    "net_client_retry_budget_exhausted_total",
+                    provider=self.name,
+                ).inc()
                 break
             self.metrics.counter(
                 "net_client_retries_total", provider=self.name
             ).inc()
-            time.sleep(self.retry.delay(attempt - 1))
+            if retry_after is not None:
+                # Jitter the hint upward so a crowd of shed clients does
+                # not return in one synchronized thundering herd.
+                delay = retry_after * random.uniform(1.0, 1.5)
+            else:
+                delay = self.retry.delay(attempt - 1)
+            deadline = current_deadline()
+            if deadline is not None and deadline.remaining() <= delay:
+                self.metrics.counter(
+                    "net_client_deadline_exceeded_total", provider=self.name
+                ).inc()
+                raise DeadlineExceeded(
+                    f"deadline expires before the next retry of provider "
+                    f"{self.name!r} (backoff {delay:.3f}s)"
+                ) from last_exc
+            time.sleep(delay)
             # The server may have restarted; pre-restart sockets would
             # fail again and burn the remaining attempts.
             self.pool.discard_idle()
@@ -337,10 +454,25 @@ class RemoteProvider(CloudProvider):
                 window_s=self.failfast_window,
                 error=str(last_exc),
             )
+        if isinstance(last_exc, ResourceExhaustedError):
+            raise last_exc  # keep the typed shed verdict (and its hint)
         raise ProviderUnavailableError(
             f"provider {self.name!r} at {self.host}:{self.port} unreachable "
             f"after {self.retry.attempts} attempt(s): {last_exc}"
         ) from last_exc
+
+    @staticmethod
+    def _find_shed(result) -> ResourceExhaustedError | None:
+        """The shed verdict, if any frame of *result* was RESOURCE_EXHAUSTED."""
+        frames = result if isinstance(result, list) else [result]
+        for frame in frames:
+            if frame.code == Status.RESOURCE_EXHAUSTED:
+                error = error_for_status(
+                    frame.code, frame.payload.decode("utf-8", "replace")
+                )
+                assert isinstance(error, ResourceExhaustedError)
+                return error
+        return None
 
     def _account(self, op: OpCode, sent: int, received: int, t0: float) -> None:
         """Per-opcode request count, wire bytes and latency for one exchange."""
@@ -371,6 +503,10 @@ class RemoteProvider(CloudProvider):
             t0=t0,
         )
         if frame.code != Status.OK:
+            if frame.code == Status.DEADLINE_EXCEEDED:
+                self.metrics.counter(
+                    "net_client_deadline_exceeded_total", provider=self.name
+                ).inc()
             raise error_for_status(
                 frame.code, frame.payload.decode("utf-8", "replace")
             )
@@ -411,6 +547,11 @@ class RemoteProvider(CloudProvider):
         ).observe(time.perf_counter() - t0)
         for frame in frames:
             if frame.code != Status.OK:
+                if frame.code == Status.DEADLINE_EXCEEDED:
+                    self.metrics.counter(
+                        "net_client_deadline_exceeded_total",
+                        provider=self.name,
+                    ).inc()
                 raise error_for_status(
                     frame.code, frame.payload.decode("utf-8", "replace")
                 )

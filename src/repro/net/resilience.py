@@ -1,0 +1,194 @@
+"""Client-side resilience primitives: retry budgets, latency tracking, hedging.
+
+Three small tools that keep one slow or dark server from amplifying into a
+fleet-wide incident:
+
+* :class:`RetryBudget` — a per-*request* allowance of retries shared across
+  every hop that request touches.  A logical fleet put that fans out to six
+  providers draws all its retries from one budget instead of multiplying
+  3 attempts x 6 hops x 2 layers into a retry storm against an overloaded
+  server.  Made ambient with :func:`retry_budget_scope`, mirroring
+  ``repro.util.deadline``.
+
+* :class:`LatencyTracker` — a tiny ring buffer of observed latencies with a
+  percentile query, used to derive hedge delays (fire the backup request
+  only once the primary is slower than its own recent p95).
+
+* :func:`hedged_call` — run a primary thunk, and if it has not produced a
+  result after *delay* seconds, race a hedge thunk against it; first result
+  wins.  The loser is not interrupted (python threads cannot be killed) but
+  its outcome is discarded and, because all work under a request runs inside
+  a deadline scope, it self-terminates at the request deadline.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+__all__ = [
+    "LatencyTracker",
+    "RetryBudget",
+    "current_retry_budget",
+    "hedged_call",
+    "retry_budget_scope",
+]
+
+
+class RetryBudget:
+    """A thread-safe allowance of retry attempts for one logical request.
+
+    ``try_spend()`` returns ``True`` and decrements while allowance remains;
+    once exhausted every hop's retry loop gives up immediately and surfaces
+    the last error instead of piling on.  Free redials (stale pooled
+    sockets) deliberately do *not* draw from this budget — they are local
+    bookkeeping, not load on the server.
+    """
+
+    def __init__(self, attempts: int) -> None:
+        if attempts < 0:
+            raise ValueError(f"attempts must be >= 0, got {attempts}")
+        self._lock = threading.Lock()
+        self._remaining = attempts
+        self.spent = 0
+
+    @property
+    def remaining(self) -> int:
+        with self._lock:
+            return self._remaining
+
+    def try_spend(self) -> bool:
+        """Consume one retry if any allowance is left."""
+        with self._lock:
+            if self._remaining <= 0:
+                return False
+            self._remaining -= 1
+            self.spent += 1
+            return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RetryBudget(remaining={self.remaining}, spent={self.spent})"
+
+
+class _BudgetStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[RetryBudget] = []
+
+
+_AMBIENT = _BudgetStack()
+
+
+def current_retry_budget() -> Optional[RetryBudget]:
+    """The innermost ambient retry budget for this thread, if any."""
+    stack = _AMBIENT.stack
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def retry_budget_scope(budget: Optional[RetryBudget]) -> Iterator[Optional[RetryBudget]]:
+    """Make *budget* ambient for the ``with`` block (``None`` pushes nothing)."""
+    if budget is None:
+        yield None
+        return
+    _AMBIENT.stack.append(budget)
+    try:
+        yield budget
+    finally:
+        _AMBIENT.stack.pop()
+
+
+class LatencyTracker:
+    """A bounded ring of recent latencies with percentile queries.
+
+    Thread-safe; O(window) per percentile query, which is fine for the
+    small windows (<= a few hundred samples) hedging uses.
+    """
+
+    def __init__(self, window: int = 128) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        self._lock = threading.Lock()
+        self._window = window
+        self._samples: list[float] = []
+        self._next = 0
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            if len(self._samples) < self._window:
+                self._samples.append(seconds)
+            else:
+                self._samples[self._next] = seconds
+                self._next = (self._next + 1) % self._window
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def percentile(self, p: float, default: float) -> float:
+        """The *p*-th percentile of recent samples (nearest-rank).
+
+        Returns *default* until any samples exist.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            if not self._samples:
+                return default
+            ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+
+def hedged_call(
+    primary: Callable[[], T],
+    hedge: Callable[[], T],
+    delay: float,
+    *,
+    on_hedge: Optional[Callable[[], None]] = None,
+) -> T:
+    """Run *primary*; if still pending after *delay* s, race *hedge*.
+
+    The first thunk to finish (with a result *or* an exception once both
+    have been tried) decides the outcome: a successful hedge masks a slow
+    or failed primary and vice versa.  If both fail, the first error wins.
+    *on_hedge* fires exactly once when the hedge is actually launched
+    (metrics hook).  The losing thunk keeps running in a daemon thread
+    until its own deadline/timeout fires; its result is discarded.
+    """
+    cond = threading.Condition()
+    outcomes: list[tuple[bool, object]] = []
+    launched = 1
+
+    def run(thunk: Callable[[], T]) -> None:
+        try:
+            result: object = thunk()
+            ok = True
+        except BaseException as exc:  # noqa: BLE001 - re-raised in caller
+            result = exc
+            ok = False
+        with cond:
+            outcomes.append((ok, result))
+            cond.notify_all()
+
+    def settled() -> bool:
+        return any(ok for ok, _ in outcomes) or len(outcomes) >= launched
+
+    threading.Thread(target=run, args=(primary,), daemon=True).start()
+    with cond:
+        cond.wait_for(lambda: len(outcomes) >= 1, timeout=max(delay, 0.0))
+        if not any(ok for ok, _ in outcomes):
+            # Primary is still pending, or finished with a failure: launch
+            # the hedge (a fast failure gets its backup immediately rather
+            # than waiting out the delay).
+            launched = 2
+            if on_hedge is not None:
+                on_hedge()
+            threading.Thread(target=run, args=(hedge,), daemon=True).start()
+            cond.wait_for(settled)
+        for ok, result in outcomes:
+            if ok:
+                return result  # type: ignore[return-value]
+        raise outcomes[0][1]  # type: ignore[misc]

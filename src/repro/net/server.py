@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import logging
+import queue
 import socket
 import threading
 import time
@@ -28,12 +29,14 @@ from repro.net.protocol import (
     OpCode,
     ProtocolError,
     Status,
+    decode_deadline_request,
     decode_keys,
     decode_multi_put,
     decode_traced_request,
     encode_batch_results,
     encode_frame,
     encode_keys,
+    encode_retry_hint,
     encode_stat,
     encode_traced_response,
     recv_frame,
@@ -43,6 +46,7 @@ from repro.net.protocol import (
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.trace import Tracer, get_tracer
 from repro.providers.base import CloudProvider, blob_checksum
+from repro.util.deadline import Deadline, check_deadline, deadline_scope
 from repro.util.rng import SeedLike, derive_rng
 
 log = logging.getLogger(__name__)
@@ -66,6 +70,13 @@ class WireFaults:
 
     Draws are seeded, so a server's fault schedule is reproducible for a
     fixed request sequence.  Counters record what was injected.
+
+    ``key_prefix`` scopes the faults to requests whose (innermost) key
+    starts with the prefix -- the chaos drills use the fleet's
+    ``fleet/<shard>/`` namespace prefixes to stall exactly one shard's
+    traffic over a shared physical fleet.  Draws always advance regardless
+    of the key, so a fixed seed yields the same schedule whether or not a
+    prefix filters the injection.
     """
 
     stall_rate: float = 0.0
@@ -73,6 +84,7 @@ class WireFaults:
     drop_rate: float = 0.0
     corrupt_rate: float = 0.0
     seed: SeedLike = None
+    key_prefix: str = ""
 
     def __post_init__(self) -> None:
         for attr in ("stall_rate", "drop_rate", "corrupt_rate"):
@@ -85,7 +97,7 @@ class WireFaults:
         self._lock = threading.Lock()
         self.injected: dict[str, int] = {"stall": 0, "drop": 0, "corrupt": 0}
 
-    def draw(self) -> str | None:
+    def draw(self, key: str = "") -> str | None:
         """Advance the schedule one response; returns the fault to inject."""
         with self._lock:
             r_stall = float(self._rng.random())
@@ -98,6 +110,10 @@ class WireFaults:
                 fault = "corrupt"
             elif r_stall < self.stall_rate:
                 fault = "stall"
+            if fault is not None and self.key_prefix and not key.startswith(
+                self.key_prefix
+            ):
+                fault = None  # out of scope; draws advanced all the same
             if fault is not None:
                 self.injected[fault] += 1
             return fault
@@ -108,6 +124,15 @@ class ChunkServer:
 
     Usable as a context manager; ``port=0`` (the default) binds an
     ephemeral port, readable from :attr:`port` after :meth:`start`.
+
+    Admission control: instead of one unbounded thread per connection, a
+    bounded pool of ``max_workers`` threads serves connections popped from
+    a bounded accept queue of ``accept_queue`` slots.  When both are full
+    the server *sheds*: the new connection is answered with a single
+    ``RESOURCE_EXHAUSTED`` frame carrying a retry-after hint and closed,
+    rather than accepted-and-stalled -- the client learns immediately that
+    it should back off, and the server's memory/thread footprint stays
+    bounded no matter the offered load.
     """
 
     def __init__(
@@ -118,15 +143,32 @@ class ChunkServer:
         wire_faults: WireFaults | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        max_workers: int = 32,
+        accept_queue: int = 64,
+        shed_retry_after: float = 0.1,
     ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if accept_queue < 1:
+            raise ValueError(f"accept_queue must be >= 1, got {accept_queue}")
+        if shed_retry_after < 0:
+            raise ValueError(
+                f"shed_retry_after must be >= 0, got {shed_retry_after}"
+            )
         self.backend = backend
         self.wire_faults = wire_faults
         self.metrics = metrics if metrics is not None else get_metrics()
         self.tracer = tracer if tracer is not None else get_tracer()
         self.host = host
+        self.max_workers = max_workers
+        self.shed_retry_after = shed_retry_after
         self._requested_port = port
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
+        self._workers: list[threading.Thread] = []
+        self._conn_queue: queue.Queue[socket.socket | None] = queue.Queue(
+            maxsize=accept_queue
+        )
         self._connections: set[socket.socket] = set()
         # Serializes backend access: connection handlers run concurrently
         # but the wrapped backends make no thread-safety promises.
@@ -134,6 +176,7 @@ class ChunkServer:
         self._state_lock = threading.Lock()
         self._running = False
         self.requests_served = 0
+        self.requests_shed = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -162,6 +205,16 @@ class ChunkServer:
         listener.listen()
         self._listener = listener
         self._running = True
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"chunk-worker-{self.backend.name}-{i}",
+                daemon=True,
+            )
+            for i in range(self.max_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
         self._accept_thread = threading.Thread(
             target=self._accept_loop,
             name=f"chunk-server-{self.backend.name}",
@@ -202,6 +255,21 @@ class ChunkServer:
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
             self._accept_thread = None
+        # Wake every worker with a sentinel, then drain whatever the accept
+        # loop queued but no worker reached (those sockets are already
+        # severed above; close() here releases the descriptors).
+        for _ in self._workers:
+            self._conn_queue.put(None)
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        self._workers = []
+        while True:
+            try:
+                leftover = self._conn_queue.get_nowait()
+            except queue.Empty:
+                break
+            if leftover is not None:
+                leftover.close()
 
     def __enter__(self) -> "ChunkServer":
         return self.start()
@@ -223,12 +291,46 @@ class ChunkServer:
                     conn.close()
                     break
                 self._connections.add(conn)
-            threading.Thread(
-                target=self._serve_connection,
-                args=(conn,),
-                name=f"chunk-conn-{self.backend.name}",
-                daemon=True,
-            ).start()
+            try:
+                self._conn_queue.put_nowait(conn)
+            except queue.Full:
+                with self._state_lock:
+                    self._connections.discard(conn)
+                self._shed(conn)
+                continue
+            self.metrics.gauge("net_server_accept_queue_depth").set(
+                self._conn_queue.qsize()
+            )
+
+    def _worker_loop(self) -> None:
+        while True:
+            conn = self._conn_queue.get()
+            if conn is None:
+                return  # stop() sentinel
+            self.metrics.gauge("net_server_accept_queue_depth").set(
+                self._conn_queue.qsize()
+            )
+            self._serve_connection(conn)
+
+    def _shed(self, conn: socket.socket) -> None:
+        """Refuse a connection at admission: one shed frame, then close.
+
+        The client gets a definitive "overloaded, come back in ~N seconds"
+        instead of a socket that accepts requests and never answers them.
+        """
+        self.requests_shed += 1
+        self.metrics.counter("net_server_shed_total").inc()
+        hint = encode_retry_hint(
+            self.shed_retry_after,
+            f"server {self.backend.name!r} overloaded: accept queue full",
+        )
+        try:
+            conn.settimeout(1.0)
+            send_frame(conn, Status.RESOURCE_EXHAUSTED, payload=hint.encode())
+        except OSError:
+            pass
+        finally:
+            conn.close()
 
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
@@ -254,7 +356,7 @@ class ChunkServer:
                     "net_server_wire_bytes_total", direction="out"
                 ).inc(HEADER.size + len(key.encode()) + len(payload))
                 fault = (
-                    self.wire_faults.draw()
+                    self.wire_faults.draw(self._fault_key(frame))
                     if self.wire_faults is not None
                     else None
                 )
@@ -278,8 +380,24 @@ class ChunkServer:
                 self._connections.discard(conn)
             conn.close()
 
+    @staticmethod
+    def _fault_key(frame: Frame) -> str:
+        """The innermost request key, for prefix-scoped fault injection."""
+        try:
+            inner = frame
+            while inner.code in (OpCode.DEADLINE, OpCode.TRACED):
+                if inner.code == OpCode.DEADLINE:
+                    _, inner = decode_deadline_request(inner.payload)
+                else:
+                    _, inner = decode_traced_request(inner.payload)
+            return inner.key
+        except Exception:  # noqa: BLE001 - malformed envelope, no scoping
+            return frame.key
+
     def _dispatch(self, frame: Frame) -> tuple[Status, str, bytes]:
         """Run one request against the backend; never raises."""
+        if frame.code == OpCode.DEADLINE:
+            return self._dispatch_deadline(frame)
         if frame.code == OpCode.TRACED:
             return self._dispatch_traced(frame)
         op_label = (
@@ -293,9 +411,16 @@ class ChunkServer:
             # a TRACED envelope (which opened the server-side trace).
             with self.tracer.span("server.backend", op=op_label):
                 with self._backend_lock:
+                    # Re-check after any wait for the backend lock: the
+                    # budget may have drained while this request queued.
+                    check_deadline(f"server {op_label}")
                     result = self._handle(frame)
         except Exception as exc:  # noqa: BLE001 - must answer, not crash
             result = status_for_error(exc), frame.key, str(exc).encode("utf-8")
+        if result[0] == Status.DEADLINE_EXCEEDED:
+            self.metrics.counter(
+                "net_server_deadline_exceeded_total", op=op_label
+            ).inc()
         self.metrics.counter(
             "net_server_requests_total",
             op=op_label,
@@ -305,6 +430,31 @@ class ChunkServer:
             "net_server_request_seconds", op=op_label
         ).observe(time.perf_counter() - t0)
         return result
+
+    def _dispatch_deadline(self, frame: Frame) -> tuple[Status, str, bytes]:
+        """Unwrap a DEADLINE envelope and serve the inner request under it.
+
+        The wire carries only the remaining budget (milliseconds); it is
+        re-anchored against this process's monotonic clock here.  The
+        response is the inner response frame directly -- a deadline has
+        nothing to report back -- so error semantics and the TRACED
+        nesting both work unchanged underneath.
+        """
+        try:
+            budget_ms, inner = decode_deadline_request(frame.payload)
+        except Exception as exc:  # noqa: BLE001 - must answer, not crash
+            return status_for_error(exc), frame.key, str(exc).encode("utf-8")
+        if budget_ms <= 0:
+            self.metrics.counter(
+                "net_server_deadline_exceeded_total", op="DEADLINE"
+            ).inc()
+            return (
+                Status.DEADLINE_EXCEEDED,
+                inner.key,
+                b"deadline expired before the server started",
+            )
+        with deadline_scope(Deadline.after(budget_ms / 1000.0)):
+            return self._dispatch(inner)
 
     def _dispatch_traced(self, frame: Frame) -> tuple[Status, str, bytes]:
         """Unwrap a TRACED envelope: trace the inner request, ship spans back.
@@ -356,6 +506,10 @@ class ChunkServer:
             # "shard 3 failed" apart from "the whole provider is dark".
             results: list[tuple[int, bytes]] = []
             for key, data in decode_multi_put(frame.payload):
+                # A long batch must not outlive its caller: bail between
+                # items once the propagated budget is gone (items already
+                # stored stay stored -- same ambiguity as a dropped reply).
+                check_deadline("MULTI_PUT item")
                 try:
                     self.backend.put(key, data)
                     results.append(
@@ -369,6 +523,7 @@ class ChunkServer:
         if op == OpCode.MULTI_GET:
             results = []
             for key in decode_keys(frame.payload):
+                check_deadline("MULTI_GET item")
                 try:
                     results.append((int(Status.OK), self.backend.get(key)))
                 except Exception as exc:  # noqa: BLE001 - per-item verdicts

@@ -46,7 +46,12 @@ class FaultPlan:
     * ``blackout_every`` / ``blackout_ops`` -- every ``blackout_every``
       operations, the first ``blackout_ops`` of the cycle fail as if the
       provider were dark (an outage window measured in requests, keeping
-      the schedule independent of wall time).
+      the schedule independent of wall time);
+    * ``key_prefix`` -- when non-empty, faults only *fire* for keys with
+      this prefix.  The schedule still advances for every operation (the
+      draws are identical either way), so narrowing the blast radius does
+      not change which faults other keys would have seen -- essential for
+      chaos drills that target one shard's namespace on a shared backend.
     """
 
     error_rate: float = 0.0
@@ -57,6 +62,7 @@ class FaultPlan:
     latency_s: float = 0.0
     blackout_every: int = 0
     blackout_ops: int = 0
+    key_prefix: str = ""
 
     def __post_init__(self) -> None:
         for attr in (
@@ -155,6 +161,10 @@ class ChaosProvider(CloudProvider):
             r_latency = float(self._rng.random())
             if not self.enabled:
                 return None, 0.0
+            if plan.key_prefix and not key.startswith(plan.key_prefix):
+                # Out-of-scope key: the draws above already advanced the
+                # schedule; just never let the fault fire.
+                return None, 0.0
             fault: str | None = None
             if (
                 plan.blackout_every > 0
@@ -245,8 +255,9 @@ def plan_from_query(query: str) -> tuple[FaultPlan, SeedLike]:
         "latency_s": float,
         "blackout_every": int,
         "blackout_ops": int,
+        "key_prefix": str,
     }
-    kwargs: dict[str, float | int] = {}
+    kwargs: dict[str, float | int | str] = {}
     seed: SeedLike = None
     if query:
         for pair in query.split("&"):

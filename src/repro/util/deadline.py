@@ -1,0 +1,140 @@
+"""Request deadlines with ambient (thread-local) propagation.
+
+A :class:`Deadline` is an absolute point on the *monotonic* clock by which
+a request must finish.  Work started on behalf of that request checks
+:meth:`Deadline.check` before each expensive step and raises
+:class:`~repro.core.errors.DeadlineExceeded` once the budget is gone, so a
+caller that already gave up never keeps servers and providers grinding.
+
+Deadlines travel two ways:
+
+* **In process** they are ambient: :func:`deadline_scope` pushes a deadline
+  onto a thread-local stack and any code below it reads
+  :func:`current_deadline` / calls :func:`check_deadline` without plumbing
+  an argument through every signature.  Crossing into a worker thread is
+  explicit, mirroring ``Tracer.capture()/adopt()``: capture the deadline in
+  the submitting thread and re-enter a scope inside the worker.
+
+* **On the wire** only the *remaining budget* is sent (a millisecond count
+  in the DEADLINE envelope, see ``repro.net.protocol``), never the absolute
+  timestamp — monotonic clocks are per-process and wall clocks skew.  The
+  receiver re-anchors the budget against its own clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.core.errors import DeadlineExceeded
+
+__all__ = [
+    "Deadline",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+    "remaining_budget",
+]
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute monotonic-clock instant by which work must complete.
+
+    ``time_fn`` is injectable for tests; it must be the same callable used
+    to mint the deadline and to query it.
+    """
+
+    at: float
+    time_fn: Callable[[], float] = time.monotonic
+
+    @classmethod
+    def after(
+        cls, seconds: float, time_fn: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """A deadline *seconds* from now."""
+        if seconds < 0:
+            raise ValueError(f"deadline budget must be >= 0, got {seconds}")
+        return cls(at=time_fn() + seconds, time_fn=time_fn)
+
+    def remaining(self) -> float:
+        """Seconds of budget left; negative once expired."""
+        return self.at - self.time_fn()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is gone."""
+        left = self.remaining()
+        if left <= 0:
+            raise DeadlineExceeded(
+                f"deadline exceeded before {what} ({-left * 1000.0:.0f} ms past)"
+            )
+
+    def timeout(self, floor: float = 0.001, cap: Optional[float] = None) -> float:
+        """The remaining budget clamped into a usable socket timeout.
+
+        Never returns a non-positive value (a zero socket timeout means
+        non-blocking, not "already late") — callers should :meth:`check`
+        first, then use this for the actual I/O timeout.
+        """
+        left = max(self.remaining(), floor)
+        if cap is not None:
+            left = min(left, cap)
+        return left
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+class _DeadlineStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[Deadline] = []
+
+
+_AMBIENT = _DeadlineStack()
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The innermost ambient deadline for this thread, if any."""
+    stack = _AMBIENT.stack
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Make *deadline* ambient for the duration of the ``with`` block.
+
+    ``None`` is accepted and pushes nothing, so call sites can write
+    ``with deadline_scope(maybe_deadline):`` without branching.  Nested
+    scopes keep the *tighter* effective deadline: the inner one is pushed
+    as-is (it is the caller's business), but :func:`check_deadline` walks
+    only the innermost entry, which by construction is never later than an
+    outer per-request deadline in our call graphs.
+    """
+    if deadline is None:
+        yield None
+        return
+    _AMBIENT.stack.append(deadline)
+    try:
+        yield deadline
+    finally:
+        _AMBIENT.stack.pop()
+
+
+def check_deadline(what: str = "request") -> None:
+    """Check the ambient deadline (no-op when none is set)."""
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.check(what)
+
+
+def remaining_budget() -> Optional[float]:
+    """Seconds left on the ambient deadline, or ``None`` when unbounded."""
+    deadline = current_deadline()
+    return None if deadline is None else deadline.remaining()

@@ -1,0 +1,237 @@
+"""Degraded fleet mode: shard health verdicts, fail-fast writes, live reads."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.errors import AuthenticationError, ShardUnavailable
+from repro.core.privacy import PrivacyLevel
+from repro.fleet import FleetGateway
+from repro.fleet.health import ShardHealthTracker
+from repro.fleet.router import fleet_key
+from repro.health.monitor import HealthState
+from repro.obs.metrics import MetricsRegistry
+
+from tests.fleet.conftest import FLEET_SEED, add_tenants, make_base_registry
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# -- ShardHealthTracker unit behaviour -------------------------------------
+
+
+def test_tracker_validates_knobs():
+    with pytest.raises(ValueError):
+        ShardHealthTracker(ewma_alpha=0.0)
+    with pytest.raises(ValueError):
+        ShardHealthTracker(suspect_threshold=1.5)
+    with pytest.raises(ValueError):
+        ShardHealthTracker(down_after=0)
+    with pytest.raises(ValueError):
+        ShardHealthTracker(retry_interval=-1.0)
+
+
+def test_unseen_shard_is_healthy():
+    tracker = ShardHealthTracker(metrics=MetricsRegistry())
+    assert tracker.state("sX") is HealthState.HEALTHY
+    assert tracker.allow_write("sX")
+    assert tracker.states() == {}
+
+
+def test_failures_escalate_suspect_then_down():
+    metrics = MetricsRegistry()
+    tracker = ShardHealthTracker(metrics=metrics)  # alpha .3, down after 3
+    tracker.record_failure("s0")
+    assert tracker.state("s0") is HealthState.HEALTHY  # ewma 0.30 < 0.5
+    tracker.record_failure("s0")
+    assert tracker.state("s0") is HealthState.SUSPECT  # ewma 0.51
+    tracker.record_failure("s0")
+    assert tracker.state("s0") is HealthState.DOWN
+    assert metrics.value("fleet_shard_marked_down_total", shard="s0") == 1
+    tracker.record_failure("s0")  # stays down, metric fires only on the edge
+    assert metrics.value("fleet_shard_marked_down_total", shard="s0") == 1
+
+
+def test_success_recovers_and_counts_once():
+    metrics = MetricsRegistry()
+    tracker = ShardHealthTracker(metrics=metrics)
+    for _ in range(3):
+        tracker.record_failure("s1")
+    assert tracker.state("s1") is HealthState.DOWN
+    tracker.record_success("s1")  # ewma 0.657 * 0.7 = 0.46: below threshold
+    assert tracker.state("s1") is HealthState.HEALTHY
+    assert metrics.value("fleet_shard_recovered_total", shard="s1") == 1
+    tracker.record_success("s1")
+    assert metrics.value("fleet_shard_recovered_total", shard="s1") == 1
+
+
+def test_allow_write_is_half_open():
+    clock = FakeClock()
+    tracker = ShardHealthTracker(
+        metrics=MetricsRegistry(), retry_interval=5.0, time_fn=clock
+    )
+    for _ in range(3):
+        tracker.record_failure("s2")
+    assert tracker.allow_write("s2")  # the one trial write
+    assert not tracker.allow_write("s2")  # refused until the interval lapses
+    clock.advance(4.9)
+    assert not tracker.allow_write("s2")
+    clock.advance(0.2)
+    assert tracker.allow_write("s2")  # next trial window
+    assert not tracker.allow_write("s2")
+
+
+# -- FleetGateway degraded mode --------------------------------------------
+
+
+@pytest.fixture
+def fleet():
+    """(gateway, tracker, clock, metrics) with degraded-mode plumbing."""
+    metrics = MetricsRegistry()
+    clock = FakeClock()
+    tracker = ShardHealthTracker(
+        metrics=metrics, retry_interval=2.0, time_fn=clock
+    )
+    gateway = FleetGateway(
+        make_base_registry(),
+        seed=FLEET_SEED,
+        metrics=metrics,
+        shard_health=tracker,
+    )
+    for shard_id in ("s0", "s1", "s2"):
+        gateway.add_shard(shard_id)
+    add_tenants(gateway)
+    yield gateway, tracker, clock, metrics
+    gateway.close()
+
+
+def _mark_down_and_consume_trial(tracker, shard_id: str) -> None:
+    for _ in range(3):
+        tracker.record_failure(shard_id)
+    assert tracker.allow_write(shard_id)  # burn the half-open trial slot
+
+
+def test_writes_fail_fast_on_down_shard(fleet):
+    gateway, tracker, _, metrics = fleet
+    key = fleet_key("alice", "doc.bin")
+    owner = gateway.router.route(key)
+    _mark_down_and_consume_trial(tracker, owner)
+    with pytest.raises(ShardUnavailable, match="upload refused") as excinfo:
+        gateway.upload_file("alice", "pw-a", "doc.bin", b"payload" * 64, 3)
+    assert excinfo.value.retry_after == pytest.approx(2.0)
+    assert (
+        metrics.value(
+            "fleet_writes_failed_fast_total", shard=owner, op="upload"
+        )
+        == 1
+    )
+
+
+def test_update_is_gated_but_remove_is_not(fleet):
+    gateway, tracker, _, _ = fleet
+    payload = b"before update " * 32
+    gateway.upload_file("alice", "pw-a", "mut.bin", payload, 3)
+    owner = gateway.router.route(fleet_key("alice", "mut.bin"))
+    _mark_down_and_consume_trial(tracker, owner)
+    with pytest.raises(ShardUnavailable, match="update refused"):
+        gateway.update_chunk("alice", "pw-a", "mut.bin", 0, b"NEW" * 8)
+    # Removal stays allowed: tenants must be able to shed data from a
+    # degraded fleet -- and its success is recovery evidence.
+    gateway.remove_file("alice", "pw-a", "mut.bin")
+    assert tracker.state(owner) is HealthState.HEALTHY
+
+
+def test_reads_survive_a_down_owner(fleet):
+    gateway, tracker, _, _ = fleet
+    payload = b"still readable " * 64
+    gateway.upload_file("alice", "pw-a", "read.bin", payload, 3)
+    owner = gateway.router.route(fleet_key("alice", "read.bin"))
+    _mark_down_and_consume_trial(tracker, owner)
+    assert gateway.get_file("alice", "pw-a", "read.bin") == payload
+    assert gateway.shard_health_states()[owner] == "healthy"  # read recovered it
+
+
+def test_half_open_trial_write_recovers_the_shard(fleet):
+    gateway, tracker, clock, metrics = fleet
+    key = fleet_key("alice", "trial.bin")
+    owner = gateway.router.route(key)
+    _mark_down_and_consume_trial(tracker, owner)
+    with pytest.raises(ShardUnavailable):
+        gateway.upload_file("alice", "pw-a", "trial.bin", b"x" * 256, 3)
+    clock.advance(2.1)  # next half-open window: one trial write is admitted
+    receipt = gateway.upload_file("alice", "pw-a", "trial.bin", b"x" * 256, 3)
+    assert receipt.file_size == 256
+    assert tracker.state(owner) is HealthState.HEALTHY
+    assert metrics.value("fleet_shard_recovered_total", shard=owner) == 1
+
+
+def test_tenant_errors_are_not_shard_evidence(fleet):
+    gateway, tracker, _, _ = fleet
+    gateway.upload_file("alice", "pw-a", "auth.bin", b"z" * 128, 3)
+    owner = gateway.router.route(fleet_key("alice", "auth.bin"))
+    with pytest.raises(AuthenticationError):
+        gateway.get_file("alice", "WRONG", "auth.bin")
+    # A correct refusal from a healthy shard must not poison its record.
+    assert tracker.state(owner) is HealthState.HEALTHY
+
+
+def test_degraded_read_promotes_healthy_holder(fleet):
+    gateway, tracker, _, metrics = fleet
+    payload = b"dual holder bytes " * 32
+    gateway.upload_file("alice", "pw-a", "dual.bin", payload, 3)
+    key = fleet_key("alice", "dual.bin")
+    owner_id = gateway.router.route(key)
+    other_id = next(s for s in gateway.shards if s != owner_id)
+    # Fabricate the copy->verify->remove migration window: both hold it.
+    gateway.shards[other_id].import_file(key, payload, PrivacyLevel.PRIVATE)
+    tracker.record_failure(owner_id)
+    tracker.record_failure(owner_id)  # SUSPECT: reads route around it
+    assert gateway.get_file("alice", "pw-a", "dual.bin") == payload
+    assert metrics.value("fleet_degraded_reads_total", shard=owner_id) == 1
+
+
+def test_hedged_read_fires_on_slow_primary(fleet, monkeypatch):
+    gateway, _, _, metrics = fleet
+    payload = b"hedge me " * 64
+    gateway.upload_file("alice", "pw-a", "hedge.bin", payload, 3)
+    key = fleet_key("alice", "hedge.bin")
+    owner_id = gateway.router.route(key)
+    other_id = next(s for s in gateway.shards if s != owner_id)
+    gateway.shards[other_id].import_file(key, payload, PrivacyLevel.PRIVATE)
+    gateway.hedge_delay = 0.02
+    primary = gateway.shards[owner_id].distributor
+    slow_get = primary.get_file
+
+    def stalled_get(*args, **kwargs):
+        time.sleep(0.3)
+        return slow_get(*args, **kwargs)
+
+    monkeypatch.setattr(primary, "get_file", stalled_get)
+    t0 = time.perf_counter()
+    assert gateway.get_file("alice", "pw-a", "hedge.bin") == payload
+    assert time.perf_counter() - t0 < 0.25  # the hedge won, not the stall
+    assert metrics.value("fleet_hedged_reads_total", shard=other_id) == 1
+
+
+def test_status_surfaces_health(fleet):
+    gateway, tracker, _, _ = fleet
+    rows = {row["shard"]: row for row in gateway.shard_rows()}
+    assert all(row["health"] == "healthy" for row in rows.values())
+    for _ in range(3):
+        tracker.record_failure("s1")
+    rows = {row["shard"]: row for row in gateway.shard_rows()}
+    assert rows["s1"]["health"] == "down"
+    assert gateway.shard_health_states() == {
+        "s0": "healthy", "s1": "down", "s2": "healthy"
+    }

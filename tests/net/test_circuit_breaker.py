@@ -1,0 +1,125 @@
+"""RemoteProvider circuit breaker: open -> half-open -> close lifecycle."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.errors import ProviderUnavailableError
+from repro.net.remote import RemoteProvider, RetryPolicy
+from repro.net.server import ChunkServer
+from repro.obs.metrics import MetricsRegistry
+from repro.providers.memory import InMemoryProvider
+
+FAST_RETRY = RetryPolicy(attempts=2, base_delay=0.01, max_delay=0.02)
+
+
+@pytest.fixture
+def dark_port():
+    """A port with a server that has already gone away."""
+    backend = InMemoryProvider("cb")
+    server = ChunkServer(backend).start()
+    port = server.port
+    server.stop()
+    return backend, port
+
+
+def test_lifecycle_open_half_open_close(dark_port):
+    backend, port = dark_port
+    metrics = MetricsRegistry()
+    provider = RemoteProvider(
+        "cb",
+        "127.0.0.1",
+        port,
+        retry=FAST_RETRY,
+        failfast_window=0.2,
+        metrics=metrics,
+    )
+    try:
+        # CLOSED -> OPEN: the full retry budget is paid exactly once.
+        with pytest.raises(ProviderUnavailableError, match="attempt"):
+            provider.get("k")
+        assert metrics.value("net_client_circuit_open_total", provider="cb") == 1
+
+        # OPEN: instant verdicts, no dialing, no added budget spend.
+        t0 = time.perf_counter()
+        with pytest.raises(ProviderUnavailableError, match="circuit open"):
+            provider.get("k")
+        assert time.perf_counter() - t0 < 0.05
+
+        # HALF-OPEN: after the window the next call probes for real -- and
+        # with the server back, the success snaps the circuit CLOSED.
+        backend.put("k", b"v")
+        server2 = ChunkServer(backend, port=port).start()
+        try:
+            time.sleep(0.25)  # let the 0.2s window lapse
+            assert provider.get("k") == b"v"
+            assert provider._down_until == 0.0  # closed, not just probing
+            assert provider.get("k") == b"v"  # stays closed
+        finally:
+            server2.stop()
+    finally:
+        provider.close()
+
+
+def test_half_open_probe_failure_reopens(dark_port):
+    _, port = dark_port
+    metrics = MetricsRegistry()
+    provider = RemoteProvider(
+        "cb",
+        "127.0.0.1",
+        port,
+        retry=FAST_RETRY,
+        failfast_window=0.2,
+        metrics=metrics,
+    )
+    try:
+        with pytest.raises(ProviderUnavailableError, match="attempt"):
+            provider.get("k")
+        time.sleep(0.25)
+        # The half-open probe pays the retry budget again and, still
+        # failing, re-opens the circuit for another window.
+        with pytest.raises(ProviderUnavailableError, match="attempt"):
+            provider.get("k")
+        assert metrics.value("net_client_circuit_open_total", provider="cb") == 2
+        with pytest.raises(ProviderUnavailableError, match="circuit open"):
+            provider.get("k")
+    finally:
+        provider.close()
+
+
+def test_zero_window_disables_failfast(dark_port):
+    _, port = dark_port
+    provider = RemoteProvider("cb", "127.0.0.1", port, retry=FAST_RETRY)
+    try:
+        for _ in range(2):
+            # Without a window every call pays the retry loop; the breaker
+            # never interposes a "circuit open" verdict.
+            with pytest.raises(ProviderUnavailableError, match="attempt"):
+                provider.get("k")
+    finally:
+        provider.close()
+
+
+def test_reset_circuit_clears_the_verdict(dark_port):
+    backend, port = dark_port
+    provider = RemoteProvider(
+        "cb", "127.0.0.1", port, retry=FAST_RETRY, failfast_window=30.0
+    )
+    try:
+        with pytest.raises(ProviderUnavailableError, match="attempt"):
+            provider.get("k")
+        # Server comes back, but the 30s window would keep failing fast...
+        backend.put("k", b"v")
+        server2 = ChunkServer(backend, port=port).start()
+        try:
+            with pytest.raises(ProviderUnavailableError, match="circuit open"):
+                provider.get("k")
+            # ...until an operator (or a health probe) resets the breaker.
+            provider.reset_circuit()
+            assert provider.get("k") == b"v"
+        finally:
+            server2.stop()
+    finally:
+        provider.close()

@@ -1,0 +1,174 @@
+"""Gateway overload behaviour: shedding, framing limits, request timeouts."""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.core.errors import (
+    DeadlineExceeded,
+    RequestTooLargeError,
+    ResourceExhaustedError,
+)
+from repro.net.gateway import (
+    GatewayClient,
+    GatewayServer,
+    GatewayTimeoutError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.util.deadline import Deadline, deadline_scope
+
+from tests.fleet.conftest import add_tenants, make_base_registry, make_gateway
+
+
+@pytest.fixture
+def fleet_gateway():
+    gateway = make_gateway(make_base_registry())
+    gateway.metrics = MetricsRegistry()
+    add_tenants(gateway)
+    yield gateway
+    gateway.close()
+
+
+def test_server_parameters_validated(fleet_gateway):
+    with pytest.raises(ValueError):
+        GatewayServer(fleet_gateway, max_workers=0)
+    with pytest.raises(ValueError):
+        GatewayServer(fleet_gateway, accept_queue=0)
+    with pytest.raises(ValueError):
+        GatewayServer(fleet_gateway, max_line=0)
+
+
+def test_saturated_gateway_sheds_with_typed_payload(fleet_gateway):
+    server = GatewayServer(
+        fleet_gateway,
+        max_workers=1,
+        accept_queue=1,
+        shed_retry_after=0.07,
+    )
+    with server:
+        with GatewayClient("127.0.0.1", server.port) as pinned:
+            pinned.ping()  # the only worker now serves this connection
+            queued = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5
+            )
+            try:
+                # Third connection: answered with one shed payload, closed.
+                shed_client = GatewayClient("127.0.0.1", server.port)
+                with pytest.raises(ResourceExhaustedError) as excinfo:
+                    shed_client.ping()
+                assert excinfo.value.retry_after == pytest.approx(0.07)
+                shed_client.close()
+                assert server.requests_shed == 1
+                assert fleet_gateway.metrics.value("gateway_shed_total") == 1
+            finally:
+                queued.close()
+
+
+def test_oversized_request_line_refused_with_typed_error(fleet_gateway):
+    with GatewayServer(fleet_gateway, max_line=1024) as server:
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=5
+        ) as raw:
+            raw.sendall(b'{"op": "ping", "pad": "' + b"x" * 4096 + b'"}\n')
+            reader = raw.makefile("rb")
+            response = json.loads(reader.readline())
+            assert response["ok"] is False
+            assert response["error"] == "RequestTooLargeError"
+            assert reader.readline() == b""  # server hung up: stream desynced
+        # A request under the limit on a fresh connection still works.
+        with GatewayClient("127.0.0.1", server.port) as client:
+            assert client.ping() == ["s0", "s1", "s2"]
+
+
+def test_read_line_guard_is_exact():
+    from io import BytesIO
+
+    from repro.net.gateway import _read_line
+
+    exactly = json.dumps({"op": "ping"})
+    payload = (exactly + "\n").encode()
+    # A line of exactly max_line bytes is legal; one byte more is refused.
+    assert _read_line(BytesIO(payload), max_line=len(payload)) == {"op": "ping"}
+    with pytest.raises(RequestTooLargeError):
+        _read_line(BytesIO(payload), max_line=len(payload) - 1)
+
+
+class _StallThenServeStub:
+    """Accepts gateway connections; the first never answers, later ones do."""
+
+    def __init__(self) -> None:
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.port = self._listener.getsockname()[1]
+        self.connections = 0
+        self._stalled: list[socket.socket] = []
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            self.connections += 1
+            if self.connections == 1:
+                self._stalled.append(conn)  # read nothing, answer nothing
+                continue
+            with conn, conn.makefile("rb") as reader:
+                reader.readline()
+                conn.sendall(b'{"ok": true, "shards": ["stub"]}\n')
+
+    def close(self) -> None:
+        self._listener.close()
+        for conn in self._stalled:
+            conn.close()
+
+
+def test_client_times_out_then_reconnects():
+    stub = _StallThenServeStub()
+    client = GatewayClient("127.0.0.1", stub.port, request_timeout=0.1)
+    try:
+        with pytest.raises(GatewayTimeoutError):
+            client.ping()  # first connection stalls: typed timeout
+        # The desynced connection was dropped; the retry redials and the
+        # stub's second connection answers.
+        assert client.ping() == ["stub"]
+        assert stub.connections == 2
+    finally:
+        client.close()
+        stub.close()
+
+
+def test_expired_ambient_deadline_fails_before_sending(fleet_gateway):
+    with GatewayServer(fleet_gateway) as server:
+        with GatewayClient("127.0.0.1", server.port) as client:
+            with deadline_scope(Deadline(at=0.0)):
+                with pytest.raises(DeadlineExceeded):
+                    client.ping()
+        # The connection is still usable afterwards: nothing was sent.
+            assert client.ping() == ["s0", "s1", "s2"]
+
+
+def test_server_enforces_propagated_deadline(fleet_gateway):
+    with GatewayServer(fleet_gateway) as server:
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=5
+        ) as raw:
+            raw.sendall(b'{"op": "ping", "deadline_ms": 0}\n')
+            response = json.loads(raw.makefile("rb").readline())
+    assert response["ok"] is False
+    assert response["error"] == "DeadlineExceeded"
+    assert fleet_gateway.metrics.value("gateway_deadline_exceeded_total") == 1
+
+
+def test_client_propagates_remaining_budget(fleet_gateway):
+    with GatewayServer(fleet_gateway) as server:
+        with GatewayClient("127.0.0.1", server.port) as client:
+            with deadline_scope(Deadline.after(30.0)):
+                assert client.ping() == ["s0", "s1", "s2"]

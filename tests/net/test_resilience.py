@@ -1,0 +1,174 @@
+"""Retry budgets, latency tracking, and hedged calls."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.net.resilience import (
+    LatencyTracker,
+    RetryBudget,
+    current_retry_budget,
+    hedged_call,
+    retry_budget_scope,
+)
+
+# -- RetryBudget -----------------------------------------------------------
+
+
+def test_budget_spends_down_to_zero():
+    budget = RetryBudget(2)
+    assert budget.remaining == 2
+    assert budget.try_spend()
+    assert budget.try_spend()
+    assert not budget.try_spend()
+    assert budget.remaining == 0
+    assert budget.spent == 2
+
+
+def test_budget_rejects_negative():
+    with pytest.raises(ValueError):
+        RetryBudget(-1)
+
+
+def test_zero_budget_never_spends():
+    assert not RetryBudget(0).try_spend()
+
+
+def test_budget_is_thread_safe():
+    budget = RetryBudget(50)
+    grants: list[bool] = []
+    lock = threading.Lock()
+
+    def worker() -> None:
+        for _ in range(10):
+            granted = budget.try_spend()
+            with lock:
+                grants.append(granted)
+
+    threads = [threading.Thread(target=worker) for _ in range(10)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert sum(grants) == 50  # exactly the allowance, no double-spend
+
+
+def test_ambient_budget_scope():
+    assert current_retry_budget() is None
+    budget = RetryBudget(3)
+    with retry_budget_scope(budget):
+        assert current_retry_budget() is budget
+    assert current_retry_budget() is None
+    with retry_budget_scope(None):
+        assert current_retry_budget() is None
+
+
+# -- LatencyTracker --------------------------------------------------------
+
+
+def test_percentile_nearest_rank():
+    tracker = LatencyTracker(window=16)
+    for sample in [0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10]:
+        tracker.observe(sample)
+    assert tracker.percentile(50.0, default=1.0) == pytest.approx(0.05)
+    assert tracker.percentile(95.0, default=1.0) == pytest.approx(0.10)
+    assert tracker.percentile(0.0, default=1.0) == pytest.approx(0.01)
+
+
+def test_percentile_default_until_samples():
+    tracker = LatencyTracker()
+    assert tracker.percentile(95.0, default=0.25) == 0.25
+    tracker.observe(0.5)
+    assert tracker.percentile(95.0, default=0.25) == 0.5
+
+
+def test_window_evicts_oldest():
+    tracker = LatencyTracker(window=4)
+    for sample in [9.0, 9.0, 9.0, 9.0]:
+        tracker.observe(sample)
+    for sample in [0.1, 0.1, 0.1, 0.1]:
+        tracker.observe(sample)  # ring wraps: the 9s are gone
+    assert len(tracker) == 4
+    assert tracker.percentile(100.0, default=0.0) == pytest.approx(0.1)
+
+
+def test_tracker_validates():
+    with pytest.raises(ValueError):
+        LatencyTracker(window=0)
+    with pytest.raises(ValueError):
+        LatencyTracker().percentile(101.0, default=0.0)
+
+
+# -- hedged_call -----------------------------------------------------------
+
+
+def test_fast_primary_wins_without_hedge():
+    hedged = []
+    result = hedged_call(
+        lambda: "primary",
+        lambda: "hedge",
+        delay=5.0,
+        on_hedge=lambda: hedged.append(True),
+    )
+    assert result == "primary"
+    assert hedged == []
+
+
+def test_slow_primary_loses_to_hedge():
+    release = threading.Event()
+
+    def slow_primary() -> str:
+        release.wait(timeout=5.0)
+        return "primary"
+
+    hedged = []
+    result = hedged_call(
+        slow_primary,
+        lambda: "hedge",
+        delay=0.01,
+        on_hedge=lambda: hedged.append(True),
+    )
+    release.set()
+    assert result == "hedge"
+    assert hedged == [True]
+
+
+def test_failed_primary_hedges_immediately():
+    """A fast failure must not wait out the full hedge delay."""
+
+    def failing_primary() -> str:
+        raise RuntimeError("primary down")
+
+    t0 = time.perf_counter()
+    result = hedged_call(failing_primary, lambda: "hedge", delay=30.0)
+    assert result == "hedge"
+    assert time.perf_counter() - t0 < 5.0  # did not sleep the 30s delay
+
+
+def test_primary_recovers_after_failed_hedge():
+    release = threading.Event()
+
+    def slow_primary() -> str:
+        release.wait(timeout=5.0)
+        return "primary"
+
+    def failing_hedge() -> str:
+        release.set()  # hedge fails and unblocks the primary
+        raise RuntimeError("hedge down")
+
+    assert hedged_call(slow_primary, failing_hedge, delay=0.01) == "primary"
+
+
+def test_both_fail_raises_first_error():
+    def fail_a() -> str:
+        raise ValueError("first")
+
+    def fail_b() -> str:
+        raise KeyError("second")
+
+    with pytest.raises((ValueError, KeyError)) as excinfo:
+        hedged_call(fail_a, fail_b, delay=0.01)
+    assert str(excinfo.value) in ("first", "'second'")

@@ -1,0 +1,116 @@
+"""Deadline arithmetic and ambient (thread-local) propagation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.errors import DeadlineExceeded, ProviderError
+from repro.util.deadline import (
+    Deadline,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+    remaining_budget,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_after_and_remaining():
+    clock = FakeClock()
+    deadline = Deadline.after(2.0, time_fn=clock)
+    assert deadline.remaining() == pytest.approx(2.0)
+    clock.advance(1.5)
+    assert deadline.remaining() == pytest.approx(0.5)
+    assert not deadline.expired
+    clock.advance(1.0)
+    assert deadline.expired
+    assert deadline.remaining() == pytest.approx(-0.5)
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        Deadline.after(-0.1)
+
+
+def test_check_raises_typed_error():
+    clock = FakeClock()
+    deadline = Deadline.after(1.0, time_fn=clock)
+    deadline.check("step")  # plenty of budget: no raise
+    clock.advance(2.0)
+    with pytest.raises(DeadlineExceeded, match="step"):
+        deadline.check("step")
+
+
+def test_deadline_exceeded_is_a_provider_error():
+    """Expiry must flow through failover/rollback like a provider fault."""
+    assert issubclass(DeadlineExceeded, ProviderError)
+
+
+def test_timeout_is_clamped():
+    clock = FakeClock()
+    deadline = Deadline.after(5.0, time_fn=clock)
+    assert deadline.timeout() == pytest.approx(5.0)
+    assert deadline.timeout(cap=2.0) == pytest.approx(2.0)
+    clock.advance(10.0)  # expired: still a positive socket timeout
+    assert deadline.timeout() == pytest.approx(0.001)
+
+
+def test_ambient_scope_nests_and_unwinds():
+    assert current_deadline() is None
+    outer = Deadline.after(10.0)
+    inner = Deadline.after(1.0)
+    with deadline_scope(outer):
+        assert current_deadline() is outer
+        with deadline_scope(inner):
+            assert current_deadline() is inner
+        assert current_deadline() is outer
+    assert current_deadline() is None
+
+
+def test_none_scope_is_a_no_op():
+    with deadline_scope(None):
+        assert current_deadline() is None
+    check_deadline("anything")  # no ambient deadline: never raises
+    assert remaining_budget() is None
+
+
+def test_check_deadline_reads_ambient():
+    clock = FakeClock()
+    expired = Deadline(at=clock.now - 1.0, time_fn=clock)
+    with deadline_scope(expired):
+        with pytest.raises(DeadlineExceeded):
+            check_deadline("ambient step")
+        assert remaining_budget() == pytest.approx(-1.0)
+
+
+def test_ambient_is_thread_local():
+    """A scope in one thread must be invisible to another."""
+    seen: list[Deadline | None] = []
+
+    def probe() -> None:
+        seen.append(current_deadline())
+
+    with deadline_scope(Deadline.after(10.0)):
+        t = threading.Thread(target=probe)
+        t.start()
+        t.join()
+    assert seen == [None]
+
+
+def test_scope_pops_on_exception():
+    with pytest.raises(RuntimeError):
+        with deadline_scope(Deadline.after(10.0)):
+            raise RuntimeError("boom")
+    assert current_deadline() is None
