@@ -22,6 +22,7 @@ from pathlib import Path
 
 from repro.core.access_control import AccessController
 from repro.core.errors import (
+    DeadlineExceeded,
     DistributorUnavailableError,
     FleetError,
     PlacementError,
@@ -49,7 +50,10 @@ from repro.util.rng import SeedLike
 #: PlacementError counts because a shard whose own health monitor has
 #: condemned too many providers to place a write is exactly as unavailable
 #: as one whose puts fail outright.  Auth, quota and unknown-file verdicts
-#: are correct answers from a healthy shard.
+#: are correct answers from a healthy shard, and ``DeadlineExceeded`` --
+#: though a ``ProviderError`` subclass -- is carved out by
+#: ``_record_shard_outcome`` because an expired caller budget says nothing
+#: about the shard.
 SHARD_FAILURE_ERRORS = (
     ProviderError,
     ReconstructionError,
@@ -384,10 +388,18 @@ class FleetGateway:
         )
 
     def _record_shard_outcome(self, shard: FleetShard, exc: Exception | None) -> None:
-        """Fold one data-path outcome into the shard's health record."""
+        """Fold one data-path outcome into the shard's health record.
+
+        ``DeadlineExceeded`` is excluded even though it subclasses
+        ``ProviderError``: an expired caller budget is the caller's
+        verdict, not provider evidence -- a client issuing tiny deadlines
+        must not be able to mark a healthy shard DOWN for everyone.
+        """
         if exc is None:
             self.shard_health.record_success(shard.shard_id)
-        elif isinstance(exc, SHARD_FAILURE_ERRORS):
+        elif isinstance(exc, SHARD_FAILURE_ERRORS) and not isinstance(
+            exc, DeadlineExceeded
+        ):
             self.shard_health.record_failure(shard.shard_id)
 
     def shard_health_states(self) -> dict[str, str]:

@@ -221,6 +221,8 @@ class GatewayServer:
             )
             try:
                 self._serve_connection(conn)
+            except Exception:  # noqa: BLE001 -- a pooled worker must survive
+                log.exception("gateway connection handler failed")
             finally:
                 with self._state_lock:
                     self._connections.discard(conn)
@@ -267,11 +269,21 @@ class GatewayServer:
 
     def _respond(self, request: dict) -> dict:
         """Run one request under its propagated deadline; never raises."""
-        deadline = None
-        budget_ms = request.pop("deadline_ms", None)
-        if budget_ms is not None:
-            deadline = Deadline.after(max(int(budget_ms), 0) / 1000.0)
         try:
+            deadline = None
+            budget_ms = request.pop("deadline_ms", None)
+            if budget_ms is not None:
+                # Validate before converting: a malformed budget must come
+                # back as a typed error payload, not an exception that
+                # escapes into (and kills) a pooled worker thread.
+                if isinstance(budget_ms, bool) or not isinstance(
+                    budget_ms, (int, float)
+                ):
+                    raise GatewayProtocolError(
+                        f"deadline_ms must be a number, "
+                        f"got {type(budget_ms).__name__}"
+                    )
+                deadline = Deadline.after(max(int(budget_ms), 0) / 1000.0)
             if deadline is not None:
                 deadline.check("gateway request")
             with deadline_scope(deadline):
@@ -442,6 +454,12 @@ class GatewayClient:
             raise GatewayProtocolError(
                 f"gateway connection failed: {exc}"
             ) from exc
+        except (GatewayProtocolError, RequestTooLargeError):
+            # A malformed or oversized response line leaves the stream
+            # position untrustworthy; reusing it would feed the next call
+            # the tail of this one.
+            self._drop_connection()
+            raise
         if response is None:
             self._drop_connection()
             raise GatewayProtocolError("gateway closed the connection")
@@ -535,6 +553,10 @@ def _rebuild_error(response: dict) -> Exception:
     message = response.get("message", "gateway error")
     if name == "ResourceExhaustedError":
         return ResourceExhaustedError(
+            message, retry_after=response.get("retry_after")
+        )
+    if name == "ShardUnavailable":
+        return core_errors.ShardUnavailable(
             message, retry_after=response.get("retry_after")
         )
     exc_type = getattr(core_errors, name, None)

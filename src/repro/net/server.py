@@ -310,7 +310,13 @@ class ChunkServer:
             self.metrics.gauge("net_server_accept_queue_depth").set(
                 self._conn_queue.qsize()
             )
-            self._serve_connection(conn)
+            try:
+                self._serve_connection(conn)
+            except Exception:  # noqa: BLE001 -- a pooled worker must survive
+                log.exception(
+                    "chunk server %r connection handler failed",
+                    self.backend.name,
+                )
 
     def _shed(self, conn: socket.socket) -> None:
         """Refuse a connection at admission: one shed frame, then close.
@@ -373,6 +379,18 @@ class ChunkServer:
                 else:
                     send_frame(conn, status, key=key, payload=payload)
                 self.requests_served += 1
+        except ProtocolError as exc:
+            # Response-path framing failure (e.g. an aggregate MULTI_GET or
+            # traced payload over MAX_PAYLOAD).  encode_frame raises before
+            # any bytes hit the wire, so a small error frame is still in
+            # sync -- answer it, then hang up, instead of letting the
+            # exception kill a pooled worker.
+            try:
+                send_frame(
+                    conn, Status.INTERNAL, payload=str(exc).encode("utf-8")
+                )
+            except OSError:
+                pass
         except OSError:
             pass  # peer vanished / we are shutting down
         finally:

@@ -6,7 +6,11 @@ import time
 
 import pytest
 
-from repro.core.errors import AuthenticationError, ShardUnavailable
+from repro.core.errors import (
+    AuthenticationError,
+    DeadlineExceeded,
+    ShardUnavailable,
+)
 from repro.core.privacy import PrivacyLevel
 from repro.fleet import FleetGateway
 from repro.fleet.health import ShardHealthTracker
@@ -184,6 +188,26 @@ def test_tenant_errors_are_not_shard_evidence(fleet):
         gateway.get_file("alice", "WRONG", "auth.bin")
     # A correct refusal from a healthy shard must not poison its record.
     assert tracker.state(owner) is HealthState.HEALTHY
+
+
+def test_deadline_expiry_is_not_shard_evidence(fleet, monkeypatch):
+    # Regression: DeadlineExceeded subclasses ProviderError, so it used to
+    # count as shard-failure evidence -- a client issuing tiny deadline
+    # budgets could mark a healthy shard DOWN for every tenant.
+    gateway, tracker, _, _ = fleet
+    gateway.upload_file("alice", "pw-a", "dl.bin", b"z" * 128, 3)
+    owner_id = gateway.router.route(fleet_key("alice", "dl.bin"))
+    distributor = gateway.shards[owner_id].distributor
+
+    def expired(*args, **kwargs):
+        raise DeadlineExceeded("caller budget expired")
+
+    monkeypatch.setattr(distributor, "get_file", expired)
+    for _ in range(5):
+        with pytest.raises(DeadlineExceeded):
+            gateway.get_file("alice", "pw-a", "dl.bin")
+    assert tracker.state(owner_id) is HealthState.HEALTHY
+    assert tracker.allow_write(owner_id)
 
 
 def test_degraded_read_promotes_healthy_holder(fleet):

@@ -145,6 +145,31 @@ def test_retry_budget_caps_shed_retries(tiny_server):
         queued.close()
 
 
+def test_oversized_response_answers_internal_not_worker_death(monkeypatch):
+    # Regression: a response payload over MAX_PAYLOAD made send_frame raise
+    # ProtocolError past _serve_connection's OSError-only handler, killing
+    # the pooled worker -- each occurrence permanently shrank capacity.
+    backend = InMemoryProvider("big")
+    backend.put("huge", b"z" * 2048)
+    with ChunkServer(backend, max_workers=1, metrics=MetricsRegistry()) as server:
+        monkeypatch.setattr("repro.net.protocol.MAX_PAYLOAD", 1024)
+        with socket.create_connection(
+            (server.host, server.port), timeout=5
+        ) as conn:
+            conn.sendall(encode_frame(OpCode.GET, key="huge"))
+            frame = recv_frame(conn)
+            assert frame is not None
+            assert frame.code == Status.INTERNAL
+            assert recv_frame(conn) is None  # server hung up after answering
+        # The only worker survived: a fresh connection is still served.
+        with socket.create_connection(
+            (server.host, server.port), timeout=5
+        ) as conn:
+            conn.sendall(encode_frame(OpCode.PING, payload=b"x"))
+            frame = recv_frame(conn)
+            assert frame is not None and frame.code == Status.OK
+
+
 # -- DEADLINE envelope over the wire ---------------------------------------
 
 

@@ -12,11 +12,14 @@ from repro.core.errors import (
     DeadlineExceeded,
     RequestTooLargeError,
     ResourceExhaustedError,
+    ShardUnavailable,
 )
 from repro.net.gateway import (
     GatewayClient,
+    GatewayProtocolError,
     GatewayServer,
     GatewayTimeoutError,
+    _rebuild_error,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.util.deadline import Deadline, deadline_scope
@@ -165,6 +168,91 @@ def test_server_enforces_propagated_deadline(fleet_gateway):
     assert response["ok"] is False
     assert response["error"] == "DeadlineExceeded"
     assert fleet_gateway.metrics.value("gateway_deadline_exceeded_total") == 1
+
+
+def test_malformed_deadline_is_typed_error_not_worker_death(fleet_gateway):
+    # Regression: a non-numeric deadline_ms used to raise before _respond's
+    # try block, killing the pooled worker thread that served it -- enough
+    # such requests wedged the whole gateway.
+    with GatewayServer(fleet_gateway, max_workers=2) as server:
+        for bad in (b'"abc"', b"[1]", b"{}", b"true"):
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5
+            ) as raw:
+                raw.sendall(
+                    b'{"op": "ping", "deadline_ms": ' + bad + b"}\n"
+                )
+                response = json.loads(raw.makefile("rb").readline())
+                assert response["ok"] is False
+                assert response["error"] == "GatewayProtocolError"
+                assert "deadline_ms" in response["message"]
+        # More malformed requests than workers, yet the pool still serves.
+        with GatewayClient("127.0.0.1", server.port) as client:
+            assert client.ping() == ["s0", "s1", "s2"]
+
+
+def test_rebuild_error_preserves_shard_unavailable_retry_after():
+    error = _rebuild_error(
+        {
+            "ok": False,
+            "error": "ShardUnavailable",
+            "message": "shard 's1' is down; upload refused",
+            "retry_after": 0.25,
+        }
+    )
+    assert isinstance(error, ShardUnavailable)
+    assert error.retry_after == pytest.approx(0.25)
+
+
+class _GarbageThenServeStub:
+    """First connection answers non-JSON and stays open; later ones work."""
+
+    def __init__(self) -> None:
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.port = self._listener.getsockname()[1]
+        self.connections = 0
+        self._held: list[socket.socket] = []
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            self.connections += 1
+            if self.connections == 1:
+                conn.makefile("rb").readline()
+                conn.sendall(b"this is not json\n")
+                self._held.append(conn)  # stays open: reuse would desync
+                continue
+            with conn, conn.makefile("rb") as reader:
+                reader.readline()
+                conn.sendall(b'{"ok": true, "shards": ["stub"]}\n')
+
+    def close(self) -> None:
+        self._listener.close()
+        for conn in self._held:
+            conn.close()
+
+
+def test_client_drops_connection_after_garbage_response():
+    stub = _GarbageThenServeStub()
+    client = GatewayClient("127.0.0.1", stub.port, request_timeout=1.0)
+    try:
+        with pytest.raises(GatewayProtocolError):
+            client.ping()
+        # The desynced stream was discarded, so the retry redials instead
+        # of reading the tail of the bad line.
+        assert client._sock is None
+        assert client.ping() == ["stub"]
+        assert stub.connections == 2
+    finally:
+        client.close()
+        stub.close()
 
 
 def test_client_propagates_remaining_budget(fleet_gateway):
