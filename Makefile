@@ -1,6 +1,6 @@
 # Convenience targets; see README.md for details.
 
-.PHONY: install test bench bench-pipeline bench-obs examples reproduce clean
+.PHONY: install test bench bench-pipeline bench-stream bench-obs examples reproduce clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -15,6 +15,12 @@ bench:
 # if the batched path does not beat the chunk-serial path >= 3x.
 bench-pipeline:
 	PYTHONPATH=src pytest benchmarks/test_pipeline_throughput.py --benchmark-only
+
+# The streaming gate: regenerates BENCH_stream.json and fails if the
+# 2 MiB streamed round-trip drops below 0.95x pipelined throughput or the
+# multi-GB case exceeds the 64 MiB RSS ceiling.
+bench-stream:
+	PYTHONPATH=src pytest benchmarks/test_pipeline_throughput.py::test_stream_throughput --benchmark-only
 
 # The telemetry gate: regenerates BENCH_obs.json and fails if the
 # instrumented data path costs more than 5% of pipelined upload throughput.

@@ -76,6 +76,40 @@ def test_bench_misleading_remove_fast_path(benchmark):
     assert result == data
 
 
+def test_bench_frame_segments_zero_copy(benchmark):
+    # The send path's framing: scatter-gather segments instead of
+    # header + payload joined into a fresh bytes per frame.
+    from repro.net.protocol import frame_segments
+
+    segments = benchmark(frame_segments, 0x03, "chunk:0:0", PAYLOAD)
+    # The payload segment aliases the caller's buffer -- no copy.
+    assert segments[-1].obj is PAYLOAD
+
+
+def test_frame_segments_copy_drop():
+    # Not a timing bench: counts the bytes each framing path allocates.
+    # encode_frame materializes header+key+payload (O(payload) per send);
+    # frame_segments allocates only the ~20-byte header line.
+    import tracemalloc
+
+    from repro.net.protocol import encode_frame, frame_segments
+
+    tracemalloc.start()
+    before = tracemalloc.get_traced_memory()[0]
+    joined = encode_frame(0x03, "chunk:0:0", PAYLOAD)
+    joined_cost = tracemalloc.get_traced_memory()[0] - before
+
+    before = tracemalloc.get_traced_memory()[0]
+    segments = frame_segments(0x03, "chunk:0:0", PAYLOAD)
+    segment_cost = tracemalloc.get_traced_memory()[0] - before
+    tracemalloc.stop()
+
+    assert len(joined) >= len(PAYLOAD)
+    assert joined_cost >= len(PAYLOAD)  # the full-frame copy
+    assert segment_cost < 4096  # header + list + memoryview only
+    assert sum(len(s) for s in segments) == len(joined)
+
+
 def test_bench_stream_keystream(benchmark):
     from repro.crypto.stream import StreamCipher
 

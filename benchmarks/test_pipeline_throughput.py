@@ -19,8 +19,11 @@ measure fixed overheads, not the data path).
 
 from __future__ import annotations
 
+import io
 import json
 import os
+import subprocess
+import sys
 import threading
 import time
 from pathlib import Path
@@ -44,7 +47,24 @@ MIN_UPLOAD_SPEEDUP = 3.0
 # trip count), not one sample's scheduling luck.
 ROUNDS = 1 if SMOKE else 3
 
+# Streaming gate (the PR-8 tentpole).  The 2 MiB case must hold >= 95%
+# of the pipelined path's throughput -- streaming pays per-window sync
+# points and per-segment acks; the window below amortizes them.  The
+# multi-GB case must complete with a bounded RSS delta no matter the
+# file size (measured in a fresh subprocess: ru_maxrss is a high-water
+# mark and pytest's own footprint would mask it).
+# Throughput-sized window: 2 MiB at the PL-2 4 KiB chunk size, so the whole
+# benchmark file moves as one window and the measurement isolates the
+# streaming machinery's framing cost from window-barrier sync (which the
+# multi-GB case below exercises across hundreds of windows).  Matches the
+# docs guidance: throughput-sensitive callers size windows >= ~1 MiB.
+STREAM_WINDOW_CHUNKS = 512
+MIN_STREAM_RATIO = 0.95
+BIG_FILE_SIZE = 192 * 1024 * 1024 if SMOKE else 2 * 1024 * 1024 * 1024
+MAX_STREAM_RSS_MIB = 64.0
+
 OUTPUT = Path(__file__).parent.parent / "BENCH_pipeline.json"
+STREAM_OUTPUT = Path(__file__).parent.parent / "BENCH_stream.json"
 
 
 def _make_distributor(cluster: LocalCluster) -> CloudDataDistributor:
@@ -203,3 +223,133 @@ def test_pipeline_throughput(benchmark, save_result):
         )
         # Downloads must not regress.
         assert results["raid5"]["download_speedup"] >= 1.0
+
+
+# -- streaming data path (PR 8) ---------------------------------------------
+
+
+def _stream_single_file(cluster) -> dict:
+    """Best-of-ROUNDS 2 MiB round-trip via put_stream/get_stream."""
+    d = _make_distributor(cluster)
+    data = os.urandom(FILE_SIZE)
+    upload_s = download_s = float("inf")
+    try:
+        for round_no in range(ROUNDS):
+            name = f"stream{round_no}.bin"
+            started = time.perf_counter()
+            d.put_stream("c0", "pw", name, io.BytesIO(data), LEVEL,
+                         raid_level=RaidLevel.RAID5,
+                         window_chunks=STREAM_WINDOW_CHUNKS)
+            upload_s = min(upload_s, time.perf_counter() - started)
+
+            started = time.perf_counter()
+            retrieved = b"".join(
+                d.get_stream("c0", "pw", name,
+                             window_chunks=STREAM_WINDOW_CHUNKS)
+            )
+            download_s = min(download_s, time.perf_counter() - started)
+            assert retrieved == data
+            d.remove_file("c0", "pw", name)
+    finally:
+        d.close()
+    return {
+        "upload_mbps": round(_mbps(FILE_SIZE, upload_s), 2),
+        "download_mbps": round(_mbps(FILE_SIZE, download_s), 2),
+        "upload_s": round(upload_s, 4),
+        "download_s": round(download_s, 4),
+    }
+
+
+def _run_rss_driver() -> dict:
+    """Multi-GB constant-memory case, in a fresh subprocess (see driver)."""
+    driver = Path(__file__).parent / "_stream_rss_driver.py"
+    work = Path(__file__).parent / "results" / "_rss_work"
+    work.mkdir(parents=True, exist_ok=True)
+    env = dict(os.environ)
+    root = str(Path(__file__).parent.parent / "src")
+    env["PYTHONPATH"] = root + os.pathsep + env.get("PYTHONPATH", "")
+    try:
+        proc = subprocess.run(
+            [sys.executable, str(driver), str(BIG_FILE_SIZE), str(work)],
+            capture_output=True, text=True, env=env, timeout=1800,
+        )
+    finally:
+        import shutil
+        shutil.rmtree(work, ignore_errors=True)
+    assert proc.returncode == 0, f"rss driver failed:\n{proc.stderr[-4000:]}"
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_stream_throughput(benchmark, save_result):
+    def run() -> dict:
+        # Same cluster shape as the pipelined bench; the pipelined
+        # numbers are re-measured in-run so the ratio compares equal
+        # machine conditions (BENCH_pipeline.json's figures are kept in
+        # the report for cross-PR reference).
+        with LocalCluster(
+            NODES, retry=RetryPolicy(attempts=2, base_delay=0.01)
+        ) as cluster:
+            pipelined = _single_file(cluster, RaidLevel.RAID5, True)
+            streamed = _stream_single_file(cluster)
+        return {
+            "config": {
+                "nodes": NODES,
+                "file_size": FILE_SIZE,
+                "big_file_size": BIG_FILE_SIZE,
+                "privacy_level": int(LEVEL),
+                "stream_window_chunks": STREAM_WINDOW_CHUNKS,
+                "smoke": SMOKE,
+            },
+            "stream_2mib": {
+                **streamed,
+                "pipelined_upload_mbps": pipelined["upload_mbps"],
+                "pipelined_download_mbps": pipelined["download_mbps"],
+                "upload_ratio": round(
+                    streamed["upload_mbps"]
+                    / max(pipelined["upload_mbps"], 1e-9), 3),
+                "download_ratio": round(
+                    streamed["download_mbps"]
+                    / max(pipelined["download_mbps"], 1e-9), 3),
+            },
+            "multi_gb": _run_rss_driver(),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    STREAM_OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+
+    two = results["stream_2mib"]
+    big = results["multi_gb"]
+    table = render_table(
+        ["case", "up MB/s", "down MB/s", "vs pipelined", "RSS delta"],
+        [
+            [format_bytes(FILE_SIZE) + " stream",
+             f"{two['upload_mbps']:.1f}", f"{two['download_mbps']:.1f}",
+             f"{two['upload_ratio']:.2f}x/{two['download_ratio']:.2f}x", ""],
+            [format_bytes(big["file_size"]) + " stream",
+             f"{big['upload_mbps']:.1f}", f"{big['download_mbps']:.1f}",
+             "", f"{big['rss_delta_mib']:.1f} MiB"],
+        ],
+        title=(
+            f"NET: STREAMING DATA PATH ({NODES} socket providers, "
+            f"async server on the multi-GB case)"
+        ),
+    )
+    save_result("stream_throughput", table)
+
+    # The RSS ceiling is the tentpole's whole point, so it gates even in
+    # smoke mode (the smoke run only shrinks the file, and the ceiling
+    # is independent of file size).
+    assert big["sha_ok"], "streamed download does not match the upload"
+    assert big["rss_delta_mib"] <= MAX_STREAM_RSS_MIB, (
+        f"streaming RSS delta {big['rss_delta_mib']} MiB exceeds the "
+        f"{MAX_STREAM_RSS_MIB} MiB ceiling"
+    )
+    if not SMOKE:
+        assert two["upload_ratio"] >= MIN_STREAM_RATIO, (
+            f"streaming upload at {two['upload_ratio']}x of pipelined, "
+            f"below the {MIN_STREAM_RATIO}x gate"
+        )
+        assert two["download_ratio"] >= MIN_STREAM_RATIO, (
+            f"streaming download at {two['download_ratio']}x of pipelined, "
+            f"below the {MIN_STREAM_RATIO}x gate"
+        )

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import hashlib
 import json
 import os
 import sys
@@ -189,25 +190,45 @@ def _add_password(args) -> int:
     return 0
 
 
+#: How much of the file the streaming ``put`` samples for the PL advisory
+#: check.  Reading the whole file would defeat constant-memory streaming;
+#: the categorizer's signals (entropy, token patterns) stabilize well
+#: within the first 64 KiB.
+_CHECK_SAMPLE_BYTES = 64 * 1024
+
+
 def _put(args) -> int:
     distributor, meta = _open(args)
-    data = Path(args.file).read_bytes()
-    filename = args.name or Path(args.file).name
+    path = Path(args.file)
+    filename = args.name or path.name
     level = PrivacyLevel.coerce(args.level)
-    ok, suggestion = check_level(data, level)
-    if not ok:
-        print(
-            f"warning: content looks like {suggestion} but stored at PL "
-            f"{int(level)}",
-            file=sys.stderr,
-        )
-        if args.strict:
-            return 1
-    receipt = distributor.upload_file(
-        args.client, args.password, filename, data, level,
-        misleading_fraction=args.misleading,
-        pipelined=not args.no_pipeline,
-    )
+    # Streaming is the default; --no-stream (or --no-pipeline, which asks
+    # for the historical serial data path) loads the whole file in memory.
+    stream = not (args.no_stream or args.no_pipeline)
+    with path.open("rb") as fh:
+        sample = fh.read(_CHECK_SAMPLE_BYTES)
+        ok, suggestion = check_level(sample, level)
+        if not ok:
+            print(
+                f"warning: content looks like {suggestion} but stored at PL "
+                f"{int(level)}",
+                file=sys.stderr,
+            )
+            if args.strict:
+                return 1
+        if stream:
+            fh.seek(0)
+            receipt = distributor.put_stream(
+                args.client, args.password, filename, fh, level,
+                misleading_fraction=args.misleading,
+            )
+        else:
+            data = sample + fh.read()
+            receipt = distributor.upload_file(
+                args.client, args.password, filename, data, level,
+                misleading_fraction=args.misleading,
+                pipelined=not args.no_pipeline,
+            )
     _commit(distributor, meta)
     print(
         f"stored {filename!r}: {format_bytes(receipt.file_size)} in "
@@ -219,13 +240,64 @@ def _put(args) -> int:
 
 def _get(args) -> int:
     distributor, _ = _open(args)
+    stream = not (args.no_stream or args.no_pipeline)
+    to_stdout = args.output == "-"
+    # Status lines go to stderr when the payload itself rides stdout.
+    info = sys.stderr if to_stdout else sys.stdout
+
+    def read_digest() -> "tuple[hashlib._Hash, int]":
+        """Re-read the file as a stream, hashing instead of storing."""
+        digest = hashlib.sha256()
+        total = 0
+        for segment in distributor.get_stream(
+            args.client, args.password, args.filename
+        ):
+            digest.update(segment)
+            total += len(segment)
+        return digest, total
+
+    if stream:
+        digest = hashlib.sha256()
+        total = 0
+        out: Path | None = None
+        if to_stdout:
+            sink = sys.stdout.buffer
+        else:
+            out = Path(args.output) if args.output else Path(args.filename)
+            sink = out.open("wb")
+        try:
+            for segment in distributor.get_stream(
+                args.client, args.password, args.filename
+            ):
+                sink.write(segment)
+                digest.update(segment)
+                total += len(segment)
+        finally:
+            if not to_stdout:
+                sink.close()
+        print(
+            f"retrieved {format_bytes(total)} -> {out if out else 'stdout'}",
+            file=info,
+        )
+        if args.verify:
+            again, _ = read_digest()
+            if again.digest() != digest.digest():
+                print("error: re-read returned different bytes", file=sys.stderr)
+                return 2
+            print("verified: re-read matches", file=info)
+        return 0
+
     data = distributor.get_file(
         args.client, args.password, args.filename,
         pipelined=not args.no_pipeline,
     )
-    out = Path(args.output) if args.output else Path(args.filename)
-    out.write_bytes(data)
-    print(f"retrieved {format_bytes(len(data))} -> {out}")
+    if to_stdout:
+        sys.stdout.buffer.write(data)
+        print(f"retrieved {format_bytes(len(data))} -> stdout", file=info)
+    else:
+        out = Path(args.output) if args.output else Path(args.filename)
+        out.write_bytes(data)
+        print(f"retrieved {format_bytes(len(data))} -> {out}")
     if args.verify:
         # Second read: chunks come from the warm cache, and any mismatch
         # means the fleet returned unstable bytes.
@@ -236,7 +308,7 @@ def _get(args) -> int:
         if again != data:
             print("error: re-read returned different bytes", file=sys.stderr)
             return 2
-        print("verified: re-read matches")
+        print("verified: re-read matches", file=info)
     return 0
 
 
@@ -786,17 +858,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="refuse upload if content looks more sensitive than --level")
     p.add_argument("--no-pipeline", action="store_true",
                    help="use the historical chunk-serial data path")
+    p.add_argument("--no-stream", action="store_true",
+                   help="load the whole file in memory instead of streaming "
+                        "it in bounded windows")
     p.set_defaults(func=_put)
 
     p = with_state(sub.add_parser("get", help="reassemble a file"))
     p.add_argument("client")
     p.add_argument("password")
     p.add_argument("filename")
-    p.add_argument("-o", "--output")
+    p.add_argument("-o", "--output",
+                   help="output path ('-' streams to stdout)")
     p.add_argument("--no-pipeline", action="store_true",
                    help="use the historical chunk-serial data path")
+    p.add_argument("--no-stream", action="store_true",
+                   help="materialize the whole file instead of writing it "
+                        "segment by segment")
     p.add_argument("--verify", action="store_true",
-                   help="re-read (through the cache) and compare")
+                   help="re-read and compare (hashes, on the streaming path)")
     p.set_defaults(func=_get)
 
     p = with_state(sub.add_parser("rm", help="remove a file from all providers"))

@@ -62,6 +62,34 @@ def split(
     ]
 
 
+def read_into(fileobj, buffer: memoryview) -> int:
+    """Fill *buffer* from *fileobj*; returns bytes read (< len at EOF only).
+
+    The streaming upload path's window filler: prefers ``readinto`` (no
+    intermediate copy), falls back to ``read`` for file objects without
+    it, and always loops -- a short read before EOF (pipes, sockets,
+    synthetic streams) must not end the window early or chunk boundaries
+    would drift from :func:`split`'s.
+    """
+    filled = 0
+    reader = getattr(fileobj, "readinto", None)
+    while filled < len(buffer):
+        if reader is not None:
+            n = reader(buffer[filled:])
+            if n is None:
+                raise BlockingIOError(
+                    "read_into requires a blocking file object"
+                )
+        else:
+            data = fileobj.read(len(buffer) - filled)
+            n = len(data)
+            buffer[filled : filled + n] = data
+        if n == 0:
+            break
+        filled += n
+    return filled
+
+
 def join(chunks: list[Chunk]) -> bytes:
     """Reassemble a file from its chunks (inverse of :func:`split`).
 

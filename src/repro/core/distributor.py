@@ -64,6 +64,15 @@ from repro.util.rng import SeedLike, derive_rng, spawn_seeds
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.journal import IntentJournal
 
+#: Mean segment size (bytes) above which a streaming window's per-provider
+#: shard batch travels over STREAM_PUT/STREAM_GET instead of a MULTI_PUT/
+#: MULTI_GET frame.  Both move exactly one window's shards -- O(window)
+#: memory either way -- but the stream ops pay per-segment framing (and an
+#: ack per uploaded segment), which dominates shards much smaller than
+#: this, while large segments win from zero-copy framing (the MULTI ops
+#: materialize the aggregate payload on one side or the other).
+STREAM_SEGMENT_THRESHOLD = 64 * 1024
+
 
 @dataclass(frozen=True)
 class FileReceipt:
@@ -127,6 +136,11 @@ class _ChunkPlan:
     positions: tuple[int, ...]
     failed: list[int] = field(default_factory=list)
     first_error: ProviderError | None = None
+    # Shard checksums computed ahead of commit.  The streaming upload path
+    # fills this right after transfer and drops ``shards`` so a committed
+    # window's bytes do not outlive their window; ``None`` means commit
+    # derives them from ``shards`` as usual.
+    checksums: tuple[str, ...] | None = None
 
 
 @dataclass
@@ -330,6 +344,38 @@ class CloudDataDistributor:
         check_deadline(f"get_many ({len(keys)} keys) <- {name}")
         try:
             outcomes = self.registry.get(name).provider.get_many(keys)
+        except ProviderError as exc:
+            outcomes = [exc] * len(keys)
+        for outcome in outcomes:
+            ok = not isinstance(outcome, ProviderError)
+            self._record_health(name, ok=ok, exc=None if ok else outcome)
+        return outcomes
+
+    def _provider_put_stream(
+        self, name: str, items: list[tuple[str, bytes]]
+    ) -> list[ProviderError | None]:
+        """Streamed put with the same health accounting as the batch form.
+
+        One streaming window's shards for one provider; on wire-backed
+        providers each shard travels as its own frame instead of one
+        aggregate MULTI_PUT payload.
+        """
+        check_deadline(f"put_stream ({len(items)} items) -> {name}")
+        try:
+            outcomes = self.registry.get(name).provider.put_stream(items)
+        except ProviderError as exc:
+            outcomes = [exc] * len(items)
+        for exc in outcomes:
+            self._record_health(name, ok=exc is None, exc=exc)
+        return outcomes
+
+    def _provider_get_stream(
+        self, name: str, keys: list[str]
+    ) -> list["bytes | ProviderError"]:
+        """Streamed get with per-item health accounting."""
+        check_deadline(f"get_stream ({len(keys)} keys) <- {name}")
+        try:
+            outcomes = self.registry.get(name).provider.get_stream(keys)
         except ProviderError as exc:
             outcomes = [exc] * len(keys)
         for outcome in outcomes:
@@ -606,14 +652,19 @@ class CloudDataDistributor:
         )
         plan.failed = [i for i, (_, exc) in enumerate(outcomes) if exc is not None]
 
-    def _transfer_plans(self, plans: list[_ChunkPlan]) -> None:
+    def _transfer_plans(
+        self, plans: list[_ChunkPlan], *, use_stream: bool = False
+    ) -> None:
         """Upload many plans' shards, one batched request per provider.
 
         All shards bound for one provider across the whole upload window
         coalesce into a single MULTI_PUT round-trip (or a per-item loop on
         backends without a wire), and the per-provider batches fan out
         concurrently over the transport executor -- chunk-level and
-        shard-level parallelism at once, with no per-chunk barrier.
+        shard-level parallelism at once, with no per-chunk barrier.  With
+        ``use_stream`` each provider's shards travel over a STREAM_PUT
+        session (one frame per shard, no aggregate batch payload) --
+        the constant-memory upload path.
         """
         by_provider: dict[str, list[tuple[_ChunkPlan, int]]] = {}
         for plan in plans:
@@ -630,6 +681,15 @@ class CloudDataDistributor:
                 (shard_key(plan.vid, shard_index), plan.shards[shard_index])
                 for plan, shard_index in members
             ]
+            if use_stream and (
+                sum(len(data) for _, data in items)
+                >= STREAM_SEGMENT_THRESHOLD * len(items)
+            ):
+                return self._provider_put_stream(name, items)
+            # Tiny segments ride the batched frame even on the streaming
+            # path: the batch is still just one window's shards for one
+            # provider (same O(window) bound), and per-segment stream
+            # acks would dominate shard bytes this small.
             return self._provider_put_many(name, items)
 
         outcomes = self._transport_map(put_batch, groups, stop_on_error=False)
@@ -708,7 +768,11 @@ class CloudDataDistributor:
         self._chunk_state[plan.vid] = _ChunkState(
             stripe=plan.stripe,
             rotation=plan.serial % plan.stripe.width,
-            shard_checksums=tuple(blob_checksum(s) for s in plan.shards),
+            shard_checksums=(
+                plan.checksums
+                if plan.checksums is not None
+                else tuple(blob_checksum(s) for s in plan.shards)
+            ),
         )
         return chunk_index
 
@@ -1243,7 +1307,9 @@ class CloudDataDistributor:
 
         return self._audited("get_chunk", client, filename, serial, work)
 
-    def _prefetch_jobs(self, jobs: list[_FetchJob]) -> None:
+    def _prefetch_jobs(
+        self, jobs: list[_FetchJob], *, use_stream: bool = False
+    ) -> None:
         """Batch-fetch every uncached job's data shards, lock-free.
 
         All data-shard keys bound for one provider across the whole file
@@ -1251,6 +1317,8 @@ class CloudDataDistributor:
         remote providers) and the providers fan out concurrently.  Parity
         members are *not* prefetched -- they are pulled lazily only by
         degraded reads, matching ``read_stripe``'s prefer-data order.
+        With ``use_stream`` each provider answers over STREAM_GET -- one
+        frame per shard instead of one aggregate MULTI_GET payload.
         """
         by_provider: dict[str, list[tuple[_FetchJob, int]]] = {}
         for job in jobs:
@@ -1270,6 +1338,17 @@ class CloudDataDistributor:
                 shard_key(job.entry.virtual_id, shard_index)
                 for job, shard_index in members
             ]
+            if use_stream and (
+                sum(
+                    job.state.stripe.shard_size for job, _ in members
+                )
+                >= STREAM_SEGMENT_THRESHOLD * len(members)
+            ):
+                return self._provider_get_stream(name, keys)
+            # Same adaptive choice as the upload window: shards this
+            # small parse faster out of one aggregate MULTI_GET payload
+            # than as one frame each, and the batch is still one window's
+            # keys (O(window) memory either way).
             return self._provider_get_many(name, keys)
 
         outcomes = self._transport_map(get_batch, groups, stop_on_error=False)
@@ -1411,6 +1490,42 @@ class CloudDataDistributor:
 
         work = work_pipelined if use_pipeline else work_serial
         return self._audited("get_file", client, filename, None, work)
+
+    # ------------------------------------------------------------------
+    # constant-memory streaming path (see repro.core.streaming)
+    # ------------------------------------------------------------------
+
+    def put_stream(
+        self,
+        client: str,
+        password: str,
+        filename: str,
+        fileobj,
+        level: "PrivacyLevel | int",
+        **options,
+    ) -> FileReceipt:
+        """Upload from a binary file object with O(window) memory.
+
+        Thin veneer over :func:`repro.core.streaming.put_stream` (lazy
+        import keeps the module dependency one-way); see there for the
+        windowing model and keyword options.
+        """
+        from repro.core.streaming import put_stream
+
+        return put_stream(self, client, password, filename, fileobj, level,
+                          **options)
+
+    def get_stream(
+        self, client: str, password: str, filename: str, **options
+    ):
+        """Iterate *filename*'s plaintext in chunk-sized segments.
+
+        Thin veneer over :func:`repro.core.streaming.get_stream`;
+        authorization happens eagerly, shard traffic lazily per window.
+        """
+        from repro.core.streaming import get_stream
+
+        return get_stream(self, client, password, filename, **options)
 
     def chunk_count(self, client: str, filename: str) -> int:
         """How many chunks *filename* was split into (told to the client)."""

@@ -45,8 +45,11 @@ class StreamCipher:
         return bytes(stream[start : start + nbytes])
 
     def _transform(
-        self, data: bytes, nonce: int, offset: int, op: str
+        self, data: "bytes | memoryview", nonce: int, offset: int, op: str
     ) -> bytes:
+        # Accepts any C-contiguous buffer (np.frombuffer reads the buffer
+        # protocol directly), so the streaming path can pass window slices
+        # without copying them to bytes first.
         t0 = time.perf_counter()
         ks = np.frombuffer(
             self.keystream(len(data), nonce, offset=offset), dtype=np.uint8
@@ -59,10 +62,10 @@ class StreamCipher:
         metrics.counter("cipher_bytes_total", op=op).inc(len(data))
         return out
 
-    def encrypt(self, plaintext: bytes, nonce: int = 0) -> bytes:
+    def encrypt(self, plaintext: "bytes | memoryview", nonce: int = 0) -> bytes:
         return self._transform(plaintext, nonce, 0, "encrypt")
 
-    def decrypt(self, ciphertext: bytes, nonce: int = 0) -> bytes:
+    def decrypt(self, ciphertext: "bytes | memoryview", nonce: int = 0) -> bytes:
         return self._transform(ciphertext, nonce, 0, "decrypt")
 
     def decrypt_range(

@@ -1,0 +1,328 @@
+"""Asyncio client for the chunk-server wire protocol.
+
+The threaded :class:`~repro.net.remote.RemoteProvider` burns a thread per
+in-flight exchange; a front-end that fans one logical request out to
+thousands of chunk servers (the regime :class:`AsyncChunkServer` exists
+for) wants the mirror image on the client side -- many idle connections
+multiplexed on one event loop.  :class:`AsyncChunkClient` speaks the same
+frames to either server flavor.
+
+Pool-staleness semantics are deliberately *identical* to the threaded
+client: a reused pooled connection that dies mid-exchange (the classic
+server-restart pattern) is reclassified through
+:func:`repro.net.pool.classify_stale` into
+:class:`~repro.net.pool.StaleConnectionError` and redialed for free,
+without consuming retry budget.  Both transports route through the one
+shared classifier so the rule cannot drift apart again (it briefly did:
+an earlier async prototype counted parked-socket deaths as server
+failures, tripping backoff on every restart).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import zlib
+from contextlib import asynccontextmanager
+from dataclasses import dataclass
+from typing import AsyncIterator
+
+from repro.core.errors import ProviderError, ProviderUnavailableError
+from repro.net.pool import StaleConnectionError, classify_stale
+from repro.net.protocol import (
+    HEADER,
+    MAGIC,
+    MAX_PAYLOAD,
+    VERSION,
+    Frame,
+    OpCode,
+    ProtocolError,
+    Status,
+    decode_batch_results,
+    decode_keys,
+    encode_frame,
+    encode_keys,
+    encode_multi_put,
+    error_for_status,
+)
+from repro.providers.base import blob_checksum
+
+
+async def read_frame_async(reader: asyncio.StreamReader) -> Frame | None:
+    """Asyncio twin of :func:`repro.net.protocol.read_frame`.
+
+    Returns ``None`` on clean EOF between frames; raises
+    :class:`ProtocolError` on a mid-frame close or a malformed header.
+    Shared by :class:`AsyncChunkClient` and
+    :class:`~repro.net.async_server.AsyncChunkServer`.
+    """
+    try:
+        raw = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError(
+            f"connection closed mid-frame "
+            f"({len(exc.partial)}/{HEADER.size} bytes)"
+        )
+    magic, version, code, key_len, payload_len, crc = HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    if payload_len > MAX_PAYLOAD:
+        raise ProtocolError(f"payload length {payload_len} exceeds cap")
+    try:
+        body = await reader.readexactly(key_len + payload_len)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame (body)")
+    key_bytes, payload = body[:key_len], body[key_len:]
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise ProtocolError(f"payload CRC mismatch for key {key_bytes!r}")
+    return Frame(code=code, key=key_bytes.decode("utf-8"), payload=payload)
+
+
+@dataclass
+class AsyncLease:
+    """One checked-out connection plus how it was obtained.
+
+    Mirror of :class:`~repro.net.pool.Lease`: ``fresh`` is False when the
+    connection was reused from the idle stack and may have died while
+    parked.
+    """
+
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    fresh: bool
+
+
+class AsyncConnectionPool:
+    """Stack of reusable stream pairs to ``(host, port)``.
+
+    The asyncio analog of :class:`~repro.net.pool.ConnectionPool`, with
+    the same return-on-clean-exit / close-on-error discipline: a
+    connection that failed mid-exchange is never reused because its
+    stream position can no longer be trusted.  Single event loop only --
+    there is no lock because every checkout happens on the loop.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        size: int = 4,
+        connect_timeout: float = 2.0,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.host = host
+        self.port = port
+        self.size = size
+        self.connect_timeout = connect_timeout
+        self._idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self._closed = False
+
+    async def _connect(
+        self,
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port),
+            timeout=self.connect_timeout,
+        )
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return reader, writer
+
+    @asynccontextmanager
+    async def lease(self) -> AsyncIterator[AsyncLease]:
+        """Borrow a connection for one exchange; see :class:`AsyncLease`."""
+        if self._closed:
+            raise RuntimeError("connection pool is closed")
+        pair = self._idle.pop() if self._idle else None
+        fresh = pair is None
+        if pair is None:
+            pair = await self._connect()
+        reader, writer = pair
+        try:
+            yield AsyncLease(reader=reader, writer=writer, fresh=fresh)
+        except BaseException:
+            writer.close()
+            raise
+        if not self._closed and len(self._idle) < self.size:
+            self._idle.append(pair)
+        else:
+            writer.close()
+
+    def discard_idle(self) -> None:
+        """Drop every idle connection (e.g. after the server restarted)."""
+        idle, self._idle = self._idle, []
+        for _, writer in idle:
+            writer.close()
+
+    def close(self) -> None:
+        self._closed = True
+        self.discard_idle()
+
+    @property
+    def idle_count(self) -> int:
+        return len(self._idle)
+
+
+class AsyncChunkClient:
+    """Event-loop client speaking the chunk-server frame protocol.
+
+    Covers the data-plane subset (`ping`/`put`/`get`/`delete`/`keys` and
+    the MULTI batch forms); error statuses translate into the same
+    :mod:`repro.core.errors` hierarchy the threaded client raises.  Retry
+    shape matches :meth:`RemoteProvider._with_retries` where it matters:
+    stale reused connections redial for free (``pool.size + 1`` budget),
+    real transport failures burn bounded backoff attempts.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        *,
+        pool_size: int = 4,
+        attempts: int = 3,
+        backoff: float = 0.05,
+        op_timeout: float = 5.0,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        self.name = name
+        self.host = host
+        self.port = port
+        self.attempts = attempts
+        self.backoff = backoff
+        self.op_timeout = op_timeout
+        self.pool = AsyncConnectionPool(host, port, size=pool_size)
+
+    async def _exchange(
+        self, op: OpCode, key: str = "", payload: bytes = b""
+    ) -> Frame:
+        async with self.pool.lease() as leased:
+            try:
+                leased.writer.write(encode_frame(op, key=key, payload=payload))
+                await asyncio.wait_for(
+                    leased.writer.drain(), timeout=self.op_timeout
+                )
+                frame = await asyncio.wait_for(
+                    read_frame_async(leased.reader), timeout=self.op_timeout
+                )
+                if frame is None:
+                    raise ProtocolError(
+                        "server closed connection before responding"
+                    )
+                return frame
+            except (OSError, ProtocolError) as exc:
+                # TimeoutError is an OSError subclass on 3.11, so wait_for
+                # expiry lands here too.  Shared stale-vs-real rule: see
+                # repro.net.pool.classify_stale.
+                raise classify_stale(exc, leased.fresh) from exc
+
+    async def _with_retries(self, make_exchange):
+        """Run *make_exchange()* (a fresh coroutine per call) with retries.
+
+        A :class:`StaleConnectionError` discards the idle stack and
+        redials immediately without consuming an attempt -- the same free
+        redial the threaded client grants, via the same classifier.
+        """
+        last_exc: Exception | None = None
+        stale_budget = self.pool.size + 1
+        attempt = 0
+        while True:
+            try:
+                return await make_exchange()
+            except StaleConnectionError as exc:
+                self.pool.discard_idle()
+                if stale_budget > 0:
+                    stale_budget -= 1
+                    continue  # immediate redial; no attempt consumed
+                last_exc = exc
+                attempt += 1
+            except (OSError, ProtocolError) as exc:
+                last_exc = exc
+                attempt += 1
+            if attempt >= self.attempts:
+                break
+            await asyncio.sleep(self.backoff * (2 ** (attempt - 1)))
+            self.pool.discard_idle()
+        raise ProviderUnavailableError(
+            f"provider {self.name!r} at {self.host}:{self.port} unreachable "
+            f"after {self.attempts} attempt(s): {last_exc}"
+        ) from last_exc
+
+    async def _request(
+        self, op: OpCode, key: str = "", payload: bytes = b""
+    ) -> Frame:
+        frame = await self._with_retries(
+            lambda: self._exchange(op, key=key, payload=payload)
+        )
+        if frame.code != Status.OK:
+            raise error_for_status(
+                frame.code, frame.payload.decode("utf-8", "replace")
+            )
+        return frame
+
+    # -- operations ----------------------------------------------------------
+
+    async def ping(self) -> bool:
+        frame = await self._request(OpCode.PING, payload=b"ping")
+        return frame.payload == b"ping"  # server echoes the payload
+
+    async def put(self, key: str, data: bytes) -> None:
+        frame = await self._request(OpCode.PUT, key=key, payload=data)
+        echoed = frame.payload.decode("utf-8", "replace")
+        if echoed != blob_checksum(data):
+            raise ProtocolError(
+                f"checksum echo mismatch from provider {self.name!r} "
+                f"for key {key!r}"
+            )
+
+    async def get(self, key: str) -> bytes:
+        frame = await self._request(OpCode.GET, key=key)
+        return frame.payload
+
+    async def delete(self, key: str) -> None:
+        await self._request(OpCode.DELETE, key=key)
+
+    async def keys(self) -> list[str]:
+        frame = await self._request(OpCode.KEYS)
+        return decode_keys(frame.payload)
+
+    async def put_many(
+        self, items: list[tuple[str, bytes]]
+    ) -> list[ProviderError | None]:
+        if not items:
+            return []
+        frame = await self._request(
+            OpCode.MULTI_PUT, payload=encode_multi_put(items)
+        )
+        results = decode_batch_results(frame.payload)
+        return [
+            None
+            if status == Status.OK
+            else error_for_status(status, body.decode("utf-8", "replace"))
+            for status, body in results
+        ]
+
+    async def get_many(self, keys: list[str]) -> list["bytes | ProviderError"]:
+        if not keys:
+            return []
+        frame = await self._request(
+            OpCode.MULTI_GET, payload=encode_keys(keys)
+        )
+        results = decode_batch_results(frame.payload)
+        return [
+            body
+            if status == Status.OK
+            else error_for_status(status, body.decode("utf-8", "replace"))
+            for status, body in results
+        ]
+
+    def close(self) -> None:
+        self.pool.close()

@@ -1,0 +1,307 @@
+"""Asyncio chunk server: thousands of connections, one event loop.
+
+The threaded :class:`~repro.net.server.ChunkServer` spends a worker thread
+per *active* connection and sheds when its pool saturates -- fine for a
+handful of distributors, but a fleet front-end in the paper's
+"millions of users" regime is mostly *idle* connections, and parking a
+thread (or an accept-queue slot) per idle socket caps connection count at
+the thread budget.  :class:`AsyncChunkServer` multiplexes every connection
+on one asyncio event loop, so an idle connection costs a few kilobytes of
+reader/writer state instead of a stack; only requests actually *running*
+against the backend occupy threads, via a bounded executor.
+
+Wire behavior is byte-identical to the threaded server: both delegate to
+the shared :class:`~repro.net.server.RequestEngine`, so envelopes
+(TRACED/DEADLINE), the BAD_REQUEST downgrade handshake, stream sessions
+and their mid-stream rollback all work the same over either front-end.
+The loop runs in a background thread, so the blocking start()/stop()
+lifecycle (and :class:`~repro.net.cluster.LocalCluster`) is unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.net.async_client import read_frame_async
+from repro.net.protocol import (
+    HEADER,
+    Frame,
+    ProtocolError,
+    Status,
+    encode_frame,
+    encode_retry_hint,
+)
+from repro.net.server import RequestEngine
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.providers.base import CloudProvider
+
+log = logging.getLogger(__name__)
+
+
+class AsyncChunkServer(RequestEngine):
+    """Event-loop TCP front-end for one provider backend.
+
+    Drop-in for :class:`~repro.net.server.ChunkServer` wherever only the
+    ``start``/``stop``/``port`` lifecycle is used (``LocalCluster`` takes
+    either via ``server_cls``).  ``backend_workers`` bounds how many
+    requests may run against the backend concurrently -- the analog of
+    the threaded server's ``max_workers``, but decoupled from connection
+    count.  ``max_connections`` is the admission limit: connections over
+    it are answered with one RESOURCE_EXHAUSTED frame and closed, the
+    same shed contract the threaded server speaks.
+    """
+
+    def __init__(
+        self,
+        backend: CloudProvider,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        backend_workers: int = 4,
+        max_connections: int = 4096,
+        shed_retry_after: float = 0.1,
+    ) -> None:
+        if backend_workers < 1:
+            raise ValueError(
+                f"backend_workers must be >= 1, got {backend_workers}"
+            )
+        if max_connections < 1:
+            raise ValueError(
+                f"max_connections must be >= 1, got {max_connections}"
+            )
+        self._init_engine(backend, metrics, tracer)
+        self.host = host
+        self.backend_workers = backend_workers
+        self.max_connections = max_connections
+        self.shed_retry_after = shed_retry_after
+        self._requested_port = port
+        self._bound_port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._started = threading.Event()
+        self._start_error: BaseException | None = None
+        self._running = False
+        self.requests_served = 0
+        self.requests_shed = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._bound_port is not None:
+            return self._bound_port
+        return self._requested_port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> "AsyncChunkServer":
+        """Bind the port and begin serving on a background event loop."""
+        if self._running:
+            raise RuntimeError(
+                f"async chunk server {self.backend.name!r} already running"
+            )
+        self._started.clear()
+        self._start_error = None
+        self._running = True
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.backend_workers,
+            thread_name_prefix=f"async-chunk-{self.backend.name}",
+        )
+        self._thread = threading.Thread(
+            target=self._run_loop,
+            name=f"async-chunk-server-{self.backend.name}",
+            daemon=True,
+        )
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._start_error is not None:
+            self._running = False
+            self._thread.join(timeout=5.0)
+            self._thread = None
+            self._executor.shutdown(wait=False)
+            self._executor = None
+            raise self._start_error
+        return self
+
+    def stop(self) -> None:
+        """Stop serving, sever live connections, release the port."""
+        if not self._running:
+            return
+        self._running = False
+        loop = self._loop
+        if loop is not None:
+            try:
+                loop.call_soon_threadsafe(self._signal_stop)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+        self._bound_port = None
+
+    def _signal_stop(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def __enter__(self) -> "AsyncChunkServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- event loop --------------------------------------------------------
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        except BaseException as exc:  # noqa: BLE001 - record, don't kill pytest
+            if self._start_error is None:
+                self._start_error = exc
+            self._started.set()
+            log.exception(
+                "async chunk server %r event loop died", self.backend.name
+            )
+        finally:
+            self._loop = None
+            loop.close()
+
+    async def _main(self) -> None:
+        self._stop_event = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._serve_connection,
+                host=self.host,
+                port=self._requested_port,
+                reuse_address=True,
+            )
+        except OSError as exc:
+            self._start_error = exc
+            self._started.set()
+            return
+        self._bound_port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        async with server:
+            await self._stop_event.wait()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    # -- serving -----------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        if len(self._conn_tasks) > self.max_connections:
+            await self._shed(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            return
+        session = self._new_session()
+        loop = asyncio.get_running_loop()
+        try:
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            while self._running:
+                try:
+                    frame = await self._read_frame(reader)
+                except ProtocolError as exc:
+                    writer.write(
+                        encode_frame(
+                            Status.BAD_REQUEST, payload=str(exc).encode()
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if frame is None:
+                    return  # clean EOF
+                self.metrics.counter(
+                    "net_server_wire_bytes_total", direction="in"
+                ).inc(HEADER.size + len(frame.key.encode()) + len(frame.payload))
+                # Backend work runs on the bounded executor so a slow
+                # request never stalls the loop (or the other thousands of
+                # connections it is multiplexing).
+                responses = await loop.run_in_executor(
+                    self._executor, self._dispatch_multi, frame, session
+                )
+                out = 0
+                try:
+                    for status, key, payload in responses:
+                        writer.write(encode_frame(status, key=key, payload=payload))
+                        out += HEADER.size + len(key.encode()) + len(payload)
+                except ProtocolError as exc:
+                    # Response-path framing failure (payload over cap):
+                    # nothing hit the wire for this frame, so a small error
+                    # frame is still in sync.
+                    writer.write(
+                        encode_frame(Status.INTERNAL, payload=str(exc).encode())
+                    )
+                await writer.drain()
+                self.metrics.counter(
+                    "net_server_wire_bytes_total", direction="out"
+                ).inc(out)
+                self.requests_served += 1
+        except (OSError, asyncio.CancelledError, ConnectionError):
+            pass  # peer vanished / we are shutting down
+        except Exception:  # noqa: BLE001 - one connection must not kill the loop
+            log.exception(
+                "async chunk server %r connection handler failed",
+                self.backend.name,
+            )
+        finally:
+            # Rollback takes the backend lock; it is bounded by one staged
+            # window's deletes, short enough to run on the loop directly.
+            self._rollback_stream(session)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+    async def _shed(self, writer: asyncio.StreamWriter) -> None:
+        self.requests_shed += 1
+        self.metrics.counter("net_server_shed_total").inc()
+        hint = encode_retry_hint(
+            self.shed_retry_after,
+            f"server {self.backend.name!r} overloaded: connection limit",
+        )
+        try:
+            writer.write(
+                encode_frame(Status.RESOURCE_EXHAUSTED, payload=hint.encode())
+            )
+            await writer.drain()
+        except (OSError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+
+    async def _read_frame(self, reader: asyncio.StreamReader) -> Frame | None:
+        """Async twin of :func:`repro.net.protocol.read_frame`."""
+        return await read_frame_async(reader)

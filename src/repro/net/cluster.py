@@ -23,7 +23,10 @@ class LocalCluster:
 
     ``backends`` defaults to in-memory stores named ``node0..node{n-1}``;
     pass explicit :class:`CloudProvider` instances (e.g. ``DiskProvider``)
-    to persist across restarts.  Usable as a context manager.
+    to persist across restarts.  ``server_cls`` picks the front-end --
+    the threaded :class:`ChunkServer` (default) or the event-loop
+    :class:`~repro.net.async_server.AsyncChunkServer`; both speak the
+    same wire.  Usable as a context manager.
     """
 
     def __init__(
@@ -36,6 +39,7 @@ class LocalCluster:
         op_timeout: float = 10.0,
         pool_size: int = 4,
         failfast_window: float = 0.0,
+        server_cls: type = ChunkServer,
     ) -> None:
         if backends is not None:
             if not backends:
@@ -50,7 +54,8 @@ class LocalCluster:
         self.op_timeout = op_timeout
         self.pool_size = pool_size
         self.failfast_window = failfast_window
-        self.servers: list[ChunkServer] = []
+        self.server_cls = server_cls
+        self.servers: list = []
         self.providers: list[RemoteProvider] = []
         self._ports: list[int] = []
 
@@ -62,7 +67,7 @@ class LocalCluster:
             raise RuntimeError("cluster already started")
         try:
             for backend in self.backends:
-                server = ChunkServer(backend, host=self.host).start()
+                server = self.server_cls(backend, host=self.host).start()
                 self.servers.append(server)
                 self._ports.append(server.port)
                 self.providers.append(
@@ -110,7 +115,9 @@ class LocalCluster:
         server = self.servers[index]
         if server.running:
             raise RuntimeError(f"server {index} is still running")
-        revived = ChunkServer(
+        # Revive with the dead server's own class, so mixed fleets
+        # (threaded + async front-ends) restart into the same shape.
+        revived = type(server)(
             server.backend, host=self.host, port=self._ports[index]
         ).start()
         self.servers[index] = revived

@@ -86,6 +86,26 @@ class OpCode(IntEnum):
     # deadline has nothing to report back).  Old servers answer BAD_REQUEST
     # ("unknown op code"), the same downgrade signal TRACED uses.
     DEADLINE = 0x0A
+    # Streaming forms: where MULTI_PUT materializes a whole window into one
+    # frame on both sides, a stream session carries each shard as its own
+    # small frame with a per-segment ack, so neither side ever holds more
+    # than a bounded window of bytes.  A session is STREAM_PUT (open),
+    # STREAM_SEG per object (acked with a checksum echo), STREAM_END
+    # (commit).  Segments staged by a session that dies before STREAM_END
+    # are rolled back by the server, which is what makes a mid-stream
+    # client crash leave no partial window behind.  Old servers answer
+    # each frame BAD_REQUEST ("unknown op code") with the connection in
+    # sync -- the same downgrade signal the envelopes use -- and the
+    # client falls back to MULTI_PUT.  Stream ops are always sent bare:
+    # they never ride inside a DEADLINE/TRACED envelope.
+    STREAM_PUT = 0x0B
+    STREAM_SEG = 0x0C
+    STREAM_END = 0x0D
+    # STREAM_GET asks for many keys (the KEYS encoding) and is answered by
+    # a count header frame followed by one frame per key (status + bytes),
+    # so the server streams objects out one at a time instead of joining
+    # them into one aggregate MULTI_GET payload.
+    STREAM_GET = 0x0E
 
 
 class Status(IntEnum):
@@ -132,10 +152,104 @@ def encode_frame(code: int, key: str = "", payload: bytes = b"") -> bytes:
     return header + key_bytes + payload
 
 
+def frame_segments(code: int, key: str = "",
+                   payload: bytes | bytearray | memoryview = b"",
+                   ) -> list[bytes | memoryview]:
+    """Frame as scatter-gather segments without copying the payload.
+
+    Returns ``[header + key, payload-view]`` (the payload segment is
+    omitted when empty).  Where :func:`encode_frame` materializes
+    header + key + payload into one fresh ``bytes`` -- an O(payload)
+    copy on every send -- this only allocates the small header and
+    wraps the caller's payload in a :class:`memoryview`, so the send
+    path is O(1) in payload size.  Pair with :func:`sendmsg_all`.
+    """
+    key_bytes = key.encode("utf-8")
+    if len(key_bytes) > 0xFFFF:
+        raise ProtocolError(f"key too long: {len(key_bytes)} bytes")
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(f"payload too large: {len(payload)} bytes")
+    header = HEADER.pack(
+        MAGIC, VERSION, code, len(key_bytes), len(payload),
+        zlib.crc32(payload) & 0xFFFFFFFF,
+    )
+    segments: list[bytes | memoryview] = [header + key_bytes]
+    if len(payload):
+        segments.append(
+            payload if isinstance(payload, memoryview) else memoryview(payload)
+        )
+    return segments
+
+
+def frame_segments_multi(code: int, key: str,
+                         parts: list[bytes | bytearray | memoryview],
+                         ) -> list[bytes | memoryview]:
+    """Frame whose payload is the concatenation of *parts*, zero-copy.
+
+    The CRC is accumulated incrementally across the parts so the payload
+    is never joined into one buffer; this is what lets MULTI_PUT ship a
+    whole window of shards without materializing the aggregate.
+    """
+    key_bytes = key.encode("utf-8")
+    if len(key_bytes) > 0xFFFF:
+        raise ProtocolError(f"key too long: {len(key_bytes)} bytes")
+    crc = 0
+    total = 0
+    for part in parts:
+        crc = zlib.crc32(part, crc)
+        total += len(part)
+    if total > MAX_PAYLOAD:
+        raise ProtocolError(f"payload too large: {total} bytes")
+    header = HEADER.pack(MAGIC, VERSION, code, len(key_bytes), total,
+                         crc & 0xFFFFFFFF)
+    segments: list[bytes | memoryview] = [header + key_bytes]
+    segments.extend(
+        p if isinstance(p, memoryview) else memoryview(p)
+        for p in parts if len(p)
+    )
+    return segments
+
+
+#: Max buffers per sendmsg() call; kernels cap the iovec count (IOV_MAX,
+#: typically 1024), so longer segment lists are sent in groups.
+_IOV_GROUP = 512
+
+_HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
+
+
+def sendmsg_all(sock: socket.socket,
+                buffers: list[bytes | bytearray | memoryview]) -> None:
+    """Scatter-gather send of *buffers*, handling partial sends.
+
+    ``sendmsg`` may stop short of the full iovec when the socket buffer
+    fills; this loop re-enters with memoryview offsets instead of slicing
+    fresh ``bytes``, so no byte is ever copied in user space.
+    """
+    if not _HAS_SENDMSG:  # platforms without sendmsg (e.g. Windows)
+        sock.sendall(b"".join(buffers))
+        return
+    views = [memoryview(b) for b in buffers if len(b)]
+    idx = 0
+    offset = 0
+    while idx < len(views):
+        window = [views[idx][offset:] if offset else views[idx]]
+        window.extend(views[idx + 1 : idx + _IOV_GROUP])
+        sent = sock.sendmsg(window)
+        while sent:
+            available = len(views[idx]) - offset
+            if sent >= available:
+                sent -= available
+                idx += 1
+                offset = 0
+            else:
+                offset += sent
+                sent = 0
+
+
 def send_frame(sock: socket.socket, code: int, key: str = "",
-               payload: bytes = b"") -> None:
+               payload: bytes | bytearray | memoryview = b"") -> None:
     """Write one frame to *sock* (blocking, honours the socket timeout)."""
-    sock.sendall(encode_frame(code, key, payload))
+    sendmsg_all(sock, frame_segments(code, key, payload))
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
@@ -175,6 +289,38 @@ def recv_frame(sock: socket.socket) -> Frame | None:
     if body is None and key_len + payload_len > 0:
         raise ProtocolError("connection closed mid-frame (body)")
     body = body or b""
+    key_bytes, payload = body[:key_len], body[key_len:]
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise ProtocolError(f"payload CRC mismatch for key {key_bytes!r}")
+    return Frame(code=code, key=key_bytes.decode("utf-8"), payload=payload)
+
+
+def read_frame(stream) -> Frame | None:
+    """:func:`recv_frame` over a buffered binary reader.
+
+    Accepts anything with a ``read(n)`` method that blocks until *n*
+    bytes or EOF (e.g. ``sock.makefile("rb")``); the buffering cuts the
+    two-syscalls-per-frame cost of :func:`recv_frame`, which matters on
+    the streaming path where every shard is its own small frame.
+    Returns ``None`` on clean EOF between frames.
+    """
+    raw = stream.read(HEADER.size)
+    if not raw:
+        return None
+    if len(raw) < HEADER.size:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(raw)}/{HEADER.size} bytes)"
+        )
+    magic, version, code, key_len, payload_len, crc = HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    if payload_len > MAX_PAYLOAD:
+        raise ProtocolError(f"payload length {payload_len} exceeds cap")
+    body = stream.read(key_len + payload_len)
+    if len(body) < key_len + payload_len:
+        raise ProtocolError("connection closed mid-frame (body)")
     key_bytes, payload = body[:key_len], body[key_len:]
     if zlib.crc32(payload) & 0xFFFFFFFF != crc:
         raise ProtocolError(f"payload CRC mismatch for key {key_bytes!r}")
@@ -401,6 +547,31 @@ def encode_multi_put(items: list[tuple[str, bytes]]) -> bytes:
     return b"".join(parts)
 
 
+def encode_multi_put_parts(
+    items: list[tuple[str, bytes]],
+) -> list[bytes | memoryview]:
+    """MULTI_PUT request payload as zero-copy parts.
+
+    Byte-identical to :func:`encode_multi_put` once concatenated, but the
+    item data buffers are wrapped in memoryviews instead of joined, so a
+    32 MiB batch window costs small per-item headers rather than a fresh
+    32 MiB aggregate.  Feed the result to :func:`frame_segments_multi`.
+    """
+    parts: list[bytes | memoryview] = [_BATCH_COUNT.pack(len(items))]
+    for key, data in items:
+        raw = key.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise ProtocolError(f"key too long: {len(raw)} bytes")
+        parts.append(
+            _ITEM_KEY_LEN.pack(len(raw)) + raw + _ITEM_BODY_LEN.pack(len(data))
+        )
+        if len(data):
+            parts.append(
+                data if isinstance(data, memoryview) else memoryview(data)
+            )
+    return parts
+
+
 def decode_multi_put(payload: bytes) -> list[tuple[str, bytes]]:
     if len(payload) < _BATCH_COUNT.size:
         raise ProtocolError("MULTI_PUT payload truncated")
@@ -461,6 +632,43 @@ def decode_batch_results(payload: bytes) -> list[tuple[int, bytes]]:
             f"batch response payload has {len(payload) - offset} trailing bytes"
         )
     return results
+
+
+# ---------------------------------------------------------------------------
+# stream payload encodings (STREAM_PUT / STREAM_GET sessions)
+# ---------------------------------------------------------------------------
+#
+# STREAM_PUT request:   empty (opens a session on this connection).
+# STREAM_SEG request:   key = object key, payload = object bytes; the OK
+#                       response echoes the server-side SHA-256.
+# STREAM_END request:   empty; the OK response payload is the committed
+#                       segment count (u32).
+# STREAM_GET request:   the KEYS encoding.  The response is one OK header
+#                       frame whose payload is the key count (u32),
+#                       followed by exactly that many frames, each
+#                       carrying one key's status + bytes (or a UTF-8
+#                       error message for non-OK statuses).
+
+_STREAM_COUNT = struct.Struct("!I")
+
+#: Op codes that form (or answer) a stream session.  Stream ops are sent
+#: bare on the connection; servers reject them inside TRACED/DEADLINE
+#: envelopes because a multi-frame response cannot nest in one envelope.
+STREAM_OPS = frozenset(
+    {OpCode.STREAM_PUT, OpCode.STREAM_SEG, OpCode.STREAM_END, OpCode.STREAM_GET}
+)
+
+
+def encode_stream_count(count: int) -> bytes:
+    """STREAM_END ack / STREAM_GET header payload: segment count (u32)."""
+    return _STREAM_COUNT.pack(count)
+
+
+def decode_stream_count(payload: bytes) -> int:
+    if len(payload) != _STREAM_COUNT.size:
+        raise ProtocolError("stream count payload truncated")
+    (count,) = _STREAM_COUNT.unpack(payload)
+    return count
 
 
 # ---------------------------------------------------------------------------

@@ -29,7 +29,7 @@ from repro.core.errors import (
     ProviderUnavailableError,
     ResourceExhaustedError,
 )
-from repro.net.pool import ConnectionPool, StaleConnectionError
+from repro.net.pool import ConnectionPool, StaleConnectionError, classify_stale
 from repro.net.protocol import (
     HEADER,
     MAX_BUDGET_MS,
@@ -40,14 +40,19 @@ from repro.net.protocol import (
     decode_batch_results,
     decode_keys,
     decode_stat,
+    decode_stream_count,
     decode_traced_response,
     encode_deadline_request,
     encode_frame,
     encode_keys,
-    encode_multi_put,
+    encode_multi_put_parts,
     encode_traced_request,
     error_for_status,
+    frame_segments,
+    frame_segments_multi,
+    read_frame,
     recv_frame,
+    sendmsg_all,
 )
 from repro.net.resilience import current_retry_budget
 from repro.util.deadline import Deadline, current_deadline
@@ -65,6 +70,19 @@ BATCH_BYTES = 32 * 1024 * 1024
 
 #: Cap on items per batch frame, bounding server-side decode allocations.
 BATCH_ITEMS = 1024
+
+#: Max unacknowledged STREAM_SEG frames in flight during a stream session.
+#: Acks are tiny (~100 bytes), so this bounds the server's ack backlog to a
+#: few kilobytes -- far below any socket buffer -- while still letting the
+#: sender run a full window ahead of the receiver.
+STREAM_ACK_WINDOW = 64
+
+#: STREAM_SEG frames coalesced into one sendmsg() call.  Segments are tiny
+#: (a shard of one PL-sized chunk), so a syscall per frame would dominate
+#: the wire phase; batching keeps the send path at ~one syscall per ack
+#: window.  Must not exceed STREAM_ACK_WINDOW or the ack drain between
+#: batches could not keep the in-flight count bounded.
+STREAM_SEND_BATCH = STREAM_ACK_WINDOW
 
 
 @dataclass(frozen=True)
@@ -132,6 +150,10 @@ class RemoteProvider(CloudProvider):
         # Same tri-state for the DEADLINE envelope (an older server bounces
         # it with BAD_REQUEST "unknown op code"; we then stop sending it).
         self._server_deadline: bool | None = None
+        # And for the STREAM_* ops: an older server bounces every stream
+        # frame the same way, and the client falls back to MULTI_PUT /
+        # MULTI_GET batches for this provider's lifetime.
+        self._server_stream: bool | None = None
         self.pool = ConnectionPool(
             host, port, size=pool_size, connect_timeout=connect_timeout,
             metrics=self.metrics, events=self.events,
@@ -170,13 +192,11 @@ class RemoteProvider(CloudProvider):
         failure says nothing about its current health, so it is re-raised
         as :class:`StaleConnectionError` -- redialed for free by
         ``_with_retries`` instead of burning retry budget or feeding
-        false negatives to circuit breakers and health monitors.
+        false negatives to circuit breakers and health monitors.  The
+        rule itself lives in :func:`repro.net.pool.classify_stale`, shared
+        with the asyncio client so the two paths cannot drift.
         """
-        if fresh or isinstance(exc, StaleConnectionError):
-            return exc
-        return StaleConnectionError(
-            f"reused pooled connection failed: {exc}"
-        )
+        return classify_stale(exc, fresh)
 
     def _check_deadline(self, what: str) -> Deadline | None:
         """Ambient deadline, checked (and counted) before starting I/O."""
@@ -230,15 +250,28 @@ class RemoteProvider(CloudProvider):
             try:
                 sock.settimeout(self._op_timeout(deadline))
                 while True:
-                    frame_bytes = encode_frame(op, key=key, payload=payload)
-                    if send_traced:
-                        frame_bytes = encode_frame(
-                            OpCode.TRACED,
-                            payload=encode_traced_request(context, frame_bytes),
+                    if send_traced or send_deadline:
+                        # Envelope nesting needs the inner frame as one
+                        # buffer; only enveloped sends pay the join.
+                        frame_bytes = encode_frame(op, key=key, payload=payload)
+                        if send_traced:
+                            frame_bytes = encode_frame(
+                                OpCode.TRACED,
+                                payload=encode_traced_request(
+                                    context, frame_bytes
+                                ),
+                            )
+                        if send_deadline:
+                            frame_bytes = self._wrap_deadline(
+                                deadline, frame_bytes
+                            )
+                        sock.sendall(frame_bytes)
+                    else:
+                        # Bare sends go scatter-gather: header + payload
+                        # view, no O(payload) copy.
+                        sendmsg_all(
+                            sock, frame_segments(op, key=key, payload=payload)
                         )
-                    if send_deadline:
-                        frame_bytes = self._wrap_deadline(deadline, frame_bytes)
-                    sock.sendall(frame_bytes)
                     frame = recv_frame(sock)
                     if frame is None:
                         raise ProtocolError(
@@ -262,6 +295,19 @@ class RemoteProvider(CloudProvider):
             except (OSError, ProtocolError) as exc:
                 raise self._classify(exc, leased.fresh) from exc
 
+    @staticmethod
+    def _join_payload(payload) -> bytes:
+        """Materialize a parts-list payload (envelope paths need one buffer)."""
+        if isinstance(payload, list):
+            return b"".join(payload)
+        return payload
+
+    @staticmethod
+    def _payload_len(payload) -> int:
+        if isinstance(payload, list):
+            return sum(len(part) for part in payload)
+        return len(payload)
+
     def _exchange_pipelined(
         self, requests: list[tuple[OpCode, str, bytes]]
     ) -> list[Frame]:
@@ -273,6 +319,10 @@ class RemoteProvider(CloudProvider):
         (MULTI_PUT answers small status lists, MULTI_GET asks with small
         key lists), so the two directions cannot deadlock on full socket
         buffers.
+
+        A request payload may be a list of buffer parts (see
+        :func:`~repro.net.protocol.encode_multi_put_parts`); bare windows
+        send the parts scatter-gather, enveloped windows join them.
         """
         deadline = self._check_deadline(f"net.{requests[0][0].name}")
         context = self._trace_context()
@@ -283,20 +333,40 @@ class RemoteProvider(CloudProvider):
             try:
                 sock.settimeout(self._op_timeout(deadline))
                 while True:
-                    for op, key, payload in requests:
-                        frame_bytes = encode_frame(op, key=key, payload=payload)
-                        if send_traced:
+                    if send_traced or send_deadline:
+                        # Envelope nesting needs each inner frame as one
+                        # buffer; only enveloped windows pay the joins.
+                        for op, key, payload in requests:
                             frame_bytes = encode_frame(
-                                OpCode.TRACED,
-                                payload=encode_traced_request(
-                                    context, frame_bytes
-                                ),
+                                op, key=key, payload=self._join_payload(payload)
                             )
-                        if send_deadline:
-                            frame_bytes = self._wrap_deadline(
-                                deadline, frame_bytes
-                            )
-                        sock.sendall(frame_bytes)
+                            if send_traced:
+                                frame_bytes = encode_frame(
+                                    OpCode.TRACED,
+                                    payload=encode_traced_request(
+                                        context, frame_bytes
+                                    ),
+                                )
+                            if send_deadline:
+                                frame_bytes = self._wrap_deadline(
+                                    deadline, frame_bytes
+                                )
+                            sock.sendall(frame_bytes)
+                    else:
+                        # Bare windows go out as one scatter-gather list:
+                        # small per-frame headers plus views of the callers'
+                        # buffers, never a joined aggregate.
+                        segments: list[bytes | memoryview] = []
+                        for op, key, payload in requests:
+                            if isinstance(payload, list):
+                                segments.extend(
+                                    frame_segments_multi(op, key, payload)
+                                )
+                            else:
+                                segments.extend(
+                                    frame_segments(op, key=key, payload=payload)
+                                )
+                        sendmsg_all(sock, segments)
                     frames: list[Frame] = []
                     deadline_bounced = False
                     traced_bounced = False
@@ -463,10 +533,15 @@ class RemoteProvider(CloudProvider):
 
     @staticmethod
     def _find_shed(result) -> ResourceExhaustedError | None:
-        """The shed verdict, if any frame of *result* was RESOURCE_EXHAUSTED."""
+        """The shed verdict, if any frame of *result* was RESOURCE_EXHAUSTED.
+
+        Stream exchanges return non-Frame shapes (``None`` on downgrade,
+        per-item tuples on success), so anything without a status code is
+        simply not a shed verdict.
+        """
         frames = result if isinstance(result, list) else [result]
         for frame in frames:
-            if frame.code == Status.RESOURCE_EXHAUSTED:
+            if getattr(frame, "code", None) == Status.RESOURCE_EXHAUSTED:
                 error = error_for_status(
                     frame.code, frame.payload.decode("utf-8", "replace")
                 )
@@ -535,7 +610,7 @@ class RemoteProvider(CloudProvider):
             ).inc()
             self.metrics.counter(
                 "net_client_wire_bytes_total", direction="out"
-            ).inc(HEADER.size + len(key.encode()) + len(payload))
+            ).inc(HEADER.size + len(key.encode()) + self._payload_len(payload))
             self.metrics.counter(
                 "net_client_wire_bytes_total", direction="in"
             ).inc(HEADER.size + len(frame.key.encode()) + len(frame.payload))
@@ -607,7 +682,8 @@ class RemoteProvider(CloudProvider):
             return []
         batches = self._split_batches(items, lambda item: len(item[1]))
         requests = [
-            (OpCode.MULTI_PUT, "", encode_multi_put(batch)) for batch in batches
+            (OpCode.MULTI_PUT, "", encode_multi_put_parts(batch))
+            for batch in batches
         ]
         frames = self._request_batches(requests)
         outcomes: list[ProviderError | None] = []
@@ -658,6 +734,262 @@ class RemoteProvider(CloudProvider):
                     )
                 else:
                     outcomes.append(body)
+        return outcomes
+
+    def _exchange_stream_put(self, items: list[tuple[str, bytes]]):
+        """One stream-upload session (open, segments, commit) on a lease.
+
+        Segments are pipelined behind the open frame with a sliding window
+        of at most :data:`STREAM_ACK_WINDOW` unacknowledged frames, so a
+        whole window costs ~1 round-trip of latency while the ack backlog
+        stays bounded.  Returns per-item ``(status, body)`` pairs; the shed
+        frame when the server refused us at admission (``_with_retries``
+        turns that into hinted backoff); or ``None`` when the server
+        predates streams -- every frame bounced BAD_REQUEST "unknown op
+        code" with the connection drained and in sync, and the caller
+        falls back to MULTI_PUT.
+        """
+        deadline = self._check_deadline("net.STREAM_PUT")
+        with self.pool.lease(op="STREAM_PUT") as leased:
+            sock = leased.sock
+            try:
+                sock.settimeout(self._op_timeout(deadline))
+                rfile = sock.makefile("rb")
+                try:
+                    sent = 0
+                    acked = 0
+                    downgraded = False
+                    shed: Frame | None = None
+                    session_error: Frame | None = None
+                    results: list[tuple[int, bytes]] = []
+
+                    def read_ack() -> None:
+                        nonlocal acked, downgraded, shed, session_error
+                        frame = read_frame(rfile)
+                        if frame is None:
+                            raise ProtocolError(
+                                "server closed connection mid-stream"
+                            )
+                        index = acked  # 0 = open ack, 1..N = segments, N+1 = end
+                        acked += 1
+                        if frame.code == Status.RESOURCE_EXHAUSTED:
+                            shed = frame
+                        elif (
+                            frame.code == Status.BAD_REQUEST
+                            and b"unknown op code" in frame.payload
+                        ):
+                            downgraded = True
+                        elif 1 <= index <= len(items):
+                            results.append((int(frame.code), frame.payload))
+                        elif frame.code != Status.OK and session_error is None:
+                            session_error = frame
+
+                    sendmsg_all(sock, frame_segments(OpCode.STREAM_PUT))
+                    sent += 1
+                    batch: list[bytes | memoryview] = []
+                    batched = 0
+                    for key, data in items:
+                        if downgraded or shed is not None:
+                            break
+                        batch.extend(
+                            frame_segments(
+                                OpCode.STREAM_SEG, key=key, payload=data
+                            )
+                        )
+                        batched += 1
+                        if batched >= STREAM_SEND_BATCH:
+                            sendmsg_all(sock, batch)
+                            sent += batched
+                            batch.clear()
+                            batched = 0
+                            while sent - acked > STREAM_ACK_WINDOW:
+                                read_ack()
+                    if batched and not downgraded and shed is None:
+                        sendmsg_all(sock, batch)
+                        sent += batched
+                        batch.clear()
+                    if not downgraded and shed is None:
+                        sendmsg_all(sock, frame_segments(OpCode.STREAM_END))
+                        sent += 1
+                    # Drain every outstanding ack so the connection is back
+                    # in sync (a shed server closed it already; stop there).
+                    while acked < sent and shed is None:
+                        read_ack()
+                    if shed is not None:
+                        return shed
+                    if downgraded:
+                        return None
+                    if session_error is not None:
+                        raise error_for_status(
+                            session_error.code,
+                            session_error.payload.decode("utf-8", "replace"),
+                        )
+                    if len(results) != len(items):
+                        raise ProtocolError(
+                            f"stream session answered {len(results)} segment "
+                            f"acks for {len(items)} segments"
+                        )
+                    return results
+                finally:
+                    rfile.close()
+            except (OSError, ProtocolError) as exc:
+                raise self._classify(exc, leased.fresh) from exc
+
+    def _exchange_stream_get(self, keys: list[str]):
+        """One STREAM_GET exchange: count header, then one frame per key.
+
+        Returns the per-key frames; the shed frame on admission refusal;
+        or ``None`` on old-server downgrade (caller falls back to
+        MULTI_GET).
+        """
+        deadline = self._check_deadline("net.STREAM_GET")
+        with self.pool.lease(op="STREAM_GET") as leased:
+            sock = leased.sock
+            try:
+                sock.settimeout(self._op_timeout(deadline))
+                sendmsg_all(
+                    sock,
+                    frame_segments(
+                        OpCode.STREAM_GET, payload=encode_keys(keys)
+                    ),
+                )
+                rfile = sock.makefile("rb")
+                try:
+                    header = read_frame(rfile)
+                    if header is None:
+                        raise ProtocolError(
+                            "server closed connection before responding"
+                        )
+                    if header.code == Status.RESOURCE_EXHAUSTED:
+                        return header
+                    if (
+                        header.code == Status.BAD_REQUEST
+                        and b"unknown op code" in header.payload
+                    ):
+                        return None
+                    if header.code != Status.OK:
+                        raise error_for_status(
+                            header.code,
+                            header.payload.decode("utf-8", "replace"),
+                        )
+                    count = decode_stream_count(header.payload)
+                    if count != len(keys):
+                        raise ProtocolError(
+                            f"STREAM_GET answered {count} frames for "
+                            f"{len(keys)} keys"
+                        )
+                    frames: list[Frame] = []
+                    for _ in range(count):
+                        frame = read_frame(rfile)
+                        if frame is None:
+                            raise ProtocolError(
+                                "server closed connection mid-stream"
+                            )
+                        frames.append(frame)
+                    return frames
+                finally:
+                    rfile.close()
+            except (OSError, ProtocolError) as exc:
+                raise self._classify(exc, leased.fresh) from exc
+
+    def put_stream(
+        self, items: list[tuple[str, bytes]]
+    ) -> list[ProviderError | None]:
+        """Store many objects over one stream session (frame per shard).
+
+        Same contract as :meth:`put_many` -- per-item outcomes, checksum
+        echoes verified -- but neither side ever materializes the window
+        into one aggregate buffer.  Falls back to :meth:`put_many`
+        transparently when the server predates the stream ops.
+        """
+        if not items:
+            return []
+        if self._server_stream is False:
+            return self.put_many(items)
+        t0 = time.perf_counter()
+        with self.tracer.span(
+            "net.STREAM_PUT", provider=self.name, frames=len(items)
+        ):
+            result = self._with_retries(
+                lambda: self._exchange_stream_put(items)
+            )
+        if result is None:
+            self._server_stream = False
+            return self.put_many(items)
+        self._server_stream = True
+        self._account(
+            OpCode.STREAM_PUT,
+            sent=sum(
+                HEADER.size + len(key.encode()) + len(data)
+                for key, data in items
+            )
+            + 2 * HEADER.size,
+            received=sum(
+                HEADER.size + len(key.encode()) + len(body)
+                for (key, _), (_, body) in zip(items, result)
+            )
+            + 2 * HEADER.size,
+            t0=t0,
+        )
+        outcomes: list[ProviderError | None] = []
+        for (key, data), (status, body) in zip(items, result):
+            if status != Status.OK:
+                outcomes.append(
+                    error_for_status(status, body.decode("utf-8", "replace"))
+                )
+            elif body.decode("utf-8", "replace") != blob_checksum(data):
+                outcomes.append(
+                    BlobCorruptedError(
+                        f"checksum echo mismatch from provider "
+                        f"{self.name!r} for key {key!r}"
+                    )
+                )
+            else:
+                outcomes.append(None)
+        return outcomes
+
+    def get_stream(self, keys: list[str]) -> list["bytes | ProviderError"]:
+        """Fetch many objects as one frame per key (no aggregate payload).
+
+        Same contract as :meth:`get_many`; falls back to it transparently
+        when the server predates the stream ops.
+        """
+        if not keys:
+            return []
+        if self._server_stream is False:
+            return self.get_many(keys)
+        t0 = time.perf_counter()
+        with self.tracer.span(
+            "net.STREAM_GET", provider=self.name, frames=len(keys)
+        ):
+            frames = self._with_retries(
+                lambda: self._exchange_stream_get(keys)
+            )
+        if frames is None:
+            self._server_stream = False
+            return self.get_many(keys)
+        self._server_stream = True
+        self._account(
+            OpCode.STREAM_GET,
+            sent=HEADER.size + sum(len(key.encode()) + 2 for key in keys) + 4,
+            received=sum(
+                HEADER.size + len(frame.key.encode()) + len(frame.payload)
+                for frame in frames
+            )
+            + HEADER.size
+            + 4,
+            t0=t0,
+        )
+        outcomes: list[bytes | ProviderError] = []
+        for frame in frames:
+            if frame.code != Status.OK:
+                outcomes.append(
+                    error_for_status(
+                        frame.code, frame.payload.decode("utf-8", "replace")
+                    )
+                )
+            else:
+                outcomes.append(frame.payload)
         return outcomes
 
     @staticmethod

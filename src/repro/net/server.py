@@ -15,16 +15,19 @@ from "object corrupted" from "server gone".
 
 from __future__ import annotations
 
+import itertools
 import json
 import logging
 import queue
+import select
 import socket
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.net.protocol import (
     HEADER,
+    STREAM_OPS,
     Frame,
     OpCode,
     ProtocolError,
@@ -38,9 +41,12 @@ from repro.net.protocol import (
     encode_keys,
     encode_retry_hint,
     encode_stat,
+    encode_stream_count,
     encode_traced_response,
-    recv_frame,
+    frame_segments,
+    read_frame,
     send_frame,
+    sendmsg_all,
     status_for_error,
 )
 from repro.obs.metrics import MetricsRegistry, get_metrics
@@ -119,7 +125,361 @@ class WireFaults:
             return fault
 
 
-class ChunkServer:
+@dataclass
+class StreamSession:
+    """Per-connection stream-upload state (see ``OpCode.STREAM_PUT``).
+
+    ``staged`` holds keys written by the currently-open (uncommitted)
+    stream window; STREAM_END empties it, and a connection that dies with
+    keys still staged gets them rolled back (deleted) by the server.
+    """
+
+    id: int
+    open: bool = False
+    staged: list[str] = field(default_factory=list)
+
+
+class RequestEngine:
+    """Wire-request dispatch shared by the threaded and asyncio servers.
+
+    Everything between "a decoded request frame arrived" and "these are
+    the response frames" lives here -- envelope unwrapping, backend
+    serialization, error-to-status translation, stream sessions -- so
+    :class:`ChunkServer` and
+    :class:`~repro.net.async_server.AsyncChunkServer` answer every request
+    byte-identically and cannot drift apart.  Subclasses own the
+    networking (threads vs. an event loop) and call :meth:`_init_engine`
+    once, then :meth:`_dispatch_multi` per request.
+    """
+
+    def _init_engine(
+        self,
+        backend: CloudProvider,
+        metrics: MetricsRegistry | None,
+        tracer: Tracer | None,
+    ) -> None:
+        self.backend = backend
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        # Serializes backend access: connection handlers run concurrently
+        # but the wrapped backends make no thread-safety promises.
+        self._backend_lock = threading.Lock()
+        # key -> id of the *latest* stream session that staged it (guarded
+        # by the backend lock).  Rollback only deletes keys still owned by
+        # the dying session, so a client retry that re-staged the same keys
+        # over a new connection cannot lose data to the old connection's
+        # late rollback.
+        self._stream_owners: dict[str, int] = {}
+        self._session_ids = itertools.count(1)
+
+    def _new_session(self) -> StreamSession:
+        return StreamSession(id=next(self._session_ids))
+
+    @staticmethod
+    def _fault_key(frame: Frame) -> str:
+        """The innermost request key, for prefix-scoped fault injection."""
+        try:
+            inner = frame
+            while inner.code in (OpCode.DEADLINE, OpCode.TRACED):
+                if inner.code == OpCode.DEADLINE:
+                    _, inner = decode_deadline_request(inner.payload)
+                else:
+                    _, inner = decode_traced_request(inner.payload)
+            return inner.key
+        except Exception:  # noqa: BLE001 - malformed envelope, no scoping
+            return frame.key
+
+    def _dispatch_multi(
+        self, frame: Frame, session: StreamSession
+    ) -> list[tuple[Status, str, bytes]]:
+        """Route one request frame to its response frame *list*.
+
+        Every op answers exactly one frame except STREAM_GET, whose
+        response is a count header followed by one frame per key.
+        """
+        if frame.code == OpCode.STREAM_GET:
+            return self._dispatch_stream_get(frame)
+        if frame.code in STREAM_OPS:
+            return [self._dispatch_stream(frame, session)]
+        return [self._dispatch(frame)]
+
+    def _dispatch(self, frame: Frame) -> tuple[Status, str, bytes]:
+        """Run one request against the backend; never raises."""
+        if frame.code == OpCode.DEADLINE:
+            return self._dispatch_deadline(frame)
+        if frame.code == OpCode.TRACED:
+            return self._dispatch_traced(frame)
+        if frame.code in STREAM_OPS:
+            # Only reachable via an envelope (bare stream frames route
+            # through _dispatch_multi): a multi-frame stream response
+            # cannot nest inside a single envelope response.
+            message = (
+                f"stream op {OpCode(frame.code).name} cannot ride inside "
+                "a TRACED/DEADLINE envelope"
+            )
+            return Status.BAD_REQUEST, frame.key, message.encode("utf-8")
+        op_label = (
+            OpCode(frame.code).name
+            if frame.code in OpCode._value2member_map_
+            else f"{frame.code:#x}"
+        )
+        t0 = time.perf_counter()
+        try:
+            # The span is a shared no-op unless this request arrived inside
+            # a TRACED envelope (which opened the server-side trace).
+            with self.tracer.span("server.backend", op=op_label):
+                with self._backend_lock:
+                    # Re-check after any wait for the backend lock: the
+                    # budget may have drained while this request queued.
+                    check_deadline(f"server {op_label}")
+                    result = self._handle(frame)
+        except Exception as exc:  # noqa: BLE001 - must answer, not crash
+            result = status_for_error(exc), frame.key, str(exc).encode("utf-8")
+        if result[0] == Status.DEADLINE_EXCEEDED:
+            self.metrics.counter(
+                "net_server_deadline_exceeded_total", op=op_label
+            ).inc()
+        self.metrics.counter(
+            "net_server_requests_total",
+            op=op_label,
+            status=Status(result[0]).name,
+        ).inc()
+        self.metrics.histogram(
+            "net_server_request_seconds", op=op_label
+        ).observe(time.perf_counter() - t0)
+        return result
+
+    def _dispatch_deadline(self, frame: Frame) -> tuple[Status, str, bytes]:
+        """Unwrap a DEADLINE envelope and serve the inner request under it.
+
+        The wire carries only the remaining budget (milliseconds); it is
+        re-anchored against this process's monotonic clock here.  The
+        response is the inner response frame directly -- a deadline has
+        nothing to report back -- so error semantics and the TRACED
+        nesting both work unchanged underneath.
+        """
+        try:
+            budget_ms, inner = decode_deadline_request(frame.payload)
+        except Exception as exc:  # noqa: BLE001 - must answer, not crash
+            return status_for_error(exc), frame.key, str(exc).encode("utf-8")
+        if budget_ms <= 0:
+            self.metrics.counter(
+                "net_server_deadline_exceeded_total", op="DEADLINE"
+            ).inc()
+            return (
+                Status.DEADLINE_EXCEEDED,
+                inner.key,
+                b"deadline expired before the server started",
+            )
+        with deadline_scope(Deadline.after(budget_ms / 1000.0)):
+            return self._dispatch(inner)
+
+    def _dispatch_traced(self, frame: Frame) -> tuple[Status, str, bytes]:
+        """Unwrap a TRACED envelope: trace the inner request, ship spans back.
+
+        The envelope answers OK whenever it was decodable; the inner
+        response frame (nested in the payload) carries the operation's
+        real status, so error semantics match the untraced path exactly.
+        """
+        try:
+            context, inner = decode_traced_request(frame.payload)
+        except Exception as exc:  # noqa: BLE001 - must answer, not crash
+            return status_for_error(exc), frame.key, str(exc).encode("utf-8")
+        op_label = (
+            OpCode(inner.code).name
+            if inner.code in OpCode._value2member_map_
+            else f"{inner.code:#x}"
+        )
+        with self.tracer.serve_remote(
+            context, f"server.{op_label}", backend=self.backend.name
+        ):
+            status, key, payload = self._dispatch(inner)
+        records = self.tracer.drain_remote(context.partition(":")[0])
+        return Status.OK, "", encode_traced_response(
+            json.dumps(records).encode("utf-8"),
+            encode_frame(status, key=key, payload=payload),
+        )
+
+    def _dispatch_stream(
+        self, frame: Frame, session: StreamSession
+    ) -> tuple[Status, str, bytes]:
+        """Serve one STREAM_PUT/STREAM_SEG/STREAM_END frame; never raises.
+
+        Accounting is deliberately lighter than :meth:`_dispatch`'s: a
+        stream window produces one frame per shard, so per-frame latency
+        histograms would dominate the served work.  Segments get a
+        request counter; the open/commit frames bound the session anyway.
+        """
+        op_label = OpCode(frame.code).name
+        try:
+            with self._backend_lock:
+                check_deadline(f"server {op_label}")
+                result = self._handle_stream(frame, session)
+        except Exception as exc:  # noqa: BLE001 - must answer, not crash
+            result = status_for_error(exc), frame.key, str(exc).encode("utf-8")
+        self.metrics.counter(
+            "net_server_requests_total",
+            op=op_label,
+            status=Status(result[0]).name,
+        ).inc()
+        return result
+
+    def _handle_stream(
+        self, frame: Frame, session: StreamSession
+    ) -> tuple[Status, str, bytes]:
+        op = frame.code
+        if op == OpCode.STREAM_PUT:
+            if session.open:
+                raise ProtocolError("stream session already open")
+            session.open = True
+            return Status.OK, "", b""
+        if not session.open:
+            raise ProtocolError(
+                f"{OpCode(op).name} without an open stream session "
+                "(send STREAM_PUT first)"
+            )
+        if op == OpCode.STREAM_SEG:
+            self.backend.put(frame.key, frame.payload)
+            session.staged.append(frame.key)
+            self._stream_owners[frame.key] = session.id
+            return Status.OK, frame.key, blob_checksum(frame.payload).encode()
+        # STREAM_END: commit -- staged keys stop being rollback candidates.
+        count = len(session.staged)
+        for key in session.staged:
+            if self._stream_owners.get(key) == session.id:
+                del self._stream_owners[key]
+        session.staged.clear()
+        session.open = False
+        return Status.OK, "", encode_stream_count(count)
+
+    def _dispatch_stream_get(
+        self, frame: Frame
+    ) -> list[tuple[Status, str, bytes]]:
+        """Answer STREAM_GET: a count header frame, then one frame per key.
+
+        Objects are fetched one at a time and never joined into an
+        aggregate payload, so the response list holds exactly the window
+        the client asked for and nothing bigger.
+        """
+        t0 = time.perf_counter()
+        try:
+            keys = decode_keys(frame.payload)
+        except Exception as exc:  # noqa: BLE001 - must answer, not crash
+            return [(status_for_error(exc), frame.key, str(exc).encode("utf-8"))]
+        responses: list[tuple[Status, str, bytes]] = [
+            (Status.OK, "", encode_stream_count(len(keys)))
+        ]
+        with self.tracer.span("server.backend", op="STREAM_GET"):
+            with self._backend_lock:
+                for key in keys:
+                    try:
+                        check_deadline("STREAM_GET item")
+                        responses.append(
+                            (Status.OK, key, self.backend.get(key))
+                        )
+                    except Exception as exc:  # noqa: BLE001 - per-item verdicts
+                        responses.append(
+                            (status_for_error(exc), key, str(exc).encode("utf-8"))
+                        )
+        self.metrics.counter(
+            "net_server_requests_total", op="STREAM_GET", status="OK"
+        ).inc()
+        self.metrics.histogram(
+            "net_server_request_seconds", op="STREAM_GET"
+        ).observe(time.perf_counter() - t0)
+        return responses
+
+    def _rollback_stream(self, session: StreamSession) -> None:
+        """Delete segments staged by a session that died before STREAM_END.
+
+        This is what makes a mid-stream sender crash leave no partial
+        window behind.  Only keys still owned by this session are touched:
+        a retry may have re-staged (and even committed) the same keys over
+        a new connection, and that data must survive this cleanup.
+        """
+        if not session.staged:
+            session.open = False
+            return
+        with self._backend_lock:
+            keys = [
+                key
+                for key in session.staged
+                if self._stream_owners.get(key) == session.id
+            ]
+            for key in keys:
+                del self._stream_owners[key]
+            for key in keys:
+                try:
+                    self.backend.delete(key)
+                except Exception:  # noqa: BLE001 - best-effort cleanup
+                    log.debug(
+                        "stream rollback: could not delete %r",
+                        key,
+                        exc_info=True,
+                    )
+        session.staged.clear()
+        session.open = False
+        if keys:
+            self.metrics.counter("net_server_stream_rollbacks_total").inc()
+            log.warning(
+                "chunk server %r rolled back %d uncommitted stream segment(s)",
+                self.backend.name,
+                len(keys),
+            )
+
+    def _handle(self, frame: Frame) -> tuple[Status, str, bytes]:
+        op = frame.code
+        if op == OpCode.PING:
+            return Status.OK, "", frame.payload  # echo
+        if op == OpCode.PUT:
+            self.backend.put(frame.key, frame.payload)
+            # Checksum echo: the client verifies the server stored exactly
+            # the bytes it sent.
+            return Status.OK, frame.key, blob_checksum(frame.payload).encode()
+        if op == OpCode.GET:
+            return Status.OK, frame.key, self.backend.get(frame.key)
+        if op == OpCode.DELETE:
+            self.backend.delete(frame.key)
+            return Status.OK, frame.key, b""
+        if op == OpCode.HEAD:
+            return Status.OK, frame.key, encode_stat(self.backend.head(frame.key))
+        if op == OpCode.KEYS:
+            return Status.OK, "", encode_keys(self.backend.keys())
+        if op == OpCode.MULTI_PUT:
+            # One frame, many objects.  Item failures become per-item
+            # statuses -- the batch always answers, so the client can tell
+            # "shard 3 failed" apart from "the whole provider is dark".
+            results: list[tuple[int, bytes]] = []
+            for key, data in decode_multi_put(frame.payload):
+                # A long batch must not outlive its caller: bail between
+                # items once the propagated budget is gone (items already
+                # stored stay stored -- same ambiguity as a dropped reply).
+                check_deadline("MULTI_PUT item")
+                try:
+                    self.backend.put(key, data)
+                    results.append(
+                        (int(Status.OK), blob_checksum(data).encode())
+                    )
+                except Exception as exc:  # noqa: BLE001 - per-item verdicts
+                    results.append(
+                        (int(status_for_error(exc)), str(exc).encode("utf-8"))
+                    )
+            return Status.OK, "", encode_batch_results(results)
+        if op == OpCode.MULTI_GET:
+            results = []
+            for key in decode_keys(frame.payload):
+                check_deadline("MULTI_GET item")
+                try:
+                    results.append((int(Status.OK), self.backend.get(key)))
+                except Exception as exc:  # noqa: BLE001 - per-item verdicts
+                    results.append(
+                        (int(status_for_error(exc)), str(exc).encode("utf-8"))
+                    )
+            return Status.OK, "", encode_batch_results(results)
+        raise ProtocolError(f"unknown op code {op:#x}")
+
+
+class ChunkServer(RequestEngine):
     """TCP front-end for one provider backend.
 
     Usable as a context manager; ``port=0`` (the default) binds an
@@ -155,10 +515,8 @@ class ChunkServer:
             raise ValueError(
                 f"shed_retry_after must be >= 0, got {shed_retry_after}"
             )
-        self.backend = backend
+        self._init_engine(backend, metrics, tracer)
         self.wire_faults = wire_faults
-        self.metrics = metrics if metrics is not None else get_metrics()
-        self.tracer = tracer if tracer is not None else get_tracer()
         self.host = host
         self.max_workers = max_workers
         self.shed_retry_after = shed_retry_after
@@ -170,9 +528,6 @@ class ChunkServer:
             maxsize=accept_queue
         )
         self._connections: set[socket.socket] = set()
-        # Serializes backend access: connection handlers run concurrently
-        # but the wrapped backends make no thread-safety promises.
-        self._backend_lock = threading.Lock()
         self._state_lock = threading.Lock()
         self._running = False
         self.requests_served = 0
@@ -339,28 +694,55 @@ class ChunkServer:
             conn.close()
 
     def _serve_connection(self, conn: socket.socket) -> None:
+        session = self._new_session()
+        rfile = None
         try:
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # Buffered reader: a frame otherwise costs two recv() syscalls
+            # (header, body); buffering coalesces them, which is what keeps
+            # one-frame-per-shard streaming cheap.
+            rfile = conn.makefile("rb")
+            bytes_in = self.metrics.counter(
+                "net_server_wire_bytes_total", direction="in"
+            )
+            bytes_out = self.metrics.counter(
+                "net_server_wire_bytes_total", direction="out"
+            )
+            # STREAM_SEG acks held back for coalescing: a stream window is
+            # one tiny frame per shard, and a send syscall per ack would
+            # dominate the served work.  Acks are appended here and flushed
+            # -- in FIFO order, before any other response -- once the
+            # socket has no more input ready (a sender blocked on its ack
+            # window stops sending, so the idle check can never deadlock)
+            # or the backlog hits the client's ack window.
+            held_acks: list[bytes | memoryview] = []
+            held_count = 0
             while self._running:
                 try:
-                    frame = recv_frame(conn)
+                    frame = read_frame(rfile)
                 except ProtocolError as exc:
                     # Can't trust the stream position any more: answer if
                     # possible, then hang up.
                     try:
+                        if held_acks:
+                            sendmsg_all(conn, held_acks)
+                            held_acks = []
                         send_frame(conn, Status.BAD_REQUEST, payload=str(exc).encode())
                     except OSError:
                         pass
                     return
                 if frame is None:
                     return  # clean EOF
-                self.metrics.counter(
-                    "net_server_wire_bytes_total", direction="in"
-                ).inc(HEADER.size + len(frame.key.encode()) + len(frame.payload))
-                status, key, payload = self._dispatch(frame)
-                self.metrics.counter(
-                    "net_server_wire_bytes_total", direction="out"
-                ).inc(HEADER.size + len(key.encode()) + len(payload))
+                bytes_in.inc(
+                    HEADER.size + len(frame.key.encode()) + len(frame.payload)
+                )
+                responses = self._dispatch_multi(frame, session)
+                bytes_out.inc(
+                    sum(
+                        HEADER.size + len(key.encode()) + len(payload)
+                        for _, key, payload in responses
+                    )
+                )
                 fault = (
                     self.wire_faults.draw(self._fault_key(frame))
                     if self.wire_faults is not None
@@ -372,12 +754,47 @@ class ChunkServer:
                     return
                 if fault == "stall":
                     time.sleep(self.wire_faults.stall_s)
+                if (
+                    frame.code == OpCode.STREAM_SEG
+                    and fault is None
+                    and len(responses) == 1
+                ):
+                    status, key, payload = responses[0]
+                    held_acks.extend(
+                        frame_segments(status, key=key, payload=payload)
+                    )
+                    held_count += 1
+                    self.requests_served += 1
+                    if held_count < 64 and select.select(
+                        [conn], [], [], 0
+                    )[0]:
+                        continue  # more input pending: keep coalescing
+                    sendmsg_all(conn, held_acks)
+                    held_acks = []
+                    held_count = 0
+                    continue
+                if held_acks:
+                    sendmsg_all(conn, held_acks)
+                    held_acks = []
+                    held_count = 0
                 if fault == "corrupt":
+                    status, key, payload = responses[0]
                     raw = bytearray(encode_frame(status, key=key, payload=payload))
                     raw[10] ^= 0xFF  # flip one CRC byte: detectable damage
                     conn.sendall(bytes(raw))
-                else:
+                    responses = responses[1:]
+                if len(responses) == 1:
+                    status, key, payload = responses[0]
                     send_frame(conn, status, key=key, payload=payload)
+                else:
+                    # Multi-frame answers (STREAM_GET) ship as one
+                    # scatter-gather send instead of a syscall per frame.
+                    segments: list[bytes | memoryview] = []
+                    for status, key, payload in responses:
+                        segments.extend(
+                            frame_segments(status, key=key, payload=payload)
+                        )
+                    sendmsg_all(conn, segments)
                 self.requests_served += 1
         except ProtocolError as exc:
             # Response-path framing failure (e.g. an aggregate MULTI_GET or
@@ -394,159 +811,12 @@ class ChunkServer:
         except OSError:
             pass  # peer vanished / we are shutting down
         finally:
+            self._rollback_stream(session)
+            if rfile is not None:
+                try:
+                    rfile.close()
+                except OSError:
+                    pass
             with self._state_lock:
                 self._connections.discard(conn)
             conn.close()
-
-    @staticmethod
-    def _fault_key(frame: Frame) -> str:
-        """The innermost request key, for prefix-scoped fault injection."""
-        try:
-            inner = frame
-            while inner.code in (OpCode.DEADLINE, OpCode.TRACED):
-                if inner.code == OpCode.DEADLINE:
-                    _, inner = decode_deadline_request(inner.payload)
-                else:
-                    _, inner = decode_traced_request(inner.payload)
-            return inner.key
-        except Exception:  # noqa: BLE001 - malformed envelope, no scoping
-            return frame.key
-
-    def _dispatch(self, frame: Frame) -> tuple[Status, str, bytes]:
-        """Run one request against the backend; never raises."""
-        if frame.code == OpCode.DEADLINE:
-            return self._dispatch_deadline(frame)
-        if frame.code == OpCode.TRACED:
-            return self._dispatch_traced(frame)
-        op_label = (
-            OpCode(frame.code).name
-            if frame.code in OpCode._value2member_map_
-            else f"{frame.code:#x}"
-        )
-        t0 = time.perf_counter()
-        try:
-            # The span is a shared no-op unless this request arrived inside
-            # a TRACED envelope (which opened the server-side trace).
-            with self.tracer.span("server.backend", op=op_label):
-                with self._backend_lock:
-                    # Re-check after any wait for the backend lock: the
-                    # budget may have drained while this request queued.
-                    check_deadline(f"server {op_label}")
-                    result = self._handle(frame)
-        except Exception as exc:  # noqa: BLE001 - must answer, not crash
-            result = status_for_error(exc), frame.key, str(exc).encode("utf-8")
-        if result[0] == Status.DEADLINE_EXCEEDED:
-            self.metrics.counter(
-                "net_server_deadline_exceeded_total", op=op_label
-            ).inc()
-        self.metrics.counter(
-            "net_server_requests_total",
-            op=op_label,
-            status=Status(result[0]).name,
-        ).inc()
-        self.metrics.histogram(
-            "net_server_request_seconds", op=op_label
-        ).observe(time.perf_counter() - t0)
-        return result
-
-    def _dispatch_deadline(self, frame: Frame) -> tuple[Status, str, bytes]:
-        """Unwrap a DEADLINE envelope and serve the inner request under it.
-
-        The wire carries only the remaining budget (milliseconds); it is
-        re-anchored against this process's monotonic clock here.  The
-        response is the inner response frame directly -- a deadline has
-        nothing to report back -- so error semantics and the TRACED
-        nesting both work unchanged underneath.
-        """
-        try:
-            budget_ms, inner = decode_deadline_request(frame.payload)
-        except Exception as exc:  # noqa: BLE001 - must answer, not crash
-            return status_for_error(exc), frame.key, str(exc).encode("utf-8")
-        if budget_ms <= 0:
-            self.metrics.counter(
-                "net_server_deadline_exceeded_total", op="DEADLINE"
-            ).inc()
-            return (
-                Status.DEADLINE_EXCEEDED,
-                inner.key,
-                b"deadline expired before the server started",
-            )
-        with deadline_scope(Deadline.after(budget_ms / 1000.0)):
-            return self._dispatch(inner)
-
-    def _dispatch_traced(self, frame: Frame) -> tuple[Status, str, bytes]:
-        """Unwrap a TRACED envelope: trace the inner request, ship spans back.
-
-        The envelope answers OK whenever it was decodable; the inner
-        response frame (nested in the payload) carries the operation's
-        real status, so error semantics match the untraced path exactly.
-        """
-        try:
-            context, inner = decode_traced_request(frame.payload)
-        except Exception as exc:  # noqa: BLE001 - must answer, not crash
-            return status_for_error(exc), frame.key, str(exc).encode("utf-8")
-        op_label = (
-            OpCode(inner.code).name
-            if inner.code in OpCode._value2member_map_
-            else f"{inner.code:#x}"
-        )
-        with self.tracer.serve_remote(
-            context, f"server.{op_label}", backend=self.backend.name
-        ):
-            status, key, payload = self._dispatch(inner)
-        records = self.tracer.drain_remote(context.partition(":")[0])
-        return Status.OK, "", encode_traced_response(
-            json.dumps(records).encode("utf-8"),
-            encode_frame(status, key=key, payload=payload),
-        )
-
-    def _handle(self, frame: Frame) -> tuple[Status, str, bytes]:
-        op = frame.code
-        if op == OpCode.PING:
-            return Status.OK, "", frame.payload  # echo
-        if op == OpCode.PUT:
-            self.backend.put(frame.key, frame.payload)
-            # Checksum echo: the client verifies the server stored exactly
-            # the bytes it sent.
-            return Status.OK, frame.key, blob_checksum(frame.payload).encode()
-        if op == OpCode.GET:
-            return Status.OK, frame.key, self.backend.get(frame.key)
-        if op == OpCode.DELETE:
-            self.backend.delete(frame.key)
-            return Status.OK, frame.key, b""
-        if op == OpCode.HEAD:
-            return Status.OK, frame.key, encode_stat(self.backend.head(frame.key))
-        if op == OpCode.KEYS:
-            return Status.OK, "", encode_keys(self.backend.keys())
-        if op == OpCode.MULTI_PUT:
-            # One frame, many objects.  Item failures become per-item
-            # statuses -- the batch always answers, so the client can tell
-            # "shard 3 failed" apart from "the whole provider is dark".
-            results: list[tuple[int, bytes]] = []
-            for key, data in decode_multi_put(frame.payload):
-                # A long batch must not outlive its caller: bail between
-                # items once the propagated budget is gone (items already
-                # stored stay stored -- same ambiguity as a dropped reply).
-                check_deadline("MULTI_PUT item")
-                try:
-                    self.backend.put(key, data)
-                    results.append(
-                        (int(Status.OK), blob_checksum(data).encode())
-                    )
-                except Exception as exc:  # noqa: BLE001 - per-item verdicts
-                    results.append(
-                        (int(status_for_error(exc)), str(exc).encode("utf-8"))
-                    )
-            return Status.OK, "", encode_batch_results(results)
-        if op == OpCode.MULTI_GET:
-            results = []
-            for key in decode_keys(frame.payload):
-                check_deadline("MULTI_GET item")
-                try:
-                    results.append((int(Status.OK), self.backend.get(key)))
-                except Exception as exc:  # noqa: BLE001 - per-item verdicts
-                    results.append(
-                        (int(status_for_error(exc)), str(exc).encode("utf-8"))
-                    )
-            return Status.OK, "", encode_batch_results(results)
-        raise ProtocolError(f"unknown op code {op:#x}")

@@ -106,6 +106,24 @@ class CloudProvider(ABC):
                 outcomes.append(exc)
         return outcomes
 
+    # Streaming variants: same per-item contract as put_many/get_many, but
+    # the caller promises the window of items is bounded (one streaming
+    # window's worth of shards), so implementations may frame items
+    # individually instead of materializing one aggregate payload.
+    # RemoteProvider overrides both with STREAM_PUT/STREAM_GET sessions;
+    # for in-process backends the batch form is already zero-aggregation,
+    # so delegating is exact.
+
+    def put_stream(
+        self, items: list[tuple[str, bytes]]
+    ) -> list[ProviderError | None]:
+        """Store one streaming window of objects; outcome per item."""
+        return self.put_many(items)
+
+    def get_stream(self, keys: list[str]) -> list["bytes | ProviderError"]:
+        """Fetch one streaming window of objects; bytes or error per slot."""
+        return self.get_many(keys)
+
     # -- conveniences -------------------------------------------------------
 
     def contains(self, key: str) -> bool:

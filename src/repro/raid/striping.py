@@ -88,21 +88,29 @@ def _rs_code(k: int, m: int) -> RSCode:
 
 
 def encode_stripe(
-    payload: bytes, level: RaidLevel, width: int
+    payload: "bytes | memoryview", level: RaidLevel, width: int
 ) -> tuple[StripeMeta, list[bytes]]:
     """Encode *payload* into a stripe of ``width`` shards.
 
     Returns (metadata, shards) where shards[0..k-1] are the (zero-padded)
-    data shards and shards[k..n-1] the parity shards.
+    data shards and shards[k..n-1] the parity shards.  *payload* may be a
+    memoryview (the streaming path passes slices of a reused window
+    buffer); each byte is copied exactly once, into its shard -- the
+    shards are always independent ``bytes``, never views, so the caller
+    may overwrite the window immediately.
     """
     t0 = time.perf_counter()
     k, m = level.shard_counts(width)
-    orig_len = len(payload)
+    view = memoryview(payload)
+    orig_len = len(view)
     shard_size = -(-orig_len // k) if orig_len else 0
-    padded = payload + b"\x00" * (k * shard_size - orig_len)
-    data_shards = [
-        padded[i * shard_size : (i + 1) * shard_size] for i in range(k)
-    ]
+    data_shards = []
+    for i in range(k):
+        shard = bytes(view[i * shard_size : (i + 1) * shard_size])
+        if len(shard) < shard_size:
+            shard += b"\x00" * (shard_size - len(shard))
+        data_shards.append(shard)
+    view.release()
     if level is RaidLevel.RAID1:
         parity = [bytes(data_shards[0]) for _ in range(m)]
     elif level is RaidLevel.RAID5:

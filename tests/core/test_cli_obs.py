@@ -154,7 +154,10 @@ def test_remote_fleet_stats_count_net_opcodes(remote_state, tmp_path, capsys):
     snap = stats_json(remote_state, capsys)
     requests = snap["counters"]["net_client_requests_total"]
     assert sum(requests.values()) > 0
-    # Batched wire ops carried the shards both ways.
+    # The CLI streams by default, but the streaming windows pick their
+    # wire op by segment size (STREAM_SEGMENT_THRESHOLD): a 6 KB file at
+    # PL-3 produces sub-threshold shards, so the windows ride the batched
+    # MULTI frames rather than per-segment STREAM sessions.
     ops = " ".join(requests)
     assert "MULTI_PUT" in ops and "MULTI_GET" in ops
     assert counter_total(snap, "net_client_wire_bytes_total") > 0

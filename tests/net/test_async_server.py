@@ -1,0 +1,339 @@
+"""AsyncChunkServer: wire compatibility, interop, and multiplexing.
+
+The event-loop server must be indistinguishable from the threaded one on
+the wire: identical response bytes for identical request bytes (both
+share :class:`RequestEngine`), the same envelope and downgrade
+behaviour, and the same stream-session rollback guarantees.  On top of
+that it must hold many idle connections without a thread apiece.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+
+import pytest
+
+from repro.core.distributor import CloudDataDistributor
+from repro.core.errors import BlobNotFoundError, ProviderUnavailableError
+from repro.net.async_client import AsyncChunkClient
+from repro.net.async_server import AsyncChunkServer
+from repro.net.cluster import LocalCluster
+from repro.net.protocol import (
+    OpCode,
+    Status,
+    encode_deadline_request,
+    encode_frame,
+    read_frame,
+)
+from repro.net.remote import RemoteProvider, RetryPolicy
+from repro.net.server import ChunkServer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.providers.memory import InMemoryProvider
+from repro.providers.registry import ProviderRegistry
+from repro.util.deadline import Deadline, deadline_scope
+
+FAST_RETRY = RetryPolicy(attempts=2, base_delay=0.01, max_delay=0.05)
+
+
+def _provider(server, **kwargs) -> RemoteProvider:
+    return RemoteProvider(
+        server.backend.name, server.host, server.port,
+        retry=FAST_RETRY, **kwargs,
+    )
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+# -- threaded client against the async server --------------------------------
+
+
+def test_threaded_provider_full_surface():
+    backend = InMemoryProvider("a")
+    with AsyncChunkServer(backend) as server:
+        provider = _provider(server)
+        assert provider.ping()
+        provider.put("k", b"v")
+        assert provider.get("k") == b"v"
+        assert provider.head("k")
+        assert provider.keys() == ["k"]
+        items = [(f"m{i}", bytes([i]) * 64) for i in range(12)]
+        assert provider.put_many(items) == [None] * len(items)
+        assert provider.get_many([k for k, _ in items]) == [
+            d for _, d in items
+        ]
+        provider.delete("k")
+        with pytest.raises(BlobNotFoundError):
+            provider.get("k")
+        provider.close()
+
+
+def test_threaded_provider_streams_against_async_server():
+    backend = InMemoryProvider("a")
+    with AsyncChunkServer(backend) as server:
+        provider = _provider(server)
+        items = [(f"s{i}", bytes([i]) * 200) for i in range(100)]
+        assert provider.put_stream(items) == [None] * len(items)
+        assert provider._server_stream is True
+        assert provider.get_stream([k for k, _ in items]) == [
+            d for _, d in items
+        ]
+        provider.close()
+
+
+def test_traced_envelope_joins_across_async_server():
+    tracer = Tracer(export_events=False)
+    backend = InMemoryProvider("a")
+    with AsyncChunkServer(backend, tracer=Tracer(export_events=False)) as server:
+        provider = _provider(server, tracer=tracer)
+        provider.put("k", b"payload")
+        with tracer.trace("get_file"):
+            assert provider.get("k") == b"payload"
+        names = set(tracer.last_trace().span_names())
+        assert "net.GET" in names and "server.GET" in names
+        provider.close()
+
+
+def test_deadline_envelope_served_by_async_server():
+    backend = InMemoryProvider("a")
+    with AsyncChunkServer(backend) as server:
+        provider = _provider(server)
+        provider.put("k", b"v")
+        with deadline_scope(Deadline.after(10.0)):
+            assert provider.get("k") == b"v"
+        provider.close()
+
+
+# -- async client both directions ---------------------------------------------
+
+
+def test_async_client_against_async_server():
+    backend = InMemoryProvider("a")
+    with AsyncChunkServer(backend) as server:
+
+        async def scenario():
+            client = AsyncChunkClient("a", server.host, server.port)
+            try:
+                assert await client.ping()
+                await client.put("k", b"v")
+                assert await client.get("k") == b"v"
+                items = [(f"m{i}", bytes([i]) * 32) for i in range(8)]
+                assert await client.put_many(items) == [None] * len(items)
+                assert await client.get_many([k for k, _ in items]) == [
+                    d for _, d in items
+                ]
+                await client.delete("k")
+                got = await client.get_many(["k"])
+                assert isinstance(got[0], BlobNotFoundError)
+            finally:
+                client.close()
+
+        _run(scenario())
+
+
+def test_async_client_against_threaded_server():
+    # The asyncio client speaks the exact same wire: a threaded server
+    # can't tell it from the blocking client.
+    backend = InMemoryProvider("t")
+    with ChunkServer(backend) as server:
+
+        async def scenario():
+            client = AsyncChunkClient("t", server.host, server.port)
+            try:
+                await client.put("k", b"v")
+                assert await client.get("k") == b"v"
+                assert await client.keys() == ["k"]
+            finally:
+                client.close()
+
+        _run(scenario())
+
+
+# -- byte-exact equivalence ---------------------------------------------------
+
+
+def _exchange_raw(host: str, port: int,
+                  requests: list[bytes], reads: int) -> bytes:
+    """Send raw frame bytes, return *reads* response frames re-encoded."""
+    sock = socket.create_connection((host, port), timeout=5.0)
+    sock.settimeout(5.0)
+    try:
+        for raw in requests:
+            sock.sendall(raw)
+        rfile = sock.makefile("rb")
+        out = b""
+        for _ in range(reads):
+            frame = read_frame(rfile)
+            assert frame is not None
+            out += encode_frame(frame.code, key=frame.key,
+                                payload=frame.payload)
+        rfile.detach()
+        return out
+    finally:
+        sock.close()
+
+
+@pytest.mark.parametrize("scenario,reads", [
+    ([encode_frame(OpCode.PING, payload=b"ping")], 1),
+    ([encode_frame(OpCode.PUT, key="k", payload=b"data"),
+      encode_frame(OpCode.GET, key="k"),
+      encode_frame(OpCode.GET, key="missing")], 3),
+    ([encode_frame(0x7F)], 1),  # unknown opcode: the downgrade signal
+    ([encode_frame(OpCode.DEADLINE, payload=encode_deadline_request(
+        5000, encode_frame(OpCode.STREAM_PUT)))], 1),  # enveloped stream op
+    ([encode_frame(OpCode.STREAM_PUT),
+      encode_frame(OpCode.STREAM_SEG, key="s", payload=b"seg"),
+      encode_frame(OpCode.STREAM_END),
+      encode_frame(OpCode.GET, key="s")], 4),
+])
+def test_async_and_threaded_answers_are_byte_identical(scenario, reads):
+    threaded_backend = InMemoryProvider("same")
+    async_backend = InMemoryProvider("same")
+    with ChunkServer(threaded_backend) as threaded:
+        with AsyncChunkServer(async_backend) as eventloop:
+            a = _exchange_raw(threaded.host, threaded.port, scenario, reads)
+            b = _exchange_raw(eventloop.host, eventloop.port, scenario, reads)
+    assert a == b
+
+
+# -- stream rollback ----------------------------------------------------------
+
+
+def test_async_server_rolls_back_dead_sender():
+    backend = InMemoryProvider("a")
+    metrics = MetricsRegistry()
+    with AsyncChunkServer(backend, metrics=metrics) as server:
+        sock = socket.create_connection((server.host, server.port), timeout=5)
+        sock.settimeout(5.0)
+        sock.sendall(encode_frame(OpCode.STREAM_PUT))
+        sock.sendall(encode_frame(OpCode.STREAM_SEG, key="d0", payload=b"z"))
+        rfile = sock.makefile("rb")
+        assert read_frame(rfile).code == Status.OK  # open ack
+        assert read_frame(rfile).code == Status.OK  # seg ack
+        rfile.detach()
+        sock.close()  # no STREAM_END
+
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if metrics.value("net_server_stream_rollbacks_total") >= 1:
+                break
+            time.sleep(0.01)
+        with pytest.raises(BlobNotFoundError):
+            backend.get("d0")
+
+
+# -- multiplexing and admission ----------------------------------------------
+
+
+def test_many_idle_connections_one_loop():
+    # Hundreds of parked connections must not consume a thread each nor
+    # degrade service on an active one (the threaded server would need
+    # max_workers >= open sockets; the loop multiplexes them all).
+    backend = InMemoryProvider("a")
+    with AsyncChunkServer(backend, max_connections=1024) as server:
+        idle = []
+        try:
+            for _ in range(200):
+                s = socket.create_connection((server.host, server.port),
+                                             timeout=5.0)
+                idle.append(s)
+            provider = _provider(server)
+            provider.put("k", b"v")
+            assert provider.get("k") == b"v"
+            provider.close()
+        finally:
+            for s in idle:
+                s.close()
+
+
+def test_connections_over_limit_are_shed():
+    backend = InMemoryProvider("a")
+    with AsyncChunkServer(backend, max_connections=1) as server:
+        keeper = socket.create_connection((server.host, server.port),
+                                          timeout=5.0)
+        keeper.settimeout(5.0)
+        try:
+            extra = socket.create_connection((server.host, server.port),
+                                             timeout=5.0)
+            extra.settimeout(5.0)
+            rfile = extra.makefile("rb")
+            frame = read_frame(rfile)
+            assert frame is not None
+            assert frame.code == Status.RESOURCE_EXHAUSTED
+            assert b"retry-after=" in frame.payload
+            rfile.detach()
+            extra.close()
+            # The admitted connection still works.
+            keeper.sendall(encode_frame(OpCode.PING, payload=b"ping"))
+            kf = keeper.makefile("rb")
+            assert read_frame(kf).payload == b"ping"
+            kf.detach()
+        finally:
+            keeper.close()
+
+
+# -- fleet integration --------------------------------------------------------
+
+
+def test_mixed_fleet_roundtrip():
+    # Half threaded, half async servers behind one distributor: the data
+    # path cannot tell them apart.
+    backends = [InMemoryProvider(f"n{i}") for i in range(4)]
+    servers = [
+        (ChunkServer if i % 2 == 0 else AsyncChunkServer)(backends[i]).start()
+        for i in range(4)
+    ]
+    providers = [
+        RemoteProvider(backends[i].name, s.host, s.port, retry=FAST_RETRY)
+        for i, s in enumerate(servers)
+    ]
+    try:
+        registry = ProviderRegistry()
+        for p in providers:
+            registry.register(p, 3, 0)
+        dist = CloudDataDistributor(registry, seed=7)
+        dist.register_client("c")
+        dist.add_password("c", "pw", 3)
+        data = bytes(range(256)) * 300
+        dist.upload_file("c", "pw", "f.bin", data, 3)
+        assert dist.get_file("c", "pw", "f.bin") == data
+        import io
+        dist.put_stream("c", "pw", "g.bin", io.BytesIO(data), 3)
+        assert b"".join(dist.get_stream("c", "pw", "g.bin")) == data
+    finally:
+        for p in providers:
+            p.close()
+        for s in servers:
+            s.stop()
+
+
+def test_cluster_restart_preserves_server_class():
+    with LocalCluster(2, server_cls=AsyncChunkServer,
+                      retry=FAST_RETRY) as cluster:
+        assert all(isinstance(s, AsyncChunkServer) for s in cluster.servers)
+        cluster.kill_server(0)
+        cluster.restart_server(0)
+        assert isinstance(cluster.servers[0], AsyncChunkServer)
+        cluster.providers[0].put("k", b"v")
+        assert cluster.providers[0].get("k") == b"v"
+
+
+def test_async_server_lifecycle_guards():
+    backend = InMemoryProvider("a")
+    server = AsyncChunkServer(backend).start()
+    with pytest.raises(RuntimeError):
+        server.start()
+    port = server.port
+    server.stop()
+    server.stop()  # idempotent
+    # The port is released: a fresh server can take it.
+    server2 = AsyncChunkServer(backend, port=port).start()
+    server2.stop()
+    with pytest.raises(ValueError):
+        AsyncChunkServer(backend, backend_workers=0)
+    with pytest.raises(ValueError):
+        AsyncChunkServer(backend, max_connections=0)

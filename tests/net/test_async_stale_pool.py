@@ -1,0 +1,137 @@
+"""Async pool: stale reused sockets redial free, like the threaded pool.
+
+PR 5 taught the threaded client to reclassify a transport error on a
+*reused* pooled socket as :class:`StaleConnectionError` and redial
+without burning retry budget.  The async client briefly grew its own
+copy of that rule; both now share :func:`repro.net.pool.classify_stale`,
+and this regression suite pins the async side to the same behaviour so
+the two paths cannot drift again.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.errors import ProviderUnavailableError
+from repro.net.async_client import AsyncChunkClient
+from repro.net.async_server import AsyncChunkServer
+from repro.net.pool import StaleConnectionError, classify_stale
+from repro.net.remote import RemoteProvider
+from repro.net.server import ChunkServer
+from repro.providers.memory import InMemoryProvider
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_classifier_is_shared_with_threaded_client():
+    # One rule: the threaded client's _classify delegates to the module-
+    # level classifier the async client calls (same verdicts, same types).
+    for fresh in (True, False):
+        for err in (OSError("boom"), StaleConnectionError("x"),
+                    ConnectionResetError("gone")):
+            assert type(RemoteProvider._classify(err, fresh)) is type(
+                classify_stale(err, fresh)
+            )
+    exc = classify_stale(OSError("boom"), fresh=False)
+    assert isinstance(exc, StaleConnectionError)
+    assert classify_stale(OSError("boom"), fresh=True).args == ("boom",)
+    already = StaleConnectionError("x")
+    assert classify_stale(already, fresh=False) is already
+    # A fresh-dial failure is never "stale": the server is really gone.
+    assert not isinstance(
+        classify_stale(ConnectionRefusedError("no"), fresh=True),
+        StaleConnectionError,
+    )
+
+
+def test_async_stale_socket_redials_without_burning_budget():
+    backend = InMemoryProvider("stale")
+    server = AsyncChunkServer(backend).start()
+    port = server.port
+
+    async def scenario():
+        client = AsyncChunkClient(
+            "stale", "127.0.0.1", port,
+            attempts=3, backoff=5.0,  # a burned attempt would sleep 5 s
+        )
+        try:
+            await client.put("k", b"v")  # parks a reusable socket
+            assert client.pool.idle_count >= 1
+            server.stop()
+            server2 = AsyncChunkServer(backend, port=port).start()
+            try:
+                started = time.perf_counter()
+                assert await client.get("k") == b"v"
+                elapsed = time.perf_counter() - started
+                # The redial was free: no 5 s backoff sleep happened.
+                assert elapsed < 2.0
+            finally:
+                server2.stop()
+        finally:
+            client.close()
+
+    _run(scenario())
+
+
+def test_async_fresh_dial_failures_still_pay_full_price():
+    backend = InMemoryProvider("down")
+    server = AsyncChunkServer(backend).start()
+    port = server.port
+    server.stop()
+
+    async def scenario():
+        client = AsyncChunkClient(
+            "down", "127.0.0.1", port, attempts=2, backoff=0.01
+        )
+        try:
+            with pytest.raises(ProviderUnavailableError, match="2 attempt"):
+                await client.get("k")
+        finally:
+            client.close()
+
+    _run(scenario())
+
+
+def test_async_pool_reuses_and_discards():
+    backend = InMemoryProvider("p")
+    with AsyncChunkServer(backend) as server:
+
+        async def scenario():
+            client = AsyncChunkClient("p", server.host, server.port)
+            try:
+                await client.put("a", b"1")
+                assert client.pool.idle_count == 1
+                await client.get("a")  # reused, not a second dial
+                assert client.pool.idle_count == 1
+                client.pool.discard_idle()
+                assert client.pool.idle_count == 0
+                assert await client.get("a") == b"1"  # fresh dial works
+            finally:
+                client.close()
+
+        _run(scenario())
+
+
+def test_threaded_client_stale_path_against_async_server():
+    # The PR-5 behaviour holds when the *server* is the new async one:
+    # restart it and the threaded client's pooled socket redials free.
+    backend = InMemoryProvider("s")
+    server = AsyncChunkServer(backend).start()
+    port = server.port
+    provider = RemoteProvider("s", "127.0.0.1", port)
+    try:
+        provider.put("k", b"v")
+        assert provider.pool.idle_count >= 1
+        server.stop()
+        server2 = AsyncChunkServer(backend, port=port).start()
+        try:
+            assert provider.get("k") == b"v"
+        finally:
+            server2.stop()
+    finally:
+        provider.close()
