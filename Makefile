@@ -1,6 +1,6 @@
 # Convenience targets; see README.md for details.
 
-.PHONY: install test bench bench-pipeline bench-stream bench-obs examples reproduce clean
+.PHONY: install test bench bench-pipeline bench-stream bench-obs bench-load load-smoke examples reproduce clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -23,9 +23,21 @@ bench-stream:
 	PYTHONPATH=src pytest benchmarks/test_pipeline_throughput.py::test_stream_throughput --benchmark-only
 
 # The telemetry gate: regenerates BENCH_obs.json and fails if the
-# instrumented data path costs more than 5% of pipelined upload throughput.
+# instrumented data path costs more than 5% of pipelined upload throughput
+# (10% for download).
 bench-obs:
 	PYTHONPATH=src pytest benchmarks/test_obs_overhead.py --benchmark-only
+
+# The latency-SLO gate: regenerates BENCH_load.json and fails if the
+# fixed-rate run misses p99<250ms@200, achieves less than 95% of the
+# offered rate, or the saturation search cannot find the throttled knee.
+bench-load:
+	PYTHONPATH=src pytest benchmarks/test_load_slo.py --benchmark-only
+
+# Schema-only smoke of the load harness (what the CI load-smoke job runs):
+# tiny seeded rate, validates the BENCH_load.json shape, gates no numbers.
+load-smoke:
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src pytest benchmarks/test_load_slo.py --benchmark-only
 
 examples:
 	for f in examples/*.py; do python $$f > /dev/null || exit 1; echo "ok $$f"; done

@@ -1,0 +1,184 @@
+"""Open-loop load bench: latency SLO + saturation knee as a standing gate.
+
+Drives the seeded multi-tenant workload from :mod:`repro.loadgen`
+against an in-process distributor at a fixed offered rate and publishes
+``BENCH_load.json`` at the repo root -- the artifact every future perf
+PR regresses against: per-op-kind p50/p95/p99, achieved vs. offered
+rate, and the detected saturation knee.
+
+Two measured sections:
+
+* **fixed-rate run** -- the declared SLO (``p99 < 250ms @ 200 ops/s``)
+  against the real data path (chunking, crypto, RAID, placement).
+  Gates: achieved rate within 5% of offered, zero errors, SLO holds.
+* **saturation search** -- a stepped ramp over a
+  :class:`~repro.loadgen.driver.ThrottledTarget` whose per-op service
+  floor gives the stack a known, machine-independent capacity ceiling;
+  the gate asserts the search finds a knee below that ceiling instead
+  of pinning a machine-dependent absolute number.
+
+Under ``REPRO_BENCH_SMOKE=1`` the run shrinks to a second of tiny-rate
+traffic and only the artifact *schema* is gated (``validate_report``),
+never absolute numbers -- that profile is what the CI ``load-smoke``
+job executes on shared runners.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+from pathlib import Path
+
+from repro.core.cache import ChunkCache
+from repro.core.distributor import CloudDataDistributor
+from repro.core.privacy import PrivacyLevel
+from repro.loadgen.driver import (
+    DistributorTarget,
+    DriverConfig,
+    ThrottledTarget,
+    run_load,
+    run_setup,
+)
+from repro.loadgen.report import (
+    build_report,
+    render_report,
+    saturation_search,
+    validate_report,
+)
+from repro.loadgen.slo import SLO
+from repro.loadgen.workload import WorkloadSpec, synthesize
+from repro.obs.events import EventLog, set_events
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.obs.trace import Tracer, set_tracer
+from repro.providers.memory import InMemoryProvider
+from repro.providers.registry import ProviderRegistry
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SEED = 31
+NODES = 6
+WORKERS = 8
+
+#: The declared objective the fixed-rate run is judged against.
+SLO_EXPR = "p99<250ms@200"
+RATE = 25.0 if SMOKE else 200.0
+DURATION = 1.2 if SMOKE else 5.0
+
+#: Saturation-search shape: the throttled target sleeps SERVICE_FLOOR
+#: per op, so no machine can push one driver worker past
+#: 1/SERVICE_FLOOR ops/s and the ramp must find a knee below
+#: WORKERS/SERVICE_FLOOR regardless of CPU speed.
+SERVICE_FLOOR = 0.01
+RAMP_START = 40.0
+RAMP_GROWTH = 1.8
+RAMP_STEPS = 6
+RAMP_DURATION = 2.0
+
+OUTPUT = Path(__file__).parent.parent / "BENCH_load.json"
+
+
+def _run_once(rate: float, duration: float, *, service_floor: float = 0.0):
+    """One fresh stack + one open-loop run (trace replays need clean state)."""
+    with contextlib.ExitStack() as stack:
+        previous = (
+            set_metrics(MetricsRegistry()),
+            set_tracer(Tracer()),
+            set_events(EventLog(emit_logging=False)),
+        )
+        stack.callback(
+            lambda: (set_metrics(previous[0]), set_tracer(previous[1]),
+                     set_events(previous[2]))
+        )
+        registry = ProviderRegistry()
+        for i in range(NODES):
+            registry.register(InMemoryProvider(f"P{i}"),
+                              PrivacyLevel.PRIVATE, i % 4)
+        distributor = CloudDataDistributor(
+            registry, seed=SEED, cache=ChunkCache(32 << 20)
+        )
+        stack.callback(distributor.close)
+        target = DistributorTarget(distributor)
+        if service_floor > 0:
+            target = ThrottledTarget(target, service_floor)
+        workload = _WORKLOAD
+        run_setup(target, workload)
+        return run_load(
+            target, workload,
+            DriverConfig(rate=rate, duration=duration, workers=WORKERS,
+                         seed=SEED),
+        )
+
+
+_SPEC = WorkloadSpec()
+# Trace long enough for the widest ramp step and the measured run.
+_PEAK_OPS = int(
+    max(RATE * DURATION,
+        RAMP_START * RAMP_GROWTH ** (RAMP_STEPS - 1) * RAMP_DURATION)
+) + 1
+_WORKLOAD = synthesize(_SPEC, _PEAK_OPS, seed=SEED)
+
+
+def run_bench() -> dict:
+    slo = SLO.parse(SLO_EXPR)
+    saturation = None
+    if not SMOKE:
+        saturation = saturation_search(
+            lambda rate: _run_once(rate, RAMP_DURATION,
+                                   service_floor=SERVICE_FLOOR),
+            start_rate=RAMP_START,
+            growth=RAMP_GROWTH,
+            max_steps=RAMP_STEPS,
+            slo=slo,
+        )
+    result = _run_once(RATE, DURATION)
+    report = build_report(
+        result, _WORKLOAD,
+        target="inproc", workers=WORKERS,
+        slo_outcome=slo.evaluate(result), saturation=saturation,
+        smoke=SMOKE,
+    )
+    return report
+
+
+def test_load_slo(benchmark, save_result):
+    report = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    OUTPUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    save_result("load_slo", render_report(report))
+
+    # Schema gate -- the only one the smoke profile keeps.
+    problems = validate_report(report)
+    assert not problems, f"BENCH_load.json schema violations: {problems}"
+
+    if SMOKE:
+        return
+
+    totals = report["totals"]
+    assert totals["errors"] == 0, (
+        f"{totals['errors']} operation(s) errored at {RATE} ops/s"
+    )
+    # Open-loop honesty: below saturation the driver must actually offer
+    # the configured rate (within 5%), or every latency number is a lie.
+    assert totals["achieved_ratio"] >= 0.95, (
+        f"achieved only {totals['achieved_ratio']:.1%} of the offered "
+        f"{RATE} ops/s -- driver or stack saturated at the gate rate"
+    )
+    assert report["slo"]["ok"], (
+        f"SLO {report['slo']['expr']} violated: measured "
+        f"p99 {report['slo']['measured_ms']:.1f}ms"
+    )
+
+    search = report["saturation"]["search"]
+    assert search["breaking_rate"] is not None, (
+        f"saturation search never found the knee up to "
+        f"{search['steps'][-1]['rate']:g} ops/s -- the throttled target "
+        f"should cap out below {WORKERS / SERVICE_FLOOR:g} ops/s"
+    )
+    assert search["knee_rate"] >= RAMP_START, (
+        f"first ramp step ({RAMP_START} ops/s) already saturated: "
+        f"{search['steps'][0]}"
+    )
+    assert search["breaking_rate"] <= WORKERS / SERVICE_FLOOR, (
+        f"knee {search['breaking_rate']:g} ops/s above the physical "
+        f"capacity ceiling {WORKERS / SERVICE_FLOOR:g} ops/s"
+    )

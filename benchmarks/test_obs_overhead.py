@@ -9,12 +9,14 @@ between the two worlds so machine-load drift hits both legs equally,
 and each leg keeps its best round.  Both legs plus the overhead ratio
 land in ``BENCH_obs.json`` at the repo root.
 
-Two gates (skipped under ``REPRO_BENCH_SMOKE=1``, where tiny files
+Three gates (skipped under ``REPRO_BENCH_SMOKE=1``, where tiny files
 measure fixed overheads):
 
-* same-run A/B: the instrumented upload keeps >= 95% of the
+* same-run A/B upload: the instrumented upload keeps >= 95% of the
   uninstrumented throughput, so the counters/histograms on the hot path
   stay amortized against real wire work;
+* same-run A/B download: the instrumented download keeps >= 85% (its
+  rounds move less wire data, so fixed telemetry cost weighs more);
 * cross-PR: the instrumented upload stays within 5% of the pipelined
   single-file upload recorded in ``BENCH_pipeline.json``.
 """
@@ -44,7 +46,14 @@ LEVEL = PrivacyLevel.MODERATE  # PL-2: 4 KiB chunks from the default policy
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 FILE_SIZE = 64 * 1024 if SMOKE else 2 * 1024 * 1024
 ROUNDS = 1 if SMOKE else 5
-MAX_OVERHEAD = 0.05  # instrumented path may cost at most 5%
+MAX_OVERHEAD = 0.05  # instrumented upload may cost at most 5%
+# Download reassembles from the chunk cache when it can, so its rounds
+# move less data over the wire and the same fixed telemetry cost is a
+# larger fraction of a smaller denominator -- hence its own, looser gate
+# (recorded: 5.85%; the bound leaves noise headroom without letting a
+# gross regression -- say, per-chunk quantile math on the read path --
+# slip through).
+MAX_DOWNLOAD_OVERHEAD = 0.15
 
 OUTPUT = Path(__file__).parent.parent / "BENCH_obs.json"
 PIPELINE_BASELINE = Path(__file__).parent.parent / "BENCH_pipeline.json"
@@ -206,6 +215,11 @@ def test_obs_overhead(benchmark, save_result):
             f"instrumented upload lost "
             f"{results['upload_overhead']:.1%} (> {MAX_OVERHEAD:.0%}) vs "
             f"the uninstrumented path"
+        )
+        assert results["download_overhead"] <= MAX_DOWNLOAD_OVERHEAD, (
+            f"instrumented download lost "
+            f"{results['download_overhead']:.1%} "
+            f"(> {MAX_DOWNLOAD_OVERHEAD:.0%}) vs the uninstrumented path"
         )
         baseline = results.get("pipeline_baseline")
         if baseline is not None and baseline["comparable"]:

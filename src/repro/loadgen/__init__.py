@@ -1,0 +1,68 @@
+"""Open-loop load harness: trace-driven workloads with latency SLOs.
+
+The ROADMAP's "millions of users" claim is only as good as its
+measurement.  This package makes it measurable:
+
+* :mod:`repro.loadgen.workload` -- a seeded, deterministic synthesizer
+  producing a multi-tenant operation trace (zipfian file popularity,
+  configurable put/get/update/delete mix);
+* :mod:`repro.loadgen.driver` -- an open-loop driver that schedules the
+  trace at a target arrival rate and records every operation's latency
+  from its *intended* send time, so coordinated omission cannot hide
+  stalls behind a blocked client;
+* :mod:`repro.loadgen.slo` -- declarative latency SLOs
+  (``p99<250ms@200``) evaluated against a run;
+* :mod:`repro.loadgen.report` -- stepwise saturation search and the
+  ``BENCH_load.json`` artifact the perf regression gate reads.
+
+See ``docs/load_testing.md`` for the workload model and semantics.
+"""
+
+from repro.loadgen.driver import (
+    DistributorTarget,
+    DriverConfig,
+    GatewayClientTarget,
+    GatewayTarget,
+    LoadResult,
+    LoadTarget,
+    ThrottledTarget,
+    run_load,
+    run_setup,
+)
+from repro.loadgen.report import (
+    build_report,
+    render_report,
+    saturation_search,
+    validate_report,
+)
+from repro.loadgen.slo import SLO, SLOOutcome
+from repro.loadgen.workload import (
+    Operation,
+    OpMix,
+    Workload,
+    WorkloadSpec,
+    synthesize,
+)
+
+__all__ = [
+    "SLO",
+    "SLOOutcome",
+    "DistributorTarget",
+    "DriverConfig",
+    "GatewayClientTarget",
+    "GatewayTarget",
+    "LoadResult",
+    "LoadTarget",
+    "Operation",
+    "OpMix",
+    "ThrottledTarget",
+    "Workload",
+    "WorkloadSpec",
+    "build_report",
+    "render_report",
+    "run_load",
+    "run_setup",
+    "saturation_search",
+    "synthesize",
+    "validate_report",
+]

@@ -1,0 +1,459 @@
+"""Open-loop load driver: latency measured from *intended* send time.
+
+The classic closed-loop bench (issue, wait, issue again) commits
+coordinated omission: when the system stalls, the client stops offering
+load, so the stall shows up as *fewer samples* instead of *slow
+samples* and the percentiles lie.  This driver is open-loop:
+
+* the full arrival schedule (seeded Poisson process at the target rate)
+  is fixed before the run starts;
+* a dispatcher thread releases each operation at its intended time onto
+  an **unbounded** per-worker queue -- it never blocks on the system
+  under test, so offered load keeps arriving during a stall;
+* each operation's latency is ``completion - intended_send``, which
+  charges queueing delay (the open-loop signature of saturation) to the
+  operation that suffered it.
+
+Operations are routed to workers by tenant hash, so each tenant's
+stream stays ordered (a get never races its own file's delete) while
+tenants run concurrently -- the session model real multi-tenant traffic
+follows.  Each worker records into private
+:class:`~repro.obs.metrics.LatencyHistogram` instances (no shared lock
+on the hot path) which are merged when the run drains.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+
+from repro.loadgen.workload import OP_KINDS, Operation, Workload
+from repro.obs.events import EventLog, get_events
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry
+from repro.util.rng import derive_rng
+
+#: Scheduling lead: the dispatcher anchors t0 this far in the future so
+#: worker threads are parked on their queues before the first arrival.
+_START_LEAD_S = 0.05
+
+#: Counter families whose growth during a run lands in the saturation
+#: section (overload shed on either side of the wire, burned retries).
+SATURATION_COUNTERS = (
+    "net_server_shed_total",
+    "net_client_shed_total",
+    "gateway_shed_total",
+    "retry_budget_exhausted_total",
+)
+
+
+class LoadTarget:
+    """Minimal surface the driver drives: apply one traced operation.
+
+    Concrete targets translate the four op kinds onto a specific stack
+    (in-process distributor, fleet gateway object, gateway wire client).
+    ``prepare``/``close`` bracket a run; both default to no-ops.
+    """
+
+    name = "target"
+
+    def prepare(self, workload: Workload) -> None:
+        """Register the workload's tenants (before the setup puts)."""
+
+    def apply(self, op: Operation) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class DistributorTarget(LoadTarget):
+    """Drive a :class:`~repro.core.distributor.CloudDataDistributor`."""
+
+    name = "distributor"
+
+    def __init__(self, distributor, password: str = "load-pw") -> None:
+        self.distributor = distributor
+        self.password = password
+        self.level = None  # pinned by prepare() from the workload spec
+
+    def prepare(self, workload: Workload) -> None:
+        self.level = workload.spec.privacy_level
+        for tenant in workload.tenants:
+            self.distributor.register_client(tenant)
+            self.distributor.add_password(tenant, self.password, self.level)
+
+    def apply(self, op: Operation) -> None:
+        d, pw = self.distributor, self.password
+        if op.kind == "put":
+            d.upload_file(
+                op.tenant, pw, op.filename, op.payload(), self.level
+            )
+        elif op.kind == "get":
+            d.get_file(op.tenant, pw, op.filename)
+        elif op.kind == "update":
+            d.update_chunk(op.tenant, pw, op.filename, op.serial, op.payload())
+        elif op.kind == "delete":
+            d.remove_file(op.tenant, pw, op.filename)
+        else:
+            raise ValueError(f"unknown op kind {op.kind!r}")
+
+
+class GatewayTarget(LoadTarget):
+    """Drive a :class:`~repro.fleet.gateway.FleetGateway` in-process."""
+
+    name = "gateway"
+
+    def __init__(self, gateway, password: str = "load-pw") -> None:
+        self.gateway = gateway
+        self.password = password
+        self.level = None
+
+    def prepare(self, workload: Workload) -> None:
+        self.level = workload.spec.privacy_level
+        for tenant in workload.tenants:
+            self.gateway.register_tenant(tenant)
+            self.gateway.add_tenant_password(tenant, self.password, self.level)
+
+    def apply(self, op: Operation) -> None:
+        g, pw = self.gateway, self.password
+        if op.kind == "put":
+            g.upload_file(
+                op.tenant, pw, op.filename, op.payload(), self.level
+            )
+        elif op.kind == "get":
+            g.get_file(op.tenant, pw, op.filename)
+        elif op.kind == "update":
+            g.update_chunk(op.tenant, pw, op.filename, op.serial, op.payload())
+        elif op.kind == "delete":
+            g.remove_file(op.tenant, pw, op.filename)
+        else:
+            raise ValueError(f"unknown op kind {op.kind!r}")
+
+
+class GatewayClientTarget(LoadTarget):
+    """Drive a gateway over its JSON-lines wire, one client per worker.
+
+    :class:`~repro.net.gateway.GatewayClient` is a blocking
+    one-connection client, so each driver worker gets its own (created
+    lazily, thread-local) -- the gateway server sees N concurrent tenant
+    connections, admission control included.  Tenant registration is an
+    admin operation not exposed on the wire; ``prepare`` takes the
+    underlying gateway object.
+    """
+
+    name = "gateway-wire"
+
+    def __init__(
+        self, host: str, port: int, gateway=None, password: str = "load-pw",
+        request_timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.gateway = gateway
+        self.password = password
+        self.level = None
+        self.request_timeout = request_timeout
+        self._local = threading.local()
+        self._clients: list = []
+        self._clients_lock = threading.Lock()
+
+    def prepare(self, workload: Workload) -> None:
+        self.level = workload.spec.privacy_level
+        if self.gateway is None:
+            return
+        for tenant in workload.tenants:
+            self.gateway.register_tenant(tenant)
+            self.gateway.add_tenant_password(tenant, self.password, self.level)
+
+    def _client(self):
+        client = getattr(self._local, "client", None)
+        if client is None:
+            from repro.net.gateway import GatewayClient
+
+            client = GatewayClient(
+                self.host, self.port, request_timeout=self.request_timeout
+            )
+            self._local.client = client
+            with self._clients_lock:
+                self._clients.append(client)
+        return client
+
+    def apply(self, op: Operation) -> None:
+        client, pw = self._client(), self.password
+        if op.kind == "put":
+            client.upload_file(
+                op.tenant, pw, op.filename, op.payload(), self.level
+            )
+        elif op.kind == "get":
+            client.get_file(op.tenant, pw, op.filename)
+        elif op.kind == "update":
+            client.update_chunk(
+                op.tenant, pw, op.filename, op.serial, op.payload()
+            )
+        elif op.kind == "delete":
+            client.remove_file(op.tenant, pw, op.filename)
+        else:
+            raise ValueError(f"unknown op kind {op.kind!r}")
+
+    def close(self) -> None:
+        with self._clients_lock:
+            clients, self._clients = self._clients, []
+        for client in clients:
+            client.close()
+
+
+class ThrottledTarget(LoadTarget):
+    """Wrap a target with a fixed per-operation service floor.
+
+    With *delay* seconds of sleep per op and W workers the wrapped
+    target's capacity is exactly ``W / delay`` ops/s -- a known knee the
+    saturation-search tests (and the smoke profile) can assert against
+    without depending on machine speed.
+    """
+
+    name = "throttled"
+
+    def __init__(self, inner: LoadTarget, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.inner = inner
+        self.delay = delay
+        self.name = f"throttled({inner.name})"
+
+    def prepare(self, workload: Workload) -> None:
+        self.inner.prepare(workload)
+
+    def apply(self, op: Operation) -> None:
+        if self.delay:
+            time.sleep(self.delay)
+        self.inner.apply(op)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+@dataclass(frozen=True)
+class DriverConfig:
+    """One run's offered load shape.
+
+    ``arrival`` picks the schedule: ``"uniform"`` spaces arrivals exactly
+    ``1/rate`` apart (the offered rate is exact -- what the regression
+    gate wants), ``"poisson"`` draws seeded exponential gaps (bursty,
+    realistic -- what saturation behaves like in the field).
+    """
+
+    rate: float  # target arrival rate, ops/s
+    duration: float  # schedule length, seconds
+    workers: int = 8
+    seed: int = 0  # arrival-process seed (trace has its own)
+    arrival: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.arrival not in ("uniform", "poisson"):
+            raise ValueError(
+                f"arrival must be 'uniform' or 'poisson', got {self.arrival!r}"
+            )
+
+
+@dataclass
+class LoadResult:
+    """Aggregated outcome of one open-loop run."""
+
+    offered_rate: float
+    duration: float  # scheduled seconds
+    span: float  # first intended send -> last completion
+    dispatched: int
+    completed: int
+    errors: dict[str, int]
+    counts: dict[str, int]
+    histograms: dict[str, LatencyHistogram]
+    saturation_events: dict[str, int] = field(default_factory=dict)
+    saturation_counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def achieved_rate(self) -> float:
+        return self.completed / self.span if self.span > 0 else 0.0
+
+    @property
+    def achieved_ratio(self) -> float:
+        return self.achieved_rate / self.offered_rate if self.offered_rate else 0.0
+
+    @property
+    def error_total(self) -> int:
+        return sum(self.errors.values())
+
+    def combined(self) -> LatencyHistogram:
+        """All op kinds merged into one histogram."""
+        out = LatencyHistogram()
+        for hist in self.histograms.values():
+            out.merge_from(hist)
+        return out
+
+    def percentile(self, q: float, kind: str | None = None) -> float:
+        hist = self.combined() if kind is None else self.histograms[kind]
+        return hist.percentile(q)
+
+    @property
+    def pool_saturation_count(self) -> int:
+        return self.saturation_events.get("pool_saturation", 0)
+
+
+class _Worker(threading.Thread):
+    """Drains one queue; keeps private per-kind histograms and counts."""
+
+    def __init__(self, target: LoadTarget, inbox: "queue.Queue") -> None:
+        super().__init__(daemon=True)
+        self.target = target
+        self.inbox = inbox
+        self.hists = {kind: LatencyHistogram() for kind in OP_KINDS}
+        self.errors = {kind: 0 for kind in OP_KINDS}
+        self.counts = {kind: 0 for kind in OP_KINDS}
+        self.last_completion = 0.0
+
+    def run(self) -> None:
+        while True:
+            item = self.inbox.get()
+            if item is None:
+                return
+            intended, op = item
+            try:
+                self.target.apply(op)
+            except Exception:
+                # A failed request still consumed the user's time; its
+                # latency counts, and the failure is tallied separately.
+                self.errors[op.kind] += 1
+            done = time.perf_counter()
+            self.hists[op.kind].observe(max(0.0, done - intended))
+            self.counts[op.kind] += 1
+            self.last_completion = max(self.last_completion, done)
+
+
+def run_setup(target: LoadTarget, workload: Workload) -> None:
+    """Register tenants and store the initial file population (untimed)."""
+    target.prepare(workload)
+    for op in workload.setup:
+        target.apply(op)
+
+
+def run_load(
+    target: LoadTarget,
+    workload: Workload,
+    config: DriverConfig,
+    *,
+    events: EventLog | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> LoadResult:
+    """Offer ``workload.operations`` open-loop at ``config.rate``.
+
+    The schedule covers ``config.duration`` seconds of Poisson arrivals
+    (seeded -- the *timing* jitter is reproducible too); the trace is
+    consumed in order and truncated to whichever runs out first, the
+    schedule or the operations.  ``events`` (default: the process-wide
+    log) is watched for ``pool_saturation`` and shed narration during
+    the run; ``metrics``, when given, contributes before/after deltas of
+    the overload counter families to the result.
+    """
+    events = events if events is not None else get_events()
+    rng = derive_rng(config.seed)
+
+    # Fixed arrival schedule, before anything runs.
+    gap = 1.0 / config.rate
+    offsets: list[float] = []
+    if config.arrival == "uniform":
+        # Multiplied, not accumulated: summing 1/rate drifts by an ulp
+        # and silently drops the final arrival of the schedule.
+        n = min(int(config.rate * config.duration + 1e-9),
+                len(workload.operations))
+        offsets = [(i + 1) * gap for i in range(n)]
+    else:
+        t = 0.0
+        while len(offsets) < len(workload.operations):
+            t += float(rng.exponential(gap))
+            if t > config.duration:
+                break
+            offsets.append(t)
+    schedule = list(zip(offsets, workload.operations))
+
+    workers = [
+        _Worker(target, queue.Queue()) for _ in range(config.workers)
+    ]
+    for worker in workers:
+        worker.start()
+
+    # Event watch: count by name, chaining any previously installed hook.
+    event_counts: dict[str, int] = {}
+    counts_lock = threading.Lock()
+    previous_hook = events.on_event
+    watched = {"pool_saturation", "journal_recovery"}
+
+    def _watch(record: dict) -> None:
+        name = record.get("event")
+        if name in watched:
+            with counts_lock:
+                event_counts[name] = event_counts.get(name, 0) + 1
+        if previous_hook is not None:
+            previous_hook(record)
+
+    events.on_event = _watch
+    counters_before = {
+        name: metrics.sum_counter(name) for name in SATURATION_COUNTERS
+    } if metrics is not None else {}
+
+    t0 = time.perf_counter() + _START_LEAD_S
+    try:
+        for offset, op in schedule:
+            intended = t0 + offset
+            delay = intended - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            # Tenant-hash routing keeps each tenant's stream ordered
+            # (crc32: stable across processes, unlike str.__hash__).
+            inbox = workers[
+                zlib.crc32(op.tenant.encode()) % len(workers)
+            ].inbox
+            inbox.put((intended, op))
+        for worker in workers:
+            worker.inbox.put(None)
+        for worker in workers:
+            worker.join()
+    finally:
+        events.on_event = previous_hook
+
+    saturation_counters = {
+        name: metrics.sum_counter(name) - counters_before[name]
+        for name in counters_before
+    } if metrics is not None else {}
+
+    histograms = {kind: LatencyHistogram() for kind in OP_KINDS}
+    errors = {kind: 0 for kind in OP_KINDS}
+    counts = {kind: 0 for kind in OP_KINDS}
+    last_completion = t0
+    for worker in workers:
+        for kind in OP_KINDS:
+            histograms[kind].merge_from(worker.hists[kind])
+            errors[kind] += worker.errors[kind]
+            counts[kind] += worker.counts[kind]
+        last_completion = max(last_completion, worker.last_completion)
+
+    completed = sum(counts.values())
+    return LoadResult(
+        offered_rate=config.rate,
+        duration=config.duration,
+        span=max(last_completion - t0, 1e-9),
+        dispatched=len(schedule),
+        completed=completed,
+        errors=errors,
+        counts=counts,
+        histograms=histograms,
+        saturation_events=dict(event_counts),
+        saturation_counters=saturation_counters,
+    )

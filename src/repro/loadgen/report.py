@@ -1,0 +1,363 @@
+"""Saturation search and the ``BENCH_load.json`` artifact.
+
+The knee of an open-loop system is where offered and achieved rate part
+ways: below it the system completes what arrives (achieved tracks
+offered, latency is flat-ish); above it the queue grows without bound
+and tail latency is a function of run length, not the system.  The
+search steps the offered rate geometrically and declares saturation at
+the first step that breaks any of
+
+* the declared SLO (when one is given),
+* the achieved/offered ratio floor (default 95%), or
+* the ``pool_saturation`` early-warning budget (default: any event).
+
+``BENCH_load.json`` is the standing artifact all future perf PRs gate
+against: per-op-kind p50/p95/p99 at the target rate, achieved vs.
+offered, error counts, the saturation section, and the workload's trace
+digest (which pins *what* was measured).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.loadgen.driver import LoadResult
+from repro.loadgen.slo import SLO, SLOOutcome
+from repro.loadgen.workload import OP_KINDS, Workload
+from repro.util.tables import render_table
+
+SCHEMA = "repro.loadgen/v1"
+
+#: Achieved/offered floor below which a step counts as saturated.
+ACHIEVED_RATIO_FLOOR = 0.95
+
+
+@dataclass(frozen=True)
+class SaturationStep:
+    rate: float
+    result: LoadResult
+    slo_outcome: SLOOutcome | None
+    ok: bool
+    reason: str  # "" when ok
+
+    def to_dict(self) -> dict:
+        return {
+            "rate": self.rate,
+            "achieved_rate": round(self.result.achieved_rate, 2),
+            "achieved_ratio": round(self.result.achieved_ratio, 4),
+            "p99_ms": round(self.result.percentile(99.0) * 1e3, 3),
+            "errors": self.result.error_total,
+            "pool_saturation_events": self.result.pool_saturation_count,
+            "ok": self.ok,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class SaturationReport:
+    """Outcome of one stepped rate ramp."""
+
+    knee_rate: float | None  # highest rate that still passed
+    breaking_rate: float | None  # first rate that failed (None: none did)
+    reason: str  # why the breaking rate failed ("" if search exhausted)
+    steps: list[SaturationStep] = field(default_factory=list)
+
+    @property
+    def saturated(self) -> bool:
+        return self.breaking_rate is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "knee_rate": self.knee_rate,
+            "breaking_rate": self.breaking_rate,
+            "reason": self.reason,
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+
+def saturation_search(
+    run_at: Callable[[float], LoadResult],
+    *,
+    start_rate: float,
+    growth: float = 1.6,
+    max_steps: int = 8,
+    slo: SLO | None = None,
+    achieved_ratio_floor: float = ACHIEVED_RATIO_FLOOR,
+    pool_saturation_budget: int = 0,
+) -> SaturationReport:
+    """Step the offered rate up until something gives.
+
+    *run_at* performs one run at the given rate and returns its
+    :class:`LoadResult` -- the caller closes over the target, workload
+    and per-step duration.  Steps grow geometrically from *start_rate*
+    by *growth*; the ramp stops at the first failing step (the knee is
+    the previous one) or after *max_steps* all-passing steps.
+    """
+    if start_rate <= 0:
+        raise ValueError(f"start_rate must be > 0, got {start_rate}")
+    if growth <= 1.0:
+        raise ValueError(f"growth must be > 1, got {growth}")
+    if max_steps < 1:
+        raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+
+    steps: list[SaturationStep] = []
+    knee: float | None = None
+    rate = float(start_rate)
+    for _ in range(max_steps):
+        result = run_at(rate)
+        outcome = slo.evaluate(result) if slo is not None else None
+        reasons = []
+        if result.achieved_ratio < achieved_ratio_floor:
+            reasons.append(
+                f"achieved {result.achieved_ratio:.1%} of offered "
+                f"(< {achieved_ratio_floor:.0%})"
+            )
+        if result.pool_saturation_count > pool_saturation_budget:
+            reasons.append(
+                f"{result.pool_saturation_count} pool_saturation events "
+                f"(> {pool_saturation_budget})"
+            )
+        if outcome is not None and not outcome.ok:
+            reasons.append(outcome.summary())
+        ok = not reasons
+        step = SaturationStep(
+            rate=rate, result=result, slo_outcome=outcome,
+            ok=ok, reason="; ".join(reasons),
+        )
+        steps.append(step)
+        if not ok:
+            return SaturationReport(
+                knee_rate=knee, breaking_rate=rate,
+                reason=step.reason, steps=steps,
+            )
+        knee = rate
+        rate = rate * growth
+    return SaturationReport(
+        knee_rate=knee, breaking_rate=None, reason="", steps=steps,
+    )
+
+
+# ---------------------------------------------------------------------------
+# artifact
+# ---------------------------------------------------------------------------
+
+
+def _op_summary(result: LoadResult, kind: str) -> dict:
+    hist = result.histograms[kind]
+    count = hist.count
+    return {
+        "count": count,
+        "errors": result.errors.get(kind, 0),
+        "mean_ms": round(hist.sum / count * 1e3, 3) if count else 0.0,
+        "p50_ms": round(hist.percentile(50.0) * 1e3, 3) if count else 0.0,
+        "p95_ms": round(hist.percentile(95.0) * 1e3, 3) if count else 0.0,
+        "p99_ms": round(hist.percentile(99.0) * 1e3, 3) if count else 0.0,
+    }
+
+
+def build_report(
+    result: LoadResult,
+    workload: Workload,
+    *,
+    target: str,
+    workers: int,
+    arrival: str = "uniform",
+    slo_outcome: SLOOutcome | None = None,
+    saturation: SaturationReport | None = None,
+    smoke: bool = False,
+) -> dict:
+    """Assemble the BENCH_load.json document for one measured run."""
+    combined = result.combined()
+    ops = {
+        kind: _op_summary(result, kind)
+        for kind in OP_KINDS
+        if result.counts.get(kind) or result.errors.get(kind)
+    }
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "target": target,
+            "rate": result.offered_rate,
+            "duration": result.duration,
+            "workers": workers,
+            "arrival": arrival,
+            "seed": workload.seed,
+            "workload": workload.spec.to_dict(),
+            "trace_digest": workload.trace_digest(),
+            "smoke": smoke,
+        },
+        "totals": {
+            "dispatched": result.dispatched,
+            "completed": result.completed,
+            "errors": result.error_total,
+            "span_s": round(result.span, 4),
+            "offered_rate": round(result.offered_rate, 2),
+            "achieved_rate": round(result.achieved_rate, 2),
+            "achieved_ratio": round(result.achieved_ratio, 4),
+            "p50_ms": round(combined.percentile(50.0) * 1e3, 3),
+            "p95_ms": round(combined.percentile(95.0) * 1e3, 3),
+            "p99_ms": round(combined.percentile(99.0) * 1e3, 3),
+        },
+        "ops": ops,
+        "slo": slo_outcome.to_dict() if slo_outcome is not None else None,
+        "saturation": {
+            "pool_saturation_events": result.pool_saturation_count,
+            "events": dict(result.saturation_events),
+            "counters": {
+                name: value
+                for name, value in result.saturation_counters.items()
+                if value
+            },
+            "search": saturation.to_dict() if saturation is not None else None,
+        },
+    }
+
+
+#: Required key paths, the schema contract ``validate_report`` enforces
+#: (the CI smoke profile gates on shape, never on absolute numbers).
+_REQUIRED_TOTALS = (
+    "dispatched", "completed", "errors", "offered_rate", "achieved_rate",
+    "achieved_ratio", "p50_ms", "p95_ms", "p99_ms",
+)
+_REQUIRED_OP_KEYS = (
+    "count", "errors", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
+)
+
+
+def validate_report(report: dict) -> list[str]:
+    """Structural check of a BENCH_load.json document.
+
+    Returns a list of problems (empty == valid); kept dependency-free so
+    the CI smoke job can call it against the published artifact.
+    """
+    problems: list[str] = []
+    if report.get("schema") != SCHEMA:
+        problems.append(
+            f"schema is {report.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    config = report.get("config")
+    if not isinstance(config, dict):
+        problems.append("missing config section")
+    else:
+        for key in ("target", "rate", "duration", "seed", "workload",
+                    "trace_digest"):
+            if key not in config:
+                problems.append(f"config.{key} missing")
+    totals = report.get("totals")
+    if not isinstance(totals, dict):
+        problems.append("missing totals section")
+    else:
+        for key in _REQUIRED_TOTALS:
+            if key not in totals:
+                problems.append(f"totals.{key} missing")
+    ops = report.get("ops")
+    if not isinstance(ops, dict) or not ops:
+        problems.append("ops section missing or empty")
+    else:
+        for kind, summary in ops.items():
+            if kind not in OP_KINDS:
+                problems.append(f"ops has unknown kind {kind!r}")
+                continue
+            for key in _REQUIRED_OP_KEYS:
+                if key not in summary:
+                    problems.append(f"ops.{kind}.{key} missing")
+    saturation = report.get("saturation")
+    if not isinstance(saturation, dict):
+        problems.append("missing saturation section")
+    elif "pool_saturation_events" not in saturation:
+        problems.append("saturation.pool_saturation_events missing")
+    return problems
+
+
+def render_report(report: dict) -> str:
+    """Human-readable tables for the CLI and bench output."""
+    totals = report["totals"]
+    config = report["config"]
+    rows = []
+    for kind in OP_KINDS:
+        summary = report["ops"].get(kind)
+        if summary is None:
+            continue
+        rows.append([
+            kind,
+            summary["count"],
+            summary["errors"],
+            f"{summary['mean_ms']:.2f}",
+            f"{summary['p50_ms']:.2f}",
+            f"{summary['p95_ms']:.2f}",
+            f"{summary['p99_ms']:.2f}",
+        ])
+    rows.append([
+        "all", totals["completed"], totals["errors"], "",
+        f"{totals['p50_ms']:.2f}",
+        f"{totals['p95_ms']:.2f}",
+        f"{totals['p99_ms']:.2f}",
+    ])
+    lines = [
+        render_table(
+            ["op", "count", "errors", "mean ms", "p50 ms", "p95 ms",
+             "p99 ms"],
+            rows,
+            title=(
+                f"LOAD: {config['target']} @ {config['rate']:g} ops/s "
+                f"for {config['duration']:g}s (seed {config['seed']})"
+            ),
+        ),
+        (
+            f"offered {totals['offered_rate']:g} ops/s, achieved "
+            f"{totals['achieved_rate']:g} ops/s "
+            f"({totals['achieved_ratio']:.1%})"
+        ),
+    ]
+    slo = report.get("slo")
+    if slo is not None:
+        verdict = "OK" if slo["ok"] else "VIOLATED"
+        lines.append(
+            f"SLO {slo['expr']}: measured {slo['measured_ms']:.1f}ms "
+            f"-> {verdict}"
+        )
+    saturation = report["saturation"]
+    lines.append(
+        f"saturation: {saturation['pool_saturation_events']} "
+        f"pool_saturation event(s)"
+        + (
+            "; counters " + ", ".join(
+                f"{k}={v:g}" for k, v in saturation["counters"].items()
+            )
+            if saturation.get("counters")
+            else ""
+        )
+    )
+    search = saturation.get("search")
+    if search is not None:
+        step_rows = [
+            [
+                f"{s['rate']:g}",
+                f"{s['achieved_rate']:g}",
+                f"{s['achieved_ratio']:.1%}",
+                f"{s['p99_ms']:.1f}",
+                s["pool_saturation_events"],
+                "pass" if s["ok"] else "FAIL",
+            ]
+            for s in search["steps"]
+        ]
+        lines.append(
+            render_table(
+                ["rate", "achieved", "ratio", "p99 ms", "pool sat", "verdict"],
+                step_rows,
+                title="Saturation search",
+            )
+        )
+        if search["breaking_rate"] is not None:
+            lines.append(
+                f"saturation point: knee at {search['knee_rate']} ops/s, "
+                f"breaks at {search['breaking_rate']:g} ops/s "
+                f"({search['reason']})"
+            )
+        else:
+            lines.append(
+                f"no saturation found up to {search['steps'][-1]['rate']:g} "
+                f"ops/s (knee >= {search['knee_rate']:g})"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Declarative latency SLOs: ``[op:]pQQ<THRESHOLD[@RATE]``.
+
+An SLO is a falsifiable sentence about a run: "the 99th percentile of
+(get) latency stays under 250 ms at 200 ops/s".  The grammar mirrors
+how operators write them::
+
+    p99<250ms            # all ops combined
+    get:p95<40ms         # one op kind
+    p99<1.5s@200         # with the rate it is promised at
+
+The rate clause is advisory for a single run (the driver already fixes
+the offered rate) but anchors the saturation search: the knee is the
+highest stepped rate at which the SLO still holds.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.loadgen.workload import OP_KINDS
+
+_SLO_RE = re.compile(
+    r"^(?:(?P<op>[a-z]+):)?"
+    r"p(?P<q>\d+(?:\.\d+)?)"
+    r"\s*<\s*"
+    r"(?P<value>\d+(?:\.\d+)?)\s*(?P<unit>ms|s|us)"
+    r"(?:\s*@\s*(?P<rate>\d+(?:\.\d+)?))?$"
+)
+
+_UNIT_S = {"us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One latency objective; ``op=None`` means all kinds combined."""
+
+    quantile: float  # e.g. 99.0
+    threshold_s: float
+    rate: float | None = None
+    op: str | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile <= 100.0:
+            raise ValueError(
+                f"quantile must be in (0, 100], got {self.quantile}"
+            )
+        if self.threshold_s <= 0:
+            raise ValueError(
+                f"threshold must be positive, got {self.threshold_s}"
+            )
+        if self.op is not None and self.op not in OP_KINDS:
+            raise ValueError(
+                f"unknown op kind {self.op!r} (expected one of {OP_KINDS})"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "SLO":
+        match = _SLO_RE.match(text.strip().lower())
+        if match is None:
+            raise ValueError(
+                f"cannot parse SLO {text!r} "
+                "(expected e.g. 'p99<250ms', 'get:p95<40ms', 'p99<1s@200')"
+            )
+        return cls(
+            quantile=float(match.group("q")),
+            threshold_s=(
+                float(match.group("value")) * _UNIT_S[match.group("unit")]
+            ),
+            rate=float(match.group("rate")) if match.group("rate") else None,
+            op=match.group("op"),
+        )
+
+    def expr(self) -> str:
+        """Canonical text form (round-trips through :meth:`parse`)."""
+        prefix = f"{self.op}:" if self.op else ""
+        quantile = (
+            f"{self.quantile:g}"
+        )
+        threshold = f"{self.threshold_s * 1e3:g}ms"
+        suffix = f"@{self.rate:g}" if self.rate is not None else ""
+        return f"{prefix}p{quantile}<{threshold}{suffix}"
+
+    def evaluate(self, result) -> "SLOOutcome":
+        """Judge one :class:`~repro.loadgen.driver.LoadResult`."""
+        measured = result.percentile(self.quantile, kind=self.op)
+        return SLOOutcome(
+            slo=self,
+            measured_s=measured,
+            ok=measured < self.threshold_s,
+        )
+
+
+@dataclass(frozen=True)
+class SLOOutcome:
+    slo: SLO
+    measured_s: float
+    ok: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "expr": self.slo.expr(),
+            "quantile": self.slo.quantile,
+            "op": self.slo.op,
+            "threshold_ms": round(self.slo.threshold_s * 1e3, 3),
+            "measured_ms": round(self.measured_s * 1e3, 3),
+            "rate": self.slo.rate,
+            "ok": self.ok,
+        }
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "VIOLATED"
+        return (
+            f"SLO {self.slo.expr()}: measured "
+            f"{self.measured_s * 1e3:.1f}ms -> {verdict}"
+        )

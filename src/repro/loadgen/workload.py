@@ -1,0 +1,272 @@
+"""Deterministic multi-tenant workload synthesis.
+
+A load number is only comparable to last week's if the two runs issued
+the same operations -- so the synthesizer is a pure function of its
+seed: one :class:`numpy.random.Generator` drives every draw in a fixed
+order, and the resulting trace is byte-identical across runs, machines
+and Python versions (``trace_digest`` asserts it).
+
+The shape follows the realistic-load arguments in PAPERS.md (iPrivacy's
+end-to-end latency point, Dhinakaran et al.'s skewed parallel mining
+traffic): a population of tenants with zipf-skewed request share, each
+owning a set of files whose popularity is itself zipfian, and a
+configurable put/get/update/delete mix.  The synthesizer tracks the live
+file set as it emits operations, so the trace is *valid by
+construction* -- a get never targets a deleted file, a put never
+collides with a live name -- and any error a run does produce is the
+system's, not the workload's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.util.rng import derive_rng
+from repro.workloads.files import random_bytes
+
+#: Operation kinds, in the order mix weights are drawn.
+OP_KINDS = ("get", "put", "update", "delete")
+
+#: A tenant never drops below this many live files: deletes retarget to
+#: puts near the floor so the population cannot die out mid-trace.
+MIN_LIVE_FILES = 2
+
+#: Bounded-rejection budget for zipf rank draws; past it the draw falls
+#: back to the head rank (still deterministic, negligibly more skewed).
+_ZIPF_ATTEMPTS = 64
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """Relative operation weights (normalized at draw time)."""
+
+    get: float = 0.70
+    put: float = 0.15
+    update: float = 0.10
+    delete: float = 0.05
+
+    def weights(self) -> tuple[float, ...]:
+        raw = (self.get, self.put, self.update, self.delete)
+        if any(w < 0 for w in raw):
+            raise ValueError(f"mix weights must be >= 0, got {raw}")
+        total = sum(raw)
+        if total <= 0:
+            raise ValueError("mix weights must not all be zero")
+        return tuple(w / total for w in raw)
+
+    def to_dict(self) -> dict:
+        return {
+            "get": self.get, "put": self.put,
+            "update": self.update, "delete": self.delete,
+        }
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Knobs describing the synthetic population and its traffic."""
+
+    tenants: int = 4
+    files_per_tenant: int = 12
+    mean_file_size: int = 8192
+    size_jitter: float = 0.5  # sizes uniform in mean*(1 +/- jitter)
+    zipf_alpha: float = 1.2  # file popularity skew (> 1)
+    tenant_alpha: float = 1.1  # tenant request-share skew (> 1)
+    mix: OpMix = field(default_factory=OpMix)
+    privacy_level: int = 2
+
+    def __post_init__(self) -> None:
+        if self.tenants < 1:
+            raise ValueError(f"tenants must be >= 1, got {self.tenants}")
+        if self.files_per_tenant < MIN_LIVE_FILES:
+            raise ValueError(
+                f"files_per_tenant must be >= {MIN_LIVE_FILES}, "
+                f"got {self.files_per_tenant}"
+            )
+        if self.mean_file_size < 1:
+            raise ValueError(
+                f"mean_file_size must be >= 1, got {self.mean_file_size}"
+            )
+        if not 0.0 <= self.size_jitter < 1.0:
+            raise ValueError(
+                f"size_jitter must be in [0, 1), got {self.size_jitter}"
+            )
+        if self.zipf_alpha <= 1.0 or self.tenant_alpha <= 1.0:
+            raise ValueError(
+                "zipf_alpha and tenant_alpha must be > 1 for a proper "
+                f"Zipf, got {self.zipf_alpha} / {self.tenant_alpha}"
+            )
+        self.mix.weights()  # validate eagerly
+
+    def to_dict(self) -> dict:
+        return {
+            "tenants": self.tenants,
+            "files_per_tenant": self.files_per_tenant,
+            "mean_file_size": self.mean_file_size,
+            "size_jitter": self.size_jitter,
+            "zipf_alpha": self.zipf_alpha,
+            "tenant_alpha": self.tenant_alpha,
+            "mix": self.mix.to_dict(),
+            "privacy_level": self.privacy_level,
+        }
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One traced operation; payload bytes are re-derived from the seed.
+
+    Payloads are not materialized in the trace -- a million-op trace
+    would not fit in memory -- but ``payload_seed`` pins them, so two
+    runs of the same trace write identical bytes.
+    """
+
+    index: int
+    kind: str  # one of OP_KINDS
+    tenant: str
+    filename: str
+    size: int = 0  # payload bytes (put/update only)
+    payload_seed: int = 0
+    serial: int = 0  # chunk serial (update only)
+
+    def payload(self) -> bytes:
+        if self.size <= 0:
+            return b""
+        return random_bytes(self.size, seed=self.payload_seed)
+
+    def trace_line(self) -> str:
+        return (
+            f"{self.index} {self.kind} {self.tenant} {self.filename} "
+            f"{self.size} {self.payload_seed} {self.serial}"
+        )
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A synthesized trace: setup puts plus the timed operation stream."""
+
+    spec: WorkloadSpec
+    seed: int
+    setup: tuple[Operation, ...]
+    operations: tuple[Operation, ...]
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        return tuple(
+            f"t{i}" for i in range(self.spec.tenants)
+        )
+
+    def trace_digest(self) -> str:
+        """SHA-256 over the canonical trace -- the determinism witness."""
+        digest = hashlib.sha256()
+        for op in self.setup:
+            digest.update(op.trace_line().encode())
+            digest.update(b"\n")
+        digest.update(b"--\n")
+        for op in self.operations:
+            digest.update(op.trace_line().encode())
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+
+def _zipf_rank(rng, alpha: float, n: int) -> int:
+    """A zipf(alpha) rank in [0, n), by bounded rejection.
+
+    ``Generator.zipf`` samples the unbounded law; draws past the live
+    set are rejected and redrawn so the in-range mass keeps its shape
+    (a modulo fold would alias tail mass onto arbitrary ranks).
+    """
+    if n <= 1:
+        return 0
+    for _ in range(_ZIPF_ATTEMPTS):
+        rank = int(rng.zipf(alpha)) - 1
+        if rank < n:
+            return rank
+    return 0
+
+
+def _draw_size(rng, spec: WorkloadSpec) -> int:
+    lo = spec.mean_file_size * (1.0 - spec.size_jitter)
+    hi = spec.mean_file_size * (1.0 + spec.size_jitter)
+    return max(1, int(lo + (hi - lo) * rng.random()))
+
+
+def synthesize(spec: WorkloadSpec, n_ops: int, seed: int = 0) -> Workload:
+    """Generate *n_ops* operations (plus setup puts) from *seed*.
+
+    Every tenant starts with ``files_per_tenant`` live files (the setup
+    puts).  Each timed operation draws a tenant (zipf over tenants), a
+    kind (mix weights), and -- for get/update/delete -- a live file by
+    zipf rank over the tenant's popularity-ordered list.  New files are
+    inserted at a drawn rank, so popularity churns the way real corpora
+    do instead of freezing the launch-day hot set.
+    """
+    if n_ops < 0:
+        raise ValueError(f"n_ops must be >= 0, got {n_ops}")
+    rng = derive_rng(seed)
+    tenants = [f"t{i}" for i in range(spec.tenants)]
+    weights = [1.0 / (r + 1) ** spec.tenant_alpha for r in range(len(tenants))]
+    total_w = sum(weights)
+    tenant_weights = [w / total_w for w in weights]
+
+    live: dict[str, list[str]] = {t: [] for t in tenants}
+    created: dict[str, int] = {t: 0 for t in tenants}
+    index = 0
+
+    def next_seed() -> int:
+        return int(rng.integers(0, 2**63 - 1))
+
+    def make_put(tenant: str) -> Operation:
+        nonlocal index
+        name = f"{tenant}-f{created[tenant]}"
+        created[tenant] += 1
+        rank = int(rng.integers(0, len(live[tenant]) + 1))
+        live[tenant].insert(rank, name)
+        op = Operation(
+            index=index, kind="put", tenant=tenant, filename=name,
+            size=_draw_size(rng, spec), payload_seed=next_seed(),
+        )
+        index += 1
+        return op
+
+    setup: list[Operation] = []
+    for tenant in tenants:
+        for _ in range(spec.files_per_tenant):
+            setup.append(make_put(tenant))
+
+    mix_weights = spec.mix.weights()
+    operations: list[Operation] = []
+    for _ in range(n_ops):
+        tenant = tenants[
+            int(rng.choice(len(tenants), p=tenant_weights))
+        ]
+        kind = OP_KINDS[int(rng.choice(len(OP_KINDS), p=mix_weights))]
+        pool = live[tenant]
+        if kind == "delete" and len(pool) <= MIN_LIVE_FILES:
+            kind = "put"  # keep the population alive
+        if kind == "put":
+            operations.append(make_put(tenant))
+            continue
+        rank = _zipf_rank(rng, spec.zipf_alpha, len(pool))
+        filename = pool[rank]
+        if kind == "get":
+            op = Operation(
+                index=index, kind="get", tenant=tenant, filename=filename
+            )
+        elif kind == "update":
+            op = Operation(
+                index=index, kind="update", tenant=tenant, filename=filename,
+                size=_draw_size(rng, spec), payload_seed=next_seed(),
+                serial=0,
+            )
+        else:  # delete
+            pool.pop(rank)
+            op = Operation(
+                index=index, kind="delete", tenant=tenant, filename=filename
+            )
+        index += 1
+        operations.append(op)
+
+    return Workload(
+        spec=spec, seed=seed,
+        setup=tuple(setup), operations=tuple(operations),
+    )

@@ -53,11 +53,15 @@ class EventLog:
         """Record one event; returns the stored dict."""
         if level not in _LEVELS:
             raise ValueError(f"unknown level {level!r}")
+        # The record is fully built *before* it becomes reachable: a
+        # concurrent ``named()``/``last()`` iterating the ring must never
+        # observe a half-populated dict, so the field merge and the
+        # publish into ``recent`` both happen under the sequence lock.
         with self._lock:
             self._seq += 1
             record = {"seq": self._seq, "event": event, "level": level}
-        record.update(fields)
-        self.recent.append(record)
+            record.update(fields)
+            self.recent.append(record)
         if self.on_event is not None:
             self.on_event(record)
         if self.emit_logging and log.isEnabledFor(_LEVELS[level]):

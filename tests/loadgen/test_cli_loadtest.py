@@ -1,0 +1,100 @@
+"""``repro loadtest``: both stacks end to end, SLO exit codes, artifacts."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.loadgen.report import validate_report
+
+COMMON = ["--rate", "40", "--duration", "0.8", "--seed", "5",
+          "--workers", "4", "--tenants", "3", "--files-per-tenant", "4",
+          "--file-size", "2048"]
+
+
+def _load(path):
+    report = json.loads(path.read_text())
+    assert validate_report(report) == []
+    return report
+
+
+def test_loadtest_inproc_writes_valid_report(tmp_path, capsys):
+    out = tmp_path / "load.json"
+    assert main(["loadtest", *COMMON, "--json", str(out)]) == 0
+    report = _load(out)
+    assert report["config"]["target"] == "inproc"
+    assert report["totals"]["errors"] == 0
+    assert report["totals"]["completed"] == report["totals"]["dispatched"]
+    assert "LOAD: inproc @ 40" in capsys.readouterr().out
+
+
+def test_loadtest_same_seed_same_trace_digest(tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    assert main(["loadtest", *COMMON, "--json", str(a)]) == 0
+    assert main(["loadtest", *COMMON, "--json", str(b)]) == 0
+    assert (
+        _load(a)["config"]["trace_digest"] == _load(b)["config"]["trace_digest"]
+    )
+
+
+def test_loadtest_slo_violation_exits_2(tmp_path):
+    out = tmp_path / "load.json"
+    # 1us p99 is unmeetable; the run itself must still be clean.
+    code = main(["loadtest", *COMMON, "--slo", "p99<1us",
+                 "--json", str(out)])
+    assert code == 2
+    report = _load(out)
+    assert report["slo"]["ok"] is False
+    assert report["totals"]["errors"] == 0
+
+
+def test_loadtest_gateway_over_the_wire(tmp_path):
+    out = tmp_path / "load.json"
+    assert main([
+        "loadtest", *COMMON, "--target", "gateway", "--nodes", "3",
+        "--shards", "2", "--json", str(out),
+    ]) == 0
+    report = _load(out)
+    assert report["config"]["target"] == "gateway"
+    assert report["totals"]["errors"] == 0
+
+
+def test_loadtest_overdriven_cluster_reports_pool_saturation(tmp_path):
+    # Threshold 0 marks every fresh dial as a saturated checkout, so the
+    # deliberately overdriven run must surface pool_saturation events in
+    # the report's saturation section.
+    out = tmp_path / "load.json"
+    assert main([
+        "loadtest", *COMMON, "--target", "cluster", "--nodes", "3",
+        "--pool-size", "1", "--saturation-threshold", "0",
+        "--json", str(out),
+    ]) == 0
+    saturation = _load(out)["saturation"]
+    assert saturation["pool_saturation_events"] > 0
+    assert saturation["events"]["pool_saturation"] > 0
+
+
+def test_loadtest_ramp_detects_throttled_knee(tmp_path):
+    out = tmp_path / "load.json"
+    # 2 workers x 20ms floor: capacity 100 ops/s; ramp 30 -> 60 -> 120
+    # must break by the third step.
+    assert main([
+        "loadtest", *COMMON, "--rate", "30", "--workers", "2",
+        "--service-floor", "0.02", "--ramp", "--ramp-growth", "2",
+        "--ramp-steps", "3", "--ramp-duration", "0.8",
+        "--json", str(out),
+    ]) == 0
+    search = _load(out)["saturation"]["search"]
+    assert search is not None
+    assert search["breaking_rate"] is not None
+    assert search["breaking_rate"] <= 120
+    assert search["steps"][0]["ok"]
+
+
+def test_loadtest_rejects_bad_mix():
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["loadtest", "--mix", "get=0.5,jump=0.5"])
+    with pytest.raises(SystemExit):
+        main(["loadtest", "--mix", "get=half"])

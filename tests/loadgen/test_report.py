@@ -1,0 +1,145 @@
+"""Saturation search, report assembly, schema validation, rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.loadgen.driver import LoadResult
+from repro.loadgen.report import (
+    SCHEMA,
+    build_report,
+    render_report,
+    saturation_search,
+    validate_report,
+)
+from repro.loadgen.slo import SLO
+from repro.loadgen.workload import OP_KINDS, WorkloadSpec, synthesize
+from repro.obs.metrics import LatencyHistogram
+
+
+def _result(
+    *, offered: float, ratio: float = 1.0, latency: float = 0.01,
+    n: int = 100, pool_sat: int = 0,
+) -> LoadResult:
+    histograms = {kind: LatencyHistogram() for kind in OP_KINDS}
+    counts = {kind: 0 for kind in OP_KINDS}
+    for _ in range(n):
+        histograms["get"].observe(latency)
+        counts["get"] += 1
+    return LoadResult(
+        offered_rate=offered, duration=n / offered,
+        span=n / (offered * ratio),
+        dispatched=n, completed=n,
+        errors={kind: 0 for kind in OP_KINDS},
+        counts=counts, histograms=histograms,
+        saturation_events=(
+            {"pool_saturation": pool_sat} if pool_sat else {}
+        ),
+    )
+
+
+def test_search_finds_knee_at_capacity():
+    # Fake stack that keeps up until 100 ops/s, then collapses.
+    def run_at(rate: float) -> LoadResult:
+        if rate <= 100:
+            return _result(offered=rate)
+        return _result(offered=rate, ratio=100 / rate, latency=1.0)
+
+    report = saturation_search(run_at, start_rate=25, growth=2.0,
+                               max_steps=6, slo=SLO.parse("p99<500ms"))
+    assert report.saturated
+    assert report.knee_rate == 100.0  # 25 -> 50 -> 100 pass, 200 fails
+    assert report.breaking_rate == 200.0
+    assert "achieved" in report.reason and "VIOLATED" in report.reason
+    assert [s.ok for s in report.steps] == [True, True, True, False]
+
+
+def test_search_exhausts_without_saturation():
+    report = saturation_search(
+        lambda rate: _result(offered=rate), start_rate=10, growth=1.5,
+        max_steps=3,
+    )
+    assert not report.saturated
+    assert report.breaking_rate is None
+    assert report.knee_rate == pytest.approx(10 * 1.5**2)
+    assert len(report.steps) == 3
+
+
+def test_search_pool_saturation_budget():
+    report = saturation_search(
+        lambda rate: _result(offered=rate, pool_sat=3), start_rate=10,
+        growth=2.0, max_steps=4, pool_saturation_budget=2,
+    )
+    assert report.saturated and report.breaking_rate == 10
+    assert "pool_saturation" in report.reason
+
+
+def test_search_validates_arguments():
+    run = lambda rate: _result(offered=rate)  # noqa: E731
+    with pytest.raises(ValueError):
+        saturation_search(run, start_rate=0)
+    with pytest.raises(ValueError):
+        saturation_search(run, start_rate=10, growth=1.0)
+    with pytest.raises(ValueError):
+        saturation_search(run, start_rate=10, max_steps=0)
+
+
+def test_build_report_is_valid_and_json_serializable():
+    workload = synthesize(WorkloadSpec(), 50, seed=17)
+    result = _result(offered=100)
+    slo = SLO.parse("p99<250ms@200")
+    search = saturation_search(
+        lambda rate: _result(offered=rate), start_rate=50, max_steps=2,
+    )
+    report = build_report(
+        result, workload, target="inproc", workers=4,
+        slo_outcome=slo.evaluate(result), saturation=search,
+    )
+    assert report["schema"] == SCHEMA
+    assert validate_report(report) == []
+    parsed = json.loads(json.dumps(report))
+    assert parsed["config"]["trace_digest"] == workload.trace_digest()
+    assert parsed["totals"]["completed"] == 100
+    assert parsed["slo"]["ok"] is True
+    assert parsed["saturation"]["search"]["breaking_rate"] is None
+    assert set(parsed["ops"]) == {"get"}
+
+
+def test_validate_report_catches_damage():
+    workload = synthesize(WorkloadSpec(), 20, seed=1)
+    report = build_report(_result(offered=50), workload,
+                          target="inproc", workers=2)
+    assert validate_report(report) == []
+
+    broken = json.loads(json.dumps(report))
+    broken["schema"] = "nope"
+    del broken["totals"]["p99_ms"]
+    del broken["config"]["trace_digest"]
+    broken["ops"]["jump"] = {}
+    del broken["saturation"]["pool_saturation_events"]
+    problems = validate_report(broken)
+    assert len(problems) == 5
+    assert any("schema" in p for p in problems)
+    assert any("totals.p99_ms" in p for p in problems)
+    assert any("jump" in p for p in problems)
+
+
+def test_render_report_mentions_the_essentials():
+    workload = synthesize(WorkloadSpec(), 20, seed=1)
+    result = _result(offered=50, pool_sat=2)
+    slo = SLO.parse("p99<1ms")  # 10ms latencies: violated
+    search = saturation_search(
+        lambda rate: _result(offered=rate, ratio=0.5), start_rate=50,
+        max_steps=3,
+    )
+    text = render_report(build_report(
+        result, workload, target="inproc", workers=2,
+        slo_outcome=slo.evaluate(result), saturation=search,
+    ))
+    assert "LOAD: inproc @ 50" in text
+    assert "VIOLATED" in text
+    assert "2 pool_saturation event(s)" in text
+    assert "Saturation search" in text
+    assert "breaks at 50" in text

@@ -1,0 +1,80 @@
+"""SLO grammar and evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen.driver import LoadResult
+from repro.loadgen.slo import SLO
+from repro.loadgen.workload import OP_KINDS
+from repro.obs.metrics import LatencyHistogram
+
+
+def _result(latencies_by_kind: dict[str, list[float]]) -> LoadResult:
+    histograms = {kind: LatencyHistogram() for kind in OP_KINDS}
+    counts = {kind: 0 for kind in OP_KINDS}
+    for kind, values in latencies_by_kind.items():
+        for v in values:
+            histograms[kind].observe(v)
+            counts[kind] += 1
+    completed = sum(counts.values())
+    return LoadResult(
+        offered_rate=100.0, duration=1.0, span=1.0,
+        dispatched=completed, completed=completed,
+        errors={kind: 0 for kind in OP_KINDS},
+        counts=counts, histograms=histograms,
+    )
+
+
+def test_parse_variants():
+    slo = SLO.parse("p99<250ms")
+    assert slo.quantile == 99.0
+    assert slo.threshold_s == pytest.approx(0.25)
+    assert slo.op is None and slo.rate is None
+
+    slo = SLO.parse("get:p95<40ms")
+    assert slo.op == "get" and slo.quantile == 95.0
+
+    slo = SLO.parse("p99<1.5s@200")
+    assert slo.threshold_s == pytest.approx(1.5)
+    assert slo.rate == 200.0
+
+    slo = SLO.parse("put:p50 < 500us @ 12.5")
+    assert slo.threshold_s == pytest.approx(5e-4)
+    assert slo.rate == 12.5
+
+
+def test_expr_round_trips():
+    for text in ("p99<250ms", "get:p95<40ms", "p99<1500ms@200"):
+        assert SLO.parse(text).expr() == text
+        assert SLO.parse(SLO.parse(text).expr()) == SLO.parse(text)
+
+
+def test_parse_rejects_garbage():
+    for bad in ("", "p99", "p99>250ms", "99<250ms", "p99<250",
+                "jump:p99<250ms", "p0<250ms", "p101<250ms"):
+        with pytest.raises(ValueError):
+            SLO.parse(bad)
+
+
+def test_evaluate_combined_and_per_op():
+    result = _result({
+        "get": [0.010] * 99 + [0.500],
+        "put": [0.300] * 10,
+    })
+    ok = SLO.parse("get:p50<50ms").evaluate(result)
+    assert ok.ok
+    assert ok.measured_s == pytest.approx(0.010, rel=0.06)
+
+    slow_puts = SLO.parse("put:p50<50ms").evaluate(result)
+    assert not slow_puts.ok
+
+    combined = SLO.parse("p99<100ms").evaluate(result)
+    # 110 samples; ~rank-109 lands among the 0.3s puts.
+    assert not combined.ok
+
+    payload = slow_puts.to_dict()
+    assert payload["expr"] == "put:p50<50ms"
+    assert payload["ok"] is False
+    assert payload["threshold_ms"] == pytest.approx(50.0)
+    assert "VIOLATED" in slow_puts.summary()

@@ -51,6 +51,34 @@ def test_on_event_hook():
     assert seen and seen[0]["event"] == "x"
 
 
+def test_concurrent_readers_never_see_half_built_records():
+    # emit() must fully build each record before publishing it into the
+    # ring: a reader racing the writer may miss an event but must never
+    # observe one whose payload fields haven't landed yet.
+    import threading
+
+    events = EventLog(emit_logging=False)
+    stop = threading.Event()
+    torn: list[dict] = []
+
+    def read():
+        while not stop.is_set():
+            rec = events.last("tick")
+            if rec is not None and ("a" not in rec or "b" not in rec):
+                torn.append(dict(rec))
+                return
+
+    readers = [threading.Thread(target=read) for _ in range(4)]
+    for t in readers:
+        t.start()
+    for i in range(2000):
+        events.emit("tick", a=i, b=-i)
+    stop.set()
+    for t in readers:
+        t.join()
+    assert not torn, f"reader saw partially built record(s): {torn[:3]}"
+
+
 def test_process_wide_default_is_swappable():
     original = get_events()
     fresh = EventLog(emit_logging=False)

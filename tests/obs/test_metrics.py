@@ -9,8 +9,11 @@ import pytest
 
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
     Histogram,
+    LatencyHistogram,
     MetricsRegistry,
+    geometric_buckets,
     get_metrics,
     set_metrics,
 )
@@ -142,6 +145,109 @@ def test_concurrent_increments_do_not_lose_updates():
         t.join()
     assert c.value == 8000
     assert h.count == 8000
+
+
+def test_percentile_interpolates_within_bucket():
+    h = Histogram(buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 1.5, 3.0):
+        h.observe(v)
+    # Rank 2 of 4 lands at the top of the (1.0, 2.0] bucket.
+    assert h.percentile(75.0) == pytest.approx(2.0)
+    # Rank 1 of 4: halfway through the first bucket (lower bound 0).
+    assert h.percentile(25.0) == pytest.approx(1.0)
+
+
+def test_percentile_empty_and_bounds():
+    h = Histogram(buckets=(1.0, 2.0))
+    assert h.percentile(99.0) == 0.0
+    h.observe(0.5)
+    with pytest.raises(ValueError):
+        h.percentile(0.0)
+    with pytest.raises(ValueError):
+        h.percentile(100.5)
+
+
+def test_percentile_clamps_overflow_to_top_finite_bound():
+    h = Histogram(buckets=(1.0, 2.0))
+    h.observe(50.0)  # +Inf overflow bucket
+    assert h.percentile(99.0) == pytest.approx(2.0)
+    assert h.percentile(50.0) == pytest.approx(2.0)
+
+
+def test_geometric_buckets_shape():
+    bounds = geometric_buckets(lo=0.001, hi=1.0, ratio=1.5)
+    assert bounds[0] == 0.001
+    assert bounds[-1] >= 1.0
+    for a, b in zip(bounds, bounds[1:]):
+        assert b == pytest.approx(a * 1.5)
+    with pytest.raises(ValueError):
+        geometric_buckets(lo=0.0)
+    with pytest.raises(ValueError):
+        geometric_buckets(ratio=1.0)
+    with pytest.raises(ValueError):
+        geometric_buckets(lo=2.0, hi=1.0)
+
+
+def test_latency_histogram_percentiles_within_5_percent():
+    # A known heavy-tailed sample: exact quantiles come from the sorted
+    # list, the histogram estimate must stay within the 5% the geometric
+    # bucket ratio promises, across three orders of magnitude.
+    samples = [0.0005 * 1.01**i for i in range(1000)]  # 0.5ms .. ~10.5s
+    h = LatencyHistogram()
+    for v in samples:
+        h.observe(v)
+    ordered = sorted(samples)
+    for q in (50.0, 90.0, 95.0, 99.0, 99.9):
+        exact = ordered[min(len(ordered) - 1, int(len(ordered) * q / 100.0))]
+        estimate = h.percentile(q)
+        assert abs(estimate - exact) / exact <= 0.05, (
+            f"p{q}: estimate {estimate} vs exact {exact}"
+        )
+    assert h.p50() == h.percentile(50.0)
+    assert h.p95() == h.percentile(95.0)
+    assert h.p99() == h.percentile(99.0)
+
+
+def test_latency_histogram_uses_latency_buckets():
+    assert LatencyHistogram().buckets == LATENCY_BUCKETS
+    assert LATENCY_BUCKETS[0] == pytest.approx(1e-4)
+    assert LATENCY_BUCKETS[-1] >= 60.0
+
+
+def test_merge_from_combines_counts():
+    a = LatencyHistogram()
+    b = LatencyHistogram()
+    for v in (0.001, 0.010):
+        a.observe(v)
+    b.observe(0.100)
+    a.merge_from(b)
+    assert a.count == 3
+    assert a.sum == pytest.approx(0.111)
+    with pytest.raises(ValueError):
+        a.merge_from(Histogram(buckets=(1.0, 2.0)))
+
+
+def test_registry_histogram_accepts_latency_buckets():
+    reg = MetricsRegistry()
+    h = reg.histogram("op_latency_seconds", buckets=LATENCY_BUCKETS)
+    h.observe(0.002)
+    assert h.percentile(50.0) == pytest.approx(0.002, rel=0.06)
+    # Export/import keeps the fine-grained buckets intact.
+    other = MetricsRegistry()
+    other.import_state(reg.export_state())
+    restored = other.histogram("op_latency_seconds", buckets=LATENCY_BUCKETS)
+    assert restored.count == 1
+    assert restored.percentile(99.0) == pytest.approx(0.002, rel=0.06)
+
+
+def test_snapshot_includes_percentiles():
+    reg = MetricsRegistry()
+    reg.histogram("lat_seconds", buckets=LATENCY_BUCKETS).observe(0.05)
+    summary = reg.snapshot()["histograms"]["lat_seconds"]["{}"]
+    assert summary["p50"] == pytest.approx(0.05, rel=0.06)
+    assert summary["p99"] == pytest.approx(0.05, rel=0.06)
+    # Disabled registries stay no-op (and their null handles answer 0).
+    assert MetricsRegistry(enabled=False).histogram("x").percentile(99.0) == 0.0
 
 
 def test_process_wide_default_is_swappable():
