@@ -1,6 +1,6 @@
 # Convenience targets; see README.md for details.
 
-.PHONY: install test bench bench-pipeline bench-stream bench-obs bench-load load-smoke examples reproduce clean
+.PHONY: install test bench bench-pipeline bench-stream bench-obs bench-load bench-codec load-smoke examples reproduce clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -33,6 +33,12 @@ bench-obs:
 # offered rate, or the saturation search cannot find the throttled knee.
 bench-load:
 	PYTHONPATH=src pytest benchmarks/test_load_slo.py --benchmark-only
+
+# The erasure-codec gate: regenerates BENCH_codec.json and fails if
+# aont-rs encode or degraded decode runs more than 2x slower than plain
+# rs at the same (k, m).
+bench-codec:
+	PYTHONPATH=src pytest benchmarks/test_codec_throughput.py --benchmark-only
 
 # Schema-only smoke of the load harness (what the CI load-smoke job runs):
 # tiny seeded rate, validates the BENCH_load.json shape, gates no numbers.

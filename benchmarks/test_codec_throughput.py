@@ -1,0 +1,159 @@
+"""Codec bench: raw encode/decode throughput of every erasure codec.
+
+No cluster, no providers -- this measures the codecs themselves (GF(256)
+matmuls, XOR parity, the AONT keystream) so the numbers isolate coding
+cost from transport.  Writes machine-readable MB/s per codec to
+``BENCH_codec.json`` at the repo root.
+
+The gate: AONT-RS must stay within 2x of plain RS at the same (k, m) on
+encode and on worst-case degraded decode.  The transform adds one
+SHAKE-256 keystream, one SHA-256 digest and two XOR passes on top of
+identical RS algebra -- linear single-pass work, small next to the
+GF(256) matmuls, so the margin is structural.  The *healthy* decode is
+published but not gated: systematic RS with all data shards in hand is a
+pure concatenation (memcpy speed), so any real work at all shows up as a
+huge ratio against it -- the AONT unwrap is hash-bound at an absolute
+rate that the healthy-decode floor below keeps honest instead.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the payload so CI can exercise the
+harness in seconds; the ratio assertion is skipped there (tiny payloads
+measure fixed overheads, not the coding loops).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.raid.codecs import AontRSCodec, RaidCodec, RSStripeCodec
+from repro.raid.striping import RaidLevel
+from repro.util.tables import render_table
+from repro.util.units import format_bytes
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+PAYLOAD_SIZE = 256 * 1024 if SMOKE else 8 * 1024 * 1024
+ROUNDS = 1 if SMOKE else 5
+MAX_AONT_OVERHEAD = 2.0
+# Absolute floor for the hash-bound healthy decode (SHAKE-256 keystream
+# + SHA-256 + XOR): far below what any hardware here delivers, but high
+# enough to catch an accidental quadratic or per-byte Python loop.
+MIN_AONT_DECODE_MBPS = 50.0
+
+OUTPUT = Path(__file__).parent.parent / "BENCH_codec.json"
+
+CODECS = [
+    ("raid1@3", lambda: RaidCodec(RaidLevel.RAID1, 3)),
+    ("raid5@4", lambda: RaidCodec(RaidLevel.RAID5, 4)),
+    ("raid6@5", lambda: RaidCodec(RaidLevel.RAID6, 5)),
+    ("rs(6,3)", lambda: RSStripeCodec(6, 3)),
+    ("aont-rs(6,3)", lambda: AontRSCodec(6, 3)),
+    ("aont-rs(4,2)", lambda: AontRSCodec(4, 2)),
+]
+
+
+def _mbps(nbytes: int, seconds: float) -> float:
+    return nbytes / (1024 * 1024) / max(seconds, 1e-9)
+
+
+def _bench_codec(make) -> dict:
+    codec = make()
+    payload = os.urandom(PAYLOAD_SIZE)
+    encode_s = decode_s = degraded_s = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        meta, shards = codec.encode(payload)
+        encode_s = min(encode_s, time.perf_counter() - started)
+
+        full = dict(enumerate(shards))
+        started = time.perf_counter()
+        out = codec.decode(meta, full)
+        decode_s = min(decode_s, time.perf_counter() - started)
+        assert out == payload
+
+        # Worst-case degraded read: the maximum survivable erasure.
+        tolerance = (codec.n - 1) if codec.k == 1 else codec.m
+        survivors = {
+            i: s for i, s in enumerate(shards) if i >= tolerance
+        }
+        started = time.perf_counter()
+        out = codec.decode(meta, survivors)
+        degraded_s = min(degraded_s, time.perf_counter() - started)
+        assert out == payload
+    return {
+        "k": codec.k,
+        "m": codec.m,
+        "encode_mbps": round(_mbps(PAYLOAD_SIZE, encode_s), 2),
+        "decode_mbps": round(_mbps(PAYLOAD_SIZE, decode_s), 2),
+        "degraded_decode_mbps": round(_mbps(PAYLOAD_SIZE, degraded_s), 2),
+    }
+
+
+def run_bench() -> dict:
+    results: dict = {
+        "config": {
+            "payload_size": PAYLOAD_SIZE,
+            "rounds": ROUNDS,
+            "smoke": SMOKE,
+        },
+        "codecs": {},
+    }
+    for label, make in CODECS:
+        results["codecs"][label] = _bench_codec(make)
+    rs = results["codecs"]["rs(6,3)"]
+    aont = results["codecs"]["aont-rs(6,3)"]
+    results["aont_overhead"] = {
+        "encode": round(rs["encode_mbps"] / max(aont["encode_mbps"], 1e-9), 3),
+        "degraded_decode": round(
+            rs["degraded_decode_mbps"]
+            / max(aont["degraded_decode_mbps"], 1e-9),
+            3,
+        ),
+        # Informational only -- plain systematic decode is a memcpy.
+        "healthy_decode": round(
+            rs["decode_mbps"] / max(aont["decode_mbps"], 1e-9), 3
+        ),
+    }
+    return results
+
+
+def test_codec_throughput(benchmark, save_result):
+    results = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+
+    rows = [
+        [
+            label,
+            f"{entry['k']}+{entry['m']}",
+            f"{entry['encode_mbps']:.0f}",
+            f"{entry['decode_mbps']:.0f}",
+            f"{entry['degraded_decode_mbps']:.0f}",
+        ]
+        for label, entry in results["codecs"].items()
+    ]
+    overhead = results["aont_overhead"]
+    table = render_table(
+        ["codec", "k+m", "enc MB/s", "dec MB/s", "degraded MB/s"],
+        rows,
+        title=(
+            f"CODEC THROUGHPUT ({format_bytes(PAYLOAD_SIZE)} payload; "
+            f"AONT overhead {overhead['encode']:.2f}x enc / "
+            f"{overhead['degraded_decode']:.2f}x degraded dec)"
+        ),
+    )
+    save_result("codec_throughput", table)
+
+    if not SMOKE:
+        assert overhead["encode"] <= MAX_AONT_OVERHEAD, (
+            f"aont-rs encode {overhead['encode']}x slower than rs at the "
+            f"same (k, m); gate is {MAX_AONT_OVERHEAD}x"
+        )
+        assert overhead["degraded_decode"] <= MAX_AONT_OVERHEAD, (
+            f"aont-rs degraded decode {overhead['degraded_decode']}x slower "
+            f"than rs at the same (k, m); gate is {MAX_AONT_OVERHEAD}x"
+        )
+        assert (
+            results["codecs"]["aont-rs(6,3)"]["decode_mbps"]
+            >= MIN_AONT_DECODE_MBPS
+        ), "aont-rs healthy decode below the absolute floor"

@@ -1,38 +1,72 @@
-"""Analytic availability of RAID-coded stripes.
+"""Analytic availability of erasure-coded stripes.
 
 Closed-form companion to the A4 simulation: given each provider being
 independently unavailable with probability *p*, the probability that a
 stripe (and hence a chunk, and a file of many chunks) is readable.
+
+The math is codec-agnostic: any maximum-distance-separable code with
+``k`` data and ``m`` parity shards survives up to ``m`` simultaneous
+losses, so everything reduces to :func:`mds_availability`.  The public
+functions accept a :class:`~repro.raid.codecs.CodecSpec`, a codec spec
+string (``"rs(6,3)"``), or a legacy :class:`~repro.raid.striping.RaidLevel`.
 """
 
 from __future__ import annotations
 
 from math import comb
 
+from repro.raid.codecs import CodecSpec
 from repro.raid.striping import RaidLevel
 
+CodecLike = "CodecSpec | RaidLevel | str"
 
-def stripe_availability(level: RaidLevel, width: int, p_down: float) -> float:
-    """P(stripe readable) with i.i.d. per-provider down-probability.
 
-    A stripe of ``width`` members with ``m`` parity shards survives up to
-    ``m`` simultaneous losses (RAID-1 survives ``width - 1``); readable
-    iff the number of down members is within the tolerance.
+def mds_availability(k: int, m: int, p_down: float) -> float:
+    """P(stripe readable) for an MDS code with *k* data + *m* parity shards.
+
+    A stripe of ``k + m`` members is readable iff at most ``m`` of them
+    are simultaneously down (each independently with probability
+    ``p_down``).  RAID-1 fits the same formula with ``k = 1``,
+    ``m = width - 1``.
     """
+    if k < 1 or m < 0:
+        raise ValueError(f"need k >= 1 and m >= 0, got k={k}, m={m}")
     if not 0.0 <= p_down <= 1.0:
         raise ValueError(f"p_down must be in [0, 1], got {p_down}")
-    k, m = level.shard_counts(width)
-    tolerance = width - 1 if level is RaidLevel.RAID1 else m
+    width = k + m
     return float(
         sum(
             comb(width, j) * p_down**j * (1 - p_down) ** (width - j)
-            for j in range(tolerance + 1)
+            for j in range(m + 1)
         )
     )
 
 
+def _shard_counts(codec: "CodecSpec | RaidLevel | str", width: int | None) -> tuple[int, int]:
+    """(k, m) for *codec*, using *width* for open raid families."""
+    spec = CodecSpec.coerce(codec)
+    resolved = spec.instantiate(width)
+    return resolved.k, resolved.m
+
+
+def stripe_availability(
+    codec: "CodecSpec | RaidLevel | str", width: int | None, p_down: float
+) -> float:
+    """P(stripe readable) with i.i.d. per-provider down-probability.
+
+    ``codec`` may be a RaidLevel (``width`` then sizes the stripe, as
+    before), or any codec spec -- ``"rs(6,3)"`` carries its own width, so
+    ``width`` may be ``None`` for the fixed-width families.
+    """
+    k, m = _shard_counts(codec, width)
+    return mds_availability(k, m, p_down)
+
+
 def file_availability(
-    level: RaidLevel, width: int, p_down: float, n_chunks: int
+    codec: "CodecSpec | RaidLevel | str",
+    width: int | None,
+    p_down: float,
+    n_chunks: int,
 ) -> float:
     """P(whole file readable): every chunk's stripe must be readable.
 
@@ -42,14 +76,19 @@ def file_availability(
     """
     if n_chunks < 0:
         raise ValueError(f"n_chunks must be >= 0, got {n_chunks}")
-    return stripe_availability(level, width, p_down) ** n_chunks
+    return stripe_availability(codec, width, p_down) ** n_chunks
 
 
-def mttdl_ratio(level_a: RaidLevel, level_b: RaidLevel, width: int, p_down: float) -> float:
-    """Unavailability ratio of two levels (how many times fewer failed
-    reads *level_a* suffers than *level_b* at the same width)."""
-    ua = 1.0 - stripe_availability(level_a, width, p_down)
-    ub = 1.0 - stripe_availability(level_b, width, p_down)
+def mttdl_ratio(
+    codec_a: "CodecSpec | RaidLevel | str",
+    codec_b: "CodecSpec | RaidLevel | str",
+    width: int | None,
+    p_down: float,
+) -> float:
+    """Unavailability ratio of two codecs (how many times fewer failed
+    reads *codec_a* suffers than *codec_b* at the same width)."""
+    ua = 1.0 - stripe_availability(codec_a, width, p_down)
+    ub = 1.0 - stripe_availability(codec_b, width, p_down)
     if ua == 0:
         return float("inf")
     return ub / ua

@@ -63,13 +63,20 @@ def client_exposure(
     total_bytes = 0
     for ref in entry.chunk_refs:
         chunk = distributor.chunk_table.get(ref.chunk_index)
-        state = distributor._chunk_state[chunk.virtual_id]
+        state = distributor._chunk_state.get(chunk.virtual_id)
+        if state is not None:
+            shard_size = state.stripe.shard_size
+        else:
+            # Unknown-codec quarantine: the stripe never deserialized, but
+            # the preserved raw tuple still carries the shard size — enough
+            # for a byte-share bound.
+            shard_size = int(distributor._codec_quarantine[chunk.virtual_id][4])
         for table_index in chunk.provider_indices:
             name = distributor.provider_table.get(table_index).name
             shard_counts[name] = shard_counts.get(name, 0) + 1
-            shard_bytes[name] = shard_bytes.get(name, 0) + state.stripe.shard_size
+            shard_bytes[name] = shard_bytes.get(name, 0) + shard_size
             chunks_touched.setdefault(name, set()).add(chunk.virtual_id)
-            total_bytes += state.stripe.shard_size
+            total_bytes += shard_size
     n_chunks = len(entry.chunk_refs)
     per_provider = []
     for name in distributor.registry.names():

@@ -27,6 +27,7 @@ from pathlib import Path
 from repro.core.cache import ChunkCache
 from repro.core.categorize import check_level, suggest_level
 from repro.core.distributor import CloudDataDistributor
+from repro.core.errors import UnknownCodecError
 from repro.core.persistence import load_metadata, save_metadata
 from repro.core.privacy import ChunkSizePolicy, CostLevel, PrivacyLevel
 from repro.obs.events import EventLog, set_events
@@ -220,19 +221,24 @@ def _put(args) -> int:
             fh.seek(0)
             receipt = distributor.put_stream(
                 args.client, args.password, filename, fh, level,
+                codec=args.codec,
                 misleading_fraction=args.misleading,
             )
         else:
             data = sample + fh.read()
             receipt = distributor.upload_file(
                 args.client, args.password, filename, data, level,
+                codec=args.codec,
                 misleading_fraction=args.misleading,
                 pipelined=not args.no_pipeline,
             )
     _commit(distributor, meta)
+    codec_label = receipt.codec or (
+        receipt.raid_level.name if receipt.raid_level else "?"
+    )
     print(
         f"stored {filename!r}: {format_bytes(receipt.file_size)} in "
-        f"{receipt.chunk_count} chunks ({receipt.raid_level.name}, "
+        f"{receipt.chunk_count} chunks ({codec_label}, "
         f"width {receipt.stripe_width})"
     )
     return 0
@@ -327,8 +333,14 @@ def _ls(args) -> int:
     rows = []
     for name in names:
         refs = entry.refs_for_file(name)
-        rows.append([name, int(refs[0].privacy_level), len(refs)])
-    print(render_table(["file", "PL", "chunks"], rows))
+        try:
+            codec = distributor.stripe_meta(
+                args.client, name, refs[0].serial
+            ).codec
+        except UnknownCodecError:
+            codec = "?"  # quarantined: spec unreadable by this build
+        rows.append([name, int(refs[0].privacy_level), len(refs), codec])
+    print(render_table(["file", "PL", "chunks", "codec"], rows))
     return 0
 
 
@@ -931,6 +943,7 @@ def _fleet_put(args) -> int:
         args.tenant, args.password, filename, data,
         PrivacyLevel.coerce(args.level),
         misleading_fraction=args.misleading,
+        codec=args.codec,
     )
     _fleet_commit(gateway)
     print(
@@ -1049,6 +1062,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--level", type=int, default=2, choices=[0, 1, 2, 3])
     p.add_argument("--name", help="stored filename (default: basename)")
+    p.add_argument("--codec", default=None,
+                   help="erasure codec spec: raid0|raid1|raid5|raid6[@WIDTH], "
+                        "rs(K,M), or aont-rs(K,M) (default: raid by PL policy)")
     p.add_argument("--misleading", type=float, default=0.0,
                    help="misleading-byte fraction (Section VII-D)")
     p.add_argument("--strict", action="store_true",
@@ -1290,6 +1306,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--level", type=int, default=2, choices=[0, 1, 2, 3])
     p.add_argument("--name", help="stored filename (default: basename)")
+    p.add_argument("--codec", default=None,
+                   help="erasure codec spec: raid0|raid1|raid5|raid6[@WIDTH], "
+                        "rs(K,M), or aont-rs(K,M) (default: raid by PL policy)")
     p.add_argument("--misleading", type=float, default=0.0,
                    help="misleading-byte fraction (Section VII-D)")
     p.set_defaults(func=_fleet_put)

@@ -34,6 +34,7 @@ from repro.core.errors import (
     ProviderError,
     ReproError,
     UnknownChunkError,
+    UnknownCodecError,
 )
 from repro.health.monitor import HealthMonitor
 from repro.core.misleading import inject, remove as remove_misleading
@@ -54,8 +55,14 @@ from repro.core.virtual_id import VirtualIdAllocator, shard_key, snapshot_key
 from repro.providers.base import blob_checksum
 from repro.providers.registry import ProviderRegistry
 from repro.providers.simulated import ParallelWindow, SimulatedProvider
+from repro.raid.codecs import (
+    CodecSpec,
+    ErasureCodec,
+    codec_for_meta,
+    stripe_meta_from_fields,
+)
 from repro.raid.reconstruct import read_stripe, rebuild_shard
-from repro.raid.striping import RaidLevel, StripeMeta, encode_stripe
+from repro.raid.striping import RaidLevel, StripeMeta
 from repro.net.resilience import current_retry_budget, retry_budget_scope
 from repro.util.crash import crashpoint
 from repro.util.deadline import check_deadline, current_deadline, deadline_scope
@@ -84,8 +91,12 @@ class FileReceipt:
     privacy_level: PrivacyLevel
     chunk_count: int
     file_size: int
-    raid_level: RaidLevel
+    raid_level: RaidLevel | None
     stripe_width: int
+    # Codec family label ("raid5", "rs(6,3)", "aont-rs(4,2)").  For the
+    # raid families ``raid_level`` is also set; for the general codecs it
+    # is None and ``codec`` is the only authoritative description.
+    codec: str = ""
 
 
 @dataclass(frozen=True)
@@ -170,6 +181,7 @@ class CloudDataDistributor:
         placement: PlacementPolicy | None = None,
         raid_level: RaidLevel = RaidLevel.RAID5,
         stripe_width: int | None = None,
+        codec: "CodecSpec | str | None" = None,
         seed: SeedLike = None,
         audit: "AuditLog | None" = None,
         cache: "ChunkCache | None" = None,
@@ -208,6 +220,16 @@ class CloudDataDistributor:
         self.placement = placement or PlacementPolicy(seed=seeds[0])
         self.default_raid_level = raid_level
         self.default_stripe_width = stripe_width
+        # Default codec spec; ``codec=`` takes precedence over the legacy
+        # raid_level/stripe_width pair when both are configured.
+        self.default_codec: CodecSpec | None = (
+            CodecSpec.coerce(codec) if codec is not None else None
+        )
+        # Chunks whose metadata names a codec this build cannot parse:
+        # vid -> the raw packed chunk-state tuple, preserved verbatim so
+        # export round-trips it untouched.  Reads/repairs of these chunks
+        # raise UnknownCodecError; fsck classifies them.
+        self._codec_quarantine: dict[int, tuple] = {}
         self.ids = VirtualIdAllocator(seed=seeds[1])
         self._rng = derive_rng(seeds[2])
 
@@ -570,7 +592,14 @@ class CloudDataDistributor:
                 outcomes.append((None, exc))
         return outcomes
 
-    def _stripe_width_for(self, level: PrivacyLevel, raid: RaidLevel) -> int:
+    def _stripe_width_for(
+        self, level: PrivacyLevel, spec: "CodecSpec | RaidLevel"
+    ) -> int:
+        """Pick a stripe width for a codec spec that leaves it open.
+
+        *spec* is anything exposing ``min_width`` (a :class:`CodecSpec`
+        or, for legacy callers, a bare :class:`RaidLevel`).
+        """
         if self.default_stripe_width is not None:
             return self.default_stripe_width
         available = self.placement.max_stripe_width(
@@ -578,15 +607,76 @@ class CloudDataDistributor:
         )
         # Spread as wide as the paper intends (more targets for the
         # attacker) but cap so huge fleets don't shred tiny chunks.
-        return max(raid.min_width, min(available, 4))
+        return max(spec.min_width, min(available, 4))
+
+    def _resolve_codec(
+        self,
+        level: PrivacyLevel,
+        raid_level: RaidLevel | None,
+        stripe_width: int | None,
+        codec: "CodecSpec | str | None",
+    ) -> ErasureCodec:
+        """Resolve per-call codec/raid/width arguments into a codec.
+
+        Precedence: explicit ``codec=``, then explicit ``raid_level=``,
+        then the distributor-level ``codec=`` default, then the legacy
+        ``raid_level`` default.  ``stripe_width`` applies to raid-family
+        specs (the rs families fix their width at k+m and reject a
+        conflicting one).  Must run inside the critical section when no
+        explicit width is given (placement reads fleet state).
+        """
+        if codec is not None:
+            spec = CodecSpec.coerce(codec)
+            if raid_level is not None and spec.raid_level is not raid_level:
+                raise ValueError(
+                    f"conflicting codec={spec.canonical()!r} and "
+                    f"raid_level={raid_level.name}; pass one"
+                )
+        elif raid_level is not None:
+            spec = CodecSpec(family=raid_level.value)
+        elif self.default_codec is not None:
+            spec = self.default_codec
+        else:
+            spec = CodecSpec(family=self.default_raid_level.value)
+        fixed = spec.fixed_width
+        if fixed is not None:
+            if stripe_width is not None and stripe_width != fixed:
+                raise ValueError(
+                    f"codec {spec.canonical()} fixes stripe width {fixed}, "
+                    f"got stripe_width={stripe_width}"
+                )
+            return spec.instantiate()
+        width = (
+            stripe_width
+            if stripe_width is not None
+            else self._stripe_width_for(level, spec)
+        )
+        return spec.instantiate(width)
+
+    def _chunk_state_for(
+        self, entry: ChunkEntry, filename: str | None = None
+    ) -> _ChunkState:
+        """The chunk's stripe state, or a typed error for quarantined chunks."""
+        state = self._chunk_state.get(entry.virtual_id)
+        if state is None:
+            packed = self._codec_quarantine.get(entry.virtual_id)
+            if packed is not None:
+                raise UnknownCodecError(
+                    f"chunk {entry.virtual_id} uses codec {packed[0]!r} "
+                    f"unknown to this build; quarantined at metadata load",
+                    spec=str(packed[0]),
+                    filename=filename,
+                    virtual_id=entry.virtual_id,
+                )
+            raise KeyError(entry.virtual_id)
+        return state
 
     def _plan_chunk(
         self,
         payload: bytes,
         level: PrivacyLevel,
         serial: int,
-        raid: RaidLevel,
-        width: int,
+        codec: ErasureCodec,
         misleading_fraction: float,
         load: dict[str, int],
     ) -> _ChunkPlan:
@@ -606,7 +696,8 @@ class CloudDataDistributor:
             result = inject(payload, misleading_fraction, rng=self._rng)
             stored, positions = result.stored, result.positions
 
-        meta, shards = encode_stripe(stored, raid, width)
+        meta, shards = codec.encode(stored)
+        width = codec.n
         group = self.placement.stripe_group(
             self.registry, level, width, load=load, health=self.health,
         )
@@ -786,7 +877,32 @@ class CloudDataDistributor:
         """
         entry = self.chunk_table.get(ref.chunk_index)
         vid = entry.virtual_id
-        state = self._chunk_state[vid]
+        state = self._chunk_state.get(vid)
+        if state is None and vid in self._codec_quarantine:
+            # Quarantined chunk (unknown codec): the journal still needs a
+            # spec to finish a remove, so replay the raw packed fields.
+            packed = self._codec_quarantine[vid]
+            stripe = list(packed[:6])
+            rotation = packed[6]
+            checksums = (
+                list(packed[7]) if len(packed) > 7 and packed[7] else None
+            )
+        else:
+            state = self._chunk_state[vid]
+            stripe = [
+                state.stripe.codec,
+                state.stripe.width,
+                state.stripe.k,
+                state.stripe.m,
+                state.stripe.shard_size,
+                state.stripe.orig_len,
+            ]
+            rotation = state.rotation
+            checksums = (
+                list(state.shard_checksums)
+                if state.shard_checksums is not None
+                else None
+            )
         return {
             "vid": vid,
             "client": client,
@@ -803,20 +919,9 @@ class CloudDataDistributor:
                 else self.provider_table.get(entry.snapshot_index).name
             ),
             "positions": list(entry.misleading_positions),
-            "stripe": [
-                state.stripe.level.value,
-                state.stripe.width,
-                state.stripe.k,
-                state.stripe.m,
-                state.stripe.shard_size,
-                state.stripe.orig_len,
-            ],
-            "rotation": state.rotation,
-            "checksums": (
-                list(state.shard_checksums)
-                if state.shard_checksums is not None
-                else None
-            ),
+            "stripe": stripe,
+            "rotation": rotation,
+            "checksums": checksums,
         }
 
     @staticmethod
@@ -832,8 +937,7 @@ class CloudDataDistributor:
         payload: bytes,
         level: PrivacyLevel,
         serial: int,
-        raid: RaidLevel,
-        width: int,
+        codec: ErasureCodec,
         misleading_fraction: float,
         journal_txn: int | None = None,
     ) -> int:
@@ -844,7 +948,7 @@ class CloudDataDistributor:
         leaves recovery enough to delete the orphans.
         """
         plan = self._plan_chunk(
-            payload, level, serial, raid, width, misleading_fraction,
+            payload, level, serial, codec, misleading_fraction,
             load=self._provider_load(),
         )
         logged = self._plan_put_keys(plan)
@@ -969,7 +1073,7 @@ class CloudDataDistributor:
             cached = self.cache.get(entry.virtual_id)
             if cached is not None:
                 return cached
-        state = self._chunk_state[entry.virtual_id]
+        state = self._chunk_state_for(entry)
 
         def fetch(shard_index: int) -> bytes:
             table_index = entry.provider_indices[shard_index]
@@ -1054,6 +1158,7 @@ class CloudDataDistributor:
         level: PrivacyLevel | int,
         raid_level: RaidLevel | None = None,
         stripe_width: int | None = None,
+        codec: "CodecSpec | str | None" = None,
         misleading_fraction: float = 0.0,
         parallel: bool = False,
         pipelined: bool | None = None,
@@ -1062,9 +1167,12 @@ class CloudDataDistributor:
 
         The client's password must be privileged for the file's privacy
         level.  Chunk size follows the PL schedule; each chunk is
-        RAID-striped over a freshly chosen provider group.  With
-        ``parallel=True`` shard uploads overlap across providers in
-        simulated time.
+        erasure-coded over a freshly chosen provider group -- by default
+        with the distributor's configured codec, overridable per call
+        with ``codec=`` (a :class:`CodecSpec` or spec string like
+        ``"rs(6,3)"``) or the legacy ``raid_level``/``stripe_width``
+        pair.  With ``parallel=True`` shard uploads overlap across
+        providers in simulated time.
 
         ``pipelined`` (default: the distributor-level switch) selects the
         data path.  The pipelined path holds the op lock only to plan
@@ -1087,13 +1195,12 @@ class CloudDataDistributor:
             with self.tracer.span("distributor.upload", client=client):
                 return self._upload_file_pipelined(
                     client, pl, filename, data, raid_level, stripe_width,
-                    misleading_fraction, parallel,
+                    codec, misleading_fraction, parallel,
                 )
         with self.tracer.span("distributor.upload", client=client), self.op_lock:
             client_entry = self.client_table.get(client)
             self._check_new_filename(client, filename)
-            raid = raid_level or self.default_raid_level
-            width = stripe_width or self._stripe_width_for(pl, raid)
+            codec_obj = self._resolve_codec(pl, raid_level, stripe_width, codec)
 
             chunks = chunking.split(data, pl, policy=self.chunk_policy)
             window = (
@@ -1108,7 +1215,7 @@ class CloudDataDistributor:
                 with window:
                     for chunk in chunks:
                         chunk_index = self._store_chunk(
-                            chunk.payload, pl, chunk.serial, raid, width,
+                            chunk.payload, pl, chunk.serial, codec_obj,
                             misleading_fraction, journal_txn=txn,
                         )
                         ref = FileChunkRef(
@@ -1150,8 +1257,9 @@ class CloudDataDistributor:
             privacy_level=pl,
             chunk_count=len(chunks),
             file_size=len(data),
-            raid_level=raid,
-            stripe_width=width,
+            raid_level=codec_obj.raid_level,
+            stripe_width=codec_obj.n,
+            codec=codec_obj.label,
         )
 
     def _upload_file_pipelined(
@@ -1162,6 +1270,7 @@ class CloudDataDistributor:
         data: bytes,
         raid_level: RaidLevel | None,
         stripe_width: int | None,
+        codec: "CodecSpec | str | None",
         misleading_fraction: float,
         parallel: bool,
     ) -> FileReceipt:
@@ -1177,8 +1286,7 @@ class CloudDataDistributor:
         # -- plan (critical section): rng draws, placement, id allocation --
         with self.op_lock, self._phase("upload", "plan"):
             self._check_new_filename(client, filename)
-            raid = raid_level or self.default_raid_level
-            width = stripe_width or self._stripe_width_for(pl, raid)
+            codec_obj = self._resolve_codec(pl, raid_level, stripe_width, codec)
             chunks = chunking.split(data, pl, policy=self.chunk_policy)
             self._inflight_uploads.setdefault(client, set()).add(filename)
             plans: list[_ChunkPlan] = []
@@ -1186,7 +1294,7 @@ class CloudDataDistributor:
             try:
                 for chunk in chunks:
                     plan = self._plan_chunk(
-                        chunk.payload, pl, chunk.serial, raid, width,
+                        chunk.payload, pl, chunk.serial, codec_obj,
                         misleading_fraction, load=load,
                     )
                     for name in plan.assigned:
@@ -1279,8 +1387,9 @@ class CloudDataDistributor:
             privacy_level=pl,
             chunk_count=len(chunks),
             file_size=len(data),
-            raid_level=raid,
-            stripe_width=width,
+            raid_level=codec_obj.raid_level,
+            stripe_width=codec_obj.n,
+            codec=codec_obj.label,
         )
 
     # ------------------------------------------------------------------
@@ -1457,7 +1566,7 @@ class CloudDataDistributor:
                         _FetchJob(
                             serial=ref.serial,
                             entry=entry,
-                            state=self._chunk_state[entry.virtual_id],
+                            state=self._chunk_state_for(entry, filename),
                             names=names,
                             cached=(
                                 self.cache.get(entry.virtual_id)
@@ -1575,7 +1684,8 @@ class CloudDataDistributor:
                 entry.snapshot_index, snapshot_key(vid)
             )
         self.chunk_table.remove(ref.chunk_index)
-        del self._chunk_state[vid]
+        self._chunk_state.pop(vid, None)
+        self._codec_quarantine.pop(vid, None)
         if self.cache is not None:
             self.cache.invalidate(vid)
         self.ids.release(vid)
@@ -1678,7 +1788,7 @@ class CloudDataDistributor:
             self._authorize(client, password, ref.privacy_level)
             entry = self.chunk_table.get(ref.chunk_index)
             vid = entry.virtual_id
-            state = self._chunk_state[vid]
+            state = self._chunk_state_for(entry, filename)
 
             pre_state = self._fetch_chunk_payload(entry)
             # Re-inject misleading bytes at the same budget the chunk had.
@@ -1698,9 +1808,11 @@ class CloudDataDistributor:
                 if self.journal is not None
                 else None
             )
+            # The new version keeps the chunk's codec: re-instantiate it
+            # from the stripe metadata (works across codec generations).
             plan = self._plan_chunk(
                 new_payload, entry.privacy_level, state.rotation,
-                state.stripe.level, state.stripe.width, fraction,
+                codec_for_meta(state.stripe), fraction,
                 load=self._provider_load(),
             )
             txn = None
@@ -1847,7 +1959,7 @@ class CloudDataDistributor:
         Returns ``(missing, rebuilt, unrecoverable, relocations)``.
         """
         vid = entry.virtual_id
-        state = self._chunk_state[vid]
+        state = self._chunk_state_for(entry)
         names = [
             self.provider_table.get(i).name for i in entry.provider_indices
         ]
@@ -1979,19 +2091,28 @@ class CloudDataDistributor:
                 "chunk_table": self.chunk_table.export_state(),
                 "ids": self.ids.export_state(),
                 "chunk_state": {
-                    vid: (
-                        state.stripe.level.value,
-                        state.stripe.width,
-                        state.stripe.k,
-                        state.stripe.m,
-                        state.stripe.shard_size,
-                        state.stripe.orig_len,
-                        state.rotation,
-                        list(state.shard_checksums)
-                        if state.shard_checksums is not None
-                        else None,
-                    )
-                    for vid, state in self._chunk_state.items()
+                    # Quarantined chunks (unknown codec) round-trip their
+                    # raw packed tuples untouched so a newer build that
+                    # understands the codec can still read them.
+                    **{
+                        vid: tuple(packed)
+                        for vid, packed in self._codec_quarantine.items()
+                    },
+                    **{
+                        vid: (
+                            state.stripe.codec,
+                            state.stripe.width,
+                            state.stripe.k,
+                            state.stripe.m,
+                            state.stripe.shard_size,
+                            state.stripe.orig_len,
+                            state.rotation,
+                            list(state.shard_checksums)
+                            if state.shard_checksums is not None
+                            else None,
+                        )
+                        for vid, state in self._chunk_state.items()
+                    },
                 },
             }
 
@@ -2008,29 +2129,46 @@ class CloudDataDistributor:
             self.chunk_table.import_state(snapshot["chunk_table"])
             self.ids.import_state(snapshot["ids"])
             chunk_state: dict[int, _ChunkState] = {}
+            quarantine: dict[int, tuple] = {}
             for vid, packed in snapshot["chunk_state"].items():
                 # Accept both the current 8-field tuple and the 7-field
                 # layout from metadata exported before checksum tracking.
-                level, width, k, m, shard_size, orig_len, rotation = packed[:7]
+                # Field 0 is the codec label; for chunks written before
+                # the codec refactor it holds RaidLevel.value strings,
+                # which parse identically.  An unparseable codec (from a
+                # newer build, or corruption) quarantines the one chunk
+                # -- with its raw tuple preserved for re-export -- rather
+                # than failing the entire metadata load.
+                try:
+                    meta = stripe_meta_from_fields(
+                        packed[:6], virtual_id=int(vid)
+                    )
+                except UnknownCodecError as exc:
+                    quarantine[int(vid)] = tuple(packed)
+                    self.metrics.counter(
+                        "distributor_codec_quarantined_total"
+                    ).inc()
+                    self.events.emit(
+                        "codec_quarantined",
+                        level="warning",
+                        vid=int(vid),
+                        spec=exc.spec,
+                    )
+                    continue
+                rotation = packed[6]
                 checksums = packed[7] if len(packed) > 7 else None
                 chunk_state[int(vid)] = _ChunkState(
-                    stripe=StripeMeta(
-                        level=RaidLevel(level),
-                        width=width,
-                        k=k,
-                        m=m,
-                        shard_size=shard_size,
-                        orig_len=orig_len,
-                    ),
+                    stripe=meta,
                     rotation=rotation,
                     shard_checksums=(
                         tuple(checksums) if checksums is not None else None
                     ),
                 )
             self._chunk_state = chunk_state
+            self._codec_quarantine = quarantine
 
     def stripe_meta(self, client: str, filename: str, serial: int) -> StripeMeta:
         with self.op_lock:
             ref = self.client_table.get(client).ref_for_chunk(filename, serial)
             entry = self.chunk_table.get(ref.chunk_index)
-            return self._chunk_state[entry.virtual_id].stripe
+            return self._chunk_state_for(entry, filename).stripe

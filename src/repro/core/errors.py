@@ -75,6 +75,31 @@ class PlacementError(ReproError):
     """No eligible provider set satisfies the placement constraints."""
 
 
+class UnknownCodecError(ReproError):
+    """A chunk's stored codec spec cannot be parsed or instantiated.
+
+    Raised when metadata (chunk table, journal, snapshot) names an erasure
+    codec this build does not understand -- a corrupted level value or a
+    spec written by a newer codec generation.  Carries enough context to
+    classify the chunk instead of crashing the whole metadata load:
+    ``spec`` is the offending codec string, ``filename`` the client file
+    (or metadata file) it belongs to when known, ``virtual_id`` the chunk.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        spec: str | None = None,
+        filename: str | None = None,
+        virtual_id: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.spec = spec
+        self.filename = filename
+        self.virtual_id = virtual_id
+
+
 class ReconstructionError(ReproError):
     """Too many stripe members lost for the RAID level to recover."""
 

@@ -41,11 +41,12 @@ from repro.core.errors import (
     BlobNotFoundError,
     ProviderError,
     UnknownClientError,
+    UnknownCodecError,
 )
 from repro.core.privacy import PrivacyLevel
 from repro.core.tables import ChunkEntry, FileChunkRef
 from repro.core.virtual_id import shard_key, snapshot_key
-from repro.raid.striping import RaidLevel, StripeMeta
+from repro.raid.codecs import stripe_meta_from_fields
 from repro.util.atomic import atomic_write_bytes, fsync_dir
 from repro.util.crash import crashpoint
 
@@ -404,18 +405,25 @@ def _restore_spec(
         )
     )
     checksums = spec.get("checksums")
-    distributor._chunk_state[vid] = _ChunkState(
-        stripe=StripeMeta(
-            level=RaidLevel(stripe[0]),
-            width=int(stripe[1]),
-            k=k,
-            m=int(stripe[3]),
-            shard_size=int(stripe[4]),
-            orig_len=int(stripe[5]),
-        ),
-        rotation=int(spec.get("rotation", 0)),
-        shard_checksums=tuple(checksums) if checksums else None,
-    )
+    try:
+        meta = stripe_meta_from_fields(
+            stripe[:6], filename=spec.get("filename"), virtual_id=vid
+        )
+    except UnknownCodecError:
+        # Same quarantine path as import_metadata: keep the chunk's raw
+        # stripe fields aside instead of crashing recovery; reads of it
+        # raise a typed error and fsck classifies it.
+        distributor._codec_quarantine[vid] = (
+            tuple(stripe[:6])
+            + (int(spec.get("rotation", 0)),)
+            + ((list(checksums),) if checksums else (None,))
+        )
+    else:
+        distributor._chunk_state[vid] = _ChunkState(
+            stripe=meta,
+            rotation=int(spec.get("rotation", 0)),
+            shard_checksums=tuple(checksums) if checksums else None,
+        )
     if vid not in distributor.ids:
         distributor.ids.reserve(vid)
     ref = FileChunkRef(

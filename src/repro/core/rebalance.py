@@ -91,7 +91,10 @@ def _fetch_or_rebuild(
         )
     except ProviderError:
         pass
-    state = distributor._chunk_state[vid]
+    state = distributor._chunk_state.get(vid)
+    if state is None:
+        # Unknown-codec quarantine: without the codec there is no rebuild.
+        return None, False
     survivors: dict[int, bytes] = {}
     for other_index, table_index in enumerate(entry.provider_indices):
         if other_index == shard_index:

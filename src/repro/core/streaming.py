@@ -35,7 +35,6 @@ from repro.core.errors import PlacementError, ProviderError, ReproError
 from repro.core.privacy import PrivacyLevel
 from repro.core.tables import FileChunkRef
 from repro.providers.base import blob_checksum
-from repro.raid.striping import RaidLevel
 from repro.util.crash import crashpoint
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -46,6 +45,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
         _FetchJob,
     )
     from repro.crypto.stream import StreamCipher
+    from repro.raid.codecs import CodecSpec
+    from repro.raid.striping import RaidLevel
 
 #: Chunks per in-flight window.  Uploads pipeline windows at depth 1 (the
 #: previous window transfers while the next is read and planned), so peak
@@ -108,6 +109,7 @@ def put_stream(
     level: "PrivacyLevel | int",
     raid_level: "RaidLevel | None" = None,
     stripe_width: int | None = None,
+    codec: "CodecSpec | str | None" = None,
     misleading_fraction: float = 0.0,
     chunk_size: int | None = None,
     window_chunks: int = DEFAULT_WINDOW_CHUNKS,
@@ -136,8 +138,7 @@ def put_stream(
 
     with dist.op_lock:
         dist._check_new_filename(client, filename)
-        raid = raid_level or dist.default_raid_level
-        width = stripe_width or dist._stripe_width_for(pl, raid)
+        codec_obj = dist._resolve_codec(pl, raid_level, stripe_width, codec)
         if chunk_size is None:
             chunk_size = dist.chunk_policy.chunk_size(pl)
         if chunk_size <= 0:
@@ -239,7 +240,7 @@ def put_stream(
                             # must not leak into stored positions.
                             payload = bytes(payload)
                         plan = dist._plan_chunk(
-                            payload, pl, serial, raid, width,
+                            payload, pl, serial, codec_obj,
                             misleading_fraction, load=load,
                         )
                         for name in plan.assigned:
@@ -301,8 +302,9 @@ def put_stream(
         privacy_level=pl,
         chunk_count=serial,
         file_size=total_bytes,
-        raid_level=raid,
-        stripe_width=width,
+        raid_level=codec_obj.raid_level,
+        stripe_width=codec_obj.n,
+        codec=codec_obj.label,
     )
 
 
@@ -340,7 +342,7 @@ def get_stream(
                 _FetchJob(
                     serial=ref.serial,
                     entry=entry,
-                    state=dist._chunk_state[entry.virtual_id],
+                    state=dist._chunk_state_for(entry, filename),
                     names=names,
                     cached=(
                         dist.cache.get(entry.virtual_id)

@@ -419,6 +419,7 @@ class FleetGateway:
         data: bytes,
         level: PrivacyLevel | int,
         misleading_fraction: float = 0.0,
+        codec: str | None = None,
     ):
         key = fleet_key(tenant, filename)
         self.access.authenticate(tenant, password)
@@ -434,6 +435,7 @@ class FleetGateway:
         try:
             receipt = shard.distributor.upload_file(
                 tenant, password, key, data, level,
+                codec=codec,
                 misleading_fraction=misleading_fraction,
             )
         except Exception as exc:

@@ -223,10 +223,10 @@ class ShardRebalancer:
                 f"file {move.key!r} vanished: on neither {move.src!r} "
                 f"nor {move.dst!r}"
             )
-        data, level, fraction = src.export_file(move.key)
+        data, level, fraction, codec = src.export_file(move.key)
         if at_dst:
             # Crash landed between copy and removal: verify, then finish.
-            copied, _, _ = dst.export_file(move.key)
+            copied, _, _, _ = dst.export_file(move.key)
             if copied != data:
                 raise FleetError(
                     f"file {move.key!r} differs between {move.src!r} and "
@@ -234,9 +234,9 @@ class ShardRebalancer:
                 )
             report.files_skipped += 1
         else:
-            dst.import_file(move.key, data, level, fraction)
+            dst.import_file(move.key, data, level, fraction, codec)
             crashpoint("fleet.migrate.copied")
-            copied, _, _ = dst.export_file(move.key)
+            copied, _, _, _ = dst.export_file(move.key)
             if copied != data:
                 raise FleetError(
                     f"post-copy verification failed for {move.key!r} "

@@ -142,8 +142,15 @@ class FleetShard:
         total = 0
         for ref in refs:
             entry = d.chunk_table.get(ref.chunk_index)
-            state = d._chunk_state[entry.virtual_id]
-            total += state.stripe.orig_len - len(entry.misleading_positions)
+            state = d._chunk_state.get(entry.virtual_id)
+            if state is None:
+                # Quarantined chunk (unknown codec): the raw packed tuple
+                # still records orig_len at index 5 -- keep quota math alive.
+                packed = d._codec_quarantine.get(entry.virtual_id)
+                orig_len = int(packed[5]) if packed is not None else 0
+            else:
+                orig_len = state.stripe.orig_len
+            total += orig_len - len(entry.misleading_positions)
         return total
 
     def tenant_usage(self) -> dict[str, dict[str, int]]:
@@ -181,15 +188,17 @@ class FleetShard:
 
     # -- migration service ops (no tenant password involved) ----------------
 
-    def export_file(self, key: str) -> tuple[bytes, PrivacyLevel, float]:
-        """Read one file out for migration: (data, level, misleading fraction).
+    def export_file(self, key: str) -> tuple[bytes, PrivacyLevel, float, str]:
+        """Read one file out for migration: (data, level, fraction, codec).
 
         Uses the same internal surface the journal-recovery and update
         paths use: refs resolve chunks, :meth:`_fetch_chunk_payload`
         reconstructs each (RAID failover included), and the misleading
         budget is re-derived from the stored positions the way
         ``update_chunk`` does, so the re-upload at the destination carries
-        the same privacy posture.
+        the same privacy posture.  The codec label travels too, so a
+        migrated file keeps its erasure codec (raid-family files re-pick
+        a stripe width from the destination's fleet).
         """
         tenant, _ = split_fleet_key(key)
         d = self.distributor
@@ -200,10 +209,13 @@ class FleetShard:
             )
             level = refs[0].privacy_level
             fraction = 0.0
+            codec = ""
             chunks = []
             for ref in refs:
                 entry = d.chunk_table.get(ref.chunk_index)
-                state = d._chunk_state[entry.virtual_id]
+                state = d._chunk_state_for(entry, key)
+                if not codec:
+                    codec = state.stripe.codec
                 if entry.misleading_positions:
                     fraction = max(
                         fraction,
@@ -221,7 +233,7 @@ class FleetShard:
                         payload=d._fetch_chunk_payload(entry),
                     )
                 )
-            return chunking.join(chunks), level, fraction
+            return chunking.join(chunks), level, fraction, codec
 
     def import_file(
         self,
@@ -229,12 +241,13 @@ class FleetShard:
         data: bytes,
         level: PrivacyLevel,
         misleading_fraction: float = 0.0,
+        codec: str | None = None,
     ) -> None:
         """Store a migrated file (journaled via the shard's own journal)."""
         tenant, _ = split_fleet_key(key)
         self.distributor._upload_file_pipelined(
             tenant, PrivacyLevel.coerce(level), key, data,
-            None, None, misleading_fraction, False,
+            None, None, codec or None, misleading_fraction, False,
         )
 
     def service_remove(self, key: str) -> None:

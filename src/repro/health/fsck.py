@@ -13,7 +13,12 @@ each discrepancy:
   deletes) -- snapshot-keyed orphans are reported separately as **stale
   snapshots** since they usually mean an interrupted update;
 * **unreachable** -- providers that cannot be listed (their objects can be
-  neither confirmed nor condemned).
+  neither confirmed nor condemned);
+* **unknown codec** -- chunk-table rows whose codec spec this build cannot
+  parse (quarantined at metadata load instead of crashing the boot); their
+  shards stay untouched on the providers and the row is reported here so
+  the operator knows those chunks need a newer build (or a metadata fix)
+  to read.
 
 With ``repair=True`` the damage is driven back to clean: missing/corrupt
 shards are rebuilt through the scrubber (RAID reconstruction + relocation),
@@ -62,6 +67,8 @@ class FsckReport:
     orphans: dict[str, list[str]] = field(default_factory=dict)
     stale_snapshots: dict[str, list[str]] = field(default_factory=dict)
     unreachable: list[str] = field(default_factory=list)
+    unknown_codec: list[tuple[int, str]] = field(default_factory=list)
+    # (virtual id, unparseable codec spec string)
     # Repair outcome (only populated by run_fsck(..., repair=True)):
     repaired: bool = False
     shards_rebuilt: int = 0
@@ -75,6 +82,7 @@ class FsckReport:
             or self.corrupt
             or any(self.orphans.values())
             or any(self.stale_snapshots.values())
+            or self.unknown_codec
         )
 
     def to_json(self) -> dict:
@@ -99,6 +107,10 @@ class FsckReport:
             "orphans": self.orphans,
             "stale_snapshots": self.stale_snapshots,
             "unreachable": self.unreachable,
+            "unknown_codec": [
+                {"virtual_id": vid, "codec": spec}
+                for vid, spec in self.unknown_codec
+            ],
             "repaired": self.repaired,
             "shards_rebuilt": self.shards_rebuilt,
             "chunks_unrecoverable": self.chunks_unrecoverable,
@@ -113,7 +125,8 @@ class FsckReport:
             f"snapshots across {self.providers_checked} providers -- "
             f"{len(self.missing)} missing, {len(self.corrupt)} corrupt, "
             f"{orphan_count} orphan(s), {stale_count} stale snapshot(s), "
-            f"{len(self.unreachable)} unreachable"
+            f"{len(self.unreachable)} unreachable, "
+            f"{len(self.unknown_codec)} unknown codec(s)"
         )
         if self.repaired:
             text += (
@@ -143,6 +156,11 @@ class FsckReport:
             lines.append(f"  stale snapshots at {name}: {preview}")
         for name in self.unreachable:
             lines.append(f"  unreachable: {name}")
+        for vid, spec in self.unknown_codec:
+            lines.append(
+                f"  unknown codec: chunk {vid} uses {spec!r} "
+                "(quarantined; needs a newer build to read)"
+            )
         lines.append("clean" if self.clean else "NOT clean")
         return "\n".join(lines)
 
@@ -156,6 +174,8 @@ def _audit(distributor: "CloudDataDistributor") -> FsckReport:
             name: {} for name in distributor.registry.names()
         }
         issues_by_key: dict[tuple[str, str], FsckIssue] = {}
+        for vid, packed in sorted(distributor._codec_quarantine.items()):
+            report.unknown_codec.append((vid, str(packed[0])))
         for _, entry in distributor.chunk_table:
             vid = entry.virtual_id
             state = distributor._chunk_state.get(vid)

@@ -1,10 +1,22 @@
 """RAID-style erasure coding across cloud providers (RACS-inspired).
 
 GF(256) arithmetic, XOR parity (RAID-5), systematic Reed-Solomon coding
-(RAID-6 and general k-of-n), stripe layout with rotating parity, and
+(Cauchy generator for the general codecs, legacy Vandermonde for RAID-6),
+AONT keyless fragmentation, pluggable codec specs (``raid5@4``,
+``rs(6,3)``, ``aont-rs(4,2)``), stripe layout with rotating parity, and
 degraded-read/rebuild machinery.
 """
 
+from repro.raid.aont import AONT_OVERHEAD, aont_unwrap, aont_wrap
+from repro.raid.codecs import (
+    AontRSCodec,
+    CodecSpec,
+    ErasureCodec,
+    RaidCodec,
+    RSStripeCodec,
+    codec_for_meta,
+    stripe_meta_from_fields,
+)
 from repro.raid.gf256 import (
     gf_div,
     gf_inv,
@@ -16,7 +28,12 @@ from repro.raid.gf256 import (
 )
 from repro.raid.parity import recover_with_parity, verify_parity, xor_parity
 from repro.raid.reconstruct import read_stripe, rebuild_shard
-from repro.raid.reed_solomon import RSCode, generator_matrix
+from repro.raid.reed_solomon import (
+    RSCode,
+    cauchy_generator_matrix,
+    generator_matrix,
+    vandermonde_generator_matrix,
+)
 from repro.raid.striping import (
     RaidLevel,
     StripeMeta,
@@ -25,6 +42,16 @@ from repro.raid.striping import (
 )
 
 __all__ = [
+    "AONT_OVERHEAD",
+    "aont_unwrap",
+    "aont_wrap",
+    "AontRSCodec",
+    "CodecSpec",
+    "ErasureCodec",
+    "RaidCodec",
+    "RSStripeCodec",
+    "codec_for_meta",
+    "stripe_meta_from_fields",
     "gf_div",
     "gf_inv",
     "gf_mat_inv",
@@ -38,7 +65,9 @@ __all__ = [
     "read_stripe",
     "rebuild_shard",
     "RSCode",
+    "cauchy_generator_matrix",
     "generator_matrix",
+    "vandermonde_generator_matrix",
     "RaidLevel",
     "StripeMeta",
     "encode_stripe",

@@ -1,0 +1,79 @@
+"""All-or-nothing transform (AONT) for keyless fragmentation.
+
+Rivest's package transform in the AONT-RS arrangement (Resch & Plank,
+FAST'11): before erasure-coding a chunk, XOR it with a keystream derived
+from a fresh random key, then append the key XOR-masked with a digest of
+the ciphertext.  The output "package" has the all-or-nothing property:
+
+* With the *whole* package, recovery is keyless -- hash the ciphertext,
+  unmask the key, regenerate the keystream, XOR.  Nothing to store or
+  escrow.
+* With any *proper subset* of the package bytes, the mask digest is
+  uncomputable, so the key -- and therefore every plaintext byte, even
+  those whose ciphertext bytes are in hand -- is unrecoverable short of
+  brute-forcing the 256-bit key.
+
+Combined with a systematic RS(k, m) code over the package, any shard
+subset below k reveals nothing about the chunk: this is what defeats a
+single curious provider running mining/linkage attacks over its local
+shard pool (the paper's core threat model), without key management.
+
+Primitives are stdlib-only: SHAKE-256 as the keystream XOF, SHA-256 as
+the mask digest, ``secrets`` for the key.  The transform is NOT
+authenticated encryption -- integrity comes from the distributor's
+per-shard checksums, and confidentiality holds only against parties
+missing part of the package (any k shards reveal everything, by design).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+
+import numpy as np
+
+#: Bytes appended to the payload by :func:`aont_wrap` (the masked key).
+AONT_OVERHEAD = 32
+
+_KEY_BYTES = 32
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    if not a:
+        return b""
+    av = np.frombuffer(a, dtype=np.uint8)
+    bv = np.frombuffer(b, dtype=np.uint8)
+    return np.bitwise_xor(av, bv).tobytes()
+
+
+def _keystream(key: bytes, length: int) -> bytes:
+    return hashlib.shake_256(key).digest(length)
+
+
+def aont_wrap(payload: "bytes | memoryview") -> bytes:
+    """Package *payload* so that all bytes are needed to recover any byte.
+
+    Returns ``ciphertext || masked_key``, exactly ``len(payload) +
+    AONT_OVERHEAD`` bytes.  Uses a fresh random key per call, so wrapping
+    the same payload twice yields different packages (deliberately: equal
+    chunks must not produce equal shards a provider could link).
+    """
+    data = bytes(payload)
+    key = secrets.token_bytes(_KEY_BYTES)
+    ciphertext = _xor(data, _keystream(key, len(data)))
+    masked_key = _xor(key, hashlib.sha256(ciphertext).digest())
+    return ciphertext + masked_key
+
+
+def aont_unwrap(package: "bytes | memoryview") -> bytes:
+    """Invert :func:`aont_wrap`; requires the complete package."""
+    data = bytes(package)
+    if len(data) < AONT_OVERHEAD:
+        raise ValueError(
+            f"package too short: {len(data)} < {AONT_OVERHEAD} bytes"
+        )
+    ciphertext, masked_key = data[:-AONT_OVERHEAD], data[-AONT_OVERHEAD:]
+    key = _xor(masked_key, hashlib.sha256(ciphertext).digest())
+    return _xor(ciphertext, _keystream(key, len(ciphertext)))

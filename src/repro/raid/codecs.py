@@ -1,0 +1,509 @@
+"""Pluggable erasure codecs: parseable specs + a uniform encode/decode API.
+
+The distributor, scrubber, fsck, availability math, fleet, and CLI all
+consume stripes through :class:`ErasureCodec` -- ``encode(payload) ->
+(meta, shards)``, ``decode(meta, shards)``, ``rebuild(meta, index,
+shards)`` -- instead of switching on the ``RaidLevel`` enum.  A codec is
+named by a :class:`CodecSpec` with the grammar::
+
+    spec     := raid-spec | rs-spec
+    raid-spec := ("raid0" | "raid1" | "raid5" | "raid6") ["@" WIDTH]
+    rs-spec  := ("rs" | "aont-rs") "(" K "," M ")"
+
+Examples: ``raid5``, ``raid6@5``, ``rs(6,3)``, ``aont-rs(4,2)``.
+
+Families
+--------
+
+* ``raid0/1/5/6`` -- the legacy stripe layouts.  Width is chosen at
+  upload time (or pinned with ``@width``); (k, m) derive from it.  The
+  ``raid6`` family pins the *legacy Vandermonde-derived* RS generator so
+  parity bytes -- and the shard checksums recorded next to them -- stay
+  rebuildable byte-exactly across codec generations.
+* ``rs(k,m)`` -- general systematic Reed-Solomon: k data + m parity
+  shards over k+m providers, any m losses survivable.  Uses the Cauchy
+  generator (every erasure pattern provably decodable).
+* ``aont-rs(k,m)`` -- all-or-nothing transform over the chunk, then
+  ``rs(k,m)`` over the package: any shard subset below k reveals
+  *nothing* (not even partial plaintext), keylessly.  See
+  :mod:`repro.raid.aont`.
+
+Serialization
+-------------
+
+``StripeMeta.codec`` stores the family label exactly as the legacy chunk
+table stored ``RaidLevel.value`` (``"raid5"``...), so pre-codec metadata
+round-trips bidirectionally; the new families serialize as their spec
+string (``"rs(6,3)"``).  :func:`stripe_meta_from_fields` is the single
+deserialization choke point -- it raises :class:`UnknownCodecError`
+(typed, carrying filename/virtual id) instead of a bare ``ValueError``,
+so metadata loaders quarantine the one bad chunk instead of dying.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.errors import ReconstructionError, UnknownCodecError
+from repro.obs.metrics import get_metrics
+from repro.raid.aont import AONT_OVERHEAD, aont_unwrap, aont_wrap
+from repro.raid.parity import recover_with_parity, xor_parity
+from repro.raid.striping import RaidLevel, StripeMeta, _rs_code
+
+RAID_FAMILIES = ("raid0", "raid1", "raid5", "raid6")
+RS_FAMILIES = ("rs", "aont-rs")
+
+_RAID_RE = re.compile(r"^(raid[0156])(?:@(\d+))?$")
+_RS_RE = re.compile(r"^(rs|aont-rs)\(\s*(\d+)\s*,\s*(\d+)\s*\)$")
+
+
+@dataclass(frozen=True)
+class CodecSpec:
+    """A parsed codec name: family plus optional (k, m) or pinned width."""
+
+    family: str
+    k: int | None = None
+    m: int | None = None
+    width: int | None = None
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def parse(
+        cls,
+        text: str,
+        *,
+        filename: str | None = None,
+        virtual_id: int | None = None,
+    ) -> "CodecSpec":
+        """Parse a spec string; raises :class:`UnknownCodecError` on failure."""
+        raw = str(text).strip().lower()
+        match = _RAID_RE.match(raw)
+        if match:
+            family, width = match.group(1), match.group(2)
+            spec = cls(family=family, width=int(width) if width else None)
+            level = RaidLevel(family)
+            if spec.width is not None and spec.width < level.min_width:
+                raise UnknownCodecError(
+                    f"codec {raw!r}: {family} needs width >= {level.min_width}",
+                    spec=raw,
+                    filename=filename,
+                    virtual_id=virtual_id,
+                )
+            return spec
+        match = _RS_RE.match(raw)
+        if match:
+            family, k, m = match.group(1), int(match.group(2)), int(match.group(3))
+            if k < 1 or m < 0 or k + m > 256:
+                raise UnknownCodecError(
+                    f"codec {raw!r}: need k >= 1, m >= 0, k+m <= 256",
+                    spec=raw,
+                    filename=filename,
+                    virtual_id=virtual_id,
+                )
+            if family == "aont-rs" and k < 2:
+                raise UnknownCodecError(
+                    f"codec {raw!r}: aont-rs needs k >= 2 (k=1 puts the whole "
+                    "package on one provider, defeating the transform)",
+                    spec=raw,
+                    filename=filename,
+                    virtual_id=virtual_id,
+                )
+            return cls(family=family, k=k, m=m)
+        raise UnknownCodecError(
+            f"unknown codec spec {raw!r} (expected raid0|raid1|raid5|raid6"
+            "[@WIDTH], rs(K,M), or aont-rs(K,M))",
+            spec=raw,
+            filename=filename,
+            virtual_id=virtual_id,
+        )
+
+    @classmethod
+    def coerce(cls, value: "CodecSpec | RaidLevel | str") -> "CodecSpec":
+        """Accept a spec, a RaidLevel, or a spec string."""
+        if isinstance(value, CodecSpec):
+            return value
+        if isinstance(value, RaidLevel):
+            return cls(family=value.value)
+        return cls.parse(value)
+
+    # -- introspection --------------------------------------------------------
+
+    def canonical(self) -> str:
+        if self.family in RS_FAMILIES:
+            return f"{self.family}({self.k},{self.m})"
+        if self.width is not None:
+            return f"{self.family}@{self.width}"
+        return self.family
+
+    @property
+    def raid_level(self) -> RaidLevel | None:
+        if self.family in RAID_FAMILIES:
+            return RaidLevel(self.family)
+        return None
+
+    @property
+    def fixed_width(self) -> int | None:
+        """The stripe width this spec forces, or None if chosen at upload."""
+        if self.family in RS_FAMILIES:
+            return self.k + self.m  # type: ignore[operator]
+        return self.width
+
+    @property
+    def min_width(self) -> int:
+        if self.family in RS_FAMILIES:
+            return self.k + self.m  # type: ignore[operator]
+        return RaidLevel(self.family).min_width
+
+    def instantiate(self, width: int | None = None) -> "ErasureCodec":
+        """Build the codec, resolving the stripe width.
+
+        RS-family specs carry their own width (k+m); raid families take it
+        from the spec's ``@width`` pin or the *width* argument.
+        """
+        if self.family in RS_FAMILIES:
+            if width is not None and width != self.k + self.m:  # type: ignore[operator]
+                raise ValueError(
+                    f"{self.canonical()} fixes width at {self.k + self.m}, "  # type: ignore[operator]
+                    f"got {width}"
+                )
+            if self.family == "rs":
+                return RSStripeCodec(self.k, self.m)  # type: ignore[arg-type]
+            return AontRSCodec(self.k, self.m)  # type: ignore[arg-type]
+        resolved = self.width if self.width is not None else width
+        if resolved is None:
+            raise ValueError(f"{self.canonical()} needs a stripe width")
+        if self.width is not None and width is not None and width != self.width:
+            raise ValueError(
+                f"{self.canonical()} pins width {self.width}, got {width}"
+            )
+        return RaidCodec(RaidLevel(self.family), resolved)
+
+
+class ErasureCodec:
+    """Uniform stripe codec API the whole stack consumes.
+
+    Subclasses set ``label`` (the family string stored in
+    ``StripeMeta.codec``), ``k``/``m``/``n``, and implement ``_encode``,
+    ``decode``, and ``rebuild``.  ``encode`` wraps ``_encode`` with the
+    shared metrics so every codec reports ``raid_encode_*`` uniformly.
+    """
+
+    label: str
+    k: int
+    m: int
+
+    @property
+    def n(self) -> int:
+        return self.k + self.m
+
+    @property
+    def raid_level(self) -> RaidLevel | None:
+        """The RaidLevel for raid-family codecs, None otherwise."""
+        return None
+
+    @property
+    def spec(self) -> CodecSpec:
+        return CodecSpec.parse(self.label)
+
+    # -- API ------------------------------------------------------------------
+
+    def encode(
+        self, payload: "bytes | memoryview"
+    ) -> tuple[StripeMeta, list[bytes]]:
+        """Encode *payload* into (meta, shards); shards are independent bytes."""
+        t0 = time.perf_counter()
+        meta, shards = self._encode(payload)
+        metrics = get_metrics()
+        metrics.histogram("raid_encode_seconds", codec=self.label).observe(
+            time.perf_counter() - t0
+        )
+        metrics.counter("raid_encode_bytes_total", codec=self.label).inc(
+            meta.orig_len
+        )
+        return meta, shards
+
+    def _encode(
+        self, payload: "bytes | memoryview"
+    ) -> tuple[StripeMeta, list[bytes]]:
+        raise NotImplementedError
+
+    def decode(self, meta: StripeMeta, shards: dict[int, bytes]) -> bytes:
+        """Reassemble the payload from >= k stripe members."""
+        raise NotImplementedError
+
+    def rebuild(self, meta: StripeMeta, index: int, shards: dict[int, bytes]) -> bytes:
+        """Regenerate the single shard *index* byte-exactly from survivors."""
+        raise NotImplementedError
+
+    # -- shared helpers -------------------------------------------------------
+
+    @staticmethod
+    def _split(
+        payload: "bytes | memoryview", k: int
+    ) -> tuple[int, int, list[bytes]]:
+        """Split *payload* into k zero-padded data shards.
+
+        Returns (orig_len, shard_size, shards).  Each byte is copied
+        exactly once into its shard -- the streaming path passes slices of
+        a reused window buffer, so shards must never alias the input.
+        """
+        view = memoryview(payload)
+        orig_len = len(view)
+        shard_size = -(-orig_len // k) if orig_len else 0
+        shards = []
+        for i in range(k):
+            shard = bytes(view[i * shard_size : (i + 1) * shard_size])
+            if len(shard) < shard_size:
+                shard += b"\x00" * (shard_size - len(shard))
+            shards.append(shard)
+        view.release()
+        return orig_len, shard_size, shards
+
+    @staticmethod
+    def _require(meta: StripeMeta, shards: dict[int, bytes], k: int) -> None:
+        if len(shards) < k:
+            raise ReconstructionError(
+                f"{meta.codec} stripe needs {k} shards, only "
+                f"{len(shards)} available"
+            )
+
+
+class RaidCodec(ErasureCodec):
+    """The legacy RAID-0/1/5/6 layouts behind the codec API.
+
+    Byte-compatible with pre-codec stripes: RAID-6 parity still comes
+    from the Vandermonde-derived generator (see
+    :mod:`repro.raid.reed_solomon`), RAID-5 from XOR, RAID-1 from copies.
+    """
+
+    def __init__(self, level: RaidLevel, width: int) -> None:
+        self.level = level
+        self.width = width
+        self.k, self.m = level.shard_counts(width)
+        self.label = level.value
+
+    @property
+    def raid_level(self) -> RaidLevel | None:
+        return self.level
+
+    def _encode(
+        self, payload: "bytes | memoryview"
+    ) -> tuple[StripeMeta, list[bytes]]:
+        orig_len, shard_size, data_shards = self._split(payload, self.k)
+        if self.level is RaidLevel.RAID1:
+            parity = [bytes(data_shards[0]) for _ in range(self.m)]
+        elif self.level is RaidLevel.RAID5:
+            parity = [xor_parity(data_shards)] if shard_size else [b""]
+        elif self.m > 0:
+            parity = (
+                _rs_code(self.k, self.m, "vandermonde").encode(data_shards)
+                if shard_size
+                else [b""] * self.m
+            )
+        else:
+            parity = []
+        meta = StripeMeta(
+            codec=self.label,
+            width=self.width,
+            k=self.k,
+            m=self.m,
+            shard_size=shard_size,
+            orig_len=orig_len,
+        )
+        return meta, data_shards + parity
+
+    def decode(self, meta: StripeMeta, shards: dict[int, bytes]) -> bytes:
+        if meta.orig_len == 0:
+            return b""
+        self._require(meta, shards, meta.k)
+        if self.level is RaidLevel.RAID1:
+            # Every shard is a full copy.
+            payload = next(iter(shards.values()))
+            return payload[: meta.orig_len]
+        have_data = [i for i in range(meta.k) if i in shards]
+        if len(have_data) == meta.k:
+            data = [shards[i] for i in range(meta.k)]
+        elif self.level is RaidLevel.RAID5:
+            # With k shards present and RAID5's single parity, at most one
+            # data shard can be absent.
+            recovered = recover_with_parity(
+                [shards[i] for i in have_data], shards[meta.k]
+            )
+            data = [
+                shards[i] if i in shards else recovered for i in range(meta.k)
+            ]
+        else:
+            data = _rs_code(meta.k, meta.m, "vandermonde").decode(shards)
+        return b"".join(data)[: meta.orig_len]
+
+    def rebuild(self, meta: StripeMeta, index: int, shards: dict[int, bytes]) -> bytes:
+        if meta.orig_len == 0:
+            return b""
+        if self.level is RaidLevel.RAID0:
+            raise ReconstructionError("RAID0 has no redundancy to rebuild from")
+        if self.level is RaidLevel.RAID1:
+            if not shards:
+                raise ReconstructionError("no surviving mirror copy")
+            return next(iter(shards.values()))
+        if self.level is RaidLevel.RAID5:
+            others = {i: s for i, s in shards.items() if i != index}
+            if len(others) < meta.k:
+                raise ReconstructionError(
+                    f"RAID5 rebuild needs {meta.k} surviving shards, "
+                    f"got {len(others)}"
+                )
+            blocks = [others[i] for i in sorted(others)][: meta.k]
+            # XOR of any k of the k+1 stripe members reproduces the missing one.
+            return xor_parity(blocks)
+        others = {i: s for i, s in shards.items() if i != index}
+        return _rs_code(meta.k, meta.m, "vandermonde").reconstruct_shard(
+            index, others
+        )
+
+
+class RSStripeCodec(ErasureCodec):
+    """General systematic Reed-Solomon rs(k,m) with the Cauchy generator."""
+
+    generator = "cauchy"
+
+    def __init__(self, k: int, m: int) -> None:
+        _rs_code(k, m, self.generator)  # validate parameters eagerly
+        self.k = k
+        self.m = m
+        self.width = k + m
+        self.label = f"rs({k},{m})"
+
+    def _code(self):
+        return _rs_code(self.k, self.m, self.generator)
+
+    def _encode(
+        self, payload: "bytes | memoryview"
+    ) -> tuple[StripeMeta, list[bytes]]:
+        orig_len, shard_size, data_shards = self._split(payload, self.k)
+        parity = (
+            self._code().encode(data_shards) if shard_size else [b""] * self.m
+        )
+        meta = StripeMeta(
+            codec=self.label,
+            width=self.width,
+            k=self.k,
+            m=self.m,
+            shard_size=shard_size,
+            orig_len=orig_len,
+        )
+        return meta, data_shards + parity
+
+    def decode(self, meta: StripeMeta, shards: dict[int, bytes]) -> bytes:
+        if meta.orig_len == 0:
+            return b""
+        self._require(meta, shards, meta.k)
+        data = self._code().decode(shards)
+        return b"".join(data)[: meta.orig_len]
+
+    def rebuild(self, meta: StripeMeta, index: int, shards: dict[int, bytes]) -> bytes:
+        if meta.orig_len == 0:
+            return b""
+        others = {i: s for i, s in shards.items() if i != index}
+        return self._code().reconstruct_shard(index, others)
+
+
+class AontRSCodec(RSStripeCodec):
+    """All-or-nothing transform, then rs(k,m) over the package.
+
+    ``encode`` wraps the chunk with :func:`repro.raid.aont.aont_wrap`
+    (adding :data:`AONT_OVERHEAD` bytes) before striping, so any shard
+    subset below k reveals nothing about the chunk -- keylessly.  Shard
+    *rebuild* is pure RS algebra over the package: the scrubber
+    regenerates lost shards byte-exactly without ever recovering (or
+    being able to recover) the plaintext.  ``meta.orig_len`` records the
+    original payload length; the package length is always
+    ``orig_len + AONT_OVERHEAD``.
+    """
+
+    def __init__(self, k: int, m: int) -> None:
+        super().__init__(k, m)
+        self.label = f"aont-rs({k},{m})"
+
+    def _encode(
+        self, payload: "bytes | memoryview"
+    ) -> tuple[StripeMeta, list[bytes]]:
+        orig_len = len(payload)
+        package = aont_wrap(payload)
+        _, shard_size, data_shards = self._split(package, self.k)
+        parity = self._code().encode(data_shards)
+        meta = StripeMeta(
+            codec=self.label,
+            width=self.width,
+            k=self.k,
+            m=self.m,
+            shard_size=shard_size,
+            orig_len=orig_len,
+        )
+        return meta, data_shards + parity
+
+    def decode(self, meta: StripeMeta, shards: dict[int, bytes]) -> bytes:
+        self._require(meta, shards, meta.k)
+        data = self._code().decode(shards)
+        package = b"".join(data)[: meta.orig_len + AONT_OVERHEAD]
+        return aont_unwrap(package)
+
+    def rebuild(self, meta: StripeMeta, index: int, shards: dict[int, bytes]) -> bytes:
+        # The package is never empty (the masked key alone is 32 bytes),
+        # so unlike the other codecs there is no orig_len == 0 shortcut:
+        # rebuild real shard bytes even for empty payloads.
+        others = {i: s for i, s in shards.items() if i != index}
+        return self._code().reconstruct_shard(index, others)
+
+
+def codec_for_meta(meta: StripeMeta) -> ErasureCodec:
+    """The codec instance that encodes/decodes stripes with this metadata."""
+    spec = CodecSpec.parse(meta.codec)
+    return spec.instantiate(meta.width)
+
+
+def stripe_meta_from_fields(
+    fields: Iterable[object],
+    *,
+    filename: str | None = None,
+    virtual_id: int | None = None,
+) -> StripeMeta:
+    """Deserialize the packed ``(codec, width, k, m, shard_size, orig_len)``.
+
+    The single choke point for chunk-table and journal stripe specs.
+    Raises :class:`UnknownCodecError` (with *filename*/*virtual_id*
+    context) for unparseable codec strings so callers can quarantine the
+    entry instead of aborting the whole metadata load, and plain
+    ``ValueError`` for structurally broken tuples.
+    """
+    packed = list(fields)
+    if len(packed) < 6:
+        raise ValueError(
+            f"stripe spec needs 6 fields (codec, width, k, m, shard_size, "
+            f"orig_len), got {len(packed)}"
+        )
+    codec_raw = packed[0]
+    spec = CodecSpec.parse(
+        str(codec_raw), filename=filename, virtual_id=virtual_id
+    )
+    meta = StripeMeta(
+        codec=str(codec_raw).strip().lower(),
+        width=int(packed[1]),  # type: ignore[call-overload]
+        k=int(packed[2]),  # type: ignore[call-overload]
+        m=int(packed[3]),  # type: ignore[call-overload]
+        shard_size=int(packed[4]),  # type: ignore[call-overload]
+        orig_len=int(packed[5]),  # type: ignore[call-overload]
+    )
+    fixed = spec.fixed_width
+    if fixed is not None and meta.width != fixed:
+        raise UnknownCodecError(
+            f"codec {meta.codec!r} fixes width {fixed} but stripe spec "
+            f"records width {meta.width}",
+            spec=meta.codec,
+            filename=filename,
+            virtual_id=virtual_id,
+        )
+    return meta

@@ -25,10 +25,7 @@ def _as_matrix(blocks: list[bytes]) -> np.ndarray:
 def xor_parity(blocks: list[bytes]) -> bytes:
     """The XOR of equally sized *blocks*."""
     matrix = _as_matrix(blocks)
-    out = np.zeros(matrix.shape[1], dtype=np.uint8)
-    for row in matrix:
-        out ^= row
-    return out.tobytes()
+    return np.bitwise_xor.reduce(matrix, axis=0).tobytes()
 
 
 def recover_with_parity(survivors: list[bytes], parity: bytes) -> bytes:

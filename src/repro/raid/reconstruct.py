@@ -5,6 +5,11 @@ being blocked by any unlikely event or going out of business" (Section
 III-B).  :func:`read_stripe` fetches the data shards first and falls back to
 parity decoding when members are missing; :func:`rebuild_shard` regenerates
 a lost shard for re-replication to a replacement provider.
+
+Decoding and rebuild are dispatched through the chunk's
+:class:`~repro.raid.codecs.ErasureCodec` (resolved from
+``StripeMeta.codec``), so these entry points work unchanged for the
+legacy RAID families and the general ``rs``/``aont-rs`` codecs alike.
 """
 
 from __future__ import annotations
@@ -14,40 +19,14 @@ from typing import Callable
 
 from repro.core.errors import ProviderError, ReconstructionError
 from repro.obs.metrics import get_metrics
-from repro.raid.parity import recover_with_parity
-from repro.raid.striping import RaidLevel, StripeMeta, _rs_code
+from repro.raid.striping import StripeMeta
 
 
 def _decode(meta: StripeMeta, shards: dict[int, bytes]) -> bytes:
     """Reassemble the original payload from enough shards of a stripe."""
-    if meta.orig_len == 0:
-        return b""
-    have_data = [i for i in range(meta.k) if i in shards]
-    if len(shards) < meta.k:
-        raise ReconstructionError(
-            f"{meta.level.name} stripe needs {meta.k} shards, only "
-            f"{len(shards)} available"
-        )
-    if meta.level is RaidLevel.RAID1:
-        # Every shard is a full copy.
-        payload = next(iter(shards.values()))
-        return payload[: meta.orig_len]
-    if len(have_data) == meta.k:
-        data = [shards[i] for i in range(meta.k)]
-    elif meta.level is RaidLevel.RAID5:
-        missing = [i for i in range(meta.k) if i not in shards]
-        # With k shards present and RAID5's single parity, at most one data
-        # shard can be absent.
-        recovered = recover_with_parity(
-            [shards[i] for i in have_data], shards[meta.k]
-        )
-        data = [
-            shards[i] if i in shards else recovered for i in range(meta.k)
-        ]
-        del missing
-    else:
-        data = _rs_code(meta.k, meta.m).decode(shards)
-    return b"".join(data)[: meta.orig_len]
+    from repro.raid.codecs import codec_for_meta
+
+    return codec_for_meta(meta).decode(meta, shards)
 
 
 def read_stripe(
@@ -55,21 +34,23 @@ def read_stripe(
     fetch: Callable[[int], bytes],
     prefer_data: bool = True,
 ) -> tuple[bytes, list[int]]:
-    """Fetch shards (data first) and decode; returns (payload, failed idxs).
+    """Fetch shards and decode; returns (payload, failed idxs).
 
     *fetch* maps shard index -> shard bytes and may raise
-    :class:`ProviderError` for unavailable/lost/corrupt shards.  Parity
-    shards are only fetched when needed.  Raises
+    :class:`ProviderError` for unavailable/lost/corrupt shards.  With
+    ``prefer_data=True`` (the default read path) shards are fetched data
+    first and the loop stops as soon as k members are in hand, so parity
+    is only pulled when data shards fail.  With ``prefer_data=False`` all
+    n stripe members are fetched eagerly -- parity included, even once k
+    are already available -- for verify-style callers that want every
+    member exercised and every failure surfaced in ``failed``.  Raises
     :class:`ReconstructionError` once too many shards have failed.
     """
     t0 = time.perf_counter()
     shards: dict[int, bytes] = {}
     failed: list[int] = []
-    order = list(range(meta.k)) + list(range(meta.k, meta.n))
-    if not prefer_data:
-        order = list(range(meta.n))
-    for index in order:
-        if len(shards) >= meta.k:
+    for index in range(meta.n):
+        if prefer_data and len(shards) >= meta.k:
             break
         try:
             shards[index] = fetch(index)
@@ -78,19 +59,19 @@ def read_stripe(
     metrics = get_metrics()
     if failed:
         metrics.counter(
-            "raid_degraded_reads_total", level=meta.level.value
+            "raid_degraded_reads_total", codec=meta.codec
         ).inc()
     if len(shards) < meta.k:
         metrics.counter(
-            "raid_unrecoverable_reads_total", level=meta.level.value
+            "raid_unrecoverable_reads_total", codec=meta.codec
         ).inc()
         raise ReconstructionError(
-            f"{meta.level.name} stripe unrecoverable: "
+            f"{meta.codec} stripe unrecoverable: "
             f"{len(failed)} shard(s) failed ({failed}), "
             f"only {len(shards)}/{meta.k} required shards readable"
         )
     payload = _decode(meta, shards)
-    metrics.histogram("raid_decode_seconds", level=meta.level.value).observe(
+    metrics.histogram("raid_decode_seconds", codec=meta.codec).observe(
         time.perf_counter() - t0
     )
     return payload, failed
@@ -104,30 +85,12 @@ def rebuild_shard(
         raise ValueError(f"shard index {index} out of range 0..{meta.n - 1}")
     shard = _rebuild(meta, index, shards)
     get_metrics().counter(
-        "raid_shards_rebuilt_total", level=meta.level.value
+        "raid_shards_rebuilt_total", codec=meta.codec
     ).inc()
     return shard
 
 
 def _rebuild(meta: StripeMeta, index: int, shards: dict[int, bytes]) -> bytes:
-    if meta.orig_len == 0:
-        return b""
-    if meta.level is RaidLevel.RAID0:
-        raise ReconstructionError("RAID0 has no redundancy to rebuild from")
-    if meta.level is RaidLevel.RAID1:
-        if not shards:
-            raise ReconstructionError("no surviving mirror copy")
-        return next(iter(shards.values()))
-    if meta.level is RaidLevel.RAID5:
-        others = {i: s for i, s in shards.items() if i != index}
-        if len(others) < meta.k:
-            raise ReconstructionError(
-                f"RAID5 rebuild needs {meta.k} surviving shards, got {len(others)}"
-            )
-        blocks = [others[i] for i in sorted(others)][: meta.k]
-        # XOR of any k of the k+1 stripe members reproduces the missing one.
-        from repro.raid.parity import xor_parity
+    from repro.raid.codecs import codec_for_meta
 
-        return xor_parity(blocks)
-    others = {i: s for i, s in shards.items() if i != index}
-    return _rs_code(meta.k, meta.m).reconstruct_shard(index, others)
+    return codec_for_meta(meta).rebuild(meta, index, shards)

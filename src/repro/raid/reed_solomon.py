@@ -1,10 +1,27 @@
 """Systematic Reed-Solomon erasure coding over GF(256).
 
 Provides the general k-of-n code behind RAID-6 (m = 2) and arbitrary
-redundancy levels.  The generator matrix is a Vandermonde matrix
-column-reduced so its top k x k block is the identity: the first k output
-shards are the data shards verbatim (systematic), and ANY k of the k+m
-shards suffice to reconstruct.
+redundancy levels.  Two systematic generator constructions exist:
+
+* ``cauchy`` (default) -- identity on top, a Cauchy matrix below.  Every
+  square submatrix of a Cauchy matrix is invertible (its determinant has
+  the closed Cauchy form with all factors nonzero), so *every* k x k row
+  submatrix of the generator is invertible by a local argument: deleting
+  the identity rows' columns from the remaining Cauchy rows leaves a
+  Cauchy minor.  Any k of the k+m shards decode, for all valid (k, m).
+
+* ``vandermonde`` (legacy) -- ``V @ inv(V[:k])`` where V is Vandermonde.
+  This derivation is sound, but only by a non-local argument (any k rows
+  of the product are the corresponding k rows of V right-multiplied by
+  one fixed invertible matrix).  The classic jerasure/ISA-L pitfall is
+  the "optimized" variant that skips the column reduction and stacks
+  ``[I; V[k:]]`` directly -- that one has singular k-subsets well within
+  k+m <= 12 (e.g. k=5, m=5), i.e. undecodable erasure patterns.  We keep
+  the reduced Vandermonde form *only* because RAID-6 stripes already on
+  disk recorded parity bytes (and shard checksums) produced by it; the
+  ``raid6`` codec family pins ``generator="vandermonde"`` forever so the
+  scrubber can rebuild legacy stripes byte-exactly.  New code (the
+  ``rs``/``aont-rs`` families) uses the Cauchy construction.
 """
 
 from __future__ import annotations
@@ -13,23 +30,64 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.raid.gf256 import gf_mat_inv, gf_matmul, vandermonde
+from repro.raid.gf256 import gf_inv, gf_mat_inv, gf_matmul, vandermonde
+
+#: Generator constructions by name; ``cauchy`` is the default for new codes.
+GENERATORS = ("cauchy", "vandermonde")
 
 
-def generator_matrix(k: int, m: int) -> np.ndarray:
-    """The (k+m) x k systematic RS generator matrix.
-
-    Built as ``V @ inv(V[:k])`` where V is Vandermonde, which preserves the
-    any-k-rows-invertible property while making the top block the identity.
-    """
+def _check_params(k: int, m: int) -> None:
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if m < 0:
         raise ValueError(f"m must be >= 0, got {m}")
     if k + m > 256:
         raise ValueError(f"k+m must be <= 256, got {k + m}")
+
+
+def cauchy_generator_matrix(k: int, m: int) -> np.ndarray:
+    """Systematic generator with identity top and Cauchy parity rows.
+
+    Parity row i, column j is ``1 / (x_i ^ y_j)`` with ``x_i = k + i`` and
+    ``y_j = j`` -- two disjoint subsets of GF(256), so every denominator is
+    nonzero.  Any square submatrix of a Cauchy matrix is invertible, which
+    makes every k x k row submatrix of the full generator invertible.
+    """
+    _check_params(k, m)
+    gen = np.zeros((k + m, k), dtype=np.uint8)
+    gen[:k] = np.eye(k, dtype=np.uint8)
+    for i in range(m):
+        for j in range(k):
+            gen[k + i, j] = gf_inv((k + i) ^ j)
+    return gen
+
+
+def vandermonde_generator_matrix(k: int, m: int) -> np.ndarray:
+    """Legacy generator: Vandermonde column-reduced to a systematic form.
+
+    Kept byte-for-byte identical to the original construction because the
+    ``raid6`` codec family's on-disk parity (and recorded shard checksums)
+    depend on it.  Do not use for new codec families -- see module docstring.
+    """
+    _check_params(k, m)
     v = vandermonde(k + m, k)
     return gf_matmul(v, gf_mat_inv(v[:k]))
+
+
+def generator_matrix(k: int, m: int, generator: str = "cauchy") -> np.ndarray:
+    """The (k+m) x k systematic RS generator matrix.
+
+    The top k x k block is the identity: the first k output shards are the
+    data shards verbatim (systematic), and any k of the k+m shards suffice
+    to reconstruct.  *generator* selects the construction (see module
+    docstring); ``cauchy`` is the default, ``vandermonde`` exists for
+    legacy RAID-6 byte-compatibility.
+    """
+    if generator == "cauchy":
+        return cauchy_generator_matrix(k, m)
+    if generator == "vandermonde":
+        return vandermonde_generator_matrix(k, m)
+    raise ValueError(f"unknown generator {generator!r}, expected one of {GENERATORS}")
 
 
 @dataclass(frozen=True)
@@ -38,10 +96,13 @@ class RSCode:
 
     k: int
     m: int
+    generator: str = "cauchy"
 
     def __post_init__(self) -> None:
         # Validate parameters by building the matrix once.
-        object.__setattr__(self, "_gen", generator_matrix(self.k, self.m))
+        object.__setattr__(
+            self, "_gen", generator_matrix(self.k, self.m, self.generator)
+        )
 
     @property
     def n(self) -> int:

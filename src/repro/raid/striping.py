@@ -16,13 +16,10 @@ Level semantics (k data shards, m parity shards, n = k + m = width):
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from enum import Enum
 from functools import lru_cache
 
-from repro.obs.metrics import get_metrics
-from repro.raid.parity import xor_parity
 from repro.raid.reed_solomon import RSCode
 
 
@@ -68,9 +65,17 @@ class RaidLevel(Enum):
 
 @dataclass(frozen=True)
 class StripeMeta:
-    """Everything needed to decode a stripe besides the shard bytes."""
+    """Everything needed to decode a stripe besides the shard bytes.
 
-    level: RaidLevel
+    ``codec`` is the codec family label exactly as serialized in the
+    chunk table: ``"raid5"``-style strings for the legacy RAID families
+    (unchanged from when this field held ``RaidLevel.value``) or a spec
+    string like ``"rs(6,3)"`` / ``"aont-rs(4,2)"`` for the general
+    codecs.  ``level`` is kept as a derived property for raid-family
+    stripes; it is ``None`` for the new families.
+    """
+
+    codec: str
     width: int
     k: int
     m: int
@@ -81,10 +86,17 @@ class StripeMeta:
     def n(self) -> int:
         return self.k + self.m
 
+    @property
+    def level(self) -> "RaidLevel | None":
+        try:
+            return RaidLevel(self.codec)
+        except ValueError:
+            return None
+
 
 @lru_cache(maxsize=64)
-def _rs_code(k: int, m: int) -> RSCode:
-    return RSCode(k=k, m=m)
+def _rs_code(k: int, m: int, generator: str = "cauchy") -> RSCode:
+    return RSCode(k=k, m=m, generator=generator)
 
 
 def encode_stripe(
@@ -98,38 +110,13 @@ def encode_stripe(
     buffer); each byte is copied exactly once, into its shard -- the
     shards are always independent ``bytes``, never views, so the caller
     may overwrite the window immediately.
+
+    Compatibility wrapper over :class:`repro.raid.codecs.RaidCodec`; new
+    code should instantiate a codec via :class:`repro.raid.codecs.CodecSpec`.
     """
-    t0 = time.perf_counter()
-    k, m = level.shard_counts(width)
-    view = memoryview(payload)
-    orig_len = len(view)
-    shard_size = -(-orig_len // k) if orig_len else 0
-    data_shards = []
-    for i in range(k):
-        shard = bytes(view[i * shard_size : (i + 1) * shard_size])
-        if len(shard) < shard_size:
-            shard += b"\x00" * (shard_size - len(shard))
-        data_shards.append(shard)
-    view.release()
-    if level is RaidLevel.RAID1:
-        parity = [bytes(data_shards[0]) for _ in range(m)]
-    elif level is RaidLevel.RAID5:
-        parity = [xor_parity(data_shards)] if shard_size else [b""]
-    elif m > 0:
-        parity = (
-            _rs_code(k, m).encode(data_shards) if shard_size else [b""] * m
-        )
-    else:
-        parity = []
-    meta = StripeMeta(
-        level=level, width=width, k=k, m=m, shard_size=shard_size, orig_len=orig_len
-    )
-    metrics = get_metrics()
-    metrics.histogram("raid_encode_seconds", level=level.value).observe(
-        time.perf_counter() - t0
-    )
-    metrics.counter("raid_encode_bytes_total", level=level.value).inc(orig_len)
-    return meta, data_shards + parity
+    from repro.raid.codecs import RaidCodec
+
+    return RaidCodec(level, width).encode(payload)
 
 
 def rotate_assignment(n: int, rotation: int) -> list[int]:

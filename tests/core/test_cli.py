@@ -59,6 +59,38 @@ def test_ls_and_status(state, tmp_path, capsys):
     assert "Cloud Provider Table" in out and "P0" in out
 
 
+def test_put_with_codec_spec(state, tmp_path, capsys):
+    # Only 4 of the 6 default providers are PL-3 eligible, so rs(3,1)
+    # (width 4) fills the eligible set exactly.
+    src = tmp_path / "coded.bin"
+    payload = os.urandom(20_000)
+    src.write_bytes(payload)
+    assert run("put", "--state", str(state), "Bob", "s3cret", str(src),
+               "--level", "3", "--codec", "rs(3,1)") == 0
+    assert "rs(3,1)" in capsys.readouterr().out
+    out = tmp_path / "coded.out"
+    assert run("get", "--state", str(state), "Bob", "s3cret", "coded.bin",
+               "-o", str(out)) == 0
+    assert out.read_bytes() == payload
+    # ls shows the codec column.
+    capsys.readouterr()
+    assert run("ls", "--state", str(state), "Bob", "s3cret") == 0
+    listing = capsys.readouterr().out
+    assert "codec" in listing and "rs(3,1)" in listing
+
+
+def test_put_with_aont_codec_roundtrip(state, tmp_path, capsys):
+    src = tmp_path / "sealed.bin"
+    payload = os.urandom(8_000)
+    src.write_bytes(payload)
+    assert run("put", "--state", str(state), "Bob", "s3cret", str(src),
+               "--level", "3", "--codec", "aont-rs(2,2)", "--no-stream") == 0
+    out = tmp_path / "sealed.out"
+    assert run("get", "--state", str(state), "Bob", "s3cret", "sealed.bin",
+               "-o", str(out), "--no-stream") == 0
+    assert out.read_bytes() == payload
+
+
 def test_rm(state, tmp_path, capsys):
     src = tmp_path / "gone.txt"
     src.write_bytes(b"bye")

@@ -1,0 +1,128 @@
+"""The Cauchy generator: exhaustive invertibility and the pitfall it avoids.
+
+The contract a systematic RS generator must honour is that *every* k x k
+row submatrix is invertible -- otherwise some erasure pattern within the
+code's declared tolerance is silently undecodable.  The Cauchy
+construction guarantees this by a local argument; these tests check it
+exhaustively for every (k, m) with k + m <= 12, and pin the classic
+jerasure/ISA-L regression: the "optimized" ``[I; V[k:]]`` Vandermonde
+variant that skips the column reduction *does* have singular k-subsets in
+that same range.
+"""
+
+import os
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.raid.gf256 import gf_mat_inv, vandermonde
+from repro.raid.reed_solomon import (
+    RSCode,
+    cauchy_generator_matrix,
+    generator_matrix,
+    vandermonde_generator_matrix,
+)
+
+ALL_KM = [
+    (k, m)
+    for k in range(1, 12)
+    for m in range(1, 12)
+    if k + m <= 12
+]
+
+
+def _invertible(matrix) -> bool:
+    try:
+        gf_mat_inv(matrix)
+        return True
+    except np.linalg.LinAlgError:
+        return False
+
+
+@pytest.mark.parametrize("k,m", ALL_KM)
+def test_every_k_subset_of_cauchy_generator_is_invertible(k, m):
+    gen = cauchy_generator_matrix(k, m)
+    for rows in combinations(range(k + m), k):
+        assert _invertible(gen[list(rows)]), (
+            f"cauchy k={k} m={m}: rows {rows} singular"
+        )
+
+
+@pytest.mark.parametrize("k,m", ALL_KM)
+def test_every_k_subset_of_reduced_vandermonde_is_invertible(k, m):
+    # The legacy (column-reduced) construction is sound too -- it has to
+    # be, since RAID-6 stripes on disk depend on it.
+    gen = vandermonde_generator_matrix(k, m)
+    for rows in combinations(range(k + m), k):
+        assert _invertible(gen[list(rows)]), (
+            f"vandermonde k={k} m={m}: rows {rows} singular"
+        )
+
+
+def test_naive_vandermonde_regression():
+    """The construction we must never ship: ``[I; V[k:]]`` unreduced.
+
+    Stacking the identity over raw Vandermonde parity rows looks
+    systematic and even encodes fine -- but some k-subsets of its rows
+    are singular, i.e. erasure patterns within the declared tolerance
+    cannot decode.  This is the classic jerasure/ISA-L pitfall, caught
+    here well inside k + m <= 12 so the exhaustive tests above would
+    flag any regression to it.
+    """
+    singular_cases = []
+    for k, m in ALL_KM:
+        v = vandermonde(k + m, k)
+        naive = np.concatenate([np.eye(k, dtype=np.uint8), v[k:]])
+        for rows in combinations(range(k + m), k):
+            if not _invertible(naive[list(rows)]):
+                singular_cases.append((k, m, rows))
+                break
+    # The pitfall is real (several (k, m) pairs in range are affected) ...
+    assert singular_cases, "expected naive [I; V[k:]] to have singular subsets"
+    # ... including the textbook k=5, m=5 example.
+    assert any(k == 5 and m == 5 for k, m, _ in singular_cases)
+    # ... and the shipped constructions are not the naive one where it breaks.
+    for k, m, rows in singular_cases:
+        assert _invertible(cauchy_generator_matrix(k, m)[list(rows)])
+        assert _invertible(vandermonde_generator_matrix(k, m)[list(rows)])
+
+
+@pytest.mark.parametrize("k,m", ALL_KM)
+def test_every_maximal_erasure_pattern_decodes_byte_exact(k, m):
+    """Losing any m shards leaves a decodable stripe, byte for byte.
+
+    Keeping k shards is the complement of erasing m, so iterating the
+    kept k-subsets covers every maximal erasure pattern; smaller
+    patterns are strictly easier (supersets of surviving shards).
+    """
+    code = RSCode(k=k, m=m, generator="cauchy")
+    rng = np.random.default_rng(1000 * k + m)
+    data = [rng.integers(0, 256, size=24, dtype=np.uint8).tobytes() for _ in range(k)]
+    shards = data + code.encode(data)
+    for kept in combinations(range(k + m), k):
+        decoded = code.decode({i: shards[i] for i in kept})
+        assert decoded == data, f"k={k} m={m}: kept {kept} decoded wrong bytes"
+
+
+def test_generator_dispatch_and_validation():
+    assert np.array_equal(generator_matrix(4, 2), cauchy_generator_matrix(4, 2))
+    assert np.array_equal(
+        generator_matrix(4, 2, "vandermonde"), vandermonde_generator_matrix(4, 2)
+    )
+    with pytest.raises(ValueError):
+        generator_matrix(4, 2, "naive")
+    with pytest.raises(ValueError):
+        cauchy_generator_matrix(0, 2)
+    with pytest.raises(ValueError):
+        cauchy_generator_matrix(200, 100)
+
+
+def test_cauchy_is_systematic():
+    gen = cauchy_generator_matrix(6, 3)
+    assert np.array_equal(gen[:6], np.eye(6, dtype=np.uint8))
+    code = RSCode(k=6, m=3)
+    data = [os.urandom(32) for _ in range(6)]
+    # Systematic: the first k shards are the data verbatim.
+    full = code.decode({i: s for i, s in enumerate(data)})
+    assert full == data

@@ -1,0 +1,241 @@
+"""Codec spec grammar plus the cross-codec conformance suite.
+
+Every codec behind :class:`~repro.raid.codecs.ErasureCodec` must honour
+the same contract: roundtrip, decode under every erasure pattern within
+its declared tolerance, rebuild any single shard (data *or* parity)
+byte-exactly, and survive empty and non-aligned payloads.  The suite runs
+the whole matrix so a new codec cannot ship with a latent geometry bug.
+"""
+
+import os
+from itertools import combinations
+
+import pytest
+
+from repro.core.errors import ReconstructionError, UnknownCodecError
+from repro.raid.codecs import (
+    AontRSCodec,
+    CodecSpec,
+    RaidCodec,
+    RSStripeCodec,
+    codec_for_meta,
+    stripe_meta_from_fields,
+)
+from repro.raid.striping import RaidLevel
+
+# -- spec grammar -------------------------------------------------------------
+
+
+def test_parse_raid_families():
+    spec = CodecSpec.parse("raid5")
+    assert (spec.family, spec.width) == ("raid5", None)
+    assert spec.canonical() == "raid5"
+    assert spec.raid_level is RaidLevel.RAID5
+    assert spec.fixed_width is None
+
+    pinned = CodecSpec.parse("raid6@5")
+    assert (pinned.family, pinned.width) == ("raid6", 5)
+    assert pinned.canonical() == "raid6@5"
+    assert pinned.fixed_width == 5
+
+
+def test_parse_rs_families():
+    spec = CodecSpec.parse("rs(6,3)")
+    assert (spec.family, spec.k, spec.m) == ("rs", 6, 3)
+    assert spec.canonical() == "rs(6,3)"
+    assert spec.raid_level is None
+    assert spec.fixed_width == 9
+
+    aont = CodecSpec.parse("AONT-RS( 4 , 2 )")  # case/space insensitive
+    assert (aont.family, aont.k, aont.m) == ("aont-rs", 4, 2)
+    assert aont.canonical() == "aont-rs(4,2)"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "raid3",
+        "rs(0,1)",
+        "rs(200,100)",
+        "aont-rs(1,2)",  # k=1 defeats the transform
+        "raid5@2",  # below the family's minimum width
+        "rs(6;3)",
+        "",
+        "paper",
+    ],
+)
+def test_parse_rejects_unknown_specs(bad):
+    with pytest.raises(UnknownCodecError):
+        CodecSpec.parse(bad)
+
+
+def test_parse_error_carries_context():
+    with pytest.raises(UnknownCodecError) as exc:
+        CodecSpec.parse("raid9", filename="f.bin", virtual_id=42)
+    assert exc.value.filename == "f.bin"
+    assert exc.value.virtual_id == 42
+    assert exc.value.spec == "raid9"
+
+
+def test_coerce_accepts_level_spec_and_string():
+    assert CodecSpec.coerce(RaidLevel.RAID6).family == "raid6"
+    spec = CodecSpec.parse("rs(4,2)")
+    assert CodecSpec.coerce(spec) is spec
+    assert CodecSpec.coerce("raid1@3").width == 3
+
+
+def test_instantiate_width_rules():
+    assert CodecSpec.parse("rs(4,2)").instantiate().n == 6
+    with pytest.raises(ValueError):
+        CodecSpec.parse("rs(4,2)").instantiate(width=7)
+    with pytest.raises(ValueError):
+        CodecSpec.parse("raid5").instantiate()  # open width needs an argument
+    with pytest.raises(ValueError):
+        CodecSpec.parse("raid6@5").instantiate(width=4)
+    codec = CodecSpec.parse("raid6@5").instantiate()
+    assert (codec.k, codec.m, codec.n) == (3, 2, 5)
+
+
+def test_stripe_meta_from_fields_roundtrip_and_errors():
+    meta = stripe_meta_from_fields(["rs(4,2)", 6, 4, 2, 100, 400])
+    assert meta.codec == "rs(4,2)"
+    assert meta.level is None
+    legacy = stripe_meta_from_fields(["raid5", 4, 3, 1, 10, 30])
+    assert legacy.level is RaidLevel.RAID5
+    with pytest.raises(ValueError):
+        stripe_meta_from_fields(["raid5", 4, 3])  # structurally short
+    with pytest.raises(UnknownCodecError):
+        stripe_meta_from_fields(["zfec(4,2)", 6, 4, 2, 100, 400], virtual_id=7)
+    with pytest.raises(UnknownCodecError):
+        # rs(4,2) fixes width 6; a table recording width 5 is corrupt.
+        stripe_meta_from_fields(["rs(4,2)", 5, 4, 2, 100, 400])
+
+
+# -- conformance matrix -------------------------------------------------------
+
+CODECS = [
+    pytest.param(lambda: RaidCodec(RaidLevel.RAID0, 4), id="raid0@4"),
+    pytest.param(lambda: RaidCodec(RaidLevel.RAID1, 3), id="raid1@3"),
+    pytest.param(lambda: RaidCodec(RaidLevel.RAID5, 4), id="raid5@4"),
+    pytest.param(lambda: RaidCodec(RaidLevel.RAID6, 5), id="raid6@5"),
+    pytest.param(lambda: RSStripeCodec(2, 1), id="rs(2,1)"),
+    pytest.param(lambda: RSStripeCodec(6, 3), id="rs(6,3)"),
+    pytest.param(lambda: AontRSCodec(2, 1), id="aont-rs(2,1)"),
+    pytest.param(lambda: AontRSCodec(4, 2), id="aont-rs(4,2)"),
+]
+
+
+@pytest.mark.parametrize("make", CODECS)
+def test_roundtrip(make):
+    codec = make()
+    payload = os.urandom(1000)
+    meta, shards = codec.encode(payload)
+    assert len(shards) == codec.n == meta.n
+    assert meta.codec == codec.label
+    assert codec.decode(meta, dict(enumerate(shards))) == payload
+    # The serialized codec string reconstructs the same codec.
+    assert codec_for_meta(meta).label == codec.label
+
+
+@pytest.mark.parametrize("make", CODECS)
+def test_every_erasure_pattern_within_tolerance_decodes(make):
+    codec = make()
+    payload = os.urandom(777)
+    meta, shards = codec.encode(payload)
+    # RAID1 (k=1) tolerates n-1 losses; everything else tolerates m.
+    tolerance = (codec.n - 1) if codec.k == 1 else codec.m
+    for size in range(tolerance + 1):
+        for erased in combinations(range(codec.n), size):
+            available = {
+                i: s for i, s in enumerate(shards) if i not in erased
+            }
+            assert codec.decode(meta, available) == payload, (
+                f"{codec.label}: erasing {erased} broke decode"
+            )
+
+
+@pytest.mark.parametrize("make", CODECS)
+def test_decode_below_k_raises(make):
+    codec = make()
+    meta, shards = codec.encode(os.urandom(300))
+    too_few = {i: shards[i] for i in range(codec.k - 1)}
+    if codec.k == 1:
+        too_few = {}
+    with pytest.raises(ReconstructionError):
+        codec.decode(meta, too_few)
+
+
+@pytest.mark.parametrize("make", CODECS)
+def test_rebuild_every_shard_byte_exact(make):
+    codec = make()
+    if codec.m == 0:
+        meta, shards = codec.encode(os.urandom(100))
+        with pytest.raises(ReconstructionError):
+            codec.rebuild(meta, 0, {})
+        return
+    payload = os.urandom(901)
+    meta, shards = codec.encode(payload)
+    for index in range(codec.n):
+        survivors = {i: s for i, s in enumerate(shards) if i != index}
+        rebuilt = codec.rebuild(meta, index, survivors)
+        assert rebuilt == shards[index], (
+            f"{codec.label}: rebuild of shard {index} (parity starts at "
+            f"{codec.k}) not byte-exact"
+        )
+
+
+@pytest.mark.parametrize("make", CODECS)
+def test_empty_payload(make):
+    codec = make()
+    meta, shards = codec.encode(b"")
+    assert meta.orig_len == 0
+    assert codec.decode(meta, dict(enumerate(shards))) == b""
+    if codec.m > 0:
+        survivors = {i: s for i, s in enumerate(shards) if i != 0}
+        assert codec.rebuild(meta, 0, survivors) == shards[0]
+
+
+@pytest.mark.parametrize("make", CODECS)
+@pytest.mark.parametrize("size", [1, 7, 97, 1001])
+def test_non_divisible_payload_sizes(make, size):
+    codec = make()
+    payload = os.urandom(size)
+    meta, shards = codec.encode(payload)
+    assert len({len(s) for s in shards if s}) <= 1  # equal-sized members
+    assert codec.decode(meta, dict(enumerate(shards))) == payload
+
+
+@pytest.mark.parametrize("make", CODECS)
+def test_shards_do_not_alias_input(make):
+    # The streaming path reuses its window buffer; shards must be copies.
+    codec = make()
+    buf = bytearray(os.urandom(600))
+    payload = bytes(buf)
+    meta, shards = codec.encode(memoryview(buf))
+    before = [bytes(s) for s in shards]
+    buf[:] = b"\x00" * len(buf)
+    assert [bytes(s) for s in shards] == before
+    assert codec.decode(meta, dict(enumerate(shards))) == payload
+
+
+def test_aont_shards_are_unlinkable():
+    codec = AontRSCodec(4, 2)
+    payload = b"identical chunk payload" * 20
+    _, first = codec.encode(payload)
+    _, second = codec.encode(payload)
+    assert all(a != b for a, b in zip(first, second))
+
+
+def test_aont_rebuild_never_sees_plaintext():
+    # Rebuild is pure RS over the package: it works even when the
+    # survivors cannot reach k data shards of plaintext... which can
+    # never happen here (rebuild needs k shards), so instead check the
+    # rebuilt shard carries no plaintext slice.
+    codec = AontRSCodec(4, 2)
+    payload = os.urandom(4096)
+    meta, shards = codec.encode(payload)
+    survivors = {i: s for i, s in enumerate(shards) if i != 2}
+    rebuilt = codec.rebuild(meta, 2, survivors)
+    assert rebuilt == shards[2]
+    for offset in range(0, len(payload) - 16, 256):
+        assert payload[offset : offset + 16] not in rebuilt

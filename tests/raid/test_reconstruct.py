@@ -80,3 +80,38 @@ def test_read_stripe_raid1_any_single_copy():
     out, failed = read_stripe(meta, fetch)
     assert out == payload
     assert failed == [0, 1]
+
+
+def test_read_stripe_prefer_data_stops_at_k():
+    payload = bytes(range(200))
+    meta, shards = encode_stripe(payload, RaidLevel.RAID6, 5)
+    fetch, calls = _make_fetch(shards)
+    out, failed = read_stripe(meta, fetch, prefer_data=True)
+    assert out == payload
+    assert failed == []
+    assert calls == list(range(meta.k))  # stopped once k shards in hand
+
+
+def test_read_stripe_eager_mode_fetches_all_members():
+    # Regression: prefer_data=False used to behave identically to
+    # prefer_data=True (the flag was a no-op), so verify-style callers
+    # never exercised parity members.  Eager mode must touch all n
+    # shards and surface every failure.
+    payload = bytes(range(200))
+    meta, shards = encode_stripe(payload, RaidLevel.RAID6, 5)
+    fetch, calls = _make_fetch(shards)
+    out, failed = read_stripe(meta, fetch, prefer_data=False)
+    assert out == payload
+    assert failed == []
+    assert calls == list(range(meta.n))  # every member, parity included
+
+    # A parity-only failure is invisible to the lazy path but must be
+    # surfaced by the eager one.
+    fetch, calls = _make_fetch(shards, failing={meta.n - 1})
+    _, failed_lazy = read_stripe(meta, fetch, prefer_data=True)
+    assert failed_lazy == []
+    fetch, calls = _make_fetch(shards, failing={meta.n - 1})
+    out, failed_eager = read_stripe(meta, fetch, prefer_data=False)
+    assert out == payload
+    assert failed_eager == [meta.n - 1]
+    assert calls == list(range(meta.n))
